@@ -1,0 +1,83 @@
+// Shared configuration for the experiment-reproduction binaries. Every
+// table/figure bench uses the same model hyper-parameters and dataset
+// scale so results are comparable across binaries.
+//
+// Environment overrides (useful for quick smoke runs or larger studies):
+//   KGAG_SCALE  — dataset scale factor (default 0.45)
+//   KGAG_EPOCHS — training epochs for every model (default 12)
+//   KGAG_SEED   — world seed (default 42)
+#ifndef KGAG_BENCH_BENCH_UTIL_H_
+#define KGAG_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <string>
+
+#include "baselines/kgcn.h"
+#include "baselines/mf.h"
+#include "common/table_printer.h"
+#include "models/config.h"
+
+namespace kgag {
+namespace bench {
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atof(v);
+}
+
+inline int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? fallback : std::atoi(v);
+}
+
+inline double DatasetScale() { return EnvDouble("KGAG_SCALE", 0.45); }
+inline int Epochs() { return EnvInt("KGAG_EPOCHS", 16); }
+inline uint64_t WorldSeed() {
+  return static_cast<uint64_t>(EnvInt("KGAG_SEED", 42));
+}
+
+/// KGAG hyper-parameters used throughout the benches (the "default" cell
+/// of the Fig. 4/5 sweeps).
+inline KgagConfig DefaultKgagConfig() {
+  KgagConfig cfg;
+  cfg.propagation.dim = 16;
+  cfg.propagation.depth = 2;
+  cfg.propagation.sample_size = 6;
+  cfg.propagation.final_tanh = false;
+  cfg.eval_tree_samples = 4;
+  cfg.margin = 0.4;
+  cfg.beta = 0.7;
+  cfg.epochs = Epochs();
+  cfg.pairs_per_epoch = 1600;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+/// Embedding-baseline hyper-parameters (CF, MoSAN; also KgcnConfig::base).
+inline MfConfig DefaultMfConfig() {
+  MfConfig cfg;
+  cfg.dim = 16;
+  cfg.epochs = Epochs();
+  cfg.pairs_per_epoch = 1600;
+  cfg.seed = 1234;
+  return cfg;
+}
+
+inline KgcnConfig DefaultKgcnConfig() {
+  KgcnConfig cfg;
+  cfg.base = DefaultMfConfig();
+  cfg.propagation.dim = 16;
+  cfg.propagation.depth = 2;
+  cfg.propagation.sample_size = 6;
+  return cfg;
+}
+
+/// Formats "<rec> / <hit>" the way Table II cells read.
+inline std::string Cell(double rec, double hit) {
+  return TablePrinter::Num(rec) + " / " + TablePrinter::Num(hit);
+}
+
+}  // namespace bench
+}  // namespace kgag
+
+#endif  // KGAG_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,92 @@
+// Regenerates Figure 6 (RQ4, interpretability case study): train KGAG on
+// the Simi corpus, pick a test group with a held-out positive, and print
+// each member's self-persistence (SP), peer-influence (PI) and normalized
+// influence α, plus the prediction score — the per-member bar chart of the
+// paper's Fig. 6, as a table.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "data/synthetic/standard_datasets.h"
+#include "eval/ranking_evaluator.h"
+#include "models/kgag_model.h"
+
+namespace kgag {
+namespace {
+
+void Run() {
+  GroupRecDataset ds =
+      MakeMovieLensSimiDataset(bench::WorldSeed(), bench::DatasetScale());
+  auto model = KgagModel::Create(&ds, bench::DefaultKgagConfig());
+  KGAG_CHECK(model.ok()) << model.status().ToString();
+  (*model)->Fit();
+
+  std::printf(
+      "Figure 6 — case study: per-member influence on a test "
+      "recommendation\n");
+  std::printf(
+      "(paper: group g41, item v1085, prediction 0.8518; one member "
+      "dominates, a second follows, the rest contribute little)\n\n");
+
+  // Pick the test pair with the most confident prediction, mirroring the
+  // paper's choice of a successfully recommended item.
+  KGAG_CHECK(!ds.split.test.empty());
+  GroupId best_group = ds.split.test[0].row;
+  ItemId best_item = ds.split.test[0].item;
+  double best_pred = -1;
+  const size_t probe = std::min<size_t>(ds.split.test.size(), 50);
+  for (size_t i = 0; i < probe; ++i) {
+    const double p = (*model)->PredictGroupItem(ds.split.test[i].row,
+                                                ds.split.test[i].item);
+    if (p > best_pred) {
+      best_pred = p;
+      best_group = ds.split.test[i].row;
+      best_item = ds.split.test[i].item;
+    }
+  }
+
+  GroupExplanation ex = (*model)->ExplainGroup(best_group, best_item);
+  std::printf("group g%d, candidate item v%d, prediction score %.4f\n\n",
+              best_group, best_item, ex.prediction);
+
+  TablePrinter table({"Member", "SP (self persistence)",
+                      "PI (peer influence)", "influence (softmax)"});
+  for (size_t i = 0; i < ex.members.size(); ++i) {
+    table.AddRow({"u" + std::to_string(ex.members[i]),
+                  TablePrinter::Num(ex.attention.sp[i]),
+                  TablePrinter::Num(ex.attention.pi[i]),
+                  TablePrinter::Num(ex.attention.alpha[i])});
+  }
+  table.Print(std::cout);
+
+  // Bar rendering, like the figure.
+  std::printf("\ninfluence distribution:\n");
+  for (size_t i = 0; i < ex.members.size(); ++i) {
+    const int bars = static_cast<int>(ex.attention.alpha[i] * 50 + 0.5);
+    std::printf("  u%-8d |%s %.3f\n", ex.members[i],
+                std::string(bars, '#').c_str(), ex.attention.alpha[i]);
+  }
+
+  std::vector<double> alpha = ex.attention.alpha;
+  std::sort(alpha.rbegin(), alpha.rend());
+  std::printf("\nShape checks (paper §IV-H):\n");
+  std::printf(
+      "  Influence is concentrated (top member > uniform share %.3f): "
+      "%.3f -> %s\n",
+      1.0 / alpha.size(), alpha[0],
+      alpha[0] > 1.0 / alpha.size() ? "OK" : "MISMATCH");
+  std::printf("  Prediction is confident (> 0.5): %.3f -> %s\n", ex.prediction,
+              ex.prediction > 0.5 ? "OK" : "MISMATCH");
+}
+
+}  // namespace
+}  // namespace kgag
+
+int main() {
+  kgag::Stopwatch sw;
+  kgag::Run();
+  std::printf("\n[fig6_case_study completed in %.1fs]\n", sw.ElapsedSeconds());
+  return 0;
+}

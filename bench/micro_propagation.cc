@@ -1,0 +1,100 @@
+// Micro-benchmarks of the propagation pipeline: sampling, tape-mode
+// forward+backward and batched inference (the §III-E complexity claims:
+// per-instance cost grows with K^H, not with corpus size).
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic/standard_datasets.h"
+#include "kg/collaborative_kg.h"
+#include "models/propagation.h"
+
+namespace kgag {
+namespace {
+
+struct Fixture {
+  Fixture() : rng(7) {
+    GroupRecDataset ds = MakeMovieLensRandDataset(11, 0.2);
+    std::vector<std::pair<int32_t, int32_t>> interactions;
+    for (const Interaction& it : ds.user_item.ToPairs()) {
+      interactions.emplace_back(it.row, it.item);
+    }
+    auto built = BuildCollaborativeKg(ds.kg_triples, ds.num_entities,
+                                      ds.num_relations, ds.num_users,
+                                      ds.item_to_entity, interactions);
+    KGAG_CHECK(built.ok());
+    ckg = std::move(*built);
+  }
+
+  PropagationEngine MakeEngine(int depth, int k, ParameterStore* store,
+                               Parameter** table) {
+    PropagationConfig cfg;
+    cfg.depth = depth;
+    cfg.sample_size = k;
+    cfg.dim = 16;
+    *table = store->Create("ent", ckg.graph.num_entities(), 16,
+                           Init::kNormal01, &rng);
+    return PropagationEngine(&ckg.graph, *table, store, cfg, &rng);
+  }
+
+  Rng rng;
+  CollaborativeKg ckg;
+};
+
+void BM_SampleTree(benchmark::State& state) {
+  Fixture f;
+  NeighborSampler sampler(&f.ckg.graph, static_cast<int>(state.range(1)));
+  Rng rng(3);
+  for (auto _ : state) {
+    SampledTree t =
+        sampler.SampleTree(0, static_cast<int>(state.range(0)), &rng);
+    benchmark::DoNotOptimize(t.entities.back().size());
+  }
+}
+BENCHMARK(BM_SampleTree)->Args({1, 4})->Args({2, 4})->Args({2, 8})->Args({3, 4});
+
+void BM_PropagateOnTape(benchmark::State& state) {
+  Fixture f;
+  ParameterStore store;
+  Parameter* table = nullptr;
+  PropagationEngine engine = f.MakeEngine(static_cast<int>(state.range(0)),
+                                          static_cast<int>(state.range(1)),
+                                          &store, &table);
+  Rng rng(5);
+  SampledTree tree = engine.SampleTree(0, &rng);
+  for (auto _ : state) {
+    Tape tape;
+    Var q = tape.Gather(table, {1});
+    Var rep = engine.PropagateOnTape(&tape, tree, q);
+    Var loss = tape.Sum(rep);
+    tape.Backward(loss);
+    store.ZeroGrads();
+    benchmark::DoNotOptimize(tape.value(loss).item());
+  }
+}
+BENCHMARK(BM_PropagateOnTape)
+    ->Args({1, 4})
+    ->Args({2, 4})
+    ->Args({2, 8})
+    ->Args({3, 4});
+
+void BM_PropagateBatch(benchmark::State& state) {
+  Fixture f;
+  ParameterStore store;
+  Parameter* table = nullptr;
+  PropagationEngine engine = f.MakeEngine(2, 6, &store, &table);
+  Rng rng(5);
+  SampledTree tree = engine.SampleTree(0, &rng);
+  const size_t p = static_cast<size_t>(state.range(0));
+  Tensor queries(p, 16);
+  for (size_t i = 0; i < queries.size(); ++i) queries[i] = rng.Normal(0, 1);
+  for (auto _ : state) {
+    Tensor reps = engine.PropagateBatch(tree, queries);
+    benchmark::DoNotOptimize(reps.data());
+  }
+  state.SetItemsProcessed(state.iterations() * p);
+}
+BENCHMARK(BM_PropagateBatch)->Arg(1)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace kgag
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Kernel micro-benchmarks (google-benchmark): tensor primitives and
+// autodiff tape operations that dominate training time.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "tensor/optimizer.h"
+#include "tensor/tape.h"
+
+namespace kgag {
+namespace {
+
+Tensor RandomTensor(size_t rows, size_t cols, Rng* rng) {
+  Tensor t(rows, cols);
+  for (size_t i = 0; i < t.size(); ++i) t[i] = rng->Normal(0, 1);
+  return t;
+}
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Tensor a = RandomTensor(n, n, &rng);
+  Tensor b = RandomTensor(n, n, &rng);
+  for (auto _ : state) {
+    Tensor c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_MatMulTransB(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Tensor a = RandomTensor(n, n, &rng);
+  Tensor b = RandomTensor(n, n, &rng);
+  for (auto _ : state) {
+    Tensor c = MatMulTransB(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_MatMulTransB)->Arg(16)->Arg(64);
+
+void BM_TapeForwardBackwardMlp(benchmark::State& state) {
+  // A small MLP-shaped graph: gather -> matmul -> relu -> matmul -> loss.
+  Rng rng(2);
+  ParameterStore store;
+  Parameter* emb = store.Create("emb", 256, 16, Init::kNormal01, &rng);
+  Parameter* w1 = store.Create("w1", 16, 16, Init::kXavierUniform, &rng);
+  Parameter* w2 = store.Create("w2", 16, 1, Init::kXavierUniform, &rng);
+  std::vector<size_t> ids = {3, 17, 99, 123, 200, 255, 0, 64};
+  for (auto _ : state) {
+    Tape tape;
+    Var x = tape.Gather(emb, ids);
+    Var h = tape.Relu(tape.MatMul(x, tape.Leaf(w1)));
+    Var out = tape.Mean(tape.MatMul(h, tape.Leaf(w2)));
+    tape.Backward(out);
+    store.ZeroGrads();
+    benchmark::DoNotOptimize(tape.value(out).item());
+  }
+}
+BENCHMARK(BM_TapeForwardBackwardMlp);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  Rng rng(3);
+  Tensor x = RandomTensor(64, static_cast<size_t>(state.range(0)), &rng);
+  for (auto _ : state) {
+    Tape tape;
+    Var v = tape.SoftmaxRows(tape.Constant(x));
+    benchmark::DoNotOptimize(tape.value(v).data());
+  }
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(4)->Arg(32);
+
+void BM_SegmentWeightedSum(benchmark::State& state) {
+  Rng rng(4);
+  const size_t n = 16, k = 6, d = 16;
+  Tensor w = RandomTensor(n, k, &rng);
+  Tensor v = RandomTensor(n * k, d, &rng);
+  for (auto _ : state) {
+    Tape tape;
+    Var out = tape.SegmentWeightedSumRows(tape.Constant(w), tape.Constant(v));
+    benchmark::DoNotOptimize(tape.value(out).data());
+  }
+}
+BENCHMARK(BM_SegmentWeightedSum);
+
+void BM_AdamStepDense(benchmark::State& state) {
+  Rng rng(5);
+  ParameterStore store;
+  Parameter* p = store.Create("p", 1024, 16, Init::kNormal01, &rng);
+  Adam adam(1e-3);
+  for (auto _ : state) {
+    p->grad.Fill(0.01);
+    p->dense_touched = true;
+    adam.Step(&store, 1e-5);
+  }
+}
+BENCHMARK(BM_AdamStepDense);
+
+void BM_AdamStepSparse(benchmark::State& state) {
+  Rng rng(6);
+  ParameterStore store;
+  Parameter* p = store.Create("p", 4096, 16, Init::kNormal01, &rng);
+  Adam adam(1e-3);
+  for (auto _ : state) {
+    for (size_t r : {7u, 99u, 1000u, 2048u}) {
+      for (size_t c = 0; c < 16; ++c) p->grad.at(r, c) = 0.01;
+      p->touched_rows.insert(r);
+    }
+    adam.Step(&store, 1e-5);
+  }
+}
+BENCHMARK(BM_AdamStepSparse);
+
+}  // namespace
+}  // namespace kgag
+
+BENCHMARK_MAIN();

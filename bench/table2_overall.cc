@@ -1,0 +1,183 @@
+// Regenerates Table II: overall comparison of CF+{LM,MP,AVG},
+// KGCN+{LM,MP,AVG}, MoSAN and KGAG on the three corpora, reporting rec@5
+// and hit@5. Paper values are printed alongside; absolute numbers differ
+// (synthetic substitution) but the shape — KGAG on top, LM the best static
+// strategy, Simi easier than Rand, Yelp easiest — is the target.
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "baselines/mosan.h"
+#include "baselines/trivial.h"
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "data/synthetic/standard_datasets.h"
+#include "eval/ranking_evaluator.h"
+#include "models/kgag_model.h"
+
+namespace kgag {
+namespace {
+
+struct PaperCell {
+  double rec, hit;
+};
+
+// Table II of the paper, row-major: Rand, Simi, Yelp per method.
+struct PaperRowEntry {
+  const char* method;
+  PaperCell rand, simi, yelp;
+};
+
+constexpr PaperRowEntry kPaper[] = {
+    {"CF+LM", {0.1440, 0.4901}, {0.1808, 0.6556}, {0.6954, 0.6954}},
+    {"CF+MP", {0.1331, 0.4437}, {0.1769, 0.6887}, {0.6821, 0.6821}},
+    {"CF+AVG", {0.1343, 0.4570}, {0.1775, 0.6556}, {0.6887, 0.6887}},
+    {"KGCN+LM", {0.1584, 0.4834}, {0.1699, 0.6159}, {0.7219, 0.7219}},
+    {"KGCN+MP", {0.1501, 0.4636}, {0.1658, 0.6026}, {0.7351, 0.7351}},
+    {"KGCN+AVG", {0.1532, 0.4834}, {0.1687, 0.5828}, {0.7152, 0.7152}},
+    {"MoSAN", {0.1482, 0.4967}, {0.1667, 0.6093}, {0.5960, 0.5960}},
+    {"KGAG", {0.1627, 0.5497}, {0.1913, 0.7417}, {0.7748, 0.7748}},
+};
+
+const PaperRowEntry* PaperRowFor(const std::string& method) {
+  for (const auto& row : kPaper) {
+    if (method == row.method) return &row;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<TrainableGroupRecommender> MakeModel(
+    const std::string& method, const GroupRecDataset* ds) {
+  auto agg_of = [](char c) {
+    switch (c) {
+      case 'L':
+        return ScoreAggregation::kLeastMisery;
+      case 'M':
+        return ScoreAggregation::kMaxPleasure;
+      default:
+        return ScoreAggregation::kAverage;
+    }
+  };
+  if (method.rfind("CF+", 0) == 0) {
+    return std::make_unique<MfGroupRecommender>(ds, bench::DefaultMfConfig(),
+                                                agg_of(method[3]));
+  }
+  if (method.rfind("KGCN+", 0) == 0) {
+    auto r = KgcnGroupRecommender::Create(ds, bench::DefaultKgcnConfig(),
+                                          agg_of(method[5]));
+    KGAG_CHECK(r.ok()) << r.status().ToString();
+    return std::move(*r);
+  }
+  if (method == "MoSAN") {
+    return std::make_unique<MosanGroupRecommender>(ds,
+                                                   bench::DefaultMfConfig());
+  }
+  KGAG_CHECK(method == "KGAG") << method;
+  auto r = KgagModel::Create(ds, bench::DefaultKgagConfig());
+  KGAG_CHECK(r.ok()) << r.status().ToString();
+  return std::move(*r);
+}
+
+void Run() {
+  const uint64_t seed = bench::WorldSeed();
+  const double scale = bench::DatasetScale();
+  std::printf(
+      "Table II — overall comparison (rec@5 / hit@5), scale=%.2f, "
+      "epochs=%d\n\n",
+      scale, bench::Epochs());
+
+  const std::vector<std::string> methods = {"CF+LM",   "CF+MP",  "CF+AVG",
+                                            "KGCN+LM", "KGCN+MP", "KGCN+AVG",
+                                            "MoSAN",   "KGAG"};
+  struct DatasetEntry {
+    const char* label;
+    GroupRecDataset ds;
+  };
+  DatasetEntry datasets[] = {
+      {"Rand", MakeMovieLensRandDataset(seed, scale)},
+      {"Simi", MakeMovieLensSimiDataset(seed, scale)},
+      {"Yelp", MakeYelpDataset(seed, scale)},
+  };
+
+  TablePrinter table({"Method", "Rand ours", "Rand paper", "Simi ours",
+                      "Simi paper", "Yelp ours", "Yelp paper"});
+  std::vector<std::vector<EvalResult>> results(
+      methods.size(), std::vector<EvalResult>(3));
+  for (size_t mi = 0; mi < methods.size(); ++mi) {
+    std::vector<std::string> row{methods[mi]};
+    const PaperRowEntry* paper = PaperRowFor(methods[mi]);
+    for (int di = 0; di < 3; ++di) {
+      Stopwatch sw;
+      auto model = MakeModel(methods[mi], &datasets[di].ds);
+      model->Fit();
+      RankingEvaluator eval(&datasets[di].ds, 5);
+      results[mi][di] = eval.EvaluateTest(model.get());
+      std::fprintf(stderr, "  [%s on %s: rec@5=%.4f hit@5=%.4f, %.0fs]\n",
+                   methods[mi].c_str(), datasets[di].label,
+                   results[mi][di].recall_at_k, results[mi][di].hit_at_k,
+                   sw.ElapsedSeconds());
+      row.push_back(bench::Cell(results[mi][di].recall_at_k,
+                                results[mi][di].hit_at_k));
+      const PaperCell& pc = di == 0 ? paper->rand
+                            : di == 1 ? paper->simi
+                                      : paper->yelp;
+      row.insert(row.begin() + 2 * di + 2, bench::Cell(pc.rec, pc.hit));
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+
+  // Shape checks against the paper's observations (§IV-E).
+  auto hit = [&](const char* method, int di) {
+    for (size_t mi = 0; mi < methods.size(); ++mi) {
+      if (methods[mi] == method) return results[mi][di].hit_at_k;
+    }
+    return 0.0;
+  };
+  auto best_baseline_hit = [&](int di) {
+    double best = 0;
+    for (size_t mi = 0; mi + 1 < methods.size(); ++mi) {
+      best = std::max(best, results[mi][di].hit_at_k);
+    }
+    return best;
+  };
+  std::printf("\nShape checks:\n");
+  for (int di = 0; di < 3; ++di) {
+    const double kgag = hit("KGAG", di);
+    const double best = best_baseline_hit(di);
+    std::printf("  KGAG best on %s: %.4f vs best baseline %.4f -> %s\n",
+                datasets[di].label, kgag, best,
+                kgag >= best ? "OK" : "MISMATCH");
+  }
+  std::printf("  Models better on Simi than Rand (KGAG): %.4f > %.4f -> %s\n",
+              hit("KGAG", 1), hit("KGAG", 0),
+              hit("KGAG", 1) > hit("KGAG", 0) ? "OK" : "MISMATCH");
+  std::printf("  Yelp best overall (KGAG): %.4f vs Simi %.4f -> %s\n",
+              hit("KGAG", 2), hit("KGAG", 1),
+              hit("KGAG", 2) > hit("KGAG", 1) ? "OK" : "MISMATCH");
+  std::printf("  LM best static strategy on Rand (CF): %s\n",
+              hit("CF+LM", 0) >= hit("CF+MP", 0) &&
+                      hit("CF+LM", 0) >= hit("CF+AVG", 0)
+                  ? "OK"
+                  : "MISMATCH");
+  if (hit("KGAG", 0) < best_baseline_hit(0) ||
+      hit("KGAG", 1) < best_baseline_hit(1)) {
+    std::printf(
+        "\n  Note: on the synthetic MovieLens substitutes, baselines trained\n"
+        "  with the same combined loss + validation selection close most of\n"
+        "  the paper's margin; KGAG is competitive there and clearly ahead\n"
+        "  in the KG-dependent Yelp regime. See EXPERIMENTS.md for the\n"
+        "  analysis of this deviation.\n");
+  }
+}
+
+}  // namespace
+}  // namespace kgag
+
+int main() {
+  kgag::Stopwatch sw;
+  kgag::Run();
+  std::printf("\n[table2_overall completed in %.1fs]\n", sw.ElapsedSeconds());
+  return 0;
+}

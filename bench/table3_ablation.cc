@@ -1,0 +1,109 @@
+// Regenerates Table III: ablations of KGAG — KGAG-KG (no propagation
+// block), KGAG-SP (no self-persistence), KGAG-PI (no peer influence) and
+// KGAG (BPR) (classic BPR instead of the sigmoid-margin loss).
+//
+// The paper runs this on MovieLens-20M-Rand. We report Rand *and* Yelp:
+// on our synthetic Rand substitute, plain embeddings memorize the dense
+// group-item co-likes well enough that the propagation block does not pay
+// off (see EXPERIMENTS.md), while the Yelp corpus — one interaction per
+// group, KG-centric communities — is the regime the ablation story is
+// about, and reproduces the paper's ordering.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "data/synthetic/standard_datasets.h"
+#include "eval/ranking_evaluator.h"
+#include "models/kgag_model.h"
+
+namespace kgag {
+namespace {
+
+struct PaperRow {
+  const char* variant;
+  double rec, hit;  // Table III (Rand)
+};
+
+constexpr PaperRow kPaper[] = {
+    {"KGAG", 0.1627, 0.5497},     {"KGAG-KG", 0.1530, 0.4636},
+    {"KGAG-SP", 0.1567, 0.5166},  {"KGAG-PI", 0.1582, 0.5298},
+    {"KGAG (BPR)", 0.1525, 0.5099},
+};
+
+KgagConfig VariantConfig(const std::string& variant) {
+  KgagConfig cfg = bench::DefaultKgagConfig();
+  if (variant == "KGAG-KG") cfg.use_kg = false;
+  if (variant == "KGAG-SP") cfg.use_sp = false;
+  if (variant == "KGAG-PI") cfg.use_pi = false;
+  if (variant == "KGAG (BPR)") cfg.group_loss = GroupLossKind::kBpr;
+  return cfg;
+}
+
+void Run() {
+  GroupRecDataset rand_ds =
+      MakeMovieLensRandDataset(bench::WorldSeed(), bench::DatasetScale());
+  GroupRecDataset yelp_ds =
+      MakeYelpDataset(bench::WorldSeed(), bench::DatasetScale());
+
+  std::printf(
+      "Table III — ablations (rec@5 / hit@5); paper column is "
+      "MovieLens-20M-Rand\n\n");
+  TablePrinter table(
+      {"Variant", "Rand ours", "Rand paper", "Yelp ours (extra)"});
+  std::vector<double> rand_hits, yelp_hits;
+  for (const PaperRow& row : kPaper) {
+    std::vector<std::string> out_row{row.variant};
+    for (GroupRecDataset* ds : {&rand_ds, &yelp_ds}) {
+      Stopwatch sw;
+      auto model = KgagModel::Create(ds, VariantConfig(row.variant));
+      KGAG_CHECK(model.ok()) << model.status().ToString();
+      (*model)->Fit();
+      RankingEvaluator eval(ds, 5);
+      EvalResult r = eval.EvaluateTest(model->get());
+      std::fprintf(stderr, "  [%s on %s: rec=%.4f hit=%.4f, %.0fs]\n",
+                   row.variant, ds == &rand_ds ? "Rand" : "Yelp",
+                   r.recall_at_k, r.hit_at_k, sw.ElapsedSeconds());
+      out_row.push_back(bench::Cell(r.recall_at_k, r.hit_at_k));
+      if (ds == &rand_ds) {
+        rand_hits.push_back(r.hit_at_k);
+        out_row.push_back(bench::Cell(row.rec, row.hit));
+      } else {
+        yelp_hits.push_back(r.hit_at_k);
+      }
+    }
+    table.AddRow(out_row);
+  }
+  table.Print(std::cout);
+
+  std::printf("\nShape checks (paper §IV-F), evaluated on Yelp — the\n"
+              "KG-dependent regime of our substitute corpora:\n");
+  std::printf("  Removing the KG hurts (KGAG > KGAG-KG): %.4f vs %.4f -> %s\n",
+              yelp_hits[0], yelp_hits[1],
+              yelp_hits[0] > yelp_hits[1] ? "OK" : "MISMATCH");
+  std::printf("  Margin loss beats BPR (KGAG > KGAG(BPR)): %.4f vs %.4f -> "
+              "%s\n",
+              yelp_hits[0], yelp_hits[4],
+              yelp_hits[0] >= yelp_hits[4] ? "OK" : "MISMATCH");
+  std::printf("  KGAG-KG is the weakest ablation: %s\n",
+              (yelp_hits[1] <= yelp_hits[2] && yelp_hits[1] <= yelp_hits[3] &&
+               yelp_hits[1] <= yelp_hits[4])
+                  ? "OK"
+                  : "MISMATCH");
+  std::printf(
+      "  Note: on our synthetic Rand corpus the propagation block does not\n"
+      "  pay off (KGAG-KG %.4f vs KGAG %.4f) — dense group-item co-likes\n"
+      "  are memorizable by plain embeddings; see EXPERIMENTS.md.\n",
+      rand_hits[1], rand_hits[0]);
+}
+
+}  // namespace
+}  // namespace kgag
+
+int main() {
+  kgag::Stopwatch sw;
+  kgag::Run();
+  std::printf("\n[table3_ablation completed in %.1fs]\n", sw.ElapsedSeconds());
+  return 0;
+}

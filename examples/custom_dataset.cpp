@@ -1,0 +1,111 @@
+// Building a GroupRecDataset by hand: the integration path a downstream
+// user takes when they have their own interaction logs and knowledge
+// graph. Everything is tiny and hand-written so the structure is obvious.
+//
+//   ./build/examples/custom_dataset
+#include <cstdio>
+
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "models/kgag_model.h"
+
+int main() {
+  using namespace kgag;
+
+  // A miniature movie world: 4 movies, 2 directors, 2 genres.
+  // Entity ids: movies 0..3, director "hitchcock"=4, "kubrick"=5,
+  // genre "thriller"=6, "scifi"=7.
+  enum : EntityId {
+    kPsycho = 0,
+    kRearWindow = 1,
+    kSpaceOdyssey = 2,
+    kShining = 3,
+    kHitchcock = 4,
+    kKubrick = 5,
+    kThriller = 6,
+    kScifi = 7,
+  };
+  enum : RelationId { kDirectedBy = 0, kHasGenre = 1 };
+
+  GroupRecDataset ds;
+  ds.name = "hand-built";
+  ds.num_users = 6;
+  ds.num_items = 4;
+  ds.num_entities = 8;
+  ds.num_relations = 2;
+  ds.relation_names = {"directed_by", "has_genre"};
+  ds.kg_triples = {
+      {kPsycho, kDirectedBy, kHitchcock},
+      {kRearWindow, kDirectedBy, kHitchcock},
+      {kSpaceOdyssey, kDirectedBy, kKubrick},
+      {kShining, kDirectedBy, kKubrick},
+      {kPsycho, kHasGenre, kThriller},
+      {kRearWindow, kHasGenre, kThriller},
+      {kShining, kHasGenre, kThriller},
+      {kSpaceOdyssey, kHasGenre, kScifi},
+  };
+  ds.item_to_entity = {kPsycho, kRearWindow, kSpaceOdyssey, kShining};
+
+  // Implicit feedback: users 0-2 are Hitchcock fans, 3-5 Kubrick fans.
+  ds.user_item = InteractionMatrix::FromPairs(
+      ds.num_users, ds.num_items,
+      {{0, kPsycho}, {1, kPsycho}, {1, kRearWindow}, {2, kRearWindow},
+       {3, kSpaceOdyssey}, {4, kShining}, {4, kSpaceOdyssey}, {5, kShining}});
+
+  // Two groups: a Hitchcock trio and a Kubrick trio.
+  ds.groups = GroupTable({{0, 1, 2}, {3, 4, 5}});
+  ds.group_size = 3;
+  ds.group_item = InteractionMatrix::FromPairs(
+      2, ds.num_items,
+      {{0, kPsycho}, {0, kRearWindow}, {1, kSpaceOdyssey}, {1, kShining}});
+
+  // Train on one observed choice per group; hold the other out.
+  ds.split.train = {{0, kPsycho}, {1, kSpaceOdyssey}};
+  ds.split.test = {{0, kRearWindow}, {1, kShining}};
+
+  Status st = ds.Validate();
+  if (!st.ok()) {
+    std::printf("invalid dataset: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  KgagConfig config;
+  config.propagation.dim = 8;
+  config.propagation.sample_size = 3;
+  config.propagation.final_tanh = false;
+  config.epochs = 30;
+  config.batch_size = 2;
+  config.select_by_validation = false;  // no validation split here
+  auto model = KgagModel::Create(&ds, config);
+  if (!model.ok()) {
+    std::printf("model error: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  (*model)->Fit();
+
+  const char* movie_names[4] = {"Psycho", "Rear Window", "2001",
+                                "The Shining"};
+  const std::vector<ItemId> all_items = {0, 1, 2, 3};
+  for (GroupId g = 0; g < 2; ++g) {
+    std::vector<double> scores = (*model)->ScoreGroup(g, all_items);
+    std::printf("group %d ranking:", g);
+    for (size_t idx : TopKIndices(scores, 4)) {
+      std::printf("  %s(%.2f)", movie_names[idx], scores[idx]);
+    }
+    std::printf("\n");
+  }
+
+  // The held-out movies share a director with each group's training
+  // choice; the KG connectivity should push them to the top.
+  std::vector<double> g0 = (*model)->ScoreGroup(0, all_items);
+  std::vector<double> g1 = (*model)->ScoreGroup(1, all_items);
+  const bool ok = TopKIndices(g0, 2)[0] == kRearWindow ||
+                  TopKIndices(g0, 2)[1] == kRearWindow;
+  const bool ok2 = TopKIndices(g1, 2)[0] == kShining ||
+                   TopKIndices(g1, 2)[1] == kShining;
+  std::printf(
+      "\nheld-out movies in each group's top-2 (KG generalization): "
+      "%s / %s\n",
+      ok ? "yes" : "no", ok2 ? "yes" : "no");
+  return 0;
+}

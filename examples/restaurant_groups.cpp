@@ -1,0 +1,91 @@
+// Restaurant groups: the Yelp-style scenario — friend triangles choosing a
+// business for a joint visit. Demonstrates the extreme group-interaction
+// sparsity regime (one interaction per group) where the knowledge graph's
+// side information carries most of the signal, and inspects whether the
+// recommendations respect the locality structure (members' home city).
+//
+//   ./build/examples/restaurant_groups
+#include <cstdio>
+#include <map>
+
+#include "data/synthetic/standard_datasets.h"
+#include "data/synthetic/yelp_gen.h"
+#include "eval/metrics.h"
+#include "eval/ranking_evaluator.h"
+#include "models/kgag_model.h"
+
+int main() {
+  using namespace kgag;
+
+  // Generate the Yelp world directly so we can inspect the diagnostics
+  // (community / city assignments) next to the model outputs.
+  Rng rng(31);
+  YelpConfig yelp_config = ScaledYelpConfig(/*scale=*/0.4);
+  YelpWorld world = GenerateYelpWorld(yelp_config, &rng);
+
+  GroupRecDataset dataset = MakeYelpDataset(/*seed=*/31, /*scale=*/0.4);
+  std::printf(
+      "yelp corpus: %d users in %d-ish communities, %d businesses, %d "
+      "friend-triangle groups (%.2f interactions/group)\n\n",
+      dataset.num_users, yelp_config.num_communities, dataset.num_items,
+      dataset.groups.num_groups(), dataset.group_item.MeanRowDegree());
+
+  KgagConfig config;
+  config.propagation.sample_size = 6;
+  config.propagation.final_tanh = false;
+  config.epochs = 10;
+  auto model = KgagModel::Create(&dataset, config);
+  if (!model.ok()) {
+    std::printf("model error: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  (*model)->Fit();
+
+  // Walk a few test groups: recommend, then check the locality structure.
+  const std::vector<ItemId> pool = dataset.TestItemPool();
+  RankingEvaluator eval(&dataset, 5);
+  std::printf("sample recommendations (+ = held-out true choice):\n");
+  int shown = 0;
+  int home_city_hits = 0, home_city_total = 0;
+  for (const Interaction& held_out : dataset.split.test) {
+    if (shown >= 5) break;
+    ++shown;
+    const GroupId g = held_out.row;
+    std::vector<double> scores = (*model)->ScoreGroup(g, pool);
+    std::vector<size_t> top = TopKIndices(scores, 5);
+
+    const auto members = dataset.groups.MembersOf(g);
+    std::printf("  group g%-4d members:", g);
+    for (UserId u : members) {
+      std::printf(" u%d(c%d)", u, world.user_community[u]);
+    }
+    std::printf("\n    picks:");
+    for (size_t idx : top) {
+      const ItemId b = pool[idx];
+      std::printf(" b%d[city %d]%s", b, world.business_city[b],
+                  b == held_out.item ? "+" : "");
+      ++home_city_total;
+      // A pick "respects locality" when it is in the city the group's
+      // held-out choice was in (the group's actual stomping ground).
+      if (world.business_city[b] == world.business_city[held_out.item]) {
+        ++home_city_hits;
+      }
+    }
+    std::printf("   (true: b%d[city %d])\n", held_out.item,
+                world.business_city[held_out.item]);
+  }
+  if (home_city_total > 0) {
+    std::printf(
+        "\nlocality: %.0f%% of top-5 picks in the group's home city "
+        "(random would be ~%.0f%%)\n",
+        100.0 * home_city_hits / home_city_total,
+        100.0 / yelp_config.num_cities);
+  }
+
+  EvalResult result = eval.EvaluateTest(model->get());
+  std::printf("\ntest metrics: %s\n", result.ToString().c_str());
+  std::printf(
+      "note: with exactly one positive per group, rec@5 == hit@5 — the "
+      "Yelp column of the paper's Table II shows the same identity.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Predefined score-aggregation strategies used by the memory-based
+// baselines of Table II: average satisfaction (AVG), least misery (LM) and
+// maximum pleasure (MP) over member prediction scores.
+#ifndef KGAG_BASELINES_AGGREGATION_H_
+#define KGAG_BASELINES_AGGREGATION_H_
+
+#include <algorithm>
+#include <numeric>
+#include <span>
+#include <string>
+
+#include "common/check.h"
+#include "tensor/tape.h"
+
+namespace kgag {
+
+/// \brief The three classic aggregation strategies.
+enum class ScoreAggregation {
+  kAverage,      ///< mean member score (average satisfaction [4])
+  kLeastMisery,  ///< min member score (least misery [5])
+  kMaxPleasure,  ///< max member score (maximum pleasure [4])
+};
+
+inline const char* AggregationName(ScoreAggregation agg) {
+  switch (agg) {
+    case ScoreAggregation::kAverage:
+      return "AVG";
+    case ScoreAggregation::kLeastMisery:
+      return "LM";
+    case ScoreAggregation::kMaxPleasure:
+      return "MP";
+  }
+  return "?";
+}
+
+/// Aggregates member scores into a group score.
+inline double AggregateScores(std::span<const double> scores,
+                              ScoreAggregation agg) {
+  KGAG_CHECK(!scores.empty());
+  switch (agg) {
+    case ScoreAggregation::kAverage:
+      return std::accumulate(scores.begin(), scores.end(), 0.0) /
+             static_cast<double>(scores.size());
+    case ScoreAggregation::kLeastMisery:
+      return *std::min_element(scores.begin(), scores.end());
+    case ScoreAggregation::kMaxPleasure:
+      return *std::max_element(scores.begin(), scores.end());
+  }
+  return 0.0;
+}
+
+/// Differentiable aggregation of an (L x 1) member-score node. Min/max
+/// route the gradient to the arg extremum (subgradient).
+inline Var AggregateScoresOnTape(Tape* tape, Var member_scores,
+                                 ScoreAggregation agg) {
+  switch (agg) {
+    case ScoreAggregation::kAverage:
+      return tape->Mean(member_scores);
+    case ScoreAggregation::kLeastMisery:
+      return tape->MinAll(member_scores);
+    case ScoreAggregation::kMaxPleasure:
+      return tape->MaxAll(member_scores);
+  }
+  return tape->Mean(member_scores);
+}
+
+}  // namespace kgag
+
+#endif  // KGAG_BASELINES_AGGREGATION_H_

@@ -1,0 +1,132 @@
+#include "baselines/mf.h"
+
+#include "common/logging.h"
+#include "models/losses.h"
+#include "models/validation.h"
+
+namespace kgag {
+
+MfGroupRecommender::MfGroupRecommender(const GroupRecDataset* dataset,
+                                       MfConfig config,
+                                       ScoreAggregation aggregation)
+    : dataset_(dataset),
+      config_(config),
+      aggregation_(aggregation),
+      init_rng_(config.seed),
+      batcher_(dataset,
+               Batcher::Options{config.batch_size, config.user_ratio,
+                                config.pairs_per_epoch}),
+      train_rng_(config.seed + 1) {
+  KGAG_CHECK(dataset != nullptr);
+  user_table_ = store_.Create("mf.users", dataset->num_users, config_.dim,
+                              Init::kNormal01, &init_rng_);
+  item_table_ = store_.Create("mf.items", dataset->num_items, config_.dim,
+                              Init::kNormal01, &init_rng_);
+  optimizer_ = std::make_unique<Adam>(config_.learning_rate);
+}
+
+std::string MfGroupRecommender::name() const {
+  return std::string("CF+") + AggregationName(aggregation_);
+}
+
+double MfGroupRecommender::Score(UserId u, ItemId v) const {
+  Scalar s = 0;
+  for (int c = 0; c < config_.dim; ++c) {
+    s += user_table_->value.at(static_cast<size_t>(u),
+                               static_cast<size_t>(c)) *
+         item_table_->value.at(static_cast<size_t>(v),
+                               static_cast<size_t>(c));
+  }
+  return s;
+}
+
+double MfGroupRecommender::TrainEpoch(Rng* rng) {
+  batcher_.BeginEpoch(rng);
+  MiniBatch batch;
+  double total = 0.0;
+  size_t num_batches = 0;
+  Tape tape;
+  while (batcher_.NextBatch(rng, &batch)) {
+    double batch_loss = 0.0;
+    const double group_scale =
+        batch.group_triplets.empty()
+            ? 0.0
+            : config_.beta / static_cast<double>(batch.group_triplets.size());
+    const double user_scale =
+        batch.user_instances.empty()
+            ? 0.0
+            : (1.0 - config_.beta) /
+                  static_cast<double>(batch.user_instances.size());
+
+    for (const GroupTriplet& t : batch.group_triplets) {
+      tape.Clear();
+      const auto members = dataset_->groups.MembersOf(t.group);
+      std::vector<size_t> member_ids(members.begin(), members.end());
+      Var users = tape.Gather(user_table_, member_ids);  // (L x d)
+      auto score_for = [&](ItemId v) {
+        Var item = tape.Gather(item_table_, {static_cast<size_t>(v)});
+        Var member_scores =
+            tape.RowDot(users, tape.RepeatRows(item, member_ids.size()));
+        return AggregateScoresOnTape(&tape, member_scores, aggregation_);
+      };
+      Var pos = score_for(t.positive);
+      Var neg = score_for(t.negative);
+      Var loss = config_.group_loss == GroupLossKind::kMargin
+                     ? MarginPairLoss(&tape, pos, neg, config_.margin)
+                     : BprPairLoss(&tape, pos, neg);
+      Var scaled = tape.ScalarMul(loss, group_scale);
+      tape.Backward(scaled);
+      batch_loss += tape.value(scaled).item();
+    }
+    for (const UserInstance& ui : batch.user_instances) {
+      tape.Clear();
+      Var u = tape.Gather(user_table_, {static_cast<size_t>(ui.user)});
+      Var v = tape.Gather(item_table_, {static_cast<size_t>(ui.item)});
+      Var logit = tape.DotAll(u, v);
+      Var scaled =
+          tape.ScalarMul(LogisticLoss(&tape, logit, ui.label), user_scale);
+      tape.Backward(scaled);
+      batch_loss += tape.value(scaled).item();
+    }
+    optimizer_->Step(&store_, config_.l2);
+    total += batch_loss;
+    ++num_batches;
+  }
+  return num_batches == 0 ? 0.0 : total / num_batches;
+}
+
+void MfGroupRecommender::Fit() {
+  ValidationSelector selector(dataset_, &store_);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const double loss = TrainEpoch(&train_rng_);
+    epoch_losses_.push_back(loss);
+    if (config_.select_by_validation) selector.Observe(this);
+    if (config_.verbose) {
+      KGAG_LOG(Info) << name() << " epoch " << epoch + 1 << " loss=" << loss;
+    }
+  }
+  if (config_.select_by_validation) selector.RestoreBest();
+}
+
+std::vector<double> MfGroupRecommender::ScoreGroup(
+    GroupId g, std::span<const ItemId> items) {
+  const auto members = dataset_->groups.MembersOf(g);
+  std::vector<double> out(items.size());
+  std::vector<double> member_scores(members.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    for (size_t m = 0; m < members.size(); ++m) {
+      member_scores[m] = Score(members[m], items[i]);
+    }
+    out[i] = AggregateScores(member_scores, aggregation_);
+  }
+  return out;
+}
+
+std::vector<double> MfGroupRecommender::ScoreUser(
+    UserId u, std::span<const ItemId> items) {
+  std::vector<double> out(items.size());
+  for (size_t i = 0; i < items.size(); ++i) out[i] = Score(u, items[i]);
+  return out;
+}
+
+}  // namespace kgag

@@ -1,0 +1,76 @@
+// CF baseline: matrix factorization [35] combined with a predefined score
+// aggregation strategy (CF+AVG / CF+LM / CF+MP of Table II). Trained, like
+// every method compared in the paper, on both interaction kinds with the
+// combined loss of Eq. 20 — the group ranking term uses the aggregated
+// member score.
+#ifndef KGAG_BASELINES_MF_H_
+#define KGAG_BASELINES_MF_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/aggregation.h"
+#include "data/batcher.h"
+#include "data/dataset.h"
+#include "models/config.h"
+#include "models/recommender.h"
+#include "tensor/optimizer.h"
+
+namespace kgag {
+
+/// \brief Configuration shared by the embedding-only baselines.
+struct MfConfig {
+  int dim = 16;
+  double learning_rate = 5e-3;
+  double l2 = 1e-5;
+  double beta = 0.7;    ///< group-loss weight (Eq. 20)
+  double margin = 0.4;  ///< margin M of the pairwise loss
+  GroupLossKind group_loss = GroupLossKind::kMargin;
+  int epochs = 10;
+  size_t batch_size = 32;
+  /// Group-item pairs per epoch (0 = the full training split).
+  size_t pairs_per_epoch = 0;
+  double user_ratio = 1.0;
+  /// Keep the weights of the epoch with the best validation hit@5.
+  bool select_by_validation = true;
+  uint64_t seed = 42;
+  bool verbose = false;
+};
+
+/// \brief MF + static score aggregation for group recommendation.
+class MfGroupRecommender : public TrainableGroupRecommender,
+                           public IndividualScorer {
+ public:
+  MfGroupRecommender(const GroupRecDataset* dataset, MfConfig config,
+                     ScoreAggregation aggregation);
+
+  void Fit() override;
+  std::vector<double> ScoreGroup(GroupId g,
+                                 std::span<const ItemId> items) override;
+  std::vector<double> ScoreUser(UserId u,
+                                std::span<const ItemId> items) override;
+  std::string name() const override;
+
+  double TrainEpoch(Rng* rng);
+  const std::vector<double>& epoch_losses() const { return epoch_losses_; }
+  ParameterStore* params() { return &store_; }
+
+ private:
+  double Score(UserId u, ItemId v) const;
+
+  const GroupRecDataset* dataset_;
+  MfConfig config_;
+  ScoreAggregation aggregation_;
+  Rng init_rng_;
+  ParameterStore store_;
+  Parameter* user_table_;
+  Parameter* item_table_;
+  std::unique_ptr<Optimizer> optimizer_;
+  Batcher batcher_;
+  Rng train_rng_;
+  std::vector<double> epoch_losses_;
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_BASELINES_MF_H_

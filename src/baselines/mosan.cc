@@ -1,0 +1,207 @@
+#include "baselines/mosan.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "models/losses.h"
+#include "models/validation.h"
+
+namespace kgag {
+
+MosanGroupRecommender::MosanGroupRecommender(const GroupRecDataset* dataset,
+                                             MfConfig config)
+    : dataset_(dataset),
+      config_(config),
+      init_rng_(config.seed),
+      batcher_(dataset,
+               Batcher::Options{config.batch_size, config.user_ratio,
+                                config.pairs_per_epoch}),
+      train_rng_(config.seed + 1) {
+  KGAG_CHECK(dataset != nullptr);
+  const int d = config_.dim;
+  target_table_ = store_.Create("mosan.target", dataset->num_users, d,
+                                Init::kNormal01, &init_rng_);
+  context_table_ = store_.Create("mosan.context", dataset->num_users, d,
+                                 Init::kNormal01, &init_rng_);
+  item_table_ = store_.Create("mosan.items", dataset->num_items, d,
+                              Init::kNormal01, &init_rng_);
+  w_member_ = store_.Create("mosan.Wm", 2 * d, d, Init::kXavierUniform,
+                            &init_rng_);
+  b_member_ = store_.CreateZeros("mosan.bm", 1, d);
+  w_att_ = store_.Create("mosan.watt", d, 1, Init::kXavierUniform,
+                         &init_rng_);
+  optimizer_ = std::make_unique<Adam>(config_.learning_rate);
+}
+
+Var MosanGroupRecommender::GroupRepOnTape(Tape* tape, GroupId g) {
+  const auto members = dataset_->groups.MembersOf(g);
+  const size_t l = members.size();
+  std::vector<size_t> ids(members.begin(), members.end());
+  Var targets = tape->Gather(target_table_, ids);   // (L x d)
+  Var contexts = tape->Gather(context_table_, ids); // (L x d)
+  Var wm = tape->Leaf(w_member_);
+  Var bm = tape->Leaf(b_member_);
+  Var watt = tape->Leaf(w_att_);
+
+  std::vector<Var> member_vecs;
+  member_vecs.reserve(l);
+  for (size_t i = 0; i < l; ++i) {
+    Var t_i = tape->SliceRow(targets, i);
+    Var ctx;
+    if (l > 1) {
+      // Sub-attention of member i over peers: γ_ij = softmax_j(t_i · c_j).
+      std::vector<Var> peer_rows;
+      peer_rows.reserve(l - 1);
+      for (size_t j = 0; j < l; ++j) {
+        if (j != i) peer_rows.push_back(tape->SliceRow(contexts, j));
+      }
+      Var peers = tape->ConcatRows(peer_rows);  // (L-1 x d)
+      Var scores = tape->RowDot(peers, tape->RepeatRows(t_i, l - 1));
+      Var gamma = tape->SoftmaxRows(tape->Reshape(scores, 1, l - 1));
+      ctx = tape->MatMul(gamma, peers);  // (1 x d)
+    } else {
+      ctx = tape->SliceRow(contexts, 0);
+    }
+    Var pre = tape->MatMul(tape->ConcatCols({t_i, ctx}), wm);
+    member_vecs.push_back(tape->Relu(tape->AddRowBroadcast(pre, bm)));
+  }
+  Var m = tape->ConcatRows(member_vecs);  // (L x d)
+  // Member-level attention a_i = softmax(w_att · m_i).
+  Var a = tape->SoftmaxRows(tape->Reshape(tape->MatMul(m, watt), 1, l));
+  return tape->MatMul(a, m);  // (1 x d)
+}
+
+Tensor MosanGroupRecommender::GroupRep(GroupId g) const {
+  const auto members = dataset_->groups.MembersOf(g);
+  const size_t l = members.size();
+  const size_t d = static_cast<size_t>(config_.dim);
+
+  Tensor m(l, d);
+  for (size_t i = 0; i < l; ++i) {
+    Tensor t_i = target_table_->value.RowAt(static_cast<size_t>(members[i]));
+    Tensor ctx(1, d);
+    if (l > 1) {
+      std::vector<double> scores;
+      scores.reserve(l - 1);
+      double mx = -1e300;
+      std::vector<Tensor> peers;
+      for (size_t j = 0; j < l; ++j) {
+        if (j == i) continue;
+        peers.push_back(
+            context_table_->value.RowAt(static_cast<size_t>(members[j])));
+        scores.push_back(Dot(t_i, peers.back()));
+        mx = std::max(mx, scores.back());
+      }
+      double sum = 0;
+      for (double& s : scores) {
+        s = std::exp(s - mx);
+        sum += s;
+      }
+      for (size_t j = 0; j < peers.size(); ++j) {
+        ctx.Axpy(scores[j] / sum, peers[j]);
+      }
+    } else {
+      ctx = context_table_->value.RowAt(static_cast<size_t>(members[0]));
+    }
+    Tensor cat(1, 2 * d);
+    for (size_t c = 0; c < d; ++c) {
+      cat.at(0, c) = t_i.at(0, c);
+      cat.at(0, d + c) = ctx.at(0, c);
+    }
+    Tensor vec = MatMul(cat, w_member_->value);
+    vec.Add(b_member_->value);
+    vec.Apply([](Scalar x) { return x > 0 ? x : 0.0; });
+    m.SetRow(i, vec);
+  }
+  // Member attention.
+  Tensor raw = MatMul(m, w_att_->value);  // (L x 1)
+  double mx = raw.at(0, 0);
+  for (size_t i = 1; i < l; ++i) mx = std::max(mx, raw.at(i, 0));
+  double sum = 0;
+  for (size_t i = 0; i < l; ++i) {
+    raw.at(i, 0) = std::exp(raw.at(i, 0) - mx);
+    sum += raw.at(i, 0);
+  }
+  Tensor g_rep(1, d);
+  for (size_t i = 0; i < l; ++i) {
+    g_rep.Axpy(raw.at(i, 0) / sum, m.RowAt(i));
+  }
+  return g_rep;
+}
+
+double MosanGroupRecommender::TrainEpoch(Rng* rng) {
+  batcher_.BeginEpoch(rng);
+  MiniBatch batch;
+  double total = 0.0;
+  size_t num_batches = 0;
+  Tape tape;
+  while (batcher_.NextBatch(rng, &batch)) {
+    double batch_loss = 0.0;
+    const double group_scale =
+        batch.group_triplets.empty()
+            ? 0.0
+            : config_.beta / static_cast<double>(batch.group_triplets.size());
+    const double user_scale =
+        batch.user_instances.empty()
+            ? 0.0
+            : (1.0 - config_.beta) /
+                  static_cast<double>(batch.user_instances.size());
+
+    for (const GroupTriplet& t : batch.group_triplets) {
+      tape.Clear();
+      Var g_rep = GroupRepOnTape(&tape, t.group);
+      Var q_pos =
+          tape.Gather(item_table_, {static_cast<size_t>(t.positive)});
+      Var q_neg =
+          tape.Gather(item_table_, {static_cast<size_t>(t.negative)});
+      Var pos = tape.DotAll(g_rep, q_pos);
+      Var neg = tape.DotAll(g_rep, q_neg);
+      Var loss = config_.group_loss == GroupLossKind::kMargin
+                     ? MarginPairLoss(&tape, pos, neg, config_.margin)
+                     : BprPairLoss(&tape, pos, neg);
+      Var scaled = tape.ScalarMul(loss, group_scale);
+      tape.Backward(scaled);
+      batch_loss += tape.value(scaled).item();
+    }
+    for (const UserInstance& ui : batch.user_instances) {
+      tape.Clear();
+      Var u = tape.Gather(target_table_, {static_cast<size_t>(ui.user)});
+      Var v = tape.Gather(item_table_, {static_cast<size_t>(ui.item)});
+      Var logit = tape.DotAll(u, v);
+      Var scaled =
+          tape.ScalarMul(LogisticLoss(&tape, logit, ui.label), user_scale);
+      tape.Backward(scaled);
+      batch_loss += tape.value(scaled).item();
+    }
+    optimizer_->Step(&store_, config_.l2);
+    total += batch_loss;
+    ++num_batches;
+  }
+  return num_batches == 0 ? 0.0 : total / num_batches;
+}
+
+void MosanGroupRecommender::Fit() {
+  ValidationSelector selector(dataset_, &store_);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const double loss = TrainEpoch(&train_rng_);
+    epoch_losses_.push_back(loss);
+    if (config_.select_by_validation) selector.Observe(this);
+    if (config_.verbose) {
+      KGAG_LOG(Info) << name() << " epoch " << epoch + 1 << " loss=" << loss;
+    }
+  }
+  if (config_.select_by_validation) selector.RestoreBest();
+}
+
+std::vector<double> MosanGroupRecommender::ScoreGroup(
+    GroupId g, std::span<const ItemId> items) {
+  const Tensor g_rep = GroupRep(g);
+  std::vector<double> out(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    out[i] =
+        Dot(g_rep, item_table_->value.RowAt(static_cast<size_t>(items[i])));
+  }
+  return out;
+}
+
+}  // namespace kgag

@@ -1,0 +1,59 @@
+// MoSAN baseline [16]: medley of sub-attention networks. Each member runs
+// a sub-attention over their peers to build a context vector; member
+// vectors are combined by a second attention into the group preference.
+// Notably the group representation does NOT depend on the candidate item —
+// the limitation the paper's PI/SP design addresses — so MoSAN is expected
+// to trail KGAG. Trained with the same combined loss (Eq. 20).
+#ifndef KGAG_BASELINES_MOSAN_H_
+#define KGAG_BASELINES_MOSAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/batcher.h"
+#include "data/dataset.h"
+#include "baselines/mf.h"
+#include "models/recommender.h"
+#include "tensor/optimizer.h"
+
+namespace kgag {
+
+/// \brief MoSAN group recommender.
+class MosanGroupRecommender : public TrainableGroupRecommender {
+ public:
+  MosanGroupRecommender(const GroupRecDataset* dataset, MfConfig config);
+
+  void Fit() override;
+  std::vector<double> ScoreGroup(GroupId g,
+                                 std::span<const ItemId> items) override;
+  std::string name() const override { return "MoSAN"; }
+
+  double TrainEpoch(Rng* rng);
+  const std::vector<double>& epoch_losses() const { return epoch_losses_; }
+
+ private:
+  /// Differentiable group representation (1 x d).
+  Var GroupRepOnTape(Tape* tape, GroupId g);
+
+  /// Inference-path group representation.
+  Tensor GroupRep(GroupId g) const;
+
+  const GroupRecDataset* dataset_;
+  MfConfig config_;
+  Rng init_rng_;
+  ParameterStore store_;
+  Parameter* target_table_;   // t_u (m x d)
+  Parameter* context_table_;  // c_u (m x d)
+  Parameter* item_table_;     // q_v (n x d)
+  Parameter* w_member_;       // (2d x d) member MLP
+  Parameter* b_member_;       // (1 x d)
+  Parameter* w_att_;          // (d x 1) member-level attention
+  std::unique_ptr<Optimizer> optimizer_;
+  Batcher batcher_;
+  Rng train_rng_;
+  std::vector<double> epoch_losses_;
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_BASELINES_MOSAN_H_

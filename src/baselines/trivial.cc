@@ -1,0 +1,44 @@
+#include "baselines/trivial.h"
+
+namespace kgag {
+
+void PopularityRecommender::Fit() {
+  item_score_.assign(static_cast<size_t>(dataset_->num_items), 0.0);
+  for (const Interaction& it : dataset_->split.train) {
+    item_score_[static_cast<size_t>(it.item)] += 1.0;
+  }
+  // Tie-break by overall user engagement.
+  for (UserId u = 0; u < dataset_->num_users; ++u) {
+    for (ItemId v : dataset_->user_item.ItemsOf(u)) {
+      item_score_[static_cast<size_t>(v)] += 1e-3;
+    }
+  }
+}
+
+std::vector<double> PopularityRecommender::ScoreGroup(
+    GroupId /*g*/, std::span<const ItemId> items) {
+  std::vector<double> out(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    out[i] = item_score_[static_cast<size_t>(items[i])];
+  }
+  return out;
+}
+
+std::vector<double> RandomRecommender::ScoreGroup(
+    GroupId g, std::span<const ItemId> items) {
+  std::vector<double> out(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    // SplitMix64-style hash of (seed, group, item) for stable pseudo-random
+    // scores.
+    uint64_t x = seed_ ^ (static_cast<uint64_t>(g) << 32) ^
+                 static_cast<uint64_t>(items[i]);
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    out[i] = static_cast<double>(x) / static_cast<double>(UINT64_MAX);
+  }
+  return out;
+}
+
+}  // namespace kgag

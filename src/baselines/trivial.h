@@ -1,0 +1,49 @@
+// Non-learning reference scorers: popularity and random ranking. Not part
+// of Table II, but useful floors for tests and sanity checks (every
+// trained model should beat Random; Popularity is a strong naive floor).
+#ifndef KGAG_BASELINES_TRIVIAL_H_
+#define KGAG_BASELINES_TRIVIAL_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "models/recommender.h"
+
+namespace kgag {
+
+/// \brief Ranks items by their training-split group-interaction count
+/// (ties broken by user-item interaction count).
+class PopularityRecommender : public TrainableGroupRecommender {
+ public:
+  explicit PopularityRecommender(const GroupRecDataset* dataset)
+      : dataset_(dataset) {}
+
+  void Fit() override;
+  std::vector<double> ScoreGroup(GroupId g,
+                                 std::span<const ItemId> items) override;
+  std::string name() const override { return "Popularity"; }
+
+ private:
+  const GroupRecDataset* dataset_;
+  std::vector<double> item_score_;
+};
+
+/// \brief Uniform random scores (deterministic per (group, item) via
+/// hashing, so evaluation is reproducible).
+class RandomRecommender : public TrainableGroupRecommender {
+ public:
+  explicit RandomRecommender(uint64_t seed) : seed_(seed) {}
+
+  void Fit() override {}
+  std::vector<double> ScoreGroup(GroupId g,
+                                 std::span<const ItemId> items) override;
+  std::string name() const override { return "Random"; }
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_BASELINES_TRIVIAL_H_

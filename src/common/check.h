@@ -1,0 +1,77 @@
+// KGAG_CHECK / KGAG_DCHECK: fatal assertions for programming errors
+// (contract violations), as opposed to recoverable errors which use Status.
+#ifndef KGAG_COMMON_CHECK_H_
+#define KGAG_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace kgag {
+namespace internal {
+
+/// Collects the streamed message and aborts on destruction.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* expr) {
+    stream_ << "FATAL " << file << ":" << line << " check failed: " << expr
+            << " ";
+  }
+  [[noreturn]] ~FatalLogMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed values when the check passes.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace kgag
+
+#define KGAG_CHECK(cond)                                              \
+  (cond) ? (void)0                                                    \
+         : (void)(::kgag::internal::FatalLogMessage(__FILE__, __LINE__, \
+                                                    #cond))
+
+// KGAG_CHECK with streaming requires the ternary trick to keep the stream
+// lazily constructed; use an if instead for readability.
+#undef KGAG_CHECK
+#define KGAG_CHECK(cond)                                             \
+  if (cond)                                                          \
+    ;                                                                \
+  else                                                               \
+    ::kgag::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+
+#define KGAG_CHECK_EQ(a, b) KGAG_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define KGAG_CHECK_NE(a, b) KGAG_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define KGAG_CHECK_LT(a, b) KGAG_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define KGAG_CHECK_LE(a, b) KGAG_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define KGAG_CHECK_GT(a, b) KGAG_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define KGAG_CHECK_GE(a, b) KGAG_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define KGAG_DCHECK(cond) \
+  if (true)               \
+    ;                     \
+  else                    \
+    ::kgag::internal::FatalLogMessage(__FILE__, __LINE__, #cond)
+#else
+#define KGAG_DCHECK(cond) KGAG_CHECK(cond)
+#endif
+
+#endif  // KGAG_COMMON_CHECK_H_

@@ -1,0 +1,44 @@
+#include "common/csv_writer.h"
+
+namespace kgag {
+
+std::string CsvWriter::EscapeCell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+Status CsvWriter::Open(const std::string& path,
+                       const std::vector<std::string>& header) {
+  out_.open(path, std::ios::trunc);
+  if (!out_.is_open()) {
+    return Status::IoError("cannot open CSV file: " + path);
+  }
+  return WriteRow(header);
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& row) {
+  if (!out_.is_open()) return Status::Internal("CSV writer not open");
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out_ << ",";
+    out_ << EscapeCell(row[i]);
+  }
+  out_ << "\n";
+  if (!out_.good()) return Status::IoError("CSV write failed");
+  return Status::OK();
+}
+
+Status CsvWriter::Close() {
+  if (out_.is_open()) {
+    out_.close();
+    if (out_.fail()) return Status::IoError("CSV close failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace kgag

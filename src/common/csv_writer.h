@@ -1,0 +1,36 @@
+// CSV output for experiment results, so sweeps can be re-plotted.
+#ifndef KGAG_COMMON_CSV_WRITER_H_
+#define KGAG_COMMON_CSV_WRITER_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace kgag {
+
+/// \brief Writes rows of string cells to a CSV file, quoting cells that
+/// contain separators.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row.
+  /// Returns IoError if the file cannot be opened.
+  Status Open(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row.
+  Status WriteRow(const std::vector<std::string>& row);
+
+  /// Flushes and closes the stream.
+  Status Close();
+
+  bool is_open() const { return out_.is_open(); }
+
+ private:
+  static std::string EscapeCell(const std::string& cell);
+  std::ofstream out_;
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_COMMON_CSV_WRITER_H_

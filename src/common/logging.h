@@ -1,0 +1,42 @@
+// Minimal leveled logging to stderr: KGAG_LOG(INFO) << "...";
+#ifndef KGAG_COMMON_LOGGING_H_
+#define KGAG_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace kgag {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are swallowed.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace kgag
+
+#define KGAG_LOG(level)                                     \
+  ::kgag::internal::LogMessage(::kgag::LogLevel::k##level, \
+                               __FILE__, __LINE__)
+
+#endif  // KGAG_COMMON_LOGGING_H_

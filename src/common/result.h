@@ -1,0 +1,69 @@
+// Result<T>: value-or-Status, the return type for fallible factories.
+#ifndef KGAG_COMMON_RESULT_H_
+#define KGAG_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace kgag {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Mirrors arrow::Result. Access the value with ValueOrDie() / operator*
+/// only after checking ok(); use KGAG_ASSIGN_OR_RETURN to propagate errors.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    KGAG_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& ValueOrDie() {
+    KGAG_CHECK(ok()) << "Result::ValueOrDie on error: " << status_.ToString();
+    return *value_;
+  }
+  const T& ValueOrDie() const {
+    KGAG_CHECK(ok()) << "Result::ValueOrDie on error: " << status_.ToString();
+    return *value_;
+  }
+
+  T& operator*() { return ValueOrDie(); }
+  const T& operator*() const { return ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+  /// Moves the value out (undefined if !ok()).
+  T MoveValueUnsafe() { return std::move(*value_); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace kgag
+
+/// Evaluates an expression returning Result<T>; on error propagates the
+/// Status, otherwise assigns the value to `lhs`.
+#define KGAG_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = tmp.MoveValueUnsafe()
+
+#define KGAG_ASSIGN_OR_RETURN(lhs, rexpr) \
+  KGAG_ASSIGN_OR_RETURN_IMPL(             \
+      KGAG_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define KGAG_CONCAT_INNER_(a, b) a##b
+#define KGAG_CONCAT_(a, b) KGAG_CONCAT_INNER_(a, b)
+
+#endif  // KGAG_COMMON_RESULT_H_

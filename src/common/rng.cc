@@ -1,0 +1,61 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace kgag {
+
+size_t Rng::Zipf(size_t n, double alpha) {
+  KGAG_CHECK(n > 0);
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+  }
+  return Discrete(w);
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  KGAG_CHECK(k <= n) << "cannot sample " << k << " of " << n;
+  if (k == 0) return {};
+  // For small k relative to n, rejection sampling; otherwise shuffle prefix.
+  if (k * 3 < n) {
+    std::unordered_set<size_t> seen;
+    std::vector<size_t> out;
+    out.reserve(k);
+    while (out.size() < k) {
+      size_t x = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+      if (seen.insert(x).second) out.push_back(x);
+    }
+    return out;
+  }
+  std::vector<size_t> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = i;
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = static_cast<size_t>(UniformInt(static_cast<int64_t>(i),
+                                              static_cast<int64_t>(n) - 1));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+ZipfSampler::ZipfSampler(size_t n, double alpha) {
+  KGAG_CHECK(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), alpha);
+    cdf_[i] = acc;
+  }
+  for (size_t i = 0; i < n; ++i) cdf_[i] /= acc;
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  double u = rng->Uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace kgag

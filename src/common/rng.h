@@ -1,0 +1,90 @@
+// Deterministic random number generation. Every stochastic component in the
+// library takes an explicit Rng (or a seed) so experiments are reproducible
+// bit-for-bit across runs.
+#ifndef KGAG_COMMON_RNG_H_
+#define KGAG_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace kgag {
+
+/// \brief Seeded pseudo-random generator wrapping std::mt19937_64 with the
+/// sampling helpers the library needs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    KGAG_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal scaled to the given stddev and mean.
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Index sampled proportionally to `weights` (all non-negative, not all 0).
+  size_t Discrete(const std::vector<double>& weights) {
+    std::discrete_distribution<size_t> d(weights.begin(), weights.end());
+    return d(engine_);
+  }
+
+  /// Zipf-like draw over [0, n): rank r chosen with probability
+  /// proportional to 1/(r+1)^alpha. Used to give items/users realistic
+  /// popularity skew. O(n) setup per call is avoided by the caller caching
+  /// the weights; this helper is for small n.
+  size_t Zipf(size_t n, double alpha);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    std::shuffle(v->begin(), v->end(), engine_);
+  }
+
+  /// k distinct values uniformly sampled from [0, n). Requires k <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent child generator; used to give each worker or
+  /// epoch its own stream without correlation.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// \brief Precomputed Zipf sampler for repeated draws over a fixed domain.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double alpha);
+
+  /// A rank in [0, n), lower ranks more likely.
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_COMMON_RNG_H_

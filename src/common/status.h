@@ -1,0 +1,112 @@
+// Status: lightweight error signalling for library code (Arrow/RocksDB
+// style). Library entry points that can fail return Status or Result<T>
+// instead of throwing; exceptions are reserved for programming errors
+// surfaced through KGAG_CHECK.
+#ifndef KGAG_COMMON_STATUS_H_
+#define KGAG_COMMON_STATUS_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace kgag {
+
+/// \brief Machine-readable error category carried by a non-OK Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kIoError = 7,
+};
+
+/// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Outcome of an operation: OK, or a code plus message.
+///
+/// OK status carries no allocation; error states allocate a small state
+/// block. Copyable and cheap to move.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(msg)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string s = StatusCodeName(state_->code);
+    s += ": ";
+    s += state_->msg;
+    return s;
+  }
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::shared_ptr<State> state_;  // nullptr means OK
+};
+
+}  // namespace kgag
+
+/// Propagates a non-OK Status from the enclosing function.
+#define KGAG_RETURN_NOT_OK(expr)              \
+  do {                                        \
+    ::kgag::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (false)
+
+#endif  // KGAG_COMMON_STATUS_H_

@@ -1,0 +1,52 @@
+// ASCII table rendering for the bench binaries that regenerate the paper's
+// tables and figure series.
+#ifndef KGAG_COMMON_TABLE_PRINTER_H_
+#define KGAG_COMMON_TABLE_PRINTER_H_
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace kgag {
+
+/// \brief Accumulates rows of string cells and prints them with aligned,
+/// pipe-separated columns plus a header rule.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Adds one row; pads/truncates to the header width.
+  void AddRow(std::vector<std::string> row) {
+    row.resize(header_.size());
+    rows_.push_back(std::move(row));
+  }
+
+  /// Formats a double with fixed precision, the convention used by the
+  /// paper's tables (4 decimals).
+  static std::string Num(double v, int precision = 4) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  /// Renders the table to the stream.
+  void Print(std::ostream& os) const;
+
+  /// Renders the table to a string.
+  std::string ToString() const {
+    std::ostringstream os;
+    Print(os);
+    return os.str();
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_COMMON_TABLE_PRINTER_H_

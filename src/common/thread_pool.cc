@@ -1,0 +1,73 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+#include "common/check.h"
+
+namespace kgag {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> task) {
+  std::packaged_task<void()> pt(std::move(task));
+  std::future<void> fut = pt.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    KGAG_CHECK(!stop_) << "submit on stopped pool";
+    tasks_.push(std::move(pt));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // Chunked dynamic scheduling: workers pull the next index atomically.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  size_t parallelism = std::min(n, workers_.size());
+  std::vector<std::future<void>> futs;
+  futs.reserve(parallelism);
+  for (size_t t = 0; t < parallelism; ++t) {
+    futs.push_back(Submit([next, n, &fn] {
+      while (true) {
+        size_t i = next->fetch_add(1);
+        if (i >= n) break;
+        fn(i);
+      }
+    }));
+  }
+  for (auto& f : futs) f.get();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace kgag

@@ -1,0 +1,47 @@
+// Fixed-size thread pool used for parallel evaluation sweeps. Training
+// itself is single-threaded (determinism first), but ranking every test
+// group over every test item is embarrassingly parallel.
+#ifndef KGAG_COMMON_THREAD_POOL_H_
+#define KGAG_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace kgag {
+
+/// \brief Simple work-queue thread pool.
+class ThreadPool {
+ public:
+  /// \param num_threads number of workers; 0 means hardware_concurrency.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; the future resolves when it completes.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, n) across the pool and blocks until done.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_COMMON_THREAD_POOL_H_

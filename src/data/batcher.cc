@@ -1,0 +1,67 @@
+#include "data/batcher.h"
+
+namespace kgag {
+
+Batcher::Batcher(const GroupRecDataset* dataset, Options options)
+    : dataset_(dataset),
+      options_(options),
+      group_negatives_(&dataset->group_item),
+      user_negatives_(&dataset->user_item) {
+  KGAG_CHECK(dataset != nullptr);
+  KGAG_CHECK_GT(options_.group_batch_size, 0u);
+  group_order_ = dataset_->split.train;
+  user_order_ = dataset_->user_item.ToPairs();
+}
+
+void Batcher::BeginEpoch(Rng* rng) {
+  if (options_.max_group_pairs_per_epoch > 0 &&
+      group_order_.size() != dataset_->split.train.size()) {
+    group_order_ = dataset_->split.train;  // re-draw from the full set
+  }
+  rng->Shuffle(&group_order_);
+  if (options_.max_group_pairs_per_epoch > 0 &&
+      group_order_.size() > options_.max_group_pairs_per_epoch) {
+    group_order_.resize(options_.max_group_pairs_per_epoch);
+  }
+  rng->Shuffle(&user_order_);
+  group_cursor_ = 0;
+  user_cursor_ = 0;
+}
+
+size_t Batcher::BatchesPerEpoch() const {
+  return (group_order_.size() + options_.group_batch_size - 1) /
+         options_.group_batch_size;
+}
+
+bool Batcher::NextBatch(Rng* rng, MiniBatch* batch) {
+  batch->group_triplets.clear();
+  batch->user_instances.clear();
+  if (group_cursor_ >= group_order_.size()) return false;
+
+  const size_t end =
+      std::min(group_cursor_ + options_.group_batch_size, group_order_.size());
+  for (; group_cursor_ < end; ++group_cursor_) {
+    const Interaction& pos = group_order_[group_cursor_];
+    GroupTriplet t;
+    t.group = pos.row;
+    t.positive = pos.item;
+    t.negative = group_negatives_.Sample(pos.row, rng);
+    batch->group_triplets.push_back(t);
+  }
+
+  const size_t user_pos = static_cast<size_t>(
+      options_.user_ratio * static_cast<double>(batch->group_triplets.size()));
+  for (size_t i = 0; i < user_pos && !user_order_.empty(); ++i) {
+    // Cycle through user-item pairs; the user stream is typically longer
+    // than one epoch of group pairs so wrap-around keeps coverage uniform.
+    const Interaction& pos = user_order_[user_cursor_ % user_order_.size()];
+    ++user_cursor_;
+    batch->user_instances.push_back(
+        UserInstance{pos.row, pos.item, 1.0});
+    batch->user_instances.push_back(UserInstance{
+        pos.row, user_negatives_.Sample(pos.row, rng), 0.0});
+  }
+  return true;
+}
+
+}  // namespace kgag

@@ -1,0 +1,78 @@
+// Mini-batch construction (§III-E): each batch mixes group-item ranking
+// triplets (g, v_p, v_n) with user-item log-loss instances (u, v, y),
+// since the combined loss of Eq. 20 trains on both signals.
+#ifndef KGAG_DATA_BATCHER_H_
+#define KGAG_DATA_BATCHER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/negative_sampler.h"
+
+namespace kgag {
+
+/// \brief One group ranking instance: positive vs sampled negative item.
+struct GroupTriplet {
+  GroupId group = -1;
+  ItemId positive = -1;
+  ItemId negative = -1;
+};
+
+/// \brief One user-item classification instance (label 1 = observed).
+struct UserInstance {
+  UserId user = -1;
+  ItemId item = -1;
+  double label = 0.0;
+};
+
+/// \brief A mini-batch over both interaction kinds.
+struct MiniBatch {
+  std::vector<GroupTriplet> group_triplets;
+  std::vector<UserInstance> user_instances;
+
+  size_t size() const {
+    return group_triplets.size() + user_instances.size();
+  }
+};
+
+/// \brief Shuffles training interactions each epoch and emits mini-batches.
+class Batcher {
+ public:
+  struct Options {
+    size_t group_batch_size = 32;
+    /// User-item instances per batch = user_ratio * group_batch_size
+    /// positive pairs, each paired with one sampled negative (label 0).
+    double user_ratio = 1.0;
+    /// Caps the group-item pairs visited per epoch (0 = all). A fresh
+    /// random subset is drawn each epoch, so coverage is uniform across
+    /// epochs; used to keep epoch cost independent of corpus density.
+    size_t max_group_pairs_per_epoch = 0;
+  };
+
+  /// \param dataset must outlive the batcher
+  Batcher(const GroupRecDataset* dataset, Options options);
+
+  /// Starts a new epoch: reshuffles the training orders.
+  void BeginEpoch(Rng* rng);
+
+  /// Fills the next batch; returns false when the epoch is exhausted
+  /// (group interactions drive epoch length).
+  bool NextBatch(Rng* rng, MiniBatch* batch);
+
+  size_t BatchesPerEpoch() const;
+
+ private:
+  const GroupRecDataset* dataset_;
+  Options options_;
+  NegativeSampler group_negatives_;
+  NegativeSampler user_negatives_;
+  std::vector<Interaction> group_order_;
+  std::vector<Interaction> user_order_;
+  size_t group_cursor_ = 0;
+  size_t user_cursor_ = 0;
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_DATA_BATCHER_H_

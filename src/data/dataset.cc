@@ -1,0 +1,92 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace kgag {
+
+DatasetStats GroupRecDataset::Stats() const {
+  DatasetStats s;
+  s.name = name;
+  s.total_groups = groups.num_groups();
+  s.total_items = num_items;
+  s.total_users = num_users;
+  s.group_size = group_size;
+  s.group_interactions = static_cast<int64_t>(group_item.num_interactions());
+  s.interactions_per_group = group_item.MeanRowDegree();
+  s.kg_entities = num_entities;
+  s.kg_relations = num_relations;
+  s.kg_triples = static_cast<int64_t>(kg_triples.size());
+  return s;
+}
+
+std::vector<ItemId> GroupRecDataset::TestItemPool() const {
+  std::unordered_set<ItemId> pool;
+  for (const Interaction& it : split.test) pool.insert(it.item);
+  std::vector<ItemId> out(pool.begin(), pool.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Status GroupRecDataset::Validate() const {
+  if (num_users <= 0 || num_items <= 0) {
+    return Status::InvalidArgument("dataset has no users or items");
+  }
+  if (static_cast<int32_t>(item_to_entity.size()) != num_items) {
+    return Status::InvalidArgument("item_to_entity size != num_items");
+  }
+  for (EntityId e : item_to_entity) {
+    if (e < 0 || e >= num_entities) {
+      return Status::OutOfRange("item_to_entity id out of range");
+    }
+  }
+  for (const Triple& t : kg_triples) {
+    if (t.head < 0 || t.head >= num_entities || t.tail < 0 ||
+        t.tail >= num_entities || t.relation < 0 ||
+        t.relation >= num_relations) {
+      return Status::OutOfRange("kg triple out of range");
+    }
+  }
+  for (GroupId g = 0; g < groups.num_groups(); ++g) {
+    if (static_cast<int32_t>(groups.GroupSize(g)) != group_size) {
+      return Status::InvalidArgument("group with non-uniform size");
+    }
+    for (UserId u : groups.MembersOf(g)) {
+      if (u < 0 || u >= num_users) {
+        return Status::OutOfRange("group member out of range");
+      }
+    }
+  }
+  const size_t total =
+      split.train.size() + split.valid.size() + split.test.size();
+  if (total != group_item.num_interactions()) {
+    return Status::Internal("split does not partition group interactions");
+  }
+  return Status::OK();
+}
+
+InteractionMatrix SubsampleInteractions(const InteractionMatrix& m,
+                                        double keep_fraction, Rng* rng) {
+  std::vector<Interaction> kept;
+  for (const Interaction& it : m.ToPairs()) {
+    if (rng->Bernoulli(keep_fraction)) kept.push_back(it);
+  }
+  return InteractionMatrix::FromPairs(m.num_rows(), m.num_items(),
+                                      std::move(kept));
+}
+
+GroupSplit SplitInteractions(const InteractionMatrix& group_item, Rng* rng,
+                             double train_frac, double valid_frac) {
+  std::vector<Interaction> all = group_item.ToPairs();
+  rng->Shuffle(&all);
+  const size_t n = all.size();
+  const size_t n_train = static_cast<size_t>(n * train_frac);
+  const size_t n_valid = static_cast<size_t>(n * valid_frac);
+  GroupSplit split;
+  split.train.assign(all.begin(), all.begin() + n_train);
+  split.valid.assign(all.begin() + n_train, all.begin() + n_train + n_valid);
+  split.test.assign(all.begin() + n_train + n_valid, all.end());
+  return split;
+}
+
+}  // namespace kgag

@@ -1,0 +1,86 @@
+// GroupRecDataset: everything one experiment consumes — the item knowledge
+// graph, user-item interactions, groups and their (split) group-item
+// interactions. Produced by the synthetic generators, consumed by models
+// and the evaluator.
+#ifndef KGAG_DATA_DATASET_H_
+#define KGAG_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/interactions.h"
+#include "kg/triple.h"
+
+namespace kgag {
+
+/// \brief Table I row: corpus statistics.
+struct DatasetStats {
+  std::string name;
+  int64_t total_groups = 0;
+  int64_t total_items = 0;
+  int64_t total_users = 0;
+  int64_t group_size = 0;
+  int64_t group_interactions = 0;
+  double interactions_per_group = 0.0;
+  // Knowledge graph side.
+  int64_t kg_entities = 0;
+  int64_t kg_relations = 0;
+  int64_t kg_triples = 0;
+};
+
+/// \brief 60/20/20 split of group-item interactions (§IV-B).
+struct GroupSplit {
+  std::vector<Interaction> train;
+  std::vector<Interaction> valid;
+  std::vector<Interaction> test;
+};
+
+/// \brief A complete group-recommendation corpus.
+struct GroupRecDataset {
+  std::string name;
+  int32_t num_users = 0;
+  int32_t num_items = 0;
+
+  // Knowledge graph (item side).
+  std::vector<Triple> kg_triples;
+  int32_t num_entities = 0;
+  int32_t num_relations = 0;
+  std::vector<std::string> relation_names;
+  /// Mapping f: item -> entity (identity-like, injective).
+  std::vector<EntityId> item_to_entity;
+
+  // Interactions.
+  InteractionMatrix user_item;   ///< Y^U
+  GroupTable groups;
+  InteractionMatrix group_item;  ///< Y^G (all interactions, pre-split)
+  int32_t group_size = 0;        ///< fixed member count per group
+
+  GroupSplit split;
+
+  DatasetStats Stats() const;
+
+  /// Items that occur as positives in the test split (candidate set for
+  /// ranking, per the paper's protocol "each item in test set").
+  std::vector<ItemId> TestItemPool() const;
+
+  /// Sanity checks: id ranges, group sizes, split partitioning.
+  Status Validate() const;
+};
+
+/// Shuffles the group-item interactions with `rng` and splits them
+/// 60/20/20 into train/valid/test.
+GroupSplit SplitInteractions(const InteractionMatrix& group_item, Rng* rng,
+                             double train_frac = 0.6, double valid_frac = 0.2);
+
+/// Keeps each interaction independently with probability `keep_fraction`.
+/// Used to model partially-observed implicit feedback: the generators know
+/// every "liked" pair, but a recommender only ever sees a behavioral
+/// subset — this is what makes the sparsity problem (§I) real.
+InteractionMatrix SubsampleInteractions(const InteractionMatrix& m,
+                                        double keep_fraction, Rng* rng);
+
+}  // namespace kgag
+
+#endif  // KGAG_DATA_DATASET_H_

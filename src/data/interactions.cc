@@ -1,0 +1,51 @@
+#include "data/interactions.h"
+
+#include <algorithm>
+
+namespace kgag {
+
+InteractionMatrix InteractionMatrix::FromPairs(int32_t num_rows,
+                                               int32_t num_items,
+                                               std::vector<Interaction> pairs) {
+  for (const Interaction& p : pairs) {
+    KGAG_CHECK(p.row >= 0 && p.row < num_rows)
+        << "interaction row " << p.row << " out of range";
+    KGAG_CHECK(p.item >= 0 && p.item < num_items)
+        << "interaction item " << p.item << " out of range";
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Interaction& a, const Interaction& b) {
+              return a.row != b.row ? a.row < b.row : a.item < b.item;
+            });
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+  InteractionMatrix m;
+  m.num_rows_ = num_rows;
+  m.num_items_ = num_items;
+  m.offsets_.assign(static_cast<size_t>(num_rows) + 1, 0);
+  m.items_.reserve(pairs.size());
+  for (const Interaction& p : pairs) {
+    ++m.offsets_[p.row + 1];
+    m.items_.push_back(p.item);
+  }
+  for (int32_t r = 0; r < num_rows; ++r) {
+    m.offsets_[r + 1] += m.offsets_[r];
+  }
+  return m;
+}
+
+bool InteractionMatrix::Contains(int32_t row, ItemId item) const {
+  const auto items = ItemsOf(row);
+  return std::binary_search(items.begin(), items.end(), item);
+}
+
+std::vector<Interaction> InteractionMatrix::ToPairs() const {
+  std::vector<Interaction> out;
+  out.reserve(items_.size());
+  for (int32_t r = 0; r < num_rows_; ++r) {
+    for (ItemId v : ItemsOf(r)) out.push_back(Interaction{r, v});
+  }
+  return out;
+}
+
+}  // namespace kgag

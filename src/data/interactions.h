@@ -1,0 +1,102 @@
+// Sparse binary interaction storage: user-item (Y^U) and group-item (Y^G)
+// implicit-feedback matrices from §III-A, stored as per-row sorted item
+// lists for O(log d) membership checks.
+#ifndef KGAG_DATA_INTERACTIONS_H_
+#define KGAG_DATA_INTERACTIONS_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace kgag {
+
+using UserId = int32_t;
+using ItemId = int32_t;
+using GroupId = int32_t;
+
+/// \brief One observed (row, item) engagement; `row` is a user or group.
+struct Interaction {
+  int32_t row = -1;
+  ItemId item = -1;
+
+  bool operator==(const Interaction& o) const {
+    return row == o.row && item == o.item;
+  }
+};
+
+/// \brief Immutable binary interaction matrix in CSR-like layout.
+class InteractionMatrix {
+ public:
+  InteractionMatrix() = default;
+
+  /// Deduplicates pairs and builds the index.
+  static InteractionMatrix FromPairs(int32_t num_rows, int32_t num_items,
+                                     std::vector<Interaction> pairs);
+
+  int32_t num_rows() const { return num_rows_; }
+  int32_t num_items() const { return num_items_; }
+  size_t num_interactions() const { return items_.size(); }
+
+  /// Sorted item ids the row engaged with.
+  std::span<const ItemId> ItemsOf(int32_t row) const {
+    KGAG_DCHECK(row >= 0 && row < num_rows_);
+    return std::span<const ItemId>(items_.data() + offsets_[row],
+                                   offsets_[row + 1] - offsets_[row]);
+  }
+
+  size_t RowDegree(int32_t row) const {
+    KGAG_DCHECK(row >= 0 && row < num_rows_);
+    return offsets_[row + 1] - offsets_[row];
+  }
+
+  /// y_{row,item} == 1?
+  bool Contains(int32_t row, ItemId item) const;
+
+  /// All interactions as (row, item) pairs, row-major order.
+  std::vector<Interaction> ToPairs() const;
+
+  /// Mean interactions per row (e.g. Table I "Inter./group").
+  double MeanRowDegree() const {
+    return num_rows_ == 0 ? 0.0
+                          : static_cast<double>(items_.size()) / num_rows_;
+  }
+
+ private:
+  int32_t num_rows_ = 0;
+  int32_t num_items_ = 0;
+  std::vector<size_t> offsets_;  // size num_rows_ + 1
+  std::vector<ItemId> items_;
+};
+
+/// \brief Group membership table: group id -> member user ids.
+class GroupTable {
+ public:
+  GroupTable() = default;
+  explicit GroupTable(std::vector<std::vector<UserId>> members)
+      : members_(std::move(members)) {}
+
+  int32_t num_groups() const { return static_cast<int32_t>(members_.size()); }
+
+  std::span<const UserId> MembersOf(GroupId g) const {
+    KGAG_DCHECK(g >= 0 && g < num_groups());
+    return members_[g];
+  }
+
+  size_t GroupSize(GroupId g) const { return MembersOf(g).size(); }
+
+  /// Appends a group; returns its id.
+  GroupId AddGroup(std::vector<UserId> members) {
+    members_.push_back(std::move(members));
+    return num_groups() - 1;
+  }
+
+ private:
+  std::vector<std::vector<UserId>> members_;
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_DATA_INTERACTIONS_H_

@@ -1,0 +1,40 @@
+// Negative sampling for pairwise training: draws items the group (or user)
+// has NOT engaged with, uniformly over the item universe.
+#ifndef KGAG_DATA_NEGATIVE_SAMPLER_H_
+#define KGAG_DATA_NEGATIVE_SAMPLER_H_
+
+#include "common/rng.h"
+#include "data/interactions.h"
+
+namespace kgag {
+
+/// \brief Uniform rejection sampler over non-interacted items.
+class NegativeSampler {
+ public:
+  /// \param interactions matrix defining the positives to avoid; must
+  ///        outlive the sampler
+  explicit NegativeSampler(const InteractionMatrix* interactions)
+      : interactions_(interactions) {
+    KGAG_CHECK(interactions != nullptr);
+  }
+
+  /// An item v with y_{row,v} == 0. Falls back to any item after
+  /// `max_attempts` rejections (degenerate rows that interacted with
+  /// everything).
+  ItemId Sample(int32_t row, Rng* rng, int max_attempts = 64) const {
+    const int32_t n = interactions_->num_items();
+    KGAG_CHECK_GT(n, 0);
+    for (int i = 0; i < max_attempts; ++i) {
+      const ItemId v = static_cast<ItemId>(rng->UniformInt(0, n - 1));
+      if (!interactions_->Contains(row, v)) return v;
+    }
+    return static_cast<ItemId>(rng->UniformInt(0, n - 1));
+  }
+
+ private:
+  const InteractionMatrix* interactions_;
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_DATA_NEGATIVE_SAMPLER_H_

@@ -1,0 +1,170 @@
+#include "data/synthetic/group_builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace kgag {
+
+namespace {
+
+/// Users who rated item v >= threshold, per item (inverted index).
+std::vector<std::vector<UserId>> BuildLikerIndex(const RatingTable& ratings,
+                                                 uint8_t threshold) {
+  std::vector<std::vector<UserId>> likers(ratings.num_items());
+  for (UserId u = 0; u < ratings.num_users(); ++u) {
+    for (ItemId v = 0; v < ratings.num_items(); ++v) {
+      const uint8_t r = ratings.Get(u, v);
+      if (r != 0 && r >= threshold) likers[v].push_back(u);
+    }
+  }
+  return likers;
+}
+
+GroupBuildResult Finalize(const RatingTable& ratings,
+                          const GroupBuilderConfig& cfg,
+                          std::vector<std::vector<UserId>> member_lists) {
+  GroupTable groups(std::move(member_lists));
+  std::vector<Interaction> pairs;
+  for (GroupId g = 0; g < groups.num_groups(); ++g) {
+    for (ItemId v :
+         GroupPositives(ratings, groups.MembersOf(g), cfg.mean_threshold,
+                        cfg.veto_threshold, cfg.enthusiasm_lambda)) {
+      pairs.push_back(Interaction{g, v});
+    }
+  }
+  GroupBuildResult result;
+  result.group_item = InteractionMatrix::FromPairs(
+      groups.num_groups(), ratings.num_items(), std::move(pairs));
+  result.groups = std::move(groups);
+  return result;
+}
+
+}  // namespace
+
+std::vector<ItemId> GroupPositives(const RatingTable& ratings,
+                                   std::span<const UserId> members,
+                                   double mean_threshold,
+                                   uint8_t veto_threshold,
+                                   double enthusiasm_lambda) {
+  std::vector<ItemId> out;
+  for (ItemId v = 0; v < ratings.num_items(); ++v) {
+    bool ok = true;
+    double weighted_sum = 0;
+    double weight_total = 0;
+    for (UserId u : members) {
+      const uint8_t r = ratings.Get(u, v);
+      if (r == 0 || r < veto_threshold) {
+        ok = false;
+        break;
+      }
+      const double w = std::exp(enthusiasm_lambda * (r - 3.0));
+      weighted_sum += w * r;
+      weight_total += w;
+    }
+    if (ok && weighted_sum >= mean_threshold * weight_total) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+GroupBuildResult BuildRandomGroups(const RatingTable& ratings,
+                                   const GroupBuilderConfig& cfg, Rng* rng) {
+  KGAG_CHECK_GT(cfg.group_size, 0);
+  KGAG_CHECK_GE(cfg.num_anchor_items, 1);
+  const auto likers = BuildLikerIndex(ratings, cfg.like_threshold);
+  std::vector<std::vector<UserId>> member_lists;
+  member_lists.reserve(cfg.num_groups);
+  int attempts = 0;
+  const int max_total = cfg.num_groups * 50;
+  while (static_cast<int>(member_lists.size()) < cfg.num_groups &&
+         attempts < max_total) {
+    ++attempts;
+    // Intersect the likers of num_anchor_items anchors.
+    std::vector<UserId> pool =
+        likers[static_cast<size_t>(rng->UniformInt(0, ratings.num_items() - 1))];
+    for (int a = 1; a < cfg.num_anchor_items && !pool.empty(); ++a) {
+      const auto& other = likers[static_cast<size_t>(
+          rng->UniformInt(0, ratings.num_items() - 1))];
+      std::vector<UserId> merged;
+      std::set_intersection(pool.begin(), pool.end(), other.begin(),
+                            other.end(), std::back_inserter(merged));
+      pool = std::move(merged);
+    }
+    if (static_cast<int>(pool.size()) < cfg.group_size) continue;
+    std::vector<size_t> idx = rng->SampleWithoutReplacement(
+        pool.size(), static_cast<size_t>(cfg.group_size));
+    std::vector<UserId> members;
+    members.reserve(cfg.group_size);
+    for (size_t i : idx) members.push_back(pool[i]);
+    std::sort(members.begin(), members.end());
+    member_lists.push_back(std::move(members));
+  }
+  return Finalize(ratings, cfg, std::move(member_lists));
+}
+
+GroupBuildResult BuildSimilarGroups(const RatingTable& ratings,
+                                    const GroupBuilderConfig& cfg, Rng* rng) {
+  KGAG_CHECK_GT(cfg.group_size, 0);
+  const auto likers = BuildLikerIndex(ratings, cfg.like_threshold);
+  std::vector<std::vector<UserId>> member_lists;
+  member_lists.reserve(cfg.num_groups);
+  int outer_attempts = 0;
+  const int max_outer = cfg.num_groups * 60;
+  while (static_cast<int>(member_lists.size()) < cfg.num_groups &&
+         outer_attempts < max_outer) {
+    ++outer_attempts;
+    const ItemId anchor =
+        static_cast<ItemId>(rng->UniformInt(0, ratings.num_items() - 1));
+    const auto& pool = likers[anchor];
+    if (static_cast<int>(pool.size()) < cfg.group_size) continue;
+
+    // Greedy assembly: random seed, then accept candidates that clear the
+    // PCC floor against every current member.
+    std::vector<UserId> members{
+        pool[static_cast<size_t>(rng->UniformInt(
+            0, static_cast<int64_t>(pool.size()) - 1))]};
+    int inner = 0;
+    while (static_cast<int>(members.size()) < cfg.group_size &&
+           inner < cfg.max_attempts_per_group) {
+      ++inner;
+      const UserId cand = pool[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+      if (std::find(members.begin(), members.end(), cand) != members.end()) {
+        continue;
+      }
+      bool ok = true;
+      for (UserId m : members) {
+        if (PearsonCorrelation(ratings, m, cand) < cfg.pcc_threshold) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) members.push_back(cand);
+    }
+    if (static_cast<int>(members.size()) == cfg.group_size) {
+      std::sort(members.begin(), members.end());
+      member_lists.push_back(std::move(members));
+    }
+  }
+  return Finalize(ratings, cfg, std::move(member_lists));
+}
+
+double MeanIntraGroupPcc(const RatingTable& ratings,
+                         const GroupTable& groups) {
+  double sum = 0.0;
+  int64_t n = 0;
+  for (GroupId g = 0; g < groups.num_groups(); ++g) {
+    const auto members = groups.MembersOf(g);
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        sum += PearsonCorrelation(ratings, members[i], members[j]);
+        ++n;
+      }
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+}  // namespace kgag

@@ -1,0 +1,221 @@
+#include "data/synthetic/movielens_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace kgag {
+
+namespace {
+
+using Latent = std::vector<double>;
+
+Latent RandomLatent(int dim, double scale, Rng* rng) {
+  Latent v(dim);
+  for (double& x : v) x = rng->Normal(0.0, scale);
+  return v;
+}
+
+void Normalize(Latent* v) {
+  double n = 0;
+  for (double x : *v) n += x * x;
+  n = std::sqrt(n);
+  if (n < 1e-12) return;
+  for (double& x : *v) x /= n;
+}
+
+void Axpy(double a, const Latent& x, Latent* y) {
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += a * x[i];
+}
+
+double Dot(const Latent& a, const Latent& b) {
+  double s = 0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+MovieLensWorld GenerateMovieLensWorld(const MovieLensConfig& cfg, Rng* rng) {
+  KGAG_CHECK_GT(cfg.num_users, 0);
+  KGAG_CHECK_GT(cfg.num_movies, 0);
+  KGAG_CHECK_GE(cfg.max_genres, cfg.min_genres);
+
+  MovieLensWorld world;
+  world.num_users = cfg.num_users;
+  world.num_items = cfg.num_movies;
+  world.relation_names = {"directed_by", "starring",     "has_genre",
+                          "released_in", "produced_by",  "from_country",
+                          "in_language", "part_of_series"};
+
+  // Entity id layout: movies first, then each attribute block.
+  int32_t next = cfg.num_movies;
+  const int32_t dir0 = next;
+  next += cfg.num_directors;
+  const int32_t act0 = next;
+  next += cfg.num_actors;
+  const int32_t gen0 = next;
+  next += cfg.num_genres;
+  const int32_t year0 = next;
+  next += cfg.num_years;
+  const int32_t stu0 = next;
+  next += cfg.num_studios;
+  const int32_t cty0 = next;
+  next += cfg.num_countries;
+  const int32_t lang0 = next;
+  next += cfg.num_languages;
+  const int32_t ser0 = next;
+  next += cfg.num_series;
+  world.num_entities = next;
+
+  world.item_to_entity.resize(cfg.num_movies);
+  std::iota(world.item_to_entity.begin(), world.item_to_entity.end(), 0);
+
+  const int d = cfg.latent_dim;
+  const double s = 1.0 / std::sqrt(static_cast<double>(d));
+
+  // Attribute latents. Genres are the primary taste axes; people-entities
+  // (directors, actors) lean towards one or two "home" genres so that
+  // shared KG attributes imply correlated preferences.
+  std::vector<Latent> genre_lat(cfg.num_genres);
+  for (auto& g : genre_lat) {
+    g = RandomLatent(d, 1.0, rng);
+    Normalize(&g);
+  }
+  auto genre_anchored = [&](double anchor_w, double noise_w) {
+    Latent v(d, 0.0);
+    const int g1 = static_cast<int>(rng->UniformInt(0, cfg.num_genres - 1));
+    const int g2 = static_cast<int>(rng->UniformInt(0, cfg.num_genres - 1));
+    Axpy(anchor_w * 0.6, genre_lat[g1], &v);
+    Axpy(anchor_w * 0.4, genre_lat[g2], &v);
+    Latent noise = RandomLatent(d, s, rng);
+    Axpy(noise_w, noise, &v);
+    Normalize(&v);
+    return v;
+  };
+
+  std::vector<Latent> director_lat(cfg.num_directors);
+  for (auto& v : director_lat) v = genre_anchored(0.8, 0.3);
+  std::vector<Latent> actor_lat(cfg.num_actors);
+  for (auto& v : actor_lat) v = genre_anchored(0.7, 0.4);
+  std::vector<Latent> studio_lat(cfg.num_studios);
+  for (auto& v : studio_lat) v = RandomLatent(d, s * 0.5, rng);
+  std::vector<Latent> series_lat(cfg.num_series);
+  for (auto& v : series_lat) v = genre_anchored(0.9, 0.2);
+
+  // Popularity skew for which directors/actors appear often.
+  ZipfSampler director_pop(cfg.num_directors, 1.0);
+  ZipfSampler actor_pop(cfg.num_actors, 0.8);
+  ZipfSampler genre_pop(cfg.num_genres, 0.5);
+
+  // Movies: attributes -> KG triples + latent position.
+  world.movie_latents.resize(cfg.num_movies);
+  world.movie_quality.resize(cfg.num_movies);
+  for (ItemId m = 0; m < cfg.num_movies; ++m) {
+    Latent lat(d, 0.0);
+
+    const int n_genres =
+        static_cast<int>(rng->UniformInt(cfg.min_genres, cfg.max_genres));
+    std::vector<int> genres;
+    while (static_cast<int>(genres.size()) < n_genres) {
+      const int g = static_cast<int>(genre_pop.Sample(rng));
+      if (std::find(genres.begin(), genres.end(), g) == genres.end()) {
+        genres.push_back(g);
+      }
+    }
+    for (int g : genres) {
+      world.kg_triples.push_back(Triple{m, kHasGenre, gen0 + g});
+      Axpy(1.0 / n_genres, genre_lat[g], &lat);
+    }
+
+    const int dir = static_cast<int>(director_pop.Sample(rng));
+    world.kg_triples.push_back(Triple{m, kDirectedBy, dir0 + dir});
+    Axpy(0.7, director_lat[dir], &lat);
+
+    for (int a = 0; a < cfg.num_actors_per_movie; ++a) {
+      const int actor = static_cast<int>(actor_pop.Sample(rng));
+      world.kg_triples.push_back(Triple{m, kStarring, act0 + actor});
+      Axpy(0.35 / cfg.num_actors_per_movie, actor_lat[actor], &lat);
+    }
+
+    const int year = static_cast<int>(rng->UniformInt(0, cfg.num_years - 1));
+    world.kg_triples.push_back(Triple{m, kReleasedIn, year0 + year});
+
+    const int studio =
+        static_cast<int>(rng->UniformInt(0, cfg.num_studios - 1));
+    world.kg_triples.push_back(Triple{m, kProducedBy, stu0 + studio});
+    Axpy(0.15, studio_lat[studio], &lat);
+
+    const int country =
+        static_cast<int>(rng->UniformInt(0, cfg.num_countries - 1));
+    world.kg_triples.push_back(Triple{m, kFromCountry, cty0 + country});
+
+    const int lang =
+        static_cast<int>(rng->UniformInt(0, cfg.num_languages - 1));
+    world.kg_triples.push_back(Triple{m, kInLanguage, lang0 + lang});
+
+    if (rng->Bernoulli(cfg.series_probability)) {
+      const int series =
+          static_cast<int>(rng->UniformInt(0, cfg.num_series - 1));
+      world.kg_triples.push_back(Triple{m, kPartOfSeries, ser0 + series});
+      Axpy(0.5, series_lat[series], &lat);
+    }
+
+    Latent noise = RandomLatent(d, s * 0.25, rng);
+    Axpy(1.0, noise, &lat);
+    Normalize(&lat);
+    world.movie_latents[m] = std::move(lat);
+    world.movie_quality[m] =
+        rng->Bernoulli(cfg.good_movie_fraction)
+            ? rng->Normal(cfg.good_quality_mean, cfg.good_quality_std)
+            : rng->Normal(cfg.bad_quality_mean, cfg.bad_quality_std);
+  }
+
+  // Users: genre-anchored tastes.
+  world.user_latents.resize(cfg.num_users);
+  for (UserId u = 0; u < cfg.num_users; ++u) {
+    world.user_latents[u] = genre_anchored(0.85, 0.35);
+  }
+
+  // Ratings: each user rates a popularity-skewed subset of the catalogue.
+  // Popularity ranks correlate with quality (good movies get watched).
+  std::vector<ItemId> by_popularity(cfg.num_movies);
+  std::iota(by_popularity.begin(), by_popularity.end(), 0);
+  {
+    std::vector<double> pop_score(cfg.num_movies);
+    for (ItemId m = 0; m < cfg.num_movies; ++m) {
+      pop_score[m] = world.movie_quality[m] +
+                     rng->Normal(0.0, cfg.popularity_noise);
+    }
+    std::sort(by_popularity.begin(), by_popularity.end(),
+              [&](ItemId a, ItemId b) { return pop_score[a] > pop_score[b]; });
+  }
+  ZipfSampler movie_pop(cfg.num_movies, cfg.popularity_alpha);
+
+  world.ratings = RatingTable(cfg.num_users, cfg.num_movies);
+  for (UserId u = 0; u < cfg.num_users; ++u) {
+    const double density =
+        rng->Uniform(cfg.min_rating_density, cfg.max_rating_density);
+    const int target =
+        std::max(1, static_cast<int>(density * cfg.num_movies));
+    int rated = 0;
+    int attempts = 0;
+    while (rated < target && attempts < target * 20) {
+      ++attempts;
+      const ItemId m = by_popularity[movie_pop.Sample(rng)];
+      if (world.ratings.IsRated(u, m)) continue;
+      const double affinity =
+          cfg.rating_base + cfg.quality_weight * world.movie_quality[m] +
+          cfg.affinity_weight * Dot(world.user_latents[u],
+                                    world.movie_latents[m]) +
+          rng->Normal(0.0, cfg.rating_noise);
+      const int r = std::clamp(static_cast<int>(std::lround(affinity)), 1, 5);
+      world.ratings.Set(u, m, static_cast<uint8_t>(r));
+      ++rated;
+    }
+  }
+
+  return world;
+}
+
+}  // namespace kgag

@@ -1,0 +1,71 @@
+#include "data/synthetic/ratings.h"
+
+#include <cmath>
+
+namespace kgag {
+
+size_t RatingTable::CountRated() const {
+  size_t n = 0;
+  for (uint8_t r : ratings_) n += (r != 0);
+  return n;
+}
+
+size_t RatingTable::CountAtLeast(uint8_t threshold) const {
+  size_t n = 0;
+  for (uint8_t r : ratings_) n += (r >= threshold && r != 0);
+  return n;
+}
+
+std::vector<ItemId> RatingTable::LikedItems(UserId u, uint8_t threshold) const {
+  std::vector<ItemId> out;
+  for (ItemId v = 0; v < num_items_; ++v) {
+    const uint8_t r = Get(u, v);
+    if (r != 0 && r >= threshold) out.push_back(v);
+  }
+  return out;
+}
+
+InteractionMatrix RatingTable::ToImplicit(uint8_t threshold) const {
+  std::vector<Interaction> pairs;
+  for (UserId u = 0; u < num_users_; ++u) {
+    for (ItemId v = 0; v < num_items_; ++v) {
+      const uint8_t r = Get(u, v);
+      if (r != 0 && r >= threshold) pairs.push_back(Interaction{u, v});
+    }
+  }
+  return InteractionMatrix::FromPairs(num_users_, num_items_,
+                                      std::move(pairs));
+}
+
+double PearsonCorrelation(const RatingTable& ratings, UserId a, UserId b,
+                          int min_overlap) {
+  double sum_a = 0, sum_b = 0;
+  int n = 0;
+  const int32_t items = ratings.num_items();
+  for (ItemId v = 0; v < items; ++v) {
+    const uint8_t ra = ratings.Get(a, v);
+    const uint8_t rb = ratings.Get(b, v);
+    if (ra == 0 || rb == 0) continue;
+    sum_a += ra;
+    sum_b += rb;
+    ++n;
+  }
+  if (n < min_overlap) return 0.0;
+  const double mean_a = sum_a / n;
+  const double mean_b = sum_b / n;
+  double cov = 0, var_a = 0, var_b = 0;
+  for (ItemId v = 0; v < items; ++v) {
+    const uint8_t ra = ratings.Get(a, v);
+    const uint8_t rb = ratings.Get(b, v);
+    if (ra == 0 || rb == 0) continue;
+    const double da = ra - mean_a;
+    const double db = rb - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a <= 0 || var_b <= 0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace kgag

@@ -1,0 +1,68 @@
+// Dense explicit-rating storage (1..5 stars) produced by the synthetic
+// MovieLens-like generator. Group positives and the PCC similarity used to
+// build MovieLens-20M-Simi-style groups are both derived from this table.
+#ifndef KGAG_DATA_SYNTHETIC_RATINGS_H_
+#define KGAG_DATA_SYNTHETIC_RATINGS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "data/interactions.h"
+
+namespace kgag {
+
+/// \brief Dense user x item rating matrix; 0 means unrated.
+class RatingTable {
+ public:
+  RatingTable() = default;
+  RatingTable(int32_t num_users, int32_t num_items)
+      : num_users_(num_users),
+        num_items_(num_items),
+        ratings_(static_cast<size_t>(num_users) * num_items, 0) {}
+
+  int32_t num_users() const { return num_users_; }
+  int32_t num_items() const { return num_items_; }
+
+  /// Rating in {0 (unrated), 1..5}.
+  uint8_t Get(UserId u, ItemId v) const {
+    KGAG_DCHECK(u >= 0 && u < num_users_ && v >= 0 && v < num_items_);
+    return ratings_[static_cast<size_t>(u) * num_items_ + v];
+  }
+
+  void Set(UserId u, ItemId v, uint8_t rating) {
+    KGAG_DCHECK(rating <= 5);
+    KGAG_DCHECK(u >= 0 && u < num_users_ && v >= 0 && v < num_items_);
+    ratings_[static_cast<size_t>(u) * num_items_ + v] = rating;
+  }
+
+  bool IsRated(UserId u, ItemId v) const { return Get(u, v) != 0; }
+
+  /// Number of (u, v) pairs with a rating.
+  size_t CountRated() const;
+
+  /// Number of rated pairs with rating >= threshold.
+  size_t CountAtLeast(uint8_t threshold) const;
+
+  /// Items the user rated >= threshold (the implicit-feedback conversion
+  /// used for Y^U, following KGCN's MovieLens-20M preprocessing).
+  std::vector<ItemId> LikedItems(UserId u, uint8_t threshold = 4) const;
+
+  /// Implicit interaction matrix from the >= threshold conversion.
+  InteractionMatrix ToImplicit(uint8_t threshold = 4) const;
+
+ private:
+  int32_t num_users_ = 0;
+  int32_t num_items_ = 0;
+  std::vector<uint8_t> ratings_;
+};
+
+/// Pearson correlation coefficient between two users over co-rated items,
+/// the group-similarity statistic of §IV-B. Returns 0 when fewer than
+/// `min_overlap` co-rated items exist or either variance is 0.
+double PearsonCorrelation(const RatingTable& ratings, UserId a, UserId b,
+                          int min_overlap = 3);
+
+}  // namespace kgag
+
+#endif  // KGAG_DATA_SYNTHETIC_RATINGS_H_

@@ -1,0 +1,127 @@
+#include "data/synthetic/standard_datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/synthetic/group_builder.h"
+
+namespace kgag {
+
+namespace {
+int32_t ScaleCount(int32_t base, double scale, int32_t min_value) {
+  return std::max(min_value,
+                  static_cast<int32_t>(std::lround(base * scale)));
+}
+}  // namespace
+
+MovieLensConfig ScaledMovieLensConfig(double scale) {
+  MovieLensConfig cfg;
+  cfg.num_users = ScaleCount(cfg.num_users, scale, 40);
+  cfg.num_movies = ScaleCount(cfg.num_movies, scale, 30);
+  cfg.num_directors = ScaleCount(cfg.num_directors, scale, 8);
+  cfg.num_actors = ScaleCount(cfg.num_actors, scale, 20);
+  cfg.num_genres = ScaleCount(cfg.num_genres, std::sqrt(scale), 6);
+  cfg.num_years = ScaleCount(cfg.num_years, std::sqrt(scale), 10);
+  cfg.num_studios = ScaleCount(cfg.num_studios, scale, 5);
+  cfg.num_countries = ScaleCount(cfg.num_countries, std::sqrt(scale), 5);
+  cfg.num_languages = ScaleCount(cfg.num_languages, std::sqrt(scale), 4);
+  cfg.num_series = ScaleCount(cfg.num_series, scale, 5);
+  return cfg;
+}
+
+YelpConfig ScaledYelpConfig(double scale) {
+  YelpConfig cfg;
+  cfg.num_users = ScaleCount(cfg.num_users, scale, 40);
+  cfg.num_businesses = ScaleCount(cfg.num_businesses, scale, 25);
+  cfg.num_communities = ScaleCount(cfg.num_communities, std::sqrt(scale), 4);
+  cfg.num_cities = ScaleCount(cfg.num_cities, std::sqrt(scale), 3);
+  cfg.num_neighborhoods =
+      ScaleCount(cfg.num_neighborhoods, std::sqrt(scale), 6);
+  cfg.num_categories = ScaleCount(cfg.num_categories, std::sqrt(scale), 6);
+  cfg.num_groups = ScaleCount(cfg.num_groups, scale, 30);
+  return cfg;
+}
+
+GroupRecDataset AssembleMovieLensDataset(const MovieLensWorld& world,
+                                         bool similar_groups, int group_size,
+                                         int num_groups, uint64_t seed,
+                                         const std::string& name) {
+  Rng rng(seed);
+  GroupBuilderConfig gcfg;
+  gcfg.group_size = group_size;
+  gcfg.num_groups = num_groups;
+  gcfg.num_anchor_items = 2;
+  // The paper's PCC floor of 0.27 was binding on MovieLens-20M raters; in
+  // this synthetic world quality-driven agreement already puts random
+  // co-liker pairs around 0.6, so the binding equivalent of "similar
+  // members" is a higher floor (DESIGN.md §4).
+  gcfg.pcc_threshold = 0.70;
+  GroupBuildResult built = similar_groups
+                               ? BuildSimilarGroups(world.ratings, gcfg, &rng)
+                               : BuildRandomGroups(world.ratings, gcfg, &rng);
+
+  GroupRecDataset ds;
+  ds.name = name;
+  ds.num_users = world.num_users;
+  ds.num_items = world.num_items;
+  ds.kg_triples = world.kg_triples;
+  ds.num_entities = world.num_entities;
+  ds.num_relations = world.num_relations;
+  ds.relation_names = world.relation_names;
+  ds.item_to_entity = world.item_to_entity;
+  // Only a behavioral subset of "liked" pairs is observed as implicit
+  // feedback; the rest must be inferred (the sparsity problem of §I).
+  Rng obs_rng(seed + 1000);
+  ds.user_item = SubsampleInteractions(
+      world.ratings.ToImplicit(/*threshold=*/4), 0.22, &obs_rng);
+  ds.groups = std::move(built.groups);
+  ds.group_item = std::move(built.group_item);
+  ds.group_size = group_size;
+  Rng split_rng = rng.Fork();
+  ds.split = SplitInteractions(ds.group_item, &split_rng);
+  return ds;
+}
+
+GroupRecDataset MakeMovieLensRandDataset(uint64_t seed, double scale) {
+  Rng rng(seed);
+  MovieLensWorld world = GenerateMovieLensWorld(ScaledMovieLensConfig(scale),
+                                                &rng);
+  const int num_groups = ScaleCount(1200, scale, 40);
+  return AssembleMovieLensDataset(world, /*similar_groups=*/false,
+                                  /*group_size=*/8, num_groups, seed + 1,
+                                  "MovieLens-20M-Rand (synthetic)");
+}
+
+GroupRecDataset MakeMovieLensSimiDataset(uint64_t seed, double scale) {
+  Rng rng(seed);
+  MovieLensWorld world = GenerateMovieLensWorld(ScaledMovieLensConfig(scale),
+                                                &rng);
+  const int num_groups = ScaleCount(800, scale, 30);
+  return AssembleMovieLensDataset(world, /*similar_groups=*/true,
+                                  /*group_size=*/5, num_groups, seed + 2,
+                                  "MovieLens-20M-Simi (synthetic)");
+}
+
+GroupRecDataset MakeYelpDataset(uint64_t seed, double scale) {
+  Rng rng(seed);
+  YelpWorld world = GenerateYelpWorld(ScaledYelpConfig(scale), &rng);
+
+  GroupRecDataset ds;
+  ds.name = "Yelp (synthetic)";
+  ds.num_users = world.num_users;
+  ds.num_items = world.num_items;
+  ds.kg_triples = world.kg_triples;
+  ds.num_entities = world.num_entities;
+  ds.num_relations = world.num_relations;
+  ds.relation_names = world.relation_names;
+  ds.item_to_entity = world.item_to_entity;
+  ds.user_item = world.visits;
+  ds.groups = world.groups;
+  ds.group_item = world.group_item;
+  ds.group_size = 3;
+  Rng split_rng = rng.Fork();
+  ds.split = SplitInteractions(ds.group_item, &split_rng);
+  return ds;
+}
+
+}  // namespace kgag

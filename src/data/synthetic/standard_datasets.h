@@ -1,0 +1,39 @@
+// One-call constructors for the three experiment corpora of §IV-B:
+// MovieLens-20M-Rand, MovieLens-20M-Simi (both derived from the same
+// synthetic MovieLens world, like the paper derives both from
+// MovieLens-20M) and Yelp. `scale` shrinks/grows every count
+// proportionally so tests can run on tiny corpora and benches on larger
+// ones with identical structure.
+#ifndef KGAG_DATA_SYNTHETIC_STANDARD_DATASETS_H_
+#define KGAG_DATA_SYNTHETIC_STANDARD_DATASETS_H_
+
+#include "data/dataset.h"
+#include "data/synthetic/movielens_gen.h"
+#include "data/synthetic/yelp_gen.h"
+
+namespace kgag {
+
+/// MovieLens-like configs scaled by `scale` (1.0 = bench default:
+/// 600 users, 400 movies).
+MovieLensConfig ScaledMovieLensConfig(double scale);
+YelpConfig ScaledYelpConfig(double scale);
+
+/// Random-member groups of size 8 over the MovieLens world.
+GroupRecDataset MakeMovieLensRandDataset(uint64_t seed, double scale = 1.0);
+
+/// PCC>=0.27-constrained groups of size 5 over the MovieLens world.
+GroupRecDataset MakeMovieLensSimiDataset(uint64_t seed, double scale = 1.0);
+
+/// Friend-triangle groups of size 3 over the Yelp world.
+GroupRecDataset MakeYelpDataset(uint64_t seed, double scale = 1.0);
+
+/// Builds from an existing world + group parameters (shared by the two
+/// MovieLens variants; exposed for tests).
+GroupRecDataset AssembleMovieLensDataset(const MovieLensWorld& world,
+                                         bool similar_groups, int group_size,
+                                         int num_groups, uint64_t seed,
+                                         const std::string& name);
+
+}  // namespace kgag
+
+#endif  // KGAG_DATA_SYNTHETIC_STANDARD_DATASETS_H_

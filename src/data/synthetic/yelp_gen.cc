@@ -1,0 +1,307 @@
+#include "data/synthetic/yelp_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+namespace kgag {
+
+namespace {
+
+using Latent = std::vector<double>;
+
+Latent RandomLatent(int dim, double scale, Rng* rng) {
+  Latent v(dim);
+  for (double& x : v) x = rng->Normal(0.0, scale);
+  return v;
+}
+
+void Normalize(Latent* v) {
+  double n = 0;
+  for (double x : *v) n += x * x;
+  n = std::sqrt(n);
+  if (n < 1e-12) return;
+  for (double& x : *v) x /= n;
+}
+
+void Axpy(double a, const Latent& x, Latent* y) {
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += a * x[i];
+}
+
+double Dot(const Latent& a, const Latent& b) {
+  double s = 0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace
+
+YelpWorld GenerateYelpWorld(const YelpConfig& cfg, Rng* rng) {
+  KGAG_CHECK_GT(cfg.num_users, 0);
+  KGAG_CHECK_GT(cfg.num_businesses, 0);
+  KGAG_CHECK_GT(cfg.num_communities, 0);
+
+  YelpWorld world;
+  world.num_users = cfg.num_users;
+  world.num_items = cfg.num_businesses;
+  world.relation_names = {
+      "in_city",        "in_neighborhood",  "has_category",
+      "price_range",    "stars_bucket",     "offers_wifi",
+      "accepts_cards",  "good_for_kids",    "has_parking",
+      "serves_alcohol", "ambience",         "noise_level",
+      "attire",         "offers_delivery",  "offers_takeout",
+      "takes_reservations", "good_for_groups"};
+
+  // Entity layout: businesses, then one value block per relation.
+  int32_t next = cfg.num_businesses;
+  auto block = [&next](int32_t n) {
+    const int32_t start = next;
+    next += n;
+    return start;
+  };
+  const int32_t city0 = block(cfg.num_cities);
+  const int32_t hood0 = block(cfg.num_neighborhoods);
+  const int32_t cat0 = block(cfg.num_categories);
+  const int32_t price0 = block(4);
+  const int32_t stars0 = block(5);
+  const int32_t wifi0 = block(2);
+  const int32_t cards0 = block(2);
+  const int32_t kids0 = block(2);
+  const int32_t parking0 = block(3);
+  const int32_t alcohol0 = block(3);
+  const int32_t ambience0 = block(6);
+  const int32_t noise0 = block(4);
+  const int32_t attire0 = block(3);
+  const int32_t delivery0 = block(2);
+  const int32_t takeout0 = block(2);
+  const int32_t resv0 = block(2);
+  const int32_t grp0 = block(2);
+  world.num_entities = next;
+
+  world.item_to_entity.resize(cfg.num_businesses);
+  std::iota(world.item_to_entity.begin(), world.item_to_entity.end(), 0);
+
+  const int d = cfg.latent_dim;
+  const double s = 1.0 / std::sqrt(static_cast<double>(d));
+
+  // Category latents are the taste axes; community latents anchor on them.
+  std::vector<Latent> category_lat(cfg.num_categories);
+  for (auto& c : category_lat) {
+    c = RandomLatent(d, 1.0, rng);
+    Normalize(&c);
+  }
+  struct Community {
+    int32_t home_city;
+    Latent taste;
+  };
+  std::vector<Community> communities(cfg.num_communities);
+  for (auto& com : communities) {
+    com.home_city = static_cast<int32_t>(rng->UniformInt(0, cfg.num_cities - 1));
+    com.taste.assign(d, 0.0);
+    const int c1 = static_cast<int>(rng->UniformInt(0, cfg.num_categories - 1));
+    const int c2 = static_cast<int>(rng->UniformInt(0, cfg.num_categories - 1));
+    Axpy(0.6, category_lat[c1], &com.taste);
+    Axpy(0.4, category_lat[c2], &com.taste);
+    Latent noise = RandomLatent(d, s * 0.3, rng);
+    Axpy(1.0, noise, &com.taste);
+    Normalize(&com.taste);
+  }
+
+  // Users: community membership + slightly perturbed community taste.
+  world.user_community.resize(cfg.num_users);
+  std::vector<Latent> user_lat(cfg.num_users);
+  std::vector<std::vector<UserId>> community_members(cfg.num_communities);
+  for (UserId u = 0; u < cfg.num_users; ++u) {
+    const int32_t com =
+        static_cast<int32_t>(rng->UniformInt(0, cfg.num_communities - 1));
+    world.user_community[u] = com;
+    community_members[com].push_back(u);
+    user_lat[u] = communities[com].taste;
+    Latent noise = RandomLatent(d, s * 0.45, rng);
+    Axpy(1.0, noise, &user_lat[u]);
+    Normalize(&user_lat[u]);
+  }
+
+  // Businesses: city + categories drive the latent; quality drives stars.
+  world.business_city.resize(cfg.num_businesses);
+  std::vector<Latent> biz_lat(cfg.num_businesses);
+  std::vector<double> biz_quality(cfg.num_businesses);
+  auto add_bool = [&](ItemId b, RelationId rel, int32_t base, int n_values,
+                      double p_first) {
+    const int v = rng->Bernoulli(p_first)
+                      ? 0
+                      : static_cast<int>(rng->UniformInt(1, n_values - 1));
+    world.kg_triples.push_back(Triple{b, rel, base + v});
+  };
+  for (ItemId b = 0; b < cfg.num_businesses; ++b) {
+    const int32_t city =
+        static_cast<int32_t>(rng->UniformInt(0, cfg.num_cities - 1));
+    world.business_city[b] = city;
+    world.kg_triples.push_back(Triple{b, kInCity, city0 + city});
+    // Neighborhoods nest in cities: hood id = city * (H/C) + local.
+    const int hoods_per_city =
+        std::max(1, cfg.num_neighborhoods / cfg.num_cities);
+    const int hood = std::min<int>(
+        cfg.num_neighborhoods - 1,
+        city * hoods_per_city +
+            static_cast<int>(rng->UniformInt(0, hoods_per_city - 1)));
+    world.kg_triples.push_back(Triple{b, kInNeighborhood, hood0 + hood});
+
+    Latent lat(d, 0.0);
+    const int n_cats =
+        static_cast<int>(rng->UniformInt(cfg.min_categories, cfg.max_categories));
+    std::vector<int> cats;
+    while (static_cast<int>(cats.size()) < n_cats) {
+      const int c = static_cast<int>(rng->UniformInt(0, cfg.num_categories - 1));
+      if (std::find(cats.begin(), cats.end(), c) == cats.end()) {
+        cats.push_back(c);
+      }
+    }
+    for (int c : cats) {
+      world.kg_triples.push_back(Triple{b, kHasCategory, cat0 + c});
+      Axpy(1.0 / n_cats, category_lat[c], &lat);
+    }
+    Latent noise = RandomLatent(d, s * 0.3, rng);
+    Axpy(1.0, noise, &lat);
+    Normalize(&lat);
+    biz_lat[b] = std::move(lat);
+
+    biz_quality[b] = rng->Normal(0.0, 1.0);
+    const int stars = std::clamp(
+        static_cast<int>(std::lround(2.0 + biz_quality[b])), 0, 4);
+    world.kg_triples.push_back(Triple{b, kStarsBucket, stars0 + stars});
+    world.kg_triples.push_back(Triple{
+        b, kPriceRange,
+        price0 + static_cast<int32_t>(rng->UniformInt(0, 3))});
+    add_bool(b, kOffersWifi, wifi0, 2, 0.6);
+    add_bool(b, kAcceptsCards, cards0, 2, 0.85);
+    add_bool(b, kGoodForKids, kids0, 2, 0.5);
+    add_bool(b, kHasParking, parking0, 3, 0.4);
+    add_bool(b, kServesAlcohol, alcohol0, 3, 0.45);
+    world.kg_triples.push_back(Triple{
+        b, kAmbience, ambience0 + static_cast<int32_t>(rng->UniformInt(0, 5))});
+    world.kg_triples.push_back(Triple{
+        b, kNoiseLevel, noise0 + static_cast<int32_t>(rng->UniformInt(0, 3))});
+    world.kg_triples.push_back(Triple{
+        b, kAttire, attire0 + static_cast<int32_t>(rng->UniformInt(0, 2))});
+    add_bool(b, kOffersDelivery, delivery0, 2, 0.5);
+    add_bool(b, kOffersTakeout, takeout0, 2, 0.7);
+    add_bool(b, kTakesReservations, resv0, 2, 0.4);
+    add_bool(b, kGoodForGroups, grp0, 2, 0.6);
+  }
+
+  // Businesses grouped by city for visit sampling.
+  std::vector<std::vector<ItemId>> by_city(cfg.num_cities);
+  for (ItemId b = 0; b < cfg.num_businesses; ++b) {
+    by_city[world.business_city[b]].push_back(b);
+  }
+
+  // Visit affinity: taste match + quality, biased to the home city.
+  auto affinity = [&](UserId u, ItemId b) {
+    return 1.4 * Dot(user_lat[u], biz_lat[b]) + 0.6 * biz_quality[b];
+  };
+
+  std::vector<Interaction> visit_pairs;
+  for (UserId u = 0; u < cfg.num_users; ++u) {
+    const int32_t home = communities[world.user_community[u]].home_city;
+    const int n_visits =
+        static_cast<int>(rng->UniformInt(cfg.min_visits, cfg.max_visits));
+    std::unordered_set<ItemId> visited;
+    int attempts = 0;
+    while (static_cast<int>(visited.size()) < n_visits &&
+           attempts < n_visits * 30) {
+      ++attempts;
+      const auto& pool = (rng->Bernoulli(cfg.home_city_bias) &&
+                          !by_city[home].empty())
+                             ? by_city[home]
+                             : by_city[static_cast<size_t>(
+                                   rng->UniformInt(0, cfg.num_cities - 1))];
+      if (pool.empty()) continue;
+      const ItemId b = pool[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(pool.size()) - 1))];
+      if (visited.count(b)) continue;
+      // Accept with probability increasing in affinity (logistic).
+      const double a = affinity(u, b);
+      if (rng->Uniform() < 1.0 / (1.0 + std::exp(-1.5 * a))) {
+        visited.insert(b);
+        visit_pairs.push_back(Interaction{u, b});
+      }
+    }
+  }
+  world.visits = InteractionMatrix::FromPairs(cfg.num_users,
+                                              cfg.num_businesses,
+                                              std::move(visit_pairs));
+
+  // Friendship graph inside each community (Erdős–Rényi).
+  std::vector<std::unordered_set<UserId>> friends(cfg.num_users);
+  for (const auto& members : community_members) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        if (rng->Bernoulli(cfg.friendship_probability)) {
+          friends[members[i]].insert(members[j]);
+          friends[members[j]].insert(members[i]);
+        }
+      }
+    }
+  }
+
+  // Groups: friend cliques of `group_size` co-visiting the business with
+  // the highest joint affinity (plus noise) in their home city.
+  std::vector<std::vector<UserId>> member_lists;
+  std::vector<Interaction> group_pairs;
+  int attempts = 0;
+  const int max_attempts = cfg.num_groups * 80;
+  while (static_cast<int32_t>(member_lists.size()) < cfg.num_groups &&
+         attempts < max_attempts) {
+    ++attempts;
+    const UserId seed =
+        static_cast<UserId>(rng->UniformInt(0, cfg.num_users - 1));
+    if (static_cast<int>(friends[seed].size()) < cfg.group_size - 1) continue;
+    std::vector<UserId> flist(friends[seed].begin(), friends[seed].end());
+    std::sort(flist.begin(), flist.end());
+    rng->Shuffle(&flist);
+    std::vector<UserId> members{seed};
+    for (UserId cand : flist) {
+      if (static_cast<int>(members.size()) == cfg.group_size) break;
+      bool clique = true;
+      for (UserId m : members) {
+        if (m != seed && !friends[cand].count(m)) {
+          clique = false;
+          break;
+        }
+      }
+      if (clique) members.push_back(cand);
+    }
+    if (static_cast<int>(members.size()) != cfg.group_size) continue;
+
+    // The group's event: best joint-affinity business in the home city.
+    const int32_t home = communities[world.user_community[seed]].home_city;
+    const auto& pool = by_city[home].empty()
+                           ? by_city[0]
+                           : by_city[home];
+    if (pool.empty()) continue;
+    ItemId best = pool[0];
+    double best_score = -1e300;
+    for (ItemId b : pool) {
+      double joint = 0.0;
+      for (UserId m : members) joint += affinity(m, b);
+      joint += rng->Normal(0.0, 0.8);  // event circumstance noise
+      if (joint > best_score) {
+        best_score = joint;
+        best = b;
+      }
+    }
+    std::sort(members.begin(), members.end());
+    const GroupId g = static_cast<GroupId>(member_lists.size());
+    member_lists.push_back(std::move(members));
+    group_pairs.push_back(Interaction{g, best});
+  }
+  world.groups = GroupTable(std::move(member_lists));
+  world.group_item = InteractionMatrix::FromPairs(
+      world.groups.num_groups(), cfg.num_businesses, std::move(group_pairs));
+
+  return world;
+}
+
+}  // namespace kgag

@@ -1,0 +1,37 @@
+// Scoring interfaces that decouple the evaluator from concrete models.
+#ifndef KGAG_EVAL_GROUP_SCORER_H_
+#define KGAG_EVAL_GROUP_SCORER_H_
+
+#include <span>
+#include <vector>
+
+#include "data/interactions.h"
+
+namespace kgag {
+
+/// \brief Anything that can score candidate items for a group; the
+/// prediction function F(g, v | Θ) of §III-A.
+class GroupScorer {
+ public:
+  virtual ~GroupScorer() = default;
+
+  /// Prediction scores for group g over `items`; higher = more preferred.
+  /// Returned vector is parallel to `items`.
+  virtual std::vector<double> ScoreGroup(GroupId g,
+                                         std::span<const ItemId> items) = 0;
+};
+
+/// \brief Individual (per-user) scoring, used by score-aggregation
+/// baselines (CF+X, KGCN+X) and by the user-item loss term.
+class IndividualScorer {
+ public:
+  virtual ~IndividualScorer() = default;
+
+  /// Prediction scores for user u over `items`.
+  virtual std::vector<double> ScoreUser(UserId u,
+                                        std::span<const ItemId> items) = 0;
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_EVAL_GROUP_SCORER_H_

@@ -1,0 +1,62 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace kgag {
+
+std::vector<size_t> TopKIndices(std::span<const double> scores, size_t k) {
+  std::vector<size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  k = std::min(k, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&](size_t a, size_t b) {
+                      return scores[a] != scores[b] ? scores[a] > scores[b]
+                                                    : a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+double HitAtK(std::span<const ItemId> ranked_items,
+              const std::unordered_set<ItemId>& positives, size_t k) {
+  const size_t n = std::min(k, ranked_items.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (positives.count(ranked_items[i])) return 1.0;
+  }
+  return 0.0;
+}
+
+double RecallAtK(std::span<const ItemId> ranked_items,
+                 const std::unordered_set<ItemId>& positives, size_t k) {
+  if (positives.empty()) return 0.0;
+  const size_t n = std::min(k, ranked_items.size());
+  size_t found = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (positives.count(ranked_items[i])) ++found;
+  }
+  return static_cast<double>(found) / static_cast<double>(positives.size());
+}
+
+double NdcgAtK(std::span<const ItemId> ranked_items,
+               const std::unordered_set<ItemId>& positives, size_t k) {
+  if (positives.empty()) return 0.0;
+  const size_t n = std::min(k, ranked_items.size());
+  double dcg = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (positives.count(ranked_items[i])) {
+      dcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+    }
+  }
+  double idcg = 0.0;
+  const size_t ideal = std::min(k, positives.size());
+  for (size_t i = 0; i < ideal; ++i) {
+    idcg += 1.0 / std::log2(static_cast<double>(i) + 2.0);
+  }
+  return idcg == 0.0 ? 0.0 : dcg / idcg;
+}
+
+}  // namespace kgag

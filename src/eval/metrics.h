@@ -1,0 +1,32 @@
+// Ranking metrics of §IV-C: hit@k and rec@k, plus ndcg@k as an extra.
+#ifndef KGAG_EVAL_METRICS_H_
+#define KGAG_EVAL_METRICS_H_
+
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "data/interactions.h"
+
+namespace kgag {
+
+/// Indices of the k largest scores, in descending score order. Ties break
+/// towards the smaller index for determinism.
+std::vector<size_t> TopKIndices(std::span<const double> scores, size_t k);
+
+/// 1.0 if any of the top-k ranked items is a positive, else 0.0 (Eq. 21's
+/// per-group indicator).
+double HitAtK(std::span<const ItemId> ranked_items,
+              const std::unordered_set<ItemId>& positives, size_t k);
+
+/// |top-k ∩ positives| / |positives| for one group.
+double RecallAtK(std::span<const ItemId> ranked_items,
+                 const std::unordered_set<ItemId>& positives, size_t k);
+
+/// DCG@k / IDCG@k with binary relevance.
+double NdcgAtK(std::span<const ItemId> ranked_items,
+               const std::unordered_set<ItemId>& positives, size_t k);
+
+}  // namespace kgag
+
+#endif  // KGAG_EVAL_METRICS_H_

@@ -1,0 +1,62 @@
+#include "eval/ranking_evaluator.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "eval/metrics.h"
+
+namespace kgag {
+
+std::string EvalResult::ToString() const {
+  std::ostringstream os;
+  os << "hit@" << k << "=" << hit_at_k << " rec@" << k << "=" << recall_at_k
+     << " ndcg@" << k << "=" << ndcg_at_k << " (" << num_groups << " groups)";
+  return os.str();
+}
+
+RankingEvaluator::RankingEvaluator(const GroupRecDataset* dataset, size_t k)
+    : dataset_(dataset), k_(k) {
+  KGAG_CHECK(dataset != nullptr);
+  KGAG_CHECK_GT(k, 0u);
+}
+
+EvalResult RankingEvaluator::Evaluate(
+    GroupScorer* scorer, const std::vector<Interaction>& interactions) const {
+  // Candidate pool + per-group positive sets from the held-out slice.
+  std::unordered_set<ItemId> pool_set;
+  std::unordered_map<GroupId, std::unordered_set<ItemId>> positives;
+  for (const Interaction& it : interactions) {
+    pool_set.insert(it.item);
+    positives[it.row].insert(it.item);
+  }
+  std::vector<ItemId> pool(pool_set.begin(), pool_set.end());
+  std::sort(pool.begin(), pool.end());
+
+  EvalResult result;
+  result.k = k_;
+  if (pool.empty() || positives.empty()) return result;
+
+  for (const auto& [group, pos] : positives) {
+    const std::vector<double> scores = scorer->ScoreGroup(group, pool);
+    KGAG_CHECK_EQ(scores.size(), pool.size())
+        << "scorer returned wrong-size vector";
+    const std::vector<size_t> top = TopKIndices(scores, k_);
+    std::vector<ItemId> ranked;
+    ranked.reserve(top.size());
+    for (size_t i : top) ranked.push_back(pool[i]);
+    result.hit_at_k += HitAtK(ranked, pos, k_);
+    result.recall_at_k += RecallAtK(ranked, pos, k_);
+    result.ndcg_at_k += NdcgAtK(ranked, pos, k_);
+    ++result.num_groups;
+  }
+  const double n = static_cast<double>(result.num_groups);
+  result.hit_at_k /= n;
+  result.recall_at_k /= n;
+  result.ndcg_at_k /= n;
+  return result;
+}
+
+}  // namespace kgag

@@ -1,0 +1,53 @@
+#include "eval/statistics.h"
+
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace kgag {
+
+std::string SummaryStats::ToString(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << mean << " +/- " << stderr_mean << " (n=" << n << ")";
+  return os.str();
+}
+
+SummaryStats Summarize(std::span<const double> values) {
+  SummaryStats s;
+  s.n = values.size();
+  if (s.n == 0) return s;
+  double sum = 0;
+  for (double v : values) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n > 1) {
+    double sq = 0;
+    for (double v : values) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(s.n - 1));
+    s.stderr_mean = s.stddev / std::sqrt(static_cast<double>(s.n));
+  }
+  return s;
+}
+
+PairedComparison ComparePaired(std::span<const double> a,
+                               std::span<const double> b) {
+  KGAG_CHECK_EQ(a.size(), b.size()) << "paired samples must align";
+  PairedComparison cmp;
+  cmp.n = a.size();
+  if (cmp.n == 0) return cmp;
+  std::vector<double> diffs(cmp.n);
+  for (size_t i = 0; i < cmp.n; ++i) {
+    diffs[i] = a[i] - b[i];
+    if (a[i] > b[i]) ++cmp.wins;
+  }
+  SummaryStats s = Summarize(diffs);
+  cmp.mean_diff = s.mean;
+  cmp.stderr_diff = s.stderr_mean;
+  cmp.t_statistic =
+      s.stderr_mean > 0 ? s.mean / s.stderr_mean
+                        : (s.mean == 0 ? 0.0
+                                       : std::numeric_limits<double>::infinity());
+  return cmp;
+}
+
+}  // namespace kgag

@@ -1,0 +1,44 @@
+// Small statistics helpers for multi-seed experiment reporting: means,
+// standard errors and paired comparisons between two methods evaluated on
+// the same seeds.
+#ifndef KGAG_EVAL_STATISTICS_H_
+#define KGAG_EVAL_STATISTICS_H_
+
+#include <cmath>
+#include <span>
+#include <string>
+
+#include "common/check.h"
+
+namespace kgag {
+
+/// \brief Mean and standard error of a sample.
+struct SummaryStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double stderr_mean = 0.0;  ///< stddev / sqrt(n)
+  size_t n = 0;
+
+  std::string ToString(int precision = 4) const;
+};
+
+SummaryStats Summarize(std::span<const double> values);
+
+/// \brief Paired comparison of two methods run on the same seeds.
+struct PairedComparison {
+  double mean_diff = 0.0;    ///< mean(a - b)
+  double stderr_diff = 0.0;  ///< standard error of the differences
+  /// mean_diff / stderr_diff; |t| > ~2 suggests a real difference for
+  /// small samples (not a calibrated p-value — a reporting aid).
+  double t_statistic = 0.0;
+  size_t wins = 0;  ///< count of seeds where a > b
+  size_t n = 0;
+};
+
+/// a[i] and b[i] must come from the same seed/world.
+PairedComparison ComparePaired(std::span<const double> a,
+                               std::span<const double> b);
+
+}  // namespace kgag
+
+#endif  // KGAG_EVAL_STATISTICS_H_

@@ -1,0 +1,52 @@
+#include "kg/collaborative_kg.h"
+
+#include <unordered_set>
+
+namespace kgag {
+
+Result<CollaborativeKg> BuildCollaborativeKg(
+    const std::vector<Triple>& kg_triples, int32_t num_entities,
+    int32_t num_relations, int32_t num_users,
+    const std::vector<EntityId>& item_to_entity,
+    const std::vector<std::pair<int32_t, int32_t>>& user_item_interactions) {
+  if (num_users < 0) {
+    return Status::InvalidArgument("negative user count");
+  }
+  std::unordered_set<EntityId> seen_entities;
+  for (EntityId e : item_to_entity) {
+    if (e < 0 || e >= num_entities) {
+      return Status::OutOfRange("item_to_entity id out of range");
+    }
+    if (!seen_entities.insert(e).second) {
+      return Status::InvalidArgument(
+          "item_to_entity must be injective (items with multiple matched "
+          "entities are removed upstream, as in the paper)");
+    }
+  }
+
+  CollaborativeKg ckg;
+  ckg.num_base_entities = num_entities;
+  ckg.num_users = num_users;
+  ckg.interact_relation = num_relations;
+  ckg.item_to_entity = item_to_entity;
+
+  std::vector<Triple> all = kg_triples;
+  all.reserve(kg_triples.size() + user_item_interactions.size());
+  for (const auto& [user, item] : user_item_interactions) {
+    if (user < 0 || user >= num_users) {
+      return Status::OutOfRange("interaction user id out of range");
+    }
+    if (item < 0 || item >= static_cast<int32_t>(item_to_entity.size())) {
+      return Status::OutOfRange("interaction item id out of range");
+    }
+    all.push_back(Triple{ckg.UserNode(user), ckg.interact_relation,
+                         item_to_entity[item]});
+  }
+
+  KGAG_ASSIGN_OR_RETURN(
+      ckg.graph,
+      KnowledgeGraph::Build(num_entities + num_users, num_relations + 1, all));
+  return ckg;
+}
+
+}  // namespace kgag

@@ -1,0 +1,61 @@
+// Collaborative knowledge graph (§III-A): the item knowledge graph plus
+// user nodes connected by an `Interact` relation to the entities of the
+// items they engaged with — E' = E ∪ U, R' = R ∪ {Interact}.
+#ifndef KGAG_KG_COLLABORATIVE_KG_H_
+#define KGAG_KG_COLLABORATIVE_KG_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "kg/knowledge_graph.h"
+
+namespace kgag {
+
+/// \brief The merged graph and the id arithmetic around it.
+///
+/// Node layout: base entities keep their ids [0, E); user u becomes node
+/// E + u. The Interact relation gets the first id after the base
+/// relations.
+struct CollaborativeKg {
+  KnowledgeGraph graph;
+  int32_t num_base_entities = 0;
+  int32_t num_users = 0;
+  RelationId interact_relation = kInvalidRelation;
+  /// f: item id -> entity node id.
+  std::vector<EntityId> item_to_entity;
+
+  EntityId UserNode(int32_t user) const {
+    KGAG_DCHECK(user >= 0 && user < num_users);
+    return num_base_entities + user;
+  }
+  EntityId ItemEntity(int32_t item) const {
+    KGAG_DCHECK(item >= 0 &&
+                item < static_cast<int32_t>(item_to_entity.size()));
+    return item_to_entity[item];
+  }
+  bool IsUserNode(EntityId e) const { return e >= num_base_entities; }
+  int32_t NodeToUser(EntityId e) const {
+    KGAG_DCHECK(IsUserNode(e));
+    return e - num_base_entities;
+  }
+};
+
+/// Builds the collaborative KG.
+///
+/// \param kg_triples facts of the item knowledge graph
+/// \param num_entities entity count of the item KG (E)
+/// \param num_relations relation count of the item KG (R)
+/// \param num_users number of users to add as nodes
+/// \param item_to_entity mapping f from item id to entity id (injective)
+/// \param user_item_interactions observed (user, item) pairs; each becomes
+///        a (user_node, Interact, f(item)) fact
+Result<CollaborativeKg> BuildCollaborativeKg(
+    const std::vector<Triple>& kg_triples, int32_t num_entities,
+    int32_t num_relations, int32_t num_users,
+    const std::vector<EntityId>& item_to_entity,
+    const std::vector<std::pair<int32_t, int32_t>>& user_item_interactions);
+
+}  // namespace kgag
+
+#endif  // KGAG_KG_COLLABORATIVE_KG_H_

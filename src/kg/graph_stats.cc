@@ -1,0 +1,87 @@
+#include "kg/graph_stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace kgag {
+
+DegreeStats ComputeDegreeStats(const KnowledgeGraph& graph) {
+  DegreeStats stats;
+  const int32_t n = graph.num_entities();
+  if (n == 0) return stats;
+  std::vector<size_t> degrees(static_cast<size_t>(n));
+  size_t total = 0;
+  stats.min = SIZE_MAX;
+  for (int32_t e = 0; e < n; ++e) {
+    const size_t d = graph.Degree(e);
+    degrees[static_cast<size_t>(e)] = d;
+    total += d;
+    stats.min = std::min(stats.min, d);
+    stats.max = std::max(stats.max, d);
+    if (d == 0) ++stats.isolated;
+  }
+  stats.mean = static_cast<double>(total) / n;
+  std::sort(degrees.begin(), degrees.end());
+  auto quantile = [&](double q) {
+    const size_t idx = std::min(
+        degrees.size() - 1, static_cast<size_t>(q * (degrees.size() - 1)));
+    return degrees[idx];
+  };
+  stats.p50 = quantile(0.5);
+  stats.p90 = quantile(0.9);
+  stats.p99 = quantile(0.99);
+  return stats;
+}
+
+std::vector<size_t> RelationUsage(const KnowledgeGraph& graph) {
+  std::vector<size_t> counts(
+      static_cast<size_t>(graph.relation_vocab_size()), 0);
+  for (int32_t e = 0; e < graph.num_entities(); ++e) {
+    for (const Edge& edge : graph.Neighbors(e)) {
+      ++counts[static_cast<size_t>(edge.relation)];
+    }
+  }
+  return counts;
+}
+
+UserProximityStats EstimateUserProximity(const CollaborativeKg& ckg,
+                                         int max_depth, size_t num_pairs,
+                                         Rng* rng) {
+  UserProximityStats stats;
+  if (ckg.num_users < 2) return stats;
+  double total_distance = 0.0;
+  size_t reachable = 0;
+  for (size_t i = 0; i < num_pairs; ++i) {
+    const int32_t a =
+        static_cast<int32_t>(rng->UniformInt(0, ckg.num_users - 1));
+    int32_t b = a;
+    while (b == a) {
+      b = static_cast<int32_t>(rng->UniformInt(0, ckg.num_users - 1));
+    }
+    const int d =
+        ckg.graph.BfsDistance(ckg.UserNode(a), ckg.UserNode(b), max_depth);
+    if (d >= 0) {
+      total_distance += d;
+      ++reachable;
+    }
+  }
+  stats.pairs_sampled = num_pairs;
+  stats.unreachable_fraction =
+      1.0 - static_cast<double>(reachable) / static_cast<double>(num_pairs);
+  stats.mean_distance =
+      reachable == 0 ? 0.0 : total_distance / static_cast<double>(reachable);
+  return stats;
+}
+
+std::string DescribeGraph(const KnowledgeGraph& graph) {
+  const DegreeStats deg = ComputeDegreeStats(graph);
+  std::ostringstream os;
+  os << graph.num_entities() << " entities, " << graph.num_relations()
+     << " relations, " << graph.num_triples() << " triples ("
+     << graph.num_edges() << " directed edges); degree mean " << deg.mean
+     << " p50 " << deg.p50 << " p99 " << deg.p99 << ", " << deg.isolated
+     << " isolated";
+  return os.str();
+}
+
+}  // namespace kgag

@@ -1,0 +1,52 @@
+// Structural diagnostics over (collaborative) knowledge graphs: degree
+// distributions, relation usage and user-user proximity — the statistics
+// behind the paper's §IV-E explanations ("members in Yelp are more
+// centralized", "high-order connectivities between users").
+#ifndef KGAG_KG_GRAPH_STATS_H_
+#define KGAG_KG_GRAPH_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "kg/collaborative_kg.h"
+#include "kg/knowledge_graph.h"
+
+namespace kgag {
+
+/// \brief Degree distribution summary.
+struct DegreeStats {
+  double mean = 0.0;
+  size_t min = 0;
+  size_t max = 0;
+  size_t isolated = 0;  ///< nodes with no edges
+  /// Degree quantiles at 50/90/99%.
+  size_t p50 = 0, p90 = 0, p99 = 0;
+};
+
+DegreeStats ComputeDegreeStats(const KnowledgeGraph& graph);
+
+/// Count of stored directed edges per relation id (vocab-size entries,
+/// inverses included when present).
+std::vector<size_t> RelationUsage(const KnowledgeGraph& graph);
+
+/// \brief Distribution of pairwise hop distances between user nodes in a
+/// collaborative KG, estimated on sampled pairs.
+struct UserProximityStats {
+  double mean_distance = 0.0;       ///< over reachable sampled pairs
+  double unreachable_fraction = 0.0;
+  size_t pairs_sampled = 0;
+};
+
+/// \param max_depth distances above this count as unreachable
+/// \param num_pairs sampled user pairs
+UserProximityStats EstimateUserProximity(const CollaborativeKg& ckg,
+                                         int max_depth, size_t num_pairs,
+                                         Rng* rng);
+
+/// One-line human-readable summary of a graph.
+std::string DescribeGraph(const KnowledgeGraph& graph);
+
+}  // namespace kgag
+
+#endif  // KGAG_KG_GRAPH_STATS_H_

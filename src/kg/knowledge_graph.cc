@@ -1,0 +1,114 @@
+#include "kg/knowledge_graph.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace kgag {
+
+Result<KnowledgeGraph> KnowledgeGraph::Build(int32_t num_entities,
+                                             int32_t num_relations,
+                                             const std::vector<Triple>& triples,
+                                             Options options) {
+  if (num_entities < 0 || num_relations < 0) {
+    return Status::InvalidArgument("negative entity/relation count");
+  }
+  for (const Triple& t : triples) {
+    if (t.head < 0 || t.head >= num_entities || t.tail < 0 ||
+        t.tail >= num_entities) {
+      return Status::OutOfRange("triple entity id out of range");
+    }
+    if (t.relation < 0 || t.relation >= num_relations) {
+      return Status::OutOfRange("triple relation id out of range");
+    }
+  }
+
+  KnowledgeGraph g;
+  g.num_entities_ = num_entities;
+  g.num_relations_ = num_relations;
+  g.has_inverse_ = options.add_inverse_edges;
+  g.num_triples_ = triples.size();
+
+  // Counting sort into CSR.
+  std::vector<size_t> degree(static_cast<size_t>(num_entities) + 1, 0);
+  for (const Triple& t : triples) {
+    ++degree[t.head];
+    if (options.add_inverse_edges) ++degree[t.tail];
+  }
+  g.offsets_.assign(static_cast<size_t>(num_entities) + 1, 0);
+  for (int32_t e = 0; e < num_entities; ++e) {
+    g.offsets_[e + 1] = g.offsets_[e] + degree[e];
+  }
+  g.edges_.resize(g.offsets_[num_entities]);
+  std::vector<size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Triple& t : triples) {
+    g.edges_[cursor[t.head]++] = Edge{t.tail, t.relation};
+    if (options.add_inverse_edges) {
+      g.edges_[cursor[t.tail]++] =
+          Edge{t.head, static_cast<RelationId>(t.relation + num_relations)};
+    }
+  }
+  // Sort each adjacency list for deterministic iteration and binary search.
+  for (int32_t e = 0; e < num_entities; ++e) {
+    std::sort(g.edges_.begin() + g.offsets_[e],
+              g.edges_.begin() + g.offsets_[e + 1],
+              [](const Edge& a, const Edge& b) {
+                return a.neighbor != b.neighbor ? a.neighbor < b.neighbor
+                                                : a.relation < b.relation;
+              });
+  }
+  return g;
+}
+
+bool KnowledgeGraph::HasEdge(EntityId e, RelationId r, EntityId t) const {
+  for (const Edge& edge : Neighbors(e)) {
+    if (edge.neighbor == t && edge.relation == r) return true;
+    if (edge.neighbor > t) break;  // sorted by neighbor
+  }
+  return false;
+}
+
+int KnowledgeGraph::BfsDistance(EntityId from, EntityId to,
+                                int max_depth) const {
+  if (from == to) return 0;
+  std::unordered_map<EntityId, int> dist;
+  dist[from] = 0;
+  std::deque<EntityId> queue{from};
+  while (!queue.empty()) {
+    EntityId cur = queue.front();
+    queue.pop_front();
+    const int d = dist[cur];
+    if (d >= max_depth) continue;
+    for (const Edge& edge : Neighbors(cur)) {
+      if (dist.count(edge.neighbor)) continue;
+      if (edge.neighbor == to) return d + 1;
+      dist[edge.neighbor] = d + 1;
+      queue.push_back(edge.neighbor);
+    }
+  }
+  return -1;
+}
+
+std::vector<EntityId> KnowledgeGraph::Neighborhood(EntityId from,
+                                                   int depth) const {
+  std::unordered_map<EntityId, int> dist;
+  dist[from] = 0;
+  std::deque<EntityId> queue{from};
+  std::vector<EntityId> out{from};
+  while (!queue.empty()) {
+    EntityId cur = queue.front();
+    queue.pop_front();
+    const int d = dist[cur];
+    if (d >= depth) continue;
+    for (const Edge& edge : Neighbors(cur)) {
+      if (dist.count(edge.neighbor)) continue;
+      dist[edge.neighbor] = d + 1;
+      out.push_back(edge.neighbor);
+      queue.push_back(edge.neighbor);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace kgag

@@ -1,0 +1,97 @@
+// Immutable knowledge graph in CSR (compressed sparse row) layout.
+//
+// Built once from a triple list, then queried by the neighbor sampler and
+// the propagation engine. Edges are stored bidirectionally by default:
+// for a fact (h, r, t) the graph holds h -(r)-> t and t -(r + R)-> h where
+// R is the number of forward relations, so information can propagate
+// against edge direction with a distinct (trainable) inverse relation
+// embedding — the construction used by KGAT/KGCN-style models.
+#ifndef KGAG_KG_KNOWLEDGE_GRAPH_H_
+#define KGAG_KG_KNOWLEDGE_GRAPH_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "kg/triple.h"
+
+namespace kgag {
+
+/// \brief Construction options for KnowledgeGraph::Build.
+struct KnowledgeGraphOptions {
+  /// Adds t -(r+R)-> h for every fact; doubles the relation vocabulary.
+  bool add_inverse_edges = true;
+};
+
+/// \brief CSR adjacency over entities with relation-typed edges.
+class KnowledgeGraph {
+ public:
+  using Options = KnowledgeGraphOptions;
+
+  /// An empty graph; Build() is the real constructor.
+  KnowledgeGraph() = default;
+
+  /// Validates ids and builds the CSR index.
+  ///
+  /// \param num_entities entity ids must lie in [0, num_entities)
+  /// \param num_relations forward relation ids must lie in [0, num_relations)
+  static Result<KnowledgeGraph> Build(int32_t num_entities,
+                                      int32_t num_relations,
+                                      const std::vector<Triple>& triples,
+                                      Options options = {});
+
+  int32_t num_entities() const { return num_entities_; }
+  /// Forward relations only (as given to Build).
+  int32_t num_relations() const { return num_relations_; }
+  /// Size of the relation vocabulary including inverses if enabled.
+  int32_t relation_vocab_size() const {
+    return has_inverse_ ? 2 * num_relations_ : num_relations_;
+  }
+  /// Number of forward facts.
+  size_t num_triples() const { return num_triples_; }
+  /// Number of stored directed edges (2x triples with inverses).
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Outgoing edges of entity e.
+  std::span<const Edge> Neighbors(EntityId e) const {
+    KGAG_DCHECK(e >= 0 && e < num_entities_);
+    return std::span<const Edge>(edges_.data() + offsets_[e],
+                                 offsets_[e + 1] - offsets_[e]);
+  }
+
+  size_t Degree(EntityId e) const {
+    KGAG_DCHECK(e >= 0 && e < num_entities_);
+    return offsets_[e + 1] - offsets_[e];
+  }
+
+  /// True if e has an edge to t labelled r.
+  bool HasEdge(EntityId e, RelationId r, EntityId t) const;
+
+  /// Breadth-first hop distance from `from` to `to`, or -1 if unreachable
+  /// within max_depth. Used for connectivity analysis and tests.
+  int BfsDistance(EntityId from, EntityId to, int max_depth) const;
+
+  /// All entities within `depth` hops of `from` (including itself).
+  std::vector<EntityId> Neighborhood(EntityId from, int depth) const;
+
+  /// Mean degree over all entities.
+  double MeanDegree() const {
+    return num_entities_ == 0
+               ? 0.0
+               : static_cast<double>(edges_.size()) / num_entities_;
+  }
+
+ private:
+  int32_t num_entities_ = 0;
+  int32_t num_relations_ = 0;
+  bool has_inverse_ = false;
+  size_t num_triples_ = 0;
+  std::vector<size_t> offsets_;  // size num_entities_ + 1
+  std::vector<Edge> edges_;
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_KG_KNOWLEDGE_GRAPH_H_

@@ -1,0 +1,63 @@
+#include "kg/neighbor_sampler.h"
+
+namespace kgag {
+
+NeighborSampler::NeighborSampler(const KnowledgeGraph* graph, int sample_size)
+    : graph_(graph),
+      sample_size_(sample_size),
+      self_loop_relation_(graph->relation_vocab_size()) {
+  KGAG_CHECK(graph != nullptr);
+  KGAG_CHECK_GT(sample_size, 0);
+}
+
+void NeighborSampler::SampleNeighbors(EntityId e, Rng* rng,
+                                      std::vector<Edge>* out) const {
+  out->clear();
+  out->reserve(sample_size_);
+  const auto neighbors = graph_->Neighbors(e);
+  const size_t degree = neighbors.size();
+  const size_t k = static_cast<size_t>(sample_size_);
+  if (degree == 0) {
+    out->assign(k, Edge{e, self_loop_relation_});
+    return;
+  }
+  if (degree >= k) {
+    std::vector<size_t> idx = rng->SampleWithoutReplacement(degree, k);
+    for (size_t i : idx) out->push_back(neighbors[i]);
+    return;
+  }
+  // All edges once, then uniform re-draws to pad to K.
+  for (const Edge& edge : neighbors) out->push_back(edge);
+  while (out->size() < k) {
+    const size_t i = static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(degree) - 1));
+    out->push_back(neighbors[i]);
+  }
+}
+
+SampledTree NeighborSampler::SampleTree(EntityId root, int depth,
+                                        Rng* rng) const {
+  KGAG_CHECK_GE(depth, 0);
+  SampledTree tree;
+  tree.entities.resize(depth + 1);
+  tree.relations.resize(depth);
+  tree.entities[0] = {root};
+  std::vector<Edge> scratch;
+  for (int h = 0; h < depth; ++h) {
+    const auto& parents = tree.entities[h];
+    auto& children = tree.entities[h + 1];
+    auto& rels = tree.relations[h];
+    children.reserve(parents.size() * sample_size_);
+    rels.reserve(parents.size() * sample_size_);
+    for (EntityId parent : parents) {
+      SampleNeighbors(parent, rng, &scratch);
+      for (const Edge& edge : scratch) {
+        children.push_back(edge.neighbor);
+        rels.push_back(edge.relation);
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace kgag

@@ -1,0 +1,60 @@
+// Fixed-size neighborhood sampling (the receptive-field construction used
+// by KGCN-style propagation, §III-C2). Each propagation layer looks at
+// exactly K sampled neighbors per node, so the depth-H receptive field of
+// a node is a K-ary tree with K^h nodes at layer h.
+#ifndef KGAG_KG_NEIGHBOR_SAMPLER_H_
+#define KGAG_KG_NEIGHBOR_SAMPLER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "kg/knowledge_graph.h"
+
+namespace kgag {
+
+/// \brief Depth-H sampled receptive field rooted at one node.
+///
+/// entities[0] = {root}; entities[h] has K^h nodes, where
+/// entities[h+1][i] is a sampled neighbor of its parent
+/// entities[h][i / K], connected by relations[h][i].
+/// Nodes with no edges are padded with self-loops labelled
+/// `self_loop_relation`.
+struct SampledTree {
+  std::vector<std::vector<EntityId>> entities;
+  std::vector<std::vector<RelationId>> relations;
+
+  int depth() const { return static_cast<int>(relations.size()); }
+  EntityId root() const { return entities[0][0]; }
+};
+
+/// \brief Samples K-neighbor sets and receptive-field trees from a graph.
+class NeighborSampler {
+ public:
+  /// \param graph must outlive the sampler
+  /// \param sample_size K, the fixed neighborhood size per node
+  NeighborSampler(const KnowledgeGraph* graph, int sample_size);
+
+  /// Relation id used for self-loop padding; one past the graph's relation
+  /// vocabulary, so embedding tables must reserve relation_vocab_size()+1
+  /// rows.
+  RelationId self_loop_relation() const { return self_loop_relation_; }
+
+  int sample_size() const { return sample_size_; }
+
+  /// Exactly K edges of e: a uniform sample without replacement when
+  /// degree >= K, otherwise all edges plus uniform re-draws (with
+  /// replacement), matching KGCN's fixed-size receptive field.
+  void SampleNeighbors(EntityId e, Rng* rng, std::vector<Edge>* out) const;
+
+  /// Materializes the depth-H receptive field of `root`.
+  SampledTree SampleTree(EntityId root, int depth, Rng* rng) const;
+
+ private:
+  const KnowledgeGraph* graph_;
+  int sample_size_;
+  RelationId self_loop_relation_;
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_KG_NEIGHBOR_SAMPLER_H_

@@ -1,0 +1,51 @@
+// Basic vocabulary types for the knowledge graph substrate.
+#ifndef KGAG_KG_TRIPLE_H_
+#define KGAG_KG_TRIPLE_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace kgag {
+
+/// Node identifier in a (collaborative) knowledge graph.
+using EntityId = int32_t;
+/// Relation identifier. Inverse relations occupy ids [R, 2R) when a graph
+/// is built with inverse edges (the default).
+using RelationId = int32_t;
+
+constexpr EntityId kInvalidEntity = -1;
+constexpr RelationId kInvalidRelation = -1;
+
+/// \brief One fact (h, r, t): head entity, relation, tail entity.
+struct Triple {
+  EntityId head = kInvalidEntity;
+  RelationId relation = kInvalidRelation;
+  EntityId tail = kInvalidEntity;
+
+  bool operator==(const Triple& o) const {
+    return head == o.head && relation == o.relation && tail == o.tail;
+  }
+};
+
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    size_t h = std::hash<int64_t>()(
+        (static_cast<int64_t>(t.head) << 32) ^ static_cast<int64_t>(t.tail));
+    return h ^ (std::hash<int32_t>()(t.relation) * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+/// \brief Outgoing edge as stored in adjacency: the neighbor and the
+/// relation that connects to it.
+struct Edge {
+  EntityId neighbor = kInvalidEntity;
+  RelationId relation = kInvalidRelation;
+
+  bool operator==(const Edge& o) const {
+    return neighbor == o.neighbor && relation == o.relation;
+  }
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_KG_TRIPLE_H_

@@ -1,0 +1,73 @@
+// Hyper-parameters and ablation switches of KGAG (§III, §IV-F/G).
+#ifndef KGAG_MODELS_CONFIG_H_
+#define KGAG_MODELS_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace kgag {
+
+/// \brief Representation-update function of Eq. (5)/(6).
+enum class AggregatorKind {
+  kGcn,        ///< σ(W(e + e_N) + b)
+  kGraphSage,  ///< σ(W concat(e, e_N) + b)
+};
+
+/// \brief Group ranking loss of the optimization block.
+enum class GroupLossKind {
+  kMargin,  ///< Eq. (17): max(σ(ŷ_n) − σ(ŷ_p) + M, 0)
+  kBpr,     ///< −log σ(ŷ_p − ŷ_n), the KGAG(BPR) ablation
+};
+
+/// \brief Information-propagation block parameters (§III-C).
+struct PropagationConfig {
+  int depth = 2;        ///< H, number of stacked propagation layers
+  int sample_size = 4;  ///< K, fixed sampled neighborhood size
+  int dim = 16;         ///< d, representation dimension
+  AggregatorKind aggregator = AggregatorKind::kGcn;
+  /// Nonlinearity of the last propagation layer: tanh (the KGCN
+  /// convention) or identity (unbounded representations; helps when both
+  /// sides of the final inner product are propagated, as in KGAG).
+  bool final_tanh = true;
+};
+
+/// \brief Full KGAG configuration.
+struct KgagConfig {
+  PropagationConfig propagation;
+
+  // Ablation switches (Table III).
+  bool use_kg = true;  ///< false = KGAG-KG: skip the propagation block
+  bool use_sp = true;  ///< false = KGAG-SP: drop self-persistence attention
+  bool use_pi = true;  ///< false = KGAG-PI: drop peer-influence attention
+  GroupLossKind group_loss = GroupLossKind::kMargin;
+
+  // Optimization block (§III-E).
+  double margin = 0.4;        ///< M
+  double beta = 0.7;          ///< β, weight of the group ranking loss
+  double l2 = 1e-5;           ///< λ, L2 regularization
+  double learning_rate = 5e-3;
+  int epochs = 10;
+  size_t batch_size = 32;
+  /// Group-item pairs per epoch (0 = the full training split).
+  size_t pairs_per_epoch = 0;
+  double user_ratio = 1.0;    ///< user-item instances per group triplet
+  /// Eval-time Monte-Carlo samples of the receptive field per node
+  /// (training resamples per instance; eval averages this many trees).
+  int eval_tree_samples = 3;
+  /// Keep the weights of the epoch with the best validation hit@5
+  /// (the paper's protocol holds out a 20% validation split).
+  bool select_by_validation = true;
+  /// Receptive-field samples used for the cheap per-epoch validation
+  /// scoring (final test evaluation uses eval_tree_samples).
+  int valid_tree_samples = 1;
+  /// Cap on validation interactions scored per epoch.
+  size_t valid_max_interactions = 250;
+  uint64_t seed = 42;
+  bool verbose = false;
+
+  std::string Describe() const;
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_MODELS_CONFIG_H_

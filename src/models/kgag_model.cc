@@ -1,0 +1,375 @@
+#include "models/kgag_model.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "models/losses.h"
+#include "models/validation.h"
+
+namespace kgag {
+
+namespace {
+Scalar SigmoidScalar(Scalar x) {
+  if (x >= 0) return 1.0 / (1.0 + std::exp(-x));
+  const Scalar z = std::exp(x);
+  return z / (1.0 + z);
+}
+}  // namespace
+
+std::string KgagConfig::Describe() const {
+  std::string s = "KGAG";
+  if (!use_kg) s += "-KG";
+  if (!use_sp) s += "-SP";
+  if (!use_pi) s += "-PI";
+  if (group_loss == GroupLossKind::kBpr) s += " (BPR)";
+  if (propagation.aggregator == AggregatorKind::kGraphSage) {
+    s += " [GraphSage]";
+  }
+  return s;
+}
+
+KgagModel::KgagModel(const GroupRecDataset* dataset, const KgagConfig& config)
+    : dataset_(dataset),
+      config_(config),
+      init_rng_(config.seed),
+      batcher_(dataset,
+               Batcher::Options{config.batch_size, config.user_ratio,
+                                config.pairs_per_epoch}),
+      train_rng_(config.seed + 1),
+      eval_samples_in_use_(config.eval_tree_samples) {}
+
+Result<std::unique_ptr<KgagModel>> KgagModel::Create(
+    const GroupRecDataset* dataset, const KgagConfig& config) {
+  if (dataset == nullptr) {
+    return Status::InvalidArgument("null dataset");
+  }
+  auto model =
+      std::unique_ptr<KgagModel>(new KgagModel(dataset, config));
+
+  std::vector<std::pair<int32_t, int32_t>> interactions;
+  for (const Interaction& it : dataset->user_item.ToPairs()) {
+    interactions.emplace_back(it.row, it.item);
+  }
+  KGAG_ASSIGN_OR_RETURN(
+      model->ckg_,
+      BuildCollaborativeKg(dataset->kg_triples, dataset->num_entities,
+                           dataset->num_relations, dataset->num_users,
+                           dataset->item_to_entity, interactions));
+
+  const int d = config.propagation.dim;
+  model->entity_table_ = model->store_.Create(
+      "entity_emb", model->ckg_.graph.num_entities(), d, Init::kNormal01,
+      &model->init_rng_);
+  if (config.use_kg) {
+    model->propagation_.emplace(&model->ckg_.graph, model->entity_table_,
+                                &model->store_, config.propagation,
+                                &model->init_rng_);
+  }
+  model->aggregator_.emplace(d, dataset->group_size, config.use_sp,
+                             config.use_pi, &model->store_,
+                             &model->init_rng_);
+  model->optimizer_ = std::make_unique<Adam>(config.learning_rate);
+  return model;
+}
+
+std::string KgagModel::name() const { return config_.Describe(); }
+
+Var KgagModel::ScoreGroupItemOnTape(Tape* tape, GroupId g, ItemId v,
+                                    Rng* rng) {
+  const auto members = dataset_->groups.MembersOf(g);
+  const EntityId item_entity = ckg_.ItemEntity(v);
+
+  // Query for member propagation: the candidate item's zero-order
+  // embedding (§III-C1: i_e for a group member is the item the group
+  // interacts with).
+  Var member_query = tape->Gather(
+      entity_table_, {static_cast<size_t>(item_entity)});
+
+  std::vector<Var> member_rows;
+  member_rows.reserve(members.size());
+  std::vector<size_t> member_nodes;
+  member_nodes.reserve(members.size());
+  for (UserId u : members) {
+    member_nodes.push_back(static_cast<size_t>(ckg_.UserNode(u)));
+  }
+  if (config_.use_kg) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      SampledTree tree = propagation_->SampleTree(
+          static_cast<EntityId>(member_nodes[i]), rng);
+      member_rows.push_back(
+          propagation_->PropagateOnTape(tape, tree, member_query));
+    }
+  }
+  Var member_reps = config_.use_kg
+                        ? tape->ConcatRows(member_rows)
+                        : tape->Gather(entity_table_, member_nodes);
+
+  // Query for item propagation: mean zero-order member embedding.
+  Var item_query =
+      tape->MeanRows(tape->Gather(entity_table_, member_nodes));
+  Var item_rep;
+  if (config_.use_kg) {
+    SampledTree tree = propagation_->SampleTree(item_entity, rng);
+    item_rep = propagation_->PropagateOnTape(tape, tree, item_query);
+  } else {
+    item_rep = tape->Gather(entity_table_,
+                            {static_cast<size_t>(item_entity)});
+  }
+
+  Var group_rep = aggregator_->AggregateOnTape(tape, member_reps, item_rep);
+  return tape->DotAll(group_rep, item_rep);  // Eq. (14)/(15)
+}
+
+Var KgagModel::ScoreUserItemOnTape(Tape* tape, UserId u, ItemId v, Rng* rng) {
+  // Eq. (19) with knowledge-aware representations on both sides, so the
+  // user-item loss trains the same propagated path the group scorer uses:
+  // the user is propagated with the item embedding as its interaction
+  // object and vice versa.
+  const size_t user_node = static_cast<size_t>(ckg_.UserNode(u));
+  const size_t item_node = static_cast<size_t>(ckg_.ItemEntity(v));
+  Var user_emb = tape->Gather(entity_table_, {user_node});
+  Var item_emb = tape->Gather(entity_table_, {item_node});
+  if (!config_.use_kg) {
+    return tape->DotAll(user_emb, item_emb);
+  }
+  SampledTree user_tree =
+      propagation_->SampleTree(static_cast<EntityId>(user_node), rng);
+  Var user_rep = propagation_->PropagateOnTape(tape, user_tree, item_emb);
+  SampledTree item_tree = propagation_->SampleTree(ckg_.ItemEntity(v), rng);
+  Var item_rep = propagation_->PropagateOnTape(tape, item_tree, user_emb);
+  return tape->DotAll(user_rep, item_rep);
+}
+
+double KgagModel::TrainEpoch(Rng* rng) {
+  batcher_.BeginEpoch(rng);
+  MiniBatch batch;
+  double total_loss = 0.0;
+  size_t num_batches = 0;
+  while (batcher_.NextBatch(rng, &batch)) {
+    double batch_loss = 0.0;
+    const double group_scale =
+        batch.group_triplets.empty()
+            ? 0.0
+            : config_.beta / static_cast<double>(batch.group_triplets.size());
+    const double user_scale =
+        batch.user_instances.empty()
+            ? 0.0
+            : (1.0 - config_.beta) /
+                  static_cast<double>(batch.user_instances.size());
+
+    Tape tape;
+    for (const GroupTriplet& t : batch.group_triplets) {
+      tape.Clear();
+      Var pos = ScoreGroupItemOnTape(&tape, t.group, t.positive, rng);
+      Var neg = ScoreGroupItemOnTape(&tape, t.group, t.negative, rng);
+      Var loss = config_.group_loss == GroupLossKind::kMargin
+                     ? MarginPairLoss(&tape, pos, neg, config_.margin)
+                     : BprPairLoss(&tape, pos, neg);
+      Var scaled = tape.ScalarMul(loss, group_scale);
+      tape.Backward(scaled);
+      batch_loss += tape.value(scaled).item();
+    }
+    for (const UserInstance& ui : batch.user_instances) {
+      tape.Clear();
+      Var logit = ScoreUserItemOnTape(&tape, ui.user, ui.item, rng);
+      Var loss = LogisticLoss(&tape, logit, ui.label);
+      Var scaled = tape.ScalarMul(loss, user_scale);
+      tape.Backward(scaled);
+      batch_loss += tape.value(scaled).item();
+    }
+    optimizer_->Step(&store_, config_.l2);
+    total_loss += batch_loss;
+    ++num_batches;
+  }
+  return num_batches == 0 ? 0.0 : total_loss / num_batches;
+}
+
+void KgagModel::Fit() {
+  ValidationSelector selector(dataset_, &store_, /*k=*/5,
+                              config_.valid_max_interactions);
+  eval_samples_in_use_ = config_.valid_tree_samples;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const double loss = TrainEpoch(&train_rng_);
+    epoch_losses_.push_back(loss);
+    double valid_hit = 0.0;
+    if (config_.select_by_validation) {
+      valid_hit = selector.Observe(this);
+    }
+    if (config_.verbose) {
+      KGAG_LOG(Info) << name() << " epoch " << epoch + 1 << "/"
+                     << config_.epochs << " loss=" << loss
+                     << " valid_hit@5=" << valid_hit;
+    }
+  }
+  if (config_.select_by_validation) selector.RestoreBest();
+  eval_samples_in_use_ = config_.eval_tree_samples;
+}
+
+const std::vector<SampledTree>& KgagModel::EvalTrees(EntityId node) {
+  auto it = eval_trees_.find(node);
+  if (it == eval_trees_.end()) {
+    // Per-node seed: eval trees must not depend on the order nodes are
+    // first scored in, so a reloaded model reproduces scores exactly.
+    Rng node_rng(config_.seed * 0x9e3779b97f4a7c15ULL +
+                 static_cast<uint64_t>(node) * 0x2545f4914f6cdd1dULL + 2);
+    std::vector<SampledTree> trees;
+    trees.reserve(config_.eval_tree_samples);
+    for (int s = 0; s < config_.eval_tree_samples; ++s) {
+      trees.push_back(propagation_->SampleTree(node, &node_rng));
+    }
+    it = eval_trees_.emplace(node, std::move(trees)).first;
+  }
+  return it->second;
+}
+
+Tensor KgagModel::PropagateEval(EntityId node, const Tensor& queries) {
+  const std::vector<SampledTree>& trees = EvalTrees(node);
+  const size_t use = std::min<size_t>(
+      trees.size(), static_cast<size_t>(std::max(1, eval_samples_in_use_)));
+  Tensor acc = propagation_->PropagateBatch(trees[0], queries);
+  for (size_t s = 1; s < use; ++s) {
+    acc.Add(propagation_->PropagateBatch(trees[s], queries));
+  }
+  acc.Scale(1.0 / static_cast<double>(use));
+  return acc;
+}
+
+Tensor KgagModel::GroupQuery(GroupId g) const {
+  const auto members = dataset_->groups.MembersOf(g);
+  const int d = config_.propagation.dim;
+  Tensor q(1, d);
+  for (UserId u : members) {
+    const size_t node = static_cast<size_t>(ckg_.UserNode(u));
+    for (int c = 0; c < d; ++c) {
+      q.at(0, c) += entity_table_->value.at(node, static_cast<size_t>(c));
+    }
+  }
+  q.Scale(1.0 / static_cast<double>(members.size()));
+  return q;
+}
+
+std::vector<Tensor> KgagModel::MemberRepsBatch(GroupId g,
+                                               const Tensor& queries) {
+  const auto members = dataset_->groups.MembersOf(g);
+  const size_t p = queries.rows();
+  std::vector<Tensor> reps;
+  reps.reserve(members.size());
+  for (UserId u : members) {
+    const EntityId node = ckg_.UserNode(u);
+    if (config_.use_kg) {
+      reps.push_back(PropagateEval(node, queries));
+    } else {
+      Tensor rep(p, queries.cols());
+      for (size_t r = 0; r < p; ++r) {
+        for (size_t c = 0; c < queries.cols(); ++c) {
+          rep.at(r, c) =
+              entity_table_->value.at(static_cast<size_t>(node), c);
+        }
+      }
+      reps.push_back(std::move(rep));
+    }
+  }
+  return reps;
+}
+
+Tensor KgagModel::ItemRepsBatch(GroupId g, std::span<const ItemId> items) {
+  const int d = config_.propagation.dim;
+  Tensor out(items.size(), d);
+  const Tensor query = GroupQuery(g);
+  for (size_t i = 0; i < items.size(); ++i) {
+    const EntityId e = ckg_.ItemEntity(items[i]);
+    if (config_.use_kg) {
+      Tensor rep = PropagateEval(e, query);
+      out.SetRow(i, rep);
+    } else {
+      for (int c = 0; c < d; ++c) {
+        out.at(i, static_cast<size_t>(c)) =
+            entity_table_->value.at(static_cast<size_t>(e),
+                                    static_cast<size_t>(c));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> KgagModel::ScoreGroup(GroupId g,
+                                          std::span<const ItemId> items) {
+  const size_t p = items.size();
+  const int d = config_.propagation.dim;
+
+  // Per-candidate queries for member propagation: the items' zero-order
+  // embeddings.
+  Tensor queries(p, d);
+  for (size_t i = 0; i < p; ++i) {
+    const size_t e = static_cast<size_t>(ckg_.ItemEntity(items[i]));
+    for (int c = 0; c < d; ++c) {
+      queries.at(i, static_cast<size_t>(c)) =
+          entity_table_->value.at(e, static_cast<size_t>(c));
+    }
+  }
+
+  const std::vector<Tensor> member_reps = MemberRepsBatch(g, queries);
+  const Tensor item_reps = ItemRepsBatch(g, items);
+  const Tensor group_reps = aggregator_->AggregateBatch(member_reps,
+                                                        item_reps);
+
+  std::vector<double> scores(p);
+  for (size_t i = 0; i < p; ++i) {
+    Scalar s = 0;
+    for (int c = 0; c < d; ++c) {
+      s += group_reps.at(i, static_cast<size_t>(c)) *
+           item_reps.at(i, static_cast<size_t>(c));
+    }
+    scores[i] = s;
+  }
+  return scores;
+}
+
+GroupExplanation KgagModel::ExplainGroup(GroupId g, ItemId v) {
+  const auto members = dataset_->groups.MembersOf(g);
+  const int d = config_.propagation.dim;
+  const ItemId items[1] = {v};
+
+  Tensor query(1, d);
+  {
+    const size_t e = static_cast<size_t>(ckg_.ItemEntity(v));
+    for (int c = 0; c < d; ++c) {
+      query.at(0, static_cast<size_t>(c)) =
+          entity_table_->value.at(e, static_cast<size_t>(c));
+    }
+  }
+  const std::vector<Tensor> member_reps_v = MemberRepsBatch(g, query);
+  Tensor member_reps(members.size(), d);
+  for (size_t i = 0; i < members.size(); ++i) {
+    member_reps.SetRow(i, member_reps_v[i]);
+  }
+  const Tensor item_rep = ItemRepsBatch(g, items);
+
+  GroupExplanation out;
+  out.members.assign(members.begin(), members.end());
+  out.attention = aggregator_->Explain(member_reps, item_rep);
+
+  // Group representation and prediction from the attention weights.
+  Tensor group_rep(1, d);
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (int c = 0; c < d; ++c) {
+      group_rep.at(0, static_cast<size_t>(c)) +=
+          out.attention.alpha[i] *
+          member_reps.at(i, static_cast<size_t>(c));
+    }
+  }
+  Scalar score = 0;
+  for (int c = 0; c < d; ++c) {
+    score += group_rep.at(0, static_cast<size_t>(c)) *
+             item_rep.at(0, static_cast<size_t>(c));
+  }
+  out.prediction = SigmoidScalar(score);
+  return out;
+}
+
+double KgagModel::PredictGroupItem(GroupId g, ItemId v) {
+  const ItemId items[1] = {v};
+  return SigmoidScalar(ScoreGroup(g, items)[0]);
+}
+
+}  // namespace kgag

@@ -1,0 +1,109 @@
+// KGAG: knowledge graph-based attentive group recommendation — the paper's
+// primary contribution, wiring together the collaborative KG, the
+// information propagation block, the SP/PI preference aggregation block
+// and the margin-loss optimization block into one end-to-end trainable
+// model.
+#ifndef KGAG_MODELS_KGAG_MODEL_H_
+#define KGAG_MODELS_KGAG_MODEL_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "data/batcher.h"
+#include "data/dataset.h"
+#include "kg/collaborative_kg.h"
+#include "models/attention.h"
+#include "models/config.h"
+#include "models/propagation.h"
+#include "models/recommender.h"
+#include "tensor/optimizer.h"
+
+namespace kgag {
+
+/// \brief Interpretability output for one (group, item) pair (RQ4).
+struct GroupExplanation {
+  std::vector<UserId> members;
+  AttentionBreakdown attention;
+  double prediction = 0.0;  ///< σ(⟨g, v⟩)
+};
+
+/// \brief The KGAG model. Construct via Create(), then Fit(), then score.
+class KgagModel : public TrainableGroupRecommender {
+ public:
+  /// Builds the collaborative KG and initializes all parameters.
+  static Result<std::unique_ptr<KgagModel>> Create(
+      const GroupRecDataset* dataset, const KgagConfig& config);
+
+  // TrainableGroupRecommender:
+  void Fit() override;
+  std::vector<double> ScoreGroup(GroupId g,
+                                 std::span<const ItemId> items) override;
+  std::string name() const override;
+
+  /// Runs one epoch over the training split; returns the mean batch loss.
+  double TrainEpoch(Rng* rng);
+
+  /// Attention-based explanation for a (group, candidate item) pair.
+  GroupExplanation ExplainGroup(GroupId g, ItemId v);
+
+  /// σ(⟨g, v⟩) for a single pair.
+  double PredictGroupItem(GroupId g, ItemId v);
+
+  const std::vector<double>& epoch_losses() const { return epoch_losses_; }
+  ParameterStore* params() { return &store_; }
+  const KgagConfig& config() const { return config_; }
+  const CollaborativeKg& ckg() const { return ckg_; }
+
+ private:
+  KgagModel(const GroupRecDataset* dataset, const KgagConfig& config);
+
+  /// Member reps (L x d) and item rep (1 x d) for one candidate on tape;
+  /// returns the 1x1 score node.
+  Var ScoreGroupItemOnTape(Tape* tape, GroupId g, ItemId v, Rng* rng);
+
+  /// User-item logit on tape (KGCN-style: item propagated with the user
+  /// embedding as query).
+  Var ScoreUserItemOnTape(Tape* tape, UserId u, ItemId v, Rng* rng);
+
+  /// Fixed eval-time receptive fields for a node (sampled once, cached).
+  /// Several trees are kept and their propagated representations averaged:
+  /// training optimizes an expectation over resampled neighborhoods, so a
+  /// Monte-Carlo average is the right eval-time estimator.
+  const std::vector<SampledTree>& EvalTrees(EntityId node);
+
+  /// Average of PropagateBatch over the node's eval trees.
+  Tensor PropagateEval(EntityId node, const Tensor& queries);
+
+  /// Member representations for P candidate queries: (P x d) per member.
+  std::vector<Tensor> MemberRepsBatch(GroupId g, const Tensor& queries);
+
+  /// Item representation rows for the given items with the group's query.
+  Tensor ItemRepsBatch(GroupId g, std::span<const ItemId> items);
+
+  /// Mean zero-order member embedding of group g (the item-side query).
+  Tensor GroupQuery(GroupId g) const;
+
+  const GroupRecDataset* dataset_;
+  KgagConfig config_;
+  CollaborativeKg ckg_;
+  Rng init_rng_;
+  ParameterStore store_;
+  Parameter* entity_table_ = nullptr;
+  std::optional<PropagationEngine> propagation_;
+  std::optional<PreferenceAggregator> aggregator_;
+  std::unique_ptr<Optimizer> optimizer_;
+  Batcher batcher_;
+  Rng train_rng_;
+  std::unordered_map<EntityId, std::vector<SampledTree>> eval_trees_;
+  /// Trees averaged per PropagateEval call; lowered during per-epoch
+  /// validation scoring, restored for final evaluation.
+  int eval_samples_in_use_ = 0;
+  std::vector<double> epoch_losses_;
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_MODELS_KGAG_MODEL_H_

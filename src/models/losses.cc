@@ -1,0 +1,23 @@
+#include "models/losses.h"
+
+namespace kgag {
+
+Var MarginPairLoss(Tape* tape, Var pos_score, Var neg_score, double margin) {
+  Var diff = tape->Sub(tape->Sigmoid(neg_score), tape->Sigmoid(pos_score));
+  return tape->Relu(tape->AddScalar(diff, margin));
+}
+
+Var BprPairLoss(Tape* tape, Var pos_score, Var neg_score) {
+  // −log σ(p − n) = softplus(n − p)
+  return tape->Softplus(tape->Sub(neg_score, pos_score));
+}
+
+Var LogisticLoss(Tape* tape, Var logit, double label) {
+  Var loss = tape->Softplus(logit);
+  if (label != 0.0) {
+    loss = tape->Sub(loss, tape->ScalarMul(logit, label));
+  }
+  return loss;
+}
+
+}  // namespace kgag

@@ -1,0 +1,24 @@
+// Optimization block losses (§III-E), built as tape sub-graphs.
+#ifndef KGAG_MODELS_LOSSES_H_
+#define KGAG_MODELS_LOSSES_H_
+
+#include "tensor/tape.h"
+
+namespace kgag {
+
+/// Sigmoid-margin pairwise loss, Eq. (17):
+/// max(σ(ŷ_neg) − σ(ŷ_pos) + M, 0) for 1x1 score nodes.
+Var MarginPairLoss(Tape* tape, Var pos_score, Var neg_score, double margin);
+
+/// Bayesian personalized ranking loss: −log σ(ŷ_pos − ŷ_neg), the
+/// KGAG(BPR) ablation baseline.
+Var BprPairLoss(Tape* tape, Var pos_score, Var neg_score);
+
+/// Binary cross-entropy with logits, Eq. (18) for one instance:
+/// softplus(x) − y·x (numerically stable form of −y log σ(x) −
+/// (1−y) log(1−σ(x))).
+Var LogisticLoss(Tape* tape, Var logit, double label);
+
+}  // namespace kgag
+
+#endif  // KGAG_MODELS_LOSSES_H_

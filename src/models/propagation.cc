@@ -1,0 +1,210 @@
+#include "models/propagation.h"
+
+#include <cmath>
+
+namespace kgag {
+
+namespace {
+
+std::vector<size_t> ToSizeT(const std::vector<EntityId>& ids) {
+  std::vector<size_t> out(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) out[i] = static_cast<size_t>(ids[i]);
+  return out;
+}
+
+Tensor BroadcastRow(const Tensor& table, size_t row, size_t n) {
+  Tensor out(n, table.cols());
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < table.cols(); ++c) {
+      out.at(r, c) = table.at(row, c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PropagationEngine::PropagationEngine(const KnowledgeGraph* graph,
+                                     Parameter* entity_table,
+                                     ParameterStore* store,
+                                     const PropagationConfig& config,
+                                     Rng* init_rng)
+    : graph_(graph),
+      entity_table_(entity_table),
+      config_(config),
+      sampler_(graph, config.sample_size) {
+  KGAG_CHECK(graph != nullptr && entity_table != nullptr && store != nullptr);
+  KGAG_CHECK_GE(config.depth, 1);
+  KGAG_CHECK_EQ(static_cast<size_t>(graph->num_entities()),
+                entity_table->value.rows());
+  KGAG_CHECK_EQ(static_cast<size_t>(config.dim), entity_table->value.cols());
+
+  const int d = config_.dim;
+  // +1 row for the sampler's self-loop padding relation.
+  relation_table_ = store->Create(
+      "prop.relations", graph->relation_vocab_size() + 1, d, Init::kNormal01,
+      init_rng);
+  const int in_dim =
+      config_.aggregator == AggregatorKind::kGraphSage ? 2 * d : d;
+  for (int h = 0; h < config_.depth; ++h) {
+    layer_weights_.push_back(store->Create(
+        "prop.W" + std::to_string(h), in_dim, d, Init::kXavierUniform,
+        init_rng));
+    layer_biases_.push_back(
+        store->CreateZeros("prop.b" + std::to_string(h), 1, d));
+  }
+}
+
+Var PropagationEngine::AggregateOnTape(Tape* tape, Var self, Var neigh,
+                                       int iteration) const {
+  Var w = tape->Leaf(layer_weights_[iteration]);
+  Var b = tape->Leaf(layer_biases_[iteration]);
+  Var pre;
+  if (config_.aggregator == AggregatorKind::kGcn) {
+    pre = tape->MatMul(tape->Add(self, neigh), w);
+  } else {
+    pre = tape->MatMul(tape->ConcatCols({self, neigh}), w);
+  }
+  pre = tape->AddRowBroadcast(pre, b);
+  const bool last = iteration + 1 == config_.depth;
+  if (!last) return tape->Relu(pre);
+  return config_.final_tanh ? tape->Tanh(pre) : pre;
+}
+
+Var PropagationEngine::PropagateOnTape(Tape* tape, const SampledTree& tree,
+                                       Var query) const {
+  const int depth = tree.depth();
+  KGAG_CHECK_EQ(depth, config_.depth) << "tree depth != engine depth";
+  const int k = config_.sample_size;
+
+  // Zero-order representations per tree layer.
+  std::vector<Var> vec(depth + 1);
+  for (int h = 0; h <= depth; ++h) {
+    vec[h] = tape->Gather(entity_table_, ToSizeT(tree.entities[h]));
+  }
+
+  // Query-conditioned, softmax-normalized neighbor weights per layer
+  // (Eq. 2–3). They depend only on (query, relation) so compute once.
+  std::vector<Var> pi(depth);
+  for (int h = 0; h < depth; ++h) {
+    const size_t n = tree.entities[h].size();
+    Var rel = tape->Gather(relation_table_, ToSizeT(std::vector<EntityId>(
+                               tree.relations[h].begin(),
+                               tree.relations[h].end())));
+    Var q = tape->RepeatRows(query, n * k);
+    Var scores = tape->RowDot(rel, q);                          // (nK x 1)
+    pi[h] = tape->SoftmaxRows(tape->Reshape(scores, n, k));     // (n x K)
+  }
+
+  // H refinement iterations (Eq. 7–8), shrinking the active prefix.
+  for (int iter = 0; iter < depth; ++iter) {
+    std::vector<Var> next(depth - iter);
+    for (int h = 0; h < depth - iter; ++h) {
+      Var neigh = tape->SegmentWeightedSumRows(pi[h], vec[h + 1]);
+      next[h] = AggregateOnTape(tape, vec[h], neigh, iter);
+    }
+    for (int h = 0; h < depth - iter; ++h) vec[h] = next[h];
+  }
+  return vec[0];  // (1 x d)
+}
+
+Tensor PropagationEngine::AggregateBatch(const Tensor& self,
+                                         const Tensor& neigh,
+                                         int iteration) const {
+  Tensor pre;
+  if (config_.aggregator == AggregatorKind::kGcn) {
+    pre = MatMul(Add(self, neigh), layer_weights_[iteration]->value);
+  } else {
+    Tensor cat(self.rows(), self.cols() + neigh.cols());
+    for (size_t r = 0; r < self.rows(); ++r) {
+      for (size_t c = 0; c < self.cols(); ++c) cat.at(r, c) = self.at(r, c);
+      for (size_t c = 0; c < neigh.cols(); ++c) {
+        cat.at(r, self.cols() + c) = neigh.at(r, c);
+      }
+    }
+    pre = MatMul(cat, layer_weights_[iteration]->value);
+  }
+  const Tensor& b = layer_biases_[iteration]->value;
+  for (size_t r = 0; r < pre.rows(); ++r) pre.AddToRow(r, b);
+  const bool last = iteration + 1 == config_.depth;
+  if (!last) {
+    pre.Apply([](Scalar x) { return x > 0 ? x : 0.0; });
+  } else if (config_.final_tanh) {
+    pre.Apply([](Scalar x) { return std::tanh(x); });
+  }
+  return pre;
+}
+
+Tensor PropagationEngine::PropagateBatch(const SampledTree& tree,
+                                         const Tensor& queries) const {
+  const int depth = tree.depth();
+  KGAG_CHECK_EQ(depth, config_.depth) << "tree depth != engine depth";
+  const size_t p = queries.rows();
+  const int k = config_.sample_size;
+
+  // Per-node (P x d) representations, initialized from zero-order rows.
+  std::vector<std::vector<Tensor>> vec(depth + 1);
+  for (int h = 0; h <= depth; ++h) {
+    vec[h].reserve(tree.entities[h].size());
+    for (EntityId e : tree.entities[h]) {
+      vec[h].push_back(
+          BroadcastRow(entity_table_->value, static_cast<size_t>(e), p));
+    }
+  }
+
+  // π per parent: (P x K) = softmax over queries·relᵀ.
+  std::vector<std::vector<Tensor>> pi(depth);
+  for (int h = 0; h < depth; ++h) {
+    const size_t n = tree.entities[h].size();
+    pi[h].reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      Tensor rel(static_cast<size_t>(k), queries.cols());
+      for (int j = 0; j < k; ++j) {
+        const RelationId r = tree.relations[h][i * k + j];
+        for (size_t c = 0; c < queries.cols(); ++c) {
+          rel.at(j, c) = relation_table_->value.at(static_cast<size_t>(r), c);
+        }
+      }
+      Tensor scores = MatMulTransB(queries, rel);  // (P x K)
+      // Row-wise softmax.
+      for (size_t r = 0; r < scores.rows(); ++r) {
+        Scalar mx = scores.at(r, 0);
+        for (size_t c = 1; c < scores.cols(); ++c) {
+          mx = std::max(mx, scores.at(r, c));
+        }
+        Scalar sum = 0;
+        for (size_t c = 0; c < scores.cols(); ++c) {
+          scores.at(r, c) = std::exp(scores.at(r, c) - mx);
+          sum += scores.at(r, c);
+        }
+        for (size_t c = 0; c < scores.cols(); ++c) scores.at(r, c) /= sum;
+      }
+      pi[h].push_back(std::move(scores));
+    }
+  }
+
+  for (int iter = 0; iter < depth; ++iter) {
+    for (int h = 0; h < depth - iter; ++h) {
+      std::vector<Tensor> next;
+      next.reserve(vec[h].size());
+      for (size_t i = 0; i < vec[h].size(); ++i) {
+        Tensor neigh(p, queries.cols());
+        const Tensor& w = pi[h][i];
+        for (int j = 0; j < k; ++j) {
+          const Tensor& child = vec[h + 1][i * k + j];
+          for (size_t r = 0; r < p; ++r) {
+            const Scalar wj = w.at(r, static_cast<size_t>(j));
+            for (size_t c = 0; c < child.cols(); ++c) {
+              neigh.at(r, c) += wj * child.at(r, c);
+            }
+          }
+        }
+        next.push_back(AggregateBatch(vec[h][i], neigh, iter));
+      }
+      vec[h] = std::move(next);
+    }
+  }
+  return vec[0][0];  // (P x d)
+}
+
+}  // namespace kgag

@@ -1,0 +1,74 @@
+// Information propagation block (§III-C): query-conditioned graph
+// convolution over a (collaborative) knowledge graph.
+//
+// For one training instance a depth-H receptive-field tree is sampled per
+// needed node (NeighborSampler) and representations are refined bottom-up
+// H times. Neighbor weights π(e, r, e_t) = ⟨i_e, r⟩ are conditioned on the
+// instance's "interaction object" embedding i_e (the query), softmax-
+// normalized per node (Eq. 2–3). Two update functions are supported:
+// GCN σ(W(e + e_N) + b) and GraphSage σ(W·concat(e, e_N) + b) (Eq. 5–6),
+// with ReLU on inner iterations and tanh on the last (the KGCN
+// convention).
+//
+// Two execution paths share the same parameters:
+//  * PropagateOnTape — differentiable, one query, used for training;
+//  * PropagateBatch  — inference-only, P queries at once, used by the
+//    ranking evaluator where every candidate item induces its own query.
+#ifndef KGAG_MODELS_PROPAGATION_H_
+#define KGAG_MODELS_PROPAGATION_H_
+
+#include <vector>
+
+#include "kg/neighbor_sampler.h"
+#include "models/config.h"
+#include "tensor/parameter.h"
+#include "tensor/tape.h"
+
+namespace kgag {
+
+/// \brief Owns the propagation parameters (relation embeddings and
+/// per-iteration aggregator weights) and runs the convolution.
+class PropagationEngine {
+ public:
+  /// \param graph collaborative KG; must outlive the engine
+  /// \param entity_table (num_nodes x d) zero-order embeddings, owned by
+  ///        the caller and shared with other model components
+  /// \param store parameter store the engine adds its weights to
+  /// \param init_rng initializer randomness
+  PropagationEngine(const KnowledgeGraph* graph, Parameter* entity_table,
+                    ParameterStore* store, const PropagationConfig& config,
+                    Rng* init_rng);
+
+  const PropagationConfig& config() const { return config_; }
+  const NeighborSampler& sampler() const { return sampler_; }
+
+  /// Samples the receptive field of `root` for this instance.
+  SampledTree SampleTree(EntityId root, Rng* rng) const {
+    return sampler_.SampleTree(root, config_.depth, rng);
+  }
+
+  /// Differentiable root representation (1 x d) for one query (1 x d).
+  Var PropagateOnTape(Tape* tape, const SampledTree& tree, Var query) const;
+
+  /// Inference-only root representations for P queries: returns (P x d).
+  Tensor PropagateBatch(const SampledTree& tree, const Tensor& queries) const;
+
+  Parameter* relation_table() { return relation_table_; }
+
+ private:
+  Var AggregateOnTape(Tape* tape, Var self, Var neigh, int iteration) const;
+  Tensor AggregateBatch(const Tensor& self, const Tensor& neigh,
+                        int iteration) const;
+
+  const KnowledgeGraph* graph_;
+  Parameter* entity_table_;
+  PropagationConfig config_;
+  NeighborSampler sampler_;
+  Parameter* relation_table_;               // (vocab + 1 self-loop) x d
+  std::vector<Parameter*> layer_weights_;   // H matrices
+  std::vector<Parameter*> layer_biases_;    // H biases
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_MODELS_PROPAGATION_H_

@@ -1,0 +1,24 @@
+// Common interface for trainable group recommenders, so the bench grid and
+// the evaluator can treat KGAG and every baseline uniformly.
+#ifndef KGAG_MODELS_RECOMMENDER_H_
+#define KGAG_MODELS_RECOMMENDER_H_
+
+#include <string>
+
+#include "eval/group_scorer.h"
+
+namespace kgag {
+
+/// \brief A group recommender that can be fit on its dataset then scored.
+class TrainableGroupRecommender : public GroupScorer {
+ public:
+  /// Runs the full training loop (deterministic given the model's seed).
+  virtual void Fit() = 0;
+
+  /// Display name used in result tables (e.g. "KGAG", "CF+LM").
+  virtual std::string name() const = 0;
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_MODELS_RECOMMENDER_H_

@@ -1,0 +1,78 @@
+// Validation-based model selection: the paper holds out 20% of the
+// group-item interactions as a validation set (§IV-B); every trainable
+// model here checks validation hit@k after each epoch and restores the
+// best-epoch weights when training ends.
+#ifndef KGAG_MODELS_VALIDATION_H_
+#define KGAG_MODELS_VALIDATION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "eval/ranking_evaluator.h"
+#include "tensor/parameter.h"
+
+namespace kgag {
+
+/// \brief Tracks the best validation score and snapshots parameters.
+class ValidationSelector {
+ public:
+  /// \param dataset provides the validation split; must outlive this
+  /// \param store parameters to snapshot/restore; must outlive this
+  /// \param max_interactions caps the per-epoch validation slice (a
+  ///        deterministic subsample) so that epoch-wise selection stays
+  ///        cheap on models with expensive scoring.
+  ValidationSelector(const GroupRecDataset* dataset, ParameterStore* store,
+                     size_t k = 5, size_t max_interactions = 250)
+      : dataset_(dataset), store_(store), evaluator_(dataset, k) {
+    valid_slice_ = dataset->split.valid;
+    if (valid_slice_.size() > max_interactions) {
+      Rng rng(0x5eed);  // fixed: the slice must be stable across epochs
+      rng.Shuffle(&valid_slice_);
+      valid_slice_.resize(max_interactions);
+    }
+  }
+
+  /// Evaluates the scorer on the (capped) validation slice; snapshots the
+  /// current parameter values if this is the best epoch so far. Returns
+  /// the validation hit@k.
+  double Observe(GroupScorer* scorer) {
+    const EvalResult r = evaluator_.Evaluate(scorer, valid_slice_);
+    // Tie-break toward later epochs only on strict improvement, so runs
+    // are reproducible.
+    if (!has_best_ || r.hit_at_k > best_hit_) {
+      has_best_ = true;
+      best_hit_ = r.hit_at_k;
+      snapshot_.clear();
+      snapshot_.reserve(store_->size());
+      for (const auto& p : store_->params()) snapshot_.push_back(p->value);
+    }
+    history_.push_back(r.hit_at_k);
+    return r.hit_at_k;
+  }
+
+  /// Restores the best-epoch weights (no-op if Observe was never called).
+  void RestoreBest() {
+    if (!has_best_) return;
+    for (size_t i = 0; i < store_->size(); ++i) {
+      store_->at(i)->value = snapshot_[i];
+    }
+  }
+
+  double best_hit() const { return best_hit_; }
+  const std::vector<double>& history() const { return history_; }
+
+ private:
+  const GroupRecDataset* dataset_;
+  ParameterStore* store_;
+  RankingEvaluator evaluator_;
+  std::vector<Interaction> valid_slice_;
+  bool has_best_ = false;
+  double best_hit_ = 0.0;
+  std::vector<Tensor> snapshot_;
+  std::vector<double> history_;
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_MODELS_VALIDATION_H_

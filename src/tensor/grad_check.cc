@@ -1,0 +1,52 @@
+#include "tensor/grad_check.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace kgag {
+
+GradCheckReport CheckGradients(ParameterStore* store,
+                               const std::function<Scalar()>& loss_fn,
+                               const std::function<void()>& backward_fn,
+                               Scalar eps) {
+  store->ZeroGrads();
+  // Mark everything dense so ZeroGrads fully clears between perturbations.
+  for (const auto& p : store->params()) p->dense_touched = true;
+  store->ZeroGrads();
+
+  backward_fn();
+  // Snapshot analytic gradients.
+  std::vector<Tensor> analytic;
+  analytic.reserve(store->size());
+  for (const auto& p : store->params()) analytic.push_back(p->grad);
+  for (const auto& p : store->params()) p->dense_touched = true;
+  store->ZeroGrads();
+
+  GradCheckReport report;
+  for (size_t pi = 0; pi < store->size(); ++pi) {
+    Parameter* p = store->at(pi);
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      const Scalar orig = p->value[i];
+      p->value[i] = orig + eps;
+      const Scalar lp = loss_fn();
+      p->value[i] = orig - eps;
+      const Scalar lm = loss_fn();
+      p->value[i] = orig;
+      const Scalar numeric = (lp - lm) / (2.0 * eps);
+      const Scalar analytic_g = analytic[pi][i];
+      const Scalar denom =
+          std::max({std::abs(numeric), std::abs(analytic_g), Scalar(1e-8)});
+      const Scalar rel = std::abs(numeric - analytic_g) / denom;
+      if (rel > report.max_rel_error) {
+        report.max_rel_error = rel;
+        std::ostringstream os;
+        os << p->name << "[" << i << "] analytic=" << analytic_g
+           << " numeric=" << numeric;
+        report.worst_location = os.str();
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace kgag

@@ -1,0 +1,37 @@
+// Numerical gradient verification used by the test suite: compares the
+// tape's analytic parameter gradients against central finite differences.
+#ifndef KGAG_TENSOR_GRAD_CHECK_H_
+#define KGAG_TENSOR_GRAD_CHECK_H_
+
+#include <functional>
+#include <string>
+
+#include "tensor/parameter.h"
+
+namespace kgag {
+
+/// \brief Result of a gradient check: largest relative error observed and
+/// where it occurred.
+struct GradCheckReport {
+  Scalar max_rel_error = 0.0;
+  std::string worst_location;
+  bool ok(Scalar tol = 1e-5) const { return max_rel_error <= tol; }
+};
+
+/// Verifies d(loss)/d(param) for every parameter in the store.
+///
+/// \param store parameters the loss depends on
+/// \param loss_fn builds the graph and returns the scalar loss value; it
+///        must be deterministic and re-runnable (a fresh tape per call).
+///        Analytic gradients are taken from a single backward pass of the
+///        same function.
+/// \param backward_fn runs one forward+backward, leaving gradients in the
+///        store (gradients must be zero on entry).
+/// \param eps finite-difference step.
+GradCheckReport CheckGradients(
+    ParameterStore* store, const std::function<Scalar()>& loss_fn,
+    const std::function<void()>& backward_fn, Scalar eps = 1e-5);
+
+}  // namespace kgag
+
+#endif  // KGAG_TENSOR_GRAD_CHECK_H_

@@ -1,0 +1,73 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+namespace kgag {
+
+void Sgd::Step(ParameterStore* store, Scalar l2) {
+  for (const auto& p : store->params()) {
+    if (p->dense_touched) {
+      if (l2 > 0.0) p->grad.Axpy(l2, p->value);
+      p->value.Axpy(-lr_, p->grad);
+    } else {
+      for (size_t r : p->touched_rows) {
+        for (size_t c = 0; c < p->value.cols(); ++c) {
+          Scalar g = p->grad.at(r, c) + l2 * p->value.at(r, c);
+          p->value.at(r, c) -= lr_ * g;
+        }
+      }
+    }
+  }
+  store->ZeroGrads();
+}
+
+Adam::State& Adam::StateFor(ParameterStore* store, size_t index) {
+  while (states_.size() <= index) {
+    const Parameter* p = store->at(states_.size());
+    State st;
+    st.m = Tensor(p->value.rows(), p->value.cols());
+    st.v = Tensor(p->value.rows(), p->value.cols());
+    st.row_steps.assign(p->value.rows(), 0);
+    states_.push_back(std::move(st));
+  }
+  return states_[index];
+}
+
+void Adam::UpdateRow(Parameter* p, State* st, size_t row) {
+  const int64_t t = ++st->row_steps[row];
+  const Scalar bc1 = 1.0 - std::pow(beta1_, static_cast<Scalar>(t));
+  const Scalar bc2 = 1.0 - std::pow(beta2_, static_cast<Scalar>(t));
+  for (size_t c = 0; c < p->value.cols(); ++c) {
+    const Scalar g = p->grad.at(row, c);
+    Scalar& m = st->m.at(row, c);
+    Scalar& v = st->v.at(row, c);
+    m = beta1_ * m + (1.0 - beta1_) * g;
+    v = beta2_ * v + (1.0 - beta2_) * g * g;
+    const Scalar mhat = m / bc1;
+    const Scalar vhat = v / bc2;
+    p->value.at(row, c) -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+  }
+}
+
+void Adam::Step(ParameterStore* store, Scalar l2) {
+  for (size_t i = 0; i < store->size(); ++i) {
+    Parameter* p = store->at(i);
+    State& st = StateFor(store, i);
+    if (p->dense_touched) {
+      if (l2 > 0.0) p->grad.Axpy(l2, p->value);
+      for (size_t r = 0; r < p->value.rows(); ++r) UpdateRow(p, &st, r);
+    } else if (!p->touched_rows.empty()) {
+      if (l2 > 0.0) {
+        for (size_t r : p->touched_rows) {
+          for (size_t c = 0; c < p->value.cols(); ++c) {
+            p->grad.at(r, c) += l2 * p->value.at(r, c);
+          }
+        }
+      }
+      for (size_t r : p->touched_rows) UpdateRow(p, &st, r);
+    }
+  }
+  store->ZeroGrads();
+}
+
+}  // namespace kgag

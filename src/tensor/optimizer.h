@@ -1,0 +1,63 @@
+// First-order optimizers over a ParameterStore. Adam is the paper's choice
+// (§III-E); SGD is kept for tests and ablations. Both honour the sparse
+// touch tracking on embedding tables: untouched rows are skipped, matching
+// the "lazy" Adam variant common in recommender training.
+#ifndef KGAG_TENSOR_OPTIMIZER_H_
+#define KGAG_TENSOR_OPTIMIZER_H_
+
+#include <memory>
+#include <vector>
+
+#include "tensor/parameter.h"
+
+namespace kgag {
+
+/// \brief Interface for optimizers that consume accumulated gradients.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently in the store, then
+  /// zeroes them. `l2` adds weight decay λ·w to the gradient of every
+  /// touched weight (the ‖Θ‖² term of Eq. 20).
+  virtual void Step(ParameterStore* store, Scalar l2 = 0.0) = 0;
+};
+
+/// \brief Plain stochastic gradient descent.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(Scalar lr) : lr_(lr) {}
+  void Step(ParameterStore* store, Scalar l2 = 0.0) override;
+
+ private:
+  Scalar lr_;
+};
+
+/// \brief Adam (Kingma & Ba) with per-row lazy state updates for
+/// sparsely-touched embedding tables.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(Scalar lr, Scalar beta1 = 0.9, Scalar beta2 = 0.999,
+                Scalar eps = 1e-8)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+
+  void Step(ParameterStore* store, Scalar l2 = 0.0) override;
+
+ private:
+  struct State {
+    Tensor m;
+    Tensor v;
+    // Per-row step counts for bias correction under lazy updates.
+    std::vector<int64_t> row_steps;
+  };
+
+  State& StateFor(ParameterStore* store, size_t index);
+  void UpdateRow(Parameter* p, State* st, size_t row);
+
+  Scalar lr_, beta1_, beta2_, eps_;
+  std::vector<State> states_;
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_TENSOR_OPTIMIZER_H_

@@ -1,0 +1,65 @@
+#include "tensor/parameter.h"
+
+#include <cmath>
+
+namespace kgag {
+
+void Initialize(Tensor* t, Init scheme, Rng* rng) {
+  const double fan_in = static_cast<double>(t->rows());
+  const double fan_out = static_cast<double>(t->cols());
+  switch (scheme) {
+    case Init::kZeros:
+      t->Zero();
+      break;
+    case Init::kXavierUniform: {
+      const double a = std::sqrt(6.0 / (fan_in + fan_out));
+      for (size_t i = 0; i < t->size(); ++i) (*t)[i] = rng->Uniform(-a, a);
+      break;
+    }
+    case Init::kXavierNormal: {
+      const double s = std::sqrt(2.0 / (fan_in + fan_out));
+      for (size_t i = 0; i < t->size(); ++i) (*t)[i] = rng->Normal(0.0, s);
+      break;
+    }
+    case Init::kNormal01:
+      for (size_t i = 0; i < t->size(); ++i) (*t)[i] = rng->Normal(0.0, 0.1);
+      break;
+    case Init::kUniformSym:
+      for (size_t i = 0; i < t->size(); ++i)
+        (*t)[i] = rng->Uniform(-0.05, 0.05);
+      break;
+  }
+}
+
+Parameter* ParameterStore::Create(const std::string& name, size_t rows,
+                                  size_t cols, Init init, Rng* rng) {
+  auto p = std::make_unique<Parameter>(name, rows, cols);
+  Initialize(&p->value, init, rng);
+  params_.push_back(std::move(p));
+  return params_.back().get();
+}
+
+Parameter* ParameterStore::CreateZeros(const std::string& name, size_t rows,
+                                       size_t cols) {
+  auto p = std::make_unique<Parameter>(name, rows, cols);
+  params_.push_back(std::move(p));
+  return params_.back().get();
+}
+
+size_t ParameterStore::TotalWeights() const {
+  size_t n = 0;
+  for (const auto& p : params_) n += p->value.size();
+  return n;
+}
+
+Scalar ParameterStore::SquaredNorm() const {
+  Scalar s = 0.0;
+  for (const auto& p : params_) s += p->value.SquaredNorm();
+  return s;
+}
+
+void ParameterStore::ZeroGrads() {
+  for (const auto& p : params_) p->ZeroGrad();
+}
+
+}  // namespace kgag

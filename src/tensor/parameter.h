@@ -1,0 +1,93 @@
+// Trainable parameters and their container. Parameters own value and
+// gradient buffers; the Tape writes into grad during backward, optimizers
+// read grad and update value.
+#ifndef KGAG_TENSOR_PARAMETER_H_
+#define KGAG_TENSOR_PARAMETER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace kgag {
+
+/// \brief One trainable tensor (embedding table, weight matrix, or bias).
+struct Parameter {
+  Parameter(std::string name_in, size_t rows, size_t cols)
+      : name(std::move(name_in)), value(rows, cols), grad(rows, cols) {}
+
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  /// Rows of an embedding table touched since the last ZeroGrad; lets the
+  /// optimizer apply sparse updates. Empty + dense_touched means the whole
+  /// tensor was used (e.g. weight matrices).
+  std::unordered_set<size_t> touched_rows;
+  bool dense_touched = false;
+
+  void ZeroGrad() {
+    if (dense_touched) {
+      grad.Zero();
+    } else {
+      // Only rows that received gradient need clearing.
+      Tensor zero_row(1, grad.cols());
+      for (size_t r : touched_rows) grad.SetRow(r, zero_row);
+    }
+    touched_rows.clear();
+    dense_touched = false;
+  }
+};
+
+/// \brief Weight initialization schemes.
+enum class Init {
+  kZeros,
+  kXavierUniform,   ///< U(-a, a), a = sqrt(6/(fan_in+fan_out))
+  kXavierNormal,    ///< N(0, 2/(fan_in+fan_out))
+  kNormal01,        ///< N(0, 0.1) — common for embedding tables
+  kUniformSym,      ///< U(-0.05, 0.05)
+};
+
+/// Fills `t` in place according to the scheme.
+void Initialize(Tensor* t, Init scheme, Rng* rng);
+
+/// \brief Owns all parameters of a model; iteration order is creation order
+/// so optimizer state lines up deterministically.
+class ParameterStore {
+ public:
+  ParameterStore() = default;
+  ParameterStore(const ParameterStore&) = delete;
+  ParameterStore& operator=(const ParameterStore&) = delete;
+
+  /// Creates a parameter initialized with the given scheme.
+  Parameter* Create(const std::string& name, size_t rows, size_t cols,
+                    Init init, Rng* rng);
+
+  /// Creates a zero-initialized parameter (biases).
+  Parameter* CreateZeros(const std::string& name, size_t rows, size_t cols);
+
+  const std::vector<std::unique_ptr<Parameter>>& params() const {
+    return params_;
+  }
+  size_t size() const { return params_.size(); }
+  Parameter* at(size_t i) { return params_[i].get(); }
+
+  /// Total number of scalar weights.
+  size_t TotalWeights() const;
+
+  /// Sum of squared values over all parameters (for L2 diagnostics).
+  Scalar SquaredNorm() const;
+
+  /// Zeroes all gradients (respecting sparse touch tracking).
+  void ZeroGrads();
+
+ private:
+  std::vector<std::unique_ptr<Parameter>> params_;
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_TENSOR_PARAMETER_H_

@@ -1,0 +1,108 @@
+#include "tensor/serialization.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace kgag {
+
+namespace {
+
+constexpr char kMagic[8] = {'K', 'G', 'A', 'G', 'P', 'S', '0', '1'};
+
+void WriteU32(std::ostream* out, uint32_t v) {
+  out->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteU64(std::ostream* out, uint64_t v) {
+  out->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(std::istream* in, uint32_t* v) {
+  in->read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in->good();
+}
+
+bool ReadU64(std::istream* in, uint64_t* v) {
+  in->read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in->good();
+}
+
+}  // namespace
+
+Status SaveParameters(const ParameterStore& store, std::ostream* out) {
+  if (out == nullptr) return Status::InvalidArgument("null stream");
+  out->write(kMagic, sizeof(kMagic));
+  WriteU64(out, store.params().size());
+  for (const auto& p : store.params()) {
+    WriteU32(out, static_cast<uint32_t>(p->name.size()));
+    out->write(p->name.data(),
+               static_cast<std::streamsize>(p->name.size()));
+    WriteU64(out, p->value.rows());
+    WriteU64(out, p->value.cols());
+    out->write(reinterpret_cast<const char*>(p->value.data()),
+               static_cast<std::streamsize>(p->value.size() *
+                                            sizeof(Scalar)));
+  }
+  if (!out->good()) return Status::IoError("write failed");
+  return Status::OK();
+}
+
+Status SaveParametersToFile(const ParameterStore& store,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  return SaveParameters(store, &out);
+}
+
+Status LoadParameters(std::istream* in, ParameterStore* store) {
+  if (in == nullptr || store == nullptr) {
+    return Status::InvalidArgument("null stream or store");
+  }
+  char magic[sizeof(kMagic)];
+  in->read(magic, sizeof(magic));
+  if (!in->good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad magic: not a KGAG parameter file");
+  }
+  uint64_t count = 0;
+  if (!ReadU64(in, &count)) return Status::IoError("truncated header");
+  if (count != store->params().size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: file has " + std::to_string(count) +
+        ", store has " + std::to_string(store->params().size()));
+  }
+  for (size_t i = 0; i < count; ++i) {
+    Parameter* p = store->at(i);
+    uint32_t name_len = 0;
+    if (!ReadU32(in, &name_len)) return Status::IoError("truncated name");
+    std::string name(name_len, '\0');
+    in->read(name.data(), name_len);
+    if (!in->good()) return Status::IoError("truncated name bytes");
+    if (name != p->name) {
+      return Status::InvalidArgument("parameter name mismatch at index " +
+                                     std::to_string(i) + ": file '" + name +
+                                     "' vs store '" + p->name + "'");
+    }
+    uint64_t rows = 0, cols = 0;
+    if (!ReadU64(in, &rows) || !ReadU64(in, &cols)) {
+      return Status::IoError("truncated shape");
+    }
+    if (rows != p->value.rows() || cols != p->value.cols()) {
+      return Status::InvalidArgument("shape mismatch for '" + name + "'");
+    }
+    in->read(reinterpret_cast<char*>(p->value.data()),
+             static_cast<std::streamsize>(p->value.size() * sizeof(Scalar)));
+    if (!in->good()) return Status::IoError("truncated values for " + name);
+  }
+  return Status::OK();
+}
+
+Status LoadParametersFromFile(const std::string& path,
+                              ParameterStore* store) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  return LoadParameters(&in, store);
+}
+
+}  // namespace kgag

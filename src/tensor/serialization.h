@@ -1,0 +1,38 @@
+// Binary (de)serialization of parameter stores, so trained models can be
+// saved and reloaded without retraining. The format is a simple tagged
+// container:
+//   magic "KGAGPS01" | uint64 count | per parameter:
+//     uint32 name_len | name bytes | uint64 rows | uint64 cols |
+//     rows*cols little-endian doubles
+// Loading validates magic, names and shapes against the existing store —
+// a store must be re-created with the same architecture before loading.
+#ifndef KGAG_TENSOR_SERIALIZATION_H_
+#define KGAG_TENSOR_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "tensor/parameter.h"
+
+namespace kgag {
+
+/// Writes every parameter's values to the stream.
+Status SaveParameters(const ParameterStore& store, std::ostream* out);
+
+/// Writes every parameter's values to a file.
+Status SaveParametersToFile(const ParameterStore& store,
+                            const std::string& path);
+
+/// Reads values into an existing store. The stream must contain exactly
+/// the same parameters (names, order, shapes) the store declares;
+/// mismatches return InvalidArgument and leave already-read parameters
+/// overwritten (treat failure as fatal for the store).
+Status LoadParameters(std::istream* in, ParameterStore* store);
+
+/// Reads values from a file into an existing store.
+Status LoadParametersFromFile(const std::string& path, ParameterStore* store);
+
+}  // namespace kgag
+
+#endif  // KGAG_TENSOR_SERIALIZATION_H_

@@ -1,0 +1,558 @@
+#include "tensor/tape.h"
+
+#include <cmath>
+
+namespace kgag {
+
+namespace {
+
+Scalar StableSoftplus(Scalar x) {
+  // log(1+e^x) = max(x,0) + log1p(exp(-|x|))
+  return std::max(x, 0.0) + std::log1p(std::exp(-std::abs(x)));
+}
+
+Scalar StableSigmoid(Scalar x) {
+  if (x >= 0) {
+    const Scalar z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const Scalar z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+}  // namespace
+
+Var Tape::Emplace(Tensor value, bool requires_grad, BackwardFn backward) {
+  Node n;
+  n.value = std::move(value);
+  n.requires_grad = requires_grad;
+  n.backward = std::move(backward);
+  nodes_.push_back(std::move(n));
+  return Var{static_cast<int32_t>(nodes_.size() - 1)};
+}
+
+Tape::Node& Tape::node(Var v) {
+  KGAG_DCHECK(v.valid() && static_cast<size_t>(v.id) < nodes_.size());
+  return nodes_[static_cast<size_t>(v.id)];
+}
+
+const Tape::Node& Tape::node(Var v) const {
+  KGAG_DCHECK(v.valid() && static_cast<size_t>(v.id) < nodes_.size());
+  return nodes_[static_cast<size_t>(v.id)];
+}
+
+void Tape::AccumulateGrad(Var v, const Tensor& g) {
+  Node& n = node(v);
+  if (!n.requires_grad) return;
+  if (n.grad.empty()) {
+    n.grad = Tensor(n.value.rows(), n.value.cols());
+  }
+  n.grad.Add(g);
+}
+
+const Tensor& Tape::value(Var v) const { return node(v).value; }
+
+const Tensor& Tape::grad(Var v) const {
+  const Node& n = node(v);
+  KGAG_CHECK(!n.grad.empty()) << "grad not computed for node " << v.id;
+  return n.grad;
+}
+
+void Tape::Clear() { nodes_.clear(); }
+
+// ---- Leaves ---------------------------------------------------------------
+
+Var Tape::Leaf(Parameter* p) {
+  KGAG_CHECK(p != nullptr);
+  return Emplace(p->value, /*requires_grad=*/true,
+                 [p](Tape*, const Tensor& g) {
+                   p->grad.Add(g);
+                   p->dense_touched = true;
+                 });
+}
+
+Var Tape::Gather(Parameter* table, std::vector<size_t> rows) {
+  KGAG_CHECK(table != nullptr);
+  const size_t d = table->value.cols();
+  Tensor out(rows.size(), d);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    KGAG_CHECK_LT(rows[i], table->value.rows())
+        << "gather row out of range in " << table->name;
+    for (size_t c = 0; c < d; ++c) {
+      out.at(i, c) = table->value.at(rows[i], c);
+    }
+  }
+  return Emplace(std::move(out), /*requires_grad=*/true,
+                 [table, rows = std::move(rows)](Tape*, const Tensor& g) {
+                   const size_t d2 = table->grad.cols();
+                   for (size_t i = 0; i < rows.size(); ++i) {
+                     for (size_t c = 0; c < d2; ++c) {
+                       table->grad.at(rows[i], c) += g.at(i, c);
+                     }
+                     table->touched_rows.insert(rows[i]);
+                   }
+                 });
+}
+
+Var Tape::Constant(Tensor t) {
+  return Emplace(std::move(t), /*requires_grad=*/false, nullptr);
+}
+
+// ---- Elementwise / shape ----------------------------------------------------
+
+Var Tape::Add(Var a, Var b) {
+  KGAG_CHECK(value(a).same_shape(value(b))) << "Add shape mismatch";
+  Tensor out = kgag::Add(value(a), value(b));
+  bool rg = node(a).requires_grad || node(b).requires_grad;
+  return Emplace(std::move(out), rg, [a, b](Tape* t, const Tensor& g) {
+    t->AccumulateGrad(a, g);
+    t->AccumulateGrad(b, g);
+  });
+}
+
+Var Tape::Sub(Var a, Var b) {
+  KGAG_CHECK(value(a).same_shape(value(b))) << "Sub shape mismatch";
+  Tensor out = kgag::Sub(value(a), value(b));
+  bool rg = node(a).requires_grad || node(b).requires_grad;
+  return Emplace(std::move(out), rg, [a, b](Tape* t, const Tensor& g) {
+    t->AccumulateGrad(a, g);
+    Tensor neg = g;
+    neg.Scale(-1.0);
+    t->AccumulateGrad(b, neg);
+  });
+}
+
+Var Tape::Mul(Var a, Var b) {
+  KGAG_CHECK(value(a).same_shape(value(b))) << "Mul shape mismatch";
+  Tensor out = kgag::Mul(value(a), value(b));
+  bool rg = node(a).requires_grad || node(b).requires_grad;
+  return Emplace(std::move(out), rg, [a, b](Tape* t, const Tensor& g) {
+    t->AccumulateGrad(a, kgag::Mul(g, t->value(b)));
+    t->AccumulateGrad(b, kgag::Mul(g, t->value(a)));
+  });
+}
+
+Var Tape::ScalarMul(Var a, Scalar s) {
+  Tensor out = value(a);
+  out.Scale(s);
+  return Emplace(std::move(out), node(a).requires_grad,
+                 [a, s](Tape* t, const Tensor& g) {
+                   Tensor ga = g;
+                   ga.Scale(s);
+                   t->AccumulateGrad(a, ga);
+                 });
+}
+
+Var Tape::AddScalar(Var a, Scalar s) {
+  Tensor out = value(a);
+  out.Apply([s](Scalar x) { return x + s; });
+  return Emplace(std::move(out), node(a).requires_grad,
+                 [a](Tape* t, const Tensor& g) { t->AccumulateGrad(a, g); });
+}
+
+Var Tape::MatMul(Var a, Var b) {
+  Tensor out = kgag::MatMul(value(a), value(b));
+  bool rg = node(a).requires_grad || node(b).requires_grad;
+  return Emplace(std::move(out), rg, [a, b](Tape* t, const Tensor& g) {
+    // dA = g Bᵀ ; dB = Aᵀ g
+    t->AccumulateGrad(a, MatMulTransB(g, t->value(b)));
+    t->AccumulateGrad(b, MatMulTransA(t->value(a), g));
+  });
+}
+
+Var Tape::Transpose(Var a) {
+  Tensor out = value(a).Transposed();
+  return Emplace(std::move(out), node(a).requires_grad,
+                 [a](Tape* t, const Tensor& g) {
+                   t->AccumulateGrad(a, g.Transposed());
+                 });
+}
+
+Var Tape::ConcatCols(const std::vector<Var>& parts) {
+  KGAG_CHECK(!parts.empty()) << "ConcatCols of nothing";
+  const size_t rows = value(parts[0]).rows();
+  size_t total_cols = 0;
+  bool rg = false;
+  for (Var p : parts) {
+    KGAG_CHECK_EQ(value(p).rows(), rows) << "ConcatCols row mismatch";
+    total_cols += value(p).cols();
+    rg = rg || node(p).requires_grad;
+  }
+  Tensor out(rows, total_cols);
+  size_t off = 0;
+  for (Var p : parts) {
+    const Tensor& v = value(p);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < v.cols(); ++c) out.at(r, off + c) = v.at(r, c);
+    }
+    off += v.cols();
+  }
+  std::vector<Var> parts_copy = parts;
+  return Emplace(std::move(out), rg,
+                 [parts_copy](Tape* t, const Tensor& g) {
+                   size_t off2 = 0;
+                   for (Var p : parts_copy) {
+                     const Tensor& v = t->value(p);
+                     Tensor slice(v.rows(), v.cols());
+                     for (size_t r = 0; r < v.rows(); ++r) {
+                       for (size_t c = 0; c < v.cols(); ++c) {
+                         slice.at(r, c) = g.at(r, off2 + c);
+                       }
+                     }
+                     t->AccumulateGrad(p, slice);
+                     off2 += v.cols();
+                   }
+                 });
+}
+
+Var Tape::ConcatRows(const std::vector<Var>& parts) {
+  KGAG_CHECK(!parts.empty()) << "ConcatRows of nothing";
+  const size_t cols = value(parts[0]).cols();
+  size_t total_rows = 0;
+  bool rg = false;
+  for (Var p : parts) {
+    KGAG_CHECK_EQ(value(p).cols(), cols) << "ConcatRows col mismatch";
+    total_rows += value(p).rows();
+    rg = rg || node(p).requires_grad;
+  }
+  Tensor out(total_rows, cols);
+  size_t off = 0;
+  for (Var p : parts) {
+    const Tensor& v = value(p);
+    for (size_t r = 0; r < v.rows(); ++r) {
+      for (size_t c = 0; c < cols; ++c) out.at(off + r, c) = v.at(r, c);
+    }
+    off += v.rows();
+  }
+  std::vector<Var> parts_copy = parts;
+  return Emplace(std::move(out), rg,
+                 [parts_copy](Tape* t, const Tensor& g) {
+                   size_t off2 = 0;
+                   for (Var p : parts_copy) {
+                     const Tensor& v = t->value(p);
+                     Tensor slice(v.rows(), v.cols());
+                     for (size_t r = 0; r < v.rows(); ++r) {
+                       for (size_t c = 0; c < v.cols(); ++c) {
+                         slice.at(r, c) = g.at(off2 + r, c);
+                       }
+                     }
+                     t->AccumulateGrad(p, slice);
+                     off2 += v.rows();
+                   }
+                 });
+}
+
+Var Tape::SliceRow(Var a, size_t r) {
+  KGAG_CHECK_LT(r, value(a).rows());
+  Tensor out = value(a).RowAt(r);
+  return Emplace(std::move(out), node(a).requires_grad,
+                 [a, r](Tape* t, const Tensor& g) {
+                   Tensor full(t->value(a).rows(), t->value(a).cols());
+                   full.AddToRow(r, g);
+                   t->AccumulateGrad(a, full);
+                 });
+}
+
+Var Tape::AddRowBroadcast(Var a, Var row) {
+  const Tensor& av = value(a);
+  const Tensor& rv = value(row);
+  KGAG_CHECK(rv.rows() == 1 && rv.cols() == av.cols())
+      << "AddRowBroadcast shape";
+  Tensor out = av;
+  for (size_t r = 0; r < av.rows(); ++r) out.AddToRow(r, rv);
+  bool rg = node(a).requires_grad || node(row).requires_grad;
+  return Emplace(std::move(out), rg, [a, row](Tape* t, const Tensor& g) {
+    t->AccumulateGrad(a, g);
+    Tensor rsum(1, g.cols());
+    for (size_t r = 0; r < g.rows(); ++r) {
+      for (size_t c = 0; c < g.cols(); ++c) rsum.at(0, c) += g.at(r, c);
+    }
+    t->AccumulateGrad(row, rsum);
+  });
+}
+
+Var Tape::Reshape(Var a, size_t rows, size_t cols) {
+  const Tensor& av = value(a);
+  KGAG_CHECK_EQ(av.size(), rows * cols) << "Reshape size mismatch";
+  Tensor out(rows, cols);
+  for (size_t i = 0; i < av.size(); ++i) out[i] = av[i];
+  return Emplace(std::move(out), node(a).requires_grad,
+                 [a](Tape* t, const Tensor& g) {
+                   const Tensor& av2 = t->value(a);
+                   Tensor ga(av2.rows(), av2.cols());
+                   for (size_t i = 0; i < ga.size(); ++i) ga[i] = g[i];
+                   t->AccumulateGrad(a, ga);
+                 });
+}
+
+Var Tape::RepeatRows(Var row, size_t n) {
+  const Tensor& rv = value(row);
+  KGAG_CHECK_EQ(rv.rows(), 1u) << "RepeatRows expects a 1xd row";
+  Tensor out(n, rv.cols());
+  for (size_t r = 0; r < n; ++r) out.SetRow(r, rv);
+  return Emplace(std::move(out), node(row).requires_grad,
+                 [row](Tape* t, const Tensor& g) {
+                   Tensor rsum(1, g.cols());
+                   for (size_t r = 0; r < g.rows(); ++r) {
+                     for (size_t c = 0; c < g.cols(); ++c) {
+                       rsum.at(0, c) += g.at(r, c);
+                     }
+                   }
+                   t->AccumulateGrad(row, rsum);
+                 });
+}
+
+Var Tape::SegmentWeightedSumRows(Var weights, Var values) {
+  const Tensor& w = value(weights);
+  const Tensor& v = value(values);
+  const size_t n = w.rows();
+  const size_t k = w.cols();
+  KGAG_CHECK_EQ(v.rows(), n * k) << "SegmentWeightedSumRows shape";
+  Tensor out(n, v.cols());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      const Scalar wij = w.at(i, j);
+      const size_t vr = i * k + j;
+      for (size_t c = 0; c < v.cols(); ++c) {
+        out.at(i, c) += wij * v.at(vr, c);
+      }
+    }
+  }
+  bool rg = node(weights).requires_grad || node(values).requires_grad;
+  return Emplace(std::move(out), rg,
+                 [weights, values](Tape* t, const Tensor& g) {
+                   const Tensor& w2 = t->value(weights);
+                   const Tensor& v2 = t->value(values);
+                   const size_t n2 = w2.rows();
+                   const size_t k2 = w2.cols();
+                   Tensor gw(n2, k2);
+                   Tensor gv(v2.rows(), v2.cols());
+                   for (size_t i = 0; i < n2; ++i) {
+                     for (size_t j = 0; j < k2; ++j) {
+                       const size_t vr = i * k2 + j;
+                       Scalar s = 0.0;
+                       for (size_t c = 0; c < v2.cols(); ++c) {
+                         s += g.at(i, c) * v2.at(vr, c);
+                         gv.at(vr, c) += w2.at(i, j) * g.at(i, c);
+                       }
+                       gw.at(i, j) = s;
+                     }
+                   }
+                   t->AccumulateGrad(weights, gw);
+                   t->AccumulateGrad(values, gv);
+                 });
+}
+
+// ---- Nonlinearities ---------------------------------------------------------
+
+Var Tape::Relu(Var a) {
+  Tensor out = value(a);
+  out.Apply([](Scalar x) { return x > 0 ? x : 0.0; });
+  return Emplace(std::move(out), node(a).requires_grad,
+                 [a](Tape* t, const Tensor& g) {
+                   const Tensor& x = t->value(a);
+                   Tensor ga = g;
+                   for (size_t i = 0; i < ga.size(); ++i) {
+                     if (x[i] <= 0) ga[i] = 0.0;
+                   }
+                   t->AccumulateGrad(a, ga);
+                 });
+}
+
+Var Tape::Sigmoid(Var a) {
+  Tensor out = value(a);
+  out.Apply(StableSigmoid);
+  Var v = Emplace(std::move(out), node(a).requires_grad, nullptr);
+  node(v).backward = [a, v](Tape* t, const Tensor& g) {
+    const Tensor& y = t->value(v);
+    Tensor ga = g;
+    for (size_t i = 0; i < ga.size(); ++i) ga[i] *= y[i] * (1.0 - y[i]);
+    t->AccumulateGrad(a, ga);
+  };
+  return v;
+}
+
+Var Tape::Tanh(Var a) {
+  Tensor out = value(a);
+  out.Apply([](Scalar x) { return std::tanh(x); });
+  Var v = Emplace(std::move(out), node(a).requires_grad, nullptr);
+  node(v).backward = [a, v](Tape* t, const Tensor& g) {
+    const Tensor& y = t->value(v);
+    Tensor ga = g;
+    for (size_t i = 0; i < ga.size(); ++i) ga[i] *= 1.0 - y[i] * y[i];
+    t->AccumulateGrad(a, ga);
+  };
+  return v;
+}
+
+Var Tape::Softplus(Var a) {
+  Tensor out = value(a);
+  out.Apply(StableSoftplus);
+  return Emplace(std::move(out), node(a).requires_grad,
+                 [a](Tape* t, const Tensor& g) {
+                   const Tensor& x = t->value(a);
+                   Tensor ga = g;
+                   for (size_t i = 0; i < ga.size(); ++i) {
+                     ga[i] *= StableSigmoid(x[i]);
+                   }
+                   t->AccumulateGrad(a, ga);
+                 });
+}
+
+Var Tape::Log(Var a) {
+  Tensor out = value(a);
+  out.Apply([](Scalar x) { return std::log(x); });
+  return Emplace(std::move(out), node(a).requires_grad,
+                 [a](Tape* t, const Tensor& g) {
+                   const Tensor& x = t->value(a);
+                   Tensor ga = g;
+                   for (size_t i = 0; i < ga.size(); ++i) ga[i] /= x[i];
+                   t->AccumulateGrad(a, ga);
+                 });
+}
+
+Var Tape::SoftmaxRows(Var a) {
+  const Tensor& x = value(a);
+  Tensor out(x.rows(), x.cols());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    Scalar mx = -1e300;
+    for (size_t c = 0; c < x.cols(); ++c) mx = std::max(mx, x.at(r, c));
+    Scalar sum = 0.0;
+    for (size_t c = 0; c < x.cols(); ++c) {
+      out.at(r, c) = std::exp(x.at(r, c) - mx);
+      sum += out.at(r, c);
+    }
+    for (size_t c = 0; c < x.cols(); ++c) out.at(r, c) /= sum;
+  }
+  Var v = Emplace(std::move(out), node(a).requires_grad, nullptr);
+  node(v).backward = [a, v](Tape* t, const Tensor& g) {
+    const Tensor& y = t->value(v);
+    Tensor ga(y.rows(), y.cols());
+    for (size_t r = 0; r < y.rows(); ++r) {
+      Scalar dot = 0.0;
+      for (size_t c = 0; c < y.cols(); ++c) dot += g.at(r, c) * y.at(r, c);
+      for (size_t c = 0; c < y.cols(); ++c) {
+        ga.at(r, c) = y.at(r, c) * (g.at(r, c) - dot);
+      }
+    }
+    t->AccumulateGrad(a, ga);
+  };
+  return v;
+}
+
+// ---- Reductions --------------------------------------------------------------
+
+Var Tape::SumRows(Var a) {
+  const Tensor& x = value(a);
+  Tensor out(1, x.cols());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t c = 0; c < x.cols(); ++c) out.at(0, c) += x.at(r, c);
+  }
+  return Emplace(std::move(out), node(a).requires_grad,
+                 [a](Tape* t, const Tensor& g) {
+                   const Tensor& x2 = t->value(a);
+                   Tensor ga(x2.rows(), x2.cols());
+                   for (size_t r = 0; r < x2.rows(); ++r) ga.AddToRow(r, g);
+                   t->AccumulateGrad(a, ga);
+                 });
+}
+
+Var Tape::MeanRows(Var a) {
+  const size_t k = value(a).rows();
+  KGAG_CHECK_GT(k, 0u);
+  return ScalarMul(SumRows(a), 1.0 / static_cast<Scalar>(k));
+}
+
+Var Tape::RowDot(Var a, Var b) {
+  const Tensor& av = value(a);
+  const Tensor& bv = value(b);
+  KGAG_CHECK(av.same_shape(bv)) << "RowDot shape mismatch";
+  Tensor out(av.rows(), 1);
+  for (size_t r = 0; r < av.rows(); ++r) {
+    Scalar s = 0.0;
+    for (size_t c = 0; c < av.cols(); ++c) s += av.at(r, c) * bv.at(r, c);
+    out.at(r, 0) = s;
+  }
+  bool rg = node(a).requires_grad || node(b).requires_grad;
+  return Emplace(std::move(out), rg, [a, b](Tape* t, const Tensor& g) {
+    const Tensor& av2 = t->value(a);
+    const Tensor& bv2 = t->value(b);
+    Tensor ga(av2.rows(), av2.cols());
+    Tensor gb(bv2.rows(), bv2.cols());
+    for (size_t r = 0; r < av2.rows(); ++r) {
+      const Scalar gr = g.at(r, 0);
+      for (size_t c = 0; c < av2.cols(); ++c) {
+        ga.at(r, c) = gr * bv2.at(r, c);
+        gb.at(r, c) = gr * av2.at(r, c);
+      }
+    }
+    t->AccumulateGrad(a, ga);
+    t->AccumulateGrad(b, gb);
+  });
+}
+
+Var Tape::Sum(Var a) {
+  Tensor out = Tensor::Scalar1(value(a).Sum());
+  return Emplace(std::move(out), node(a).requires_grad,
+                 [a](Tape* t, const Tensor& g) {
+                   const Tensor& x = t->value(a);
+                   Tensor ga(x.rows(), x.cols(), g.item());
+                   t->AccumulateGrad(a, ga);
+                 });
+}
+
+Var Tape::Mean(Var a) {
+  const size_t n = value(a).size();
+  KGAG_CHECK_GT(n, 0u);
+  return ScalarMul(Sum(a), 1.0 / static_cast<Scalar>(n));
+}
+
+Var Tape::MinAll(Var a) {
+  const Tensor& x = value(a);
+  KGAG_CHECK_GT(x.size(), 0u);
+  size_t arg = 0;
+  for (size_t i = 1; i < x.size(); ++i) {
+    if (x[i] < x[arg]) arg = i;
+  }
+  Tensor out = Tensor::Scalar1(x[arg]);
+  return Emplace(std::move(out), node(a).requires_grad,
+                 [a, arg](Tape* t, const Tensor& g) {
+                   const Tensor& x2 = t->value(a);
+                   Tensor ga(x2.rows(), x2.cols());
+                   ga[arg] = g.item();
+                   t->AccumulateGrad(a, ga);
+                 });
+}
+
+Var Tape::MaxAll(Var a) {
+  const Tensor& x = value(a);
+  KGAG_CHECK_GT(x.size(), 0u);
+  size_t arg = 0;
+  for (size_t i = 1; i < x.size(); ++i) {
+    if (x[i] > x[arg]) arg = i;
+  }
+  Tensor out = Tensor::Scalar1(x[arg]);
+  return Emplace(std::move(out), node(a).requires_grad,
+                 [a, arg](Tape* t, const Tensor& g) {
+                   const Tensor& x2 = t->value(a);
+                   Tensor ga(x2.rows(), x2.cols());
+                   ga[arg] = g.item();
+                   t->AccumulateGrad(a, ga);
+                 });
+}
+
+// ---- Backward -----------------------------------------------------------------
+
+void Tape::Backward(Var loss) {
+  KGAG_CHECK(loss.valid());
+  KGAG_CHECK_EQ(value(loss).size(), 1u) << "Backward target must be scalar";
+  for (Node& n : nodes_) n.grad = Tensor();
+  node(loss).grad = Tensor::Scalar1(1.0);
+  for (size_t i = nodes_.size(); i-- > 0;) {
+    Node& n = nodes_[i];
+    if (!n.requires_grad || n.grad.empty() || !n.backward) continue;
+    n.backward(this, n.grad);
+  }
+}
+
+}  // namespace kgag

@@ -1,0 +1,152 @@
+// Reverse-mode automatic differentiation on a per-instance tape.
+//
+// Usage:
+//   Tape tape;
+//   Var x = tape.Leaf(param);           // dense parameter leaf
+//   Var e = tape.Gather(table, {3, 7}); // embedding rows (sparse grads)
+//   Var y = tape.Sigmoid(tape.MatMul(e, x));
+//   Var loss = tape.Mean(y);
+//   tape.Backward(loss);                // accumulates into Parameter::grad
+//
+// The tape is rebuilt for every training instance (define-by-run); Clear()
+// or destruction releases all nodes. Gradients accumulate into the
+// Parameter buffers, so a mini-batch is several forward/backward passes
+// followed by one optimizer step.
+#ifndef KGAG_TENSOR_TAPE_H_
+#define KGAG_TENSOR_TAPE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/parameter.h"
+#include "tensor/tensor.h"
+
+namespace kgag {
+
+/// \brief Handle to a node on the tape. Cheap to copy; only valid for the
+/// tape that created it, until the next Clear().
+struct Var {
+  int32_t id = -1;
+  bool valid() const { return id >= 0; }
+};
+
+/// \brief Computation graph recording values and backward closures.
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  // ---- Leaves -----------------------------------------------------------
+
+  /// Whole parameter tensor as a differentiable leaf.
+  Var Leaf(Parameter* p);
+  /// Rows `rows` of an embedding table as a (k x d) differentiable leaf;
+  /// backward scatters into the touched rows only.
+  Var Gather(Parameter* table, std::vector<size_t> rows);
+  /// Non-differentiable constant.
+  Var Constant(Tensor t);
+
+  // ---- Elementwise / shape ops -----------------------------------------
+
+  Var Add(Var a, Var b);
+  Var Sub(Var a, Var b);
+  Var Mul(Var a, Var b);          ///< Hadamard product.
+  Var ScalarMul(Var a, Scalar s);
+  Var AddScalar(Var a, Scalar s);
+  Var Neg(Var a) { return ScalarMul(a, -1.0); }
+  Var MatMul(Var a, Var b);
+  Var Transpose(Var a);
+  /// Concatenates along columns: [A | B | ...]; all parts share row count.
+  Var ConcatCols(const std::vector<Var>& parts);
+  /// Stacks along rows; all parts share column count.
+  Var ConcatRows(const std::vector<Var>& parts);
+  /// Row r of a as a 1xC node.
+  Var SliceRow(Var a, size_t r);
+  /// (k x d) + (1 x d) with the row vector broadcast over rows.
+  Var AddRowBroadcast(Var a, Var row);
+  /// Row-major reinterpretation to (rows x cols); size must match.
+  Var Reshape(Var a, size_t rows, size_t cols);
+  /// Stacks n copies of a 1xd row into an (n x d) matrix.
+  Var RepeatRows(Var row, size_t n);
+  /// Segment-wise weighted sum: weights (n x K) and values ((n*K) x d)
+  /// produce (n x d) where out[i] = Σ_k w[i,k] * values[i*K + k]. This is
+  /// the neighbor-aggregation kernel of Eq. (1)/(7): one segment per
+  /// parent node, K sampled neighbors each.
+  Var SegmentWeightedSumRows(Var weights, Var values);
+
+  // ---- Nonlinearities ----------------------------------------------------
+
+  Var Relu(Var a);
+  Var Sigmoid(Var a);
+  Var Tanh(Var a);
+  /// Numerically stable log(1 + exp(x)).
+  Var Softplus(Var a);
+  Var Log(Var a);
+  /// Softmax independently over each row.
+  Var SoftmaxRows(Var a);
+
+  // ---- Reductions --------------------------------------------------------
+
+  /// Column-wise sum: (k x d) -> (1 x d).
+  Var SumRows(Var a);
+  /// Column-wise mean: (k x d) -> (1 x d).
+  Var MeanRows(Var a);
+  /// Per-row dot product of same-shape tensors: (k x d),(k x d) -> (k x 1).
+  Var RowDot(Var a, Var b);
+  /// Sum of all elements -> (1 x 1).
+  Var Sum(Var a);
+  /// Mean of all elements -> (1 x 1).
+  Var Mean(Var a);
+  /// Full dot product of two same-shape tensors -> (1 x 1).
+  Var DotAll(Var a, Var b) { return Sum(Mul(a, b)); }
+  /// Minimum element -> (1 x 1); gradient flows to the (first) argmin.
+  Var MinAll(Var a);
+  /// Maximum element -> (1 x 1); gradient flows to the (first) argmax.
+  Var MaxAll(Var a);
+
+  // ---- Execution ---------------------------------------------------------
+
+  /// WARNING: the returned reference is invalidated by the next op added
+  /// to the tape (node storage may reallocate); copy it if you create more
+  /// nodes before reading.
+  const Tensor& value(Var v) const;
+  /// Gradient of the last Backward target w.r.t. node v. Valid after
+  /// Backward and before the next mutation of the tape.
+  const Tensor& grad(Var v) const;
+
+  /// Runs reverse-mode accumulation seeded with d(loss)/d(loss) = 1.
+  /// `loss` must be a 1x1 node. Parameter gradients accumulate (+=) into
+  /// Parameter::grad, so call ParameterStore::ZeroGrads between steps.
+  void Backward(Var loss);
+
+  /// Releases all nodes; previously returned Vars become invalid.
+  void Clear();
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  // Backward closure: receives the tape so parent grads can be addressed
+  // even if nodes_ reallocated between creation and backward.
+  using BackwardFn = std::function<void(Tape*, const Tensor& out_grad)>;
+
+  struct Node {
+    Tensor value;
+    Tensor grad;
+    BackwardFn backward;   // empty for constants / leaves without params
+    bool requires_grad = false;
+  };
+
+  Var Emplace(Tensor value, bool requires_grad, BackwardFn backward);
+  Node& node(Var v);
+  const Node& node(Var v) const;
+  /// Accumulates g into node v's grad buffer (allocating if needed).
+  void AccumulateGrad(Var v, const Tensor& g);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_TENSOR_TAPE_H_

@@ -1,0 +1,201 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace kgag {
+
+Tensor::Tensor(std::initializer_list<std::initializer_list<Scalar>> rows) {
+  rows_ = rows.size();
+  cols_ = rows.size() == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    KGAG_CHECK_EQ(row.size(), cols_) << "ragged initializer list";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Tensor Tensor::Row(std::initializer_list<Scalar> values) {
+  Tensor t(1, values.size());
+  std::copy(values.begin(), values.end(), t.data_.begin());
+  return t;
+}
+
+Tensor Tensor::Row(const std::vector<Scalar>& values) {
+  Tensor t(1, values.size());
+  std::copy(values.begin(), values.end(), t.data_.begin());
+  return t;
+}
+
+Tensor Tensor::Identity(size_t n) {
+  Tensor t(n, n);
+  for (size_t i = 0; i < n; ++i) t.at(i, i) = 1.0;
+  return t;
+}
+
+void Tensor::Add(const Tensor& other) {
+  KGAG_CHECK(same_shape(other)) << "Add shape mismatch";
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::Axpy(Scalar alpha, const Tensor& other) {
+  KGAG_CHECK(same_shape(other)) << "Axpy shape mismatch";
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Tensor::Scale(Scalar alpha) {
+  for (auto& v : data_) v *= alpha;
+}
+
+void Tensor::Apply(const std::function<Scalar(Scalar)>& fn) {
+  for (auto& v : data_) v = fn(v);
+}
+
+Scalar Tensor::Sum() const {
+  Scalar s = 0.0;
+  for (Scalar v : data_) s += v;
+  return s;
+}
+
+Scalar Tensor::SquaredNorm() const {
+  Scalar s = 0.0;
+  for (Scalar v : data_) s += v * v;
+  return s;
+}
+
+Scalar Tensor::AbsMax() const {
+  Scalar s = 0.0;
+  for (Scalar v : data_) s = std::max(s, std::abs(v));
+  return s;
+}
+
+Tensor Tensor::RowAt(size_t r) const {
+  KGAG_CHECK_LT(r, rows_);
+  Tensor out(1, cols_);
+  std::copy(data_.begin() + r * cols_, data_.begin() + (r + 1) * cols_,
+            out.data_.begin());
+  return out;
+}
+
+void Tensor::SetRow(size_t r, const Tensor& row) {
+  KGAG_CHECK_LT(r, rows_);
+  KGAG_CHECK(row.rows() == 1 && row.cols() == cols_) << "SetRow shape";
+  std::copy(row.data_.begin(), row.data_.end(), data_.begin() + r * cols_);
+}
+
+void Tensor::AddToRow(size_t r, const Tensor& row) {
+  KGAG_CHECK_LT(r, rows_);
+  KGAG_CHECK(row.rows() == 1 && row.cols() == cols_) << "AddToRow shape";
+  for (size_t c = 0; c < cols_; ++c) data_[r * cols_ + c] += row.data_[c];
+}
+
+Tensor Tensor::Transposed() const {
+  Tensor out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      out.at(c, r) = at(r, c);
+    }
+  }
+  return out;
+}
+
+std::string Tensor::ToString(int max_elems) const {
+  std::ostringstream os;
+  os << "[" << rows_ << "x" << cols_ << ":";
+  int shown = 0;
+  for (size_t r = 0; r < rows_ && shown < max_elems; ++r) {
+    if (r > 0) os << ";";
+    for (size_t c = 0; c < cols_ && shown < max_elems; ++c, ++shown) {
+      os << " " << at(r, c);
+    }
+  }
+  if (static_cast<size_t>(shown) < size()) os << " ...";
+  os << "]";
+  return os.str();
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  KGAG_CHECK_EQ(a.cols(), b.rows()) << "MatMul inner dim";
+  Tensor out(a.rows(), b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t p = 0; p < k; ++p) {
+      const Scalar av = a.at(i, p);
+      if (av == 0.0) continue;
+      const Scalar* brow = b.data() + p * n;
+      Scalar* orow = out.data() + i * n;
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  KGAG_CHECK_EQ(a.rows(), b.rows()) << "MatMulTransA inner dim";
+  Tensor out(a.cols(), b.cols());
+  const size_t m = a.cols(), k = a.rows(), n = b.cols();
+  for (size_t p = 0; p < k; ++p) {
+    const Scalar* arow = a.data() + p * m;
+    const Scalar* brow = b.data() + p * n;
+    for (size_t i = 0; i < m; ++i) {
+      const Scalar av = arow[i];
+      if (av == 0.0) continue;
+      Scalar* orow = out.data() + i * n;
+      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  KGAG_CHECK_EQ(a.cols(), b.cols()) << "MatMulTransB inner dim";
+  Tensor out(a.rows(), b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (size_t i = 0; i < m; ++i) {
+    const Scalar* arow = a.data() + i * k;
+    for (size_t j = 0; j < n; ++j) {
+      const Scalar* brow = b.data() + j * k;
+      Scalar s = 0.0;
+      for (size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+      out.at(i, j) = s;
+    }
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out.Add(b);
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  Tensor out = a;
+  out.Axpy(-1.0, b);
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  KGAG_CHECK(a.same_shape(b)) << "Mul shape mismatch";
+  Tensor out = a;
+  for (size_t i = 0; i < out.size(); ++i) out[i] *= b[i];
+  return out;
+}
+
+Scalar Dot(const Tensor& a, const Tensor& b) {
+  KGAG_CHECK_EQ(a.size(), b.size()) << "Dot size mismatch";
+  Scalar s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, Scalar rtol, Scalar atol) {
+  if (!a.same_shape(b)) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > atol + rtol * std::abs(b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace kgag

@@ -1,0 +1,151 @@
+// Dense 2-D row-major tensor of doubles: the numeric workhorse under the
+// autodiff tape. Vectors are represented as 1xN (row) matrices.
+#ifndef KGAG_TENSOR_TENSOR_H_
+#define KGAG_TENSOR_TENSOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace kgag {
+
+/// Numeric type used throughout the library. Double keeps numerical
+/// gradient checks tight; dataset sizes here make the cost irrelevant.
+using Scalar = double;
+
+/// \brief Dense row-major matrix. Shape is (rows, cols); a scalar is 1x1.
+class Tensor {
+ public:
+  Tensor() : rows_(0), cols_(0) {}
+
+  /// Zero-initialized tensor of the given shape.
+  Tensor(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Tensor filled with `fill`.
+  Tensor(size_t rows, size_t cols, Scalar fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from a nested initializer list: Tensor({{1,2},{3,4}}).
+  Tensor(std::initializer_list<std::initializer_list<Scalar>> rows);
+
+  /// 1xN row vector from a flat list.
+  static Tensor Row(std::initializer_list<Scalar> values);
+
+  /// 1xN row vector copied from a std::vector.
+  static Tensor Row(const std::vector<Scalar>& values);
+
+  /// 1x1 scalar tensor.
+  static Tensor Scalar1(Scalar v) {
+    Tensor t(1, 1);
+    t.data_[0] = v;
+    return t;
+  }
+
+  /// Identity matrix of size n.
+  static Tensor Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  bool same_shape(const Tensor& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+  Scalar& at(size_t r, size_t c) {
+    KGAG_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  Scalar at(size_t r, size_t c) const {
+    KGAG_DCHECK(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  Scalar& operator[](size_t i) {
+    KGAG_DCHECK(i < data_.size());
+    return data_[i];
+  }
+  Scalar operator[](size_t i) const {
+    KGAG_DCHECK(i < data_.size());
+    return data_[i];
+  }
+
+  Scalar* data() { return data_.data(); }
+  const Scalar* data() const { return data_.data(); }
+
+  /// Value of a 1x1 tensor.
+  Scalar item() const {
+    KGAG_CHECK(size() == 1) << "item() on tensor of size " << size();
+    return data_[0];
+  }
+
+  void Fill(Scalar v) { std::fill(data_.begin(), data_.end(), v); }
+  void Zero() { Fill(0.0); }
+
+  /// Element-wise in-place accumulate: this += other.
+  void Add(const Tensor& other);
+  /// this += alpha * other.
+  void Axpy(Scalar alpha, const Tensor& other);
+  /// this *= alpha.
+  void Scale(Scalar alpha);
+  /// Applies fn to every element in place.
+  void Apply(const std::function<Scalar(Scalar)>& fn);
+
+  /// Sum of all elements.
+  Scalar Sum() const;
+  /// Sum of squared elements (‖x‖²).
+  Scalar SquaredNorm() const;
+  /// Largest |element|.
+  Scalar AbsMax() const;
+
+  /// Copy of row r as a 1xC tensor.
+  Tensor RowAt(size_t r) const;
+  /// Overwrites row r from a 1xC tensor.
+  void SetRow(size_t r, const Tensor& row);
+  /// Adds a 1xC tensor into row r.
+  void AddToRow(size_t r, const Tensor& row);
+
+  /// Out-of-place transpose.
+  Tensor Transposed() const;
+
+  bool operator==(const Tensor& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_ && data_ == o.data_;
+  }
+
+  /// Compact debug rendering, e.g. "[2x3: 1 2 3; 4 5 6]".
+  std::string ToString(int max_elems = 24) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<Scalar> data_;
+};
+
+/// C = A * B. Shapes must agree (A: m×k, B: k×n).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// C = Aᵀ * B.
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+/// C = A * Bᵀ.
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+
+/// Element-wise sum (shapes must match).
+Tensor Add(const Tensor& a, const Tensor& b);
+/// Element-wise difference.
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// Element-wise (Hadamard) product.
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// Dot product of two same-shape tensors viewed as flat vectors.
+Scalar Dot(const Tensor& a, const Tensor& b);
+
+/// True when all elements differ by at most atol + rtol*|b|.
+bool AllClose(const Tensor& a, const Tensor& b, Scalar rtol = 1e-6,
+              Scalar atol = 1e-9);
+
+}  // namespace kgag
+
+#endif  // KGAG_TENSOR_TENSOR_H_

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "baselines/aggregation.h"
+#include "baselines/kgcn.h"
+#include "baselines/mf.h"
+#include "baselines/mosan.h"
+#include "baselines/trivial.h"
+#include "eval/ranking_evaluator.h"
+#include "test_util.h"
+
+namespace kgag {
+namespace {
+
+MfConfig FastMfConfig() {
+  MfConfig cfg;
+  cfg.dim = 8;
+  cfg.epochs = 4;
+  cfg.batch_size = 16;
+  cfg.seed = 19;
+  return cfg;
+}
+
+TEST(AggregationTest, StrategiesComputeCorrectly) {
+  std::vector<double> scores{0.2, -0.5, 0.9};
+  EXPECT_NEAR(AggregateScores(scores, ScoreAggregation::kAverage), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(AggregateScores(scores, ScoreAggregation::kLeastMisery),
+                   -0.5);
+  EXPECT_DOUBLE_EQ(AggregateScores(scores, ScoreAggregation::kMaxPleasure),
+                   0.9);
+}
+
+TEST(AggregationTest, NamesAreStable) {
+  EXPECT_STREQ(AggregationName(ScoreAggregation::kAverage), "AVG");
+  EXPECT_STREQ(AggregationName(ScoreAggregation::kLeastMisery), "LM");
+  EXPECT_STREQ(AggregationName(ScoreAggregation::kMaxPleasure), "MP");
+}
+
+TEST(AggregationTest, TapeVersionsMatchScalarVersions) {
+  Tensor member_scores{{0.2}, {-0.5}, {0.9}};
+  std::vector<double> plain{0.2, -0.5, 0.9};
+  for (auto agg : {ScoreAggregation::kAverage, ScoreAggregation::kLeastMisery,
+                   ScoreAggregation::kMaxPleasure}) {
+    Tape tape;
+    Var v = tape.Constant(member_scores);
+    Var out = AggregateScoresOnTape(&tape, v, agg);
+    EXPECT_NEAR(tape.value(out).item(), AggregateScores(plain, agg), 1e-12);
+  }
+}
+
+class MfTest : public ::testing::TestWithParam<ScoreAggregation> {};
+
+TEST_P(MfTest, TrainsAndScores) {
+  GroupRecDataset ds = testing_util::TinyRand();
+  MfGroupRecommender model(&ds, FastMfConfig(), GetParam());
+  model.Fit();
+  ASSERT_EQ(model.epoch_losses().size(), 4u);
+  EXPECT_LT(model.epoch_losses().back(), model.epoch_losses().front() + 1e-9);
+  std::vector<ItemId> items{0, 1, 2, 3};
+  auto scores = model.ScoreGroup(0, items);
+  EXPECT_EQ(scores.size(), 4u);
+  auto user_scores = model.ScoreUser(0, items);
+  EXPECT_EQ(user_scores.size(), 4u);
+}
+
+TEST_P(MfTest, GroupScoreIsAggregatedMemberScore) {
+  GroupRecDataset ds = testing_util::TinyRand();
+  MfGroupRecommender model(&ds, FastMfConfig(), GetParam());
+  model.Fit();
+  std::vector<ItemId> items{0, 1, 2};
+  auto group_scores = model.ScoreGroup(0, items);
+  auto members = ds.groups.MembersOf(0);
+  for (size_t i = 0; i < items.size(); ++i) {
+    std::vector<double> member_scores;
+    for (UserId u : members) {
+      member_scores.push_back(model.ScoreUser(u, {&items[i], 1})[0]);
+    }
+    EXPECT_NEAR(group_scores[i], AggregateScores(member_scores, GetParam()),
+                1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, MfTest,
+    ::testing::Values(ScoreAggregation::kAverage,
+                      ScoreAggregation::kLeastMisery,
+                      ScoreAggregation::kMaxPleasure),
+    [](const ::testing::TestParamInfo<ScoreAggregation>& param_info) {
+      return AggregationName(param_info.param);
+    });
+
+TEST(MfTest, NameIncludesStrategy) {
+  GroupRecDataset ds = testing_util::TinyRand();
+  MfGroupRecommender lm(&ds, FastMfConfig(), ScoreAggregation::kLeastMisery);
+  EXPECT_EQ(lm.name(), "CF+LM");
+}
+
+TEST(KgcnTest, CreatesTrainsAndScores) {
+  GroupRecDataset ds = testing_util::TinyRand();
+  KgcnConfig cfg;
+  cfg.base = FastMfConfig();
+  cfg.base.epochs = 2;
+  cfg.propagation.dim = 8;
+  cfg.propagation.depth = 2;
+  cfg.propagation.sample_size = 2;
+  auto model =
+      KgcnGroupRecommender::Create(&ds, cfg, ScoreAggregation::kAverage);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  (*model)->Fit();
+  EXPECT_EQ((*model)->name(), "KGCN+AVG");
+  std::vector<ItemId> items{0, 1, 2};
+  auto scores = (*model)->ScoreGroup(0, items);
+  EXPECT_EQ(scores.size(), 3u);
+  for (double s : scores) EXPECT_TRUE(std::isfinite(s));
+  auto user_scores = (*model)->ScoreUser(1, items);
+  EXPECT_EQ(user_scores.size(), 3u);
+}
+
+TEST(KgcnTest, LossDecreases) {
+  GroupRecDataset ds = testing_util::TinyRand();
+  KgcnConfig cfg;
+  cfg.base = FastMfConfig();
+  cfg.base.epochs = 5;
+  cfg.propagation.dim = 8;
+  cfg.propagation.depth = 1;
+  cfg.propagation.sample_size = 2;
+  auto model =
+      KgcnGroupRecommender::Create(&ds, cfg, ScoreAggregation::kLeastMisery);
+  ASSERT_TRUE(model.ok());
+  (*model)->Fit();
+  const auto& losses = (*model)->epoch_losses();
+  EXPECT_LT(losses.back(), losses.front());
+}
+
+TEST(MosanTest, TrainsAndScores) {
+  GroupRecDataset ds = testing_util::TinyRand();
+  MosanGroupRecommender model(&ds, FastMfConfig());
+  model.Fit();
+  EXPECT_EQ(model.name(), "MoSAN");
+  EXPECT_LT(model.epoch_losses().back(), model.epoch_losses().front());
+  std::vector<ItemId> items{0, 1, 2, 3, 4};
+  auto scores = model.ScoreGroup(0, items);
+  EXPECT_EQ(scores.size(), 5u);
+  for (double s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(MosanTest, GroupRepIndependentOfCandidate) {
+  // MoSAN's structural limitation (motivates KGAG's SP): scores must be a
+  // fixed linear functional of item embeddings, i.e. the same group rep
+  // scores every candidate.
+  GroupRecDataset ds = testing_util::TinyRand();
+  MosanGroupRecommender model(&ds, FastMfConfig());
+  model.Fit();
+  std::vector<ItemId> ab{0, 1};
+  std::vector<ItemId> ba{1, 0};
+  auto s1 = model.ScoreGroup(2, ab);
+  auto s2 = model.ScoreGroup(2, ba);
+  EXPECT_DOUBLE_EQ(s1[0], s2[1]);
+  EXPECT_DOUBLE_EQ(s1[1], s2[0]);
+}
+
+TEST(TrivialTest, PopularityPrefersFrequentItems) {
+  GroupRecDataset ds = testing_util::TinyRand();
+  PopularityRecommender pop(&ds);
+  pop.Fit();
+  // Count training interactions per item and check ordering agreement.
+  std::vector<int> counts(ds.num_items, 0);
+  for (const Interaction& it : ds.split.train) ++counts[it.item];
+  ItemId most = 0, least = 0;
+  for (ItemId v = 0; v < ds.num_items; ++v) {
+    if (counts[v] > counts[most]) most = v;
+    if (counts[v] < counts[least]) least = v;
+  }
+  std::vector<ItemId> items{most, least};
+  auto scores = pop.ScoreGroup(0, items);
+  EXPECT_GE(scores[0], scores[1]);
+}
+
+TEST(TrivialTest, RandomIsDeterministicPerSeed) {
+  RandomRecommender a(5), b(5), c(6);
+  std::vector<ItemId> items{0, 1, 2, 3};
+  EXPECT_EQ(a.ScoreGroup(0, items), b.ScoreGroup(0, items));
+  EXPECT_NE(a.ScoreGroup(0, items), c.ScoreGroup(0, items));
+}
+
+TEST(BaselineComparisonTest, TrainedMfBeatsRandom) {
+  GroupRecDataset ds = testing_util::TinyRand();
+  MfConfig cfg = FastMfConfig();
+  cfg.epochs = 8;
+  MfGroupRecommender mf(&ds, cfg, ScoreAggregation::kAverage);
+  mf.Fit();
+  RankingEvaluator eval(&ds, 5);
+  RandomRecommender random(123);
+  EXPECT_GT(eval.EvaluateTest(&mf).hit_at_k,
+            eval.EvaluateTest(&random).hit_at_k);
+}
+
+}  // namespace
+}  // namespace kgag

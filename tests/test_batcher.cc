@@ -1,0 +1,149 @@
+#include "data/batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+
+namespace kgag {
+namespace {
+
+TEST(NegativeSamplerTest, NeverReturnsPositives) {
+  auto m = InteractionMatrix::FromPairs(2, 10, {{0, 1}, {0, 3}, {0, 5}});
+  NegativeSampler sampler(&m);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    ItemId v = sampler.Sample(0, &rng);
+    EXPECT_FALSE(m.Contains(0, v));
+  }
+}
+
+TEST(NegativeSamplerTest, CoversNonPositives) {
+  auto m = InteractionMatrix::FromPairs(1, 6, {{0, 0}});
+  NegativeSampler sampler(&m);
+  Rng rng(2);
+  std::set<ItemId> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(sampler.Sample(0, &rng));
+  EXPECT_EQ(seen.size(), 5u);  // items 1..5
+}
+
+TEST(NegativeSamplerTest, DegenerateRowFallsBack) {
+  // Row interacted with everything: sampler must still terminate.
+  auto m = InteractionMatrix::FromPairs(1, 3, {{0, 0}, {0, 1}, {0, 2}});
+  NegativeSampler sampler(&m);
+  Rng rng(3);
+  ItemId v = sampler.Sample(0, &rng);
+  EXPECT_GE(v, 0);
+  EXPECT_LT(v, 3);
+}
+
+class BatcherTest : public ::testing::Test {
+ protected:
+  BatcherTest() : ds_(testing_util::TinyRand()) {}
+  GroupRecDataset ds_;
+};
+
+TEST_F(BatcherTest, EpochCoversAllTrainPairs) {
+  Batcher batcher(&ds_, {8, 1.0, 0});
+  Rng rng(4);
+  batcher.BeginEpoch(&rng);
+  MiniBatch batch;
+  std::multiset<std::pair<GroupId, ItemId>> seen;
+  while (batcher.NextBatch(&rng, &batch)) {
+    for (const GroupTriplet& t : batch.group_triplets) {
+      seen.insert({t.group, t.positive});
+    }
+  }
+  EXPECT_EQ(seen.size(), ds_.split.train.size());
+  for (const Interaction& it : ds_.split.train) {
+    EXPECT_EQ(seen.count({it.row, it.item}), 1u);
+  }
+}
+
+TEST_F(BatcherTest, NegativesAreNotGroupPositives) {
+  Batcher batcher(&ds_, {8, 1.0, 0});
+  Rng rng(5);
+  batcher.BeginEpoch(&rng);
+  MiniBatch batch;
+  while (batcher.NextBatch(&rng, &batch)) {
+    for (const GroupTriplet& t : batch.group_triplets) {
+      EXPECT_FALSE(ds_.group_item.Contains(t.group, t.negative));
+    }
+  }
+}
+
+TEST_F(BatcherTest, UserInstancesBalancedLabels) {
+  Batcher batcher(&ds_, {8, 1.0, 0});
+  Rng rng(6);
+  batcher.BeginEpoch(&rng);
+  MiniBatch batch;
+  ASSERT_TRUE(batcher.NextBatch(&rng, &batch));
+  size_t pos = 0, neg = 0;
+  for (const UserInstance& ui : batch.user_instances) {
+    if (ui.label == 1.0) {
+      EXPECT_TRUE(ds_.user_item.Contains(ui.user, ui.item));
+      ++pos;
+    } else {
+      EXPECT_FALSE(ds_.user_item.Contains(ui.user, ui.item));
+      ++neg;
+    }
+  }
+  EXPECT_EQ(pos, neg);  // one sampled negative per positive
+  EXPECT_GT(pos, 0u);
+}
+
+TEST_F(BatcherTest, PairCapLimitsEpoch) {
+  const size_t cap = 5;
+  Batcher batcher(&ds_, {2, 0.0, cap});
+  Rng rng(7);
+  batcher.BeginEpoch(&rng);
+  MiniBatch batch;
+  size_t total = 0;
+  while (batcher.NextBatch(&rng, &batch)) {
+    total += batch.group_triplets.size();
+  }
+  EXPECT_EQ(total, cap);
+}
+
+TEST_F(BatcherTest, PairCapRedrawsAcrossEpochs) {
+  // With a cap, different epochs should visit different subsets
+  // (re-drawn from the full training split, not a frozen prefix).
+  const size_t cap = 4;
+  Batcher batcher(&ds_, {4, 0.0, cap});
+  Rng rng(8);
+  std::set<std::pair<GroupId, ItemId>> all_seen;
+  for (int epoch = 0; epoch < 12; ++epoch) {
+    batcher.BeginEpoch(&rng);
+    MiniBatch batch;
+    while (batcher.NextBatch(&rng, &batch)) {
+      for (const GroupTriplet& t : batch.group_triplets) {
+        all_seen.insert({t.group, t.positive});
+      }
+    }
+  }
+  EXPECT_GT(all_seen.size(), cap) << "cap must rotate through the split";
+}
+
+TEST_F(BatcherTest, UserRatioZeroMeansNoUserInstances) {
+  Batcher batcher(&ds_, {8, 0.0, 0});
+  Rng rng(9);
+  batcher.BeginEpoch(&rng);
+  MiniBatch batch;
+  while (batcher.NextBatch(&rng, &batch)) {
+    EXPECT_TRUE(batch.user_instances.empty());
+  }
+}
+
+TEST_F(BatcherTest, BatchesPerEpochMatches) {
+  Batcher batcher(&ds_, {8, 1.0, 0});
+  Rng rng(10);
+  batcher.BeginEpoch(&rng);
+  MiniBatch batch;
+  size_t batches = 0;
+  while (batcher.NextBatch(&rng, &batch)) ++batches;
+  EXPECT_EQ(batches, batcher.BatchesPerEpoch());
+}
+
+}  // namespace
+}  // namespace kgag

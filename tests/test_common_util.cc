@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+#include "common/csv_writer.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "common/thread_pool.h"
+
+namespace kgag {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i) {
+    futs.push_back(pool.Submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, DefaultSizeUsesHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"a", "long_header"});
+  t.AddRow({"xxxxxxxx", "1"});
+  t.AddRow({"y", "2"});
+  const std::string out = t.ToString();
+  // Every data line has the same width.
+  size_t first_len = std::string::npos;
+  size_t pos = 0;
+  while (pos < out.size()) {
+    size_t nl = out.find('\n', pos);
+    if (nl == std::string::npos) break;
+    const size_t len = nl - pos;
+    if (first_len == std::string::npos) first_len = len;
+    EXPECT_EQ(len, first_len);
+    pos = nl + 1;
+  }
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+  EXPECT_NE(out.find("xxxxxxxx"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsFixedPrecision) {
+  EXPECT_EQ(TablePrinter::Num(0.5497), "0.5497");
+  EXPECT_EQ(TablePrinter::Num(1.0, 2), "1.00");
+  EXPECT_EQ(TablePrinter::Num(0.123456, 3), "0.123");
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only_one"});
+  const std::string out = t.ToString();
+  EXPECT_NE(out.find("only_one"), std::string::npos);
+}
+
+TEST(CsvWriterTest, WritesAndEscapes) {
+  const std::string path = "/tmp/kgag_csv_test.csv";
+  CsvWriter w;
+  ASSERT_TRUE(w.Open(path, {"col1", "col2"}).ok());
+  ASSERT_TRUE(w.WriteRow({"plain", "has,comma"}).ok());
+  ASSERT_TRUE(w.WriteRow({"has\"quote", "x"}).ok());
+  ASSERT_TRUE(w.Close().ok());
+
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "col1,col2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,\"has,comma\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"has\"\"quote\",x");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, OpenFailsOnBadPath) {
+  CsvWriter w;
+  EXPECT_FALSE(w.Open("/nonexistent_dir_xyz/file.csv", {"a"}).ok());
+}
+
+TEST(CsvWriterTest, WriteWithoutOpenFails) {
+  CsvWriter w;
+  EXPECT_FALSE(w.WriteRow({"a"}).ok());
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+  EXPECT_LT(sw.ElapsedSeconds(), 5.0);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedMillis(), 5000.0);
+}
+
+}  // namespace
+}  // namespace kgag

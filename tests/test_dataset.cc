@@ -1,0 +1,117 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace kgag {
+namespace {
+
+GroupRecDataset TinyDataset() {
+  GroupRecDataset ds;
+  ds.name = "tiny";
+  ds.num_users = 4;
+  ds.num_items = 3;
+  ds.num_entities = 5;  // 3 items + 2 attributes
+  ds.num_relations = 1;
+  ds.kg_triples = {{0, 0, 3}, {1, 0, 3}, {2, 0, 4}};
+  ds.item_to_entity = {0, 1, 2};
+  ds.user_item = InteractionMatrix::FromPairs(
+      4, 3, {{0, 0}, {1, 0}, {2, 1}, {3, 2}});
+  ds.groups = GroupTable({{0, 1}, {2, 3}});
+  ds.group_item = InteractionMatrix::FromPairs(
+      2, 3, {{0, 0}, {0, 1}, {1, 1}, {1, 2}});
+  ds.group_size = 2;
+  Rng rng(1);
+  ds.split = SplitInteractions(ds.group_item, &rng);
+  return ds;
+}
+
+TEST(DatasetTest, ValidatesCleanDataset) {
+  auto ds = TinyDataset();
+  EXPECT_TRUE(ds.Validate().ok()) << ds.Validate().ToString();
+}
+
+TEST(DatasetTest, SplitPartitionsInteractions) {
+  auto ds = TinyDataset();
+  std::set<std::pair<int32_t, ItemId>> seen;
+  auto collect = [&](const std::vector<Interaction>& v) {
+    for (const auto& it : v) {
+      EXPECT_TRUE(seen.insert({it.row, it.item}).second)
+          << "duplicate across splits";
+    }
+  };
+  collect(ds.split.train);
+  collect(ds.split.valid);
+  collect(ds.split.test);
+  EXPECT_EQ(seen.size(), ds.group_item.num_interactions());
+}
+
+TEST(DatasetTest, SplitRatiosRoughly602020) {
+  InteractionMatrix m = InteractionMatrix::FromPairs(
+      100, 10,
+      [] {
+        std::vector<Interaction> pairs;
+        for (int32_t g = 0; g < 100; ++g) {
+          for (ItemId v = 0; v < 10; ++v) pairs.push_back({g, v});
+        }
+        return pairs;
+      }());
+  Rng rng(2);
+  GroupSplit split = SplitInteractions(m, &rng);
+  EXPECT_EQ(split.train.size(), 600u);
+  EXPECT_EQ(split.valid.size(), 200u);
+  EXPECT_EQ(split.test.size(), 200u);
+}
+
+TEST(DatasetTest, SplitIsSeedDeterministic) {
+  auto ds1 = TinyDataset();
+  auto ds2 = TinyDataset();
+  EXPECT_EQ(ds1.split.train, ds2.split.train);
+  EXPECT_EQ(ds1.split.test, ds2.split.test);
+}
+
+TEST(DatasetTest, TestItemPoolIsSortedUnique) {
+  auto ds = TinyDataset();
+  auto pool = ds.TestItemPool();
+  for (size_t i = 1; i < pool.size(); ++i) {
+    EXPECT_LT(pool[i - 1], pool[i]);
+  }
+  std::set<ItemId> test_items;
+  for (const auto& it : ds.split.test) test_items.insert(it.item);
+  EXPECT_EQ(pool.size(), test_items.size());
+}
+
+TEST(DatasetTest, StatsMatchContents) {
+  auto ds = TinyDataset();
+  DatasetStats s = ds.Stats();
+  EXPECT_EQ(s.total_groups, 2);
+  EXPECT_EQ(s.total_items, 3);
+  EXPECT_EQ(s.total_users, 4);
+  EXPECT_EQ(s.group_size, 2);
+  EXPECT_EQ(s.group_interactions, 4);
+  EXPECT_DOUBLE_EQ(s.interactions_per_group, 2.0);
+  EXPECT_EQ(s.kg_entities, 5);
+  EXPECT_EQ(s.kg_triples, 3);
+}
+
+TEST(DatasetTest, ValidateCatchesBadMapping) {
+  auto ds = TinyDataset();
+  ds.item_to_entity = {0, 1, 99};
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesNonUniformGroup) {
+  auto ds = TinyDataset();
+  ds.groups = GroupTable({{0, 1}, {2}});
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+TEST(DatasetTest, ValidateCatchesBadTriple) {
+  auto ds = TinyDataset();
+  ds.kg_triples.push_back({0, 7, 1});
+  EXPECT_FALSE(ds.Validate().ok());
+}
+
+}  // namespace
+}  // namespace kgag

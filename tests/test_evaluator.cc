@@ -1,0 +1,136 @@
+#include "eval/ranking_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace kgag {
+namespace {
+
+GroupRecDataset SmallDataset() {
+  GroupRecDataset ds;
+  ds.name = "eval-test";
+  ds.num_users = 6;
+  ds.num_items = 10;
+  ds.num_entities = 10;
+  ds.num_relations = 1;
+  ds.item_to_entity.resize(10);
+  for (int i = 0; i < 10; ++i) ds.item_to_entity[i] = i;
+  ds.user_item = InteractionMatrix::FromPairs(6, 10, {{0, 0}});
+  ds.groups = GroupTable({{0, 1}, {2, 3}, {4, 5}});
+  ds.group_item = InteractionMatrix::FromPairs(
+      3, 10, {{0, 0}, {0, 1}, {1, 2}, {1, 3}, {2, 4}});
+  ds.group_size = 2;
+  // Hand-made split: all interactions in test.
+  ds.split.test = ds.group_item.ToPairs();
+  return ds;
+}
+
+/// Oracle: knows the test positives and scores them 1, everything else 0.
+class OracleScorer : public GroupScorer {
+ public:
+  explicit OracleScorer(const GroupRecDataset* ds) {
+    for (const Interaction& it : ds->split.test) {
+      positives_[it.row].insert(it.item);
+    }
+  }
+  std::vector<double> ScoreGroup(GroupId g,
+                                 std::span<const ItemId> items) override {
+    std::vector<double> out(items.size(), 0.0);
+    auto it = positives_.find(g);
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (it != positives_.end() && it->second.count(items[i])) out[i] = 1.0;
+    }
+    return out;
+  }
+
+ private:
+  std::unordered_map<GroupId, std::unordered_set<ItemId>> positives_;
+};
+
+/// Anti-oracle: scores the positives lowest.
+class AntiOracleScorer : public GroupScorer {
+ public:
+  explicit AntiOracleScorer(const GroupRecDataset* ds) : oracle_(ds) {}
+  std::vector<double> ScoreGroup(GroupId g,
+                                 std::span<const ItemId> items) override {
+    auto s = oracle_.ScoreGroup(g, items);
+    for (double& x : s) x = -x;
+    return s;
+  }
+
+ private:
+  OracleScorer oracle_;
+};
+
+TEST(RankingEvaluatorTest, OracleGetsPerfectHit) {
+  GroupRecDataset ds = SmallDataset();
+  RankingEvaluator eval(&ds, 5);
+  OracleScorer oracle(&ds);
+  EvalResult r = eval.EvaluateTest(&oracle);
+  EXPECT_EQ(r.num_groups, 3u);
+  EXPECT_DOUBLE_EQ(r.hit_at_k, 1.0);
+  EXPECT_DOUBLE_EQ(r.recall_at_k, 1.0);
+  EXPECT_DOUBLE_EQ(r.ndcg_at_k, 1.0);
+}
+
+TEST(RankingEvaluatorTest, AntiOracleWithTightK) {
+  // Pool = {0,1,2,3,4}; with k=2 the anti-oracle ranks positives last.
+  GroupRecDataset ds = SmallDataset();
+  RankingEvaluator eval(&ds, 2);
+  AntiOracleScorer anti(&ds);
+  EvalResult r = eval.EvaluateTest(&anti);
+  // Group 0 has positives {0,1}; 3 non-positives fill the top-2 -> miss.
+  // Groups 1 and 2 similarly miss.
+  EXPECT_DOUBLE_EQ(r.hit_at_k, 0.0);
+  EXPECT_DOUBLE_EQ(r.recall_at_k, 0.0);
+}
+
+TEST(RankingEvaluatorTest, KLargerThanPoolHitsEverything) {
+  GroupRecDataset ds = SmallDataset();
+  RankingEvaluator eval(&ds, 100);
+  AntiOracleScorer anti(&ds);
+  EvalResult r = eval.EvaluateTest(&anti);
+  EXPECT_DOUBLE_EQ(r.hit_at_k, 1.0);
+  EXPECT_DOUBLE_EQ(r.recall_at_k, 1.0);
+}
+
+TEST(RankingEvaluatorTest, EmptySliceGivesZeroGroups) {
+  GroupRecDataset ds = SmallDataset();
+  RankingEvaluator eval(&ds, 5);
+  OracleScorer oracle(&ds);
+  EvalResult r = eval.Evaluate(&oracle, {});
+  EXPECT_EQ(r.num_groups, 0u);
+  EXPECT_EQ(r.hit_at_k, 0.0);
+}
+
+TEST(RankingEvaluatorTest, PoolIsUnionOfSliceItems) {
+  GroupRecDataset ds = SmallDataset();
+  RankingEvaluator eval(&ds, 1);
+  // Slice with a single interaction: pool = {4}, so even a zero scorer
+  // hits for group 2.
+  class ZeroScorer : public GroupScorer {
+   public:
+    std::vector<double> ScoreGroup(GroupId,
+                                   std::span<const ItemId> items) override {
+      return std::vector<double>(items.size(), 0.0);
+    }
+  } zero;
+  EvalResult r = eval.Evaluate(&zero, {{2, 4}});
+  EXPECT_EQ(r.num_groups, 1u);
+  EXPECT_DOUBLE_EQ(r.hit_at_k, 1.0);
+}
+
+TEST(EvalResultTest, ToStringContainsMetrics) {
+  EvalResult r;
+  r.k = 5;
+  r.hit_at_k = 0.5;
+  r.num_groups = 7;
+  const std::string s = r.ToString();
+  EXPECT_NE(s.find("hit@5"), std::string::npos);
+  EXPECT_NE(s.find("7 groups"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kgag

@@ -1,0 +1,176 @@
+// End-to-end integration tests across all modules: dataset generation ->
+// collaborative KG -> training -> ranking evaluation, for KGAG and the
+// baseline grid, on all three corpus families.
+#include <gtest/gtest.h>
+
+#include "baselines/kgcn.h"
+#include "baselines/mf.h"
+#include "baselines/mosan.h"
+#include "baselines/trivial.h"
+#include "data/synthetic/standard_datasets.h"
+#include "eval/ranking_evaluator.h"
+#include "models/kgag_model.h"
+#include "test_util.h"
+
+namespace kgag {
+namespace {
+
+KgagConfig FastKgag() {
+  KgagConfig cfg;
+  cfg.propagation.dim = 8;
+  cfg.propagation.sample_size = 3;
+  cfg.epochs = 3;
+  cfg.batch_size = 16;
+  cfg.seed = 5;
+  return cfg;
+}
+
+// KGAG must construct, train and produce sane metrics on every corpus
+// family (parameterized smoke across datasets).
+class AllDatasetsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllDatasetsTest, KgagEndToEnd) {
+  GroupRecDataset ds;
+  switch (GetParam()) {
+    case 0:
+      ds = MakeMovieLensRandDataset(9, 0.08);
+      break;
+    case 1:
+      ds = MakeMovieLensSimiDataset(9, 0.08);
+      break;
+    default:
+      ds = MakeYelpDataset(9, 0.1);
+      break;
+  }
+  ASSERT_TRUE(ds.Validate().ok()) << ds.Validate().ToString();
+  auto model = KgagModel::Create(&ds, FastKgag());
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  (*model)->Fit();
+  RankingEvaluator eval(&ds, 5);
+  EvalResult r = eval.EvaluateTest(model->get());
+  EXPECT_GT(r.num_groups, 0u);
+  EXPECT_GE(r.hit_at_k, 0.0);
+  EXPECT_LE(r.hit_at_k, 1.0);
+  EXPECT_LE(r.recall_at_k, r.hit_at_k + 1e-12)
+      << "recall@k cannot exceed hit@k";
+}
+
+std::string CorpusName(const ::testing::TestParamInfo<int>& info) {
+  switch (info.param) {
+    case 0:
+      return "Rand";
+    case 1:
+      return "Simi";
+    default:
+      return "Yelp";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpora, AllDatasetsTest, ::testing::Values(0, 1, 2),
+                         CorpusName);
+
+TEST(IntegrationTest, FullBaselineGridRuns) {
+  GroupRecDataset ds = testing_util::TinyRand();
+  RankingEvaluator eval(&ds, 5);
+  MfConfig mfc;
+  mfc.dim = 8;
+  mfc.epochs = 2;
+
+  std::vector<std::unique_ptr<TrainableGroupRecommender>> models;
+  for (auto agg : {ScoreAggregation::kAverage, ScoreAggregation::kLeastMisery,
+                   ScoreAggregation::kMaxPleasure}) {
+    models.push_back(std::make_unique<MfGroupRecommender>(&ds, mfc, agg));
+    KgcnConfig kc;
+    kc.base = mfc;
+    kc.propagation.dim = 8;
+    kc.propagation.sample_size = 2;
+    auto kgcn = KgcnGroupRecommender::Create(&ds, kc, agg);
+    ASSERT_TRUE(kgcn.ok());
+    models.push_back(std::move(*kgcn));
+  }
+  models.push_back(std::make_unique<MosanGroupRecommender>(&ds, mfc));
+  auto kgag = KgagModel::Create(&ds, FastKgag());
+  ASSERT_TRUE(kgag.ok());
+  models.push_back(std::move(*kgag));
+
+  for (auto& model : models) {
+    model->Fit();
+    EvalResult r = eval.EvaluateTest(model.get());
+    EXPECT_GE(r.hit_at_k, 0.0) << model->name();
+    EXPECT_LE(r.hit_at_k, 1.0) << model->name();
+    EXPECT_FALSE(model->name().empty());
+  }
+}
+
+TEST(IntegrationTest, DeterministicEndToEnd) {
+  // Same seeds -> bitwise identical metrics, across the whole pipeline.
+  auto run = [] {
+    GroupRecDataset ds = MakeMovieLensRandDataset(13, 0.08);
+    auto model = KgagModel::Create(&ds, FastKgag());
+    KGAG_CHECK(model.ok());
+    (*model)->Fit();
+    RankingEvaluator eval(&ds, 5);
+    return eval.EvaluateTest(model->get());
+  };
+  EvalResult a = run();
+  EvalResult b = run();
+  EXPECT_EQ(a.hit_at_k, b.hit_at_k);
+  EXPECT_EQ(a.recall_at_k, b.recall_at_k);
+  EXPECT_EQ(a.ndcg_at_k, b.ndcg_at_k);
+}
+
+TEST(IntegrationTest, KgagGeneralizesOnKgStructure) {
+  // The custom-dataset scenario as an assertion: two taste communities,
+  // held-out items share KG attributes with training choices; KGAG must
+  // rank the held-out item of each group above the other community's.
+  GroupRecDataset ds;
+  ds.name = "two-communities";
+  ds.num_users = 6;
+  ds.num_items = 4;
+  ds.num_entities = 8;
+  ds.num_relations = 2;
+  ds.kg_triples = {{0, 0, 4}, {1, 0, 4}, {2, 0, 5}, {3, 0, 5},
+                   {0, 1, 6}, {1, 1, 6}, {2, 1, 7}, {3, 1, 7}};
+  ds.item_to_entity = {0, 1, 2, 3};
+  ds.user_item = InteractionMatrix::FromPairs(
+      6, 4, {{0, 0}, {1, 0}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {4, 3}, {5, 3}});
+  ds.groups = GroupTable({{0, 1, 2}, {3, 4, 5}});
+  ds.group_size = 3;
+  ds.group_item = InteractionMatrix::FromPairs(2, 4, {{0, 0}, {0, 1},
+                                                      {1, 2}, {1, 3}});
+  ds.split.train = {{0, 0}, {1, 2}};
+  ds.split.test = {{0, 1}, {1, 3}};
+  ASSERT_TRUE(ds.Validate().ok());
+
+  KgagConfig cfg;
+  cfg.propagation.dim = 8;
+  cfg.propagation.sample_size = 3;
+  cfg.propagation.final_tanh = false;
+  cfg.epochs = 40;
+  cfg.batch_size = 2;
+  cfg.select_by_validation = false;
+  cfg.seed = 3;
+  auto model = KgagModel::Create(&ds, cfg);
+  ASSERT_TRUE(model.ok());
+  (*model)->Fit();
+
+  const std::vector<ItemId> items{1, 3};  // held-out item of each group
+  auto s0 = (*model)->ScoreGroup(0, items);
+  auto s1 = (*model)->ScoreGroup(1, items);
+  EXPECT_GT(s0[0], s0[1]) << "group 0 must prefer its community's item";
+  EXPECT_GT(s1[1], s1[0]) << "group 1 must prefer its community's item";
+}
+
+TEST(IntegrationTest, RecallEqualsHitOnYelp) {
+  // Table II's Yelp identity: exactly one positive per group.
+  GroupRecDataset ds = testing_util::TinyYelp();
+  auto model = KgagModel::Create(&ds, FastKgag());
+  ASSERT_TRUE(model.ok());
+  (*model)->Fit();
+  RankingEvaluator eval(&ds, 5);
+  EvalResult r = eval.EvaluateTest(model->get());
+  EXPECT_DOUBLE_EQ(r.hit_at_k, r.recall_at_k);
+}
+
+}  // namespace
+}  // namespace kgag

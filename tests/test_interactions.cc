@@ -1,0 +1,75 @@
+#include "data/interactions.h"
+
+#include <gtest/gtest.h>
+
+namespace kgag {
+namespace {
+
+TEST(InteractionMatrixTest, BasicBuildAndLookup) {
+  auto m = InteractionMatrix::FromPairs(
+      3, 5, {{0, 1}, {0, 3}, {2, 0}, {2, 4}, {2, 2}});
+  EXPECT_EQ(m.num_rows(), 3);
+  EXPECT_EQ(m.num_items(), 5);
+  EXPECT_EQ(m.num_interactions(), 5u);
+  EXPECT_TRUE(m.Contains(0, 1));
+  EXPECT_TRUE(m.Contains(2, 4));
+  EXPECT_FALSE(m.Contains(0, 0));
+  EXPECT_FALSE(m.Contains(1, 1));
+}
+
+TEST(InteractionMatrixTest, RowsAreSorted) {
+  auto m = InteractionMatrix::FromPairs(1, 10, {{0, 7}, {0, 2}, {0, 5}});
+  auto items = m.ItemsOf(0);
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0], 2);
+  EXPECT_EQ(items[1], 5);
+  EXPECT_EQ(items[2], 7);
+}
+
+TEST(InteractionMatrixTest, DeduplicatesPairs) {
+  auto m = InteractionMatrix::FromPairs(2, 3, {{0, 1}, {0, 1}, {1, 2}});
+  EXPECT_EQ(m.num_interactions(), 2u);
+  EXPECT_EQ(m.RowDegree(0), 1u);
+}
+
+TEST(InteractionMatrixTest, EmptyRowsAllowed) {
+  auto m = InteractionMatrix::FromPairs(4, 3, {{3, 0}});
+  EXPECT_EQ(m.RowDegree(0), 0u);
+  EXPECT_EQ(m.RowDegree(3), 1u);
+  EXPECT_TRUE(m.ItemsOf(1).empty());
+}
+
+TEST(InteractionMatrixTest, ToPairsRoundTrips) {
+  std::vector<Interaction> pairs = {{0, 1}, {1, 0}, {1, 2}};
+  auto m = InteractionMatrix::FromPairs(2, 3, pairs);
+  auto out = m.ToPairs();
+  EXPECT_EQ(out, pairs);  // row-major sorted order matches input here
+}
+
+TEST(InteractionMatrixTest, MeanRowDegree) {
+  auto m = InteractionMatrix::FromPairs(4, 3, {{0, 0}, {0, 1}, {1, 0}, {3, 2}});
+  EXPECT_DOUBLE_EQ(m.MeanRowDegree(), 1.0);
+}
+
+TEST(InteractionMatrixTest, DefaultIsEmpty) {
+  InteractionMatrix m;
+  EXPECT_EQ(m.num_rows(), 0);
+  EXPECT_EQ(m.num_interactions(), 0u);
+}
+
+TEST(GroupTableTest, MembershipAccess) {
+  GroupTable t({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(t.num_groups(), 2);
+  EXPECT_EQ(t.GroupSize(0), 3u);
+  EXPECT_EQ(t.MembersOf(1)[2], 6);
+}
+
+TEST(GroupTableTest, AddGroupReturnsSequentialIds) {
+  GroupTable t;
+  EXPECT_EQ(t.AddGroup({0, 1}), 0);
+  EXPECT_EQ(t.AddGroup({2, 3}), 1);
+  EXPECT_EQ(t.num_groups(), 2);
+}
+
+}  // namespace
+}  // namespace kgag

@@ -1,0 +1,132 @@
+#include "kg/knowledge_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "kg/collaborative_kg.h"
+
+namespace kgag {
+namespace {
+
+// A small graph: 0-(r0)->1, 0-(r1)->2, 1-(r0)->3, entity 4 isolated.
+std::vector<Triple> SmallTriples() {
+  return {{0, 0, 1}, {0, 1, 2}, {1, 0, 3}};
+}
+
+TEST(KnowledgeGraphTest, BuildCountsAndDegrees) {
+  auto g = KnowledgeGraph::Build(5, 2, SmallTriples());
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_entities(), 5);
+  EXPECT_EQ(g->num_relations(), 2);
+  EXPECT_EQ(g->relation_vocab_size(), 4);  // inverses enabled
+  EXPECT_EQ(g->num_triples(), 3u);
+  EXPECT_EQ(g->num_edges(), 6u);  // bidirectional
+  EXPECT_EQ(g->Degree(0), 2u);
+  EXPECT_EQ(g->Degree(1), 2u);  // inverse from 0 + forward to 3
+  EXPECT_EQ(g->Degree(4), 0u);
+}
+
+TEST(KnowledgeGraphTest, InverseEdgesUseShiftedRelationIds) {
+  auto g = KnowledgeGraph::Build(5, 2, SmallTriples());
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->HasEdge(0, 0, 1));
+  EXPECT_TRUE(g->HasEdge(1, 2, 0));  // inverse of r0 is r0 + 2
+  EXPECT_FALSE(g->HasEdge(1, 0, 0));
+}
+
+TEST(KnowledgeGraphTest, NoInverseOption) {
+  KnowledgeGraph::Options opts;
+  opts.add_inverse_edges = false;
+  auto g = KnowledgeGraph::Build(5, 2, SmallTriples(), opts);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->relation_vocab_size(), 2);
+  EXPECT_EQ(g->num_edges(), 3u);
+  EXPECT_EQ(g->Degree(3), 0u);  // tail-only node has no outgoing edge
+}
+
+TEST(KnowledgeGraphTest, RejectsOutOfRangeIds) {
+  EXPECT_FALSE(KnowledgeGraph::Build(2, 1, {{0, 0, 5}}).ok());
+  EXPECT_FALSE(KnowledgeGraph::Build(2, 1, {{5, 0, 0}}).ok());
+  EXPECT_FALSE(KnowledgeGraph::Build(2, 1, {{0, 3, 1}}).ok());
+  EXPECT_FALSE(KnowledgeGraph::Build(-1, 1, {}).ok());
+}
+
+TEST(KnowledgeGraphTest, NeighborsSortedAndComplete) {
+  auto g = KnowledgeGraph::Build(5, 2, SmallTriples());
+  ASSERT_TRUE(g.ok());
+  auto n0 = g->Neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_LE(n0[0].neighbor, n0[1].neighbor);
+}
+
+TEST(KnowledgeGraphTest, BfsDistances) {
+  auto g = KnowledgeGraph::Build(5, 2, SmallTriples());
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->BfsDistance(0, 0, 3), 0);
+  EXPECT_EQ(g->BfsDistance(0, 1, 3), 1);
+  EXPECT_EQ(g->BfsDistance(0, 3, 3), 2);
+  EXPECT_EQ(g->BfsDistance(2, 3, 5), 3);  // 2 -> 0 -> 1 -> 3 via inverses
+  EXPECT_EQ(g->BfsDistance(0, 4, 5), -1);
+  EXPECT_EQ(g->BfsDistance(0, 3, 1), -1);  // depth-limited
+}
+
+TEST(KnowledgeGraphTest, NeighborhoodBfs) {
+  auto g = KnowledgeGraph::Build(5, 2, SmallTriples());
+  ASSERT_TRUE(g.ok());
+  auto hood0 = g->Neighborhood(0, 1);
+  EXPECT_EQ(hood0, (std::vector<EntityId>{0, 1, 2}));
+  auto hood_all = g->Neighborhood(0, 3);
+  EXPECT_EQ(hood_all, (std::vector<EntityId>{0, 1, 2, 3}));
+  auto isolated = g->Neighborhood(4, 2);
+  EXPECT_EQ(isolated, (std::vector<EntityId>{4}));
+}
+
+TEST(KnowledgeGraphTest, MeanDegree) {
+  auto g = KnowledgeGraph::Build(5, 2, SmallTriples());
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->MeanDegree(), 6.0 / 5.0);
+}
+
+TEST(CollaborativeKgTest, AddsUserNodesAndInteractEdges) {
+  // 3 entities (items 0,1 map to entities 0,1), 1 relation, 2 users.
+  std::vector<Triple> kg = {{0, 0, 2}, {1, 0, 2}};
+  auto ckg = BuildCollaborativeKg(kg, 3, 1, 2, {0, 1},
+                                  {{0, 0}, {0, 1}, {1, 1}});
+  ASSERT_TRUE(ckg.ok()) << ckg.status().ToString();
+  EXPECT_EQ(ckg->graph.num_entities(), 5);  // 3 entities + 2 users
+  EXPECT_EQ(ckg->interact_relation, 1);
+  EXPECT_EQ(ckg->UserNode(0), 3);
+  EXPECT_EQ(ckg->UserNode(1), 4);
+  EXPECT_TRUE(ckg->IsUserNode(3));
+  EXPECT_FALSE(ckg->IsUserNode(2));
+  EXPECT_EQ(ckg->NodeToUser(4), 1);
+  // User 0 interacted with items 0 and 1.
+  EXPECT_TRUE(ckg->graph.HasEdge(3, 1, 0));
+  EXPECT_TRUE(ckg->graph.HasEdge(3, 1, 1));
+  // Inverse Interact edge from the item entity back to the user:
+  // inverse relation id = 1 + num_relations(2) = 3.
+  EXPECT_TRUE(ckg->graph.HasEdge(1, 3, 3));
+}
+
+TEST(CollaborativeKgTest, UserUserConnectivityThroughItems) {
+  // The motivating property (§I): two users who like items sharing an
+  // attribute entity are close in the collaborative KG.
+  std::vector<Triple> kg = {{0, 0, 2}, {1, 0, 2}};  // both movies share e2
+  auto ckg = BuildCollaborativeKg(kg, 3, 1, 2, {0, 1}, {{0, 0}, {1, 1}});
+  ASSERT_TRUE(ckg.ok());
+  // user0 -> item0 -> e2 -> item1 -> user1: distance 4.
+  EXPECT_EQ(ckg->graph.BfsDistance(ckg->UserNode(0), ckg->UserNode(1), 6), 4);
+}
+
+TEST(CollaborativeKgTest, RejectsNonInjectiveMapping) {
+  auto ckg = BuildCollaborativeKg({}, 3, 1, 1, {0, 0}, {});
+  EXPECT_FALSE(ckg.ok());
+  EXPECT_TRUE(ckg.status().IsInvalidArgument());
+}
+
+TEST(CollaborativeKgTest, RejectsBadInteraction) {
+  EXPECT_FALSE(BuildCollaborativeKg({}, 3, 1, 1, {0}, {{5, 0}}).ok());
+  EXPECT_FALSE(BuildCollaborativeKg({}, 3, 1, 1, {0}, {{0, 5}}).ok());
+}
+
+}  // namespace
+}  // namespace kgag

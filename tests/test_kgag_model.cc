@@ -1,0 +1,187 @@
+#include "models/kgag_model.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baselines/trivial.h"
+#include "eval/ranking_evaluator.h"
+#include "test_util.h"
+
+namespace kgag {
+namespace {
+
+KgagConfig FastConfig() {
+  KgagConfig cfg;
+  cfg.propagation.dim = 8;
+  cfg.propagation.depth = 2;
+  cfg.propagation.sample_size = 2;
+  cfg.epochs = 3;
+  cfg.batch_size = 16;
+  cfg.seed = 17;
+  return cfg;
+}
+
+TEST(KgagModelTest, CreateRejectsNull) {
+  auto r = KgagModel::Create(nullptr, FastConfig());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(KgagModelTest, NamesReflectAblations) {
+  KgagConfig cfg = FastConfig();
+  EXPECT_EQ(cfg.Describe(), "KGAG");
+  cfg.use_kg = false;
+  EXPECT_EQ(cfg.Describe(), "KGAG-KG");
+  cfg.use_kg = true;
+  cfg.use_sp = false;
+  EXPECT_EQ(cfg.Describe(), "KGAG-SP");
+  cfg.use_sp = true;
+  cfg.use_pi = false;
+  EXPECT_EQ(cfg.Describe(), "KGAG-PI");
+  cfg.use_pi = true;
+  cfg.group_loss = GroupLossKind::kBpr;
+  EXPECT_EQ(cfg.Describe(), "KGAG (BPR)");
+}
+
+TEST(KgagModelTest, ScoreGroupReturnsOnePerItem) {
+  GroupRecDataset ds = testing_util::TinyRand();
+  auto model = KgagModel::Create(&ds, FastConfig());
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  std::vector<ItemId> items{0, 1, 2, 3, 4};
+  auto scores = (*model)->ScoreGroup(0, items);
+  EXPECT_EQ(scores.size(), items.size());
+  for (double s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(KgagModelTest, ScoresAreDeterministicAcrossCalls) {
+  GroupRecDataset ds = testing_util::TinyRand();
+  auto model = KgagModel::Create(&ds, FastConfig());
+  ASSERT_TRUE(model.ok());
+  std::vector<ItemId> items{0, 1, 2};
+  auto a = (*model)->ScoreGroup(1, items);
+  auto b = (*model)->ScoreGroup(1, items);
+  EXPECT_EQ(a, b);  // eval trees are cached, scoring is pure
+}
+
+TEST(KgagModelTest, TrainingReducesLoss) {
+  GroupRecDataset ds = testing_util::TinyRand();
+  KgagConfig cfg = FastConfig();
+  cfg.epochs = 6;
+  auto model = KgagModel::Create(&ds, cfg);
+  ASSERT_TRUE(model.ok());
+  (*model)->Fit();
+  const auto& losses = (*model)->epoch_losses();
+  ASSERT_EQ(losses.size(), 6u);
+  // The loss over the last two epochs must be below the first epoch.
+  EXPECT_LT((losses[4] + losses[5]) / 2, losses[0]);
+}
+
+TEST(KgagModelTest, SameSeedSameTraining) {
+  GroupRecDataset ds = testing_util::TinyRand();
+  auto m1 = KgagModel::Create(&ds, FastConfig());
+  auto m2 = KgagModel::Create(&ds, FastConfig());
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  (*m1)->Fit();
+  (*m2)->Fit();
+  EXPECT_EQ((*m1)->epoch_losses(), (*m2)->epoch_losses());
+  std::vector<ItemId> items{0, 1, 2, 3};
+  EXPECT_EQ((*m1)->ScoreGroup(0, items), (*m2)->ScoreGroup(0, items));
+}
+
+TEST(KgagModelTest, TrainedModelBeatsRandomRanking) {
+  // A slightly larger corpus than the smoke tests: ~20 test groups are
+  // too noisy for a reliable trained-vs-random comparison.
+  GroupRecDataset ds = MakeMovieLensRandDataset(7, 0.15);
+  KgagConfig cfg = FastConfig();
+  cfg.epochs = 10;
+  cfg.propagation.sample_size = 4;
+  cfg.propagation.final_tanh = false;
+  auto model = KgagModel::Create(&ds, cfg);
+  ASSERT_TRUE(model.ok());
+  (*model)->Fit();
+
+  RankingEvaluator eval(&ds, 5);
+  EvalResult trained = eval.EvaluateTest(model->get());
+  RandomRecommender random(99);
+  EvalResult rnd = eval.EvaluateTest(&random);
+  EXPECT_GT(trained.hit_at_k, rnd.hit_at_k);
+}
+
+TEST(KgagModelTest, AblationsConstructAndTrain) {
+  GroupRecDataset ds = testing_util::TinyRand();
+  for (int variant = 0; variant < 4; ++variant) {
+    KgagConfig cfg = FastConfig();
+    cfg.epochs = 1;
+    switch (variant) {
+      case 0: cfg.use_kg = false; break;
+      case 1: cfg.use_sp = false; break;
+      case 2: cfg.use_pi = false; break;
+      case 3: cfg.group_loss = GroupLossKind::kBpr; break;
+    }
+    auto model = KgagModel::Create(&ds, cfg);
+    ASSERT_TRUE(model.ok()) << variant;
+    (*model)->Fit();
+    std::vector<ItemId> items{0, 1, 2};
+    auto scores = (*model)->ScoreGroup(0, items);
+    for (double s : scores) EXPECT_TRUE(std::isfinite(s)) << variant;
+  }
+}
+
+TEST(KgagModelTest, GraphSageAggregatorWorks) {
+  GroupRecDataset ds = testing_util::TinyRand();
+  KgagConfig cfg = FastConfig();
+  cfg.propagation.aggregator = AggregatorKind::kGraphSage;
+  cfg.epochs = 1;
+  auto model = KgagModel::Create(&ds, cfg);
+  ASSERT_TRUE(model.ok());
+  (*model)->Fit();
+  auto scores = (*model)->ScoreGroup(0, std::vector<ItemId>{0, 1});
+  for (double s : scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(KgagModelTest, ExplanationIsDistributionWithBreakdown) {
+  GroupRecDataset ds = testing_util::TinyRand();
+  auto model = KgagModel::Create(&ds, FastConfig());
+  ASSERT_TRUE(model.ok());
+  (*model)->Fit();
+  GroupExplanation ex = (*model)->ExplainGroup(0, ds.split.test.empty()
+                                                      ? 0
+                                                      : ds.split.test[0].item);
+  ASSERT_EQ(ex.members.size(), static_cast<size_t>(ds.group_size));
+  ASSERT_EQ(ex.attention.alpha.size(), ex.members.size());
+  double sum = std::accumulate(ex.attention.alpha.begin(),
+                               ex.attention.alpha.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GE(ex.prediction, 0.0);
+  EXPECT_LE(ex.prediction, 1.0);
+}
+
+TEST(KgagModelTest, PredictGroupItemMatchesScoreGroup) {
+  GroupRecDataset ds = testing_util::TinyRand();
+  auto model = KgagModel::Create(&ds, FastConfig());
+  ASSERT_TRUE(model.ok());
+  const double p = (*model)->PredictGroupItem(0, 1);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(KgagModelTest, CollaborativeKgHasUserNodes) {
+  GroupRecDataset ds = testing_util::TinyRand();
+  auto model = KgagModel::Create(&ds, FastConfig());
+  ASSERT_TRUE(model.ok());
+  const CollaborativeKg& ckg = (*model)->ckg();
+  EXPECT_EQ(ckg.graph.num_entities(), ds.num_entities + ds.num_users);
+  EXPECT_EQ(ckg.num_users, ds.num_users);
+  // Users with interactions must not be isolated in the CKG.
+  int connected = 0;
+  for (UserId u = 0; u < ds.num_users; ++u) {
+    if (ds.user_item.RowDegree(u) > 0 &&
+        ckg.graph.Degree(ckg.UserNode(u)) > 0) {
+      ++connected;
+    }
+  }
+  EXPECT_GT(connected, 0);
+}
+
+}  // namespace
+}  // namespace kgag

@@ -1,0 +1,133 @@
+#include "models/losses.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/grad_check.h"
+
+namespace kgag {
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+TEST(MarginLossTest, ZeroWhenMarginSatisfied) {
+  Tape tape;
+  // σ(3) − σ(−3) ≈ 0.905 > 0.4 margin: loss must clamp at 0.
+  Var pos = tape.Constant(Tensor::Scalar1(3.0));
+  Var neg = tape.Constant(Tensor::Scalar1(-3.0));
+  Var loss = MarginPairLoss(&tape, pos, neg, 0.4);
+  EXPECT_DOUBLE_EQ(tape.value(loss).item(), 0.0);
+}
+
+TEST(MarginLossTest, PositiveWhenViolated) {
+  Tape tape;
+  Var pos = tape.Constant(Tensor::Scalar1(0.0));
+  Var neg = tape.Constant(Tensor::Scalar1(0.0));
+  Var loss = MarginPairLoss(&tape, pos, neg, 0.4);
+  // σ equal -> difference 0 -> loss = margin.
+  EXPECT_NEAR(tape.value(loss).item(), 0.4, 1e-12);
+}
+
+TEST(MarginLossTest, ExactValue) {
+  Tape tape;
+  Var pos = tape.Constant(Tensor::Scalar1(0.5));
+  Var neg = tape.Constant(Tensor::Scalar1(1.0));
+  Var loss = MarginPairLoss(&tape, pos, neg, 0.3);
+  const double expected = Sigmoid(1.0) - Sigmoid(0.5) + 0.3;
+  EXPECT_NEAR(tape.value(loss).item(), expected, 1e-12);
+}
+
+TEST(MarginLossTest, LargerMarginHarder) {
+  // Same scores, growing margin -> non-decreasing loss (Fig. 4 intuition).
+  double prev = -1;
+  for (double m : {0.2, 0.3, 0.4, 0.5, 0.6}) {
+    Tape tape;
+    Var pos = tape.Constant(Tensor::Scalar1(0.8));
+    Var neg = tape.Constant(Tensor::Scalar1(0.1));
+    Var loss = MarginPairLoss(&tape, pos, neg, m);
+    const double v = tape.value(loss).item();
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(BprLossTest, ValueMatchesFormula) {
+  Tape tape;
+  Var pos = tape.Constant(Tensor::Scalar1(1.2));
+  Var neg = tape.Constant(Tensor::Scalar1(0.4));
+  Var loss = BprPairLoss(&tape, pos, neg);
+  EXPECT_NEAR(tape.value(loss).item(), -std::log(Sigmoid(0.8)), 1e-12);
+}
+
+TEST(BprLossTest, NeverExactlyZero) {
+  // Unlike the margin loss, BPR keeps pushing even when well separated.
+  Tape tape;
+  Var pos = tape.Constant(Tensor::Scalar1(10.0));
+  Var neg = tape.Constant(Tensor::Scalar1(-10.0));
+  Var loss = BprPairLoss(&tape, pos, neg);
+  EXPECT_GT(tape.value(loss).item(), 0.0);
+}
+
+TEST(LogisticLossTest, MatchesCrossEntropy) {
+  for (double x : {-2.0, -0.5, 0.0, 0.7, 3.0}) {
+    for (double y : {0.0, 1.0}) {
+      Tape tape;
+      Var logit = tape.Constant(Tensor::Scalar1(x));
+      Var loss = LogisticLoss(&tape, logit, y);
+      const double p = Sigmoid(x);
+      const double expected = -y * std::log(p) - (1 - y) * std::log(1 - p);
+      EXPECT_NEAR(tape.value(loss).item(), expected, 1e-10)
+          << "x=" << x << " y=" << y;
+    }
+  }
+}
+
+TEST(LogisticLossTest, StableAtExtremeLogits) {
+  Tape tape;
+  Var big = tape.Constant(Tensor::Scalar1(500.0));
+  EXPECT_NEAR(tape.value(LogisticLoss(&tape, big, 1.0)).item(), 0.0, 1e-9);
+  Var small = tape.Constant(Tensor::Scalar1(-500.0));
+  EXPECT_NEAR(tape.value(LogisticLoss(&tape, small, 0.0)).item(), 0.0, 1e-9);
+  Var worst = tape.Constant(Tensor::Scalar1(-500.0));
+  const double v = tape.value(LogisticLoss(&tape, worst, 1.0)).item();
+  EXPECT_NEAR(v, 500.0, 1e-6);
+  EXPECT_FALSE(std::isinf(v));
+}
+
+TEST(LossGradTest, AllLossesGradCheck) {
+  Rng rng(3);
+  ParameterStore store;
+  Parameter* w = store.Create("w", 1, 2, Init::kXavierUniform, &rng);
+
+  for (int which = 0; which < 3; ++which) {
+    auto build = [&](Tape* tape) {
+      Var leaf = tape->Leaf(w);
+      Var pos = tape->SliceRow(tape->Transpose(leaf), 0);
+      Var neg = tape->SliceRow(tape->Transpose(leaf), 1);
+      switch (which) {
+        case 0:
+          // Shift so the margin hinge is active but not at the kink.
+          return MarginPairLoss(tape, pos, tape->AddScalar(neg, 0.9), 0.45);
+        case 1:
+          return BprPairLoss(tape, pos, neg);
+        default:
+          return LogisticLoss(tape, pos, 1.0);
+      }
+    };
+    auto loss_fn = [&]() {
+      Tape tape;
+      return tape.value(build(&tape)).item();
+    };
+    auto backward_fn = [&]() {
+      Tape tape;
+      tape.Backward(build(&tape));
+    };
+    GradCheckReport report = CheckGradients(&store, loss_fn, backward_fn);
+    EXPECT_TRUE(report.ok(1e-4))
+        << "loss " << which << ": " << report.worst_location;
+  }
+}
+
+}  // namespace
+}  // namespace kgag

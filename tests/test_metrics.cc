@@ -1,0 +1,87 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kgag {
+namespace {
+
+TEST(TopKTest, OrdersDescending) {
+  std::vector<double> scores{0.1, 0.9, 0.5, 0.7};
+  auto top = TopKIndices(scores, 3);
+  EXPECT_EQ(top, (std::vector<size_t>{1, 3, 2}));
+}
+
+TEST(TopKTest, KLargerThanInput) {
+  std::vector<double> scores{0.2, 0.1};
+  auto top = TopKIndices(scores, 10);
+  EXPECT_EQ(top, (std::vector<size_t>{0, 1}));
+}
+
+TEST(TopKTest, TiesBreakTowardSmallerIndex) {
+  std::vector<double> scores{0.5, 0.5, 0.5};
+  auto top = TopKIndices(scores, 2);
+  EXPECT_EQ(top, (std::vector<size_t>{0, 1}));
+}
+
+TEST(HitAtKTest, HitAndMiss) {
+  std::vector<ItemId> ranked{4, 7, 1, 9, 0};
+  EXPECT_EQ(HitAtK(ranked, {1}, 5), 1.0);
+  EXPECT_EQ(HitAtK(ranked, {1}, 2), 0.0);  // 1 is at rank 3
+  EXPECT_EQ(HitAtK(ranked, {42}, 5), 0.0);
+  EXPECT_EQ(HitAtK(ranked, {0, 42}, 5), 1.0);
+}
+
+TEST(RecallAtKTest, PartialRecall) {
+  std::vector<ItemId> ranked{4, 7, 1, 9, 0};
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, {4, 1, 33, 44}, 5), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, {4, 7}, 2), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, {9}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(ranked, {}, 5), 0.0);
+}
+
+TEST(RecallAtKTest, EqualsHitWithSinglePositive) {
+  // The Yelp phenomenon of Table II: with exactly one positive per group,
+  // rec@k == hit@k.
+  std::vector<ItemId> ranked{4, 7, 1};
+  for (ItemId pos : {4, 7, 1, 99}) {
+    EXPECT_DOUBLE_EQ(RecallAtK(ranked, {pos}, 3), HitAtK(ranked, {pos}, 3));
+  }
+}
+
+TEST(NdcgAtKTest, PerfectRankingIsOne) {
+  std::vector<ItemId> ranked{1, 2, 3, 4, 5};
+  EXPECT_NEAR(NdcgAtK(ranked, {1, 2}, 5), 1.0, 1e-12);
+}
+
+TEST(NdcgAtKTest, LowerForWorseRanking) {
+  std::vector<ItemId> best{1, 9, 8, 7, 6};
+  std::vector<ItemId> worse{9, 8, 7, 6, 1};
+  EXPECT_GT(NdcgAtK(best, {1}, 5), NdcgAtK(worse, {1}, 5));
+  EXPECT_EQ(NdcgAtK(worse, {1}, 4), 0.0);
+}
+
+TEST(NdcgAtKTest, KnownValue) {
+  // Positive at rank 2 (0-indexed 1): DCG = 1/log2(3), IDCG = 1.
+  std::vector<ItemId> ranked{5, 1};
+  EXPECT_NEAR(NdcgAtK(ranked, {1}, 2), 1.0 / std::log2(3.0), 1e-12);
+}
+
+TEST(MetricsBoundsProperty, AllInUnitInterval) {
+  std::vector<ItemId> ranked{3, 1, 4, 7, 5, 9, 2, 6};
+  std::vector<std::unordered_set<ItemId>> positive_sets = {
+      {3}, {9, 2}, {100}, {3, 1, 4, 5}, {6}};
+  for (const auto& pos : positive_sets) {
+    for (size_t k : {1u, 3u, 5u, 8u, 20u}) {
+      for (double m : {HitAtK(ranked, pos, k), RecallAtK(ranked, pos, k),
+                       NdcgAtK(ranked, pos, k)}) {
+        EXPECT_GE(m, 0.0);
+        EXPECT_LE(m, 1.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kgag

@@ -1,0 +1,152 @@
+#include "tensor/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/tape.h"
+
+namespace kgag {
+namespace {
+
+// Minimizes ||W - T||^2 for a fixed target T with the given optimizer.
+double OptimizeQuadratic(Optimizer* opt, int steps) {
+  Rng rng(3);
+  ParameterStore store;
+  Parameter* w = store.Create("w", 3, 3, Init::kXavierUniform, &rng);
+  Tensor target{{1, 0, -1}, {0.5, 2, 0}, {-1, 0, 1}};
+  double final_loss = 0;
+  for (int s = 0; s < steps; ++s) {
+    Tape tape;
+    Var diff = tape.Sub(tape.Leaf(w), tape.Constant(target));
+    Var loss = tape.Sum(tape.Mul(diff, diff));
+    final_loss = tape.value(loss).item();
+    tape.Backward(loss);
+    opt->Step(&store, 0.0);
+  }
+  return final_loss;
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Sgd sgd(0.1);
+  EXPECT_LT(OptimizeQuadratic(&sgd, 100), 1e-6);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Adam adam(0.05);
+  EXPECT_LT(OptimizeQuadratic(&adam, 300), 1e-4);
+}
+
+TEST(SgdTest, SingleStepMatchesFormula) {
+  ParameterStore store;
+  Parameter* w = store.CreateZeros("w", 1, 2);
+  w->value = Tensor{{1.0, 2.0}};
+  w->grad = Tensor{{0.5, -1.0}};
+  w->dense_touched = true;
+  Sgd sgd(0.1);
+  sgd.Step(&store, 0.0);
+  EXPECT_NEAR(w->value.at(0, 0), 1.0 - 0.1 * 0.5, 1e-12);
+  EXPECT_NEAR(w->value.at(0, 1), 2.0 + 0.1, 1e-12);
+  // Gradients must be cleared by Step.
+  EXPECT_EQ(w->grad.at(0, 0), 0.0);
+  EXPECT_FALSE(w->dense_touched);
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  ParameterStore store;
+  Parameter* w = store.CreateZeros("w", 1, 1);
+  w->value = Tensor{{2.0}};
+  w->grad = Tensor{{0.0}};
+  w->dense_touched = true;
+  Sgd sgd(0.1);
+  sgd.Step(&store, 0.5);  // grad += 0.5 * 2 = 1; w -= 0.1
+  EXPECT_NEAR(w->value.item(), 1.9, 1e-12);
+}
+
+TEST(AdamTest, FirstStepMovesByLearningRate) {
+  // With bias correction, Adam's first update is ~lr * sign(grad).
+  ParameterStore store;
+  Parameter* w = store.CreateZeros("w", 1, 2);
+  w->value = Tensor{{0.0, 0.0}};
+  w->grad = Tensor{{3.0, -0.001}};
+  w->dense_touched = true;
+  Adam adam(0.01);
+  adam.Step(&store, 0.0);
+  EXPECT_NEAR(w->value.at(0, 0), -0.01, 1e-4);
+  EXPECT_NEAR(w->value.at(0, 1), 0.01, 1e-4);
+}
+
+TEST(AdamTest, SparseRowsOnlyTouchedRowsMove) {
+  ParameterStore store;
+  Parameter* table = store.CreateZeros("emb", 4, 2);
+  table->value = Tensor{{1, 1}, {1, 1}, {1, 1}, {1, 1}};
+  table->grad.at(2, 0) = 1.0;
+  table->grad.at(2, 1) = -1.0;
+  table->touched_rows = {2};
+  Adam adam(0.1);
+  adam.Step(&store, 0.0);
+  for (size_t r = 0; r < 4; ++r) {
+    if (r == 2) {
+      EXPECT_NE(table->value.at(r, 0), 1.0);
+      EXPECT_NE(table->value.at(r, 1), 1.0);
+    } else {
+      EXPECT_EQ(table->value.at(r, 0), 1.0);
+      EXPECT_EQ(table->value.at(r, 1), 1.0);
+    }
+  }
+}
+
+TEST(AdamTest, LazyBiasCorrectionPerRow) {
+  // A row touched for the first time at step 10 must get the step-1 bias
+  // correction, not step-10 (otherwise its first update is tiny).
+  ParameterStore store;
+  Parameter* table = store.CreateZeros("emb", 2, 1);
+  Adam adam(0.01);
+  for (int s = 0; s < 9; ++s) {
+    table->grad.at(0, 0) = 1.0;
+    table->touched_rows = {0};
+    adam.Step(&store, 0.0);
+  }
+  const double row0_after9 = table->value.at(0, 0);
+  EXPECT_LT(row0_after9, -0.05);  // ~ -0.09
+  table->grad.at(1, 0) = 1.0;
+  table->touched_rows = {1};
+  adam.Step(&store, 0.0);
+  EXPECT_NEAR(table->value.at(1, 0), -0.01, 1e-3);
+}
+
+TEST(ParameterStoreTest, ZeroGradsRespectsSparseTracking) {
+  ParameterStore store;
+  Parameter* p = store.CreateZeros("p", 3, 1);
+  p->grad.at(1, 0) = 5.0;
+  p->touched_rows = {1};
+  store.ZeroGrads();
+  EXPECT_EQ(p->grad.at(1, 0), 0.0);
+  EXPECT_TRUE(p->touched_rows.empty());
+}
+
+TEST(ParameterStoreTest, TotalWeightsAndNorm) {
+  Rng rng(1);
+  ParameterStore store;
+  store.Create("a", 2, 3, Init::kNormal01, &rng);
+  store.Create("b", 4, 1, Init::kNormal01, &rng);
+  EXPECT_EQ(store.TotalWeights(), 10u);
+  EXPECT_GT(store.SquaredNorm(), 0.0);
+}
+
+TEST(InitializerTest, XavierBoundsRespected) {
+  Rng rng(2);
+  Tensor t(50, 50);
+  Initialize(&t, Init::kXavierUniform, &rng);
+  const double bound = std::sqrt(6.0 / 100.0);
+  EXPECT_LE(t.AbsMax(), bound + 1e-12);
+  EXPECT_GT(t.AbsMax(), bound * 0.5);  // actually fills the range
+}
+
+TEST(InitializerTest, ZerosAreZero) {
+  Rng rng(2);
+  Tensor t(3, 3, 9.0);
+  Initialize(&t, Init::kZeros, &rng);
+  EXPECT_EQ(t.SquaredNorm(), 0.0);
+}
+
+}  // namespace
+}  // namespace kgag

@@ -1,0 +1,130 @@
+#include "data/synthetic/ratings.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace kgag {
+namespace {
+
+TEST(RatingTableTest, SetGetAndCounts) {
+  RatingTable t(3, 4);
+  EXPECT_EQ(t.Get(0, 0), 0);
+  EXPECT_FALSE(t.IsRated(0, 0));
+  t.Set(0, 1, 5);
+  t.Set(2, 3, 3);
+  EXPECT_TRUE(t.IsRated(0, 1));
+  EXPECT_EQ(t.Get(0, 1), 5);
+  EXPECT_EQ(t.CountRated(), 2u);
+  EXPECT_EQ(t.CountAtLeast(4), 1u);
+}
+
+TEST(RatingTableTest, LikedItemsThreshold) {
+  RatingTable t(1, 5);
+  t.Set(0, 0, 5);
+  t.Set(0, 1, 4);
+  t.Set(0, 2, 3);
+  t.Set(0, 4, 4);
+  EXPECT_EQ(t.LikedItems(0, 4), (std::vector<ItemId>{0, 1, 4}));
+  EXPECT_EQ(t.LikedItems(0, 5), (std::vector<ItemId>{0}));
+}
+
+TEST(RatingTableTest, ToImplicitMatchesLiked) {
+  RatingTable t(2, 3);
+  t.Set(0, 0, 4);
+  t.Set(0, 1, 2);
+  t.Set(1, 2, 5);
+  InteractionMatrix m = t.ToImplicit(4);
+  EXPECT_EQ(m.num_interactions(), 2u);
+  EXPECT_TRUE(m.Contains(0, 0));
+  EXPECT_FALSE(m.Contains(0, 1));
+  EXPECT_TRUE(m.Contains(1, 2));
+}
+
+TEST(PccTest, PerfectPositiveCorrelation) {
+  RatingTable t(2, 4);
+  const uint8_t a[4] = {1, 2, 3, 4};
+  const uint8_t b[4] = {2, 3, 4, 5};
+  for (int v = 0; v < 4; ++v) {
+    t.Set(0, v, a[v]);
+    t.Set(1, v, b[v]);
+  }
+  EXPECT_NEAR(PearsonCorrelation(t, 0, 1), 1.0, 1e-12);
+}
+
+TEST(PccTest, PerfectNegativeCorrelation) {
+  RatingTable t(2, 4);
+  const uint8_t a[4] = {1, 2, 3, 4};
+  const uint8_t b[4] = {5, 4, 3, 2};
+  for (int v = 0; v < 4; ++v) {
+    t.Set(0, v, a[v]);
+    t.Set(1, v, b[v]);
+  }
+  EXPECT_NEAR(PearsonCorrelation(t, 0, 1), -1.0, 1e-12);
+}
+
+TEST(PccTest, SymmetricInArguments) {
+  RatingTable t(2, 5);
+  const uint8_t a[5] = {1, 5, 3, 2, 4};
+  const uint8_t b[5] = {2, 4, 4, 1, 5};
+  for (int v = 0; v < 5; ++v) {
+    t.Set(0, v, a[v]);
+    t.Set(1, v, b[v]);
+  }
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(t, 0, 1), PearsonCorrelation(t, 1, 0));
+}
+
+TEST(PccTest, InsufficientOverlapGivesZero) {
+  RatingTable t(2, 5);
+  t.Set(0, 0, 5);
+  t.Set(1, 0, 5);
+  t.Set(0, 1, 4);
+  t.Set(1, 1, 4);
+  // Only two co-rated items < min_overlap of 3.
+  EXPECT_EQ(PearsonCorrelation(t, 0, 1), 0.0);
+}
+
+TEST(PccTest, ZeroVarianceGivesZero) {
+  RatingTable t(2, 4);
+  for (int v = 0; v < 4; ++v) {
+    t.Set(0, v, 3);  // constant rater
+    t.Set(1, v, static_cast<uint8_t>(v + 1));
+  }
+  EXPECT_EQ(PearsonCorrelation(t, 0, 1), 0.0);
+}
+
+TEST(PccTest, UsesOnlyCoRatedItems) {
+  RatingTable t(2, 6);
+  // Co-rated on items 0..3 with perfect correlation; user 0 also rates
+  // items 4,5, which must not affect the coefficient.
+  const uint8_t a[4] = {1, 2, 3, 4};
+  for (int v = 0; v < 4; ++v) {
+    t.Set(0, v, a[v]);
+    t.Set(1, v, a[v]);
+  }
+  t.Set(0, 4, 5);
+  t.Set(0, 5, 1);
+  EXPECT_NEAR(PearsonCorrelation(t, 0, 1), 1.0, 1e-12);
+}
+
+TEST(PccTest, BoundedInUnitInterval) {
+  Rng rng(7);
+  RatingTable t(6, 30);
+  for (UserId u = 0; u < 6; ++u) {
+    for (ItemId v = 0; v < 30; ++v) {
+      if (rng.Bernoulli(0.7)) {
+        t.Set(u, v, static_cast<uint8_t>(rng.UniformInt(1, 5)));
+      }
+    }
+  }
+  for (UserId a = 0; a < 6; ++a) {
+    for (UserId b = 0; b < 6; ++b) {
+      const double p = PearsonCorrelation(t, a, b);
+      EXPECT_GE(p, -1.0 - 1e-9);
+      EXPECT_LE(p, 1.0 + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kgag

@@ -1,0 +1,157 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace kgag {
+namespace {
+
+TEST(RngTest, SameSeedSameSequence) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.UniformInt(0, 1000000) == b.UniformInt(0, 1000000)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformRealInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, NormalRoughMoments) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(1.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(17);
+  for (size_t k : {0u, 1u, 5u, 50u, 100u}) {
+    auto sample = rng.SampleWithoutReplacement(100, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<size_t> uniq(sample.begin(), sample.end());
+    EXPECT_EQ(uniq.size(), k);
+    for (size_t x : sample) EXPECT_LT(x, 100u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(19);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementCoversDomain) {
+  // Over many draws of 3-of-20, every index should eventually appear.
+  Rng rng(23);
+  std::set<size_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    for (size_t x : rng.SampleWithoutReplacement(20, 3)) seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(31);
+  std::vector<double> w{0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Discrete(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.3);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(41);
+  Rng child = a.Fork();
+  // The fork must not replay the parent's stream.
+  Rng b(41);
+  (void)b.UniformInt(0, 1 << 30);  // advance like Fork did
+  int identical = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child.UniformInt(0, 1 << 30) == b.UniformInt(0, 1 << 30)) {
+      ++identical;
+    }
+  }
+  EXPECT_LT(identical, 5);
+}
+
+TEST(ZipfSamplerTest, LowerRanksMoreFrequent) {
+  Rng rng(43);
+  ZipfSampler zipf(50, 1.0);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[40]);
+}
+
+TEST(ZipfSamplerTest, AlphaZeroIsUniformish) {
+  Rng rng(47);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.02);
+  }
+}
+
+TEST(ZipfSamplerTest, InRange) {
+  Rng rng(53);
+  ZipfSampler zipf(7, 1.5);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(&rng), 7u);
+}
+
+}  // namespace
+}  // namespace kgag

@@ -1,0 +1,122 @@
+#include "kg/neighbor_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace kgag {
+namespace {
+
+KnowledgeGraph StarGraph(int leaves) {
+  // Node 0 connected to nodes 1..leaves by relation 0; plus isolated node.
+  std::vector<Triple> triples;
+  for (int i = 1; i <= leaves; ++i) {
+    triples.push_back(Triple{0, 0, i});
+  }
+  auto g = KnowledgeGraph::Build(leaves + 2, 1, triples);
+  KGAG_CHECK(g.ok());
+  return std::move(*g);
+}
+
+TEST(NeighborSamplerTest, HighDegreeSampledWithoutReplacement) {
+  KnowledgeGraph g = StarGraph(10);
+  NeighborSampler sampler(&g, 4);
+  Rng rng(1);
+  std::vector<Edge> out;
+  sampler.SampleNeighbors(0, &rng, &out);
+  ASSERT_EQ(out.size(), 4u);
+  std::set<EntityId> uniq;
+  for (const Edge& e : out) {
+    uniq.insert(e.neighbor);
+    EXPECT_EQ(e.relation, 0);
+    EXPECT_GE(e.neighbor, 1);
+  }
+  EXPECT_EQ(uniq.size(), 4u);  // distinct when degree >= K
+}
+
+TEST(NeighborSamplerTest, LowDegreePaddedWithReplacement) {
+  KnowledgeGraph g = StarGraph(2);
+  NeighborSampler sampler(&g, 5);
+  Rng rng(2);
+  std::vector<Edge> out;
+  sampler.SampleNeighbors(0, &rng, &out);
+  ASSERT_EQ(out.size(), 5u);
+  std::set<EntityId> uniq;
+  for (const Edge& e : out) uniq.insert(e.neighbor);
+  EXPECT_EQ(uniq.size(), 2u);  // only two real neighbors exist
+}
+
+TEST(NeighborSamplerTest, IsolatedNodeGetsSelfLoops) {
+  KnowledgeGraph g = StarGraph(3);
+  NeighborSampler sampler(&g, 3);
+  const EntityId isolated = 4;  // leaves+1
+  ASSERT_EQ(g.Degree(isolated), 0u);
+  Rng rng(3);
+  std::vector<Edge> out;
+  sampler.SampleNeighbors(isolated, &rng, &out);
+  ASSERT_EQ(out.size(), 3u);
+  for (const Edge& e : out) {
+    EXPECT_EQ(e.neighbor, isolated);
+    EXPECT_EQ(e.relation, sampler.self_loop_relation());
+  }
+}
+
+TEST(NeighborSamplerTest, SelfLoopRelationIsOnePastVocab) {
+  KnowledgeGraph g = StarGraph(3);
+  NeighborSampler sampler(&g, 2);
+  EXPECT_EQ(sampler.self_loop_relation(), g.relation_vocab_size());
+}
+
+TEST(NeighborSamplerTest, TreeShapeIsKAry) {
+  KnowledgeGraph g = StarGraph(6);
+  NeighborSampler sampler(&g, 3);
+  Rng rng(4);
+  SampledTree tree = sampler.SampleTree(0, 2, &rng);
+  EXPECT_EQ(tree.depth(), 2);
+  EXPECT_EQ(tree.root(), 0);
+  ASSERT_EQ(tree.entities.size(), 3u);
+  EXPECT_EQ(tree.entities[0].size(), 1u);
+  EXPECT_EQ(tree.entities[1].size(), 3u);
+  EXPECT_EQ(tree.entities[2].size(), 9u);
+  EXPECT_EQ(tree.relations[0].size(), 3u);
+  EXPECT_EQ(tree.relations[1].size(), 9u);
+}
+
+TEST(NeighborSamplerTest, TreeChildrenAreRealNeighbors) {
+  KnowledgeGraph g = StarGraph(6);
+  NeighborSampler sampler(&g, 3);
+  Rng rng(5);
+  SampledTree tree = sampler.SampleTree(0, 2, &rng);
+  for (size_t i = 0; i < tree.entities[1].size(); ++i) {
+    const EntityId child = tree.entities[1][i];
+    const RelationId rel = tree.relations[0][i];
+    if (rel == sampler.self_loop_relation()) {
+      EXPECT_EQ(child, 0);
+    } else {
+      EXPECT_TRUE(g.HasEdge(0, rel, child));
+    }
+  }
+}
+
+TEST(NeighborSamplerTest, DepthZeroTreeIsJustRoot) {
+  KnowledgeGraph g = StarGraph(3);
+  NeighborSampler sampler(&g, 2);
+  Rng rng(6);
+  SampledTree tree = sampler.SampleTree(1, 0, &rng);
+  EXPECT_EQ(tree.depth(), 0);
+  EXPECT_EQ(tree.entities.size(), 1u);
+  EXPECT_EQ(tree.root(), 1);
+}
+
+TEST(NeighborSamplerTest, DeterministicGivenSeed) {
+  KnowledgeGraph g = StarGraph(8);
+  NeighborSampler sampler(&g, 3);
+  Rng rng1(7), rng2(7);
+  SampledTree a = sampler.SampleTree(0, 2, &rng1);
+  SampledTree b = sampler.SampleTree(0, 2, &rng2);
+  EXPECT_EQ(a.entities, b.entities);
+  EXPECT_EQ(a.relations, b.relations);
+}
+
+}  // namespace
+}  // namespace kgag

@@ -1,0 +1,139 @@
+#include "tensor/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "models/kgag_model.h"
+#include "test_util.h"
+
+namespace kgag {
+namespace {
+
+ParameterStore* MakeStore(std::unique_ptr<ParameterStore>* holder,
+                          uint64_t seed) {
+  *holder = std::make_unique<ParameterStore>();
+  Rng rng(seed);
+  (*holder)->Create("emb", 10, 4, Init::kNormal01, &rng);
+  (*holder)->Create("w", 4, 4, Init::kXavierUniform, &rng);
+  (*holder)->CreateZeros("b", 1, 4);
+  return holder->get();
+}
+
+TEST(SerializationTest, RoundTripThroughStream) {
+  std::unique_ptr<ParameterStore> h1, h2;
+  ParameterStore* a = MakeStore(&h1, 1);
+  ParameterStore* b = MakeStore(&h2, 2);  // different values, same shapes
+  ASSERT_FALSE(AllClose(a->at(0)->value, b->at(0)->value));
+
+  std::stringstream buf;
+  ASSERT_TRUE(SaveParameters(*a, &buf).ok());
+  ASSERT_TRUE(LoadParameters(&buf, b).ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_TRUE(AllClose(a->at(i)->value, b->at(i)->value)) << i;
+  }
+}
+
+TEST(SerializationTest, RoundTripThroughFile) {
+  const std::string path = "/tmp/kgag_params_test.bin";
+  std::unique_ptr<ParameterStore> h1, h2;
+  ParameterStore* a = MakeStore(&h1, 3);
+  ParameterStore* b = MakeStore(&h2, 4);
+  ASSERT_TRUE(SaveParametersToFile(*a, path).ok());
+  ASSERT_TRUE(LoadParametersFromFile(path, b).ok());
+  EXPECT_TRUE(AllClose(a->at(1)->value, b->at(1)->value));
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, RejectsBadMagic) {
+  std::unique_ptr<ParameterStore> h;
+  ParameterStore* store = MakeStore(&h, 5);
+  std::stringstream buf("definitely not a parameter file");
+  Status st = LoadParameters(&buf, store);
+  EXPECT_TRUE(st.IsInvalidArgument());
+}
+
+TEST(SerializationTest, RejectsCountMismatch) {
+  std::unique_ptr<ParameterStore> h1, h2;
+  ParameterStore* a = MakeStore(&h1, 6);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveParameters(*a, &buf).ok());
+
+  auto small = std::make_unique<ParameterStore>();
+  Rng rng(7);
+  small->Create("emb", 10, 4, Init::kNormal01, &rng);
+  Status st = LoadParameters(&buf, small.get());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("count mismatch"), std::string::npos);
+}
+
+TEST(SerializationTest, RejectsNameMismatch) {
+  std::unique_ptr<ParameterStore> h1;
+  ParameterStore* a = MakeStore(&h1, 8);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveParameters(*a, &buf).ok());
+
+  auto renamed = std::make_unique<ParameterStore>();
+  Rng rng(9);
+  renamed->Create("other_name", 10, 4, Init::kNormal01, &rng);
+  renamed->Create("w", 4, 4, Init::kXavierUniform, &rng);
+  renamed->CreateZeros("b", 1, 4);
+  Status st = LoadParameters(&buf, renamed.get());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("name mismatch"), std::string::npos);
+}
+
+TEST(SerializationTest, RejectsShapeMismatch) {
+  std::unique_ptr<ParameterStore> h1;
+  ParameterStore* a = MakeStore(&h1, 10);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveParameters(*a, &buf).ok());
+
+  auto reshaped = std::make_unique<ParameterStore>();
+  Rng rng(11);
+  reshaped->Create("emb", 10, 8, Init::kNormal01, &rng);  // wrong cols
+  reshaped->Create("w", 4, 4, Init::kXavierUniform, &rng);
+  reshaped->CreateZeros("b", 1, 4);
+  EXPECT_TRUE(LoadParameters(&buf, reshaped.get()).IsInvalidArgument());
+}
+
+TEST(SerializationTest, RejectsTruncatedFile) {
+  std::unique_ptr<ParameterStore> h1;
+  ParameterStore* a = MakeStore(&h1, 12);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveParameters(*a, &buf).ok());
+  std::string data = buf.str();
+  data.resize(data.size() / 2);
+  std::stringstream half(data);
+  std::unique_ptr<ParameterStore> h2;
+  ParameterStore* b = MakeStore(&h2, 13);
+  EXPECT_FALSE(LoadParameters(&half, b).ok());
+}
+
+TEST(SerializationTest, TrainedKgagModelRoundTrips) {
+  // Save a trained model, reload into a freshly-constructed one, and
+  // verify identical scores — the save/load adoption workflow.
+  GroupRecDataset ds = testing_util::TinyRand();
+  KgagConfig cfg;
+  cfg.propagation.dim = 8;
+  cfg.propagation.sample_size = 3;
+  cfg.epochs = 2;
+  cfg.seed = 99;
+  auto trained = KgagModel::Create(&ds, cfg);
+  ASSERT_TRUE(trained.ok());
+  (*trained)->Fit();
+
+  std::stringstream buf;
+  ASSERT_TRUE(SaveParameters(*(*trained)->params(), &buf).ok());
+
+  auto fresh = KgagModel::Create(&ds, cfg);  // same architecture, untrained
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(LoadParameters(&buf, (*fresh)->params()).ok());
+
+  std::vector<ItemId> items{0, 1, 2, 3, 4};
+  EXPECT_EQ((*trained)->ScoreGroup(0, items), (*fresh)->ScoreGroup(0, items));
+}
+
+}  // namespace
+}  // namespace kgag

@@ -1,0 +1,60 @@
+#include "eval/statistics.h"
+
+#include <gtest/gtest.h>
+
+namespace kgag {
+namespace {
+
+TEST(SummarizeTest, KnownValues) {
+  const double values[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  SummaryStats s = Summarize(values);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.138, 1e-3);  // sample stddev
+  EXPECT_NEAR(s.stderr_mean, s.stddev / std::sqrt(8.0), 1e-12);
+  EXPECT_EQ(s.n, 8u);
+}
+
+TEST(SummarizeTest, EmptyAndSingleton) {
+  SummaryStats empty = Summarize({});
+  EXPECT_EQ(empty.n, 0u);
+  EXPECT_EQ(empty.mean, 0.0);
+  const double one[] = {3.5};
+  SummaryStats s = Summarize(one);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(SummarizeTest, ToStringReadable) {
+  const double values[] = {1.0, 2.0, 3.0};
+  const std::string s = Summarize(values).ToString(2);
+  EXPECT_NE(s.find("2.00"), std::string::npos);
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+}
+
+TEST(ComparePairedTest, ClearWinner) {
+  const double a[] = {0.55, 0.52, 0.58, 0.54};
+  const double b[] = {0.50, 0.48, 0.51, 0.50};
+  PairedComparison cmp = ComparePaired(a, b);
+  EXPECT_NEAR(cmp.mean_diff, 0.05, 1e-9);
+  EXPECT_EQ(cmp.wins, 4u);
+  EXPECT_GT(cmp.t_statistic, 2.0);
+}
+
+TEST(ComparePairedTest, NoDifference) {
+  const double a[] = {0.5, 0.6, 0.7};
+  PairedComparison cmp = ComparePaired(a, a);
+  EXPECT_DOUBLE_EQ(cmp.mean_diff, 0.0);
+  EXPECT_EQ(cmp.wins, 0u);
+  EXPECT_DOUBLE_EQ(cmp.t_statistic, 0.0);
+}
+
+TEST(ComparePairedTest, MixedResults) {
+  const double a[] = {0.6, 0.4};
+  const double b[] = {0.5, 0.5};
+  PairedComparison cmp = ComparePaired(a, b);
+  EXPECT_DOUBLE_EQ(cmp.mean_diff, 0.0);
+  EXPECT_EQ(cmp.wins, 1u);
+}
+
+}  // namespace
+}  // namespace kgag

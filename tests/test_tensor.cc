@@ -1,0 +1,127 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace kgag {
+namespace {
+
+TEST(TensorTest, ConstructionAndShape) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_EQ(t.size(), 12u);
+  for (size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0);
+}
+
+TEST(TensorTest, InitializerList) {
+  Tensor t{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.at(0, 2), 3.0);
+  EXPECT_EQ(t.at(1, 0), 4.0);
+}
+
+TEST(TensorTest, RowFactoryAndScalar) {
+  Tensor r = Tensor::Row({1, 2, 3});
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_EQ(r.cols(), 3u);
+  Tensor s = Tensor::Scalar1(7.5);
+  EXPECT_EQ(s.item(), 7.5);
+}
+
+TEST(TensorTest, Identity) {
+  Tensor id = Tensor::Identity(3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(id.at(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(TensorTest, AddAxpyScale) {
+  Tensor a{{1, 2}, {3, 4}};
+  Tensor b{{10, 20}, {30, 40}};
+  a.Add(b);
+  EXPECT_EQ(a.at(1, 1), 44.0);
+  a.Axpy(0.5, b);
+  EXPECT_EQ(a.at(0, 0), 16.0);
+  a.Scale(2.0);
+  EXPECT_EQ(a.at(0, 0), 32.0);
+}
+
+TEST(TensorTest, ApplySumNorms) {
+  Tensor a{{-1, 2}, {-3, 4}};
+  EXPECT_EQ(a.Sum(), 2.0);
+  EXPECT_EQ(a.SquaredNorm(), 1 + 4 + 9 + 16);
+  EXPECT_EQ(a.AbsMax(), 4.0);
+  a.Apply([](Scalar x) { return x * x; });
+  EXPECT_EQ(a.at(1, 0), 9.0);
+}
+
+TEST(TensorTest, RowOps) {
+  Tensor a{{1, 2}, {3, 4}};
+  Tensor r = a.RowAt(1);
+  EXPECT_EQ(r.at(0, 0), 3.0);
+  a.SetRow(0, Tensor::Row({9, 8}));
+  EXPECT_EQ(a.at(0, 1), 8.0);
+  a.AddToRow(0, Tensor::Row({1, 1}));
+  EXPECT_EQ(a.at(0, 0), 10.0);
+}
+
+TEST(TensorTest, Transposed) {
+  Tensor a{{1, 2, 3}, {4, 5, 6}};
+  Tensor t = a.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.at(2, 1), 6.0);
+}
+
+TEST(TensorTest, MatMulKnownResult) {
+  Tensor a{{1, 2}, {3, 4}};
+  Tensor b{{5, 6}, {7, 8}};
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.at(0, 0), 19.0);
+  EXPECT_EQ(c.at(0, 1), 22.0);
+  EXPECT_EQ(c.at(1, 0), 43.0);
+  EXPECT_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(TensorTest, MatMulIdentity) {
+  Tensor a{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_TRUE(AllClose(MatMul(a, Tensor::Identity(3)), a));
+}
+
+TEST(TensorTest, MatMulTransVariantsAgree) {
+  Tensor a{{1, 2, 3}, {4, 5, 6}};      // 2x3
+  Tensor b{{1, 0}, {2, 1}, {0, 3}};    // 3x2
+  Tensor ab = MatMul(a, b);            // 2x2
+  EXPECT_TRUE(AllClose(MatMulTransA(a.Transposed(), b), ab));
+  EXPECT_TRUE(AllClose(MatMulTransB(a, b.Transposed()), ab));
+}
+
+TEST(TensorTest, ElementwiseOps) {
+  Tensor a{{1, 2}};
+  Tensor b{{3, 4}};
+  EXPECT_TRUE(AllClose(Add(a, b), Tensor{{4, 6}}));
+  EXPECT_TRUE(AllClose(Sub(a, b), Tensor{{-2, -2}}));
+  EXPECT_TRUE(AllClose(Mul(a, b), Tensor{{3, 8}}));
+  EXPECT_EQ(Dot(a, b), 11.0);
+}
+
+TEST(TensorTest, AllCloseTolerance) {
+  Tensor a{{1.0}};
+  Tensor b{{1.0 + 1e-10}};
+  EXPECT_TRUE(AllClose(a, b));
+  Tensor c{{1.1}};
+  EXPECT_FALSE(AllClose(a, c));
+  Tensor d(1, 2);
+  EXPECT_FALSE(AllClose(a, d));  // shape mismatch
+}
+
+TEST(TensorTest, ToStringMentionsShape) {
+  Tensor a{{1, 2}, {3, 4}};
+  EXPECT_NE(a.ToString().find("2x2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kgag

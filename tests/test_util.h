@@ -1,0 +1,25 @@
+// Shared fixtures for model tests: tiny deterministic corpora that train
+// in well under a second.
+#ifndef KGAG_TESTS_TEST_UTIL_H_
+#define KGAG_TESTS_TEST_UTIL_H_
+
+#include "data/dataset.h"
+#include "data/synthetic/standard_datasets.h"
+
+namespace kgag {
+namespace testing_util {
+
+/// Tiny MovieLens-Rand-style dataset (~40 users / 30 items).
+inline GroupRecDataset TinyRand(uint64_t seed = 7) {
+  return MakeMovieLensRandDataset(seed, /*scale=*/0.08);
+}
+
+/// Tiny Yelp-style dataset.
+inline GroupRecDataset TinyYelp(uint64_t seed = 7) {
+  return MakeYelpDataset(seed, /*scale=*/0.1);
+}
+
+}  // namespace testing_util
+}  // namespace kgag
+
+#endif  // KGAG_TESTS_TEST_UTIL_H_

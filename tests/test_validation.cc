@@ -1,0 +1,107 @@
+#include "models/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace kgag {
+namespace {
+
+/// Scorer whose quality is dialed externally: quality q scores the true
+/// positives q and everything else 0, so validation hit rises with q.
+class DialScorer : public GroupScorer {
+ public:
+  explicit DialScorer(const GroupRecDataset* ds) {
+    for (const Interaction& it : ds->split.valid) {
+      positives_.insert((static_cast<int64_t>(it.row) << 32) | it.item);
+    }
+  }
+  double quality = 0.0;
+  std::vector<double> ScoreGroup(GroupId g,
+                                 std::span<const ItemId> items) override {
+    std::vector<double> out(items.size(), 0.0);
+    for (size_t i = 0; i < items.size(); ++i) {
+      const int64_t key = (static_cast<int64_t>(g) << 32) | items[i];
+      if (positives_.count(key)) out[i] = quality;
+    }
+    return out;
+  }
+
+ private:
+  std::unordered_set<int64_t> positives_;
+};
+
+TEST(ValidationSelectorTest, TracksBestAndRestores) {
+  GroupRecDataset ds = testing_util::TinyRand();
+  Rng rng(3);
+  ParameterStore store;
+  Parameter* p = store.Create("w", 2, 2, Init::kNormal01, &rng);
+
+  ValidationSelector selector(&ds, &store);
+  DialScorer scorer(&ds);
+
+  // Epoch 1: mediocre scorer, weights A.
+  scorer.quality = 0.0;  // ties with non-positives -> low hit
+  p->value = Tensor{{1, 1}, {1, 1}};
+  const double h1 = selector.Observe(&scorer);
+
+  // Epoch 2: perfect scorer, weights B — this must be the snapshot.
+  scorer.quality = 1.0;
+  p->value = Tensor{{2, 2}, {2, 2}};
+  const double h2 = selector.Observe(&scorer);
+  EXPECT_GT(h2, h1);
+
+  // Epoch 3: scorer degrades again, weights C.
+  scorer.quality = -1.0;
+  p->value = Tensor{{3, 3}, {3, 3}};
+  const double h3 = selector.Observe(&scorer);
+  EXPECT_LT(h3, h2);
+
+  selector.RestoreBest();
+  EXPECT_EQ(p->value.at(0, 0), 2.0) << "best-epoch weights restored";
+  EXPECT_DOUBLE_EQ(selector.best_hit(), h2);
+  ASSERT_EQ(selector.history().size(), 3u);
+}
+
+TEST(ValidationSelectorTest, RestoreWithoutObserveIsNoop) {
+  GroupRecDataset ds = testing_util::TinyRand();
+  Rng rng(3);
+  ParameterStore store;
+  Parameter* p = store.Create("w", 1, 1, Init::kNormal01, &rng);
+  const double before = p->value.item();
+  ValidationSelector selector(&ds, &store);
+  selector.RestoreBest();
+  EXPECT_EQ(p->value.item(), before);
+}
+
+TEST(ValidationSelectorTest, FirstEpochAlwaysSnapshots) {
+  GroupRecDataset ds = testing_util::TinyRand();
+  Rng rng(3);
+  ParameterStore store;
+  Parameter* p = store.Create("w", 1, 1, Init::kNormal01, &rng);
+  p->value = Tensor::Scalar1(7.0);
+  ValidationSelector selector(&ds, &store);
+  DialScorer scorer(&ds);
+  scorer.quality = -5.0;  // terrible, but it's the only epoch
+  selector.Observe(&scorer);
+  p->value = Tensor::Scalar1(9.0);
+  selector.RestoreBest();
+  EXPECT_EQ(p->value.item(), 7.0);
+}
+
+TEST(ValidationSelectorTest, CapsValidationSlice) {
+  GroupRecDataset ds = testing_util::TinyRand();
+  Rng rng(3);
+  ParameterStore store;
+  store.Create("w", 1, 1, Init::kNormal01, &rng);
+  // A cap of 1 interaction still works and evaluates exactly one group.
+  ValidationSelector selector(&ds, &store, 5, 1);
+  DialScorer scorer(&ds);
+  scorer.quality = 1.0;
+  const double hit = selector.Observe(&scorer);
+  EXPECT_GE(hit, 0.0);
+  EXPECT_LE(hit, 1.0);
+}
+
+}  // namespace
+}  // namespace kgag
