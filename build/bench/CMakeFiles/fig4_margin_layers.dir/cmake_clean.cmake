@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_margin_layers.dir/fig4_margin_layers.cc.o"
+  "CMakeFiles/fig4_margin_layers.dir/fig4_margin_layers.cc.o.d"
+  "fig4_margin_layers"
+  "fig4_margin_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_margin_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

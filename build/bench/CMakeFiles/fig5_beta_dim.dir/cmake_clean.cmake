@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_beta_dim.dir/fig5_beta_dim.cc.o"
+  "CMakeFiles/fig5_beta_dim.dir/fig5_beta_dim.cc.o.d"
+  "fig5_beta_dim"
+  "fig5_beta_dim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_beta_dim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

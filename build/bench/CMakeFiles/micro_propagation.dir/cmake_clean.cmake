@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_propagation.dir/micro_propagation.cc.o"
+  "CMakeFiles/micro_propagation.dir/micro_propagation.cc.o.d"
+  "micro_propagation"
+  "micro_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_aggregator.dir/table4_aggregator.cc.o"
+  "CMakeFiles/table4_aggregator.dir/table4_aggregator.cc.o.d"
+  "table4_aggregator"
+  "table4_aggregator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_aggregator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restaurant_groups.dir/restaurant_groups.cpp.o"
+  "CMakeFiles/restaurant_groups.dir/restaurant_groups.cpp.o.d"
+  "restaurant_groups"
+  "restaurant_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restaurant_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgag_baselines.dir/kgcn.cc.o"
+  "CMakeFiles/kgag_baselines.dir/kgcn.cc.o.d"
+  "CMakeFiles/kgag_baselines.dir/mf.cc.o"
+  "CMakeFiles/kgag_baselines.dir/mf.cc.o.d"
+  "CMakeFiles/kgag_baselines.dir/mosan.cc.o"
+  "CMakeFiles/kgag_baselines.dir/mosan.cc.o.d"
+  "CMakeFiles/kgag_baselines.dir/trivial.cc.o"
+  "CMakeFiles/kgag_baselines.dir/trivial.cc.o.d"
+  "libkgag_baselines.a"
+  "libkgag_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgag_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

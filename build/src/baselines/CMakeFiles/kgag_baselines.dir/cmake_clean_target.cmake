@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkgag_baselines.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgag_common.dir/csv_writer.cc.o"
+  "CMakeFiles/kgag_common.dir/csv_writer.cc.o.d"
+  "CMakeFiles/kgag_common.dir/logging.cc.o"
+  "CMakeFiles/kgag_common.dir/logging.cc.o.d"
+  "CMakeFiles/kgag_common.dir/rng.cc.o"
+  "CMakeFiles/kgag_common.dir/rng.cc.o.d"
+  "CMakeFiles/kgag_common.dir/status.cc.o"
+  "CMakeFiles/kgag_common.dir/status.cc.o.d"
+  "CMakeFiles/kgag_common.dir/table_printer.cc.o"
+  "CMakeFiles/kgag_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/kgag_common.dir/thread_pool.cc.o"
+  "CMakeFiles/kgag_common.dir/thread_pool.cc.o.d"
+  "libkgag_common.a"
+  "libkgag_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgag_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

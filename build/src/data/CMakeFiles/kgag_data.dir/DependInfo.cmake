@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/batcher.cc" "src/data/CMakeFiles/kgag_data.dir/batcher.cc.o" "gcc" "src/data/CMakeFiles/kgag_data.dir/batcher.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/kgag_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/kgag_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/interactions.cc" "src/data/CMakeFiles/kgag_data.dir/interactions.cc.o" "gcc" "src/data/CMakeFiles/kgag_data.dir/interactions.cc.o.d"
+  "/root/repo/src/data/synthetic/group_builder.cc" "src/data/CMakeFiles/kgag_data.dir/synthetic/group_builder.cc.o" "gcc" "src/data/CMakeFiles/kgag_data.dir/synthetic/group_builder.cc.o.d"
+  "/root/repo/src/data/synthetic/movielens_gen.cc" "src/data/CMakeFiles/kgag_data.dir/synthetic/movielens_gen.cc.o" "gcc" "src/data/CMakeFiles/kgag_data.dir/synthetic/movielens_gen.cc.o.d"
+  "/root/repo/src/data/synthetic/ratings.cc" "src/data/CMakeFiles/kgag_data.dir/synthetic/ratings.cc.o" "gcc" "src/data/CMakeFiles/kgag_data.dir/synthetic/ratings.cc.o.d"
+  "/root/repo/src/data/synthetic/standard_datasets.cc" "src/data/CMakeFiles/kgag_data.dir/synthetic/standard_datasets.cc.o" "gcc" "src/data/CMakeFiles/kgag_data.dir/synthetic/standard_datasets.cc.o.d"
+  "/root/repo/src/data/synthetic/yelp_gen.cc" "src/data/CMakeFiles/kgag_data.dir/synthetic/yelp_gen.cc.o" "gcc" "src/data/CMakeFiles/kgag_data.dir/synthetic/yelp_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kgag_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/kgag_kg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

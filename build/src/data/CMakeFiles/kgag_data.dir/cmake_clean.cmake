@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgag_data.dir/batcher.cc.o"
+  "CMakeFiles/kgag_data.dir/batcher.cc.o.d"
+  "CMakeFiles/kgag_data.dir/dataset.cc.o"
+  "CMakeFiles/kgag_data.dir/dataset.cc.o.d"
+  "CMakeFiles/kgag_data.dir/interactions.cc.o"
+  "CMakeFiles/kgag_data.dir/interactions.cc.o.d"
+  "CMakeFiles/kgag_data.dir/synthetic/group_builder.cc.o"
+  "CMakeFiles/kgag_data.dir/synthetic/group_builder.cc.o.d"
+  "CMakeFiles/kgag_data.dir/synthetic/movielens_gen.cc.o"
+  "CMakeFiles/kgag_data.dir/synthetic/movielens_gen.cc.o.d"
+  "CMakeFiles/kgag_data.dir/synthetic/ratings.cc.o"
+  "CMakeFiles/kgag_data.dir/synthetic/ratings.cc.o.d"
+  "CMakeFiles/kgag_data.dir/synthetic/standard_datasets.cc.o"
+  "CMakeFiles/kgag_data.dir/synthetic/standard_datasets.cc.o.d"
+  "CMakeFiles/kgag_data.dir/synthetic/yelp_gen.cc.o"
+  "CMakeFiles/kgag_data.dir/synthetic/yelp_gen.cc.o.d"
+  "libkgag_data.a"
+  "libkgag_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgag_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/kgag_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/kgag_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/ranking_evaluator.cc" "src/eval/CMakeFiles/kgag_eval.dir/ranking_evaluator.cc.o" "gcc" "src/eval/CMakeFiles/kgag_eval.dir/ranking_evaluator.cc.o.d"
+  "/root/repo/src/eval/statistics.cc" "src/eval/CMakeFiles/kgag_eval.dir/statistics.cc.o" "gcc" "src/eval/CMakeFiles/kgag_eval.dir/statistics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kgag_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/kgag_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/kgag_kg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

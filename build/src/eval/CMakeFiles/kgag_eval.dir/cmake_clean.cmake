@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgag_eval.dir/metrics.cc.o"
+  "CMakeFiles/kgag_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/kgag_eval.dir/ranking_evaluator.cc.o"
+  "CMakeFiles/kgag_eval.dir/ranking_evaluator.cc.o.d"
+  "CMakeFiles/kgag_eval.dir/statistics.cc.o"
+  "CMakeFiles/kgag_eval.dir/statistics.cc.o.d"
+  "libkgag_eval.a"
+  "libkgag_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgag_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

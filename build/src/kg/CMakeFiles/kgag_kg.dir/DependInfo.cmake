@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kg/collaborative_kg.cc" "src/kg/CMakeFiles/kgag_kg.dir/collaborative_kg.cc.o" "gcc" "src/kg/CMakeFiles/kgag_kg.dir/collaborative_kg.cc.o.d"
+  "/root/repo/src/kg/graph_stats.cc" "src/kg/CMakeFiles/kgag_kg.dir/graph_stats.cc.o" "gcc" "src/kg/CMakeFiles/kgag_kg.dir/graph_stats.cc.o.d"
+  "/root/repo/src/kg/knowledge_graph.cc" "src/kg/CMakeFiles/kgag_kg.dir/knowledge_graph.cc.o" "gcc" "src/kg/CMakeFiles/kgag_kg.dir/knowledge_graph.cc.o.d"
+  "/root/repo/src/kg/neighbor_sampler.cc" "src/kg/CMakeFiles/kgag_kg.dir/neighbor_sampler.cc.o" "gcc" "src/kg/CMakeFiles/kgag_kg.dir/neighbor_sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kgag_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

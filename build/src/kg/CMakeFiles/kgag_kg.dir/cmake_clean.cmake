@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgag_kg.dir/collaborative_kg.cc.o"
+  "CMakeFiles/kgag_kg.dir/collaborative_kg.cc.o.d"
+  "CMakeFiles/kgag_kg.dir/graph_stats.cc.o"
+  "CMakeFiles/kgag_kg.dir/graph_stats.cc.o.d"
+  "CMakeFiles/kgag_kg.dir/knowledge_graph.cc.o"
+  "CMakeFiles/kgag_kg.dir/knowledge_graph.cc.o.d"
+  "CMakeFiles/kgag_kg.dir/neighbor_sampler.cc.o"
+  "CMakeFiles/kgag_kg.dir/neighbor_sampler.cc.o.d"
+  "libkgag_kg.a"
+  "libkgag_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgag_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/attention.cc" "src/models/CMakeFiles/kgag_models.dir/attention.cc.o" "gcc" "src/models/CMakeFiles/kgag_models.dir/attention.cc.o.d"
+  "/root/repo/src/models/kgag_model.cc" "src/models/CMakeFiles/kgag_models.dir/kgag_model.cc.o" "gcc" "src/models/CMakeFiles/kgag_models.dir/kgag_model.cc.o.d"
+  "/root/repo/src/models/losses.cc" "src/models/CMakeFiles/kgag_models.dir/losses.cc.o" "gcc" "src/models/CMakeFiles/kgag_models.dir/losses.cc.o.d"
+  "/root/repo/src/models/propagation.cc" "src/models/CMakeFiles/kgag_models.dir/propagation.cc.o" "gcc" "src/models/CMakeFiles/kgag_models.dir/propagation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kgag_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/kgag_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/kgag_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/kgag_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/kgag_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgag_models.dir/attention.cc.o"
+  "CMakeFiles/kgag_models.dir/attention.cc.o.d"
+  "CMakeFiles/kgag_models.dir/kgag_model.cc.o"
+  "CMakeFiles/kgag_models.dir/kgag_model.cc.o.d"
+  "CMakeFiles/kgag_models.dir/losses.cc.o"
+  "CMakeFiles/kgag_models.dir/losses.cc.o.d"
+  "CMakeFiles/kgag_models.dir/propagation.cc.o"
+  "CMakeFiles/kgag_models.dir/propagation.cc.o.d"
+  "libkgag_models.a"
+  "libkgag_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgag_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

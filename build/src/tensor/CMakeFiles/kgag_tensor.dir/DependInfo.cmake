@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/grad_check.cc" "src/tensor/CMakeFiles/kgag_tensor.dir/grad_check.cc.o" "gcc" "src/tensor/CMakeFiles/kgag_tensor.dir/grad_check.cc.o.d"
+  "/root/repo/src/tensor/optimizer.cc" "src/tensor/CMakeFiles/kgag_tensor.dir/optimizer.cc.o" "gcc" "src/tensor/CMakeFiles/kgag_tensor.dir/optimizer.cc.o.d"
+  "/root/repo/src/tensor/parameter.cc" "src/tensor/CMakeFiles/kgag_tensor.dir/parameter.cc.o" "gcc" "src/tensor/CMakeFiles/kgag_tensor.dir/parameter.cc.o.d"
+  "/root/repo/src/tensor/serialization.cc" "src/tensor/CMakeFiles/kgag_tensor.dir/serialization.cc.o" "gcc" "src/tensor/CMakeFiles/kgag_tensor.dir/serialization.cc.o.d"
+  "/root/repo/src/tensor/tape.cc" "src/tensor/CMakeFiles/kgag_tensor.dir/tape.cc.o" "gcc" "src/tensor/CMakeFiles/kgag_tensor.dir/tape.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/tensor/CMakeFiles/kgag_tensor.dir/tensor.cc.o" "gcc" "src/tensor/CMakeFiles/kgag_tensor.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/kgag_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kgag_tensor.dir/grad_check.cc.o"
+  "CMakeFiles/kgag_tensor.dir/grad_check.cc.o.d"
+  "CMakeFiles/kgag_tensor.dir/optimizer.cc.o"
+  "CMakeFiles/kgag_tensor.dir/optimizer.cc.o.d"
+  "CMakeFiles/kgag_tensor.dir/parameter.cc.o"
+  "CMakeFiles/kgag_tensor.dir/parameter.cc.o.d"
+  "CMakeFiles/kgag_tensor.dir/serialization.cc.o"
+  "CMakeFiles/kgag_tensor.dir/serialization.cc.o.d"
+  "CMakeFiles/kgag_tensor.dir/tape.cc.o"
+  "CMakeFiles/kgag_tensor.dir/tape.cc.o.d"
+  "CMakeFiles/kgag_tensor.dir/tensor.cc.o"
+  "CMakeFiles/kgag_tensor.dir/tensor.cc.o.d"
+  "libkgag_tensor.a"
+  "libkgag_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kgag_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_group_builder.dir/test_group_builder.cc.o"
+  "CMakeFiles/test_group_builder.dir/test_group_builder.cc.o.d"
+  "test_group_builder"
+  "test_group_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_group_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_interactions.cc" "tests/CMakeFiles/test_interactions.dir/test_interactions.cc.o" "gcc" "tests/CMakeFiles/test_interactions.dir/test_interactions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/kgag_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/kgag_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/kgag_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/kgag_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/kgag_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/kgag_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/kgag_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

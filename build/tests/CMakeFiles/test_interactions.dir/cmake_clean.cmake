@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interactions.dir/test_interactions.cc.o"
+  "CMakeFiles/test_interactions.dir/test_interactions.cc.o.d"
+  "test_interactions"
+  "test_interactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

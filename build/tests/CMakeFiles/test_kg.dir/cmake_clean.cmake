@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kg.dir/test_kg.cc.o"
+  "CMakeFiles/test_kg.dir/test_kg.cc.o.d"
+  "test_kg"
+  "test_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kgag_model.dir/test_kgag_model.cc.o"
+  "CMakeFiles/test_kgag_model.dir/test_kgag_model.cc.o.d"
+  "test_kgag_model"
+  "test_kgag_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kgag_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

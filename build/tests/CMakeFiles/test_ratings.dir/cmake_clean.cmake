@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ratings.dir/test_ratings.cc.o"
+  "CMakeFiles/test_ratings.dir/test_ratings.cc.o.d"
+  "test_ratings"
+  "test_ratings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ratings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

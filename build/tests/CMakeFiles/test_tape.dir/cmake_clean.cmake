@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tape.dir/test_tape.cc.o"
+  "CMakeFiles/test_tape.dir/test_tape.cc.o.d"
+  "test_tape"
+  "test_tape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
