@@ -1,0 +1,324 @@
+// bench_kernels: compute-backend benchmark harness. Times (a) the blocked
+// GEMM against the preserved seed triple-loop kernel on the matmul shapes
+// the Eq. (1)–(8) propagation and attention paths actually issue, and (b)
+// end-to-end ranking-evaluation throughput serial vs ThreadPool-parallel,
+// asserting the two produce bit-identical metrics. Emits machine-readable
+// JSON (BENCH_kernels.json when run from the repo root) so successive PRs
+// can be compared on the same perf trajectory.
+//
+// Usage: bench_kernels [--smoke] [--out PATH] [--threads N]
+//   --smoke    one tiny iteration per case (CI wiring check, ~1s)
+//   --out      output path (default ./BENCH_kernels.json)
+//   --threads  pool size for the parallel-eval case (default 8)
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "data/dataset.h"
+#include "eval/ranking_evaluator.h"
+#include "tensor/kernels.h"
+#include "tensor/tensor.h"
+
+namespace kgag {
+namespace {
+
+struct Options {
+  bool smoke = false;
+  std::string out = "BENCH_kernels.json";
+  size_t threads = 8;
+};
+
+Tensor RandomTensor(size_t rows, size_t cols, Rng* rng) {
+  Tensor t(rows, cols);
+  for (size_t i = 0; i < t.size(); ++i) t[i] = rng->Normal(0, 1);
+  return t;
+}
+
+/// Best-of-`reps` seconds-per-call, with the iteration count calibrated so
+/// one rep runs for at least `min_secs`.
+template <typename Fn>
+double TimeBest(const Options& opt, Fn&& fn, double min_secs = 0.15,
+                int reps = 3) {
+  if (opt.smoke) {
+    Stopwatch sw;
+    fn();
+    return sw.ElapsedSeconds();
+  }
+  size_t iters = 1;
+  while (true) {
+    Stopwatch sw;
+    for (size_t i = 0; i < iters; ++i) fn();
+    const double secs = sw.ElapsedSeconds();
+    if (secs >= min_secs) break;
+    iters *= 2;
+  }
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    for (size_t i = 0; i < iters; ++i) fn();
+    best = std::min(best, sw.ElapsedSeconds() / static_cast<double>(iters));
+  }
+  return best;
+}
+
+struct MatmulCase {
+  const char* op;    // "matmul" | "matmul_trans_a" | "matmul_trans_b"
+  const char* role;  // which hot path issues this shape
+  size_t m, k, n;    // op(A): m×k, op(B): k×n
+};
+
+struct MatmulRow {
+  MatmulCase c;
+  double seed_ns = 0.0;
+  double blocked_ns = 0.0;
+  double speedup = 0.0;
+  double gflops_blocked = 0.0;
+  bool close = false;
+};
+
+/// Seed-equivalent MatMul*: fresh zeroed output + the preserved naive
+/// kernel, matching what the seed's MatMul functions did end to end.
+Tensor SeedCall(const MatmulCase& c, const Tensor& a, const Tensor& b) {
+  if (std::strcmp(c.op, "matmul_trans_a") == 0) {
+    Tensor out(a.cols(), b.cols());
+    kernels::GemmNaive(true, false, a.cols(), b.cols(), a.rows(), a.data(),
+                       a.cols(), b.data(), b.cols(), out.data(), out.cols());
+    return out;
+  }
+  if (std::strcmp(c.op, "matmul_trans_b") == 0) {
+    Tensor out(a.rows(), b.rows());
+    kernels::GemmNaive(false, true, a.rows(), b.rows(), a.cols(), a.data(),
+                       a.cols(), b.data(), b.cols(), out.data(), out.cols());
+    return out;
+  }
+  Tensor out(a.rows(), b.cols());
+  kernels::GemmNaive(false, false, a.rows(), b.cols(), a.cols(), a.data(),
+                     a.cols(), b.data(), b.cols(), out.data(), out.cols());
+  return out;
+}
+
+Tensor BlockedCall(const MatmulCase& c, const Tensor& a, const Tensor& b) {
+  if (std::strcmp(c.op, "matmul_trans_a") == 0) return MatMulTransA(a, b);
+  if (std::strcmp(c.op, "matmul_trans_b") == 0) return MatMulTransB(a, b);
+  return MatMul(a, b);
+}
+
+std::vector<MatmulRow> RunMatmulCases(const Options& opt) {
+  // Stored shapes per op: for trans_a A is k×m, for trans_b B is n×k.
+  const std::vector<MatmulCase> cases = {
+      {"matmul", "propagation batch (P*K x d · d x d)", 512, 64, 64},
+      {"matmul", "member reps batch (P x d · d x d)", 128, 64, 64},
+      {"matmul", "attention single query (1 x d · d x d)", 1, 64, 64},
+      {"matmul_trans_b", "neighbor scores (P x d · (K x d)^T)", 512, 64, 64},
+      {"matmul_trans_a", "weight gradient ((P x d)^T · P x d)", 64, 512, 64},
+      {"matmul", "forward-looking large (256^3)", 256, 256, 256},
+  };
+  std::vector<MatmulRow> rows;
+  Rng rng(7);
+  for (const MatmulCase& c : cases) {
+    MatmulRow row;
+    const bool ta = std::strcmp(c.op, "matmul_trans_a") == 0;
+    const bool tb = std::strcmp(c.op, "matmul_trans_b") == 0;
+    const size_t scale = opt.smoke ? 8 : 1;
+    MatmulCase sc = c;
+    sc.m = std::max<size_t>(1, c.m / scale);
+    Tensor a = ta ? RandomTensor(sc.k, sc.m, &rng)
+                  : RandomTensor(sc.m, sc.k, &rng);
+    Tensor b = tb ? RandomTensor(sc.n, sc.k, &rng)
+                  : RandomTensor(sc.k, sc.n, &rng);
+    row.c = sc;
+    row.close = AllClose(SeedCall(sc, a, b), BlockedCall(sc, a, b), 1e-9,
+                         1e-9);
+    row.seed_ns = 1e9 * TimeBest(opt, [&] {
+      Tensor out = SeedCall(sc, a, b);
+      asm volatile("" : : "g"(out.data()) : "memory");
+    });
+    row.blocked_ns = 1e9 * TimeBest(opt, [&] {
+      Tensor out = BlockedCall(sc, a, b);
+      asm volatile("" : : "g"(out.data()) : "memory");
+    });
+    row.speedup = row.seed_ns / row.blocked_ns;
+    const double madds = static_cast<double>(sc.m) * sc.k * sc.n;
+    row.gflops_blocked = 2.0 * madds / row.blocked_ns;  // ns -> GFLOP/s
+    std::cout << c.op << " m=" << sc.m << " k=" << sc.k << " n=" << sc.n
+              << ": seed " << row.seed_ns / 1e3 << " us, blocked "
+              << row.blocked_ns / 1e3 << " us, speedup " << row.speedup
+              << "x, " << row.gflops_blocked << " GFLOP/s"
+              << (row.close ? "" : "  [MISMATCH]") << "\n";
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+/// Read-only scorer shaped like the real model's eval path: one d×d
+/// projection of the group embedding, then scores against every item
+/// embedding (MatMul + MatMulTransB per group). Deterministic and
+/// stateless per call, hence thread-safe.
+class EmbeddingScorer : public GroupScorer {
+ public:
+  EmbeddingScorer(size_t num_groups, size_t num_items, size_t dim)
+      : rng_(123),
+        group_emb_(RandomTensor(num_groups, dim, &rng_)),
+        item_emb_(RandomTensor(num_items, dim, &rng_)),
+        w_(RandomTensor(dim, dim, &rng_)) {}
+
+  std::vector<double> ScoreGroup(GroupId g,
+                                 std::span<const ItemId> items) override {
+    const Tensor projected = MatMul(group_emb_.RowAt(g), w_);
+    const Tensor scores = MatMulTransB(projected, item_emb_);  // 1 x items
+    std::vector<double> out(items.size());
+    for (size_t i = 0; i < items.size(); ++i) out[i] = scores[items[i]];
+    return out;
+  }
+
+ private:
+  Rng rng_;
+  const Tensor group_emb_;
+  const Tensor item_emb_;
+  const Tensor w_;
+};
+
+struct EvalRow {
+  size_t groups = 0;
+  size_t pool = 0;
+  size_t threads = 0;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  double speedup = 0.0;
+  bool bit_identical = false;
+};
+
+EvalRow RunEvalCase(const Options& opt) {
+  EvalRow row;
+  // MovieLens-like sweep scale: every test group ranked against the full
+  // test-item pool (§IV-B protocol).
+  row.groups = opt.smoke ? 6 : 240;
+  row.pool = opt.smoke ? 12 : 400;
+  row.threads = opt.threads;
+  const size_t dim = 64;
+
+  GroupRecDataset ds;
+  ds.name = "bench-eval";
+  std::vector<Interaction> interactions;
+  for (size_t g = 0; g < row.groups; ++g) {
+    for (size_t j = 0; j < 3; ++j) {
+      interactions.push_back(
+          {static_cast<GroupId>(g),
+           static_cast<ItemId>((g * 7 + j * 131) % row.pool)});
+    }
+    // Pad the pool so its size is exactly row.pool items.
+    interactions.push_back(
+        {static_cast<GroupId>(g), static_cast<ItemId>(g % row.pool)});
+  }
+  for (size_t v = 0; v < row.pool; ++v) {
+    interactions.push_back({0, static_cast<ItemId>(v)});
+  }
+
+  EmbeddingScorer scorer(row.groups, row.pool, dim);
+  RankingEvaluator serial_eval(&ds, 5);
+  const EvalResult serial = serial_eval.Evaluate(&scorer, interactions);
+  row.serial_ms =
+      1e3 * TimeBest(opt, [&] {
+        EvalResult r = serial_eval.Evaluate(&scorer, interactions);
+        asm volatile("" : : "g"(&r) : "memory");
+      });
+
+  ThreadPool pool(row.threads);
+  RankingEvaluator parallel_eval(&ds, 5);
+  parallel_eval.set_thread_pool(&pool);
+  const EvalResult parallel = parallel_eval.Evaluate(&scorer, interactions);
+  row.parallel_ms =
+      1e3 * TimeBest(opt, [&] {
+        EvalResult r = parallel_eval.Evaluate(&scorer, interactions);
+        asm volatile("" : : "g"(&r) : "memory");
+      });
+
+  row.speedup = row.serial_ms / row.parallel_ms;
+  row.bit_identical = serial.hit_at_k == parallel.hit_at_k &&
+                      serial.recall_at_k == parallel.recall_at_k &&
+                      serial.ndcg_at_k == parallel.ndcg_at_k &&
+                      serial.num_groups == parallel.num_groups;
+  std::cout << "eval " << row.groups << " groups x " << row.pool
+            << " items: serial " << row.serial_ms << " ms, parallel("
+            << row.threads << ") " << row.parallel_ms << " ms, speedup "
+            << row.speedup << "x, bit_identical "
+            << (row.bit_identical ? "true" : "false") << "\n";
+  return row;
+}
+
+std::string Json(const Options& opt, const std::vector<MatmulRow>& rows,
+                 const EvalRow& eval) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"bench\": \"bench_kernels\",\n";
+  os << "  \"smoke\": " << (opt.smoke ? "true" : "false") << ",\n";
+  os << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+     << ",\n";
+  os << "  \"matmul\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const MatmulRow& r = rows[i];
+    os << "    {\"op\": \"" << r.c.op << "\", \"role\": \"" << r.c.role
+       << "\", \"m\": " << r.c.m << ", \"k\": " << r.c.k
+       << ", \"n\": " << r.c.n << ", \"seed_ns\": " << r.seed_ns
+       << ", \"blocked_ns\": " << r.blocked_ns
+       << ", \"speedup\": " << r.speedup
+       << ", \"gflops_blocked\": " << r.gflops_blocked
+       << ", \"allclose\": " << (r.close ? "true" : "false") << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"eval\": {\"groups\": " << eval.groups
+     << ", \"pool\": " << eval.pool << ", \"threads\": " << eval.threads
+     << ", \"serial_ms\": " << eval.serial_ms
+     << ", \"parallel_ms\": " << eval.parallel_ms
+     << ", \"speedup\": " << eval.speedup << ", \"bit_identical\": "
+     << (eval.bit_identical ? "true" : "false") << "}\n";
+  os << "}\n";
+  return os.str();
+}
+
+int Main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      opt.smoke = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      opt.out = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      opt.threads = static_cast<size_t>(std::atoi(argv[++i]));
+    } else {
+      std::cerr << "usage: bench_kernels [--smoke] [--out PATH]"
+                << " [--threads N]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<MatmulRow> rows = RunMatmulCases(opt);
+  const EvalRow eval = RunEvalCase(opt);
+
+  bool ok = eval.bit_identical;
+  for (const MatmulRow& r : rows) ok = ok && r.close;
+
+  std::ofstream out(opt.out);
+  if (!out) {
+    std::cerr << "cannot write " << opt.out << "\n";
+    return 1;
+  }
+  out << Json(opt, rows, eval);
+  std::cout << "wrote " << opt.out << "\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace kgag
+
+int main(int argc, char** argv) { return kgag::Main(argc, argv); }

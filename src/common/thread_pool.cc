@@ -1,10 +1,17 @@
 #include "common/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <memory>
 
 #include "common/check.h"
 
 namespace kgag {
+namespace {
+
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -37,26 +44,45 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   return fut;
 }
 
+bool ThreadPool::InWorkerThread() { return t_in_pool_worker; }
+
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelFor(n, /*grain=*/1, fn);
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t grain,
+                             const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  // Chunked dynamic scheduling: workers pull the next index atomically.
-  auto next = std::make_shared<std::atomic<size_t>>(0);
-  size_t parallelism = std::min(n, workers_.size());
-  std::vector<std::future<void>> futs;
-  futs.reserve(parallelism);
-  for (size_t t = 0; t < parallelism; ++t) {
-    futs.push_back(Submit([next, n, &fn] {
-      while (true) {
-        size_t i = next->fetch_add(1);
-        if (i >= n) break;
-        fn(i);
-      }
-    }));
+  KGAG_CHECK_GT(grain, 0u);
+  // A worker blocking on futures of tasks no free worker can ever pick up
+  // would deadlock the pool, so nested calls run inline instead.
+  if (t_in_pool_worker) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
   }
+  // Chunked dynamic scheduling: threads atomically claim `grain` indices
+  // at a time. The caller drains chunks too, so queue latency (or a fully
+  // busy pool) never stalls the loop.
+  auto next = std::make_shared<std::atomic<size_t>>(0);
+  auto drain = [next, n, grain, &fn] {
+    while (true) {
+      const size_t begin = next->fetch_add(grain);
+      if (begin >= n) break;
+      const size_t end = std::min(begin + grain, n);
+      for (size_t i = begin; i < end; ++i) fn(i);
+    }
+  };
+  const size_t chunks = (n + grain - 1) / grain;
+  const size_t helpers = std::min(chunks - 1, workers_.size());
+  std::vector<std::future<void>> futs;
+  futs.reserve(helpers);
+  for (size_t t = 0; t < helpers; ++t) futs.push_back(Submit(drain));
+  drain();
   for (auto& f : futs) f.get();
 }
 
 void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
   while (true) {
     std::packaged_task<void()> task;
     {

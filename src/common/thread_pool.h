@@ -1,6 +1,9 @@
-// Fixed-size thread pool used for parallel evaluation sweeps. Training
-// itself is single-threaded (determinism first), but ranking every test
-// group over every test item is embarrassingly parallel.
+// Fixed-size work-queue thread pool. Training itself is single-threaded
+// (determinism first); the pool backs the opt-in parallel paths: the
+// ranking evaluator fans out over test groups (see
+// RankingEvaluator::set_thread_pool) and large GEMMs fan out over row
+// panels (see kernels::SetComputeThreadPool). Both write to disjoint
+// preallocated slots so results are bit-identical to their serial runs.
 #ifndef KGAG_COMMON_THREAD_POOL_H_
 #define KGAG_COMMON_THREAD_POOL_H_
 
@@ -28,7 +31,28 @@ class ThreadPool {
   std::future<void> Submit(std::function<void()> task);
 
   /// Runs fn(i) for i in [0, n) across the pool and blocks until done.
+  /// Equivalent to the chunked overload with grain = 1.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Chunked variant: workers claim `grain` consecutive indices per
+  /// atomic fetch, so the per-index scheduling overhead is amortized when
+  /// individual work items are tiny. Contract:
+  ///   - every i in [0, n) is passed to fn exactly once;
+  ///   - indices within a chunk run in ascending order on one thread,
+  ///     but chunks run in no particular order relative to each other,
+  ///     so fn must only touch per-index state (e.g. preallocated slots);
+  ///   - the calling thread participates in the loop (a 1-worker pool
+  ///     still makes progress even if every worker is busy);
+  ///   - calls from inside a pool worker run the whole loop inline on
+  ///     that worker — nested ParallelFor cannot deadlock the pool;
+  ///   - fn must not throw (a throw escapes to the caller and any chunks
+  ///     already handed to workers still complete).
+  void ParallelFor(size_t n, size_t grain,
+                   const std::function<void(size_t)>& fn);
+
+  /// True when the calling thread is one of this or any pool's workers.
+  /// Used to run nested parallel constructs inline instead of re-queuing.
+  static bool InWorkerThread();
 
   size_t num_threads() const { return workers_.size(); }
 

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "eval/metrics.h"
 
 namespace kgag {
@@ -39,17 +40,46 @@ EvalResult RankingEvaluator::Evaluate(
   result.k = k_;
   if (pool.empty() || positives.empty()) return result;
 
-  for (const auto& [group, pos] : positives) {
+  // Fixed group order: keeps the reduction deterministic (unordered_map
+  // iteration order is not) and gives the parallel path stable slots.
+  std::vector<std::pair<GroupId, const std::unordered_set<ItemId>*>> groups;
+  groups.reserve(positives.size());
+  for (const auto& [group, pos] : positives) groups.emplace_back(group, &pos);
+  std::sort(groups.begin(), groups.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  struct GroupMetrics {
+    double hit = 0.0;
+    double recall = 0.0;
+    double ndcg = 0.0;
+  };
+  std::vector<GroupMetrics> slots(groups.size());
+  auto eval_group = [&](size_t i) {
+    const auto& [group, pos] = groups[i];
     const std::vector<double> scores = scorer->ScoreGroup(group, pool);
     KGAG_CHECK_EQ(scores.size(), pool.size())
         << "scorer returned wrong-size vector";
     const std::vector<size_t> top = TopKIndices(scores, k_);
     std::vector<ItemId> ranked;
     ranked.reserve(top.size());
-    for (size_t i : top) ranked.push_back(pool[i]);
-    result.hit_at_k += HitAtK(ranked, pos, k_);
-    result.recall_at_k += RecallAtK(ranked, pos, k_);
-    result.ndcg_at_k += NdcgAtK(ranked, pos, k_);
+    for (size_t i2 : top) ranked.push_back(pool[i2]);
+    slots[i] = {HitAtK(ranked, *pos, k_), RecallAtK(ranked, *pos, k_),
+                NdcgAtK(ranked, *pos, k_)};
+  };
+
+  if (pool_ != nullptr && groups.size() > 1) {
+    // Grain 1: each item is a full ranking pass over the pool, far larger
+    // than one atomic fetch.
+    pool_->ParallelFor(groups.size(), /*grain=*/1, eval_group);
+  } else {
+    for (size_t i = 0; i < groups.size(); ++i) eval_group(i);
+  }
+
+  // Serial reduction in group order: identical for both paths above.
+  for (const GroupMetrics& m : slots) {
+    result.hit_at_k += m.hit;
+    result.recall_at_k += m.recall;
+    result.ndcg_at_k += m.ndcg;
     ++result.num_groups;
   }
   const double n = static_cast<double>(result.num_groups);

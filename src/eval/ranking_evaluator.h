@@ -12,6 +12,8 @@
 
 namespace kgag {
 
+class ThreadPool;
+
 /// \brief Averaged ranking metrics over the evaluated groups.
 struct EvalResult {
   double hit_at_k = 0.0;
@@ -29,6 +31,15 @@ class RankingEvaluator {
   /// \param dataset corpus; must outlive the evaluator
   /// \param k cutoff (the paper reports k = 5)
   explicit RankingEvaluator(const GroupRecDataset* dataset, size_t k = 5);
+
+  /// Installs a borrowed pool (nullptr restores the serial path). With a
+  /// pool set, groups are scored concurrently into preallocated per-group
+  /// slots and reduced in a fixed group order, so the metrics are
+  /// bit-identical to the serial path. The scorer must then be safe to
+  /// call from multiple threads (the model scorers here are read-only at
+  /// evaluation time; anything stateful needs its own synchronization).
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
 
   /// Evaluates over the held-out `interactions` (test or validation
   /// split). The candidate pool is the union of items in `interactions`,
@@ -48,6 +59,7 @@ class RankingEvaluator {
  private:
   const GroupRecDataset* dataset_;
   size_t k_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace kgag

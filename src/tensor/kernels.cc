@@ -1,0 +1,136 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+// Defined in kernels_avx2.cc / kernels_avx512.cc, which compile the same
+// gemm_tile.inc loops under wider target flags (see src/tensor/CMakeLists).
+// Only ever called after the matching __builtin_cpu_supports check, so the
+// portable build still runs on baseline x86-64 (and non-x86 entirely).
+#ifdef KGAG_HAVE_ARCH_KERNELS
+namespace kgag {
+namespace kernels {
+void GemmRowsAvx2(bool trans_a, bool trans_b, size_t i_begin, size_t i_end,
+                  size_t n, size_t k, const Scalar* a, size_t lda,
+                  const Scalar* b, size_t ldb, Scalar* c, size_t ldc);
+void GemmRowsAvx512(bool trans_a, bool trans_b, size_t i_begin, size_t i_end,
+                    size_t n, size_t k, const Scalar* a, size_t lda,
+                    const Scalar* b, size_t ldb, Scalar* c, size_t ldc);
+}  // namespace kernels
+}  // namespace kgag
+#endif
+
+namespace kgag {
+namespace kernels {
+namespace {
+
+#define KGAG_GEMM_MR 4
+#define KGAG_GEMM_NR 8
+#include "tensor/gemm_tile.inc"
+#undef KGAG_GEMM_MR
+#undef KGAG_GEMM_NR
+
+// Row-panel granted to one worker; a multiple of every variant's register
+// tile (see gemm_tile.inc static_assert), so the parallel partition
+// reproduces the serial tiling exactly (bit-identical output).
+constexpr size_t kMc = 128;
+// Below this many multiply-adds the fork/join cost exceeds the win.
+constexpr size_t kParallelMinMadds = size_t{1} << 22;
+
+using RowsFn = void (*)(bool, bool, size_t, size_t, size_t, size_t,
+                        const Scalar*, size_t, const Scalar*, size_t, Scalar*,
+                        size_t);
+
+RowsFn PickRowsFn() {
+#ifdef KGAG_HAVE_ARCH_KERNELS
+  if (__builtin_cpu_supports("avx512f")) return &GemmRowsAvx512;
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return &GemmRowsAvx2;
+  }
+#endif
+  return &GemmRowsEntry;
+}
+
+const RowsFn g_rows_fn = PickRowsFn();
+
+std::atomic<ThreadPool*> g_pool{nullptr};
+
+}  // namespace
+
+void Gemm(bool trans_a, bool trans_b, size_t m, size_t n, size_t k,
+          const Scalar* a, size_t lda, const Scalar* b, size_t ldb, Scalar* c,
+          size_t ldc) {
+  if (m == 0 || n == 0) return;
+  const RowsFn rows = g_rows_fn;
+  ThreadPool* pool = g_pool.load(std::memory_order_acquire);
+  if (pool != nullptr && !ThreadPool::InWorkerThread() &&
+      m * n * k >= kParallelMinMadds && m >= 2 * kMc) {
+    const size_t bands = (m + kMc - 1) / kMc;
+    pool->ParallelFor(bands, /*grain=*/1, [&](size_t band) {
+      const size_t i_begin = band * kMc;
+      const size_t i_end = std::min(i_begin + kMc, m);
+      rows(trans_a, trans_b, i_begin, i_end, n, k, a, lda, b, ldb, c, ldc);
+    });
+  } else {
+    rows(trans_a, trans_b, 0, m, n, k, a, lda, b, ldb, c, ldc);
+  }
+}
+
+void GemmNaive(bool trans_a, bool trans_b, size_t m, size_t n, size_t k,
+               const Scalar* a, size_t lda, const Scalar* b, size_t ldb,
+               Scalar* c, size_t ldc) {
+  if (!trans_a && !trans_b) {
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t p = 0; p < k; ++p) {
+        const Scalar av = a[i * lda + p];
+        if (av == 0.0) continue;
+        const Scalar* brow = b + p * ldb;
+        Scalar* crow = c + i * ldc;
+        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (trans_a && !trans_b) {
+    for (size_t p = 0; p < k; ++p) {
+      const Scalar* arow = a + p * lda;
+      const Scalar* brow = b + p * ldb;
+      for (size_t i = 0; i < m; ++i) {
+        const Scalar av = arow[i];
+        if (av == 0.0) continue;
+        Scalar* crow = c + i * ldc;
+        for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (!trans_a && trans_b) {
+    for (size_t i = 0; i < m; ++i) {
+      const Scalar* arow = a + i * lda;
+      for (size_t j = 0; j < n; ++j) {
+        const Scalar* brow = b + j * ldb;
+        Scalar s = 0.0;
+        for (size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+        c[i * ldc + j] += s;
+      }
+    }
+  } else {
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        Scalar s = 0.0;
+        for (size_t p = 0; p < k; ++p) s += a[p * lda + i] * b[j * ldb + p];
+        c[i * ldc + j] += s;
+      }
+    }
+  }
+}
+
+void SetComputeThreadPool(ThreadPool* pool) {
+  g_pool.store(pool, std::memory_order_release);
+}
+
+ThreadPool* GetComputeThreadPool() {
+  return g_pool.load(std::memory_order_acquire);
+}
+
+}  // namespace kernels
+}  // namespace kgag

@@ -1,0 +1,46 @@
+// Dense GEMM kernels behind MatMul / MatMulTransA / MatMulTransB: one
+// cache-blocked, register-tiled micro-kernel serves all three transpose
+// combinations, with an optional ThreadPool-parallel row partition for
+// large shapes. `GemmNaive` preserves the original triple-loop kernel as
+// the reference baseline for benches and cross-checking tests.
+#ifndef KGAG_TENSOR_KERNELS_H_
+#define KGAG_TENSOR_KERNELS_H_
+
+#include <cstddef>
+
+namespace kgag {
+
+class ThreadPool;
+
+using Scalar = double;
+
+namespace kernels {
+
+/// C(m×n) += op(A) · op(B) where op(A) is m×k and op(B) is k×n.
+/// `trans_a` reads A as its transpose (A stored k×m, lda = m); likewise
+/// `trans_b` (B stored n×k, ldb = k). C must be preallocated; existing
+/// contents are accumulated into, so zero C first for a plain product.
+/// Deterministic: output bits do not depend on the thread count.
+void Gemm(bool trans_a, bool trans_b, size_t m, size_t n, size_t k,
+          const Scalar* a, size_t lda, const Scalar* b, size_t ldb, Scalar* c,
+          size_t ldc);
+
+/// The seed triple-loop kernel (including its data-dependent zero-skip
+/// branch), kept verbatim as the perf baseline for `bench_kernels` and as
+/// an independent oracle for kernel tests. Same accumulate contract.
+void GemmNaive(bool trans_a, bool trans_b, size_t m, size_t n, size_t k,
+               const Scalar* a, size_t lda, const Scalar* b, size_t ldb,
+               Scalar* c, size_t ldc);
+
+/// Installs a borrowed pool used to split large GEMMs across rows of C
+/// (nullptr restores the serial path). Row panels are disjoint and the
+/// panel size is a multiple of the register tile, so parallel results are
+/// bit-identical to serial. Calls from inside a pool worker always run
+/// serially (no nested fan-out, no deadlock).
+void SetComputeThreadPool(ThreadPool* pool);
+ThreadPool* GetComputeThreadPool();
+
+}  // namespace kernels
+}  // namespace kgag
+
+#endif  // KGAG_TENSOR_KERNELS_H_

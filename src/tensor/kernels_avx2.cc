@@ -1,0 +1,39 @@
+// AVX2+FMA build of the gemm_simd.inc row engine (compiled with
+// -mavx2 -mfma; see src/tensor/CMakeLists.txt). Selected at runtime by
+// kernels.cc only when the CPU reports both features.
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstddef>
+
+#include "tensor/kernels.h"
+
+namespace kgag {
+namespace kernels {
+namespace {
+
+using VecD = __m256d;
+constexpr size_t kLanes = 4;
+inline VecD VecLoad(const Scalar* p) { return _mm256_loadu_pd(p); }
+inline VecD VecSplat(Scalar s) { return _mm256_set1_pd(s); }
+inline void VecStore(Scalar* p, VecD v) { _mm256_storeu_pd(p, v); }
+inline Scalar VecSum(VecD v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  return _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+}
+
+#include "tensor/gemm_simd.inc"
+
+}  // namespace
+
+void GemmRowsAvx2(bool trans_a, bool trans_b, size_t i_begin, size_t i_end,
+                  size_t n, size_t k, const Scalar* a, size_t lda,
+                  const Scalar* b, size_t ldb, Scalar* c, size_t ldc) {
+  GemmRowsEntry(trans_a, trans_b, i_begin, i_end, n, k, a, lda, b, ldb, c,
+                ldc);
+}
+
+}  // namespace kernels
+}  // namespace kgag

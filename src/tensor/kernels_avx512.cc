@@ -1,0 +1,46 @@
+// AVX-512 build of the gemm_simd.inc row engine (compiled with
+// -mavx512f -mavx512vl -mavx512dq -mfma; see src/tensor/CMakeLists.txt).
+// Selected at runtime by kernels.cc only when the CPU reports avx512f.
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstddef>
+
+#include "tensor/kernels.h"
+
+namespace kgag {
+namespace kernels {
+namespace {
+
+using VecD = __m512d;
+constexpr size_t kLanes = 8;
+inline VecD VecLoad(const Scalar* p) { return _mm512_loadu_pd(p); }
+inline VecD VecSplat(Scalar s) { return _mm512_set1_pd(s); }
+inline void VecStore(Scalar* p, VecD v) { _mm512_storeu_pd(p, v); }
+inline Scalar VecSum(VecD v) {
+  const __m256d quad = _mm256_add_pd(_mm512_castpd512_pd256(v),
+                                     _mm512_extractf64x4_pd(v, 1));
+  const __m128d pair = _mm_add_pd(_mm256_castpd256_pd128(quad),
+                                  _mm256_extractf128_pd(quad, 1));
+  return _mm_cvtsd_f64(_mm_add_sd(pair, _mm_unpackhi_pd(pair, pair)));
+}
+
+// gcc 12 flags the _mm256_undefined_pd() placeholder inside the 512→256
+// extract intrinsics as maybe-uninitialized once VecSum inlines into the
+// kernels; the lanes are fully written, so scope the false positive out.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#include "tensor/gemm_simd.inc"
+#pragma GCC diagnostic pop
+
+}  // namespace
+
+void GemmRowsAvx512(bool trans_a, bool trans_b, size_t i_begin, size_t i_end,
+                    size_t n, size_t k, const Scalar* a, size_t lda,
+                    const Scalar* b, size_t ldb, Scalar* c, size_t ldc) {
+  GemmRowsEntry(trans_a, trans_b, i_begin, i_end, n, k, a, lda, b, ldb, c,
+                ldc);
+}
+
+}  // namespace kernels
+}  // namespace kgag

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "tensor/kernels.h"
+
 namespace kgag {
 
 Tensor::Tensor(std::initializer_list<std::initializer_list<Scalar>> rows) {
@@ -46,10 +48,6 @@ void Tensor::Axpy(Scalar alpha, const Tensor& other) {
 
 void Tensor::Scale(Scalar alpha) {
   for (auto& v : data_) v *= alpha;
-}
-
-void Tensor::Apply(const std::function<Scalar(Scalar)>& fn) {
-  for (auto& v : data_) v = fn(v);
 }
 
 Scalar Tensor::Sum() const {
@@ -118,49 +116,24 @@ std::string Tensor::ToString(int max_elems) const {
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   KGAG_CHECK_EQ(a.cols(), b.rows()) << "MatMul inner dim";
   Tensor out(a.rows(), b.cols());
-  const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  for (size_t i = 0; i < m; ++i) {
-    for (size_t p = 0; p < k; ++p) {
-      const Scalar av = a.at(i, p);
-      if (av == 0.0) continue;
-      const Scalar* brow = b.data() + p * n;
-      Scalar* orow = out.data() + i * n;
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  kernels::Gemm(false, false, a.rows(), b.cols(), a.cols(), a.data(),
+                a.cols(), b.data(), b.cols(), out.data(), out.cols());
   return out;
 }
 
 Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   KGAG_CHECK_EQ(a.rows(), b.rows()) << "MatMulTransA inner dim";
   Tensor out(a.cols(), b.cols());
-  const size_t m = a.cols(), k = a.rows(), n = b.cols();
-  for (size_t p = 0; p < k; ++p) {
-    const Scalar* arow = a.data() + p * m;
-    const Scalar* brow = b.data() + p * n;
-    for (size_t i = 0; i < m; ++i) {
-      const Scalar av = arow[i];
-      if (av == 0.0) continue;
-      Scalar* orow = out.data() + i * n;
-      for (size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  kernels::Gemm(true, false, a.cols(), b.cols(), a.rows(), a.data(), a.cols(),
+                b.data(), b.cols(), out.data(), out.cols());
   return out;
 }
 
 Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   KGAG_CHECK_EQ(a.cols(), b.cols()) << "MatMulTransB inner dim";
   Tensor out(a.rows(), b.rows());
-  const size_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (size_t i = 0; i < m; ++i) {
-    const Scalar* arow = a.data() + i * k;
-    for (size_t j = 0; j < n; ++j) {
-      const Scalar* brow = b.data() + j * k;
-      Scalar s = 0.0;
-      for (size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
-      out.at(i, j) = s;
-    }
-  }
+  kernels::Gemm(false, true, a.rows(), b.rows(), a.cols(), a.data(), a.cols(),
+                b.data(), b.cols(), out.data(), out.cols());
   return out;
 }
 

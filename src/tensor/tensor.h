@@ -4,9 +4,9 @@
 #define KGAG_TENSOR_TENSOR_H_
 
 #include <cstddef>
-#include <functional>
 #include <initializer_list>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -92,8 +92,13 @@ class Tensor {
   void Axpy(Scalar alpha, const Tensor& other);
   /// this *= alpha.
   void Scale(Scalar alpha);
-  /// Applies fn to every element in place.
-  void Apply(const std::function<Scalar(Scalar)>& fn);
+  /// Applies fn to every element in place. Templated so per-element
+  /// lambdas inline into the loop (no std::function indirection on hot
+  /// paths like the tape's activation ops).
+  template <typename Fn>
+  void Apply(Fn&& fn) {
+    for (auto& v : data_) v = fn(v);
+  }
 
   /// Sum of all elements.
   Scalar Sum() const;

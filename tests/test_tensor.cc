@@ -2,8 +2,35 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+
+#include "common/thread_pool.h"
+#include "tensor/kernels.h"
+
 namespace kgag {
 namespace {
+
+/// Deterministic dense fill with irrational values so kernel bugs are not
+/// masked by zeros or small integers.
+Tensor FilledTensor(size_t rows, size_t cols, double phase) {
+  Tensor t(rows, cols);
+  for (size_t i = 0; i < t.size(); ++i) {
+    t[i] = std::sin(phase + 0.7 * static_cast<double>(i));
+  }
+  return t;
+}
+
+Tensor NaiveMatMulRef(bool trans_a, bool trans_b, const Tensor& a,
+                      const Tensor& b) {
+  const size_t m = trans_a ? a.cols() : a.rows();
+  const size_t k = trans_a ? a.rows() : a.cols();
+  const size_t n = trans_b ? b.rows() : b.cols();
+  Tensor out(m, n);
+  kernels::GemmNaive(trans_a, trans_b, m, n, k, a.data(), a.cols(), b.data(),
+                     b.cols(), out.data(), out.cols());
+  return out;
+}
 
 TEST(TensorTest, ConstructionAndShape) {
   Tensor t(3, 4);
@@ -121,6 +148,65 @@ TEST(TensorTest, AllCloseTolerance) {
 TEST(TensorTest, ToStringMentionsShape) {
   Tensor a{{1, 2}, {3, 4}};
   EXPECT_NE(a.ToString().find("2x2"), std::string::npos);
+}
+
+// Blocked kernels vs the preserved naive reference, on shapes chosen to
+// exercise every fringe path: single row/col, prime dims smaller and larger
+// than the register tiles, and multiples of the 128-row parallel panel.
+TEST(TensorKernelTest, MatMulMatchesNaiveOnAwkwardShapes) {
+  const size_t shapes[][3] = {{1, 1, 1},   {1, 64, 64},  {3, 5, 7},
+                              {17, 13, 9}, {65, 31, 33}, {128, 64, 64},
+                              {130, 257, 19}};
+  for (const auto& s : shapes) {
+    const size_t m = s[0], k = s[1], n = s[2];
+    Tensor a = FilledTensor(m, k, 0.1);
+    Tensor b = FilledTensor(k, n, 0.2);
+    EXPECT_TRUE(AllClose(MatMul(a, b), NaiveMatMulRef(false, false, a, b)))
+        << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(TensorKernelTest, MatMulTransAMatchesNaive) {
+  const size_t shapes[][3] = {{1, 1, 1}, {5, 3, 7}, {64, 130, 31}};
+  for (const auto& s : shapes) {
+    const size_t m = s[0], k = s[1], n = s[2];
+    Tensor a = FilledTensor(k, m, 0.3);  // stored (k, m); used as A^T
+    Tensor b = FilledTensor(k, n, 0.4);
+    EXPECT_TRUE(
+        AllClose(MatMulTransA(a, b), NaiveMatMulRef(true, false, a, b)))
+        << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(TensorKernelTest, MatMulTransBMatchesNaive) {
+  const size_t shapes[][3] = {{1, 1, 1}, {5, 3, 7}, {33, 129, 66}};
+  for (const auto& s : shapes) {
+    const size_t m = s[0], k = s[1], n = s[2];
+    Tensor a = FilledTensor(m, k, 0.5);
+    Tensor b = FilledTensor(n, k, 0.6);  // stored (n, k); used as B^T
+    EXPECT_TRUE(
+        AllClose(MatMulTransB(a, b), NaiveMatMulRef(false, true, a, b)))
+        << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(TensorKernelTest, ParallelGemmBitIdenticalToSerial) {
+  // Big enough to clear the parallel-dispatch thresholds in kernels::Gemm
+  // (m >= 256 rows, >= 2^22 madds); the fixed 128-row panel grid must make
+  // the parallel result bitwise equal, not just close.
+  Tensor a = FilledTensor(512, 64, 0.7);
+  Tensor b = FilledTensor(64, 160, 0.8);
+  Tensor serial = MatMul(a, b);
+
+  ThreadPool pool(4);
+  kernels::SetComputeThreadPool(&pool);
+  Tensor parallel = MatMul(a, b);
+  kernels::SetComputeThreadPool(nullptr);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "element " << i;
+  }
 }
 
 }  // namespace
