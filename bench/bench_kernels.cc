@@ -6,10 +6,20 @@
 // JSON (BENCH_kernels.json when run from the repo root) so successive PRs
 // can be compared on the same perf trajectory.
 //
-// Usage: bench_kernels [--smoke] [--out PATH] [--threads N]
-//   --smoke    one tiny iteration per case (CI wiring check, ~1s)
-//   --out      output path (default ./BENCH_kernels.json)
-//   --threads  pool size for the parallel-eval case (default 8)
+// Usage: bench_kernels [--smoke] [--acceptance] [--out PATH] [--threads N]
+//   --smoke       one tiny iteration per case (CI wiring check, ~1s)
+//   --acceptance  time ONLY the PR-1 acceptance GEMM shape (512x64x64)
+//                 with long reps, and write a small JSON carrying
+//                 obs_enabled — run it once in an obs-ON build and once
+//                 in an obs-OFF build, then feed both files to
+//                 tools/check_obs_overhead.py to gate the overhead budget
+//   --out         output path (default ./BENCH_kernels.json)
+//   --threads     pool size for the parallel-eval case (default 8)
+//
+// Observability: with KGAG_OBS_ENABLED builds this binary installs the
+// default instrumentation, appends a "bench_kernels" snapshot to the sink
+// named by KGAG_METRICS_JSONL, and (when KGAG_TRACE=1) exports the span
+// timeline to KGAG_TRACE_OUT (default trace.json).
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +34,7 @@
 #include "common/thread_pool.h"
 #include "data/dataset.h"
 #include "eval/ranking_evaluator.h"
+#include "obs/obs.h"
 #include "tensor/kernels.h"
 #include "tensor/tensor.h"
 
@@ -32,6 +43,7 @@ namespace {
 
 struct Options {
   bool smoke = false;
+  bool acceptance = false;
   std::string out = "BENCH_kernels.json";
   size_t threads = 8;
 };
@@ -254,12 +266,55 @@ EvalRow RunEvalCase(const Options& opt) {
   return row;
 }
 
+/// The obs-overhead gate: the PR-1 acceptance GEMM shape (512x64x64
+/// "propagation batch" matmul) timed with longer reps than the sweep so
+/// the enabled-vs-disabled delta is measurable above run-to-run noise.
+/// The counter increments in kernels::Gemm are the only instrumentation
+/// this shape crosses, which is exactly what the <2% budget bounds.
+int RunAcceptance(const Options& opt) {
+  const MatmulCase c = {"matmul", "propagation batch (P*K x d · d x d)",
+                        512, 64, 64};
+  Rng rng(7);
+  Tensor a = RandomTensor(c.m, c.k, &rng);
+  Tensor b = RandomTensor(c.k, c.n, &rng);
+  const double ns = 1e9 * TimeBest(
+                              opt,
+                              [&] {
+                                Tensor out = BlockedCall(c, a, b);
+                                asm volatile("" : : "g"(out.data())
+                                             : "memory");
+                              },
+                              /*min_secs=*/0.4, /*reps=*/7);
+  const double gflops = 2.0 * static_cast<double>(c.m) * c.k * c.n / ns;
+  std::cout << "acceptance " << c.op << " m=" << c.m << " k=" << c.k
+            << " n=" << c.n << ": " << ns / 1e3 << " us, " << gflops
+            << " GFLOP/s, obs_enabled="
+            << (KGAG_OBS_ACTIVE ? "true" : "false") << "\n";
+
+  std::ofstream out(opt.out);
+  if (!out) {
+    std::cerr << "cannot write " << opt.out << "\n";
+    return 1;
+  }
+  out << "{\n  \"bench\": \"bench_kernels_acceptance\",\n"
+      << "  \"obs_enabled\": " << (KGAG_OBS_ACTIVE ? "true" : "false")
+      << ",\n  \"smoke\": " << (opt.smoke ? "true" : "false")
+      << ",\n  \"op\": \"" << c.op << "\",\n  \"m\": " << c.m
+      << ", \"k\": " << c.k << ", \"n\": " << c.n
+      << ",\n  \"blocked_ns\": " << ns << ",\n  \"gflops\": " << gflops
+      << "\n}\n";
+  std::cout << "wrote " << opt.out << "\n";
+  return 0;
+}
+
 std::string Json(const Options& opt, const std::vector<MatmulRow>& rows,
                  const EvalRow& eval) {
   std::ostringstream os;
   os << "{\n";
   os << "  \"bench\": \"bench_kernels\",\n";
   os << "  \"smoke\": " << (opt.smoke ? "true" : "false") << ",\n";
+  os << "  \"obs_enabled\": " << (KGAG_OBS_ACTIVE ? "true" : "false")
+     << ",\n";
   os << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
      << ",\n";
   os << "  \"matmul\": [\n";
@@ -285,21 +340,52 @@ std::string Json(const Options& opt, const std::vector<MatmulRow>& rows,
   return os.str();
 }
 
+/// Obs-enabled builds flush a metrics snapshot and (if KGAG_TRACE=1) the
+/// span timeline when the run ends; a no-op otherwise.
+void FlushObsArtifacts() {
+#if KGAG_OBS_ACTIVE
+  KGAG_OBS_SNAPSHOT("bench_kernels");
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+  if (rec.enabled() && rec.size() > 0) {
+    const char* trace_out = std::getenv("KGAG_TRACE_OUT");
+    const std::string path =
+        (trace_out != nullptr && trace_out[0] != '\0') ? trace_out
+                                                       : "trace.json";
+    const Status s = rec.ExportChromeTracing(path);
+    if (s.ok()) {
+      std::cout << "wrote " << path << " (" << rec.size() << " spans, "
+                << rec.dropped() << " dropped)\n";
+    } else {
+      std::cerr << s.ToString() << "\n";
+    }
+  }
+#endif
+}
+
 int Main(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       opt.smoke = true;
+    } else if (arg == "--acceptance") {
+      opt.acceptance = true;
     } else if (arg == "--out" && i + 1 < argc) {
       opt.out = argv[++i];
     } else if (arg == "--threads" && i + 1 < argc) {
       opt.threads = static_cast<size_t>(std::atoi(argv[++i]));
     } else {
-      std::cerr << "usage: bench_kernels [--smoke] [--out PATH]"
-                << " [--threads N]\n";
+      std::cerr << "usage: bench_kernels [--smoke] [--acceptance]"
+                << " [--out PATH] [--threads N]\n";
       return 2;
     }
+  }
+  KGAG_OBS_ONLY(obs::InstallDefaultInstrumentation();)
+
+  if (opt.acceptance) {
+    const int rc = RunAcceptance(opt);
+    FlushObsArtifacts();
+    return rc;
   }
 
   const std::vector<MatmulRow> rows = RunMatmulCases(opt);
@@ -315,6 +401,7 @@ int Main(int argc, char** argv) {
   }
   out << Json(opt, rows, eval);
   std::cout << "wrote " << opt.out << "\n";
+  FlushObsArtifacts();
   return ok ? 0 : 1;
 }
 

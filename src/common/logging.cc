@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <mutex>
 
 namespace kgag {
@@ -10,6 +12,15 @@ namespace kgag {
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
 std::mutex g_log_mutex;
+std::atomic<int> g_next_thread_id{0};
+
+/// Function-local so SetLogSink works during static initialization of
+/// other translation units (a plain global std::function could be
+/// re-constructed after an early install).
+LogSink& SinkRef() {
+  static LogSink* sink = new LogSink;  // leaked on exit
+  return *sink;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -29,26 +40,64 @@ const char* Basename(const char* path) {
   const char* slash = std::strrchr(path, '/');
   return slash ? slash + 1 : path;
 }
+
+/// ISO-8601 UTC with millisecond resolution: 2026-08-05T12:34:56.789Z
+void AppendTimestamp(std::ostringstream* os) {
+  using std::chrono::duration_cast;
+  using std::chrono::milliseconds;
+  using std::chrono::system_clock;
+  const system_clock::time_point now = system_clock::now();
+  const std::time_t secs = system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[80];  // worst-case width of the %04d/%03d fields, not 25
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, millis);
+  *os << buf;
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
+LogSink SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  LogSink previous = std::move(SinkRef());
+  SinkRef() = std::move(sink);
+  return previous;
+}
+
+int LogThreadId() {
+  thread_local int id = g_next_thread_id.fetch_add(1);
+  return id;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(static_cast<int>(level) >= g_level.load()) {
+    : enabled_(static_cast<int>(level) >= g_level.load()), level_(level) {
   if (enabled_) {
-    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-            << "] ";
+    stream_ << "[";
+    AppendTimestamp(&stream_);
+    stream_ << " " << LevelName(level) << " t" << LogThreadId() << " "
+            << Basename(file) << ":" << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
   if (enabled_) {
     std::lock_guard<std::mutex> lock(g_log_mutex);
-    std::cerr << stream_.str() << "\n";
+    const LogSink& sink = SinkRef();
+    if (sink) {
+      sink(level_, stream_.str());
+    } else {
+      std::cerr << stream_.str() << "\n";
+    }
   }
 }
 

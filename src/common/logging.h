@@ -1,7 +1,14 @@
-// Minimal leveled logging to stderr: KGAG_LOG(INFO) << "...";
+// Minimal leveled logging: KGAG_LOG(Info) << "...";
+//
+// Each line is formatted as
+//   [2026-08-05T12:34:56.789Z INFO  t0 file.cc:42] message
+// (ISO-8601 UTC timestamp, level, small sequential thread id, call site)
+// and written to stderr by default. SetLogSink replaces the writer so
+// tests and the obs metrics layer can capture log output.
 #ifndef KGAG_COMMON_LOGGING_H_
 #define KGAG_COMMON_LOGGING_H_
 
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -13,6 +20,19 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Global minimum level; messages below it are swallowed.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Receives each fully formatted line (no trailing newline). Called under
+/// the logging mutex, so implementations must not log themselves.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+
+/// Replaces the default stderr writer; an empty sink restores it. Returns
+/// the previous sink (empty when stderr was active) so wrappers can
+/// chain.
+LogSink SetLogSink(LogSink sink);
+
+/// Small sequential id of the calling thread, stable for its lifetime
+/// (the id printed in log lines).
+int LogThreadId();
 
 namespace internal {
 
@@ -29,6 +49,7 @@ class LogMessage {
 
  private:
   bool enabled_;
+  LogLevel level_;
   std::ostringstream stream_;
 };
 

@@ -1,4 +1,5 @@
-// Wall-clock stopwatch for coarse timing in trainers and benches.
+// Wall-clock stopwatch for coarse timing in trainers and benches, plus a
+// monotonic lap API for the obs span recorder.
 #ifndef KGAG_COMMON_STOPWATCH_H_
 #define KGAG_COMMON_STOPWATCH_H_
 
@@ -9,9 +10,12 @@ namespace kgag {
 /// \brief Starts on construction; ElapsedSeconds() reads without stopping.
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_(Clock::now()), lap_(start_) {}
 
-  void Restart() { start_ = Clock::now(); }
+  void Restart() {
+    start_ = Clock::now();
+    lap_ = start_;
+  }
 
   double ElapsedSeconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
@@ -19,9 +23,24 @@ class Stopwatch {
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+  /// Lap timer: microseconds since construction, Restart(), or the last
+  /// Tick(), whichever is latest; then starts a new lap. Monotonic
+  /// (steady_clock), so consecutive Tick() values are always >= 0 and the
+  /// laps sum to the total elapsed time.
+  double Tick() {
+    const Clock::time_point now = Clock::now();
+    const double us =
+        std::chrono::duration<double, std::micro>(now - lap_).count();
+    lap_ = now;
+    return us;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  Clock::time_point lap_;
 };
 
 }  // namespace kgag

@@ -11,7 +11,22 @@ namespace {
 
 thread_local bool t_in_pool_worker = false;
 
+std::atomic<ThreadPoolObserver*> g_pool_observer{nullptr};
+
+double MicrosBetween(std::chrono::steady_clock::time_point from,
+                     std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
 }  // namespace
+
+void SetThreadPoolObserver(ThreadPoolObserver* observer) {
+  g_pool_observer.store(observer, std::memory_order_release);
+}
+
+ThreadPoolObserver* GetThreadPoolObserver() {
+  return g_pool_observer.load(std::memory_order_acquire);
+}
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -35,12 +50,19 @@ ThreadPool::~ThreadPool() {
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> pt(std::move(task));
   std::future<void> fut = pt.get_future();
+  ThreadPoolObserver* observer = GetThreadPoolObserver();
+  size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     KGAG_CHECK(!stop_) << "submit on stopped pool";
-    tasks_.push(std::move(pt));
+    tasks_.push(QueuedTask{std::move(pt),
+                           observer != nullptr
+                               ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{}});
+    depth = tasks_.size();
   }
   cv_.notify_one();
+  if (observer != nullptr) observer->OnTaskQueued(depth);
   return fut;
 }
 
@@ -59,6 +81,9 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
   if (t_in_pool_worker) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
+  }
+  if (ThreadPoolObserver* observer = GetThreadPoolObserver()) {
+    observer->OnParallelFor(n, grain);
   }
   // Chunked dynamic scheduling: threads atomically claim `grain` indices
   // at a time. The caller drains chunks too, so queue latency (or a fully
@@ -84,7 +109,7 @@ void ThreadPool::ParallelFor(size_t n, size_t grain,
 void ThreadPool::WorkerLoop() {
   t_in_pool_worker = true;
   while (true) {
-    std::packaged_task<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
@@ -92,7 +117,17 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    ThreadPoolObserver* observer = GetThreadPoolObserver();
+    if (observer != nullptr &&
+        task.enqueued != std::chrono::steady_clock::time_point{}) {
+      const auto start = std::chrono::steady_clock::now();
+      task.fn();
+      const auto done = std::chrono::steady_clock::now();
+      observer->OnTaskDone(MicrosBetween(task.enqueued, start),
+                           MicrosBetween(start, done));
+    } else {
+      task.fn();
+    }
   }
 }
 

@@ -7,6 +7,7 @@
 #ifndef KGAG_COMMON_THREAD_POOL_H_
 #define KGAG_COMMON_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <future>
@@ -16,6 +17,31 @@
 #include <vector>
 
 namespace kgag {
+
+/// \brief Hooks for observing pool activity (the obs layer feeds these
+/// into its metrics registry). Callbacks run on submitter and worker
+/// threads concurrently, so implementations must be thread-safe, cheap,
+/// and must never touch the pool (re-entrancy would deadlock).
+class ThreadPoolObserver {
+ public:
+  virtual ~ThreadPoolObserver() = default;
+  /// A task entered the queue; `queue_depth` counts tasks waiting after
+  /// the push.
+  virtual void OnTaskQueued(size_t queue_depth) = 0;
+  /// A task finished: `wait_us` queue latency (enqueue to start),
+  /// `run_us` execution time.
+  virtual void OnTaskDone(double wait_us, double run_us) = 0;
+  /// A top-level ParallelFor started (nested inline runs don't report).
+  virtual void OnParallelFor(size_t n, size_t grain) {
+    (void)n;
+    (void)grain;
+  }
+};
+
+/// Installs a process-wide borrowed observer shared by every pool
+/// (nullptr disables; the default). The observer must outlive all pools.
+void SetThreadPoolObserver(ThreadPoolObserver* observer);
+ThreadPoolObserver* GetThreadPoolObserver();
 
 /// \brief Simple work-queue thread pool.
 class ThreadPool {
@@ -59,8 +85,15 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  /// Queued work plus its enqueue time (steady clock), so the observer
+  /// can report queue latency.
+  struct QueuedTask {
+    std::packaged_task<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
+  std::queue<QueuedTask> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "data/interactions.h"
+#include "obs/obs.h"
 
 namespace kgag {
 
@@ -24,10 +25,18 @@ class NegativeSampler {
   ItemId Sample(int32_t row, Rng* rng, int max_attempts = 64) const {
     const int32_t n = interactions_->num_items();
     KGAG_CHECK_GT(n, 0);
+    KGAG_COUNTER_ADD("negsampler.samples", 1);
     for (int i = 0; i < max_attempts; ++i) {
       const ItemId v = static_cast<ItemId>(rng->UniformInt(0, n - 1));
-      if (!interactions_->Contains(row, v)) return v;
+      if (!interactions_->Contains(row, v)) {
+        KGAG_COUNTER_ADD("negsampler.rejections", i);
+        return v;
+      }
     }
+    // Exhausted: every draw hit a positive. rejections/samples is the
+    // rejection rate the epoch snapshot exposes.
+    KGAG_COUNTER_ADD("negsampler.rejections", max_attempts);
+    KGAG_COUNTER_ADD("negsampler.exhausted", 1);
     return static_cast<ItemId>(rng->UniformInt(0, n - 1));
   }
 

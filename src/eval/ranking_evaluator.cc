@@ -6,8 +6,10 @@
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "eval/metrics.h"
+#include "obs/obs.h"
 
 namespace kgag {
 
@@ -26,6 +28,7 @@ RankingEvaluator::RankingEvaluator(const GroupRecDataset* dataset, size_t k)
 
 EvalResult RankingEvaluator::Evaluate(
     GroupScorer* scorer, const std::vector<Interaction>& interactions) const {
+  KGAG_TRACE_SPAN("eval.evaluate");
   // Candidate pool + per-group positive sets from the held-out slice.
   std::unordered_set<ItemId> pool_set;
   std::unordered_map<GroupId, std::unordered_set<ItemId>> positives;
@@ -55,6 +58,8 @@ EvalResult RankingEvaluator::Evaluate(
   };
   std::vector<GroupMetrics> slots(groups.size());
   auto eval_group = [&](size_t i) {
+    KGAG_TRACE_SPAN("eval.group");
+    KGAG_OBS_ONLY(Stopwatch group_watch;)
     const auto& [group, pos] = groups[i];
     const std::vector<double> scores = scorer->ScoreGroup(group, pool);
     KGAG_CHECK_EQ(scores.size(), pool.size())
@@ -65,6 +70,9 @@ EvalResult RankingEvaluator::Evaluate(
     for (size_t i2 : top) ranked.push_back(pool[i2]);
     slots[i] = {HitAtK(ranked, *pos, k_), RecallAtK(ranked, *pos, k_),
                 NdcgAtK(ranked, *pos, k_)};
+    KGAG_HISTOGRAM_OBSERVE("eval.group_latency_us",
+                           group_watch.ElapsedMicros(),
+                           ::kgag::obs::LatencyBoundsUs());
   };
 
   if (pool_ != nullptr && groups.size() > 1) {
@@ -86,6 +94,12 @@ EvalResult RankingEvaluator::Evaluate(
   result.hit_at_k /= n;
   result.recall_at_k /= n;
   result.ndcg_at_k /= n;
+  KGAG_COUNTER_ADD("eval.evaluations", 1);
+  KGAG_COUNTER_ADD("eval.groups", result.num_groups);
+  KGAG_GAUGE_SET("eval.hit_at_k", result.hit_at_k);
+  KGAG_GAUGE_SET("eval.recall_at_k", result.recall_at_k);
+  KGAG_GAUGE_SET("eval.ndcg_at_k", result.ndcg_at_k);
+  KGAG_GAUGE_SET("eval.num_groups", result.num_groups);
   return result;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace kgag {
 
 PreferenceAggregator::PreferenceAggregator(int dim, int group_size,
@@ -24,6 +26,8 @@ PreferenceAggregator::PreferenceAggregator(int dim, int group_size,
 
 Var PreferenceAggregator::AggregateOnTape(Tape* tape, Var member_reps,
                                           Var item_rep) const {
+  KGAG_TRACE_SPAN("attention.aggregate");
+  KGAG_COUNTER_ADD("attention.aggregate.calls", 1);
   const size_t l = static_cast<size_t>(group_size_);
   KGAG_CHECK_EQ(tape->value(member_reps).rows(), l);
 
@@ -98,6 +102,8 @@ std::vector<double> PreferenceAggregator::PeerInfluenceRaw(
 
 Tensor PreferenceAggregator::AggregateBatch(
     const std::vector<Tensor>& member_reps, const Tensor& item_reps) const {
+  KGAG_TRACE_SPAN("attention.batch");
+  KGAG_COUNTER_ADD("attention.batch.calls", 1);
   const size_t l = member_reps.size();
   KGAG_CHECK_EQ(l, static_cast<size_t>(group_size_));
   const size_t p = item_reps.rows();

@@ -3,8 +3,10 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/stopwatch.h"
 #include "models/losses.h"
 #include "models/validation.h"
+#include "obs/obs.h"
 
 namespace kgag {
 
@@ -141,11 +143,15 @@ Var KgagModel::ScoreUserItemOnTape(Tape* tape, UserId u, ItemId v, Rng* rng) {
 }
 
 double KgagModel::TrainEpoch(Rng* rng) {
+  KGAG_TRACE_SPAN("train.epoch");
+  KGAG_OBS_ONLY(Stopwatch epoch_watch; size_t epoch_examples = 0;
+                double grad_sq_sum = 0.0;)
   batcher_.BeginEpoch(rng);
   MiniBatch batch;
   double total_loss = 0.0;
   size_t num_batches = 0;
   while (batcher_.NextBatch(rng, &batch)) {
+    KGAG_TRACE_SPAN("train.batch");
     double batch_loss = 0.0;
     const double group_scale =
         batch.group_triplets.empty()
@@ -158,33 +164,71 @@ double KgagModel::TrainEpoch(Rng* rng) {
                   static_cast<double>(batch.user_instances.size());
 
     Tape tape;
-    for (const GroupTriplet& t : batch.group_triplets) {
-      tape.Clear();
-      Var pos = ScoreGroupItemOnTape(&tape, t.group, t.positive, rng);
-      Var neg = ScoreGroupItemOnTape(&tape, t.group, t.negative, rng);
-      Var loss = config_.group_loss == GroupLossKind::kMargin
-                     ? MarginPairLoss(&tape, pos, neg, config_.margin)
-                     : BprPairLoss(&tape, pos, neg);
-      Var scaled = tape.ScalarMul(loss, group_scale);
-      tape.Backward(scaled);
-      batch_loss += tape.value(scaled).item();
+    {
+      KGAG_TRACE_SPAN("train.group_pairs");
+      for (const GroupTriplet& t : batch.group_triplets) {
+        tape.Clear();
+        Var pos = ScoreGroupItemOnTape(&tape, t.group, t.positive, rng);
+        Var neg = ScoreGroupItemOnTape(&tape, t.group, t.negative, rng);
+        Var loss = config_.group_loss == GroupLossKind::kMargin
+                       ? MarginPairLoss(&tape, pos, neg, config_.margin)
+                       : BprPairLoss(&tape, pos, neg);
+        Var scaled = tape.ScalarMul(loss, group_scale);
+        {
+          KGAG_TRACE_SPAN("train.backward");
+          tape.Backward(scaled);
+        }
+        batch_loss += tape.value(scaled).item();
+      }
     }
-    for (const UserInstance& ui : batch.user_instances) {
-      tape.Clear();
-      Var logit = ScoreUserItemOnTape(&tape, ui.user, ui.item, rng);
-      Var loss = LogisticLoss(&tape, logit, ui.label);
-      Var scaled = tape.ScalarMul(loss, user_scale);
-      tape.Backward(scaled);
-      batch_loss += tape.value(scaled).item();
+    {
+      KGAG_TRACE_SPAN("train.user_instances");
+      for (const UserInstance& ui : batch.user_instances) {
+        tape.Clear();
+        Var logit = ScoreUserItemOnTape(&tape, ui.user, ui.item, rng);
+        Var loss = LogisticLoss(&tape, logit, ui.label);
+        Var scaled = tape.ScalarMul(loss, user_scale);
+        {
+          KGAG_TRACE_SPAN("train.backward");
+          tape.Backward(scaled);
+        }
+        batch_loss += tape.value(scaled).item();
+      }
     }
-    optimizer_->Step(&store_, config_.l2);
+    KGAG_OBS_ONLY(grad_sq_sum += store_.GradSquaredNorm();
+                  epoch_examples +=
+                  batch.group_triplets.size() + batch.user_instances.size();)
+    {
+      KGAG_TRACE_SPAN("train.optimizer_step");
+      optimizer_->Step(&store_, config_.l2);
+    }
     total_loss += batch_loss;
     ++num_batches;
   }
-  return num_batches == 0 ? 0.0 : total_loss / num_batches;
+  const double mean_loss =
+      num_batches == 0 ? 0.0 : total_loss / num_batches;
+#if KGAG_OBS_ACTIVE
+  // Per-epoch training health, snapshotted to the JSONL sink by Fit().
+  // grad_norm is the RMS-over-batches L2 norm of the pre-step gradients.
+  const double secs = epoch_watch.ElapsedSeconds();
+  KGAG_COUNTER_ADD("train.examples", epoch_examples);
+  KGAG_COUNTER_ADD("train.batches", num_batches);
+  KGAG_GAUGE_SET("train.loss", mean_loss);
+  KGAG_GAUGE_SET("train.grad_norm",
+                 num_batches == 0
+                     ? 0.0
+                     : std::sqrt(grad_sq_sum /
+                                 static_cast<double>(num_batches)));
+  KGAG_GAUGE_SET("train.examples_per_sec",
+                 secs > 0.0 ? static_cast<double>(epoch_examples) / secs
+                            : 0.0);
+#endif
+  return mean_loss;
 }
 
 void KgagModel::Fit() {
+  KGAG_OBS_ONLY(obs::InstallDefaultInstrumentation();)
+  KGAG_TRACE_SPAN("train.fit");
   ValidationSelector selector(dataset_, &store_, /*k=*/5,
                               config_.valid_max_interactions);
   eval_samples_in_use_ = config_.valid_tree_samples;
@@ -193,8 +237,12 @@ void KgagModel::Fit() {
     epoch_losses_.push_back(loss);
     double valid_hit = 0.0;
     if (config_.select_by_validation) {
+      KGAG_TRACE_SPAN("train.validation");
       valid_hit = selector.Observe(this);
     }
+    KGAG_GAUGE_SET("train.epoch", epoch + 1);
+    KGAG_GAUGE_SET("train.valid_hit_at_5", valid_hit);
+    KGAG_OBS_SNAPSHOT("epoch");
     if (config_.verbose) {
       KGAG_LOG(Info) << name() << " epoch " << epoch + 1 << "/"
                      << config_.epochs << " loss=" << loss

@@ -2,9 +2,22 @@
 
 #include <cmath>
 
+#include "obs/obs.h"
+
 namespace kgag {
 
 namespace {
+
+#if KGAG_OBS_ACTIVE
+// TraceSpan keeps the name pointer, so per-iteration spans need literals
+// with static lifetime; depths beyond the table share a catch-all name.
+constexpr const char* kIterationSpanName[] = {
+    "propagation.iter0", "propagation.iter1", "propagation.iter2",
+    "propagation.iter3"};
+const char* IterationSpanName(int iter) {
+  return iter < 4 ? kIterationSpanName[iter] : "propagation.iterN";
+}
+#endif
 
 std::vector<size_t> ToSizeT(const std::vector<EntityId>& ids) {
   std::vector<size_t> out(ids.size());
@@ -73,6 +86,8 @@ Var PropagationEngine::AggregateOnTape(Tape* tape, Var self, Var neigh,
 
 Var PropagationEngine::PropagateOnTape(Tape* tape, const SampledTree& tree,
                                        Var query) const {
+  KGAG_TRACE_SPAN("propagation.forward");
+  KGAG_COUNTER_ADD("propagation.forward.calls", 1);
   const int depth = tree.depth();
   KGAG_CHECK_EQ(depth, config_.depth) << "tree depth != engine depth";
   const int k = config_.sample_size;
@@ -98,6 +113,7 @@ Var PropagationEngine::PropagateOnTape(Tape* tape, const SampledTree& tree,
 
   // H refinement iterations (Eq. 7–8), shrinking the active prefix.
   for (int iter = 0; iter < depth; ++iter) {
+    KGAG_OBS_ONLY(obs::TraceSpan iter_span(IterationSpanName(iter));)
     std::vector<Var> next(depth - iter);
     for (int h = 0; h < depth - iter; ++h) {
       Var neigh = tape->SegmentWeightedSumRows(pi[h], vec[h + 1]);
@@ -137,6 +153,8 @@ Tensor PropagationEngine::AggregateBatch(const Tensor& self,
 
 Tensor PropagationEngine::PropagateBatch(const SampledTree& tree,
                                          const Tensor& queries) const {
+  KGAG_TRACE_SPAN("propagation.batch");
+  KGAG_COUNTER_ADD("propagation.batch.calls", 1);
   const int depth = tree.depth();
   KGAG_CHECK_EQ(depth, config_.depth) << "tree depth != engine depth";
   const size_t p = queries.rows();

@@ -1,0 +1,172 @@
+// Process-wide metrics: lock-free counters, gauges and fixed-bucket
+// histograms. Hot-path writes go to per-thread shards (each thread owns a
+// stripe of relaxed atomics, so increments never contend in the common
+// case); readers merge all stripes on demand. Snapshots are exported as
+// JSONL (one JSON object per line, one line per epoch/eval) and as a
+// Prometheus-style text dump.
+//
+// Call sites normally go through the KGAG_COUNTER_ADD / KGAG_GAUGE_SET /
+// KGAG_HISTOGRAM_OBSERVE macros in obs/obs.h, which cache the metric
+// pointer in a function-local static and compile to nothing when
+// KGAG_OBS_ENABLED is off. The classes here are always available, so
+// drivers and tests can use the registry directly in either build mode.
+#ifndef KGAG_OBS_METRICS_H_
+#define KGAG_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kgag {
+namespace obs {
+
+/// Number of shard stripes per metric. Each thread is assigned one stripe
+/// (round-robin at first use); with more live threads than stripes two
+/// threads may share one, which stays correct because all shard writes are
+/// atomic read-modify-writes.
+inline constexpr size_t kMetricStripes = 64;
+
+/// Stable per-thread stripe index in [0, kMetricStripes).
+size_t ThreadStripe();
+
+/// Small sequential id of the calling thread (0 for the first thread that
+/// asks, 1 for the second, ...). Shared by trace events and log lines.
+uint32_t ObsThreadId();
+
+/// \brief Monotonic counter, sharded per thread.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    shards_[ThreadStripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Merged value across all stripes.
+  uint64_t Value() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name);
+
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+
+  std::string name_;
+  std::unique_ptr<Shard[]> shards_;  // kMetricStripes entries
+};
+
+/// \brief Last-write-wins instantaneous value (doubles stored as bits so
+/// the update is a single relaxed store).
+class Gauge {
+ public:
+  void Set(double v);
+  double Value() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name);
+
+  std::string name_;
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// \brief Fixed-bucket histogram, sharded per thread like Counter.
+///
+/// Bucket i counts observations v <= bounds[i] (first matching bound); one
+/// extra overflow bucket catches v > bounds.back(). Bounds are fixed at
+/// registration, so merging shards is a plain per-bucket sum.
+class Histogram {
+ public:
+  void Observe(double v);
+
+  /// Merged per-bucket counts; size() == bounds().size() + 1 (overflow
+  /// bucket last).
+  std::vector<uint64_t> BucketCounts() const;
+  uint64_t TotalCount() const;
+  double Sum() const;
+  double Mean() const;
+  /// Upper bound of the bucket holding the p-quantile (p in [0, 1]);
+  /// returns 0 when empty. A coarse estimate, good enough for latency
+  /// regression checks.
+  double ApproxQuantile(double p) const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::vector<double> bounds);
+
+  size_t BucketIndex(double v) const;
+
+  std::string name_;
+  std::vector<double> bounds_;  // ascending upper bounds
+  size_t stride_;               // cells per stripe row, 64-byte aligned
+  // Row layout per stripe: [bucket 0 .. bucket B] [sum-of-values bits].
+  std::unique_ptr<std::atomic<uint64_t>[]> cells_;
+};
+
+/// \brief Owns all metrics; creation is mutex-guarded, updates are
+/// lock-free through the returned handles (stable addresses for the
+/// registry's lifetime).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide registry (leaked singleton: safe to touch from static
+  /// destructors and late-exiting worker threads).
+  static MetricsRegistry& Global();
+
+  /// Returns the named metric, creating it on first use. The pointer is
+  /// stable; hot paths should cache it (the obs.h macros do).
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// `bounds` must be ascending; they are consumed on first registration
+  /// and must match on later calls (checked).
+  Histogram* GetHistogram(std::string_view name, std::vector<double> bounds);
+
+  /// nullptr when the metric was never registered.
+  const Counter* FindCounter(std::string_view name) const;
+  const Gauge* FindGauge(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const;
+
+  size_t NumMetrics() const;
+
+  /// One JSON object (single line, no trailing newline) with every metric
+  /// merged: {"label":..,"seq":..,"counters":{..},"gauges":{..},
+  /// "histograms":{..}}. `seq` increments per call.
+  std::string JsonSnapshot(std::string_view label) const;
+
+  /// Prometheus text exposition of every metric (kgag_ prefix, dots
+  /// mapped to underscores, histogram with cumulative le buckets).
+  std::string PrometheusText() const;
+
+ private:
+  mutable std::mutex mutex_;  // guards the maps, never the shard writes
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable std::atomic<uint64_t> snapshot_seq_{0};
+};
+
+/// Shared latency bucket bounds in microseconds: 1-2-5 decades from 1us to
+/// 10s. Used by the evaluator and thread-pool instrumentation so their
+/// histograms are directly comparable.
+const std::vector<double>& LatencyBoundsUs();
+
+}  // namespace obs
+}  // namespace kgag
+
+#endif  // KGAG_OBS_METRICS_H_

@@ -1,0 +1,142 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
+namespace kgag {
+namespace obs {
+
+namespace {
+
+/// Per-(thread, recorder) ring handle. The shared_ptr keeps a ring alive
+/// inside the recorder after its thread exits, so no events are lost.
+thread_local std::shared_ptr<void> t_ring_owner;
+thread_local void* t_ring = nullptr;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() {
+  const char* env = std::getenv("KGAG_TRACE");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+    SetEnabled(true);
+  }
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder;  // leaked on exit
+  return *recorder;
+}
+
+double TraceRecorder::NowUs() {
+  // One process-wide stopwatch started on first use; its lap/micro API is
+  // the span clock (steady, monotonic).
+  static const Stopwatch* epoch = new Stopwatch;
+  return epoch->ElapsedMicros();
+}
+
+TraceRecorder::Ring* TraceRecorder::RingForThisThread() {
+  if (t_ring == nullptr) {
+    auto ring = std::make_shared<Ring>(ObsThreadId());
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      rings_.push_back(ring);
+    }
+    t_ring_owner = ring;
+    t_ring = ring.get();
+  }
+  return static_cast<Ring*>(t_ring);
+}
+
+void TraceRecorder::Record(const char* name, double ts_us, double dur_us) {
+  Ring* ring = RingForThisThread();
+  const uint64_t idx = ring->count.load(std::memory_order_relaxed);
+  ring->events[idx % kRingCapacity] = TraceEvent{name, ts_us, dur_us,
+                                                 ring->tid};
+  // Publish after the event body so Collect() never reads a half-written
+  // slot below the published count.
+  ring->count.store(idx + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> TraceRecorder::Collect() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings = rings_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& ring : rings) {
+    const uint64_t n = ring->count.load(std::memory_order_acquire);
+    const uint64_t kept = std::min<uint64_t>(n, kRingCapacity);
+    for (uint64_t i = n - kept; i < n; ++i) {
+      out.push_back(ring->events[i % kRingCapacity]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us < b.ts_us;
+            });
+  return out;
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    const uint64_t n = ring->count.load(std::memory_order_acquire);
+    total += n > kRingCapacity ? n - kRingCapacity : 0;
+  }
+  return total;
+}
+
+uint64_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    total += std::min<uint64_t>(ring->count.load(std::memory_order_acquire),
+                                kRingCapacity);
+  }
+  return total;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& ring : rings_) {
+    ring->count.store(0, std::memory_order_release);
+  }
+}
+
+std::string TraceRecorder::ChromeTracingJson() const {
+  const std::vector<TraceEvent> events = Collect();
+  std::ostringstream os;
+  os.precision(12);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) os << ",";
+    os << "\n{\"name\":\"" << e.name
+       << "\",\"cat\":\"kgag\",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.tid
+       << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us << "}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+Status TraceRecorder::ExportChromeTracing(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open trace output: " + path);
+  }
+  out << ChromeTracingJson();
+  if (!out) {
+    return Status::IoError("short write to trace output: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace kgag

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/obs.h"
 
 // Defined in kernels_avx2.cc / kernels_avx512.cc, which compile the same
 // gemm_tile.inc loops under wider target flags (see src/tensor/CMakeLists).
@@ -44,13 +45,22 @@ using RowsFn = void (*)(bool, bool, size_t, size_t, size_t, size_t,
                         const Scalar*, size_t, const Scalar*, size_t, Scalar*,
                         size_t);
 
+// Dispatch tier actually selected at startup, published as the
+// "gemm.isa_level" gauge: 0 = portable, 2 = AVX2+FMA, 3 = AVX-512.
+int g_isa_level = 0;
+
 RowsFn PickRowsFn() {
 #ifdef KGAG_HAVE_ARCH_KERNELS
-  if (__builtin_cpu_supports("avx512f")) return &GemmRowsAvx512;
+  if (__builtin_cpu_supports("avx512f")) {
+    g_isa_level = 3;
+    return &GemmRowsAvx512;
+  }
   if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    g_isa_level = 2;
     return &GemmRowsAvx2;
   }
 #endif
+  g_isa_level = 0;
   return &GemmRowsEntry;
 }
 
@@ -64,10 +74,24 @@ void Gemm(bool trans_a, bool trans_b, size_t m, size_t n, size_t k,
           const Scalar* a, size_t lda, const Scalar* b, size_t ldb, Scalar* c,
           size_t ldc) {
   if (m == 0 || n == 0) return;
+  // Counters only in here — no trace span. Gemm is the hottest call in the
+  // system and a span would read the clock twice per tiny matmul; the
+  // per-thread relaxed increments below are what the <2% overhead budget
+  // is sized against (see BENCH_obs_overhead.json).
+  KGAG_COUNTER_ADD("gemm.calls", 1);
+  KGAG_COUNTER_ADD("gemm.flops", 2 * m * n * k);
+#if KGAG_OBS_ACTIVE
+  static const bool kgag_obs_isa_published = [] {
+    KGAG_GAUGE_SET("gemm.isa_level", g_isa_level);
+    return true;
+  }();
+  (void)kgag_obs_isa_published;
+#endif
   const RowsFn rows = g_rows_fn;
   ThreadPool* pool = g_pool.load(std::memory_order_acquire);
   if (pool != nullptr && !ThreadPool::InWorkerThread() &&
       m * n * k >= kParallelMinMadds && m >= 2 * kMc) {
+    KGAG_COUNTER_ADD("gemm.parallel_calls", 1);
     const size_t bands = (m + kMc - 1) / kMc;
     pool->ParallelFor(bands, /*grain=*/1, [&](size_t band) {
       const size_t i_begin = band * kMc;

@@ -58,6 +58,24 @@ Scalar ParameterStore::SquaredNorm() const {
   return s;
 }
 
+Scalar ParameterStore::GradSquaredNorm() const {
+  Scalar s = 0.0;
+  for (const auto& p : params_) {
+    if (p->dense_touched) {
+      s += p->grad.SquaredNorm();
+    } else {
+      const size_t cols = p->grad.cols();
+      for (size_t r : p->touched_rows) {
+        for (size_t c = 0; c < cols; ++c) {
+          const Scalar g = p->grad.at(r, c);
+          s += g * g;
+        }
+      }
+    }
+  }
+  return s;
+}
+
 void ParameterStore::ZeroGrads() {
   for (const auto& p : params_) p->ZeroGrad();
 }

@@ -81,6 +81,12 @@ class ParameterStore {
   /// Sum of squared values over all parameters (for L2 diagnostics).
   Scalar SquaredNorm() const;
 
+  /// Sum of squared gradients over all parameters, visiting only touched
+  /// rows of sparsely-updated tables. Meaningful between Backward and the
+  /// optimizer step (which clears grads); the train loop publishes
+  /// sqrt of this as the "train.grad_norm" gauge.
+  Scalar GradSquaredNorm() const;
+
   /// Zeroes all gradients (respecting sparse touch tracking).
   void ZeroGrads();
 

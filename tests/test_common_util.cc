@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <thread>
+#include <vector>
 
 #include "common/csv_writer.h"
+#include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
@@ -108,6 +112,77 @@ TEST(StopwatchTest, MeasuresElapsedTime) {
   EXPECT_LT(sw.ElapsedSeconds(), 5.0);
   sw.Restart();
   EXPECT_LT(sw.ElapsedMillis(), 5000.0);
+}
+
+TEST(StopwatchTest, UnitsAreConsistent) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double s = sw.ElapsedSeconds();
+  const double us = sw.ElapsedMicros();
+  EXPECT_GT(us, 1000.0);  // slept at least 1ms
+  EXPECT_NEAR(us, s * 1e6, 1e5);  // reads taken microseconds apart
+}
+
+TEST(StopwatchTest, TickMeasuresLapsNotTotal) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double lap1 = sw.Tick();
+  const double lap2 = sw.Tick();  // immediate: a fresh, near-empty lap
+  EXPECT_GT(lap1, 1000.0);
+  EXPECT_GE(lap2, 0.0);
+  EXPECT_LT(lap2, lap1);
+  // Laps cover disjoint intervals, so their sum stays under the total.
+  EXPECT_LE(lap1 + lap2, sw.ElapsedMicros() + 1.0);
+}
+
+TEST(StopwatchTest, RestartResetsLap) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  sw.Restart();
+  EXPECT_LT(sw.Tick(), 2000.0);
+}
+
+TEST(LoggingTest, SinkReceivesFormattedLine) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  LogSink previous = SetLogSink(
+      [&captured](LogLevel level, const std::string& line) {
+        captured.emplace_back(level, line);
+      });
+  KGAG_LOG(Warning) << "sink test payload";
+  SetLogSink(std::move(previous));
+
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].first, LogLevel::kWarning);
+  const std::string& line = captured[0].second;
+  EXPECT_NE(line.find("sink test payload"), std::string::npos) << line;
+  EXPECT_NE(line.find("WARN"), std::string::npos) << line;
+  EXPECT_NE(line.find("test_common_util.cc"), std::string::npos) << line;
+  // ISO-8601 UTC timestamp: [2026-...T...Z and a thread id tag.
+  EXPECT_NE(line.find("T"), std::string::npos);
+  EXPECT_NE(line.find("Z "), std::string::npos) << line;
+  EXPECT_NE(line.find(" t"), std::string::npos) << line;
+}
+
+TEST(LoggingTest, SinkRestoreReturnsPrevious) {
+  int first_count = 0;
+  LogSink original = SetLogSink(
+      [&first_count](LogLevel, const std::string&) { ++first_count; });
+  // Install a second sink; the first must come back out.
+  LogSink first = SetLogSink({});
+  ASSERT_TRUE(first);
+  first(LogLevel::kInfo, "direct");
+  EXPECT_EQ(first_count, 1);
+  SetLogSink(std::move(original));
+}
+
+TEST(LoggingTest, ThreadIdsAreSmallAndStable) {
+  const int id0 = LogThreadId();
+  EXPECT_EQ(id0, LogThreadId());  // stable within a thread
+  int other = -1;
+  std::thread t([&other] { other = LogThreadId(); });
+  t.join();
+  EXPECT_NE(other, -1);
+  EXPECT_NE(other, id0);
 }
 
 }  // namespace

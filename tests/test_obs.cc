@@ -1,0 +1,323 @@
+// Observability layer tests: metric shard merging under real ThreadPool
+// concurrency, trace span nesting and ring wrap-around, the JSONL /
+// Prometheus / chrome://tracing exporters, and an end-to-end check that a
+// tiny KGAG train+eval run publishes the metrics the dashboards key on.
+//
+// Counters in the global registry are process-wide and monotonic, and
+// every test in this binary shares them, so assertions use before/after
+// deltas, never absolute values.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "eval/ranking_evaluator.h"
+#include "models/kgag_model.h"
+#include "obs/obs.h"
+#include "test_util.h"
+
+namespace kgag {
+namespace {
+
+using obs::MetricsRegistry;
+using obs::TraceRecorder;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+size_t CountLines(const std::string& text) {
+  size_t n = 0;
+  for (char c : text) n += (c == '\n');
+  return n;
+}
+
+TEST(MetricsTest, CounterMergesAcrossPoolThreads) {
+  obs::Counter* c =
+      MetricsRegistry::Global().GetCounter("test.counter_merge");
+  const uint64_t before = c->Value();
+  ThreadPool pool(4);
+  // 1000 items x 7 each, incremented from whichever worker gets the item:
+  // the merged value must be exact regardless of stripe assignment.
+  pool.ParallelFor(1000, /*grain=*/8, [&](size_t) { c->Add(7); });
+  EXPECT_EQ(c->Value() - before, 7000u);
+}
+
+TEST(MetricsTest, GaugeLastWriteWins) {
+  obs::Gauge* g = MetricsRegistry::Global().GetGauge("test.gauge");
+  g->Set(1.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 1.5);
+  g->Set(-3.25);
+  EXPECT_DOUBLE_EQ(g->Value(), -3.25);
+}
+
+TEST(MetricsTest, HistogramBucketSemantics) {
+  obs::Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "test.hist_buckets", {1.0, 10.0, 100.0});
+  h->Observe(0.5);    // <= 1       -> bucket 0
+  h->Observe(1.0);    // <= 1       -> bucket 0 (le semantics)
+  h->Observe(5.0);    // <= 10      -> bucket 1
+  h->Observe(100.0);  // <= 100     -> bucket 2
+  h->Observe(1e9);    // > 100      -> overflow
+  const std::vector<uint64_t> counts = h->BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h->TotalCount(), 5u);
+  EXPECT_NEAR(h->Sum(), 0.5 + 1.0 + 5.0 + 100.0 + 1e9, 1e-6);
+}
+
+TEST(MetricsTest, HistogramMergesAcrossPoolThreads) {
+  obs::Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "test.hist_merge", {10.0, 100.0});
+  const uint64_t before = h->TotalCount();
+  const double sum_before = h->Sum();
+  ThreadPool pool(4);
+  pool.ParallelFor(500, /*grain=*/4,
+                   [&](size_t i) { h->Observe(static_cast<double>(i)); });
+  EXPECT_EQ(h->TotalCount() - before, 500u);
+  // sum 0..499 = 124750, accumulated from concurrent shards.
+  EXPECT_NEAR(h->Sum() - sum_before, 124750.0, 1e-6);
+}
+
+TEST(MetricsTest, ApproxQuantilePicksCoveringBucket) {
+  obs::Histogram* h = MetricsRegistry::Global().GetHistogram(
+      "test.hist_quantile", {1.0, 2.0, 4.0, 8.0});
+  for (int i = 0; i < 90; ++i) h->Observe(1.5);  // bucket le=2
+  for (int i = 0; i < 10; ++i) h->Observe(6.0);  // bucket le=8
+  EXPECT_DOUBLE_EQ(h->ApproxQuantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h->ApproxQuantile(0.99), 8.0);
+}
+
+TEST(MetricsTest, FindReturnsNullForUnknownNames) {
+  EXPECT_EQ(MetricsRegistry::Global().FindCounter("test.never_created"),
+            nullptr);
+  EXPECT_EQ(MetricsRegistry::Global().FindGauge("test.never_created"),
+            nullptr);
+  EXPECT_EQ(MetricsRegistry::Global().FindHistogram("test.never_created"),
+            nullptr);
+}
+
+TEST(MetricsTest, JsonSnapshotAndPrometheusContainMetrics) {
+  MetricsRegistry::Global().GetCounter("test.export_counter")->Add(3);
+  MetricsRegistry::Global().GetGauge("test.export_gauge")->Set(2.5);
+  const std::string json =
+      MetricsRegistry::Global().JsonSnapshot("unit-test");
+  EXPECT_NE(json.find("\"label\":\"unit-test\""), std::string::npos) << json;
+  EXPECT_NE(json.find("test.export_counter"), std::string::npos);
+  EXPECT_NE(json.find("test.export_gauge"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "snapshot must be 1 line";
+
+  const std::string prom = MetricsRegistry::Global().PrometheusText();
+  EXPECT_NE(prom.find("kgag_test_export_counter"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("kgag_test_export_gauge"), std::string::npos);
+}
+
+TEST(MetricsTest, JsonlSinkWritesOneLinePerSnapshot) {
+  const std::string path = ::testing::TempDir() + "/obs_sink_test.jsonl";
+  ASSERT_TRUE(obs::OpenMetricsJsonl(path).ok());
+  EXPECT_TRUE(obs::MetricsJsonlOpen());
+  MetricsRegistry::Global().GetCounter("test.sink_counter")->Increment();
+  obs::SnapshotMetrics("first");
+  obs::SnapshotMetrics("second");
+  obs::CloseMetricsJsonl();
+  EXPECT_FALSE(obs::MetricsJsonlOpen());
+
+  const std::string text = ReadFile(path);
+  EXPECT_EQ(CountLines(text), 2u) << text;
+  EXPECT_NE(text.find("\"label\":\"first\""), std::string::npos);
+  EXPECT_NE(text.find("\"label\":\"second\""), std::string::npos);
+  EXPECT_NE(text.find("test.sink_counter"), std::string::npos);
+}
+
+TEST(TraceTest, SpansNestByTimeContainment) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Clear();
+  rec.SetEnabled(true);
+  {
+    obs::TraceSpan outer("test.outer");
+    {
+      obs::TraceSpan inner("test.inner");
+    }
+  }
+  rec.SetEnabled(false);
+
+  const std::vector<obs::TraceEvent> events = rec.Collect();
+  ASSERT_EQ(events.size(), 2u);
+  // Collect() sorts by start time: outer opened first.
+  EXPECT_STREQ(events[0].name, "test.outer");
+  EXPECT_STREQ(events[1].name, "test.inner");
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  // Containment is what chrome://tracing uses to draw the flame graph.
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+  EXPECT_GE(events[0].ts_us + events[0].dur_us,
+            events[1].ts_us + events[1].dur_us);
+  rec.Clear();
+}
+
+TEST(TraceTest, DisabledSpanRecordsNothing) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Clear();
+  rec.SetEnabled(false);
+  {
+    obs::TraceSpan span("test.disabled");
+  }
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(TraceTest, RingWrapDropsOldestAndCounts) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Clear();
+  rec.SetEnabled(true);
+  const size_t total = TraceRecorder::kRingCapacity + 100;
+  for (size_t i = 0; i < total; ++i) {
+    rec.Record("test.wrap", static_cast<double>(i), 1.0);
+  }
+  rec.SetEnabled(false);
+  EXPECT_EQ(rec.size(), TraceRecorder::kRingCapacity);
+  EXPECT_GE(rec.dropped(), 100u);
+  rec.Clear();
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(TraceTest, ChromeTracingExportIsLoadableJson) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Clear();
+  rec.SetEnabled(true);
+  {
+    obs::TraceSpan span("test.export_span");
+  }
+  rec.SetEnabled(false);
+
+  const std::string json = rec.ChromeTracingJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.export_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos)
+      << "spans must be complete events";
+
+  const std::string path = ::testing::TempDir() + "/obs_trace_test.json";
+  ASSERT_TRUE(rec.ExportChromeTracing(path).ok());
+  EXPECT_EQ(ReadFile(path), json);
+  rec.Clear();
+}
+
+#if KGAG_OBS_ACTIVE
+
+TEST(ObsMacrosTest, MacrosPublishToGlobalRegistry) {
+  const obs::Counter* before_probe =
+      MetricsRegistry::Global().FindCounter("test.macro_counter");
+  const uint64_t before = before_probe ? before_probe->Value() : 0;
+  for (int i = 0; i < 5; ++i) {
+    KGAG_COUNTER_ADD("test.macro_counter", 2);
+  }
+  KGAG_GAUGE_SET("test.macro_gauge", 42);
+  KGAG_HISTOGRAM_OBSERVE("test.macro_hist", 3.0,
+                         std::vector<double>({1.0, 10.0}));
+
+  const obs::Counter* c =
+      MetricsRegistry::Global().FindCounter("test.macro_counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->Value() - before, 10u);
+  const obs::Gauge* g =
+      MetricsRegistry::Global().FindGauge("test.macro_gauge");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->Value(), 42.0);
+  const obs::Histogram* h =
+      MetricsRegistry::Global().FindHistogram("test.macro_hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GE(h->TotalCount(), 1u);
+}
+
+TEST(ObsMacrosTest, ThreadPoolInstrumentationPublishes) {
+  obs::InstallDefaultInstrumentation();
+  const obs::Counter* calls_probe = MetricsRegistry::Global().FindCounter(
+      "threadpool.parallel_for.calls");
+  const uint64_t calls_before = calls_probe ? calls_probe->Value() : 0;
+
+  ThreadPool pool(2);
+  std::atomic<size_t> touched{0};
+  pool.ParallelFor(64, /*grain=*/4,
+                   [&](size_t) { touched.fetch_add(1); });
+  EXPECT_EQ(touched.load(), 64u);
+
+  const obs::Counter* calls = MetricsRegistry::Global().FindCounter(
+      "threadpool.parallel_for.calls");
+  ASSERT_NE(calls, nullptr);
+  EXPECT_GE(calls->Value(), calls_before + 1);
+  const obs::Histogram* run = MetricsRegistry::Global().FindHistogram(
+      "threadpool.task_run_us");
+  ASSERT_NE(run, nullptr);
+  EXPECT_GT(run->TotalCount(), 0u);
+}
+
+// The acceptance-criteria check: a real (tiny) train + eval run must leave
+// behind the metrics and spans the observability docs promise.
+TEST(ObsEndToEndTest, TrainAndEvalPublishMetricsAndSpans) {
+  const std::string jsonl_path =
+      ::testing::TempDir() + "/obs_e2e_metrics.jsonl";
+  const std::string trace_path =
+      ::testing::TempDir() + "/obs_e2e_trace.json";
+  ASSERT_TRUE(obs::OpenMetricsJsonl(jsonl_path).ok());
+  TraceRecorder& rec = TraceRecorder::Global();
+  rec.Clear();
+  rec.SetEnabled(true);
+
+  GroupRecDataset ds = testing_util::TinyRand();
+  KgagConfig cfg;
+  cfg.propagation.dim = 8;
+  cfg.propagation.sample_size = 3;
+  cfg.epochs = 2;
+  cfg.batch_size = 16;
+  cfg.seed = 5;
+  auto model = KgagModel::Create(&ds, cfg);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  (*model)->Fit();
+  RankingEvaluator eval(&ds, 5);
+  const EvalResult r = eval.EvaluateTest(model->get());
+  EXPECT_GT(r.num_groups, 0u);
+
+  obs::SnapshotMetrics("final");
+  rec.SetEnabled(false);
+  ASSERT_TRUE(rec.ExportChromeTracing(trace_path).ok());
+  obs::CloseMetricsJsonl();
+
+  // One snapshot per epoch (written by Fit) + the explicit final one.
+  const std::string jsonl = ReadFile(jsonl_path);
+  EXPECT_EQ(CountLines(jsonl), 3u) << jsonl;
+  for (const char* key :
+       {"train.loss", "train.examples", "train.grad_norm",
+        "train.examples_per_sec", "gemm.flops", "gemm.calls",
+        "negsampler.samples", "propagation.forward.calls",
+        "attention.aggregate.calls"}) {
+    EXPECT_NE(jsonl.find(key), std::string::npos) << "missing " << key;
+  }
+  // Eval gauges only exist in the post-eval snapshot.
+  const std::string final_line = jsonl.substr(jsonl.rfind("{\"label\""));
+  for (const char* key : {"eval.hit_at_k", "eval.ndcg_at_k",
+                          "eval.group_latency_us"}) {
+    EXPECT_NE(final_line.find(key), std::string::npos) << "missing " << key;
+  }
+
+  const std::string trace = ReadFile(trace_path);
+  for (const char* span :
+       {"train.epoch", "train.batch", "train.backward",
+        "train.optimizer_step", "propagation.forward", "propagation.iter0",
+        "attention.aggregate", "eval.evaluate", "eval.group"}) {
+    EXPECT_NE(trace.find(span), std::string::npos) << "missing " << span;
+  }
+  rec.Clear();
+}
+
+#endif  // KGAG_OBS_ACTIVE
+
+}  // namespace
+}  // namespace kgag

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Gate the observability overhead on the acceptance GEMM shape.
+
+Reads two JSON files produced by `bench_kernels --acceptance` — one from a
+KGAG_OBS_ENABLED=ON build and one from an OFF build — and fails (exit 1)
+when the enabled build is slower than the disabled build by more than
+--budget percent. The acceptance shape (512x64x64 propagation-batch
+matmul) crosses only the counter increments in kernels::Gemm, so this
+bounds exactly the hot-path cost the obs layer is allowed to add.
+
+Usage:
+  check_obs_overhead.py --enabled on.json --disabled off.json [--budget 2.0]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path, want_obs_enabled):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("bench") != "bench_kernels_acceptance":
+        sys.exit(f"{path}: not a bench_kernels --acceptance result")
+    if doc.get("obs_enabled") != want_obs_enabled:
+        sys.exit(
+            f"{path}: obs_enabled={doc.get('obs_enabled')}, expected "
+            f"{want_obs_enabled} — did you swap the two builds?"
+        )
+    if doc.get("smoke"):
+        print(f"warning: {path} is a --smoke run; timings are noise",
+              file=sys.stderr)
+    return float(doc["blocked_ns"])
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--enabled", required=True,
+                    help="acceptance JSON from the obs-ON build")
+    ap.add_argument("--disabled", required=True,
+                    help="acceptance JSON from the obs-OFF build")
+    ap.add_argument("--budget", type=float, default=2.0,
+                    help="max allowed overhead in percent (default 2.0)")
+    args = ap.parse_args()
+
+    on_ns = load(args.enabled, True)
+    off_ns = load(args.disabled, False)
+    overhead_pct = 100.0 * (on_ns - off_ns) / off_ns
+
+    print(f"obs ON : {on_ns / 1e3:9.2f} us/call")
+    print(f"obs OFF: {off_ns / 1e3:9.2f} us/call")
+    print(f"overhead: {overhead_pct:+.2f}% (budget {args.budget:.2f}%)")
+
+    if overhead_pct > args.budget:
+        print("FAIL: observability overhead exceeds budget", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
