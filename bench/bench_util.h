@@ -77,6 +77,44 @@ inline std::string Cell(double rec, double hit) {
   return TablePrinter::Num(rec) + " / " + TablePrinter::Num(hit);
 }
 
+/// Crash-safe checkpoint flags shared by the sweep drivers:
+///   --checkpoint_dir=DIR  root directory for snapshots (off when empty)
+///   --checkpoint_every=N  extra mid-epoch snapshot cadence in batches
+///   --resume              resume each sweep point from its newest snapshot
+/// Each sweep point checkpoints into its own subdirectory (DIR/<tag>) so a
+/// killed sweep resumes the interrupted point instead of cross-loading
+/// state from a different hyper-parameter cell.
+struct CheckpointFlags {
+  std::string dir;
+  int every = 0;
+  bool resume = false;
+
+  /// Applies the flags to one sweep point's config. `point_tag` names the
+  /// per-point subdirectory, e.g. "margin_0.4" or "depth_2".
+  void Apply(KgagConfig* cfg, const std::string& point_tag) const {
+    if (dir.empty()) return;
+    cfg->checkpoint_dir = dir + "/" + point_tag;
+    cfg->checkpoint_every_batches = every;
+    cfg->resume = resume;
+  }
+};
+
+inline CheckpointFlags ParseCheckpointFlags(int argc, char** argv) {
+  CheckpointFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--checkpoint_dir=", 0) == 0) {
+      flags.dir = arg.substr(std::string("--checkpoint_dir=").size());
+    } else if (arg.rfind("--checkpoint_every=", 0) == 0) {
+      flags.every =
+          std::atoi(arg.c_str() + std::string("--checkpoint_every=").size());
+    } else if (arg == "--resume") {
+      flags.resume = true;
+    }
+  }
+  return flags;
+}
+
 }  // namespace bench
 }  // namespace kgag
 

@@ -24,7 +24,7 @@ EvalResult TrainAndEval(const GroupRecDataset& ds, const KgagConfig& cfg) {
   return eval.EvaluateTest(model->get());
 }
 
-void Run() {
+void Run(const bench::CheckpointFlags& ckpt_flags) {
   GroupRecDataset ds =
       MakeMovieLensSimiDataset(bench::WorldSeed(), bench::DatasetScale());
 
@@ -49,6 +49,9 @@ void Run() {
   for (int i = 0; i < 5; ++i) {
     KgagConfig cfg = bench::DefaultKgagConfig();
     cfg.margin = margins[i];
+    char tag[32];
+    std::snprintf(tag, sizeof(tag), "margin_%.1f", margins[i]);
+    ckpt_flags.Apply(&cfg, tag);
     Stopwatch sw;
     EvalResult r = TrainAndEval(ds, cfg);
     margin_hits[i] = r.hit_at_k;
@@ -72,6 +75,7 @@ void Run() {
   for (int h = 1; h <= 3; ++h) {
     KgagConfig cfg = bench::DefaultKgagConfig();
     cfg.propagation.depth = h;
+    ckpt_flags.Apply(&cfg, "depth_" + std::to_string(h));
     Stopwatch sw;
     EvalResult r = TrainAndEval(ds, cfg);
     depth_hits[h - 1] = r.hit_at_k;
@@ -109,9 +113,9 @@ void Run() {
 }  // namespace
 }  // namespace kgag
 
-int main() {
+int main(int argc, char** argv) {
   kgag::Stopwatch sw;
-  kgag::Run();
+  kgag::Run(kgag::bench::ParseCheckpointFlags(argc, argv));
   std::printf("\n[fig4_margin_layers completed in %.1fs]\n",
               sw.ElapsedSeconds());
   return 0;

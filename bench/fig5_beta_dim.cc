@@ -22,7 +22,7 @@ EvalResult TrainAndEval(const GroupRecDataset& ds, const KgagConfig& cfg) {
   return eval.EvaluateTest(model->get());
 }
 
-void Run() {
+void Run(const bench::CheckpointFlags& ckpt_flags) {
   GroupRecDataset ds =
       MakeMovieLensSimiDataset(bench::WorldSeed(), bench::DatasetScale());
 
@@ -39,6 +39,9 @@ void Run() {
   for (int i = 0; i < 5; ++i) {
     KgagConfig cfg = bench::DefaultKgagConfig();
     cfg.beta = betas[i];
+    char tag[32];
+    std::snprintf(tag, sizeof(tag), "beta_%.1f", betas[i]);
+    ckpt_flags.Apply(&cfg, tag);
     Stopwatch sw;
     EvalResult r = TrainAndEval(ds, cfg);
     beta_hits[i] = r.hit_at_k;
@@ -61,6 +64,7 @@ void Run() {
   for (int i = 0; i < 4; ++i) {
     KgagConfig cfg = bench::DefaultKgagConfig();
     cfg.propagation.dim = dims[i];
+    ckpt_flags.Apply(&cfg, "dim_" + std::to_string(dims[i]));
     Stopwatch sw;
     EvalResult r = TrainAndEval(ds, cfg);
     dim_hits[i] = r.hit_at_k;
@@ -95,9 +99,9 @@ void Run() {
 }  // namespace
 }  // namespace kgag
 
-int main() {
+int main(int argc, char** argv) {
   kgag::Stopwatch sw;
-  kgag::Run();
+  kgag::Run(kgag::bench::ParseCheckpointFlags(argc, argv));
   std::printf("\n[fig5_beta_dim completed in %.1fs]\n", sw.ElapsedSeconds());
   return 0;
 }

@@ -1,0 +1,91 @@
+// Little-endian binary stream helpers shared by the parameter serializer,
+// the optimizer/batcher state exporters and the checkpoint container.
+// Readers return false on short reads and bound every length they allocate
+// from, so corrupt or truncated inputs fail cleanly instead of requesting
+// multi-GiB buffers.
+#ifndef KGAG_COMMON_BINARY_IO_H_
+#define KGAG_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kgag {
+namespace bio {
+
+/// Longest string (names, opaque sub-blobs) a reader will allocate.
+inline constexpr uint64_t kMaxStringLen = 1ull << 33;  // 8 GiB hard stop
+/// Longest element count a reader will allocate for a POD vector.
+inline constexpr uint64_t kMaxVectorElems = 1ull << 32;
+
+template <typename T>
+void WritePod(std::ostream* out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool ReadPod(std::istream* in, T* v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  in->read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in->good();
+}
+
+inline void WriteU32(std::ostream* out, uint32_t v) { WritePod(out, v); }
+inline void WriteU64(std::ostream* out, uint64_t v) { WritePod(out, v); }
+inline void WriteI64(std::ostream* out, int64_t v) { WritePod(out, v); }
+inline void WriteDouble(std::ostream* out, double v) { WritePod(out, v); }
+inline void WriteU8(std::ostream* out, uint8_t v) { WritePod(out, v); }
+
+inline bool ReadU32(std::istream* in, uint32_t* v) { return ReadPod(in, v); }
+inline bool ReadU64(std::istream* in, uint64_t* v) { return ReadPod(in, v); }
+inline bool ReadI64(std::istream* in, int64_t* v) { return ReadPod(in, v); }
+inline bool ReadDouble(std::istream* in, double* v) { return ReadPod(in, v); }
+inline bool ReadU8(std::istream* in, uint8_t* v) { return ReadPod(in, v); }
+
+/// u64 length prefix followed by the raw bytes.
+inline void WriteString(std::ostream* out, std::string_view s) {
+  WriteU64(out, s.size());
+  out->write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+/// Reads a length-prefixed string; fails (without allocating) when the
+/// prefix exceeds `max_len`.
+inline bool ReadString(std::istream* in, std::string* s,
+                       uint64_t max_len = kMaxStringLen) {
+  uint64_t len = 0;
+  if (!ReadU64(in, &len) || len > max_len) return false;
+  s->resize(len);
+  in->read(s->data(), static_cast<std::streamsize>(len));
+  return in->good() || (len == 0 && !in->bad());
+}
+
+/// u64 element count followed by the elements' raw bytes (POD only).
+template <typename T>
+void WritePodVector(std::ostream* out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  WriteU64(out, v.size());
+  out->write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+bool ReadPodVector(std::istream* in, std::vector<T>* v,
+                   uint64_t max_elems = kMaxVectorElems) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  uint64_t count = 0;
+  if (!ReadU64(in, &count) || count > max_elems) return false;
+  v->resize(count);
+  in->read(reinterpret_cast<char*>(v->data()),
+           static_cast<std::streamsize>(count * sizeof(T)));
+  return in->good() || (count == 0 && !in->bad());
+}
+
+}  // namespace bio
+}  // namespace kgag
+
+#endif  // KGAG_COMMON_BINARY_IO_H_

@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum the
+// checkpoint container uses to validate every chunk before trusting its
+// payload. Table-driven, one table shared process-wide.
+#ifndef KGAG_COMMON_CRC32_H_
+#define KGAG_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace kgag {
+
+/// CRC-32 of `len` bytes at `data`, seeded with `seed` (pass the previous
+/// result to checksum data incrementally; 0 starts a fresh checksum).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view bytes, uint32_t seed = 0) {
+  return Crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace kgag
+
+#endif  // KGAG_COMMON_CRC32_H_

@@ -1,0 +1,139 @@
+#include "common/file_io.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define KGAG_HAVE_POSIX_IO 1
+#else
+#define KGAG_HAVE_POSIX_IO 0
+#endif
+
+namespace kgag {
+
+namespace {
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+#if KGAG_HAVE_POSIX_IO
+
+Status WriteAndSyncOnce(const std::string& tmp, const std::string& path,
+                        std::string_view data, bool fsync_data) {
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("open " + tmp + ": " + std::strerror(errno));
+  }
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string msg = std::strerror(errno);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IoError("write " + tmp + ": " + msg);
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (fsync_data && ::fsync(fd) != 0) {
+    const std::string msg = std::strerror(errno);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IoError("fsync " + tmp + ": " + msg);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IoError("close " + tmp + ": " + std::strerror(errno));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string msg = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return Status::IoError("rename " + tmp + " -> " + path + ": " + msg);
+  }
+  if (fsync_data) {
+    // Persist the rename itself: fsync the containing directory.
+    const int dfd = ::open(ParentDir(path).c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+      (void)::fsync(dfd);  // best effort; data is already safe in the file
+      ::close(dfd);
+    }
+  }
+  return Status::OK();
+}
+
+#else  // !KGAG_HAVE_POSIX_IO
+
+Status WriteAndSyncOnce(const std::string& tmp, const std::string& path,
+                        std::string_view data, bool /*fsync_data*/) {
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return Status::IoError("cannot open " + tmp);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.flush();
+    if (!out.good()) {
+      std::remove(tmp.c_str());
+      return Status::IoError("write failed: " + tmp);
+    }
+  }
+  std::remove(path.c_str());  // std::rename may not replace on all platforms
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename failed: " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+#endif  // KGAG_HAVE_POSIX_IO
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, std::string_view data,
+                       const AtomicWriteOptions& options) {
+  if (path.empty()) return Status::InvalidArgument("empty path");
+  // Same directory as the target so the rename cannot cross filesystems;
+  // pid-tagged so concurrent writers never collide on the temp name.
+#if KGAG_HAVE_POSIX_IO
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+#else
+  const std::string tmp = path + ".tmp";
+#endif
+  const int attempts = options.max_attempts < 1 ? 1 : options.max_attempts;
+  Status last;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    last = WriteAndSyncOnce(tmp, path, data, options.fsync_data);
+    if (last.ok()) return last;
+    if (attempt < attempts && options.retry_backoff_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options.retry_backoff_ms * attempt));
+    }
+  }
+  return last;
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output");
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  const std::streamsize size = in.tellg();
+  if (size < 0) return Status::IoError("cannot stat " + path);
+  in.seekg(0, std::ios::beg);
+  out->resize(static_cast<size_t>(size));
+  in.read(out->data(), size);
+  if (!in.good() && size > 0) return Status::IoError("short read: " + path);
+  return Status::OK();
+}
+
+}  // namespace kgag

@@ -1,0 +1,36 @@
+// Durable file IO: crash-safe whole-file writes and slurp-style reads.
+//
+// AtomicWriteFile never exposes a partially-written destination: the bytes
+// go to a temporary file in the same directory, are fsync'd, and only then
+// renamed over the target (rename(2) is atomic within a filesystem); the
+// parent directory is fsync'd afterwards so the rename itself survives a
+// power loss. Transient failures are retried with linear backoff before an
+// IoError is returned, and the previous destination file — if any — is
+// left untouched on every failure path.
+#ifndef KGAG_COMMON_FILE_IO_H_
+#define KGAG_COMMON_FILE_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace kgag {
+
+/// \brief Retry/backoff knobs for AtomicWriteFile.
+struct AtomicWriteOptions {
+  int max_attempts = 3;      ///< total tries before giving up
+  int retry_backoff_ms = 5;  ///< sleep attempt*backoff between tries
+  bool fsync_data = true;    ///< fsync file + parent dir (off in tests)
+};
+
+/// Atomically replaces `path` with `data` (temp write + fsync + rename).
+Status AtomicWriteFile(const std::string& path, std::string_view data,
+                       const AtomicWriteOptions& options = {});
+
+/// Reads the whole file into `out` (replacing its contents).
+Status ReadFileToString(const std::string& path, std::string* out);
+
+}  // namespace kgag
+
+#endif  // KGAG_COMMON_FILE_IO_H_

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 #include "common/check.h"
@@ -64,6 +65,14 @@ class Rng {
   /// Derives an independent child generator; used to give each worker or
   /// epoch its own stream without correlation.
   Rng Fork() { return Rng(engine_()); }
+
+  /// Serializes the full engine state (the standard's textual mt19937_64
+  /// representation) so a checkpointed run resumes the exact stream.
+  std::string SaveState() const;
+
+  /// Restores a state produced by SaveState(); false on malformed input
+  /// (the engine is left unchanged in that case).
+  bool LoadState(const std::string& state);
 
   std::mt19937_64& engine() { return engine_; }
 

@@ -1,5 +1,10 @@
 #include "data/batcher.h"
 
+#include <istream>
+#include <ostream>
+
+#include "common/binary_io.h"
+
 namespace kgag {
 
 Batcher::Batcher(const GroupRecDataset* dataset, Options options)
@@ -14,6 +19,13 @@ Batcher::Batcher(const GroupRecDataset* dataset, Options options)
 }
 
 void Batcher::BeginEpoch(Rng* rng) {
+  if (resume_pending_) {
+    // Restored mid-epoch: the orders and cursors already describe an epoch
+    // in progress; reshuffling would desync the RNG stream from the
+    // checkpointed trajectory.
+    resume_pending_ = false;
+    return;
+  }
   if (options_.max_group_pairs_per_epoch > 0 &&
       group_order_.size() != dataset_->split.train.size()) {
     group_order_ = dataset_->split.train;  // re-draw from the full set
@@ -62,6 +74,52 @@ bool Batcher::NextBatch(Rng* rng, MiniBatch* batch) {
         pos.row, user_negatives_.Sample(pos.row, rng), 0.0});
   }
   return true;
+}
+
+Status Batcher::SaveState(std::ostream* out) const {
+  if (out == nullptr) return Status::InvalidArgument("null stream");
+  bio::WritePodVector(out, group_order_);
+  bio::WritePodVector(out, user_order_);
+  bio::WriteU64(out, group_cursor_);
+  bio::WriteU64(out, user_cursor_);
+  if (!out->good()) return Status::IoError("batcher state write failed");
+  return Status::OK();
+}
+
+Status Batcher::LoadState(std::istream* in, bool resume_mid_epoch) {
+  if (in == nullptr) return Status::InvalidArgument("null stream");
+  std::vector<Interaction> group_order, user_order;
+  uint64_t group_cursor = 0, user_cursor = 0;
+  if (!bio::ReadPodVector(in, &group_order) ||
+      !bio::ReadPodVector(in, &user_order) ||
+      !bio::ReadU64(in, &group_cursor) || !bio::ReadU64(in, &user_cursor)) {
+    return Status::IoError("truncated batcher state");
+  }
+  if (group_order.size() > dataset_->split.train.size() ||
+      user_order.size() != dataset_->user_item.ToPairs().size()) {
+    return Status::InvalidArgument("batcher state size mismatch");
+  }
+  for (const Interaction& it : group_order) {
+    if (it.row < 0 || it.row >= dataset_->group_item.num_rows() ||
+        it.item < 0 || it.item >= dataset_->group_item.num_items()) {
+      return Status::InvalidArgument("batcher state group pair out of range");
+    }
+  }
+  for (const Interaction& it : user_order) {
+    if (it.row < 0 || it.row >= dataset_->user_item.num_rows() ||
+        it.item < 0 || it.item >= dataset_->user_item.num_items()) {
+      return Status::InvalidArgument("batcher state user pair out of range");
+    }
+  }
+  if (group_cursor > group_order.size()) {
+    return Status::InvalidArgument("batcher state cursor out of range");
+  }
+  group_order_ = std::move(group_order);
+  user_order_ = std::move(user_order);
+  group_cursor_ = static_cast<size_t>(group_cursor);
+  user_cursor_ = static_cast<size_t>(user_cursor);
+  resume_pending_ = resume_mid_epoch;
+  return Status::OK();
 }
 
 }  // namespace kgag

@@ -4,9 +4,11 @@
 #ifndef KGAG_DATA_BATCHER_H_
 #define KGAG_DATA_BATCHER_H_
 
+#include <iosfwd>
 #include <vector>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "data/dataset.h"
 #include "data/negative_sampler.h"
 
@@ -62,6 +64,18 @@ class Batcher {
 
   size_t BatchesPerEpoch() const;
 
+  /// Serializes the shuffled orders and cursors. The orders matter even at
+  /// epoch boundaries: BeginEpoch reshuffles the *current* permutation in
+  /// place, so a resumed run must start from the same permutation to stay
+  /// bit-identical with an uninterrupted one.
+  Status SaveState(std::ostream* out) const;
+
+  /// Restores a SaveState snapshot, validating every interaction against
+  /// the dataset. With `resume_mid_epoch` set, the next BeginEpoch is a
+  /// no-op (no reshuffle, cursors kept) so NextBatch continues exactly
+  /// where the checkpointed epoch stopped.
+  Status LoadState(std::istream* in, bool resume_mid_epoch);
+
  private:
   const GroupRecDataset* dataset_;
   Options options_;
@@ -71,6 +85,7 @@ class Batcher {
   std::vector<Interaction> user_order_;
   size_t group_cursor_ = 0;
   size_t user_cursor_ = 0;
+  bool resume_pending_ = false;
 };
 
 }  // namespace kgag

@@ -19,9 +19,10 @@ class NegativeSampler {
     KGAG_CHECK(interactions != nullptr);
   }
 
-  /// An item v with y_{row,v} == 0. Falls back to any item after
-  /// `max_attempts` rejections (degenerate rows that interacted with
-  /// everything).
+  /// An item v with y_{row,v} == 0. After `max_attempts` uniform-draw
+  /// rejections (dense rows), falls back to rank-selecting a true negative
+  /// from the row's sorted positives, so a positive is only ever returned
+  /// when the row interacted with every item (no negative exists).
   ItemId Sample(int32_t row, Rng* rng, int max_attempts = 64) const {
     const int32_t n = interactions_->num_items();
     KGAG_CHECK_GT(n, 0);
@@ -33,11 +34,29 @@ class NegativeSampler {
         return v;
       }
     }
-    // Exhausted: every draw hit a positive. rejections/samples is the
-    // rejection rate the epoch snapshot exposes.
+    // Rejection sampling exhausted. rejections/samples is the rejection
+    // rate the epoch snapshot exposes.
     KGAG_COUNTER_ADD("negsampler.rejections", max_attempts);
-    KGAG_COUNTER_ADD("negsampler.exhausted", 1);
-    return static_cast<ItemId>(rng->UniformInt(0, n - 1));
+    KGAG_COUNTER_ADD("negsampler.fallback_scans", 1);
+    const auto positives = interactions_->ItemsOf(row);
+    const int64_t num_negatives =
+        static_cast<int64_t>(n) - static_cast<int64_t>(positives.size());
+    if (num_negatives <= 0) {
+      // Degenerate row: every item is a positive; nothing valid to return.
+      KGAG_COUNTER_ADD("negsampler.exhausted", 1);
+      return static_cast<ItemId>(rng->UniformInt(0, n - 1));
+    }
+    // Uniform pick over the negatives: choose the k-th absent item by
+    // walking the sorted positives list (O(degree), still uniform).
+    int64_t v = rng->UniformInt(0, num_negatives - 1);
+    for (const ItemId p : positives) {
+      if (p <= v) {
+        ++v;
+      } else {
+        break;
+      }
+    }
+    return static_cast<ItemId>(v);
   }
 
  private:

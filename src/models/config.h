@@ -3,6 +3,7 @@
 #define KGAG_MODELS_CONFIG_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 namespace kgag {
@@ -64,6 +65,22 @@ struct KgagConfig {
   size_t valid_max_interactions = 250;
   uint64_t seed = 42;
   bool verbose = false;
+
+  // Crash-safe training checkpoints (DESIGN.md §8). With a directory set,
+  // Fit() snapshots the full training state (parameters, Adam moments,
+  // RNG streams, batcher cursors, validation selection) after every epoch
+  // — and also mid-epoch every `checkpoint_every_batches` batches — so a
+  // killed run resumes bit-identically.
+  std::string checkpoint_dir;        ///< empty = checkpointing off
+  int checkpoint_every_batches = 0;  ///< extra mid-epoch cadence (0 = off)
+  int checkpoint_keep_last = 3;      ///< retention: newest N snapshots
+  /// Resume from the newest intact snapshot in checkpoint_dir before
+  /// training (fresh start when the directory holds none).
+  bool resume = false;
+  /// Test/ops hook invoked after each optimizer step with (epoch,
+  /// batches_done); used by the crash-injection tests to kill the process
+  /// at a precise point. Leave unset in normal runs.
+  std::function<void(int, uint64_t)> after_batch_hook;
 
   std::string Describe() const;
 };

@@ -1,12 +1,15 @@
 #include "models/kgag_model.h"
 
 #include <cmath>
+#include <sstream>
 
+#include "common/binary_io.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "models/losses.h"
 #include "models/validation.h"
 #include "obs/obs.h"
+#include "tensor/serialization.h"
 
 namespace kgag {
 
@@ -143,13 +146,24 @@ Var KgagModel::ScoreUserItemOnTape(Tape* tape, UserId u, ItemId v, Rng* rng) {
 }
 
 double KgagModel::TrainEpoch(Rng* rng) {
+  return TrainEpochCheckpointed(rng,
+                                static_cast<int>(epoch_losses_.size()),
+                                /*mgr=*/nullptr, /*selector=*/nullptr,
+                                /*resume_batches=*/0, /*resume_loss=*/0.0);
+}
+
+double KgagModel::TrainEpochCheckpointed(Rng* rng, int epoch,
+                                         ckpt::CheckpointManager* mgr,
+                                         const ValidationSelector* selector,
+                                         uint64_t resume_batches,
+                                         double resume_loss) {
   KGAG_TRACE_SPAN("train.epoch");
   KGAG_OBS_ONLY(Stopwatch epoch_watch; size_t epoch_examples = 0;
                 double grad_sq_sum = 0.0;)
-  batcher_.BeginEpoch(rng);
+  batcher_.BeginEpoch(rng);  // no-op when resuming an epoch mid-flight
   MiniBatch batch;
-  double total_loss = 0.0;
-  size_t num_batches = 0;
+  double total_loss = resume_loss;
+  size_t num_batches = static_cast<size_t>(resume_batches);
   while (batcher_.NextBatch(rng, &batch)) {
     KGAG_TRACE_SPAN("train.batch");
     double batch_loss = 0.0;
@@ -204,6 +218,23 @@ double KgagModel::TrainEpoch(Rng* rng) {
     }
     total_loss += batch_loss;
     ++num_batches;
+    if (mgr != nullptr && config_.checkpoint_every_batches > 0 &&
+        num_batches % static_cast<size_t>(config_.checkpoint_every_batches) ==
+            0) {
+      KGAG_TRACE_SPAN("train.checkpoint");
+      const Status saved = mgr->Save(CaptureTrainingState(
+          static_cast<uint64_t>(epoch), /*mid_epoch=*/true, num_batches,
+          total_loss, selector));
+      if (!saved.ok()) {
+        // Training proceeds (durability degraded, correctness intact);
+        // the manager already bumped ckpt.save_failures.
+        KGAG_LOG(Warning) << "mid-epoch checkpoint failed: "
+                          << saved.ToString();
+      }
+    }
+    if (config_.after_batch_hook) {
+      config_.after_batch_hook(epoch, num_batches);
+    }
   }
   const double mean_loss =
       num_batches == 0 ? 0.0 : total_loss / num_batches;
@@ -232,13 +263,63 @@ void KgagModel::Fit() {
   ValidationSelector selector(dataset_, &store_, /*k=*/5,
                               config_.valid_max_interactions);
   eval_samples_in_use_ = config_.valid_tree_samples;
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    const double loss = TrainEpoch(&train_rng_);
+
+  std::unique_ptr<ckpt::CheckpointManager> ckpt_mgr;
+  int start_epoch = 0;
+  uint64_t resume_batches = 0;
+  double resume_loss = 0.0;
+  if (!config_.checkpoint_dir.empty()) {
+    ckpt::CheckpointManager::Options opts;
+    opts.dir = config_.checkpoint_dir;
+    opts.keep_last = config_.checkpoint_keep_last;
+    ckpt_mgr = std::make_unique<ckpt::CheckpointManager>(opts);
+    if (config_.resume) {
+      Result<ckpt::TrainingState> latest = ckpt_mgr->LoadLatest();
+      if (latest.ok()) {
+        const Status restored = RestoreTrainingState(*latest, &selector);
+        KGAG_CHECK(restored.ok())
+            << "checkpoint restore failed: " << restored.ToString();
+        start_epoch = static_cast<int>(latest->epoch);
+        if (latest->mid_epoch) {
+          resume_batches = latest->batches_done;
+          resume_loss = latest->partial_loss;
+        }
+        KGAG_LOG(Info) << name() << " resumed from "
+                       << config_.checkpoint_dir << " at epoch "
+                       << start_epoch
+                       << (latest->mid_epoch ? " (mid-epoch)" : "");
+      } else {
+        // NotFound = first run with --resume: start fresh. Anything else
+        // (unreadable dir, all snapshots corrupt) is worth a warning but
+        // not fatal — training from scratch is the safe fallback.
+        if (!latest.status().IsNotFound()) {
+          KGAG_LOG(Warning) << "checkpoint resume unavailable: "
+                            << latest.status().ToString();
+        }
+      }
+    }
+  }
+
+  for (int epoch = start_epoch; epoch < config_.epochs; ++epoch) {
+    const double loss = TrainEpochCheckpointed(
+        &train_rng_, epoch, ckpt_mgr.get(), &selector, resume_batches,
+        resume_loss);
+    resume_batches = 0;
+    resume_loss = 0.0;
     epoch_losses_.push_back(loss);
     double valid_hit = 0.0;
     if (config_.select_by_validation) {
       KGAG_TRACE_SPAN("train.validation");
       valid_hit = selector.Observe(this);
+    }
+    if (ckpt_mgr != nullptr) {
+      KGAG_TRACE_SPAN("train.checkpoint");
+      const Status saved = ckpt_mgr->Save(CaptureTrainingState(
+          static_cast<uint64_t>(epoch) + 1, /*mid_epoch=*/false,
+          /*batches_done=*/0, /*partial_loss=*/0.0, &selector));
+      if (!saved.ok()) {
+        KGAG_LOG(Warning) << "epoch checkpoint failed: " << saved.ToString();
+      }
     }
     KGAG_GAUGE_SET("train.epoch", epoch + 1);
     KGAG_GAUGE_SET("train.valid_hit_at_5", valid_hit);
@@ -251,6 +332,82 @@ void KgagModel::Fit() {
   }
   if (config_.select_by_validation) selector.RestoreBest();
   eval_samples_in_use_ = config_.eval_tree_samples;
+}
+
+ckpt::TrainingState KgagModel::CaptureTrainingState(
+    uint64_t epoch, bool mid_epoch, uint64_t batches_done,
+    double partial_loss, const ValidationSelector* selector) const {
+  ckpt::TrainingState state;
+  state.epoch = epoch;
+  state.mid_epoch = mid_epoch;
+  state.batches_done = batches_done;
+  state.partial_loss = partial_loss;
+  state.epoch_losses = epoch_losses_;
+  {
+    std::ostringstream out(std::ios::binary);
+    const Status st = SaveParameters(store_, &out);
+    KGAG_CHECK(st.ok()) << st.ToString();
+    state.params = out.str();
+  }
+  {
+    std::ostringstream out(std::ios::binary);
+    const Status st = optimizer_->SaveState(&out);
+    KGAG_CHECK(st.ok()) << st.ToString();
+    state.optimizer = out.str();
+  }
+  {
+    std::ostringstream out(std::ios::binary);
+    bio::WriteString(&out, init_rng_.SaveState());
+    bio::WriteString(&out, train_rng_.SaveState());
+    state.rng = out.str();
+  }
+  {
+    std::ostringstream out(std::ios::binary);
+    const Status st = batcher_.SaveState(&out);
+    KGAG_CHECK(st.ok()) << st.ToString();
+    state.batcher = out.str();
+  }
+  if (selector != nullptr) {
+    std::ostringstream out(std::ios::binary);
+    const Status st = selector->SaveState(&out);
+    KGAG_CHECK(st.ok()) << st.ToString();
+    state.selector = out.str();
+  }
+  return state;
+}
+
+Status KgagModel::RestoreTrainingState(const ckpt::TrainingState& state,
+                                       ValidationSelector* selector) {
+  {
+    std::istringstream in(state.params, std::ios::binary);
+    KGAG_RETURN_NOT_OK(LoadParameters(&in, &store_));
+  }
+  {
+    std::istringstream in(state.optimizer, std::ios::binary);
+    KGAG_RETURN_NOT_OK(optimizer_->LoadState(&in, store_));
+  }
+  {
+    std::istringstream in(state.rng, std::ios::binary);
+    std::string init_state, train_state;
+    if (!bio::ReadString(&in, &init_state) ||
+        !bio::ReadString(&in, &train_state)) {
+      return Status::IoError("truncated rng state");
+    }
+    if (!init_rng_.LoadState(init_state) ||
+        !train_rng_.LoadState(train_state)) {
+      return Status::InvalidArgument("malformed rng engine state");
+    }
+  }
+  {
+    std::istringstream in(state.batcher, std::ios::binary);
+    KGAG_RETURN_NOT_OK(batcher_.LoadState(&in, state.mid_epoch));
+  }
+  if (selector != nullptr && !state.selector.empty()) {
+    std::istringstream in(state.selector, std::ios::binary);
+    KGAG_RETURN_NOT_OK(selector->LoadState(&in));
+  }
+  epoch_losses_ = state.epoch_losses;
+  return Status::OK();
 }
 
 const std::vector<SampledTree>& KgagModel::EvalTrees(EntityId node) {

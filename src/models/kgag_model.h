@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "common/result.h"
 #include "data/batcher.h"
 #include "data/dataset.h"
@@ -22,6 +23,8 @@
 #include "tensor/optimizer.h"
 
 namespace kgag {
+
+class ValidationSelector;
 
 /// \brief Interpretability output for one (group, item) pair (RQ4).
 struct GroupExplanation {
@@ -46,6 +49,20 @@ class KgagModel : public TrainableGroupRecommender {
   /// Runs one epoch over the training split; returns the mean batch loss.
   double TrainEpoch(Rng* rng);
 
+  /// Captures the full training state — parameters, optimizer moments,
+  /// RNG streams, batcher orders/cursors, validation selection and epoch
+  /// bookkeeping — for a checkpoint. `selector` may be null (state saved
+  /// without the selection snapshot).
+  ckpt::TrainingState CaptureTrainingState(
+      uint64_t epoch, bool mid_epoch, uint64_t batches_done,
+      double partial_loss, const ValidationSelector* selector) const;
+
+  /// Restores a CaptureTrainingState snapshot into this model (and the
+  /// selector, when given). The model must have been constructed with the
+  /// same dataset and architecture config.
+  Status RestoreTrainingState(const ckpt::TrainingState& state,
+                              ValidationSelector* selector);
+
   /// Attention-based explanation for a (group, candidate item) pair.
   GroupExplanation ExplainGroup(GroupId g, ItemId v);
 
@@ -59,6 +76,15 @@ class KgagModel : public TrainableGroupRecommender {
 
  private:
   KgagModel(const GroupRecDataset* dataset, const KgagConfig& config);
+
+  /// TrainEpoch body with checkpoint plumbing: `mgr` (nullable) receives a
+  /// mid-epoch snapshot every config_.checkpoint_every_batches batches;
+  /// `resume_batches`/`resume_loss` seed the counters when re-entering an
+  /// epoch restored mid-flight (the batcher skips its reshuffle then).
+  double TrainEpochCheckpointed(Rng* rng, int epoch,
+                                ckpt::CheckpointManager* mgr,
+                                const ValidationSelector* selector,
+                                uint64_t resume_batches, double resume_loss);
 
   /// Member reps (L x d) and item rep (1 x d) for one candidate on tape;
   /// returns the 1x1 score node.

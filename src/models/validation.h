@@ -5,9 +5,13 @@
 #ifndef KGAG_MODELS_VALIDATION_H_
 #define KGAG_MODELS_VALIDATION_H_
 
+#include <istream>
+#include <ostream>
 #include <vector>
 
+#include "common/binary_io.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "data/dataset.h"
 #include "eval/ranking_evaluator.h"
 #include "tensor/parameter.h"
@@ -61,6 +65,64 @@ class ValidationSelector {
 
   double best_hit() const { return best_hit_; }
   const std::vector<double>& history() const { return history_; }
+
+  /// Serializes the selection state (best hit, per-epoch history and the
+  /// best-epoch parameter snapshot) so a resumed run restores the same
+  /// weights at RestoreBest() as an uninterrupted one.
+  Status SaveState(std::ostream* out) const {
+    if (out == nullptr) return Status::InvalidArgument("null stream");
+    bio::WriteU8(out, has_best_ ? 1 : 0);
+    bio::WriteDouble(out, best_hit_);
+    bio::WritePodVector(out, history_);
+    bio::WriteU64(out, snapshot_.size());
+    for (const Tensor& t : snapshot_) {
+      bio::WriteU64(out, t.rows());
+      bio::WriteU64(out, t.cols());
+      out->write(reinterpret_cast<const char*>(t.data()),
+                 static_cast<std::streamsize>(t.size() * sizeof(Scalar)));
+    }
+    if (!out->good()) return Status::IoError("selector state write failed");
+    return Status::OK();
+  }
+
+  /// Restores a SaveState snapshot; tensor shapes are validated against
+  /// the store before any bulk read is trusted.
+  Status LoadState(std::istream* in) {
+    if (in == nullptr) return Status::InvalidArgument("null stream");
+    uint8_t has_best = 0;
+    double best_hit = 0.0;
+    std::vector<double> history;
+    uint64_t count = 0;
+    if (!bio::ReadU8(in, &has_best) || !bio::ReadDouble(in, &best_hit) ||
+        !bio::ReadPodVector(in, &history) || !bio::ReadU64(in, &count)) {
+      return Status::IoError("truncated selector state");
+    }
+    if (count != 0 && count != store_->size()) {
+      return Status::InvalidArgument("selector snapshot count mismatch");
+    }
+    std::vector<Tensor> snapshot;
+    snapshot.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      const Parameter* p = store_->params()[i].get();
+      uint64_t rows = 0, cols = 0;
+      if (!bio::ReadU64(in, &rows) || !bio::ReadU64(in, &cols)) {
+        return Status::IoError("truncated selector snapshot shape");
+      }
+      if (rows != p->value.rows() || cols != p->value.cols()) {
+        return Status::InvalidArgument("selector snapshot shape mismatch");
+      }
+      Tensor t(rows, cols);
+      in->read(reinterpret_cast<char*>(t.data()),
+               static_cast<std::streamsize>(t.size() * sizeof(Scalar)));
+      if (!in->good()) return Status::IoError("truncated selector snapshot");
+      snapshot.push_back(std::move(t));
+    }
+    has_best_ = has_best != 0;
+    best_hit_ = best_hit;
+    history_ = std::move(history);
+    snapshot_ = std::move(snapshot);
+    return Status::OK();
+  }
 
  private:
   const GroupRecDataset* dataset_;

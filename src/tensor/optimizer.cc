@@ -1,8 +1,99 @@
 #include "tensor/optimizer.h"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/binary_io.h"
 
 namespace kgag {
+
+namespace {
+// Tags the optimizer-state blob so a checkpoint written by one optimizer
+// kind is rejected instead of misparsed by another.
+constexpr uint32_t kSgdStateTag = 0x30444753;   // "SGD0"
+constexpr uint32_t kAdamStateTag = 0x4D414441;  // "ADAM"
+}  // namespace
+
+Status Optimizer::SaveState(std::ostream* out) const {
+  if (out == nullptr) return Status::InvalidArgument("null stream");
+  bio::WriteU32(out, kSgdStateTag);
+  if (!out->good()) return Status::IoError("optimizer state write failed");
+  return Status::OK();
+}
+
+Status Optimizer::LoadState(std::istream* in,
+                            const ParameterStore& /*store*/) {
+  if (in == nullptr) return Status::InvalidArgument("null stream");
+  uint32_t tag = 0;
+  if (!bio::ReadU32(in, &tag)) {
+    return Status::IoError("truncated optimizer state");
+  }
+  if (tag != kSgdStateTag) {
+    return Status::InvalidArgument("optimizer state kind mismatch");
+  }
+  return Status::OK();
+}
+
+Status Adam::SaveState(std::ostream* out) const {
+  if (out == nullptr) return Status::InvalidArgument("null stream");
+  bio::WriteU32(out, kAdamStateTag);
+  bio::WriteU64(out, states_.size());
+  for (const State& st : states_) {
+    bio::WriteU64(out, st.m.rows());
+    bio::WriteU64(out, st.m.cols());
+    out->write(reinterpret_cast<const char*>(st.m.data()),
+               static_cast<std::streamsize>(st.m.size() * sizeof(Scalar)));
+    out->write(reinterpret_cast<const char*>(st.v.data()),
+               static_cast<std::streamsize>(st.v.size() * sizeof(Scalar)));
+    bio::WritePodVector(out, st.row_steps);
+  }
+  if (!out->good()) return Status::IoError("adam state write failed");
+  return Status::OK();
+}
+
+Status Adam::LoadState(std::istream* in, const ParameterStore& store) {
+  if (in == nullptr) return Status::InvalidArgument("null stream");
+  uint32_t tag = 0;
+  if (!bio::ReadU32(in, &tag)) return Status::IoError("truncated adam state");
+  if (tag != kAdamStateTag) {
+    return Status::InvalidArgument("optimizer state kind mismatch");
+  }
+  uint64_t count = 0;
+  if (!bio::ReadU64(in, &count)) return Status::IoError("truncated adam state");
+  if (count > store.params().size()) {
+    return Status::InvalidArgument(
+        "adam state has more entries than the store has parameters");
+  }
+  std::vector<State> restored;
+  restored.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const Parameter* p = store.params()[i].get();
+    uint64_t rows = 0, cols = 0;
+    if (!bio::ReadU64(in, &rows) || !bio::ReadU64(in, &cols)) {
+      return Status::IoError("truncated adam state shape");
+    }
+    if (rows != p->value.rows() || cols != p->value.cols()) {
+      return Status::InvalidArgument("adam state shape mismatch for '" +
+                                     p->name + "'");
+    }
+    State st;
+    st.m = Tensor(rows, cols);
+    st.v = Tensor(rows, cols);
+    in->read(reinterpret_cast<char*>(st.m.data()),
+             static_cast<std::streamsize>(st.m.size() * sizeof(Scalar)));
+    in->read(reinterpret_cast<char*>(st.v.data()),
+             static_cast<std::streamsize>(st.v.size() * sizeof(Scalar)));
+    if (!in->good()) return Status::IoError("truncated adam moments");
+    if (!bio::ReadPodVector(in, &st.row_steps) ||
+        st.row_steps.size() != rows) {
+      return Status::IoError("truncated adam row steps");
+    }
+    restored.push_back(std::move(st));
+  }
+  states_ = std::move(restored);
+  return Status::OK();
+}
 
 void Sgd::Step(ParameterStore* store, Scalar l2) {
   for (const auto& p : store->params()) {

@@ -5,9 +5,11 @@
 #ifndef KGAG_TENSOR_OPTIMIZER_H_
 #define KGAG_TENSOR_OPTIMIZER_H_
 
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
+#include "common/status.h"
 #include "tensor/parameter.h"
 
 namespace kgag {
@@ -21,6 +23,16 @@ class Optimizer {
   /// zeroes them. `l2` adds weight decay λ·w to the gradient of every
   /// touched weight (the ‖Θ‖² term of Eq. 20).
   virtual void Step(ParameterStore* store, Scalar l2 = 0.0) = 0;
+
+  /// Serializes all internal state (moments, step counts) so training can
+  /// resume bit-identically from a checkpoint. Stateless optimizers write
+  /// nothing. Hyper-parameters are NOT serialized — they come from config.
+  virtual Status SaveState(std::ostream* out) const;
+
+  /// Restores state written by SaveState of the same optimizer kind.
+  /// `store` is the parameter store the optimizer steps; shapes are
+  /// validated against it before any allocation is trusted.
+  virtual Status LoadState(std::istream* in, const ParameterStore& store);
 };
 
 /// \brief Plain stochastic gradient descent.
@@ -42,6 +54,12 @@ class Adam : public Optimizer {
       : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
 
   void Step(ParameterStore* store, Scalar l2 = 0.0) override;
+
+  /// Writes m/v moments and per-row step counts for every materialized
+  /// per-parameter state (lazily-created states that don't exist yet are
+  /// simply absent and re-created on demand after a restore).
+  Status SaveState(std::ostream* out) const override;
+  Status LoadState(std::istream* in, const ParameterStore& store) override;
 
  private:
   struct State {

@@ -4,12 +4,20 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
+
+#include "common/file_io.h"
 
 namespace kgag {
 
 namespace {
 
 constexpr char kMagic[8] = {'K', 'G', 'A', 'G', 'P', 'S', '0', '1'};
+
+// Bound on the name-length prefix read from a file. Real parameter names
+// are tens of bytes; anything larger is a corrupt or hostile file, and
+// must be rejected before the length is used to size an allocation.
+constexpr uint32_t kMaxNameLen = 4096;
 
 void WriteU32(std::ostream* out, uint32_t v) {
   out->write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -51,9 +59,12 @@ Status SaveParameters(const ParameterStore& store, std::ostream* out) {
 
 Status SaveParametersToFile(const ParameterStore& store,
                             const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) return Status::IoError("cannot open " + path);
-  return SaveParameters(store, &out);
+  // Serialize to memory first, then write atomically (temp + fsync +
+  // rename): a crash or full disk mid-write must never destroy the
+  // previous good file at `path`.
+  std::ostringstream buf(std::ios::binary);
+  KGAG_RETURN_NOT_OK(SaveParameters(store, &buf));
+  return AtomicWriteFile(path, buf.view());
 }
 
 Status LoadParameters(std::istream* in, ParameterStore* store) {
@@ -76,6 +87,12 @@ Status LoadParameters(std::istream* in, ParameterStore* store) {
     Parameter* p = store->at(i);
     uint32_t name_len = 0;
     if (!ReadU32(in, &name_len)) return Status::IoError("truncated name");
+    if (name_len > kMaxNameLen) {
+      return Status::InvalidArgument(
+          "parameter name length " + std::to_string(name_len) +
+          " exceeds limit " + std::to_string(kMaxNameLen) +
+          " (corrupt file?)");
+    }
     std::string name(name_len, '\0');
     in->read(name.data(), name_len);
     if (!in->good()) return Status::IoError("truncated name bytes");
@@ -90,6 +107,13 @@ Status LoadParameters(std::istream* in, ParameterStore* store) {
     }
     if (rows != p->value.rows() || cols != p->value.cols()) {
       return Status::InvalidArgument("shape mismatch for '" + name + "'");
+    }
+    // Belt and braces before the bulk read: the element count implied by
+    // the file must equal the destination buffer exactly (guards against
+    // a corrupt shape that individually matches but overflows a product).
+    if (rows * cols != p->value.size()) {
+      return Status::InvalidArgument("element count mismatch for '" + name +
+                                     "'");
     }
     in->read(reinterpret_cast<char*>(p->value.data()),
              static_cast<std::streamsize>(p->value.size() * sizeof(Scalar)));

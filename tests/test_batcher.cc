@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <set>
+#include <sstream>
+#include <string>
 
 #include "test_util.h"
 
@@ -36,6 +39,57 @@ TEST(NegativeSamplerTest, DegenerateRowFallsBack) {
   ItemId v = sampler.Sample(0, &rng);
   EXPECT_GE(v, 0);
   EXPECT_LT(v, 3);
+}
+
+TEST(NegativeSamplerTest, NearFullRowStillReturnsTrueNegative) {
+  // Regression: with 999 of 1000 items positive, rejection sampling all
+  // but always exhausts its attempts — the fallback must rank-select the
+  // single remaining negative, never hand back a positive.
+  const ItemId kHole = 517;
+  std::vector<Interaction> pairs;
+  for (ItemId v = 0; v < 1000; ++v) {
+    if (v != kHole) pairs.push_back({0, v});
+  }
+  auto m = InteractionMatrix::FromPairs(1, 1000, pairs);
+  NegativeSampler sampler(&m);
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(sampler.Sample(0, &rng), kHole);
+  }
+}
+
+TEST(NegativeSamplerTest, FallbackIsUniformOverNegatives) {
+  // 46 of 50 items positive; the 4 holes must each be reachable and at
+  // roughly equal frequency (the rank-select walk is exactly uniform).
+  const std::set<ItemId> holes{3, 17, 30, 49};
+  std::vector<Interaction> pairs;
+  for (ItemId v = 0; v < 50; ++v) {
+    if (holes.count(v) == 0) pairs.push_back({0, v});
+  }
+  auto m = InteractionMatrix::FromPairs(1, 50, pairs);
+  NegativeSampler sampler(&m);
+  Rng rng(13);
+  std::map<ItemId, int> counts;
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(0, &rng)];
+  ASSERT_EQ(counts.size(), holes.size());
+  for (const auto& [v, c] : counts) {
+    EXPECT_TRUE(holes.count(v) > 0) << "positive " << v << " returned";
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.25, 0.05);
+  }
+}
+
+TEST(NegativeSamplerTest, FirstItemsFreeRankSelectStartsAtZero) {
+  // Holes at the very start of the id space: the walk over sorted
+  // positives must not skip low ids.
+  std::vector<Interaction> pairs;
+  for (ItemId v = 2; v < 200; ++v) pairs.push_back({0, v});
+  auto m = InteractionMatrix::FromPairs(1, 200, pairs);
+  NegativeSampler sampler(&m);
+  Rng rng(17);
+  std::set<ItemId> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(sampler.Sample(0, &rng));
+  EXPECT_EQ(seen, (std::set<ItemId>{0, 1}));
 }
 
 class BatcherTest : public ::testing::Test {
@@ -143,6 +197,95 @@ TEST_F(BatcherTest, BatchesPerEpochMatches) {
   size_t batches = 0;
   while (batcher.NextBatch(&rng, &batch)) ++batches;
   EXPECT_EQ(batches, batcher.BatchesPerEpoch());
+}
+
+std::string BatcherStateBytes(const Batcher& batcher) {
+  std::ostringstream out(std::ios::binary);
+  EXPECT_TRUE(batcher.SaveState(&out).ok());
+  return out.str();
+}
+
+TEST_F(BatcherTest, MidEpochStateRoundTripContinuesIdentically) {
+  Batcher original(&ds_, {4, 1.0, 0});
+  Rng rng(11);
+  original.BeginEpoch(&rng);
+  MiniBatch batch;
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(original.NextBatch(&rng, &batch));
+
+  const std::string state = BatcherStateBytes(original);
+  const std::string rng_state = rng.SaveState();
+
+  // A fresh batcher + rng restored from the snapshot must emit the exact
+  // remaining batch sequence (BeginEpoch is a no-op after a mid-epoch
+  // restore: no reshuffle, cursors kept).
+  Batcher restored(&ds_, {4, 1.0, 0});
+  std::istringstream in(state, std::ios::binary);
+  ASSERT_TRUE(restored.LoadState(&in, /*resume_mid_epoch=*/true).ok());
+  Rng rng2(0);
+  ASSERT_TRUE(rng2.LoadState(rng_state));
+  restored.BeginEpoch(&rng2);  // must not reshuffle
+
+  MiniBatch a, b;
+  while (true) {
+    const bool more_a = original.NextBatch(&rng, &a);
+    const bool more_b = restored.NextBatch(&rng2, &b);
+    ASSERT_EQ(more_a, more_b);
+    if (!more_a) break;
+    ASSERT_EQ(a.group_triplets.size(), b.group_triplets.size());
+    for (size_t i = 0; i < a.group_triplets.size(); ++i) {
+      EXPECT_EQ(a.group_triplets[i].group, b.group_triplets[i].group);
+      EXPECT_EQ(a.group_triplets[i].positive, b.group_triplets[i].positive);
+      EXPECT_EQ(a.group_triplets[i].negative, b.group_triplets[i].negative);
+    }
+    ASSERT_EQ(a.user_instances.size(), b.user_instances.size());
+    for (size_t i = 0; i < a.user_instances.size(); ++i) {
+      EXPECT_EQ(a.user_instances[i].user, b.user_instances[i].user);
+      EXPECT_EQ(a.user_instances[i].item, b.user_instances[i].item);
+      EXPECT_EQ(a.user_instances[i].label, b.user_instances[i].label);
+    }
+  }
+}
+
+TEST_F(BatcherTest, BoundaryStateRestoresPermutationForNextEpoch) {
+  // BeginEpoch reshuffles the CURRENT permutation in place, so even an
+  // epoch-boundary restore must carry the orders: two batchers with the
+  // same restored state and rng must agree on the NEXT epoch's batches.
+  Batcher original(&ds_, {4, 0.0, 0});
+  Rng rng(12);
+  original.BeginEpoch(&rng);
+  MiniBatch batch;
+  while (original.NextBatch(&rng, &batch)) {
+  }
+  const std::string state = BatcherStateBytes(original);
+  const std::string rng_state = rng.SaveState();
+
+  Batcher restored(&ds_, {4, 0.0, 0});
+  std::istringstream in(state, std::ios::binary);
+  ASSERT_TRUE(restored.LoadState(&in, /*resume_mid_epoch=*/false).ok());
+  Rng rng2(0);
+  ASSERT_TRUE(rng2.LoadState(rng_state));
+
+  original.BeginEpoch(&rng);
+  restored.BeginEpoch(&rng2);
+  MiniBatch a, b;
+  while (true) {
+    const bool more_a = original.NextBatch(&rng, &a);
+    const bool more_b = restored.NextBatch(&rng2, &b);
+    ASSERT_EQ(more_a, more_b);
+    if (!more_a) break;
+    ASSERT_EQ(a.group_triplets.size(), b.group_triplets.size());
+    for (size_t i = 0; i < a.group_triplets.size(); ++i) {
+      EXPECT_EQ(a.group_triplets[i].positive, b.group_triplets[i].positive);
+      EXPECT_EQ(a.group_triplets[i].negative, b.group_triplets[i].negative);
+    }
+  }
+}
+
+TEST_F(BatcherTest, LoadStateRejectsGarbage) {
+  Batcher batcher(&ds_, {4, 1.0, 0});
+  std::istringstream in(std::string("definitely not a batcher"),
+                        std::ios::binary);
+  EXPECT_FALSE(batcher.LoadState(&in, false).ok());
 }
 
 }  // namespace

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <initializer_list>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "common/thread_pool.h"
 
 namespace kgag {
 namespace {
@@ -120,6 +123,30 @@ TEST(RankingEvaluatorTest, PoolIsUnionOfSliceItems) {
   EvalResult r = eval.Evaluate(&zero, {{2, 4}});
   EXPECT_EQ(r.num_groups, 1u);
   EXPECT_DOUBLE_EQ(r.hit_at_k, 1.0);
+}
+
+TEST(RankingEvaluatorTest, ParallelMatchesSerialBitExactly) {
+  // The parallel path reduces per-group results in a fixed order, so its
+  // metrics must be byte-identical to the serial path — including in the
+  // default (obs-ON) build, where per-group counters fire from workers.
+  GroupRecDataset ds = SmallDataset();
+  OracleScorer oracle(&ds);
+  AntiOracleScorer anti(&ds);
+  for (size_t k : {1u, 2u, 5u, 100u}) {
+    RankingEvaluator serial(&ds, k);
+    RankingEvaluator parallel(&ds, k);
+    ThreadPool pool(4);
+    parallel.set_thread_pool(&pool);
+    for (GroupScorer* scorer :
+         std::initializer_list<GroupScorer*>{&oracle, &anti}) {
+      const EvalResult a = serial.EvaluateTest(scorer);
+      const EvalResult b = parallel.EvaluateTest(scorer);
+      EXPECT_EQ(a.hit_at_k, b.hit_at_k) << "k=" << k;
+      EXPECT_EQ(a.recall_at_k, b.recall_at_k) << "k=" << k;
+      EXPECT_EQ(a.ndcg_at_k, b.ndcg_at_k) << "k=" << k;
+      EXPECT_EQ(a.num_groups, b.num_groups) << "k=" << k;
+    }
+  }
 }
 
 TEST(EvalResultTest, ToStringContainsMetrics) {

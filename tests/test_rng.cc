@@ -127,6 +127,41 @@ TEST(RngTest, ForkProducesIndependentStream) {
   EXPECT_LT(identical, 5);
 }
 
+TEST(RngTest, SaveLoadStateReplaysExactStream) {
+  Rng a(97);
+  for (int i = 0; i < 37; ++i) (void)a.UniformInt(0, 1000);  // mid-stream
+  const std::string state = a.SaveState();
+  Rng b(0);  // different seed: the state must fully define the stream
+  ASSERT_TRUE(b.LoadState(state));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1 << 20), b.UniformInt(0, 1 << 20));
+  }
+}
+
+TEST(RngTest, SaveLoadStateReplaysRealAndNormalDraws) {
+  Rng a(101);
+  (void)a.Normal(0.0, 1.0);
+  const std::string state = a.SaveState();
+  Rng b(0);
+  ASSERT_TRUE(b.LoadState(state));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Uniform(0.0, 1.0), b.Uniform(0.0, 1.0));
+  }
+}
+
+TEST(RngTest, LoadStateRejectsGarbageAndKeepsEngine) {
+  Rng a(103);
+  const int64_t before_a = a.UniformInt(0, 1 << 30);
+  Rng b(103);
+  const int64_t before_b = b.UniformInt(0, 1 << 30);
+  ASSERT_EQ(before_a, before_b);
+  EXPECT_FALSE(b.LoadState("not an mt19937_64 state"));
+  // Failed load must leave the engine untouched: both continue in sync.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1 << 30), b.UniformInt(0, 1 << 30));
+  }
+}
+
 TEST(ZipfSamplerTest, LowerRanksMoreFrequent) {
   Rng rng(43);
   ZipfSampler zipf(50, 1.0);

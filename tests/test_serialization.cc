@@ -111,6 +111,44 @@ TEST(SerializationTest, RejectsTruncatedFile) {
   EXPECT_FALSE(LoadParameters(&half, b).ok());
 }
 
+TEST(SerializationTest, RejectsHugeNameLength) {
+  // A corrupt/hostile name-length prefix must be rejected BEFORE it sizes
+  // an allocation: magic + matching count, then name_len = 0xffffffff.
+  std::unique_ptr<ParameterStore> h;
+  ParameterStore* store = MakeStore(&h, 20);
+  std::stringstream buf;
+  buf.write("KGAGPS01", 8);
+  const uint64_t count = store->params().size();
+  buf.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  const uint32_t huge_len = 0xffffffffu;
+  buf.write(reinterpret_cast<const char*>(&huge_len), sizeof(huge_len));
+  Status st = LoadParameters(&buf, store);
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("name length"), std::string::npos);
+}
+
+TEST(SerializationTest, FailedFileSaveKeepsPreviousFileIntact) {
+  // SaveParametersToFile writes atomically: after overwriting an existing
+  // good file, the content is the new version in full — and a save to an
+  // unwritable location reports an error without touching anything.
+  const std::string path = "/tmp/kgag_params_atomic_test.bin";
+  std::unique_ptr<ParameterStore> h1, h2;
+  ParameterStore* a = MakeStore(&h1, 21);
+  ASSERT_TRUE(SaveParametersToFile(*a, path).ok());
+
+  ParameterStore* b = MakeStore(&h2, 22);
+  ASSERT_TRUE(SaveParametersToFile(*b, path).ok());
+  std::unique_ptr<ParameterStore> h3;
+  ParameterStore* loaded = MakeStore(&h3, 23);
+  ASSERT_TRUE(LoadParametersFromFile(path, loaded).ok());
+  EXPECT_TRUE(AllClose(b->at(0)->value, loaded->at(0)->value));
+  std::remove(path.c_str());
+
+  Status st =
+      SaveParametersToFile(*a, "/nonexistent_dir_kgag/params.bin");
+  EXPECT_FALSE(st.ok());
+}
+
 TEST(SerializationTest, TrainedKgagModelRoundTrips) {
   // Save a trained model, reload into a freshly-constructed one, and
   // verify identical scores — the save/load adoption workflow.
