@@ -14,7 +14,8 @@
 //                 in an obs-OFF build, then feed both files to
 //                 tools/check_obs_overhead.py to gate the overhead budget
 //   --out         output path (default ./BENCH_kernels.json)
-//   --threads     pool size for the parallel-eval case (default 8)
+//   --threads     pool size for the parallel-eval case, clamped to
+//                 hardware_concurrency (default 0 = all hardware threads)
 //
 // Observability: with KGAG_OBS_ENABLED builds this binary installs the
 // default instrumentation, appends a "bench_kernels" snapshot to the sink
@@ -45,7 +46,7 @@ struct Options {
   bool smoke = false;
   bool acceptance = false;
   std::string out = "BENCH_kernels.json";
-  size_t threads = 8;
+  size_t threads = 0;  // 0 = hardware_concurrency (honest local numbers)
 };
 
 Tensor RandomTensor(size_t rows, size_t cols, Rng* rng) {
@@ -211,10 +212,15 @@ struct EvalRow {
 EvalRow RunEvalCase(const Options& opt) {
   EvalRow row;
   // MovieLens-like sweep scale: every test group ranked against the full
-  // test-item pool (§IV-B protocol).
-  row.groups = opt.smoke ? 6 : 240;
-  row.pool = opt.smoke ? 12 : 400;
-  row.threads = opt.threads;
+  // test-item pool (§IV-B protocol). Sized so per-group work dominates
+  // scheduling overhead even at high thread counts.
+  row.groups = opt.smoke ? 6 : 512;
+  row.pool = opt.smoke ? 12 : 600;
+  // Oversubscribing a smaller machine only measures scheduler thrash, so
+  // an explicit --threads is clamped to the hardware (0 = use all of it).
+  const size_t hw =
+      std::max<size_t>(1, std::thread::hardware_concurrency());
+  row.threads = opt.threads == 0 ? hw : std::min(opt.threads, hw);
   const size_t dim = 64;
 
   GroupRecDataset ds;

@@ -1,0 +1,263 @@
+// bench_train: deterministic data-parallel training harness (DESIGN.md
+// §9). Measures (a) the arena-backed tape against the heap-allocating
+// baseline at one thread, (b) epoch throughput across thread counts with
+// the fixed-shard TrainEpoch, and (c) PROVES the determinism contract:
+// after several epochs the parameters, Adam moments, RNG state and
+// batcher state must be byte-identical for every thread count (and for
+// arena on/off). Any divergence is a hard failure (nonzero exit), which
+// is how CI gates the parallel path.
+//
+// Usage: bench_train [--smoke] [--acceptance] [--threads N]
+//                    [--shard_size N] [--out PATH]
+//   --smoke       tiny dataset + single timing rep (CI wiring check)
+//   --acceptance  bit-identity gate only: train 3 epochs at 1, 2 and N
+//                 threads and compare training-state bytes; no timing
+//                 sweep, no JSON artifact unless --out is given
+//   --threads     max worker count exercised (default 8)
+//   --shard_size  examples per shard (default KgagConfig default)
+//   --out         output path (default ./BENCH_train.json)
+//
+// Speedup numbers are only meaningful on multi-core hardware; the JSON
+// records hardware_threads so readers can judge (a 1-core container
+// yields ~1.0x regardless of the implementation).
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "data/synthetic/standard_datasets.h"
+#include "models/kgag_model.h"
+
+namespace kgag {
+namespace {
+
+struct Options {
+  bool smoke = false;
+  bool acceptance = false;
+  size_t threads = 8;
+  size_t shard_size = 0;  // 0 = keep the config default
+  std::string out = "BENCH_train.json";
+};
+
+/// The serialized training state after `epochs` epochs: every byte that
+/// the determinism contract covers.
+struct TrainSnapshot {
+  std::string params;
+  std::string optimizer;
+  std::string rng;
+  std::string batcher;
+  double last_loss = 0.0;
+
+  bool operator==(const TrainSnapshot& o) const {
+    return params == o.params && optimizer == o.optimizer && rng == o.rng &&
+           batcher == o.batcher;
+  }
+};
+
+KgagConfig MakeConfig(const Options& opt) {
+  KgagConfig cfg = bench::DefaultKgagConfig();
+  cfg.select_by_validation = false;
+  cfg.pairs_per_epoch = opt.smoke ? 96 : 512;
+  if (opt.shard_size > 0) cfg.train_shard_size = opt.shard_size;
+  return cfg;
+}
+
+std::unique_ptr<KgagModel> MakeModel(const GroupRecDataset& ds,
+                                     const KgagConfig& cfg) {
+  Result<std::unique_ptr<KgagModel>> model = KgagModel::Create(&ds, cfg);
+  KGAG_CHECK(model.ok()) << model.status().ToString();
+  return std::move(*model);
+}
+
+TrainSnapshot TrainAndSnapshot(const GroupRecDataset& ds,
+                               const KgagConfig& cfg, int epochs) {
+  std::unique_ptr<KgagModel> model = MakeModel(ds, cfg);
+  Rng rng(cfg.seed + 1);  // mirrors Fit()'s train stream
+  TrainSnapshot snap;
+  for (int e = 0; e < epochs; ++e) snap.last_loss = model->TrainEpoch(&rng);
+  ckpt::TrainingState state = model->CaptureTrainingState(
+      static_cast<uint64_t>(epochs), /*mid_epoch=*/false,
+      /*batches_done=*/0, /*partial_loss=*/0.0, /*selector=*/nullptr);
+  snap.params = std::move(state.params);
+  snap.optimizer = std::move(state.optimizer);
+  snap.rng = std::move(state.rng);
+  snap.batcher = std::move(state.batcher);
+  return snap;
+}
+
+/// Seconds per training epoch, best of `reps` (post-warmup, so tapes,
+/// arenas and grad buffers are at steady-state capacity).
+double TimeEpoch(const Options& opt, const GroupRecDataset& ds,
+                 const KgagConfig& cfg) {
+  std::unique_ptr<KgagModel> model = MakeModel(ds, cfg);
+  Rng rng(cfg.seed + 1);
+  model->TrainEpoch(&rng);  // warmup
+  const int reps = opt.smoke ? 1 : 3;
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    model->TrainEpoch(&rng);
+    best = std::min(best, sw.ElapsedSeconds());
+  }
+  return best;
+}
+
+struct ThreadRow {
+  size_t threads = 0;
+  double ms_per_epoch = 0.0;
+  double speedup = 0.0;  // vs the 1-thread arena run
+  bool bit_identical = false;
+};
+
+int Main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      opt.smoke = true;
+    } else if (arg == "--acceptance") {
+      opt.acceptance = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      opt.threads = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--shard_size" && i + 1 < argc) {
+      opt.shard_size = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--out" && i + 1 < argc) {
+      opt.out = argv[++i];
+    } else {
+      std::cerr << "usage: bench_train [--smoke] [--acceptance]"
+                << " [--threads N] [--shard_size N] [--out PATH]\n";
+      return 2;
+    }
+  }
+  opt.threads = std::max<size_t>(2, opt.threads);
+
+  const GroupRecDataset ds =
+      MakeMovieLensRandDataset(17, opt.smoke ? 0.08 : 0.2);
+  const KgagConfig base = MakeConfig(opt);
+  const int identity_epochs = 3;
+
+  // --- Determinism gate: 1 vs 2 vs N threads, byte-compared. -------------
+  KgagConfig cfg1 = base;
+  cfg1.train_threads = 1;
+  const TrainSnapshot ref = TrainAndSnapshot(ds, cfg1, identity_epochs);
+
+  std::vector<size_t> counts = {2};
+  if (opt.threads > 2) counts.push_back(opt.threads);
+  bool all_identical = true;
+  std::vector<ThreadRow> rows;
+  rows.push_back({1, 0.0, 1.0, true});
+  for (size_t t : counts) {
+    KgagConfig cfg = base;
+    cfg.train_threads = static_cast<int>(t);
+    const TrainSnapshot snap = TrainAndSnapshot(ds, cfg, identity_epochs);
+    const bool same = snap == ref;
+    all_identical = all_identical && same;
+    rows.push_back({t, 0.0, 0.0, same});
+    std::cout << "bit-identity " << t << " vs 1 threads: "
+              << (same ? "OK" : "DIVERGED") << " (loss " << snap.last_loss
+              << " vs " << ref.last_loss << ")\n";
+    if (!same) {
+      std::cerr << "FAIL: training state diverged at " << t << " threads ("
+                << (snap.params != ref.params ? "params " : "")
+                << (snap.optimizer != ref.optimizer ? "optimizer " : "")
+                << (snap.rng != ref.rng ? "rng " : "")
+                << (snap.batcher != ref.batcher ? "batcher " : "")
+                << "differ)\n";
+    }
+  }
+
+  // Arena off must match arena on bitwise too: same FP ops, different
+  // allocator.
+  KgagConfig cfg_heap = cfg1;
+  cfg_heap.tape_arena = false;
+  const TrainSnapshot heap_snap =
+      TrainAndSnapshot(ds, cfg_heap, identity_epochs);
+  const bool arena_identical = heap_snap == ref;
+  all_identical = all_identical && arena_identical;
+  std::cout << "bit-identity arena vs heap: "
+            << (arena_identical ? "OK" : "DIVERGED") << "\n";
+
+  if (opt.acceptance) {
+    std::cout << (all_identical ? "acceptance OK\n" : "acceptance FAILED\n");
+    return all_identical ? 0 : 1;
+  }
+
+  // --- Timing sweep. ------------------------------------------------------
+  const double heap_secs = TimeEpoch(opt, ds, cfg_heap);
+  const double arena_secs = TimeEpoch(opt, ds, cfg1);
+  const double arena_speedup = heap_secs / arena_secs;
+  std::cout << "epoch 1 thread: heap " << heap_secs * 1e3 << " ms, arena "
+            << arena_secs * 1e3 << " ms, arena speedup " << arena_speedup
+            << "x\n";
+  rows[0].ms_per_epoch = arena_secs * 1e3;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    KgagConfig cfg = base;
+    cfg.train_threads = static_cast<int>(rows[i].threads);
+    const double secs = TimeEpoch(opt, ds, cfg);
+    rows[i].ms_per_epoch = secs * 1e3;
+    rows[i].speedup = arena_secs / secs;
+    std::cout << "epoch " << rows[i].threads << " threads: " << secs * 1e3
+              << " ms, speedup " << rows[i].speedup << "x\n";
+  }
+
+  std::ofstream out(opt.out);
+  if (!out) {
+    std::cerr << "cannot write " << opt.out << "\n";
+    return 1;
+  }
+  bench::JsonWriter w(&out);
+  w.BeginObject();
+  w.Newline();
+  w.Field("bench", "bench_train");
+  w.Newline();
+  w.Field("smoke", opt.smoke);
+  w.Newline();
+  w.Field("hardware_threads", std::thread::hardware_concurrency());
+  w.Newline();
+  w.BeginObject("workload");
+  w.Field("dataset", ds.name);
+  w.Field("pairs_per_epoch", base.pairs_per_epoch);
+  w.Field("batch_size", base.batch_size);
+  w.Field("shard_size", base.train_shard_size);
+  w.Field("identity_epochs", identity_epochs);
+  w.EndObject();
+  w.Newline();
+  w.BeginObject("arena");
+  w.Field("heap_ms_per_epoch", heap_secs * 1e3);
+  w.Field("arena_ms_per_epoch", arena_secs * 1e3);
+  w.Field("speedup", arena_speedup);
+  w.Field("bit_identical", arena_identical);
+  w.EndObject();
+  w.Newline();
+  w.BeginArray("threads");
+  w.Newline();
+  for (const ThreadRow& r : rows) {
+    w.BeginObject();
+    w.Field("threads", r.threads);
+    w.Field("ms_per_epoch", r.ms_per_epoch);
+    w.Field("speedup", r.speedup);
+    w.Field("bit_identical", r.bit_identical);
+    w.EndObject();
+    w.Newline();
+  }
+  w.EndArray();
+  w.Newline();
+  w.Field("all_bit_identical", all_identical);
+  w.Newline();
+  w.EndObject();
+  w.Newline();
+  std::cout << "wrote " << opt.out << "\n";
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace kgag
+
+int main(int argc, char** argv) { return kgag::Main(argc, argv); }

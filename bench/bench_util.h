@@ -3,14 +3,18 @@
 // scale so results are comparable across binaries.
 //
 // Environment overrides (useful for quick smoke runs or larger studies):
-//   KGAG_SCALE  — dataset scale factor (default 0.45)
-//   KGAG_EPOCHS — training epochs for every model (default 12)
-//   KGAG_SEED   — world seed (default 42)
+//   KGAG_SCALE         — dataset scale factor (default 0.45)
+//   KGAG_EPOCHS        — training epochs for every model (default 12)
+//   KGAG_SEED          — world seed (default 42)
+//   KGAG_TRAIN_THREADS — KGAG training worker threads (default 1);
+//                        results are bit-identical at any value
 #ifndef KGAG_BENCH_BENCH_UTIL_H_
 #define KGAG_BENCH_BENCH_UTIL_H_
 
 #include <cstdlib>
+#include <ostream>
 #include <string>
+#include <vector>
 
 #include "baselines/kgcn.h"
 #include "baselines/mf.h"
@@ -50,6 +54,7 @@ inline KgagConfig DefaultKgagConfig() {
   cfg.epochs = Epochs();
   cfg.pairs_per_epoch = 1600;
   cfg.seed = 1234;
+  cfg.train_threads = EnvInt("KGAG_TRAIN_THREADS", 1);
   return cfg;
 }
 
@@ -77,10 +82,96 @@ inline std::string Cell(double rec, double hit) {
   return TablePrinter::Num(rec) + " / " + TablePrinter::Num(hit);
 }
 
-/// Crash-safe checkpoint flags shared by the sweep drivers:
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// \brief Append-style writer for the checked-in BENCH_*.json artifacts.
+///
+/// Tracks comma placement per nesting level so emitters stay linear
+/// (Field/Begin/End in document order) instead of hand-assembling
+/// separator logic; no external JSON dependency. Produces compact
+/// one-line scopes — callers wanting readable diffs open one object or
+/// array element per logical record.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream* os) : os_(os) {}
+
+  void BeginObject() {
+    Sep();
+    *os_ << "{";
+    open_.push_back(false);
+  }
+  void BeginObject(const std::string& key) {
+    KeyPrefix(key);
+    *os_ << "{";
+    open_.push_back(false);
+  }
+  void BeginArray(const std::string& key) {
+    KeyPrefix(key);
+    *os_ << "[";
+    open_.push_back(false);
+  }
+  void EndObject() { Close('}'); }
+  void EndArray() { Close(']'); }
+
+  void Field(const std::string& key, const std::string& v) {
+    KeyPrefix(key);
+    *os_ << '"' << JsonEscape(v) << '"';
+  }
+  void Field(const std::string& key, const char* v) {
+    Field(key, std::string(v));
+  }
+  void Field(const std::string& key, bool v) {
+    KeyPrefix(key);
+    *os_ << (v ? "true" : "false");
+  }
+  template <typename T>
+  void Field(const std::string& key, T v) {
+    KeyPrefix(key);
+    *os_ << v;
+  }
+  /// Newline between records, for diffable checked-in artifacts.
+  void Newline() { *os_ << "\n"; }
+
+ private:
+  void Sep() {
+    if (!open_.empty()) {
+      if (open_.back()) *os_ << ", ";
+      open_.back() = true;
+    }
+  }
+  void KeyPrefix(const std::string& key) {
+    Sep();
+    *os_ << '"' << JsonEscape(key) << "\": ";
+  }
+  void Close(char c) {
+    *os_ << c;
+    open_.pop_back();
+  }
+
+  std::ostream* os_;
+  std::vector<bool> open_;
+};
+
+/// Flags shared by the sweep drivers:
 ///   --checkpoint_dir=DIR  root directory for snapshots (off when empty)
 ///   --checkpoint_every=N  extra mid-epoch snapshot cadence in batches
 ///   --resume              resume each sweep point from its newest snapshot
+///   --train_threads=N     training worker threads (bit-identical results
+///                         at any value; see DESIGN.md §9)
 /// Each sweep point checkpoints into its own subdirectory (DIR/<tag>) so a
 /// killed sweep resumes the interrupted point instead of cross-loading
 /// state from a different hyper-parameter cell.
@@ -88,10 +179,12 @@ struct CheckpointFlags {
   std::string dir;
   int every = 0;
   bool resume = false;
+  int train_threads = 0;  ///< 0 = keep DefaultKgagConfig's value
 
   /// Applies the flags to one sweep point's config. `point_tag` names the
   /// per-point subdirectory, e.g. "margin_0.4" or "depth_2".
   void Apply(KgagConfig* cfg, const std::string& point_tag) const {
+    if (train_threads > 0) cfg->train_threads = train_threads;
     if (dir.empty()) return;
     cfg->checkpoint_dir = dir + "/" + point_tag;
     cfg->checkpoint_every_batches = every;
@@ -110,6 +203,9 @@ inline CheckpointFlags ParseCheckpointFlags(int argc, char** argv) {
           std::atoi(arg.c_str() + std::string("--checkpoint_every=").size());
     } else if (arg == "--resume") {
       flags.resume = true;
+    } else if (arg.rfind("--train_threads=", 0) == 0) {
+      flags.train_threads =
+          std::atoi(arg.c_str() + std::string("--train_threads=").size());
     }
   }
   return flags;

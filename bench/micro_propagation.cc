@@ -1,8 +1,19 @@
 // Micro-benchmarks of the propagation pipeline: sampling, tape-mode
 // forward+backward and batched inference (the §III-E complexity claims:
 // per-instance cost grows with K^H, not with corpus size).
+//
+// In addition to the normal google-benchmark console output, the custom
+// main below collects every run and writes BENCH_propagation.json (path
+// overridable with KGAG_BENCH_OUT) so the propagation trend is a
+// checked-in artifact like BENCH_kernels.json. All google-benchmark
+// flags (--benchmark_filter, --benchmark_min_time, ...) still work.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "bench_util.h"
 #include "data/synthetic/standard_datasets.h"
 #include "kg/collaborative_kg.h"
 #include "models/propagation.h"
@@ -94,7 +105,86 @@ void BM_PropagateBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_PropagateBatch)->Arg(1)->Arg(32)->Arg(128);
 
+/// Console reporter that additionally collects per-iteration runs for the
+/// JSON artifact (aggregates and errored runs are skipped).
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double real_ns = 0.0;
+    double cpu_ns = 0.0;
+    int64_t iterations = 0;
+    double items_per_second = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& r : reports) {
+      if (r.run_type != Run::RT_Iteration || r.error_occurred) continue;
+      Row row;
+      row.name = r.benchmark_name();
+      // Adjusted times are per-iteration in the run's time unit; the
+      // micro benches all report in ns (the library default).
+      row.real_ns = r.GetAdjustedRealTime();
+      row.cpu_ns = r.GetAdjustedCPUTime();
+      row.iterations = static_cast<int64_t>(r.iterations);
+      auto it = r.counters.find("items_per_second");
+      if (it != r.counters.end()) row.items_per_second = it->second;
+      rows.push_back(row);
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  std::vector<Row> rows;
+};
+
+int WriteJson(const std::string& path,
+              const std::vector<CollectingReporter::Row>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  bench::JsonWriter w(&out);
+  w.BeginObject();
+  w.Newline();
+  w.Field("bench", "micro_propagation");
+  w.Newline();
+  w.Field("hardware_threads", std::thread::hardware_concurrency());
+  w.Newline();
+  w.BeginArray("runs");
+  w.Newline();
+  for (const CollectingReporter::Row& r : rows) {
+    w.BeginObject();
+    w.Field("name", r.name);
+    w.Field("real_ns", r.real_ns);
+    w.Field("cpu_ns", r.cpu_ns);
+    w.Field("iterations", r.iterations);
+    if (r.items_per_second > 0.0) {
+      w.Field("items_per_second", r.items_per_second);
+    }
+    w.EndObject();
+    w.Newline();
+  }
+  w.EndArray();
+  w.Newline();
+  w.EndObject();
+  w.Newline();
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}
+
 }  // namespace
 }  // namespace kgag
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  kgag::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const char* out = std::getenv("KGAG_BENCH_OUT");
+  return kgag::WriteJson(out != nullptr && out[0] != '\0'
+                             ? out
+                             : "BENCH_propagation.json",
+                         reporter.rows);
+}

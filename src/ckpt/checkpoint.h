@@ -85,7 +85,10 @@ struct TrainingState {
 
   std::string params;     ///< SaveParameters blob
   std::string optimizer;  ///< Optimizer::SaveState blob
-  std::string rng;        ///< Rng engine states (init + train streams)
+  /// Rng engine states (init + train), then a tagged record with the
+  /// counter-based stream seed (absent in pre-stream checkpoints; see
+  /// KgagModel::CaptureTrainingState).
+  std::string rng;
   std::string batcher;    ///< Batcher::SaveState blob
   std::string selector;   ///< ValidationSelector::SaveState blob (optional)
 };

@@ -80,6 +80,55 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+/// SplitMix64 finalizer (Steele et al., "Fast splittable pseudorandom
+/// number generators", OOPSLA 2014). Bijective on uint64_t with strong
+/// avalanche behaviour; the building block for counter-based stream
+/// derivation below.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Counter-based stream seed: a stateless hash of
+/// (seed, epoch, stream_id, index) that yields an independent seed per
+/// (purpose, example). Unlike a shared sequential engine — where a
+/// rejection sampler's variable draw count makes every later example's
+/// randomness depend on every earlier one — derived streams depend only
+/// on the example's own coordinates, so sampled trees and negatives are
+/// identical no matter how examples are sharded across threads.
+///
+/// `stream_id` namespaces consumers (e.g. negative sampling vs tree
+/// sampling); each call site owns a distinct constant. Chained SplitMix64
+/// rounds (rather than one xor-fold) keep structured inputs like
+/// (epoch, epoch+1) from producing correlated seeds.
+inline uint64_t DeriveStreamSeed(uint64_t seed, uint64_t epoch,
+                                 uint64_t stream_id, uint64_t index) {
+  uint64_t h = SplitMix64(seed ^ 0x8f1bbcdc9abcdef1ULL);
+  h = SplitMix64(h ^ epoch);
+  h = SplitMix64(h ^ stream_id);
+  h = SplitMix64(h ^ index);
+  return h;
+}
+
+/// \brief Counter-based RNG stream coordinates for one training epoch.
+///
+/// `For(stream_id, index)` hands out an independent generator for one
+/// (consumer, example) pair; each consumer (negative sampling, tree
+/// sampling, ...) owns a distinct stream_id constant and indexes by its
+/// epoch-global example counter. Because derivation is stateless, any
+/// thread can draw example i's stream without coordination and a resumed
+/// run re-derives the exact streams from (seed, epoch, cursor) alone.
+struct EpochStreams {
+  uint64_t seed = 0;
+  uint64_t epoch = 0;
+
+  Rng For(uint64_t stream_id, uint64_t index) const {
+    return Rng(DeriveStreamSeed(seed, epoch, stream_id, index));
+  }
+};
+
 /// \brief Precomputed Zipf sampler for repeated draws over a fixed domain.
 class ZipfSampler {
  public:

@@ -1,12 +1,13 @@
-// Fixed-size work-queue thread pool. Training itself is single-threaded
-// (determinism first); the pool backs the opt-in parallel paths: the
-// ranking evaluator fans out over test groups (see
+// Fixed-size work-queue thread pool backing the parallel paths: training
+// fans out over fixed mini-batch shards (KgagConfig::train_threads, see
+// DESIGN.md §9), the ranking evaluator fans out over test groups (see
 // RankingEvaluator::set_thread_pool) and large GEMMs fan out over row
-// panels (see kernels::SetComputeThreadPool). Both write to disjoint
+// panels (see kernels::SetComputeThreadPool). All write to disjoint
 // preallocated slots so results are bit-identical to their serial runs.
 #ifndef KGAG_COMMON_THREAD_POOL_H_
 #define KGAG_COMMON_THREAD_POOL_H_
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <functional>
@@ -79,6 +80,18 @@ class ThreadPool {
   /// True when the calling thread is one of this or any pool's workers.
   /// Used to run nested parallel constructs inline instead of re-queuing.
   static bool InWorkerThread();
+
+  /// Grain that splits n items into ~`chunks_per_worker` chunks per
+  /// executing thread (workers + the participating caller): large enough
+  /// to amortize the per-chunk atomic fetch, small enough that uneven
+  /// items still load-balance. Callers with tiny per-item work should
+  /// prefer this over a hardcoded grain so the choice tracks pool size.
+  static size_t RecommendedGrain(size_t n, size_t workers,
+                                 size_t chunks_per_worker = 8) {
+    const size_t executors = workers + 1;
+    const size_t chunks = executors * std::max<size_t>(1, chunks_per_worker);
+    return std::max<size_t>(1, n / chunks);
+  }
 
   size_t num_threads() const { return workers_.size(); }
 

@@ -48,6 +48,8 @@ size_t Batcher::BatchesPerEpoch() const {
 bool Batcher::NextBatch(Rng* rng, MiniBatch* batch) {
   batch->group_triplets.clear();
   batch->user_instances.clear();
+  batch->group_index_base = group_cursor_;
+  batch->user_instance_base = user_cursor_ * 2;
   if (group_cursor_ >= group_order_.size()) return false;
 
   const size_t end =
@@ -72,6 +74,40 @@ bool Batcher::NextBatch(Rng* rng, MiniBatch* batch) {
         UserInstance{pos.row, pos.item, 1.0});
     batch->user_instances.push_back(UserInstance{
         pos.row, user_negatives_.Sample(pos.row, rng), 0.0});
+  }
+  return true;
+}
+
+bool Batcher::NextBatch(const EpochStreams& streams, MiniBatch* batch) {
+  batch->group_triplets.clear();
+  batch->user_instances.clear();
+  batch->group_index_base = group_cursor_;
+  batch->user_instance_base = user_cursor_ * 2;
+  if (group_cursor_ >= group_order_.size()) return false;
+
+  const size_t end =
+      std::min(group_cursor_ + options_.group_batch_size, group_order_.size());
+  for (; group_cursor_ < end; ++group_cursor_) {
+    const Interaction& pos = group_order_[group_cursor_];
+    // One derived stream per example index: the rejection sampler may
+    // draw any number of times without perturbing later examples.
+    Rng ex_rng = streams.For(kGroupNegativeStream, group_cursor_);
+    GroupTriplet t;
+    t.group = pos.row;
+    t.positive = pos.item;
+    t.negative = group_negatives_.Sample(pos.row, &ex_rng);
+    batch->group_triplets.push_back(t);
+  }
+
+  const size_t user_pos = static_cast<size_t>(
+      options_.user_ratio * static_cast<double>(batch->group_triplets.size()));
+  for (size_t i = 0; i < user_pos && !user_order_.empty(); ++i) {
+    const Interaction& pos = user_order_[user_cursor_ % user_order_.size()];
+    Rng ex_rng = streams.For(kUserNegativeStream, user_cursor_);
+    ++user_cursor_;
+    batch->user_instances.push_back(UserInstance{pos.row, pos.item, 1.0});
+    batch->user_instances.push_back(UserInstance{
+        pos.row, user_negatives_.Sample(pos.row, &ex_rng), 0.0});
   }
   return true;
 }

@@ -33,10 +33,25 @@ struct MiniBatch {
   std::vector<GroupTriplet> group_triplets;
   std::vector<UserInstance> user_instances;
 
+  /// Epoch-global index of group_triplets[0] (its position in the
+  /// shuffled group order). Training derives each example's RNG stream
+  /// from `group_index_base + i`, so randomness is addressable per
+  /// example rather than tied to consumption order.
+  uint64_t group_index_base = 0;
+  /// Epoch-global index of user_instances[0]; positives and their
+  /// negatives count separately (two instances per positive pair).
+  uint64_t user_instance_base = 0;
+
   size_t size() const {
     return group_triplets.size() + user_instances.size();
   }
 };
+
+/// Stream ids for counter-based RNG derivation (see EpochStreams). Each
+/// stochastic consumer of a training example owns one constant so their
+/// draws never alias.
+inline constexpr uint64_t kGroupNegativeStream = 0xB1;
+inline constexpr uint64_t kUserNegativeStream = 0xB2;
 
 /// \brief Shuffles training interactions each epoch and emits mini-batches.
 class Batcher {
@@ -59,8 +74,18 @@ class Batcher {
   void BeginEpoch(Rng* rng);
 
   /// Fills the next batch; returns false when the epoch is exhausted
-  /// (group interactions drive epoch length).
+  /// (group interactions drive epoch length). Negatives are drawn from
+  /// the shared sequential engine; prefer the EpochStreams overload for
+  /// thread-count-independent training.
   bool NextBatch(Rng* rng, MiniBatch* batch);
+
+  /// Stream-addressed variant: the negative for the example at
+  /// epoch-global index i is drawn from its own counter-based stream
+  /// (kGroupNegativeStream/kUserNegativeStream, index i), so the batch
+  /// content is a pure function of (seed, epoch, cursor) — independent
+  /// of how many threads later process it and of how many rejection
+  /// draws earlier examples consumed. Also fills the batch index bases.
+  bool NextBatch(const EpochStreams& streams, MiniBatch* batch);
 
   size_t BatchesPerEpoch() const;
 

@@ -76,9 +76,13 @@ EvalResult RankingEvaluator::Evaluate(
   };
 
   if (pool_ != nullptr && groups.size() > 1) {
-    // Grain 1: each item is a full ranking pass over the pool, far larger
-    // than one atomic fetch.
-    pool_->ParallelFor(groups.size(), /*grain=*/1, eval_group);
+    // Auto-derived grain: each item is a full ranking pass (far larger
+    // than one atomic fetch), but per-task queue latency still adds up
+    // when groups vastly outnumber threads — chunking keeps ~8 chunks
+    // per executor, which also bounds load imbalance to ~1/8 of a share.
+    const size_t grain =
+        ThreadPool::RecommendedGrain(groups.size(), pool_->num_threads());
+    pool_->ParallelFor(groups.size(), grain, eval_group);
   } else {
     for (size_t i = 0; i < groups.size(); ++i) eval_group(i);
   }

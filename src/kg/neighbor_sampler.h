@@ -44,9 +44,15 @@ class NeighborSampler {
   /// Exactly K edges of e: a uniform sample without replacement when
   /// degree >= K, otherwise all edges plus uniform re-draws (with
   /// replacement), matching KGCN's fixed-size receptive field.
+  ///
+  /// The number of engine draws varies with the node's degree, which is
+  /// why training hands each example its own counter-derived Rng (see
+  /// EpochStreams): on a shared engine, one node's degree would shift
+  /// every later example's randomness and break thread-independence.
   void SampleNeighbors(EntityId e, Rng* rng, std::vector<Edge>* out) const;
 
-  /// Materializes the depth-H receptive field of `root`.
+  /// Materializes the depth-H receptive field of `root`. Stateless apart
+  /// from `rng`: concurrent calls with distinct generators are safe.
   SampledTree SampleTree(EntityId root, int depth, Rng* rng) const;
 
  private:

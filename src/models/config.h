@@ -66,6 +66,20 @@ struct KgagConfig {
   uint64_t seed = 42;
   bool verbose = false;
 
+  // Data-parallel training (DESIGN.md §9). Batches are split into fixed
+  // example shards processed on per-thread tapes; gradients accumulate
+  // into per-shard buffers and reduce in shard order before the single
+  // optimizer step. The shard structure — and therefore every floating
+  // point summation tree — depends only on train_shard_size, never on
+  // train_threads, so results are bit-identical across thread counts.
+  int train_threads = 1;        ///< worker threads for TrainEpoch (>=1)
+  /// Examples per shard: part of the numeric contract (like batch_size).
+  /// Smaller shards = finer load balancing, more reduction overhead.
+  size_t train_shard_size = 8;
+  /// Arena-backed tape allocation (off = per-node heap allocation; kept
+  /// as a benchmark baseline and ASan-friendly fallback).
+  bool tape_arena = true;
+
   // Crash-safe training checkpoints (DESIGN.md §8). With a directory set,
   // Fit() snapshots the full training state (parameters, Adam moments,
   // RNG streams, batcher cursors, validation selection) after every epoch

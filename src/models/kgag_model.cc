@@ -19,6 +19,18 @@ Scalar SigmoidScalar(Scalar x) {
   const Scalar z = std::exp(x);
   return z / (1.0 + z);
 }
+
+// Counter-based RNG stream ids for receptive-field sampling during
+// training (negative sampling owns kGroupNegativeStream /
+// kUserNegativeStream in data/batcher.h).
+constexpr uint64_t kGroupTreeStream = 0xA1;
+constexpr uint64_t kUserTreeStream = 0xA2;
+
+// Tag marking the stream-seed record appended to the checkpoint rng blob
+// (after the two engine states); ASCII "STREAM01". Its absence marks a
+// pre-stream checkpoint, which still restores fine: the seed lives in the
+// config, the tag only guards against resuming with a different one.
+constexpr uint64_t kRngStreamTag = 0x53545245414d3031ULL;
 }  // namespace
 
 std::string KgagConfig::Describe() const {
@@ -152,6 +164,17 @@ double KgagModel::TrainEpoch(Rng* rng) {
                                 /*resume_batches=*/0, /*resume_loss=*/0.0);
 }
 
+void KgagModel::EnsureShardContexts(size_t n) {
+  while (shard_contexts_.size() < n) {
+    ShardContext ctx;
+    ctx.tape = std::make_unique<Tape>(config_.tape_arena);
+    ctx.tape->ReserveNodes(512);
+    ctx.grads = std::make_unique<GradBuffer>(&store_);
+    ctx.tape->set_grad_sink(ctx.grads.get());
+    shard_contexts_.push_back(std::move(ctx));
+  }
+}
+
 double KgagModel::TrainEpochCheckpointed(Rng* rng, int epoch,
                                          ckpt::CheckpointManager* mgr,
                                          const ValidationSelector* selector,
@@ -161,57 +184,93 @@ double KgagModel::TrainEpochCheckpointed(Rng* rng, int epoch,
   KGAG_OBS_ONLY(Stopwatch epoch_watch; size_t epoch_examples = 0;
                 double grad_sq_sum = 0.0;)
   batcher_.BeginEpoch(rng);  // no-op when resuming an epoch mid-flight
+  if (config_.train_threads > 1 && train_pool_ == nullptr) {
+    train_pool_ =
+        std::make_unique<ThreadPool>(static_cast<size_t>(config_.train_threads));
+  }
+  // All per-example randomness (negatives, receptive-field trees) is
+  // addressed by (seed, epoch, stream, example index): any shard can draw
+  // example i's stream without touching shared engine state, so batch
+  // content and sampled trees are identical for every train_threads value.
+  const EpochStreams streams{config_.seed, static_cast<uint64_t>(epoch)};
+  const size_t shard_size = std::max<size_t>(1, config_.train_shard_size);
   MiniBatch batch;
   double total_loss = resume_loss;
   size_t num_batches = static_cast<size_t>(resume_batches);
-  while (batcher_.NextBatch(rng, &batch)) {
+  while (batcher_.NextBatch(streams, &batch)) {
     KGAG_TRACE_SPAN("train.batch");
     double batch_loss = 0.0;
+    const size_t n_group = batch.group_triplets.size();
+    const size_t n_user = batch.user_instances.size();
+    const size_t n_total = n_group + n_user;
     const double group_scale =
-        batch.group_triplets.empty()
-            ? 0.0
-            : config_.beta / static_cast<double>(batch.group_triplets.size());
+        n_group == 0 ? 0.0
+                     : config_.beta / static_cast<double>(n_group);
     const double user_scale =
-        batch.user_instances.empty()
-            ? 0.0
-            : (1.0 - config_.beta) /
-                  static_cast<double>(batch.user_instances.size());
+        n_user == 0 ? 0.0
+                    : (1.0 - config_.beta) / static_cast<double>(n_user);
 
-    Tape tape;
-    {
-      KGAG_TRACE_SPAN("train.group_pairs");
-      for (const GroupTriplet& t : batch.group_triplets) {
+    // Fixed shard structure: examples [s*shard_size, (s+1)*shard_size)
+    // regardless of thread count. Each shard owns its tape and gradient
+    // buffer, so worker scheduling can interleave shards freely; the
+    // shard-ordered reduction below rebuilds one fixed FP summation tree.
+    const size_t num_shards = (n_total + shard_size - 1) / shard_size;
+    EnsureShardContexts(num_shards);
+    const auto run_shard = [&](size_t s) {
+      KGAG_TRACE_SPAN("train.shard");
+      ShardContext& ctx = shard_contexts_[s];
+      Tape& tape = *ctx.tape;
+      ctx.loss = 0.0;
+      const size_t begin = s * shard_size;
+      const size_t end = std::min(begin + shard_size, n_total);
+      for (size_t e = begin; e < end; ++e) {
         tape.Clear();
-        Var pos = ScoreGroupItemOnTape(&tape, t.group, t.positive, rng);
-        Var neg = ScoreGroupItemOnTape(&tape, t.group, t.negative, rng);
-        Var loss = config_.group_loss == GroupLossKind::kMargin
-                       ? MarginPairLoss(&tape, pos, neg, config_.margin)
-                       : BprPairLoss(&tape, pos, neg);
-        Var scaled = tape.ScalarMul(loss, group_scale);
+        Var scaled;
+        if (e < n_group) {
+          const GroupTriplet& t = batch.group_triplets[e];
+          Rng ex_rng = streams.For(kGroupTreeStream,
+                                   batch.group_index_base + e);
+          Var pos = ScoreGroupItemOnTape(&tape, t.group, t.positive, &ex_rng);
+          Var neg = ScoreGroupItemOnTape(&tape, t.group, t.negative, &ex_rng);
+          Var loss = config_.group_loss == GroupLossKind::kMargin
+                         ? MarginPairLoss(&tape, pos, neg, config_.margin)
+                         : BprPairLoss(&tape, pos, neg);
+          scaled = tape.ScalarMul(loss, group_scale);
+        } else {
+          const size_t j = e - n_group;
+          const UserInstance& ui = batch.user_instances[j];
+          Rng ex_rng = streams.For(kUserTreeStream,
+                                   batch.user_instance_base + j);
+          Var logit = ScoreUserItemOnTape(&tape, ui.user, ui.item, &ex_rng);
+          Var loss = LogisticLoss(&tape, logit, ui.label);
+          scaled = tape.ScalarMul(loss, user_scale);
+        }
         {
           KGAG_TRACE_SPAN("train.backward");
           tape.Backward(scaled);
         }
-        batch_loss += tape.value(scaled).item();
+        ctx.loss += tape.value(scaled).item();
       }
+    };
+    if (train_pool_ != nullptr && num_shards > 1) {
+      train_pool_->ParallelFor(num_shards, /*grain=*/1, run_shard);
+    } else {
+      for (size_t s = 0; s < num_shards; ++s) run_shard(s);
     }
     {
-      KGAG_TRACE_SPAN("train.user_instances");
-      for (const UserInstance& ui : batch.user_instances) {
-        tape.Clear();
-        Var logit = ScoreUserItemOnTape(&tape, ui.user, ui.item, rng);
-        Var loss = LogisticLoss(&tape, logit, ui.label);
-        Var scaled = tape.ScalarMul(loss, user_scale);
-        {
-          KGAG_TRACE_SPAN("train.backward");
-          tape.Backward(scaled);
-        }
-        batch_loss += tape.value(scaled).item();
+      // Deterministic reduction: shard buffers flush into Parameter::grad
+      // in shard order; rows within a buffer flush in first-touch order.
+      // Identical no matter which threads ran which shards.
+      KGAG_TRACE_SPAN("train.reduce");
+      for (size_t s = 0; s < num_shards; ++s) {
+        ShardContext& ctx = shard_contexts_[s];
+        ctx.grads->FlushInto();
+        ctx.grads->Reset();
+        batch_loss += ctx.loss;
       }
     }
     KGAG_OBS_ONLY(grad_sq_sum += store_.GradSquaredNorm();
-                  epoch_examples +=
-                  batch.group_triplets.size() + batch.user_instances.size();)
+                  epoch_examples += n_total;)
     {
       KGAG_TRACE_SPAN("train.optimizer_step");
       optimizer_->Step(&store_, config_.l2);
@@ -359,6 +418,11 @@ ckpt::TrainingState KgagModel::CaptureTrainingState(
     std::ostringstream out(std::ios::binary);
     bio::WriteString(&out, init_rng_.SaveState());
     bio::WriteString(&out, train_rng_.SaveState());
+    // Counter-based stream record: the derivation is stateless, so the
+    // base seed is the entire stream state (epoch/example coordinates are
+    // re-derived from the batcher cursors on resume).
+    bio::WriteU64(&out, kRngStreamTag);
+    bio::WriteU64(&out, config_.seed);
     state.rng = out.str();
   }
   {
@@ -396,6 +460,22 @@ Status KgagModel::RestoreTrainingState(const ckpt::TrainingState& state,
     if (!init_rng_.LoadState(init_state) ||
         !train_rng_.LoadState(train_state)) {
       return Status::InvalidArgument("malformed rng engine state");
+    }
+    uint64_t tag = 0;
+    if (bio::ReadU64(&in, &tag)) {  // absent in pre-stream checkpoints
+      if (tag != kRngStreamTag) {
+        return Status::InvalidArgument("unrecognized rng stream record");
+      }
+      uint64_t stream_seed = 0;
+      if (!bio::ReadU64(&in, &stream_seed)) {
+        return Status::IoError("truncated rng stream record");
+      }
+      if (stream_seed != config_.seed) {
+        // Streams are derived from the config seed at every draw; a
+        // mismatch would silently diverge from the checkpointed run.
+        return Status::InvalidArgument(
+            "checkpoint rng stream seed does not match config seed");
+      }
     }
   }
   {

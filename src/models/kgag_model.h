@@ -18,9 +18,12 @@
 #include "kg/collaborative_kg.h"
 #include "models/attention.h"
 #include "models/config.h"
+#include "common/thread_pool.h"
 #include "models/propagation.h"
 #include "models/recommender.h"
+#include "tensor/grad_buffer.h"
 #include "tensor/optimizer.h"
+#include "tensor/tape.h"
 
 namespace kgag {
 
@@ -86,6 +89,19 @@ class KgagModel : public TrainableGroupRecommender {
                                 const ValidationSelector* selector,
                                 uint64_t resume_batches, double resume_loss);
 
+  /// Per-shard training context: a reusable tape plus a gradient
+  /// accumulation buffer the tape's backward pass writes into. One per
+  /// concurrent shard; reused across batches/epochs so tape node storage
+  /// and arena capacity stay warm.
+  struct ShardContext {
+    std::unique_ptr<Tape> tape;
+    std::unique_ptr<GradBuffer> grads;
+    double loss = 0.0;
+  };
+
+  /// Grows shard_contexts_ to n entries (tapes wired to their buffers).
+  void EnsureShardContexts(size_t n);
+
   /// Member reps (L x d) and item rep (1 x d) for one candidate on tape;
   /// returns the 1x1 score node.
   Var ScoreGroupItemOnTape(Tape* tape, GroupId g, ItemId v, Rng* rng);
@@ -123,6 +139,14 @@ class KgagModel : public TrainableGroupRecommender {
   std::unique_ptr<Optimizer> optimizer_;
   Batcher batcher_;
   Rng train_rng_;
+  /// Shard contexts indexed by the slot a shard runs in; sized to the
+  /// concurrency level (1 when serial). Gradients always flow through
+  /// these buffers — also at 1 thread — so the reduction tree is
+  /// identical for every train_threads value.
+  std::vector<ShardContext> shard_contexts_;
+  /// Worker pool for sharded training; created lazily on the first epoch
+  /// with config_.train_threads > 1.
+  std::unique_ptr<ThreadPool> train_pool_;
   std::unordered_map<EntityId, std::vector<SampledTree>> eval_trees_;
   /// Trees averaged per PropagateEval call; lowered during per-epoch
   /// validation scoring, restored for final evaluation.

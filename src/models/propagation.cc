@@ -19,12 +19,6 @@ const char* IterationSpanName(int iter) {
 }
 #endif
 
-std::vector<size_t> ToSizeT(const std::vector<EntityId>& ids) {
-  std::vector<size_t> out(ids.size());
-  for (size_t i = 0; i < ids.size(); ++i) out[i] = static_cast<size_t>(ids[i]);
-  return out;
-}
-
 Tensor BroadcastRow(const Tensor& table, size_t row, size_t n) {
   Tensor out(n, table.cols());
   for (size_t r = 0; r < n; ++r) {
@@ -93,9 +87,12 @@ Var PropagationEngine::PropagateOnTape(Tape* tape, const SampledTree& tree,
   const int k = config_.sample_size;
 
   // Zero-order representations per tree layer.
+  // The int32 span overload widens indices straight onto the tape's
+  // arena — no per-call index vector on the training hot path.
   std::vector<Var> vec(depth + 1);
   for (int h = 0; h <= depth; ++h) {
-    vec[h] = tape->Gather(entity_table_, ToSizeT(tree.entities[h]));
+    vec[h] = tape->Gather(entity_table_,
+                          std::span<const EntityId>(tree.entities[h]));
   }
 
   // Query-conditioned, softmax-normalized neighbor weights per layer
@@ -103,9 +100,8 @@ Var PropagationEngine::PropagateOnTape(Tape* tape, const SampledTree& tree,
   std::vector<Var> pi(depth);
   for (int h = 0; h < depth; ++h) {
     const size_t n = tree.entities[h].size();
-    Var rel = tape->Gather(relation_table_, ToSizeT(std::vector<EntityId>(
-                               tree.relations[h].begin(),
-                               tree.relations[h].end())));
+    Var rel = tape->Gather(relation_table_,
+                           std::span<const RelationId>(tree.relations[h]));
     Var q = tape->RepeatRows(query, n * k);
     Var scores = tape->RowDot(rel, q);                          // (nK x 1)
     pi[h] = tape->SoftmaxRows(tape->Reshape(scores, n, k));     // (n x K)

@@ -1,0 +1,84 @@
+#include "tensor/arena.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace kgag {
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+size_t AlignUp(size_t offset, size_t alignment) {
+  return (offset + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace
+
+BumpArena::BumpArena(size_t initial_bytes) {
+  AppendBlock(std::max<size_t>(initial_bytes, 64));
+}
+
+size_t BumpArena::capacity() const {
+  size_t total = 0;
+  for (const Block& b : blocks_) total += b.size;
+  return total;
+}
+
+BumpArena::Block& BumpArena::AppendBlock(size_t min_bytes) {
+  // Geometric growth off the total owned so a long run of overflows
+  // settles quickly; each block is at least as large as the request.
+  size_t want = std::max(min_bytes, capacity());
+  Block b;
+  b.size = RoundUpPow2(std::max<size_t>(want, 64));
+  b.data = std::make_unique<std::byte[]>(b.size);
+  blocks_.push_back(std::move(b));
+  current_ = blocks_.size() - 1;
+  return blocks_.back();
+}
+
+void* BumpArena::do_allocate(size_t bytes, size_t alignment) {
+  KGAG_DCHECK((alignment & (alignment - 1)) == 0) << "non-pow2 alignment";
+  Block* b = &blocks_[current_];
+  size_t offset = AlignUp(b->used, alignment);
+  if (offset + bytes > b->size) {
+    // Later blocks (from a previous growth episode before Reset
+    // coalesced) may fit; otherwise grow.
+    while (current_ + 1 < blocks_.size()) {
+      b = &blocks_[++current_];
+      offset = AlignUp(b->used, alignment);
+      if (offset + bytes <= b->size) break;
+    }
+    if (offset + bytes > blocks_[current_].size) {
+      b = &AppendBlock(bytes + alignment);
+      offset = AlignUp(b->used, alignment);
+    } else {
+      b = &blocks_[current_];
+    }
+  }
+  void* p = b->data.get() + offset;
+  b->used = offset + bytes;
+  in_use_ += bytes;
+  high_water_ = std::max(high_water_, in_use_);
+  return p;
+}
+
+void BumpArena::Reset() {
+  high_water_ = std::max(high_water_, in_use_);
+  if (blocks_.size() > 1) {
+    // A growth episode happened: replace the block list with one block
+    // sized to the high-water mark so future builds bump a single block.
+    blocks_.clear();
+    AppendBlock(high_water_);
+  } else {
+    blocks_[0].used = 0;
+  }
+  current_ = 0;
+  in_use_ = 0;
+}
+
+}  // namespace kgag

@@ -1,0 +1,88 @@
+// Bump-pointer arena behind the autodiff tape (DESIGN.md §9).
+//
+// Building the per-example graph allocates hundreds of small tensors
+// (node values, gradients, backward temporaries) that all die together
+// when the tape is cleared. BumpArena turns that churn into pointer
+// arithmetic: allocation bumps an offset inside a block, deallocation is
+// a no-op, and Reset() rewinds the whole arena in O(1) once the graph is
+// torn down.
+//
+// Lifetime rules (enforced by convention, see DESIGN.md §9):
+//   - memory handed out is valid until the next Reset(); the owner
+//     (Tape) resets only after destroying every container bound to the
+//     arena's resource,
+//   - anything that must outlive Reset() is *copied* out — Tensor's pmr
+//     copy semantics land copies on the heap automatically,
+//   - the arena itself must outlive all containers bound to it (Tape
+//     declares it before its node storage).
+#ifndef KGAG_TENSOR_ARENA_H_
+#define KGAG_TENSOR_ARENA_H_
+
+#include <cstddef>
+#include <memory>
+#include <memory_resource>
+#include <vector>
+
+namespace kgag {
+
+/// \brief Monotonic allocator with O(1) Reset, usable as the
+/// std::pmr::memory_resource behind pmr containers (Tensor storage).
+///
+/// Grows by appending geometrically larger blocks when a request does not
+/// fit; Reset() coalesces a multi-block arena into one block sized to the
+/// observed high-water mark, so a warmed-up arena serves every subsequent
+/// graph build from a single block without touching malloc.
+class BumpArena : public std::pmr::memory_resource {
+ public:
+  static constexpr size_t kDefaultInitialBytes = size_t{1} << 16;  // 64 KiB
+
+  explicit BumpArena(size_t initial_bytes = kDefaultInitialBytes);
+
+  BumpArena(const BumpArena&) = delete;
+  BumpArena& operator=(const BumpArena&) = delete;
+
+  /// Invalidates everything allocated so far and rewinds to an empty
+  /// arena. Callers must have dropped all references into the arena
+  /// first. Capacity is retained (and coalesced into one block after a
+  /// growth episode).
+  void Reset();
+
+  /// Bytes handed out since the last Reset (before alignment padding is
+  /// negligible for the tape's Scalar-dominated traffic).
+  size_t bytes_in_use() const { return in_use_; }
+  /// Total bytes owned across all blocks.
+  size_t capacity() const;
+  /// Blocks currently owned; 1 once the arena has warmed up.
+  size_t block_count() const { return blocks_.size(); }
+  /// Largest bytes_in_use observed at any Reset or grow, used to size the
+  /// coalesced block.
+  size_t high_water() const { return high_water_; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  void* do_allocate(size_t bytes, size_t alignment) override;
+  void do_deallocate(void* /*p*/, size_t /*bytes*/,
+                     size_t /*alignment*/) override {
+    // Monotonic: individual frees are no-ops; Reset reclaims everything.
+  }
+  bool do_is_equal(
+      const std::pmr::memory_resource& other) const noexcept override {
+    return this == &other;
+  }
+
+  Block& AppendBlock(size_t min_bytes);
+
+  std::vector<Block> blocks_;
+  size_t current_ = 0;     ///< Index of the block being bumped.
+  size_t in_use_ = 0;      ///< Bytes handed out since the last Reset.
+  size_t high_water_ = 0;  ///< Max in_use_ ever observed.
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_TENSOR_ARENA_H_

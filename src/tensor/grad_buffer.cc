@@ -1,0 +1,101 @@
+#include "tensor/grad_buffer.h"
+
+#include "common/check.h"
+
+namespace kgag {
+
+DirectGradSink* DirectGradSink::Instance() {
+  static DirectGradSink sink;
+  return &sink;
+}
+
+void DirectGradSink::AddDense(Parameter* p, const Tensor& g) {
+  p->grad.Add(g);
+  p->dense_touched = true;
+}
+
+void DirectGradSink::AddRows(Parameter* p, std::span<const size_t> rows,
+                             const Tensor& g) {
+  KGAG_DCHECK(rows.size() == g.rows());
+  const size_t cols = g.cols();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const size_t r = rows[i];
+    for (size_t c = 0; c < cols; ++c) p->grad.at(r, c) += g.at(i, c);
+    p->touched_rows.insert(r);
+  }
+}
+
+GradBuffer::GradBuffer(ParameterStore* store)
+    : store_(store), entries_(store->size()) {}
+
+void GradBuffer::AddDense(Parameter* p, const Tensor& g) {
+  KGAG_DCHECK(p->index < entries_.size());
+  Entry& e = entries_[p->index];
+  if (e.dense.empty()) {
+    e.dense = Tensor(g.rows(), g.cols());
+  }
+  e.dense.Add(g);
+  e.dense_touched = true;
+}
+
+void GradBuffer::AddRows(Parameter* p, std::span<const size_t> rows,
+                         const Tensor& g) {
+  KGAG_DCHECK(p->index < entries_.size());
+  KGAG_DCHECK(rows.size() == g.rows());
+  Entry& e = entries_[p->index];
+  const size_t cols = g.cols();
+  if (e.cols == 0) e.cols = cols;
+  KGAG_DCHECK(e.cols == cols);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const size_t r = rows[i];
+    auto [it, inserted] = e.row_slot.try_emplace(r, e.row_order.size());
+    if (inserted) {
+      e.row_order.push_back(r);
+      e.row_data.resize(e.row_data.size() + cols, 0.0);
+    }
+    Scalar* dst = e.row_data.data() + it->second * cols;
+    const Scalar* src = g.data() + i * cols;
+    for (size_t c = 0; c < cols; ++c) dst[c] += src[c];
+  }
+}
+
+void GradBuffer::FlushInto() {
+  for (size_t idx = 0; idx < entries_.size(); ++idx) {
+    Entry& e = entries_[idx];
+    if (!e.dense_touched && e.row_order.empty()) continue;
+    Parameter* p = store_->at(idx);
+    if (e.dense_touched) {
+      p->grad.Add(e.dense);
+      p->dense_touched = true;
+    }
+    for (size_t slot = 0; slot < e.row_order.size(); ++slot) {
+      const size_t r = e.row_order[slot];
+      const Scalar* src = e.row_data.data() + slot * e.cols;
+      for (size_t c = 0; c < e.cols; ++c) p->grad.at(r, c) += src[c];
+      p->touched_rows.insert(r);
+    }
+  }
+}
+
+void GradBuffer::Reset() {
+  for (Entry& e : entries_) {
+    if (e.dense_touched) {
+      e.dense.Zero();
+      e.dense_touched = false;
+    }
+    if (!e.row_order.empty()) {
+      e.row_slot.clear();
+      e.row_order.clear();
+      e.row_data.clear();
+    }
+  }
+}
+
+bool GradBuffer::empty() const {
+  for (const Entry& e : entries_) {
+    if (e.dense_touched || !e.row_order.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace kgag

@@ -1,0 +1,94 @@
+// Gradient routing for data-parallel training (DESIGN.md §9).
+//
+// The tape's backward pass reports parameter gradients through a GradSink
+// instead of writing into Parameter::grad directly. The default sink
+// preserves the original single-threaded behaviour; GradBuffer gives each
+// worker shard a private accumulation buffer so threads never contend on
+// the shared parameters, and FlushInto replays the buffered deltas into
+// Parameter::grad in a deterministic order — making the floating-point
+// summation tree a function of the shard structure alone, never of the
+// thread count or execution interleaving.
+#ifndef KGAG_TENSOR_GRAD_BUFFER_H_
+#define KGAG_TENSOR_GRAD_BUFFER_H_
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/parameter.h"
+#include "tensor/tensor.h"
+
+namespace kgag {
+
+/// \brief Destination for parameter gradients produced by Tape::Backward.
+class GradSink {
+ public:
+  virtual ~GradSink() = default;
+
+  /// g has the parameter's full shape (weight matrices, biases).
+  virtual void AddDense(Parameter* p, const Tensor& g) = 0;
+
+  /// Row i of g (n x cols) accumulates into row rows[i] of the parameter
+  /// (embedding-table gathers). Rows may repeat; repeats accumulate in
+  /// order.
+  virtual void AddRows(Parameter* p, std::span<const size_t> rows,
+                       const Tensor& g) = 0;
+};
+
+/// \brief The original behaviour: gradients land in Parameter::grad
+/// immediately, with sparse touch tracking. Stateless; use Instance().
+class DirectGradSink : public GradSink {
+ public:
+  static DirectGradSink* Instance();
+
+  void AddDense(Parameter* p, const Tensor& g) override;
+  void AddRows(Parameter* p, std::span<const size_t> rows,
+               const Tensor& g) override;
+};
+
+/// \brief Per-shard gradient accumulator: dense deltas for small
+/// parameters, sparse row-delta slots for embedding tables.
+///
+/// One GradBuffer belongs to one worker shard. During backward it only
+/// touches its own storage; after all shards of a batch finish, the train
+/// loop calls FlushInto for each shard in shard order. Flush order is
+/// parameter creation order, rows within a parameter in first-touch
+/// order — both functions of the shard's example list only, so the
+/// reduction is bit-identical for any thread count.
+class GradBuffer : public GradSink {
+ public:
+  explicit GradBuffer(ParameterStore* store);
+
+  void AddDense(Parameter* p, const Tensor& g) override;
+  void AddRows(Parameter* p, std::span<const size_t> rows,
+               const Tensor& g) override;
+
+  /// Replays buffered deltas into Parameter::grad (+ touch tracking) of
+  /// the store this buffer was built for. Does not reset the buffer.
+  void FlushInto();
+
+  /// Clears all deltas, keeping allocations (slot pools, dense tensors)
+  /// warm for the next batch.
+  void Reset();
+
+  /// True when no gradient has been buffered since the last Reset.
+  bool empty() const;
+
+ private:
+  struct Entry {
+    Tensor dense;  ///< Allocated lazily at first AddDense; param shape.
+    bool dense_touched = false;
+    size_t cols = 0;  ///< Row width, captured at first AddRows.
+    std::unordered_map<size_t, size_t> row_slot;  ///< param row -> slot
+    std::vector<size_t> row_order;                ///< first-touch order
+    std::vector<Scalar> row_data;                 ///< slot-major, cols wide
+  };
+
+  ParameterStore* store_;
+  std::vector<Entry> entries_;  ///< Indexed by Parameter::index.
+};
+
+}  // namespace kgag
+
+#endif  // KGAG_TENSOR_GRAD_BUFFER_H_

@@ -35,6 +35,7 @@ Parameter* ParameterStore::Create(const std::string& name, size_t rows,
                                   size_t cols, Init init, Rng* rng) {
   auto p = std::make_unique<Parameter>(name, rows, cols);
   Initialize(&p->value, init, rng);
+  p->index = params_.size();
   params_.push_back(std::move(p));
   return params_.back().get();
 }
@@ -42,6 +43,7 @@ Parameter* ParameterStore::Create(const std::string& name, size_t rows,
 Parameter* ParameterStore::CreateZeros(const std::string& name, size_t rows,
                                        size_t cols) {
   auto p = std::make_unique<Parameter>(name, rows, cols);
+  p->index = params_.size();
   params_.push_back(std::move(p));
   return params_.back().get();
 }

@@ -23,6 +23,11 @@ struct Parameter {
   Tensor value;
   Tensor grad;
 
+  /// Position within the owning ParameterStore (creation order), assigned
+  /// by ParameterStore::Create*. Lets per-thread gradient buffers index
+  /// parameters in O(1) without a map. 0 for a store-less Parameter.
+  size_t index = 0;
+
   /// Rows of an embedding table touched since the last ZeroGrad; lets the
   /// optimizer apply sparse updates. Empty + dense_touched means the whole
   /// tensor was used (e.g. weight matrices).

@@ -1,6 +1,9 @@
 #include "tensor/tape.h"
 
 #include <cmath>
+#include <cstring>
+
+#include "tensor/kernels.h"
 
 namespace kgag {
 
@@ -23,11 +26,12 @@ Scalar StableSigmoid(Scalar x) {
 }  // namespace
 
 Var Tape::Emplace(Tensor value, bool requires_grad, BackwardFn backward) {
-  Node n;
-  n.value = std::move(value);
-  n.requires_grad = requires_grad;
-  n.backward = std::move(backward);
-  nodes_.push_back(std::move(n));
+  // Aggregate init move-constructs the tensors, so an arena-backed value
+  // carries its buffer (and resource) into the node; the grad starts
+  // empty but bound to the tape's resource so its later allocation also
+  // lands on the arena.
+  nodes_.push_back(
+      Node{std::move(value), Tensor(node_resource()), backward, requires_grad});
   return Var{static_cast<int32_t>(nodes_.size() - 1)};
 }
 
@@ -45,9 +49,29 @@ void Tape::AccumulateGrad(Var v, const Tensor& g) {
   Node& n = node(v);
   if (!n.requires_grad) return;
   if (n.grad.empty()) {
-    n.grad = Tensor(n.value.rows(), n.value.cols());
+    n.grad.ResetShape(n.value.rows(), n.value.cols());
   }
   n.grad.Add(g);
+}
+
+Tensor Tape::CloneTensor(const Tensor& src) {
+  Tensor out(src.rows(), src.cols(), node_resource());
+  std::memcpy(out.data(), src.data(), src.size() * sizeof(Scalar));
+  return out;
+}
+
+std::span<const size_t> Tape::ArenaCopy(std::span<const size_t> v) {
+  auto* p = static_cast<size_t*>(
+      arena_.allocate(v.size() * sizeof(size_t), alignof(size_t)));
+  std::memcpy(p, v.data(), v.size() * sizeof(size_t));
+  return {p, v.size()};
+}
+
+std::span<const Var> Tape::ArenaCopy(std::span<const Var> v) {
+  auto* p = static_cast<Var*>(
+      arena_.allocate(v.size() * sizeof(Var), alignof(Var)));
+  std::memcpy(p, v.data(), v.size() * sizeof(Var));
+  return {p, v.size()};
 }
 
 const Tensor& Tape::value(Var v) const { return node(v).value; }
@@ -58,39 +82,62 @@ const Tensor& Tape::grad(Var v) const {
   return n.grad;
 }
 
-void Tape::Clear() { nodes_.clear(); }
+void Tape::Clear() {
+  // Destroy nodes (and their arena-bound tensors) before rewinding the
+  // arena they point into; node-vector capacity survives.
+  nodes_.clear();
+  arena_.Reset();
+}
 
 // ---- Leaves ---------------------------------------------------------------
 
 Var Tape::Leaf(Parameter* p) {
   KGAG_CHECK(p != nullptr);
-  return Emplace(p->value, /*requires_grad=*/true,
-                 [p](Tape*, const Tensor& g) {
-                   p->grad.Add(g);
-                   p->dense_touched = true;
+  return Emplace(CloneTensor(p->value), /*requires_grad=*/true,
+                 [p](Tape* t, const Tensor& g) { t->sink_->AddDense(p, g); });
+}
+
+Var Tape::Gather(Parameter* table, std::span<const size_t> rows) {
+  KGAG_CHECK(table != nullptr);
+  const size_t d = table->value.cols();
+  std::span<const size_t> stable = ArenaCopy(rows);
+  Tensor out = NewTensor(stable.size(), d);
+  for (size_t i = 0; i < stable.size(); ++i) {
+    KGAG_CHECK_LT(stable[i], table->value.rows())
+        << "gather row out of range in " << table->name;
+    std::memcpy(out.data() + i * d, table->value.data() + stable[i] * d,
+                d * sizeof(Scalar));
+  }
+  const size_t* rp = stable.data();
+  const size_t rn = stable.size();
+  return Emplace(std::move(out), /*requires_grad=*/true,
+                 [table, rp, rn](Tape* t, const Tensor& g) {
+                   t->sink_->AddRows(table, {rp, rn}, g);
                  });
 }
 
-Var Tape::Gather(Parameter* table, std::vector<size_t> rows) {
+Var Tape::Gather(Parameter* table, std::span<const int32_t> rows) {
   KGAG_CHECK(table != nullptr);
-  const size_t d = table->value.cols();
-  Tensor out(rows.size(), d);
+  // Widen straight onto the arena; no size_t vector at the call site.
+  auto* p = static_cast<size_t*>(
+      arena_.allocate(rows.size() * sizeof(size_t), alignof(size_t)));
   for (size_t i = 0; i < rows.size(); ++i) {
-    KGAG_CHECK_LT(rows[i], table->value.rows())
-        << "gather row out of range in " << table->name;
-    for (size_t c = 0; c < d; ++c) {
-      out.at(i, c) = table->value.at(rows[i], c);
-    }
+    KGAG_CHECK_GE(rows[i], 0) << "negative gather row in " << table->name;
+    p[i] = static_cast<size_t>(rows[i]);
   }
+  const size_t d = table->value.cols();
+  Tensor out = NewTensor(rows.size(), d);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    KGAG_CHECK_LT(p[i], table->value.rows())
+        << "gather row out of range in " << table->name;
+    std::memcpy(out.data() + i * d, table->value.data() + p[i] * d,
+                d * sizeof(Scalar));
+  }
+  const size_t rn = rows.size();
+  const size_t* rp = p;
   return Emplace(std::move(out), /*requires_grad=*/true,
-                 [table, rows = std::move(rows)](Tape*, const Tensor& g) {
-                   const size_t d2 = table->grad.cols();
-                   for (size_t i = 0; i < rows.size(); ++i) {
-                     for (size_t c = 0; c < d2; ++c) {
-                       table->grad.at(rows[i], c) += g.at(i, c);
-                     }
-                     table->touched_rows.insert(rows[i]);
-                   }
+                 [table, rp, rn](Tape* t, const Tensor& g) {
+                   t->sink_->AddRows(table, {rp, rn}, g);
                  });
 }
 
@@ -102,7 +149,8 @@ Var Tape::Constant(Tensor t) {
 
 Var Tape::Add(Var a, Var b) {
   KGAG_CHECK(value(a).same_shape(value(b))) << "Add shape mismatch";
-  Tensor out = kgag::Add(value(a), value(b));
+  Tensor out = CloneTensor(value(a));
+  out.Add(value(b));
   bool rg = node(a).requires_grad || node(b).requires_grad;
   return Emplace(std::move(out), rg, [a, b](Tape* t, const Tensor& g) {
     t->AccumulateGrad(a, g);
@@ -112,11 +160,12 @@ Var Tape::Add(Var a, Var b) {
 
 Var Tape::Sub(Var a, Var b) {
   KGAG_CHECK(value(a).same_shape(value(b))) << "Sub shape mismatch";
-  Tensor out = kgag::Sub(value(a), value(b));
+  Tensor out = CloneTensor(value(a));
+  out.Axpy(-1.0, value(b));
   bool rg = node(a).requires_grad || node(b).requires_grad;
   return Emplace(std::move(out), rg, [a, b](Tape* t, const Tensor& g) {
     t->AccumulateGrad(a, g);
-    Tensor neg = g;
+    Tensor neg = t->CloneTensor(g);
     neg.Scale(-1.0);
     t->AccumulateGrad(b, neg);
   });
@@ -124,51 +173,79 @@ Var Tape::Sub(Var a, Var b) {
 
 Var Tape::Mul(Var a, Var b) {
   KGAG_CHECK(value(a).same_shape(value(b))) << "Mul shape mismatch";
-  Tensor out = kgag::Mul(value(a), value(b));
+  Tensor out = CloneTensor(value(a));
+  out.Mul(value(b));
   bool rg = node(a).requires_grad || node(b).requires_grad;
   return Emplace(std::move(out), rg, [a, b](Tape* t, const Tensor& g) {
-    t->AccumulateGrad(a, kgag::Mul(g, t->value(b)));
-    t->AccumulateGrad(b, kgag::Mul(g, t->value(a)));
+    Tensor ga = t->CloneTensor(g);
+    ga.Mul(t->value(b));
+    t->AccumulateGrad(a, ga);
+    Tensor gb = t->CloneTensor(g);
+    gb.Mul(t->value(a));
+    t->AccumulateGrad(b, gb);
   });
 }
 
 Var Tape::ScalarMul(Var a, Scalar s) {
-  Tensor out = value(a);
+  Tensor out = CloneTensor(value(a));
   out.Scale(s);
   return Emplace(std::move(out), node(a).requires_grad,
                  [a, s](Tape* t, const Tensor& g) {
-                   Tensor ga = g;
+                   Tensor ga = t->CloneTensor(g);
                    ga.Scale(s);
                    t->AccumulateGrad(a, ga);
                  });
 }
 
 Var Tape::AddScalar(Var a, Scalar s) {
-  Tensor out = value(a);
+  Tensor out = CloneTensor(value(a));
   out.Apply([s](Scalar x) { return x + s; });
   return Emplace(std::move(out), node(a).requires_grad,
                  [a](Tape* t, const Tensor& g) { t->AccumulateGrad(a, g); });
 }
 
 Var Tape::MatMul(Var a, Var b) {
-  Tensor out = kgag::MatMul(value(a), value(b));
+  const Tensor& av = value(a);
+  const Tensor& bv = value(b);
+  KGAG_CHECK_EQ(av.cols(), bv.rows()) << "MatMul inner dim";
+  Tensor out = NewTensor(av.rows(), bv.cols());
+  kernels::Gemm(false, false, av.rows(), bv.cols(), av.cols(), av.data(),
+                av.cols(), bv.data(), bv.cols(), out.data(), out.cols());
   bool rg = node(a).requires_grad || node(b).requires_grad;
   return Emplace(std::move(out), rg, [a, b](Tape* t, const Tensor& g) {
     // dA = g Bᵀ ; dB = Aᵀ g
-    t->AccumulateGrad(a, MatMulTransB(g, t->value(b)));
-    t->AccumulateGrad(b, MatMulTransA(t->value(a), g));
+    const Tensor& av2 = t->value(a);
+    const Tensor& bv2 = t->value(b);
+    Tensor ga = t->NewTensor(g.rows(), bv2.rows());
+    kernels::Gemm(false, true, g.rows(), bv2.rows(), g.cols(), g.data(),
+                  g.cols(), bv2.data(), bv2.cols(), ga.data(), ga.cols());
+    t->AccumulateGrad(a, ga);
+    Tensor gb = t->NewTensor(av2.cols(), g.cols());
+    kernels::Gemm(true, false, av2.cols(), g.cols(), av2.rows(), av2.data(),
+                  av2.cols(), g.data(), g.cols(), gb.data(), gb.cols());
+    t->AccumulateGrad(b, gb);
   });
 }
 
 Var Tape::Transpose(Var a) {
-  Tensor out = value(a).Transposed();
+  const Tensor& av = value(a);
+  Tensor out = NewTensor(av.cols(), av.rows());
+  for (size_t r = 0; r < av.rows(); ++r) {
+    for (size_t c = 0; c < av.cols(); ++c) out.at(c, r) = av.at(r, c);
+  }
   return Emplace(std::move(out), node(a).requires_grad,
                  [a](Tape* t, const Tensor& g) {
-                   t->AccumulateGrad(a, g.Transposed());
+                   Tensor ga = t->NewTensor(g.cols(), g.rows());
+                   for (size_t r = 0; r < g.rows(); ++r) {
+                     for (size_t c = 0; c < g.cols(); ++c) {
+                       ga.at(c, r) = g.at(r, c);
+                     }
+                   }
+                   t->AccumulateGrad(a, ga);
                  });
 }
 
-Var Tape::ConcatCols(const std::vector<Var>& parts) {
+Var Tape::ConcatCols(std::span<const Var> parts) {
   KGAG_CHECK(!parts.empty()) << "ConcatCols of nothing";
   const size_t rows = value(parts[0]).rows();
   size_t total_cols = 0;
@@ -178,7 +255,7 @@ Var Tape::ConcatCols(const std::vector<Var>& parts) {
     total_cols += value(p).cols();
     rg = rg || node(p).requires_grad;
   }
-  Tensor out(rows, total_cols);
+  Tensor out = NewTensor(rows, total_cols);
   size_t off = 0;
   for (Var p : parts) {
     const Tensor& v = value(p);
@@ -187,25 +264,27 @@ Var Tape::ConcatCols(const std::vector<Var>& parts) {
     }
     off += v.cols();
   }
-  std::vector<Var> parts_copy = parts;
-  return Emplace(std::move(out), rg,
-                 [parts_copy](Tape* t, const Tensor& g) {
-                   size_t off2 = 0;
-                   for (Var p : parts_copy) {
-                     const Tensor& v = t->value(p);
-                     Tensor slice(v.rows(), v.cols());
-                     for (size_t r = 0; r < v.rows(); ++r) {
-                       for (size_t c = 0; c < v.cols(); ++c) {
-                         slice.at(r, c) = g.at(r, off2 + c);
-                       }
-                     }
-                     t->AccumulateGrad(p, slice);
-                     off2 += v.cols();
-                   }
-                 });
+  std::span<const Var> stable = ArenaCopy(parts);
+  const Var* pp = stable.data();
+  const size_t pn = stable.size();
+  return Emplace(std::move(out), rg, [pp, pn](Tape* t, const Tensor& g) {
+    size_t off2 = 0;
+    for (size_t k = 0; k < pn; ++k) {
+      const Var p = pp[k];
+      const Tensor& v = t->value(p);
+      Tensor slice = t->NewTensor(v.rows(), v.cols());
+      for (size_t r = 0; r < v.rows(); ++r) {
+        for (size_t c = 0; c < v.cols(); ++c) {
+          slice.at(r, c) = g.at(r, off2 + c);
+        }
+      }
+      t->AccumulateGrad(p, slice);
+      off2 += v.cols();
+    }
+  });
 }
 
-Var Tape::ConcatRows(const std::vector<Var>& parts) {
+Var Tape::ConcatRows(std::span<const Var> parts) {
   KGAG_CHECK(!parts.empty()) << "ConcatRows of nothing";
   const size_t cols = value(parts[0]).cols();
   size_t total_rows = 0;
@@ -215,7 +294,7 @@ Var Tape::ConcatRows(const std::vector<Var>& parts) {
     total_rows += value(p).rows();
     rg = rg || node(p).requires_grad;
   }
-  Tensor out(total_rows, cols);
+  Tensor out = NewTensor(total_rows, cols);
   size_t off = 0;
   for (Var p : parts) {
     const Tensor& v = value(p);
@@ -224,30 +303,36 @@ Var Tape::ConcatRows(const std::vector<Var>& parts) {
     }
     off += v.rows();
   }
-  std::vector<Var> parts_copy = parts;
-  return Emplace(std::move(out), rg,
-                 [parts_copy](Tape* t, const Tensor& g) {
-                   size_t off2 = 0;
-                   for (Var p : parts_copy) {
-                     const Tensor& v = t->value(p);
-                     Tensor slice(v.rows(), v.cols());
-                     for (size_t r = 0; r < v.rows(); ++r) {
-                       for (size_t c = 0; c < v.cols(); ++c) {
-                         slice.at(r, c) = g.at(off2 + r, c);
-                       }
-                     }
-                     t->AccumulateGrad(p, slice);
-                     off2 += v.rows();
-                   }
-                 });
+  std::span<const Var> stable = ArenaCopy(parts);
+  const Var* pp = stable.data();
+  const size_t pn = stable.size();
+  return Emplace(std::move(out), rg, [pp, pn](Tape* t, const Tensor& g) {
+    size_t off2 = 0;
+    for (size_t k = 0; k < pn; ++k) {
+      const Var p = pp[k];
+      const Tensor& v = t->value(p);
+      Tensor slice = t->NewTensor(v.rows(), v.cols());
+      for (size_t r = 0; r < v.rows(); ++r) {
+        for (size_t c = 0; c < v.cols(); ++c) {
+          slice.at(r, c) = g.at(off2 + r, c);
+        }
+      }
+      t->AccumulateGrad(p, slice);
+      off2 += v.rows();
+    }
+  });
 }
 
 Var Tape::SliceRow(Var a, size_t r) {
   KGAG_CHECK_LT(r, value(a).rows());
-  Tensor out = value(a).RowAt(r);
+  const Tensor& av = value(a);
+  Tensor out = NewTensor(1, av.cols());
+  std::memcpy(out.data(), av.data() + r * av.cols(),
+              av.cols() * sizeof(Scalar));
   return Emplace(std::move(out), node(a).requires_grad,
                  [a, r](Tape* t, const Tensor& g) {
-                   Tensor full(t->value(a).rows(), t->value(a).cols());
+                   Tensor full =
+                       t->NewTensor(t->value(a).rows(), t->value(a).cols());
                    full.AddToRow(r, g);
                    t->AccumulateGrad(a, full);
                  });
@@ -258,12 +343,12 @@ Var Tape::AddRowBroadcast(Var a, Var row) {
   const Tensor& rv = value(row);
   KGAG_CHECK(rv.rows() == 1 && rv.cols() == av.cols())
       << "AddRowBroadcast shape";
-  Tensor out = av;
+  Tensor out = CloneTensor(av);
   for (size_t r = 0; r < av.rows(); ++r) out.AddToRow(r, rv);
   bool rg = node(a).requires_grad || node(row).requires_grad;
   return Emplace(std::move(out), rg, [a, row](Tape* t, const Tensor& g) {
     t->AccumulateGrad(a, g);
-    Tensor rsum(1, g.cols());
+    Tensor rsum = t->NewTensor(1, g.cols());
     for (size_t r = 0; r < g.rows(); ++r) {
       for (size_t c = 0; c < g.cols(); ++c) rsum.at(0, c) += g.at(r, c);
     }
@@ -274,13 +359,13 @@ Var Tape::AddRowBroadcast(Var a, Var row) {
 Var Tape::Reshape(Var a, size_t rows, size_t cols) {
   const Tensor& av = value(a);
   KGAG_CHECK_EQ(av.size(), rows * cols) << "Reshape size mismatch";
-  Tensor out(rows, cols);
-  for (size_t i = 0; i < av.size(); ++i) out[i] = av[i];
+  Tensor out = NewTensor(rows, cols);
+  std::memcpy(out.data(), av.data(), av.size() * sizeof(Scalar));
   return Emplace(std::move(out), node(a).requires_grad,
                  [a](Tape* t, const Tensor& g) {
                    const Tensor& av2 = t->value(a);
-                   Tensor ga(av2.rows(), av2.cols());
-                   for (size_t i = 0; i < ga.size(); ++i) ga[i] = g[i];
+                   Tensor ga = t->NewTensor(av2.rows(), av2.cols());
+                   std::memcpy(ga.data(), g.data(), g.size() * sizeof(Scalar));
                    t->AccumulateGrad(a, ga);
                  });
 }
@@ -288,11 +373,11 @@ Var Tape::Reshape(Var a, size_t rows, size_t cols) {
 Var Tape::RepeatRows(Var row, size_t n) {
   const Tensor& rv = value(row);
   KGAG_CHECK_EQ(rv.rows(), 1u) << "RepeatRows expects a 1xd row";
-  Tensor out(n, rv.cols());
+  Tensor out = NewTensor(n, rv.cols());
   for (size_t r = 0; r < n; ++r) out.SetRow(r, rv);
   return Emplace(std::move(out), node(row).requires_grad,
                  [row](Tape* t, const Tensor& g) {
-                   Tensor rsum(1, g.cols());
+                   Tensor rsum = t->NewTensor(1, g.cols());
                    for (size_t r = 0; r < g.rows(); ++r) {
                      for (size_t c = 0; c < g.cols(); ++c) {
                        rsum.at(0, c) += g.at(r, c);
@@ -308,7 +393,7 @@ Var Tape::SegmentWeightedSumRows(Var weights, Var values) {
   const size_t n = w.rows();
   const size_t k = w.cols();
   KGAG_CHECK_EQ(v.rows(), n * k) << "SegmentWeightedSumRows shape";
-  Tensor out(n, v.cols());
+  Tensor out = NewTensor(n, v.cols());
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < k; ++j) {
       const Scalar wij = w.at(i, j);
@@ -325,8 +410,8 @@ Var Tape::SegmentWeightedSumRows(Var weights, Var values) {
                    const Tensor& v2 = t->value(values);
                    const size_t n2 = w2.rows();
                    const size_t k2 = w2.cols();
-                   Tensor gw(n2, k2);
-                   Tensor gv(v2.rows(), v2.cols());
+                   Tensor gw = t->NewTensor(n2, k2);
+                   Tensor gv = t->NewTensor(v2.rows(), v2.cols());
                    for (size_t i = 0; i < n2; ++i) {
                      for (size_t j = 0; j < k2; ++j) {
                        const size_t vr = i * k2 + j;
@@ -346,12 +431,12 @@ Var Tape::SegmentWeightedSumRows(Var weights, Var values) {
 // ---- Nonlinearities ---------------------------------------------------------
 
 Var Tape::Relu(Var a) {
-  Tensor out = value(a);
+  Tensor out = CloneTensor(value(a));
   out.Apply([](Scalar x) { return x > 0 ? x : 0.0; });
   return Emplace(std::move(out), node(a).requires_grad,
                  [a](Tape* t, const Tensor& g) {
                    const Tensor& x = t->value(a);
-                   Tensor ga = g;
+                   Tensor ga = t->CloneTensor(g);
                    for (size_t i = 0; i < ga.size(); ++i) {
                      if (x[i] <= 0) ga[i] = 0.0;
                    }
@@ -360,12 +445,12 @@ Var Tape::Relu(Var a) {
 }
 
 Var Tape::Sigmoid(Var a) {
-  Tensor out = value(a);
+  Tensor out = CloneTensor(value(a));
   out.Apply(StableSigmoid);
   Var v = Emplace(std::move(out), node(a).requires_grad, nullptr);
   node(v).backward = [a, v](Tape* t, const Tensor& g) {
     const Tensor& y = t->value(v);
-    Tensor ga = g;
+    Tensor ga = t->CloneTensor(g);
     for (size_t i = 0; i < ga.size(); ++i) ga[i] *= y[i] * (1.0 - y[i]);
     t->AccumulateGrad(a, ga);
   };
@@ -373,12 +458,12 @@ Var Tape::Sigmoid(Var a) {
 }
 
 Var Tape::Tanh(Var a) {
-  Tensor out = value(a);
+  Tensor out = CloneTensor(value(a));
   out.Apply([](Scalar x) { return std::tanh(x); });
   Var v = Emplace(std::move(out), node(a).requires_grad, nullptr);
   node(v).backward = [a, v](Tape* t, const Tensor& g) {
     const Tensor& y = t->value(v);
-    Tensor ga = g;
+    Tensor ga = t->CloneTensor(g);
     for (size_t i = 0; i < ga.size(); ++i) ga[i] *= 1.0 - y[i] * y[i];
     t->AccumulateGrad(a, ga);
   };
@@ -386,12 +471,12 @@ Var Tape::Tanh(Var a) {
 }
 
 Var Tape::Softplus(Var a) {
-  Tensor out = value(a);
+  Tensor out = CloneTensor(value(a));
   out.Apply(StableSoftplus);
   return Emplace(std::move(out), node(a).requires_grad,
                  [a](Tape* t, const Tensor& g) {
                    const Tensor& x = t->value(a);
-                   Tensor ga = g;
+                   Tensor ga = t->CloneTensor(g);
                    for (size_t i = 0; i < ga.size(); ++i) {
                      ga[i] *= StableSigmoid(x[i]);
                    }
@@ -400,12 +485,12 @@ Var Tape::Softplus(Var a) {
 }
 
 Var Tape::Log(Var a) {
-  Tensor out = value(a);
+  Tensor out = CloneTensor(value(a));
   out.Apply([](Scalar x) { return std::log(x); });
   return Emplace(std::move(out), node(a).requires_grad,
                  [a](Tape* t, const Tensor& g) {
                    const Tensor& x = t->value(a);
-                   Tensor ga = g;
+                   Tensor ga = t->CloneTensor(g);
                    for (size_t i = 0; i < ga.size(); ++i) ga[i] /= x[i];
                    t->AccumulateGrad(a, ga);
                  });
@@ -413,7 +498,7 @@ Var Tape::Log(Var a) {
 
 Var Tape::SoftmaxRows(Var a) {
   const Tensor& x = value(a);
-  Tensor out(x.rows(), x.cols());
+  Tensor out = NewTensor(x.rows(), x.cols());
   for (size_t r = 0; r < x.rows(); ++r) {
     Scalar mx = -1e300;
     for (size_t c = 0; c < x.cols(); ++c) mx = std::max(mx, x.at(r, c));
@@ -427,7 +512,7 @@ Var Tape::SoftmaxRows(Var a) {
   Var v = Emplace(std::move(out), node(a).requires_grad, nullptr);
   node(v).backward = [a, v](Tape* t, const Tensor& g) {
     const Tensor& y = t->value(v);
-    Tensor ga(y.rows(), y.cols());
+    Tensor ga = t->NewTensor(y.rows(), y.cols());
     for (size_t r = 0; r < y.rows(); ++r) {
       Scalar dot = 0.0;
       for (size_t c = 0; c < y.cols(); ++c) dot += g.at(r, c) * y.at(r, c);
@@ -444,14 +529,14 @@ Var Tape::SoftmaxRows(Var a) {
 
 Var Tape::SumRows(Var a) {
   const Tensor& x = value(a);
-  Tensor out(1, x.cols());
+  Tensor out = NewTensor(1, x.cols());
   for (size_t r = 0; r < x.rows(); ++r) {
     for (size_t c = 0; c < x.cols(); ++c) out.at(0, c) += x.at(r, c);
   }
   return Emplace(std::move(out), node(a).requires_grad,
                  [a](Tape* t, const Tensor& g) {
                    const Tensor& x2 = t->value(a);
-                   Tensor ga(x2.rows(), x2.cols());
+                   Tensor ga = t->NewTensor(x2.rows(), x2.cols());
                    for (size_t r = 0; r < x2.rows(); ++r) ga.AddToRow(r, g);
                    t->AccumulateGrad(a, ga);
                  });
@@ -467,7 +552,7 @@ Var Tape::RowDot(Var a, Var b) {
   const Tensor& av = value(a);
   const Tensor& bv = value(b);
   KGAG_CHECK(av.same_shape(bv)) << "RowDot shape mismatch";
-  Tensor out(av.rows(), 1);
+  Tensor out = NewTensor(av.rows(), 1);
   for (size_t r = 0; r < av.rows(); ++r) {
     Scalar s = 0.0;
     for (size_t c = 0; c < av.cols(); ++c) s += av.at(r, c) * bv.at(r, c);
@@ -477,8 +562,8 @@ Var Tape::RowDot(Var a, Var b) {
   return Emplace(std::move(out), rg, [a, b](Tape* t, const Tensor& g) {
     const Tensor& av2 = t->value(a);
     const Tensor& bv2 = t->value(b);
-    Tensor ga(av2.rows(), av2.cols());
-    Tensor gb(bv2.rows(), bv2.cols());
+    Tensor ga = t->NewTensor(av2.rows(), av2.cols());
+    Tensor gb = t->NewTensor(bv2.rows(), bv2.cols());
     for (size_t r = 0; r < av2.rows(); ++r) {
       const Scalar gr = g.at(r, 0);
       for (size_t c = 0; c < av2.cols(); ++c) {
@@ -492,11 +577,13 @@ Var Tape::RowDot(Var a, Var b) {
 }
 
 Var Tape::Sum(Var a) {
-  Tensor out = Tensor::Scalar1(value(a).Sum());
+  Tensor out = NewTensor(1, 1);
+  out[0] = value(a).Sum();
   return Emplace(std::move(out), node(a).requires_grad,
                  [a](Tape* t, const Tensor& g) {
                    const Tensor& x = t->value(a);
-                   Tensor ga(x.rows(), x.cols(), g.item());
+                   Tensor ga = t->NewTensor(x.rows(), x.cols());
+                   ga.Fill(g.item());
                    t->AccumulateGrad(a, ga);
                  });
 }
@@ -514,11 +601,12 @@ Var Tape::MinAll(Var a) {
   for (size_t i = 1; i < x.size(); ++i) {
     if (x[i] < x[arg]) arg = i;
   }
-  Tensor out = Tensor::Scalar1(x[arg]);
+  Tensor out = NewTensor(1, 1);
+  out[0] = x[arg];
   return Emplace(std::move(out), node(a).requires_grad,
                  [a, arg](Tape* t, const Tensor& g) {
                    const Tensor& x2 = t->value(a);
-                   Tensor ga(x2.rows(), x2.cols());
+                   Tensor ga = t->NewTensor(x2.rows(), x2.cols());
                    ga[arg] = g.item();
                    t->AccumulateGrad(a, ga);
                  });
@@ -531,11 +619,12 @@ Var Tape::MaxAll(Var a) {
   for (size_t i = 1; i < x.size(); ++i) {
     if (x[i] > x[arg]) arg = i;
   }
-  Tensor out = Tensor::Scalar1(x[arg]);
+  Tensor out = NewTensor(1, 1);
+  out[0] = x[arg];
   return Emplace(std::move(out), node(a).requires_grad,
                  [a, arg](Tape* t, const Tensor& g) {
                    const Tensor& x2 = t->value(a);
-                   Tensor ga(x2.rows(), x2.cols());
+                   Tensor ga = t->NewTensor(x2.rows(), x2.cols());
                    ga[arg] = g.item();
                    t->AccumulateGrad(a, ga);
                  });
@@ -546,8 +635,12 @@ Var Tape::MaxAll(Var a) {
 void Tape::Backward(Var loss) {
   KGAG_CHECK(loss.valid());
   KGAG_CHECK_EQ(value(loss).size(), 1u) << "Backward target must be scalar";
-  for (Node& n : nodes_) n.grad = Tensor();
-  node(loss).grad = Tensor::Scalar1(1.0);
+  // Release keeps each grad bound to its resource (and its capacity), so
+  // repeated Backward calls on one graph reuse the same storage.
+  for (Node& n : nodes_) n.grad.Release();
+  Node& seed = node(loss);
+  seed.grad.ResetShape(1, 1);
+  seed.grad[0] = 1.0;
   for (size_t i = nodes_.size(); i-- > 0;) {
     Node& n = nodes_[i];
     if (!n.requires_grad || n.grad.empty() || !n.backward) continue;

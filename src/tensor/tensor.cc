@@ -50,6 +50,11 @@ void Tensor::Scale(Scalar alpha) {
   for (auto& v : data_) v *= alpha;
 }
 
+void Tensor::Mul(const Tensor& other) {
+  KGAG_CHECK(same_shape(other)) << "Mul shape mismatch";
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
 Scalar Tensor::Sum() const {
   Scalar s = 0.0;
   for (Scalar v : data_) s += v;

@@ -5,6 +5,7 @@
 
 #include <cstddef>
 #include <initializer_list>
+#include <memory_resource>
 #include <string>
 #include <utility>
 #include <vector>
@@ -18,13 +19,34 @@ namespace kgag {
 using Scalar = double;
 
 /// \brief Dense row-major matrix. Shape is (rows, cols); a scalar is 1x1.
+///
+/// Storage is allocator-aware (std::pmr): by default elements live on the
+/// heap exactly as before, but a tensor can be bound to a
+/// std::pmr::memory_resource (the tape's bump arena) at construction.
+/// Allocator propagation follows pmr rules, which is what makes arena use
+/// safe here:
+///   - copies always land on the default (heap) resource, so a copy taken
+///     from a tape node never dangles when the arena is reset;
+///   - moves carry the resource with the buffer, so moving an
+///     arena-backed tensor into a tape node is free and stays on-arena;
+///   - assignment keeps the destination's resource (element-wise copy),
+///     so an arena never leaks into a long-lived tensor by assignment.
 class Tensor {
  public:
   Tensor() : rows_(0), cols_(0) {}
 
+  /// Empty tensor whose future allocations come from `mr`. ResetShape /
+  /// assignment grow it on that resource.
+  explicit Tensor(std::pmr::memory_resource* mr)
+      : rows_(0), cols_(0), data_(mr) {}
+
   /// Zero-initialized tensor of the given shape.
   Tensor(size_t rows, size_t cols)
       : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Zero-initialized tensor allocated from `mr`.
+  Tensor(size_t rows, size_t cols, std::pmr::memory_resource* mr)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0, mr) {}
 
   /// Tensor filled with `fill`.
   Tensor(size_t rows, size_t cols, Scalar fill)
@@ -86,12 +108,36 @@ class Tensor {
   void Fill(Scalar v) { std::fill(data_.begin(), data_.end(), v); }
   void Zero() { Fill(0.0); }
 
+  /// Reshapes in place to rows x cols, zero-filled, reusing existing
+  /// capacity and keeping the bound memory resource (an arena-backed
+  /// gradient stays arena-backed across backward passes).
+  void ResetShape(size_t rows, size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, 0.0);
+  }
+
+  /// Empties the tensor (shape 0x0) without giving up capacity or the
+  /// bound memory resource.
+  void Release() {
+    rows_ = 0;
+    cols_ = 0;
+    data_.clear();
+  }
+
+  /// The memory resource backing this tensor's storage.
+  std::pmr::memory_resource* resource() const {
+    return data_.get_allocator().resource();
+  }
+
   /// Element-wise in-place accumulate: this += other.
   void Add(const Tensor& other);
   /// this += alpha * other.
   void Axpy(Scalar alpha, const Tensor& other);
   /// this *= alpha.
   void Scale(Scalar alpha);
+  /// Element-wise in-place Hadamard product: this *= other.
+  void Mul(const Tensor& other);
   /// Applies fn to every element in place. Templated so per-element
   /// lambdas inline into the loop (no std::function indirection on hot
   /// paths like the tape's activation ops).
@@ -127,7 +173,7 @@ class Tensor {
  private:
   size_t rows_;
   size_t cols_;
-  std::vector<Scalar> data_;
+  std::pmr::vector<Scalar> data_;
 };
 
 /// C = A * B. Shapes must agree (A: m×k, B: k×n).

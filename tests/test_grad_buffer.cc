@@ -1,0 +1,130 @@
+#include "tensor/grad_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/tape.h"
+
+namespace kgag {
+namespace {
+
+// One training-example-shaped pass: dense leaf + gather with a repeated
+// row, so both sink paths (AddDense / AddRows with duplicates) fire.
+void RunExample(Tape* tape, Parameter* w, Parameter* table, size_t i) {
+  tape->Clear();
+  const size_t n = table->value.rows();
+  const std::vector<size_t> rows = {i % n, (3 * i + 1) % n, (3 * i + 1) % n};
+  Var g = tape->Gather(table, rows);
+  Var y = tape->MatMul(g, tape->Leaf(w));
+  tape->Backward(tape->Sum(tape->Tanh(y)));
+}
+
+class GradBufferTest : public ::testing::Test {
+ protected:
+  GradBufferTest() : rng_(11) {
+    w_ = store_.Create("w", 4, 4, Init::kXavierUniform, &rng_);
+    table_ = store_.Create("emb", 10, 4, Init::kXavierUniform, &rng_);
+  }
+
+  void ExpectGradsEqualBitwise(const Tensor& expect_w,
+                               const Tensor& expect_table) {
+    for (size_t i = 0; i < expect_w.size(); ++i) {
+      EXPECT_EQ(expect_w[i], w_->grad[i]) << "w grad at " << i;
+    }
+    for (size_t i = 0; i < expect_table.size(); ++i) {
+      EXPECT_EQ(expect_table[i], table_->grad[i]) << "table grad at " << i;
+    }
+  }
+
+  Rng rng_;
+  ParameterStore store_;
+  Parameter* w_ = nullptr;
+  Parameter* table_ = nullptr;
+};
+
+// The determinism cornerstone (DESIGN.md §9): accumulating a shard's
+// examples in a GradBuffer and flushing once must produce the same bits
+// as the direct sink, because Parameter::grad is exactly zero before the
+// flush and addition with an exact zero is associative.
+TEST_F(GradBufferTest, BufferedFlushMatchesDirectBitwise) {
+  Tape direct;
+  for (size_t i = 0; i < 6; ++i) RunExample(&direct, w_, table_, i);
+  const Tensor direct_w = w_->grad;
+  const Tensor direct_table = table_->grad;
+  const auto direct_touched = table_->touched_rows;
+  EXPECT_TRUE(w_->dense_touched);
+  store_.ZeroGrads();
+
+  GradBuffer buf(&store_);
+  Tape buffered;
+  buffered.set_grad_sink(&buf);
+  for (size_t i = 0; i < 6; ++i) RunExample(&buffered, w_, table_, i);
+  // Nothing reaches the parameters until the flush.
+  EXPECT_FALSE(w_->dense_touched);
+  EXPECT_TRUE(table_->touched_rows.empty());
+  for (size_t i = 0; i < w_->grad.size(); ++i) {
+    ASSERT_EQ(w_->grad[i], 0.0);
+  }
+  EXPECT_FALSE(buf.empty());
+
+  buf.FlushInto();
+  ExpectGradsEqualBitwise(direct_w, direct_table);
+  EXPECT_TRUE(w_->dense_touched);
+  EXPECT_EQ(direct_touched, table_->touched_rows);
+}
+
+// Reset() must clear contributions but keep the buffer reusable: a second
+// batch through the same buffer matches a direct second batch bitwise.
+TEST_F(GradBufferTest, ResetKeepsBufferReusable) {
+  GradBuffer buf(&store_);
+  Tape tape;
+  tape.set_grad_sink(&buf);
+  for (size_t i = 0; i < 4; ++i) RunExample(&tape, w_, table_, i);
+  buf.FlushInto();
+  buf.Reset();
+  EXPECT_TRUE(buf.empty());
+  store_.ZeroGrads();
+
+  // Second batch, different examples.
+  for (size_t i = 4; i < 9; ++i) RunExample(&tape, w_, table_, i);
+  buf.FlushInto();
+  const Tensor buffered_w = w_->grad;
+  const Tensor buffered_table = table_->grad;
+  store_.ZeroGrads();
+
+  Tape direct;
+  for (size_t i = 4; i < 9; ++i) RunExample(&direct, w_, table_, i);
+  ExpectGradsEqualBitwise(buffered_w, buffered_table);
+}
+
+TEST_F(GradBufferTest, AddRowsDeduplicatesAndKeepsFirstTouchOrder) {
+  GradBuffer buf(&store_);
+  Tensor g(3, 4);
+  for (size_t i = 0; i < g.size(); ++i) g[i] = static_cast<Scalar>(i + 1);
+  const std::vector<size_t> rows = {5, 2, 5};
+  buf.AddRows(table_, rows, g);
+  buf.FlushInto();
+  EXPECT_EQ(table_->touched_rows.size(), 2u);
+  EXPECT_TRUE(table_->touched_rows.count(5));
+  EXPECT_TRUE(table_->touched_rows.count(2));
+  // Row 5 received slots 0 and 2 of g.
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(table_->grad.at(5, c), g.at(0, c) + g.at(2, c));
+    EXPECT_EQ(table_->grad.at(2, c), g.at(1, c));
+    EXPECT_EQ(table_->grad.at(0, c), 0.0);
+  }
+}
+
+TEST_F(GradBufferTest, DirectSinkIsDefault) {
+  Tape tape;
+  EXPECT_EQ(tape.grad_sink(), DirectGradSink::Instance());
+  GradBuffer buf(&store_);
+  tape.set_grad_sink(&buf);
+  EXPECT_EQ(tape.grad_sink(), &buf);
+  tape.set_grad_sink(nullptr);  // restores the default
+  EXPECT_EQ(tape.grad_sink(), DirectGradSink::Instance());
+}
+
+}  // namespace
+}  // namespace kgag

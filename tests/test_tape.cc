@@ -322,5 +322,117 @@ TEST(TapeBackwardTest, ClearInvalidatesAndReleases) {
   EXPECT_EQ(tape.num_nodes(), 0u);
 }
 
+// SegmentWeightedSumRows at segment boundaries: the gather routes
+// distinct table rows to the first and last slot of each segment, so a
+// backward indexing bug (off-by-one on i*K or i*K+K-1) shows up as a
+// finite-difference mismatch on those rows specifically.
+TEST(TapeSegmentBoundaryTest, GradientsAtSegmentBoundaries) {
+  Rng rng(17);
+  ParameterStore store;
+  Parameter* w = store.Create("w", 3, 4, Init::kXavierUniform, &rng);
+  Parameter* table = store.Create("table", 4, 2, Init::kXavierUniform, &rng);
+  // 3 segments x K=4 values; boundary slots (k=0, k=3) of each segment
+  // pull different rows, and row 3 appears at both kinds of boundary.
+  const std::vector<size_t> rows = {3, 0, 1, 2,   // segment 0
+                                    0, 1, 2, 3,   // segment 1
+                                    2, 3, 0, 1};  // segment 2
+
+  auto build = [&](Tape* t) {
+    Var weights = t->Leaf(w);  // raw weights: negative entries included
+    Var values = t->Gather(table, rows);
+    return t->Sum(t->Tanh(t->SegmentWeightedSumRows(weights, values)));
+  };
+  auto loss_fn = [&]() {
+    Tape tape;
+    return tape.value(build(&tape)).item();
+  };
+  auto backward_fn = [&]() {
+    Tape tape;
+    tape.Backward(build(&tape));
+  };
+  GradCheckReport report = CheckGradients(&store, loss_fn, backward_fn);
+  EXPECT_TRUE(report.ok(1e-4))
+      << report.worst_location << " rel=" << report.max_rel_error;
+}
+
+// ---- Arena behaviour --------------------------------------------------------
+
+class TapeArenaTest : public ::testing::Test {
+ protected:
+  // One forward+backward pass with a size-dependent graph shape.
+  static void BuildAndBackward(Tape* tape, Parameter* p, size_t rows) {
+    std::vector<size_t> idx(rows);
+    for (size_t i = 0; i < rows; ++i) idx[i] = (i * 7) % p->value.rows();
+    Var g = tape->Gather(p, idx);
+    Var h = tape->Sigmoid(tape->MatMul(g, tape->Transpose(g)));
+    tape->Backward(tape->Sum(h));
+  }
+};
+
+TEST_F(TapeArenaTest, ClearReusesCapacityAcrossVaryingShapes) {
+  Rng rng(3);
+  ParameterStore store;
+  Parameter* p = store.Create("p", 32, 8, Init::kXavierUniform, &rng);
+  Tape tape;
+  // Warm up with the largest shape, then cycle smaller/odd-sized graphs:
+  // the arena must serve them all from the retained block.
+  BuildAndBackward(&tape, p, 24);
+  store.ZeroGrads();
+  tape.Clear();
+  EXPECT_EQ(tape.arena().bytes_in_use(), 0u);
+  const size_t warm_capacity = tape.arena().capacity();
+  const size_t warm_blocks = tape.arena().block_count();
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    BuildAndBackward(&tape, p, 4 + (static_cast<size_t>(cycle) * 7) % 21);
+    store.ZeroGrads();
+    tape.Clear();
+    EXPECT_EQ(tape.arena().bytes_in_use(), 0u);
+  }
+  EXPECT_EQ(tape.arena().capacity(), warm_capacity);
+  EXPECT_EQ(tape.arena().block_count(), warm_blocks);
+}
+
+TEST_F(TapeArenaTest, ArenaAndHeapTapesAgreeBitwise) {
+  Rng rng(9);
+  ParameterStore store;
+  Parameter* p = store.Create("p", 16, 8, Init::kXavierUniform, &rng);
+
+  Tape arena_tape(/*use_arena=*/true);
+  BuildAndBackward(&arena_tape, p, 10);
+  const Tensor arena_grad = p->grad;  // copy lands on the heap
+  store.ZeroGrads();
+
+  Tape heap_tape(/*use_arena=*/false);
+  BuildAndBackward(&heap_tape, p, 10);
+  ASSERT_EQ(arena_grad.rows(), p->grad.rows());
+  for (size_t i = 0; i < arena_grad.size(); ++i) {
+    EXPECT_EQ(arena_grad[i], p->grad[i]) << "at " << i;
+  }
+}
+
+// A reused (warm) tape must produce the same bits as a fresh one: arena
+// reuse may not leak state between examples.
+TEST_F(TapeArenaTest, WarmTapeMatchesFreshTape) {
+  Rng rng(21);
+  ParameterStore store;
+  Parameter* p = store.Create("p", 16, 8, Init::kXavierUniform, &rng);
+
+  Tape warm;
+  for (size_t rows = 3; rows <= 12; rows += 3) {
+    BuildAndBackward(&warm, p, rows);
+    store.ZeroGrads();
+    warm.Clear();
+  }
+  BuildAndBackward(&warm, p, 7);
+  const Tensor warm_grad = p->grad;
+  store.ZeroGrads();
+
+  Tape fresh;
+  BuildAndBackward(&fresh, p, 7);
+  for (size_t i = 0; i < warm_grad.size(); ++i) {
+    EXPECT_EQ(warm_grad[i], p->grad[i]) << "at " << i;
+  }
+}
+
 }  // namespace
 }  // namespace kgag

@@ -1,0 +1,124 @@
+// Determinism contract of data-parallel training (DESIGN.md §9): for a
+// fixed config, TrainEpoch must produce byte-identical training state —
+// parameters, Adam moments, RNG snapshots, batcher cursors — for every
+// train_threads value and for arena on/off. These tests are the gtest
+// twin of bench_train --acceptance, kept small enough for the sanitizer
+// jobs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "data/synthetic/standard_datasets.h"
+#include "models/kgag_model.h"
+
+namespace kgag {
+namespace {
+
+struct Snapshot {
+  std::string params;
+  std::string optimizer;
+  std::string rng;
+  std::string batcher;
+  double last_loss = 0.0;
+};
+
+class TrainParallelTest : public ::testing::Test {
+ protected:
+  TrainParallelTest() : ds_(MakeMovieLensRandDataset(13, /*scale=*/0.05)) {}
+
+  KgagConfig BaseConfig() const {
+    KgagConfig cfg;
+    cfg.propagation.dim = 8;
+    cfg.propagation.depth = 1;
+    cfg.propagation.sample_size = 4;
+    cfg.batch_size = 16;
+    cfg.pairs_per_epoch = 64;
+    cfg.select_by_validation = false;
+    cfg.seed = 77;
+    return cfg;
+  }
+
+  Snapshot TrainFor(const KgagConfig& cfg, int epochs) const {
+    Result<std::unique_ptr<KgagModel>> model = KgagModel::Create(&ds_, cfg);
+    EXPECT_TRUE(model.ok()) << model.status().ToString();
+    Rng rng(cfg.seed + 1);
+    Snapshot snap;
+    for (int e = 0; e < epochs; ++e) {
+      snap.last_loss = (*model)->TrainEpoch(&rng);
+    }
+    ckpt::TrainingState state = (*model)->CaptureTrainingState(
+        static_cast<uint64_t>(epochs), /*mid_epoch=*/false,
+        /*batches_done=*/0, /*partial_loss=*/0.0, /*selector=*/nullptr);
+    snap.params = std::move(state.params);
+    snap.optimizer = std::move(state.optimizer);
+    snap.rng = std::move(state.rng);
+    snap.batcher = std::move(state.batcher);
+    return snap;
+  }
+
+  static void ExpectIdentical(const Snapshot& a, const Snapshot& b,
+                              const char* what) {
+    EXPECT_EQ(a.params, b.params) << what << ": parameter bytes differ";
+    EXPECT_EQ(a.optimizer, b.optimizer)
+        << what << ": Adam moment bytes differ";
+    EXPECT_EQ(a.rng, b.rng) << what << ": rng snapshot differs";
+    EXPECT_EQ(a.batcher, b.batcher) << what << ": batcher state differs";
+    EXPECT_EQ(a.last_loss, b.last_loss) << what << ": epoch loss differs";
+  }
+
+  GroupRecDataset ds_;
+};
+
+TEST_F(TrainParallelTest, BitIdenticalAcrossThreadCounts) {
+  KgagConfig cfg = BaseConfig();
+  cfg.train_threads = 1;
+  const Snapshot ref = TrainFor(cfg, /*epochs=*/3);
+
+  cfg.train_threads = 2;
+  ExpectIdentical(ref, TrainFor(cfg, 3), "2 threads vs 1");
+
+  cfg.train_threads = 8;
+  ExpectIdentical(ref, TrainFor(cfg, 3), "8 threads vs 1");
+}
+
+TEST_F(TrainParallelTest, BitIdenticalWithArenaDisabled) {
+  KgagConfig cfg = BaseConfig();
+  const Snapshot arena_on = TrainFor(cfg, /*epochs=*/2);
+  cfg.tape_arena = false;
+  ExpectIdentical(arena_on, TrainFor(cfg, 2), "heap tape vs arena tape");
+}
+
+// The shard size is part of the numeric contract (like batch_size): the
+// parallel path must honor whatever value the config pins, at any thread
+// count. Different shard sizes may legitimately produce different bits —
+// what must hold is thread-count independence at each size.
+TEST_F(TrainParallelTest, BitIdenticalAcrossThreadsForOddShardSize) {
+  KgagConfig cfg = BaseConfig();
+  cfg.train_shard_size = 5;  // does not divide the batch size
+  cfg.train_threads = 1;
+  const Snapshot ref = TrainFor(cfg, /*epochs=*/2);
+  cfg.train_threads = 4;
+  ExpectIdentical(ref, TrainFor(cfg, 2), "4 threads vs 1, shard_size=5");
+}
+
+// The paper-protocol metrics must be reachable from a parallel-trained
+// model exactly as from a serial one (scoring shares the parameters).
+TEST_F(TrainParallelTest, ParallelTrainedModelScoresDeterministically) {
+  KgagConfig cfg = BaseConfig();
+  cfg.train_threads = 4;
+  Result<std::unique_ptr<KgagModel>> a = KgagModel::Create(&ds_, cfg);
+  Result<std::unique_ptr<KgagModel>> b = KgagModel::Create(&ds_, cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  Rng rng_a(cfg.seed + 1), rng_b(cfg.seed + 1);
+  (*a)->TrainEpoch(&rng_a);
+  (*b)->TrainEpoch(&rng_b);
+  const ItemId items[3] = {0, 1, 2};
+  const std::vector<double> sa = (*a)->ScoreGroup(0, items);
+  const std::vector<double> sb = (*b)->ScoreGroup(0, items);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (size_t i = 0; i < sa.size(); ++i) EXPECT_EQ(sa[i], sb[i]);
+}
+
+}  // namespace
+}  // namespace kgag
