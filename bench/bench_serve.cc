@@ -1,0 +1,330 @@
+// bench_serve: online-serving harness (DESIGN.md §10). Freezes a model
+// into the KGAGSRV1 artifact, proves the artifact round trip is
+// byte-stable, then drives the same request stream through two
+// ServingEngine configurations:
+//   naive    max_batch=1  — one GEMM per request (the item matrix is
+//                           streamed from memory once per request)
+//   batched  max_batch=16 — the dispatcher coalesces the queue and the
+//                           item matrix is streamed once per BATCH
+// and reports throughput, p50/p99 request latency (from the
+// serve.request_latency_us histogram), batch-size distribution and
+// group-cache hit rate. Batched and naive results are bit-identical by
+// construction (pinned in tests/test_serve.cc), so this harness is purely
+// about throughput.
+//
+// Usage: bench_serve [--smoke] [--acceptance] [--requests N] [--out PATH]
+//   --smoke       tiny dataset + short request stream (CI wiring check)
+//   --acceptance  gate only: artifact round trip must be byte-stable and
+//                 batched throughput must be >= naive throughput; no JSON
+//                 artifact unless --out is given
+//   --requests    requests per phase (default 512, smoke 96)
+//   --out         output path (default ./BENCH_serve.json)
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <cstdlib>
+#include <span>
+
+#include "bench_util.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "data/synthetic/standard_datasets.h"
+#include "models/kgag_model.h"
+#include "obs/metrics.h"
+#include "serve/frozen_model.h"
+#include "serve/serving_engine.h"
+
+namespace kgag {
+namespace {
+
+struct Options {
+  bool smoke = false;
+  bool acceptance = false;
+  size_t requests = 0;  // 0 = pick by mode
+  std::string out = "BENCH_serve.json";
+};
+
+/// Deterministic, popularity-skewed request stream: over half the
+/// traffic concentrates on a handful of hot groups (as real serving
+/// traffic does — that skew is what the rep cache and the in-batch
+/// coalescing exploit); the rest is uniform over all groups with some
+/// ad-hoc membership edits, plus a sprinkle of exclusion lists.
+std::vector<serve::TopKRequest> MakeRequests(const GroupRecDataset& ds,
+                                             size_t n) {
+  Rng rng(913);
+  std::vector<serve::TopKRequest> reqs;
+  reqs.reserve(n);
+  const int num_groups = static_cast<int>(ds.groups.num_groups());
+  const int num_hot = std::min(8, num_groups);
+  for (size_t i = 0; i < n; ++i) {
+    serve::TopKRequest r;
+    GroupId g;
+    if (rng.UniformInt(0, 9) < 6) {
+      g = static_cast<GroupId>(rng.UniformInt(0, num_hot - 1));
+    } else {
+      g = static_cast<GroupId>(rng.UniformInt(0, num_groups - 1));
+    }
+    std::span<const UserId> members = ds.groups.MembersOf(g);
+    r.members.assign(members.begin(), members.end());
+    if (g >= num_hot && rng.UniformInt(0, 9) < 3) {
+      // Ad-hoc group: a prefix of the trained membership (size 1..L-1).
+      const int keep =
+          rng.UniformInt(1, static_cast<int>(r.members.size()) - 1);
+      r.members.resize(static_cast<size_t>(keep));
+    }
+    if (rng.UniformInt(0, 9) < 2) {
+      for (int e = 0; e < 4; ++e) {
+        r.exclude_seen.push_back(static_cast<ItemId>(
+            rng.UniformInt(0, static_cast<int>(ds.num_items) - 1)));
+      }
+    }
+    r.k = 10;
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+/// serve.request_latency_us bucket counts right now (all-zero when the
+/// histogram has not been registered yet).
+std::vector<uint64_t> LatencySnapshot() {
+  const obs::Histogram* h = obs::MetricsRegistry::Global().FindHistogram(
+      "serve.request_latency_us");
+  if (h == nullptr) {
+    return std::vector<uint64_t>(obs::LatencyBoundsUs().size() + 1, 0);
+  }
+  return h->BucketCounts();
+}
+
+/// Approximate quantile of the observations made between two snapshots:
+/// the upper bound of the bucket holding the p-quantile of the delta.
+double QuantileOfDelta(const std::vector<uint64_t>& before,
+                       const std::vector<uint64_t>& after, double p) {
+  const std::vector<double>& bounds = obs::LatencyBoundsUs();
+  uint64_t total = 0;
+  for (size_t i = 0; i < after.size(); ++i) total += after[i] - before[i];
+  if (total == 0) return 0.0;
+  const uint64_t target = static_cast<uint64_t>(p * (total - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < after.size(); ++i) {
+    seen += after[i] - before[i];
+    if (seen >= target) {
+      return i < bounds.size() ? bounds[i] : bounds.back();
+    }
+  }
+  return bounds.back();
+}
+
+struct PhaseResult {
+  std::string mode;
+  size_t requests = 0;
+  uint64_t batches = 0;
+  double mean_batch = 0.0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  double cache_hit_rate = 0.0;
+  uint64_t coalesced = 0;
+};
+
+/// Submits the whole stream as one burst and waits for every future —
+/// the queue depth is what lets the batched dispatcher coalesce.
+PhaseResult RunPhase(const std::string& mode, const serve::FrozenModel* model,
+                     serve::ServingEngine::Options engine_opts,
+                     const std::vector<serve::TopKRequest>& reqs) {
+  const std::vector<uint64_t> before = LatencySnapshot();
+  serve::ServingEngine engine(model, engine_opts);
+  std::vector<std::future<Result<serve::TopKResult>>> futures;
+  futures.reserve(reqs.size());
+  Stopwatch sw;
+  for (const serve::TopKRequest& r : reqs) futures.push_back(engine.Submit(r));
+  for (auto& f : futures) {
+    Result<serve::TopKResult> r = f.get();
+    KGAG_CHECK(r.ok()) << r.status().ToString();
+  }
+  const double secs = sw.ElapsedSeconds();
+
+  PhaseResult out;
+  out.mode = mode;
+  out.requests = reqs.size();
+  out.batches = engine.batches_run();
+  out.mean_batch = out.batches == 0
+                       ? 0.0
+                       : static_cast<double>(reqs.size()) /
+                             static_cast<double>(out.batches);
+  out.wall_ms = secs * 1e3;
+  out.qps = secs == 0.0 ? 0.0 : static_cast<double>(reqs.size()) / secs;
+  const std::vector<uint64_t> after = LatencySnapshot();
+  out.p50_us = QuantileOfDelta(before, after, 0.50);
+  out.p99_us = QuantileOfDelta(before, after, 0.99);
+  out.cache_hits = engine.cache()->hits();
+  out.cache_misses = engine.cache()->misses();
+  out.cache_hit_rate = engine.cache()->HitRate();
+  out.coalesced = engine.coalesced_requests();
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      opt.smoke = true;
+    } else if (arg == "--acceptance") {
+      opt.acceptance = true;
+    } else if (arg == "--requests" && i + 1 < argc) {
+      opt.requests = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (arg == "--out" && i + 1 < argc) {
+      opt.out = argv[++i];
+    } else {
+      std::cerr << "usage: bench_serve [--smoke] [--acceptance]"
+                << " [--requests N] [--out PATH]\n";
+      return 2;
+    }
+  }
+  const size_t n_requests =
+      opt.requests > 0 ? opt.requests : (opt.smoke ? 96 : 512);
+
+  // Model: architecture from the shared bench config; the weights are the
+  // freshly initialized ones — serving throughput does not depend on how
+  // trained they are, and skipping Fit() keeps the harness fast.
+  const GroupRecDataset ds =
+      MakeMovieLensRandDataset(bench::WorldSeed(), opt.smoke ? 0.12 : 0.35);
+  KgagConfig cfg = bench::DefaultKgagConfig();
+  Result<std::unique_ptr<KgagModel>> model = KgagModel::Create(&ds, cfg);
+  KGAG_CHECK(model.ok()) << model.status().ToString();
+
+  // --- Artifact gate: freeze, encode, decode, re-encode, byte-compare. ---
+  Result<serve::FrozenModel> frozen = serve::FreezeKgagModel(model->get());
+  KGAG_CHECK(frozen.ok()) << frozen.status().ToString();
+  std::string encoded;
+  KGAG_CHECK(serve::EncodeFrozenModel(*frozen, &encoded).ok());
+  Result<serve::FrozenModel> decoded = serve::DecodeFrozenModel(encoded);
+  std::string re_encoded;
+  const bool round_trip =
+      decoded.ok() && serve::EncodeFrozenModel(*decoded, &re_encoded).ok() &&
+      re_encoded == encoded;
+  std::cout << "artifact: " << encoded.size() << " bytes, round trip "
+            << (round_trip ? "byte-stable" : "DIVERGED") << "\n";
+
+  // --- Throughput phases: identical stream, identical cache budget. ------
+  const std::vector<serve::TopKRequest> reqs = MakeRequests(ds, n_requests);
+  {
+    // Warmup outside the timed phases (first-touch registration of the
+    // serve.* metrics, lazy allocations inside the engine).
+    serve::ServingEngine warm(&*frozen, {.max_batch = 1,
+                                         .batch_deadline_us = 0,
+                                         .cache_capacity = 0,
+                                         .pool = nullptr});
+    for (size_t i = 0; i < std::min<size_t>(reqs.size(), 8); ++i) {
+      KGAG_CHECK(warm.Submit(reqs[i]).get().ok());
+    }
+  }
+  const PhaseResult naive =
+      RunPhase("naive", &*frozen,
+               {.max_batch = 1,
+                .batch_deadline_us = 0,
+                .cache_capacity = 256,
+                .pool = nullptr},
+               reqs);
+  const PhaseResult batched =
+      RunPhase("batched", &*frozen,
+               {.max_batch = 16,
+                .batch_deadline_us = 200,
+                .cache_capacity = 256,
+                .pool = nullptr},
+               reqs);
+  for (const PhaseResult& r : {naive, batched}) {
+    std::cout << r.mode << ": " << r.requests << " requests in " << r.wall_ms
+              << " ms = " << r.qps << " qps, " << r.batches
+              << " batches (mean " << r.mean_batch << "), " << r.coalesced
+              << " coalesced, p50 " << r.p50_us << " us, p99 " << r.p99_us
+              << " us, cache hit-rate " << r.cache_hit_rate << "\n";
+  }
+  const double speedup = naive.qps == 0.0 ? 0.0 : batched.qps / naive.qps;
+  const bool batched_wins = batched.qps >= naive.qps;
+  std::cout << "batched/naive throughput: " << speedup << "x\n";
+
+  if (opt.acceptance) {
+    const bool ok = round_trip && batched_wins;
+    std::cout << (ok ? "acceptance OK\n" : "acceptance FAILED\n");
+    if (!round_trip) std::cerr << "FAIL: artifact round trip diverged\n";
+    if (!batched_wins) {
+      std::cerr << "FAIL: batched throughput below naive (" << batched.qps
+                << " < " << naive.qps << " qps)\n";
+    }
+    if (opt.out == "BENCH_serve.json") return ok ? 0 : 1;
+  }
+
+  std::ofstream out(opt.out);
+  if (!out) {
+    std::cerr << "cannot write " << opt.out << "\n";
+    return 1;
+  }
+  bench::JsonWriter w(&out);
+  w.BeginObject();
+  w.Newline();
+  w.Field("bench", "bench_serve");
+  w.Newline();
+  w.Field("smoke", opt.smoke);
+  w.Newline();
+  w.BeginObject("workload");
+  w.Field("dataset", ds.name);
+  w.Field("num_users", frozen->num_users);
+  w.Field("num_items", frozen->num_items);
+  w.Field("dim", frozen->dim);
+  w.Field("group_size", frozen->group_size);
+  w.Field("requests", n_requests);
+  w.Field("k", 10);
+  w.EndObject();
+  w.Newline();
+  w.BeginObject("artifact");
+  w.Field("bytes", encoded.size());
+  w.Field("round_trip_byte_stable", round_trip);
+  w.EndObject();
+  w.Newline();
+  w.BeginArray("phases");
+  w.Newline();
+  for (const PhaseResult& r : {naive, batched}) {
+    w.BeginObject();
+    w.Field("mode", r.mode);
+    w.Field("requests", r.requests);
+    w.Field("batches", r.batches);
+    w.Field("mean_batch_size", r.mean_batch);
+    w.Field("coalesced_requests", r.coalesced);
+    w.Field("wall_ms", r.wall_ms);
+    w.Field("qps", r.qps);
+    w.Field("p50_us", r.p50_us);
+    w.Field("p99_us", r.p99_us);
+    w.BeginObject("cache");
+    w.Field("hits", r.cache_hits);
+    w.Field("misses", r.cache_misses);
+    w.Field("hit_rate", r.cache_hit_rate);
+    w.EndObject();
+    w.EndObject();
+    w.Newline();
+  }
+  w.EndArray();
+  w.Newline();
+  w.Field("batched_over_naive_speedup", speedup);
+  w.Newline();
+  w.Field("batched_ge_naive", batched_wins);
+  w.Newline();
+  w.EndObject();
+  w.Newline();
+  std::cout << "wrote " << opt.out << "\n";
+  return (round_trip && batched_wins) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace kgag
+
+int main(int argc, char** argv) { return kgag::Main(argc, argv); }

@@ -72,12 +72,25 @@ std::string SnapshotName(uint64_t seq) {
 }  // namespace
 
 Status EncodeContainer(const std::vector<Chunk>& chunks, std::string* out) {
+  return EncodeContainer(std::string_view(kMagic, sizeof(kMagic)), chunks,
+                         out);
+}
+
+Status DecodeContainer(std::string_view data, std::vector<Chunk>* out) {
+  return DecodeContainer(std::string_view(kMagic, sizeof(kMagic)), data, out);
+}
+
+Status EncodeContainer(std::string_view magic,
+                       const std::vector<Chunk>& chunks, std::string* out) {
   if (out == nullptr) return Status::InvalidArgument("null output");
+  if (magic.size() != sizeof(kMagic)) {
+    return Status::InvalidArgument("container magic must be 8 bytes");
+  }
   if (chunks.size() > kMaxChunks) {
     return Status::InvalidArgument("too many chunks");
   }
   out->clear();
-  out->append(kMagic, sizeof(kMagic));
+  out->append(magic.data(), magic.size());
   AppendU32(out, kFormatVersion);
   AppendU32(out, static_cast<uint32_t>(chunks.size()));
   AppendU32(out, Crc32(out->data(), kHeaderSize));
@@ -99,13 +112,18 @@ Status EncodeContainer(const std::vector<Chunk>& chunks, std::string* out) {
   return Status::OK();
 }
 
-Status DecodeContainer(std::string_view data, std::vector<Chunk>* out) {
+Status DecodeContainer(std::string_view magic, std::string_view data,
+                       std::vector<Chunk>* out) {
   if (out == nullptr) return Status::InvalidArgument("null output");
+  if (magic.size() != sizeof(kMagic)) {
+    return Status::InvalidArgument("container magic must be 8 bytes");
+  }
   size_t pos = 0;
-  char magic[sizeof(kMagic)];
-  if (!ReadRaw(data, &pos, magic, sizeof(magic)) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("bad magic: not a KGAG checkpoint");
+  char file_magic[sizeof(kMagic)];
+  if (!ReadRaw(data, &pos, file_magic, sizeof(file_magic)) ||
+      std::memcmp(file_magic, magic.data(), magic.size()) != 0) {
+    return Status::InvalidArgument(
+        "bad magic: not a KGAG '" + std::string(magic) + "' container");
   }
   uint32_t version = 0, chunk_count = 0, header_crc = 0;
   if (!ReadRaw(data, &pos, &version, sizeof(version)) ||

@@ -69,6 +69,15 @@ Status EncodeContainer(const std::vector<Chunk>& chunks, std::string* out);
 /// Status and leaves `out` unspecified.
 Status DecodeContainer(std::string_view data, std::vector<Chunk>* out);
 
+/// Same container format under a caller-chosen 8-byte magic, so other
+/// file kinds (e.g. the serving artifact, magic "KGAGSRV1") reuse the
+/// chunk framing, CRC discipline and allocation bounds without being
+/// mistakable for a training checkpoint. `magic` must be exactly 8 bytes.
+Status EncodeContainer(std::string_view magic,
+                       const std::vector<Chunk>& chunks, std::string* out);
+Status DecodeContainer(std::string_view magic, std::string_view data,
+                       std::vector<Chunk>* out);
+
 /// \brief Full training state of one run, as opaque sub-blobs produced by
 /// the owning components (SaveParameters, Optimizer/Batcher/Rng/selector
 /// SaveState). The checkpoint layer versions, checksums and stores them;

@@ -2,23 +2,23 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
 
 #include "common/check.h"
 
 namespace kgag {
 
 std::vector<size_t> TopKIndices(std::span<const double> scores, size_t k) {
-  std::vector<size_t> idx(scores.size());
-  std::iota(idx.begin(), idx.end(), 0);
-  k = std::min(k, idx.size());
-  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
-                    [&](size_t a, size_t b) {
-                      return scores[a] != scores[b] ? scores[a] > scores[b]
-                                                    : a < b;
-                    });
-  idx.resize(k);
-  return idx;
+  return TopKIndicesWhere(scores, k, [](size_t) { return true; });
+}
+
+std::vector<ItemId> TopKItems(std::span<const double> scores,
+                              std::span<const ItemId> pool, size_t k) {
+  KGAG_CHECK_EQ(scores.size(), pool.size());
+  const std::vector<size_t> top = TopKIndices(scores, k);
+  std::vector<ItemId> ranked;
+  ranked.reserve(top.size());
+  for (size_t i : top) ranked.push_back(pool[i]);
+  return ranked;
 }
 
 double HitAtK(std::span<const ItemId> ranked_items,

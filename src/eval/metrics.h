@@ -1,18 +1,65 @@
-// Ranking metrics of §IV-C: hit@k and rec@k, plus ndcg@k as an extra.
+// Ranking metrics of §IV-C: hit@k and rec@k, plus ndcg@k as an extra —
+// and the top-k selection that evaluation and serving share, so a ranking
+// produced offline and one produced at request time cannot drift.
 #ifndef KGAG_EVAL_METRICS_H_
 #define KGAG_EVAL_METRICS_H_
 
+#include <algorithm>
 #include <span>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "data/interactions.h"
 
 namespace kgag {
 
+/// Indices of the k largest scores among those `keep` admits, in
+/// descending score order; ties break towards the smaller index. A
+/// bounded max-selection: memory is O(k), one pass over the scores, so
+/// serving can rank a full item catalog without materializing an
+/// index array per request. `keep` is a callable (size_t) -> bool.
+template <typename Keep>
+std::vector<size_t> TopKIndicesWhere(std::span<const double> scores, size_t k,
+                                     Keep&& keep) {
+  // `heap` is a min-heap on (score, index-reversed): the root is the
+  // weakest survivor, evicted whenever a strictly better candidate
+  // arrives. "Better" = higher score, or equal score and smaller index,
+  // which reproduces std::partial_sort with the same comparator exactly.
+  std::vector<std::pair<double, size_t>> heap;
+  if (k == 0) return {};
+  heap.reserve(k);
+  const auto weaker = [](const std::pair<double, size_t>& a,
+                         const std::pair<double, size_t>& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  };
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (!keep(i)) continue;
+    const std::pair<double, size_t> cand{scores[i], i};
+    if (heap.size() < k) {
+      heap.push_back(cand);
+      std::push_heap(heap.begin(), heap.end(), weaker);
+    } else if (weaker(cand, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), weaker);
+      heap.back() = cand;
+      std::push_heap(heap.begin(), heap.end(), weaker);
+    }
+  }
+  std::sort(heap.begin(), heap.end(), weaker);
+  std::vector<size_t> idx;
+  idx.reserve(heap.size());
+  for (const auto& [score, i] : heap) idx.push_back(i);
+  return idx;
+}
+
 /// Indices of the k largest scores, in descending score order. Ties break
 /// towards the smaller index for determinism.
 std::vector<size_t> TopKIndices(std::span<const double> scores, size_t k);
+
+/// The ranked item list the evaluator scores metrics on and the serving
+/// engine returns: `pool[i]` labels `scores[i]`. One definition for both.
+std::vector<ItemId> TopKItems(std::span<const double> scores,
+                              std::span<const ItemId> pool, size_t k);
 
 /// 1.0 if any of the top-k ranked items is a positive, else 0.0 (Eq. 21's
 /// per-group indicator).

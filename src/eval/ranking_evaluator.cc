@@ -64,10 +64,7 @@ EvalResult RankingEvaluator::Evaluate(
     const std::vector<double> scores = scorer->ScoreGroup(group, pool);
     KGAG_CHECK_EQ(scores.size(), pool.size())
         << "scorer returned wrong-size vector";
-    const std::vector<size_t> top = TopKIndices(scores, k_);
-    std::vector<ItemId> ranked;
-    ranked.reserve(top.size());
-    for (size_t i2 : top) ranked.push_back(pool[i2]);
+    const std::vector<ItemId> ranked = TopKItems(scores, pool, k_);
     slots[i] = {HitAtK(ranked, *pos, k_), RecallAtK(ranked, *pos, k_),
                 NdcgAtK(ranked, *pos, k_)};
     KGAG_HISTOGRAM_OBSERVE("eval.group_latency_us",

@@ -577,6 +577,46 @@ Tensor KgagModel::ItemRepsBatch(GroupId g, std::span<const ItemId> items) {
   return out;
 }
 
+namespace {
+
+/// Copies one entity-table row into a 1 x d query tensor.
+Tensor ZeroOrderRow(const Tensor& table, EntityId node, int d) {
+  Tensor q(1, static_cast<size_t>(d));
+  for (int c = 0; c < d; ++c) {
+    q.at(0, static_cast<size_t>(c)) =
+        table.at(static_cast<size_t>(node), static_cast<size_t>(c));
+  }
+  return q;
+}
+
+}  // namespace
+
+Tensor KgagModel::ServingUserReps() {
+  const int d = config_.propagation.dim;
+  Tensor out(static_cast<size_t>(dataset_->num_users),
+             static_cast<size_t>(d));
+  for (UserId u = 0; u < dataset_->num_users; ++u) {
+    const EntityId node = ckg_.UserNode(u);
+    const Tensor q = ZeroOrderRow(entity_table_->value, node, d);
+    out.SetRow(static_cast<size_t>(u),
+               config_.use_kg ? PropagateEval(node, q) : q);
+  }
+  return out;
+}
+
+Tensor KgagModel::ServingItemReps() {
+  const int d = config_.propagation.dim;
+  Tensor out(static_cast<size_t>(dataset_->num_items),
+             static_cast<size_t>(d));
+  for (ItemId v = 0; v < dataset_->num_items; ++v) {
+    const EntityId e = ckg_.ItemEntity(v);
+    const Tensor q = ZeroOrderRow(entity_table_->value, e, d);
+    out.SetRow(static_cast<size_t>(v),
+               config_.use_kg ? PropagateEval(e, q) : q);
+  }
+  return out;
+}
+
 std::vector<double> KgagModel::ScoreGroup(GroupId g,
                                           std::span<const ItemId> items) {
   const size_t p = items.size();

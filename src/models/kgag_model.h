@@ -72,10 +72,23 @@ class KgagModel : public TrainableGroupRecommender {
   /// σ(⟨g, v⟩) for a single pair.
   double PredictGroupItem(GroupId g, ItemId v);
 
+  /// Query-independent user representations for serving, one row per
+  /// user id: the user's entity propagated with its own zero-order
+  /// embedding as the query (KGCN-style offline precomputation; the
+  /// online path cannot know the candidate item ahead of the request, so
+  /// the query-conditioned eval propagation is approximated by the
+  /// self-query — see DESIGN.md §10). Deterministic for a given model
+  /// state: eval trees are seeded per node.
+  Tensor ServingUserReps();
+
+  /// Same, one row per item id, propagated from the item's entity.
+  Tensor ServingItemReps();
+
   const std::vector<double>& epoch_losses() const { return epoch_losses_; }
   ParameterStore* params() { return &store_; }
   const KgagConfig& config() const { return config_; }
   const CollaborativeKg& ckg() const { return ckg_; }
+  const GroupRecDataset* dataset() const { return dataset_; }
 
  private:
   KgagModel(const GroupRecDataset* dataset, const KgagConfig& config);

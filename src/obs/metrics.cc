@@ -306,5 +306,11 @@ const std::vector<double>& LatencyBoundsUs() {
   return *bounds;
 }
 
+const std::vector<double>& CountBounds() {
+  static const std::vector<double>* bounds = new std::vector<double>{
+      1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+  return *bounds;
+}
+
 }  // namespace obs
 }  // namespace kgag

@@ -166,6 +166,10 @@ class MetricsRegistry {
 /// histograms are directly comparable.
 const std::vector<double>& LatencyBoundsUs();
 
+/// Small-count bucket bounds (1, 2, 4, ... 1024): batch sizes, group
+/// sizes — anything whose interesting range is a few powers of two.
+const std::vector<double>& CountBounds();
+
 }  // namespace obs
 }  // namespace kgag
 

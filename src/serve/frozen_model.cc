@@ -1,0 +1,199 @@
+#include "serve/frozen_model.h"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "ckpt/checkpoint.h"
+#include "common/binary_io.h"
+#include "common/file_io.h"
+#include "models/kgag_model.h"
+#include "tensor/serialization.h"
+
+namespace kgag {
+namespace serve {
+
+namespace {
+
+constexpr uint32_t kTagMeta = ckpt::MakeTag('S', 'M', 'T', 'A');
+constexpr uint32_t kTagUserEmb = ckpt::MakeTag('U', 'E', 'M', 'B');
+constexpr uint32_t kTagItemEmb = ckpt::MakeTag('I', 'E', 'M', 'B');
+constexpr uint32_t kTagAttention = ckpt::MakeTag('A', 'T', 'T', 'N');
+
+/// Finds a parameter's tensor by name, or an empty tensor when the model
+/// was built without it (ablations create no attention parameters).
+Tensor ParamOrEmpty(const ParameterStore& store, std::string_view name) {
+  for (const auto& p : store.params()) {
+    if (p->name == name) return p->value;
+  }
+  return Tensor();
+}
+
+Status ShapeError(const std::string& what) {
+  return Status::InvalidArgument("frozen model: " + what);
+}
+
+/// Meta-driven shape validation shared by decode (hostile bytes) and
+/// encode (programming errors surface before a broken file is written).
+Status ValidateShapes(const FrozenModel& m) {
+  if (m.dim <= 0) return ShapeError("non-positive dim");
+  if (m.group_size <= 0) return ShapeError("non-positive group size");
+  if (m.num_users < 0 || m.num_items < 0) {
+    return ShapeError("negative entity count");
+  }
+  const size_t d = static_cast<size_t>(m.dim);
+  if (m.user_emb.rows() != static_cast<size_t>(m.num_users) ||
+      m.user_emb.cols() != d) {
+    return ShapeError("user embedding shape mismatch");
+  }
+  if (m.item_emb.rows() != static_cast<size_t>(m.num_items) ||
+      m.item_emb.cols() != d) {
+    return ShapeError("item embedding shape mismatch");
+  }
+  if (m.w1.size() != 0 && (m.w1.rows() != d || m.w1.cols() != d)) {
+    return ShapeError("W1 shape mismatch");
+  }
+  if (m.w2.size() != 0 &&
+      (m.w2.cols() != d ||
+       m.w2.rows() != d * static_cast<size_t>(m.group_size - 1))) {
+    return ShapeError("W2 shape mismatch");
+  }
+  if (m.bias.size() != 0 && (m.bias.rows() != 1 || m.bias.cols() != d)) {
+    return ShapeError("bias shape mismatch");
+  }
+  if (m.vc.size() != 0 && (m.vc.rows() != d || m.vc.cols() != 1)) {
+    return ShapeError("vc shape mismatch");
+  }
+  if (m.use_pi && (m.w1.size() == 0 || m.bias.size() == 0 ||
+                   m.vc.size() == 0)) {
+    return ShapeError("peer influence enabled but attention weights absent");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FrozenModel> FreezeKgagModel(KgagModel* model) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("null model");
+  }
+  const KgagConfig& cfg = model->config();
+  const GroupRecDataset* ds = model->dataset();
+
+  FrozenModel out;
+  out.dim = cfg.propagation.dim;
+  out.group_size = ds->group_size;
+  out.use_sp = cfg.use_sp;
+  out.use_pi = cfg.use_pi;
+  out.num_users = ds->num_users;
+  out.num_items = ds->num_items;
+  out.user_emb = model->ServingUserReps();
+  out.item_emb = model->ServingItemReps();
+
+  const ParameterStore& store = *model->params();
+  out.w1 = ParamOrEmpty(store, "attn.W1");
+  out.w2 = ParamOrEmpty(store, "attn.W2");
+  out.bias = ParamOrEmpty(store, "attn.b");
+  out.vc = ParamOrEmpty(store, "attn.vc");
+
+  KGAG_RETURN_NOT_OK(ValidateShapes(out));
+  return out;
+}
+
+Status EncodeFrozenModel(const FrozenModel& model, std::string* out) {
+  if (out == nullptr) return Status::InvalidArgument("null output");
+  KGAG_RETURN_NOT_OK(ValidateShapes(model));
+
+  std::vector<ckpt::Chunk> chunks;
+  {
+    std::ostringstream meta(std::ios::binary);
+    bio::WriteU32(&meta, static_cast<uint32_t>(model.dim));
+    bio::WriteU32(&meta, static_cast<uint32_t>(model.group_size));
+    bio::WriteU8(&meta, model.use_sp ? 1 : 0);
+    bio::WriteU8(&meta, model.use_pi ? 1 : 0);
+    bio::WriteU32(&meta, static_cast<uint32_t>(model.num_users));
+    bio::WriteU32(&meta, static_cast<uint32_t>(model.num_items));
+    chunks.push_back(ckpt::Chunk{kTagMeta, meta.str()});
+  }
+  {
+    std::ostringstream emb(std::ios::binary);
+    KGAG_RETURN_NOT_OK(WriteTensor(&emb, model.user_emb));
+    chunks.push_back(ckpt::Chunk{kTagUserEmb, emb.str()});
+  }
+  {
+    std::ostringstream emb(std::ios::binary);
+    KGAG_RETURN_NOT_OK(WriteTensor(&emb, model.item_emb));
+    chunks.push_back(ckpt::Chunk{kTagItemEmb, emb.str()});
+  }
+  {
+    std::ostringstream attn(std::ios::binary);
+    KGAG_RETURN_NOT_OK(WriteTensor(&attn, model.w1));
+    KGAG_RETURN_NOT_OK(WriteTensor(&attn, model.w2));
+    KGAG_RETURN_NOT_OK(WriteTensor(&attn, model.bias));
+    KGAG_RETURN_NOT_OK(WriteTensor(&attn, model.vc));
+    chunks.push_back(ckpt::Chunk{kTagAttention, attn.str()});
+  }
+  return ckpt::EncodeContainer(kArtifactMagic, chunks, out);
+}
+
+Result<FrozenModel> DecodeFrozenModel(std::string_view data) {
+  std::vector<ckpt::Chunk> chunks;
+  KGAG_RETURN_NOT_OK(ckpt::DecodeContainer(kArtifactMagic, data, &chunks));
+
+  FrozenModel out;
+  bool have_meta = false, have_users = false, have_items = false,
+       have_attn = false;
+  for (const ckpt::Chunk& c : chunks) {
+    std::istringstream in(c.payload, std::ios::binary);
+    if (c.tag == kTagMeta) {
+      uint32_t dim = 0, group_size = 0, num_users = 0, num_items = 0;
+      uint8_t use_sp = 0, use_pi = 0;
+      if (!bio::ReadU32(&in, &dim) || !bio::ReadU32(&in, &group_size) ||
+          !bio::ReadU8(&in, &use_sp) || !bio::ReadU8(&in, &use_pi) ||
+          !bio::ReadU32(&in, &num_users) || !bio::ReadU32(&in, &num_items)) {
+        return Status::InvalidArgument("frozen model: truncated meta chunk");
+      }
+      out.dim = static_cast<int>(dim);
+      out.group_size = static_cast<int>(group_size);
+      out.use_sp = use_sp != 0;
+      out.use_pi = use_pi != 0;
+      out.num_users = static_cast<int32_t>(num_users);
+      out.num_items = static_cast<int32_t>(num_items);
+      have_meta = true;
+    } else if (c.tag == kTagUserEmb) {
+      KGAG_RETURN_NOT_OK(ReadTensor(&in, &out.user_emb));
+      have_users = true;
+    } else if (c.tag == kTagItemEmb) {
+      KGAG_RETURN_NOT_OK(ReadTensor(&in, &out.item_emb));
+      have_items = true;
+    } else if (c.tag == kTagAttention) {
+      KGAG_RETURN_NOT_OK(ReadTensor(&in, &out.w1));
+      KGAG_RETURN_NOT_OK(ReadTensor(&in, &out.w2));
+      KGAG_RETURN_NOT_OK(ReadTensor(&in, &out.bias));
+      KGAG_RETURN_NOT_OK(ReadTensor(&in, &out.vc));
+      have_attn = true;
+    }
+    // Unknown tags are ignored (CRC-validated forward compatibility,
+    // same policy as the checkpoint container).
+  }
+  if (!have_meta || !have_users || !have_items || !have_attn) {
+    return Status::InvalidArgument("frozen model: missing required chunk");
+  }
+  KGAG_RETURN_NOT_OK(ValidateShapes(out));
+  return out;
+}
+
+Status SaveFrozenModel(const FrozenModel& model, const std::string& path) {
+  std::string bytes;
+  KGAG_RETURN_NOT_OK(EncodeFrozenModel(model, &bytes));
+  return AtomicWriteFile(path, bytes);
+}
+
+Result<FrozenModel> LoadFrozenModel(const std::string& path) {
+  std::string bytes;
+  KGAG_RETURN_NOT_OK(ReadFileToString(path, &bytes));
+  return DecodeFrozenModel(bytes);
+}
+
+}  // namespace serve
+}  // namespace kgag

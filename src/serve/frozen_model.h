@@ -1,0 +1,87 @@
+// Frozen serving artifact (DESIGN.md §10).
+//
+// Training needs the full propagation machinery per score; serving cannot
+// afford it. Following the KGCN-style split, FreezeKgagModel runs the
+// propagation layers ONCE per entity offline — each user/item entity is
+// propagated with its own zero-order embedding as the query, a
+// query-independent approximation of the query-conditioned eval path —
+// and the resulting user/item representation matrices plus the attention
+// weights (W1, W2, b, vc) are written to an immutable artifact. Online,
+// a request only needs row gathers, one GEMM against the item matrix and
+// a softmax per candidate (see frozen_scorer.h).
+//
+// The artifact reuses the checkpoint chunk container under its own magic
+// "KGAGSRV1" — same framing, per-chunk CRC32 and allocation bounds — with
+// chunks:
+//   SMTA  u32 dim | u32 group_size | u8 use_sp | u8 use_pi |
+//         u32 num_users | u32 num_items
+//   UEMB  tensor (num_users x dim)   — serving user representations
+//   IEMB  tensor (num_items x dim)   — serving item representations
+//   ATTN  4 tensors W1, W2, b, vc    — 0x0 when the model has none
+// where "tensor" is WriteTensor's u64 rows | u64 cols | raw doubles.
+// Encoding is deterministic: freezing the same model state twice yields
+// byte-identical files (eval trees are seeded per node).
+#ifndef KGAG_SERVE_FROZEN_MODEL_H_
+#define KGAG_SERVE_FROZEN_MODEL_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace kgag {
+
+class KgagModel;
+
+namespace serve {
+
+/// 8-byte container magic for serving artifacts.
+inline constexpr std::string_view kArtifactMagic = "KGAGSRV1";
+
+/// \brief Immutable scoring state: everything the online path needs.
+struct FrozenModel {
+  int dim = 0;
+  /// Member count the attention's W2 peer-concat was trained for; groups
+  /// of any other size are served without the W2 term (see
+  /// frozen_scorer.h).
+  int group_size = 0;
+  bool use_sp = true;
+  bool use_pi = true;
+  int32_t num_users = 0;
+  int32_t num_items = 0;
+
+  Tensor user_emb;  ///< (num_users x dim), row u = user u
+  Tensor item_emb;  ///< (num_items x dim), row v = item v
+
+  // Attention weights; 0x0 tensors when the model was built without them
+  // (ablations, group_size == 1).
+  Tensor w1;    ///< (dim x dim)
+  Tensor w2;    ///< (dim*(group_size-1) x dim)
+  Tensor bias;  ///< (1 x dim)
+  Tensor vc;    ///< (dim x 1)
+};
+
+/// Runs propagation for every user and item entity and captures the
+/// attention weights. The model must be constructed (trained or with
+/// restored parameters); it is not modified beyond its eval-tree cache.
+Result<FrozenModel> FreezeKgagModel(KgagModel* model);
+
+/// Serializes to the KGAGSRV1 container.
+Status EncodeFrozenModel(const FrozenModel& model, std::string* out);
+
+/// Parses and validates a KGAGSRV1 container: magic, per-chunk CRCs,
+/// shape consistency (embedding/attention dims against the meta chunk).
+Result<FrozenModel> DecodeFrozenModel(std::string_view data);
+
+/// Encode + atomic write (temp + fsync + rename).
+Status SaveFrozenModel(const FrozenModel& model, const std::string& path);
+
+/// Read + decode.
+Result<FrozenModel> LoadFrozenModel(const std::string& path);
+
+}  // namespace serve
+}  // namespace kgag
+
+#endif  // KGAG_SERVE_FROZEN_MODEL_H_

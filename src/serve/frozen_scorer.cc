@@ -1,0 +1,145 @@
+#include "serve/frozen_scorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/kernels.h"
+
+namespace kgag {
+namespace serve {
+
+Result<GroupRep> BuildGroupRep(const FrozenModel& model,
+                               std::span<const UserId> members) {
+  if (members.empty()) {
+    return Status::InvalidArgument("group has no members");
+  }
+  GroupRep rep;
+  rep.members.assign(members.begin(), members.end());
+  std::sort(rep.members.begin(), rep.members.end());
+  rep.members.erase(std::unique(rep.members.begin(), rep.members.end()),
+                    rep.members.end());
+  for (UserId u : rep.members) {
+    if (u < 0 || u >= model.num_users) {
+      return Status::InvalidArgument("member id " + std::to_string(u) +
+                                     " outside [0, " +
+                                     std::to_string(model.num_users) + ")");
+    }
+  }
+
+  const size_t l = rep.members.size();
+  const size_t d = static_cast<size_t>(model.dim);
+  rep.member_emb = Tensor(l, d);
+  for (size_t i = 0; i < l; ++i) {
+    for (size_t c = 0; c < d; ++c) {
+      rep.member_emb.at(i, c) =
+          model.user_emb.at(static_cast<size_t>(rep.members[i]), c);
+    }
+  }
+
+  rep.pi.assign(l, 0.0);
+  if (model.use_pi && model.w1.size() != 0) {
+    // W2's peer concat is only defined for the trained group size; other
+    // (ad-hoc) sizes keep the W1 self path and drop the peer term.
+    const bool use_w2 = model.w2.size() != 0 &&
+                        l == static_cast<size_t>(model.group_size) && l > 1;
+    for (size_t i = 0; i < l; ++i) {
+      Tensor pre = MatMul(rep.member_emb.RowAt(i), model.w1);  // (1 x d)
+      if (use_w2) {
+        Tensor peers(1, d * (l - 1));
+        size_t off = 0;
+        for (size_t j = 0; j < l; ++j) {
+          if (j == i) continue;
+          for (size_t c = 0; c < d; ++c) {
+            peers.at(0, off + c) = rep.member_emb.at(j, c);
+          }
+          off += d;
+        }
+        pre.Add(MatMul(peers, model.w2));
+      }
+      pre.Add(model.bias);
+      pre.Apply([](Scalar x) { return x > 0 ? x : 0.0; });
+      rep.pi[i] = MatMul(pre, model.vc).item();
+    }
+  }
+  return rep;
+}
+
+void ReduceScores(const FrozenModel& model, const GroupRep& rep,
+                  const double* sp_logits, size_t ld, size_t n, double* out) {
+  const size_t l = rep.members.size();
+  std::vector<double> alpha(l);
+  for (size_t p = 0; p < n; ++p) {
+    // Raw importances, softmax-normalized the way AggregateBatch does it
+    // (member 0 seeds the running max).
+    for (size_t i = 0; i < l; ++i) {
+      alpha[i] = (model.use_sp ? sp_logits[i * ld + p] : 0.0) + rep.pi[i];
+    }
+    double mx = alpha[0];
+    for (size_t i = 1; i < l; ++i) mx = std::max(mx, alpha[i]);
+    double sum = 0.0;
+    for (size_t i = 0; i < l; ++i) {
+      alpha[i] = std::exp(alpha[i] - mx);
+      sum += alpha[i];
+    }
+    // score(v) = <g, v> = Σ_i α̃_i <u_i, v>, and <u_i, v> is sp_logits
+    // whether or not it entered the softmax.
+    double score = 0.0;
+    for (size_t i = 0; i < l; ++i) {
+      score += (alpha[i] / sum) * sp_logits[i * ld + p];
+    }
+    out[p] = score;
+  }
+}
+
+std::vector<double> ScoreAllItems(const FrozenModel& model,
+                                  const GroupRep& rep) {
+  const size_t l = rep.members.size();
+  const size_t d = static_cast<size_t>(model.dim);
+  const size_t n = static_cast<size_t>(model.num_items);
+  Tensor sp(l, n);  // zero-initialized; Gemm accumulates
+  kernels::Gemm(/*trans_a=*/false, /*trans_b=*/true, l, n, d,
+                rep.member_emb.data(), d, model.item_emb.data(), d, sp.data(),
+                n);
+  std::vector<double> scores(n);
+  ReduceScores(model, rep, sp.data(), n, n, scores.data());
+  return scores;
+}
+
+std::vector<double> ScoreItems(const FrozenModel& model, const GroupRep& rep,
+                               std::span<const ItemId> items) {
+  const size_t l = rep.members.size();
+  const size_t d = static_cast<size_t>(model.dim);
+  const size_t p = items.size();
+  Tensor cand(p, d);
+  for (size_t i = 0; i < p; ++i) {
+    KGAG_CHECK(items[i] >= 0 && items[i] < model.num_items)
+        << "item id out of range: " << items[i];
+    for (size_t c = 0; c < d; ++c) {
+      cand.at(i, c) = model.item_emb.at(static_cast<size_t>(items[i]), c);
+    }
+  }
+  Tensor sp(l, p);
+  kernels::Gemm(/*trans_a=*/false, /*trans_b=*/true, l, p, d,
+                rep.member_emb.data(), d, cand.data(), d, sp.data(), p);
+  std::vector<double> scores(p);
+  ReduceScores(model, rep, sp.data(), p, p, scores.data());
+  return scores;
+}
+
+FrozenGroupScorer::FrozenGroupScorer(const FrozenModel* model,
+                                     const GroupTable* groups)
+    : model_(model), groups_(groups) {
+  KGAG_CHECK(model != nullptr);
+  KGAG_CHECK(groups != nullptr);
+}
+
+std::vector<double> FrozenGroupScorer::ScoreGroup(
+    GroupId g, std::span<const ItemId> items) {
+  Result<GroupRep> rep = BuildGroupRep(*model_, groups_->MembersOf(g));
+  KGAG_CHECK(rep.ok()) << rep.status().ToString();
+  return ScoreItems(*model_, *rep, items);
+}
+
+}  // namespace serve
+}  // namespace kgag

@@ -1,0 +1,94 @@
+// The one scoring path shared by offline evaluation and online serving
+// (DESIGN.md §10). Both FrozenGroupScorer (driven by RankingEvaluator)
+// and ServingEngine::TopK call BuildGroupRep + the score reduction below,
+// so eval and serving cannot drift — the bit-identity test in
+// tests/test_serve.cc pins this.
+//
+// Scoring math on frozen representations: with member reps u_i fixed
+// (query-independent), the peer-influence logit
+//   pi_i = vc^T ReLU(W1 u_i + W2 concat(peers_i) + b)
+// is a per-member constant, and only the self-persistence logit
+//   sp_i(v) = <u_i, v>
+// depends on the candidate. The group score expands to
+//   score(v) = <g, v> = sum_i softmax_i(sp + pi) * sp_i(v)
+// so one GEMM S = U_members · V^T provides every sp_i(v), and the rest is
+// an O(L) softmax-reduce per candidate. Note sp_i(v) feeds the score even
+// when use_sp is off (it is <u_i, v> either way); use_sp only controls
+// whether it enters the softmax logit.
+//
+// Group canonicalization: members are sorted and deduplicated before any
+// arithmetic. This is the cache-key rule AND a correctness rule — scores
+// become independent of the order a client lists members in (floating
+// point would otherwise leak the order through the W2 peer concat).
+// Ad-hoc group sizes: W2's peer concat is only defined for the trained
+// group size L; for any other member count the W2 term is dropped and the
+// W1 path kept (single members additionally reduce to a softmax over one).
+#ifndef KGAG_SERVE_FROZEN_SCORER_H_
+#define KGAG_SERVE_FROZEN_SCORER_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "data/interactions.h"
+#include "eval/group_scorer.h"
+#include "serve/frozen_model.h"
+#include "tensor/tensor.h"
+
+namespace kgag {
+namespace serve {
+
+/// \brief A group's request-time state: canonical members, their frozen
+/// representations and per-member peer-influence logits. Immutable once
+/// built; safe to share across threads (cache entries do).
+struct GroupRep {
+  std::vector<UserId> members;  ///< sorted, unique — the cache key
+  Tensor member_emb;            ///< (|members| x dim), canonical order
+  std::vector<double> pi;       ///< raw α_PI per member (0 when PI off)
+};
+
+/// Canonicalizes `members` (sort + unique) and builds the rep. Fails on
+/// an empty member list or ids outside [0, num_users).
+Result<GroupRep> BuildGroupRep(const FrozenModel& model,
+                               std::span<const UserId> members);
+
+/// Scores every row of `sp_logits` — the S = U_members · V^T block for
+/// this rep, `n` candidates wide with leading dimension `ld` — into
+/// `out[0..n)`: out[p] = Σ_i softmax_i(sp(:,p)·use_sp + pi) · sp(i,p).
+/// The softmax matches PreferenceAggregator::AggregateBatch (max-subtract
+/// over members, member 0 seeding the max).
+void ReduceScores(const FrozenModel& model, const GroupRep& rep,
+                  const double* sp_logits, size_t ld, size_t n, double* out);
+
+/// Scores the rep against every item: one blocked GEMM
+/// (|members| x dim)·(dim x num_items) + ReduceScores.
+std::vector<double> ScoreAllItems(const FrozenModel& model,
+                                  const GroupRep& rep);
+
+/// Scores the rep against an explicit candidate list (the evaluator's
+/// pool). Per-item results are bit-identical to ScoreAllItems — each
+/// GEMM output element accumulates its dot product in the same fixed
+/// k-order regardless of which other rows/columns are in the call.
+std::vector<double> ScoreItems(const FrozenModel& model, const GroupRep& rep,
+                               std::span<const ItemId> items);
+
+/// \brief GroupScorer adapter: lets RankingEvaluator run the standard
+/// offline protocol against a frozen artifact, resolving group ids to
+/// members through the dataset's GroupTable.
+class FrozenGroupScorer : public GroupScorer {
+ public:
+  /// Both pointers are borrowed and must outlive the scorer.
+  FrozenGroupScorer(const FrozenModel* model, const GroupTable* groups);
+
+  std::vector<double> ScoreGroup(GroupId g,
+                                 std::span<const ItemId> items) override;
+
+ private:
+  const FrozenModel* model_;
+  const GroupTable* groups_;
+};
+
+}  // namespace serve
+}  // namespace kgag
+
+#endif  // KGAG_SERVE_FROZEN_SCORER_H_

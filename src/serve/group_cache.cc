@@ -1,0 +1,64 @@
+#include "serve/group_cache.h"
+
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace kgag {
+namespace serve {
+
+GroupRepCache::GroupRepCache(size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const GroupRep> GroupRepCache::Get(
+    const std::vector<UserId>& key) {
+  if (capacity_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    KGAG_COUNTER_ADD("serve.cache.misses", 1);
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    KGAG_COUNTER_ADD("serve.cache.misses", 1);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  KGAG_COUNTER_ADD("serve.cache.hits", 1);
+  return it->second->second;
+}
+
+void GroupRepCache::Put(const std::vector<UserId>& key,
+                        std::shared_ptr<const GroupRep> rep) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(rep);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(rep));
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    KGAG_COUNTER_ADD("serve.cache.evictions", 1);
+  }
+}
+
+double GroupRepCache::HitRate() const {
+  const uint64_t h = hits();
+  const uint64_t m = misses();
+  return h + m == 0 ? 0.0 : static_cast<double>(h) /
+                                static_cast<double>(h + m);
+}
+
+size_t GroupRepCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace serve
+}  // namespace kgag

@@ -1,0 +1,78 @@
+// LRU cache of group representations, keyed by the canonical (sorted,
+// unique) member set — the same canonicalization BuildGroupRep applies,
+// so any member ordering and duplicate ids a client sends hit the same
+// entry. Entries are shared_ptr<const GroupRep>: a hit stays valid for
+// the full request even if the entry is evicted mid-flight.
+#ifndef KGAG_SERVE_GROUP_CACHE_H_
+#define KGAG_SERVE_GROUP_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "data/interactions.h"
+#include "serve/frozen_scorer.h"
+
+namespace kgag {
+namespace serve {
+
+/// \brief Thread-safe LRU map: canonical member set -> GroupRep.
+class GroupRepCache {
+ public:
+  /// `capacity` 0 disables caching (every Get misses, Put is a no-op).
+  explicit GroupRepCache(size_t capacity);
+
+  /// The rep for `key` (which must already be sorted and unique — callers
+  /// go through BuildGroupRep's canonicalization), or nullptr on a miss.
+  /// A hit moves the entry to the front of the LRU order.
+  std::shared_ptr<const GroupRep> Get(const std::vector<UserId>& key);
+
+  /// Inserts (or refreshes) an entry, evicting from the LRU tail beyond
+  /// capacity.
+  void Put(const std::vector<UserId>& key,
+           std::shared_ptr<const GroupRep> rep);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// hits / (hits + misses); 0 before any lookup.
+  double HitRate() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::vector<UserId>& key) const {
+      // FNV-1a over the id bytes; ids are canonical so equal sets hash
+      // equally.
+      uint64_t h = 1469598103934665603ull;
+      for (UserId u : key) {
+        for (size_t b = 0; b < sizeof(u); ++b) {
+          h ^= static_cast<uint64_t>((static_cast<uint32_t>(u) >> (8 * b)) &
+                                     0xff);
+          h *= 1099511628211ull;
+        }
+      }
+      return static_cast<size_t>(h);
+    }
+  };
+
+  using LruList =
+      std::list<std::pair<std::vector<UserId>,
+                          std::shared_ptr<const GroupRep>>>;
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<std::vector<UserId>, LruList::iterator, KeyHash> index_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace serve
+}  // namespace kgag
+
+#endif  // KGAG_SERVE_GROUP_CACHE_H_

@@ -1,0 +1,292 @@
+#include "serve/serving_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "eval/metrics.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "tensor/kernels.h"
+
+namespace kgag {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+             Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+ServingEngine::ServingEngine(const FrozenModel* model, Options options)
+    : model_(model),
+      options_(options),
+      cache_(options.cache_capacity),
+      start_time_(Clock::now()) {
+  KGAG_CHECK(model != nullptr);
+  options_.max_batch = std::max<size_t>(1, options_.max_batch);
+  dispatcher_ = std::thread(&ServingEngine::DispatcherLoop, this);
+}
+
+ServingEngine::~ServingEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  dispatcher_.join();
+}
+
+Result<std::shared_ptr<const GroupRep>> ServingEngine::GetRep(
+    std::span<const UserId> members, bool* cache_hit) {
+  *cache_hit = false;
+  if (members.empty()) {
+    return Status::InvalidArgument("group has no members");
+  }
+  // Canonical cache key = the same sort+unique BuildGroupRep applies, so
+  // key and rep members always agree.
+  std::vector<UserId> key(members.begin(), members.end());
+  std::sort(key.begin(), key.end());
+  key.erase(std::unique(key.begin(), key.end()), key.end());
+
+  if (std::shared_ptr<const GroupRep> rep = cache_.Get(key)) {
+    *cache_hit = true;
+    return rep;
+  }
+  KGAG_ASSIGN_OR_RETURN(GroupRep built, BuildGroupRep(*model_, key));
+  auto rep = std::make_shared<const GroupRep>(std::move(built));
+  cache_.Put(key, rep);
+  return std::shared_ptr<const GroupRep>(rep);
+}
+
+TopKResult ServingEngine::Rank(const std::vector<double>& scores, size_t k,
+                               std::span<const ItemId> exclude_seen) const {
+  // Exclusions filter at rank time: the GEMM shape and every surviving
+  // item's score bits are unaffected by what a request excludes.
+  std::vector<ItemId> excluded(exclude_seen.begin(), exclude_seen.end());
+  std::sort(excluded.begin(), excluded.end());
+  const std::vector<size_t> top =
+      TopKIndicesWhere(scores, k, [&](size_t i) {
+        return !std::binary_search(excluded.begin(), excluded.end(),
+                                   static_cast<ItemId>(i));
+      });
+  TopKResult result;
+  result.items.reserve(top.size());
+  result.scores.reserve(top.size());
+  for (size_t i : top) {
+    result.items.push_back(static_cast<ItemId>(i));
+    result.scores.push_back(scores[i]);
+  }
+  return result;
+}
+
+void ServingEngine::FinishRequest(Clock::time_point start) {
+  served_.fetch_add(1, std::memory_order_relaxed);
+  KGAG_COUNTER_ADD("serve.requests", 1);
+  KGAG_HISTOGRAM_OBSERVE("serve.request_latency_us", MicrosSince(start),
+                         ::kgag::obs::LatencyBoundsUs());
+  const double elapsed_s = MicrosSince(start_time_) * 1e-6;
+  if (elapsed_s > 0) {
+    KGAG_GAUGE_SET("serve.qps",
+                   static_cast<double>(
+                       served_.load(std::memory_order_relaxed)) /
+                       elapsed_s);
+  }
+  KGAG_GAUGE_SET("serve.cache.hit_rate", cache_.HitRate());
+}
+
+Result<TopKResult> ServingEngine::TopK(std::span<const UserId> members,
+                                       size_t k,
+                                       std::span<const ItemId> exclude_seen) {
+  KGAG_TRACE_SPAN("serve.topk");
+  const Clock::time_point start = Clock::now();
+  bool cache_hit = false;
+  KGAG_ASSIGN_OR_RETURN(std::shared_ptr<const GroupRep> rep,
+                        GetRep(members, &cache_hit));
+  const std::vector<double> scores = ScoreAllItems(*model_, *rep);
+  TopKResult result = Rank(scores, k, exclude_seen);
+  result.cache_hit = cache_hit;
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  KGAG_COUNTER_ADD("serve.batches", 1);
+  KGAG_HISTOGRAM_OBSERVE("serve.batch_size", 1.0,
+                         ::kgag::obs::CountBounds());
+  FinishRequest(start);
+  return result;
+}
+
+std::future<Result<TopKResult>> ServingEngine::Submit(TopKRequest request) {
+  Pending pending;
+  pending.request = std::move(request);
+  pending.enqueued = Clock::now();
+  std::future<Result<TopKResult>> future = pending.promise.get_future();
+  bool notify;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      pending.promise.set_value(
+          Status::Internal("serving engine is shut down"));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+    // Wake the dispatcher only on the transitions it can act on: queue
+    // went non-empty (it may be idle) or just filled a whole batch (it
+    // may be holding one open under the deadline). Intermediate sizes
+    // would only make wait_until re-check its predicate and sleep again.
+    notify = queue_.size() == 1 || queue_.size() == options_.max_batch;
+  }
+  if (notify) cv_.notify_all();
+  return future;
+}
+
+void ServingEngine::DispatcherLoop() {
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    // Drain queued work even when stopping; exit only once idle.
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    if (options_.max_batch > 1 && options_.batch_deadline_us > 0 &&
+        queue_.size() < options_.max_batch) {
+      // Hold the batch open briefly so concurrent submitters coalesce;
+      // stop_ also wakes us so shutdown never waits the full deadline.
+      const Clock::time_point deadline =
+          Clock::now() + std::chrono::microseconds(options_.batch_deadline_us);
+      cv_.wait_until(lock, deadline, [&] {
+        return stop_ || queue_.size() >= options_.max_batch;
+      });
+    }
+    const size_t take = std::min(queue_.size(), options_.max_batch);
+    std::vector<Pending> batch;
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    lock.unlock();
+
+    if (options_.pool != nullptr) {
+      // The batch body (rep building, the stacked GEMM, reduce + rank)
+      // runs on the shared compute pool; `batch` outlives the task since
+      // we block on its future.
+      options_.pool->Submit([this, &batch] { ExecuteBatch(std::move(batch)); })
+          .get();
+    } else {
+      ExecuteBatch(std::move(batch));
+    }
+  }
+}
+
+void ServingEngine::ExecuteBatch(std::vector<Pending> batch) {
+  KGAG_TRACE_SPAN("serve.batch");
+  const size_t d = static_cast<size_t>(model_->dim);
+  const size_t n = static_cast<size_t>(model_->num_items);
+
+  // Resolve each request's rep (errors resolve their promises now and
+  // drop out of the GEMM).
+  struct Live {
+    Pending* pending;
+    std::shared_ptr<const GroupRep> rep;
+    bool cache_hit;
+    size_t row_offset;
+  };
+  std::vector<Live> live;
+  live.reserve(batch.size());
+  for (Pending& p : batch) {
+    bool hit = false;
+    Result<std::shared_ptr<const GroupRep>> rep =
+        GetRep(p.request.members, &hit);
+    if (!rep.ok()) {
+      p.promise.set_value(rep.status());
+      continue;
+    }
+    live.push_back(Live{&p, rep.MoveValueUnsafe(), hit, 0});
+  }
+  if (live.empty()) return;
+
+  // Coalesce requests for the same canonical group: duplicates share the
+  // GEMM rows AND the softmax reduce, and only the final rank (k,
+  // exclusions) runs per request. This is the batch-only win — the
+  // per-request path cannot share scores even with a warm rep cache,
+  // because scores never outlive a batch. Pointer equality catches
+  // cache-served duplicates; the member compare catches rebuilt reps
+  // (cache disabled or evicted mid-batch). O(batch²) is fine at
+  // max_batch <= a few dozen.
+  std::vector<size_t> owner(live.size());
+  std::vector<size_t> distinct;
+  for (size_t i = 0; i < live.size(); ++i) {
+    owner[i] = live.size();
+    for (size_t di : distinct) {
+      if (live[i].rep == live[di].rep ||
+          live[i].rep->members == live[di].rep->members) {
+        owner[i] = di;
+        break;
+      }
+    }
+    if (owner[i] == live.size()) {
+      owner[i] = i;
+      distinct.push_back(i);
+    }
+  }
+  const uint64_t coalesced =
+      static_cast<uint64_t>(live.size() - distinct.size());
+  coalesced_.fetch_add(coalesced, std::memory_order_relaxed);
+  KGAG_COUNTER_ADD("serve.coalesced_requests", coalesced);
+
+  // One stacked GEMM for the whole batch: the distinct groups' member
+  // matrices concatenated row-wise, scored against the full item matrix
+  // in a single pass. Each output row's k-accumulation order is
+  // position-independent, so every request's logits match what a solo
+  // GEMM would produce.
+  size_t total_rows = 0;
+  for (size_t di : distinct) {
+    live[di].row_offset = total_rows;
+    total_rows += live[di].rep->members.size();
+  }
+  Tensor stacked(total_rows, d);
+  for (size_t di : distinct) {
+    const Live& l = live[di];
+    const Tensor& emb = l.rep->member_emb;
+    for (size_t r = 0; r < emb.rows(); ++r) {
+      for (size_t c = 0; c < d; ++c) {
+        stacked.at(l.row_offset + r, c) = emb.at(r, c);
+      }
+    }
+  }
+  Tensor sp(total_rows, n);  // zero-initialized; Gemm accumulates
+  kernels::Gemm(/*trans_a=*/false, /*trans_b=*/true, total_rows, n, d,
+                stacked.data(), d, model_->item_emb.data(), d, sp.data(), n);
+
+  // Count the batch before fulfilling any promise: a caller that has
+  // collected every future must never read a stale batches_run().
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  KGAG_COUNTER_ADD("serve.batches", 1);
+  KGAG_HISTOGRAM_OBSERVE("serve.batch_size", static_cast<double>(live.size()),
+                         ::kgag::obs::CountBounds());
+
+  std::vector<double> scores(n);
+  for (size_t di : distinct) {
+    ReduceScores(*model_, *live[di].rep, sp.data() + live[di].row_offset * n,
+                 n, n, scores.data());
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (owner[i] != di) continue;
+      const Live& l = live[i];
+      TopKResult result =
+          Rank(scores, l.pending->request.k, l.pending->request.exclude_seen);
+      result.cache_hit = l.cache_hit;
+      // Bookkeeping first: once the promise is fulfilled the submitter
+      // may read requests_served() and must not see a stale count.
+      FinishRequest(l.pending->enqueued);
+      l.pending->promise.set_value(std::move(result));
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace kgag

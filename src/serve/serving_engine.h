@@ -1,0 +1,160 @@
+// Online serving engine (DESIGN.md §10): answers TopK(group_members, k,
+// exclude_seen) against a FrozenModel.
+//
+// Request path:
+//   canonicalize members -> GroupRepCache lookup -> (miss: BuildGroupRep,
+//   insert) -> SP-logit GEMM against the full item matrix -> per-item
+//   softmax-reduce (frozen_scorer.h) -> bounded-heap top-k with the
+//   exclusion set filtered at rank time (TopKIndicesWhere), so exclusions
+//   never change the GEMM shape or any surviving item's score bits.
+//
+// Micro-batching: Submit() enqueues the request and returns a future. A
+// dispatcher thread coalesces up to max_batch requests — waiting at most
+// batch_deadline_us after the first — stacks their member matrices and
+// runs ONE blocked GEMM (Σ|members| x dim)·(dim x num_items) for the
+// whole batch, then reduces and ranks each request from its row block.
+// Requests for the same canonical group are coalesced first: duplicates
+// share both the GEMM rows and the per-item softmax reduce, and only the
+// final rank (k, exclusions) runs per request. That sharing is the
+// structural win of batching — the per-request path pays the full reduce
+// every time even with a warm rep cache, because scores never outlive a
+// batch. The stacked GEMM also streams the item matrix once per batch
+// instead of once per request. Each output row's accumulation order is
+// independent of the other rows in the call, so batched scores are
+// bit-identical to solo scores (pinned by tests/test_serve.cc). The
+// batch body runs on the borrowed ThreadPool when one is configured.
+//
+// TopK() is the synchronous path: same scoring code, no queue — batches
+// of one, for callers that need plain request/response.
+//
+// serve.* metrics: requests, batches, batch_size histogram, request
+// latency histogram (submit -> completion), qps gauge, cache hit/miss
+// counters (from GroupRepCache) and hit-rate gauge.
+#ifndef KGAG_SERVE_SERVING_ENGINE_H_
+#define KGAG_SERVE_SERVING_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "data/interactions.h"
+#include "serve/frozen_model.h"
+#include "serve/frozen_scorer.h"
+#include "serve/group_cache.h"
+
+namespace kgag {
+namespace serve {
+
+/// \brief One scoring request. Member order and duplicates don't matter
+/// (canonicalized); `exclude_seen` items are dropped from the ranking.
+struct TopKRequest {
+  std::vector<UserId> members;
+  size_t k = 10;
+  std::vector<ItemId> exclude_seen;
+};
+
+/// \brief Ranked recommendation: items[0] is the best candidate.
+struct TopKResult {
+  std::vector<ItemId> items;    ///< descending score, ties to smaller id
+  std::vector<double> scores;   ///< parallel to items
+  bool cache_hit = false;       ///< group rep came from the cache
+};
+
+/// \brief Thread-safe serving front-end over a FrozenModel.
+class ServingEngine {
+ public:
+  struct Options {
+    /// Most requests one dispatcher batch coalesces (1 = per-request).
+    size_t max_batch = 16;
+    /// How long the dispatcher holds an open batch waiting for more
+    /// requests after the first arrives. 0 = dispatch immediately.
+    int64_t batch_deadline_us = 200;
+    /// Group-representation LRU entries (0 disables the cache).
+    size_t cache_capacity = 1024;
+    /// Borrowed pool the batch bodies run on; nullptr = dispatcher
+    /// thread runs them inline. Must outlive the engine.
+    ThreadPool* pool = nullptr;
+  };
+
+  /// `model` is borrowed and must outlive the engine.
+  ServingEngine(const FrozenModel* model, Options options);
+  /// Drains already-queued requests, then stops the dispatcher.
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Synchronous scoring: canonicalize, aggregate, score, rank. Fails on
+  /// empty/out-of-range members.
+  Result<TopKResult> TopK(std::span<const UserId> members, size_t k,
+                          std::span<const ItemId> exclude_seen = {});
+
+  /// Queues a request for micro-batched execution.
+  std::future<Result<TopKResult>> Submit(TopKRequest request);
+
+  GroupRepCache* cache() { return &cache_; }
+  const FrozenModel* model() const { return model_; }
+  uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+  uint64_t batches_run() const {
+    return batches_.load(std::memory_order_relaxed);
+  }
+  /// Requests that shared another request's GEMM rows + softmax reduce
+  /// because their canonical group already appeared in the same batch.
+  uint64_t coalesced_requests() const {
+    return coalesced_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Pending {
+    TopKRequest request;
+    std::promise<Result<TopKResult>> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// Cache-through rep lookup. `members` may be in any order.
+  Result<std::shared_ptr<const GroupRep>> GetRep(
+      std::span<const UserId> members, bool* cache_hit);
+
+  /// Rank-time filtering + bounded-heap selection over full-catalog
+  /// scores (index == item id).
+  TopKResult Rank(const std::vector<double>& scores, size_t k,
+                  std::span<const ItemId> exclude_seen) const;
+
+  void DispatcherLoop();
+  /// Scores a batch with one stacked GEMM and fulfills every promise.
+  void ExecuteBatch(std::vector<Pending> batch);
+  /// Bookkeeping common to both paths, called once per finished request.
+  void FinishRequest(std::chrono::steady_clock::time_point start);
+
+  const FrozenModel* model_;
+  Options options_;
+  GroupRepCache cache_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+  std::thread dispatcher_;
+
+  std::atomic<uint64_t> served_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> coalesced_{0};
+  const std::chrono::steady_clock::time_point start_time_;
+};
+
+}  // namespace serve
+}  // namespace kgag
+
+#endif  // KGAG_SERVE_SERVING_ENGINE_H_

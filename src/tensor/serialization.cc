@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 #include "common/file_io.h"
 
@@ -127,6 +128,40 @@ Status LoadParametersFromFile(const std::string& path,
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) return Status::IoError("cannot open " + path);
   return LoadParameters(&in, store);
+}
+
+Status WriteTensor(std::ostream* out, const Tensor& t) {
+  if (out == nullptr) return Status::InvalidArgument("null stream");
+  WriteU64(out, t.rows());
+  WriteU64(out, t.cols());
+  out->write(reinterpret_cast<const char*>(t.data()),
+             static_cast<std::streamsize>(t.size() * sizeof(Scalar)));
+  if (!out->good()) return Status::IoError("tensor write failed");
+  return Status::OK();
+}
+
+Status ReadTensor(std::istream* in, Tensor* t, uint64_t max_elems) {
+  if (in == nullptr || t == nullptr) {
+    return Status::InvalidArgument("null stream or tensor");
+  }
+  uint64_t rows = 0, cols = 0;
+  if (!ReadU64(in, &rows) || !ReadU64(in, &cols)) {
+    return Status::IoError("truncated tensor shape");
+  }
+  // Guard the product before it sizes an allocation: either factor can be
+  // hostile, and rows*cols must not wrap.
+  if (rows > max_elems || cols > max_elems ||
+      (rows != 0 && cols > max_elems / rows)) {
+    return Status::InvalidArgument("tensor shape out of range");
+  }
+  Tensor read(static_cast<size_t>(rows), static_cast<size_t>(cols));
+  in->read(reinterpret_cast<char*>(read.data()),
+           static_cast<std::streamsize>(read.size() * sizeof(Scalar)));
+  if (!in->good() && read.size() != 0) {
+    return Status::IoError("truncated tensor values");
+  }
+  *t = std::move(read);
+  return Status::OK();
 }
 
 }  // namespace kgag

@@ -9,6 +9,7 @@
 #ifndef KGAG_TENSOR_SERIALIZATION_H_
 #define KGAG_TENSOR_SERIALIZATION_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -32,6 +33,17 @@ Status LoadParameters(std::istream* in, ParameterStore* store);
 
 /// Reads values from a file into an existing store.
 Status LoadParametersFromFile(const std::string& path, ParameterStore* store);
+
+/// Writes one tensor in the per-parameter layout above (u64 rows |
+/// u64 cols | raw little-endian doubles), for callers embedding tensors
+/// in their own containers (e.g. the serving artifact).
+Status WriteTensor(std::ostream* out, const Tensor& t);
+
+/// Reads a tensor written by WriteTensor. `max_elems` bounds the
+/// allocation the declared shape may request; corrupt shapes fail
+/// instead of sizing a buffer.
+Status ReadTensor(std::istream* in, Tensor* t,
+                  uint64_t max_elems = uint64_t{1} << 32);
 
 }  // namespace kgag
 

@@ -1,0 +1,121 @@
+// GroupRepCache tests: hit/miss accounting, LRU eviction order, refresh
+// on re-Put, the disabled (capacity 0) mode, and concurrent access.
+#include "serve/group_cache.h"
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace kgag {
+namespace serve {
+namespace {
+
+std::shared_ptr<const GroupRep> MakeRep(std::vector<UserId> members) {
+  GroupRep rep;
+  rep.members = std::move(members);
+  return std::make_shared<const GroupRep>(std::move(rep));
+}
+
+TEST(GroupRepCacheTest, MissThenHit) {
+  GroupRepCache cache(4);
+  const std::vector<UserId> key = {1, 2, 3};
+  EXPECT_EQ(cache.Get(key), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  cache.Put(key, MakeRep(key));
+  std::shared_ptr<const GroupRep> rep = cache.Get(key);
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(rep->members, key);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 0.5);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(GroupRepCacheTest, EvictsLeastRecentlyUsed) {
+  GroupRepCache cache(2);
+  const std::vector<UserId> a = {1}, b = {2}, c = {3};
+  cache.Put(a, MakeRep(a));
+  cache.Put(b, MakeRep(b));
+  // Touch `a` so `b` becomes the LRU entry, then insert `c`.
+  EXPECT_NE(cache.Get(a), nullptr);
+  cache.Put(c, MakeRep(c));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Get(a), nullptr) << "recently-used entry was evicted";
+  EXPECT_EQ(cache.Get(b), nullptr) << "LRU entry survived past capacity";
+  EXPECT_NE(cache.Get(c), nullptr);
+}
+
+TEST(GroupRepCacheTest, PutRefreshesExistingKey) {
+  GroupRepCache cache(2);
+  const std::vector<UserId> a = {1}, b = {2}, c = {3};
+  cache.Put(a, MakeRep(a));
+  cache.Put(b, MakeRep(b));
+  // Re-Put `a` (now most recent); inserting `c` must evict `b`.
+  cache.Put(a, MakeRep({1}));
+  cache.Put(c, MakeRep(c));
+  EXPECT_NE(cache.Get(a), nullptr);
+  EXPECT_EQ(cache.Get(b), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(GroupRepCacheTest, DistinctKeysDoNotCollide) {
+  GroupRepCache cache(8);
+  const std::vector<UserId> a = {1, 2}, b = {1, 3}, c = {1};
+  cache.Put(a, MakeRep(a));
+  cache.Put(b, MakeRep(b));
+  cache.Put(c, MakeRep(c));
+  EXPECT_EQ(cache.Get(a)->members, a);
+  EXPECT_EQ(cache.Get(b)->members, b);
+  EXPECT_EQ(cache.Get(c)->members, c);
+}
+
+TEST(GroupRepCacheTest, ZeroCapacityDisablesCaching) {
+  GroupRepCache cache(0);
+  const std::vector<UserId> key = {1, 2};
+  cache.Put(key, MakeRep(key));
+  EXPECT_EQ(cache.Get(key), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(GroupRepCacheTest, HitRateIsZeroBeforeAnyLookup) {
+  GroupRepCache cache(4);
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 0.0);
+}
+
+TEST(GroupRepCacheTest, SharedPtrEntriesSurviveEviction) {
+  GroupRepCache cache(1);
+  const std::vector<UserId> a = {1}, b = {2};
+  cache.Put(a, MakeRep(a));
+  std::shared_ptr<const GroupRep> held = cache.Get(a);
+  ASSERT_NE(held, nullptr);
+  cache.Put(b, MakeRep(b));  // evicts `a`
+  EXPECT_EQ(cache.Get(a), nullptr);
+  // The borrowed pointer stays valid for the in-flight request.
+  EXPECT_EQ(held->members, a);
+}
+
+TEST(GroupRepCacheTest, ConcurrentGetsAndPutsAreSafe) {
+  GroupRepCache cache(16);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      for (int i = 0; i < 500; ++i) {
+        const std::vector<UserId> key = {static_cast<UserId>((t + i) % 32)};
+        if (cache.Get(key) == nullptr) cache.Put(key, MakeRep(key));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(cache.hits() + cache.misses(), 2000u);
+  EXPECT_LE(cache.size(), 16u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace kgag

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
 
 namespace kgag {
 namespace {
@@ -23,6 +27,63 @@ TEST(TopKTest, TiesBreakTowardSmallerIndex) {
   std::vector<double> scores{0.5, 0.5, 0.5};
   auto top = TopKIndices(scores, 2);
   EXPECT_EQ(top, (std::vector<size_t>{0, 1}));
+}
+
+TEST(TopKTest, KZeroAndEmptyInput) {
+  std::vector<double> scores{0.3, 0.1};
+  EXPECT_TRUE(TopKIndices(scores, 0).empty());
+  EXPECT_TRUE(TopKIndices(std::vector<double>{}, 5).empty());
+}
+
+/// The partial_sort formulation TopKIndices historically used; kept here
+/// as the reference oracle for the bounded-heap implementation.
+std::vector<size_t> TopKReference(const std::vector<double>& scores,
+                                  size_t k) {
+  std::vector<size_t> idx(scores.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  k = std::min(k, idx.size());
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&](size_t a, size_t b) {
+                      return scores[a] != scores[b] ? scores[a] > scores[b]
+                                                    : a < b;
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+TEST(TopKTest, HeapMatchesPartialSortReferenceOnRandomData) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(1, 200));
+    std::vector<double> scores(n);
+    for (double& s : scores) {
+      // Coarse quantization forces plenty of exact ties.
+      s = static_cast<double>(rng.UniformInt(0, 7));
+    }
+    for (size_t k : {size_t{1}, size_t{3}, n / 2, n, n + 7}) {
+      EXPECT_EQ(TopKIndices(scores, k), TopKReference(scores, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(TopKTest, PredicateFiltersBeforeSelection) {
+  std::vector<double> scores{0.9, 0.8, 0.7, 0.6, 0.5};
+  // Drop the top two via the keep-predicate: selection happens among the
+  // survivors only.
+  auto top = TopKIndicesWhere(scores, 2, [](size_t i) { return i >= 2; });
+  EXPECT_EQ(top, (std::vector<size_t>{2, 3}));
+  // Nothing kept -> nothing returned.
+  EXPECT_TRUE(
+      TopKIndicesWhere(scores, 3, [](size_t) { return false; }).empty());
+}
+
+TEST(TopKItemsTest, MapsIndicesThroughThePool) {
+  std::vector<double> scores{0.1, 0.9, 0.5};
+  std::vector<ItemId> pool{10, 20, 30};
+  EXPECT_EQ(TopKItems(scores, pool, 2), (std::vector<ItemId>{20, 30}));
+  // k beyond the pool clamps.
+  EXPECT_EQ(TopKItems(scores, pool, 9), (std::vector<ItemId>{20, 30, 10}));
 }
 
 TEST(HitAtKTest, HitAndMiss) {

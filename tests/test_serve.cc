@@ -1,0 +1,431 @@
+// Serving subsystem tests: artifact round-trip + corruption rejection,
+// the eval/serve bit-identity contract, batched-vs-solo GEMM bit
+// identity, ad-hoc group handling (single member, duplicates, order
+// independence, untrained sizes) and rank-time exclusion semantics.
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/file_io.h"
+#include "data/synthetic/standard_datasets.h"
+#include "eval/metrics.h"
+#include "eval/ranking_evaluator.h"
+#include "gtest/gtest.h"
+#include "models/kgag_model.h"
+#include "serve/frozen_model.h"
+#include "serve/frozen_scorer.h"
+#include "serve/serving_engine.h"
+#include "tensor/kernels.h"
+
+namespace kgag {
+namespace serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TestTmpDir(const std::string& leaf) {
+  const char* base = std::getenv("TEST_TMPDIR");
+  fs::path dir = (base != nullptr ? fs::path(base)
+                                  : fs::temp_directory_path()) /
+                 leaf;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// Shared fixture state: one small corpus frozen once (propagation is the
+/// slow part; every test reads the same immutable artifact).
+class ServeTest : public ::testing::Test {
+ public:
+  static void SetUpTestSuite() {
+    dataset_ = new GroupRecDataset(
+        MakeMovieLensRandDataset(/*seed=*/11, /*scale=*/0.15));
+    KgagConfig config;
+    config.propagation.dim = 16;
+    config.propagation.depth = 2;
+    config.propagation.sample_size = 4;
+    config.propagation.final_tanh = false;
+    config.eval_tree_samples = 2;
+    config.seed = 77;
+    auto model = KgagModel::Create(dataset_, config);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    // Untrained (randomly initialized) weights are enough: the serving
+    // contract is about scoring fidelity, not model quality.
+    Result<FrozenModel> frozen = FreezeKgagModel(model->get());
+    ASSERT_TRUE(frozen.ok()) << frozen.status().ToString();
+    frozen_ = new FrozenModel(std::move(*frozen));
+  }
+
+  static void TearDownTestSuite() {
+    delete frozen_;
+    delete dataset_;
+    frozen_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static const GroupRecDataset* dataset_;
+  static const FrozenModel* frozen_;
+};
+
+const GroupRecDataset* ServeTest::dataset_ = nullptr;
+const FrozenModel* ServeTest::frozen_ = nullptr;
+
+std::vector<UserId> Members(GroupId g) {
+  auto span = ServeTest::dataset_->groups.MembersOf(g);
+  return {span.begin(), span.end()};
+}
+
+// ---------------------------------------------------------------------------
+// Artifact format
+
+TEST_F(ServeTest, EncodeDecodeRoundTripIsByteStable) {
+  std::string bytes;
+  ASSERT_TRUE(EncodeFrozenModel(*frozen_, &bytes).ok());
+  Result<FrozenModel> decoded = DecodeFrozenModel(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  std::string re_encoded;
+  ASSERT_TRUE(EncodeFrozenModel(*decoded, &re_encoded).ok());
+  EXPECT_EQ(bytes, re_encoded);
+
+  EXPECT_EQ(decoded->dim, frozen_->dim);
+  EXPECT_EQ(decoded->group_size, frozen_->group_size);
+  EXPECT_EQ(decoded->num_users, frozen_->num_users);
+  EXPECT_EQ(decoded->num_items, frozen_->num_items);
+}
+
+TEST_F(ServeTest, SaveLoadFileRoundTrip) {
+  const std::string dir = TestTmpDir("serve_artifact");
+  const std::string path = dir + "/model.srv";
+  ASSERT_TRUE(SaveFrozenModel(*frozen_, path).ok());
+  Result<FrozenModel> loaded = LoadFrozenModel(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  std::string original, reloaded;
+  ASSERT_TRUE(EncodeFrozenModel(*frozen_, &original).ok());
+  ASSERT_TRUE(EncodeFrozenModel(*loaded, &reloaded).ok());
+  EXPECT_EQ(original, reloaded);
+}
+
+TEST_F(ServeTest, CorruptionIsRejected) {
+  std::string bytes;
+  ASSERT_TRUE(EncodeFrozenModel(*frozen_, &bytes).ok());
+  // Flip one bit in a sample of positions across every region (header,
+  // each chunk, trailing CRCs); a stride keeps the test fast while still
+  // touching all chunk types.
+  for (size_t pos = 0; pos < bytes.size(); pos += 97) {
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x20);
+    EXPECT_FALSE(DecodeFrozenModel(corrupt).ok())
+        << "bit flip at byte " << pos << " was not detected";
+  }
+  // Truncations at several depths.
+  for (size_t len : {size_t{0}, size_t{4}, size_t{11}, bytes.size() / 2,
+                     bytes.size() - 1}) {
+    EXPECT_FALSE(DecodeFrozenModel(bytes.substr(0, len)).ok())
+        << "truncation to " << len << " bytes was not detected";
+  }
+  // A checkpoint-magic file must not decode as an artifact.
+  std::string wrong_magic = bytes;
+  wrong_magic.replace(0, 8, "KGAGCKP1");
+  EXPECT_FALSE(DecodeFrozenModel(wrong_magic).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Eval/serve bit identity (the shared-scoring-path contract)
+
+TEST_F(ServeTest, ServingTopKBitIdenticalToRankingEvaluator) {
+  // The evaluator's protocol: rank the test-item pool per group. Serving
+  // ranks the full catalog, so excluding everything outside the pool must
+  // reproduce the evaluator's ranked list bit for bit.
+  const std::vector<ItemId> pool = dataset_->TestItemPool();
+  ASSERT_FALSE(pool.empty());
+  std::vector<ItemId> outside;
+  for (ItemId v = 0; v < frozen_->num_items; ++v) {
+    if (!std::binary_search(pool.begin(), pool.end(), v)) {
+      outside.push_back(v);
+    }
+  }
+  const size_t k = 5;
+
+  FrozenGroupScorer scorer(frozen_, &dataset_->groups);
+  ServingEngine engine(frozen_, {.max_batch = 1, .cache_capacity = 8});
+
+  const int num_groups = dataset_->groups.num_groups();
+  for (GroupId g = 0; g < std::min(num_groups, 12); ++g) {
+    const std::vector<double> eval_scores = scorer.ScoreGroup(g, pool);
+    const std::vector<ItemId> eval_ranked = TopKItems(eval_scores, pool, k);
+
+    Result<TopKResult> serve_result = engine.TopK(Members(g), k, outside);
+    ASSERT_TRUE(serve_result.ok()) << serve_result.status().ToString();
+
+    ASSERT_EQ(serve_result->items.size(), eval_ranked.size()) << "group " << g;
+    for (size_t i = 0; i < eval_ranked.size(); ++i) {
+      EXPECT_EQ(serve_result->items[i], eval_ranked[i])
+          << "group " << g << " rank " << i;
+      // Bitwise score equality: same frozen parameters, same shared
+      // scoring path, no tolerance.
+      const auto it = std::lower_bound(pool.begin(), pool.end(),
+                                       serve_result->items[i]);
+      ASSERT_NE(it, pool.end());
+      const size_t pool_idx = static_cast<size_t>(it - pool.begin());
+      EXPECT_EQ(serve_result->scores[i], eval_scores[pool_idx])
+          << "group " << g << " rank " << i;
+    }
+  }
+}
+
+TEST_F(ServeTest, SubsetScoresBitIdenticalToFullCatalog) {
+  Result<GroupRep> rep = BuildGroupRep(*frozen_, Members(0));
+  ASSERT_TRUE(rep.ok());
+  const std::vector<double> full = ScoreAllItems(*frozen_, *rep);
+
+  // An arbitrary strided subset: gathered-GEMM scores must equal the
+  // full-matrix scores bit for bit (fixed k-order accumulation).
+  std::vector<ItemId> subset;
+  for (ItemId v = 1; v < frozen_->num_items; v += 3) subset.push_back(v);
+  const std::vector<double> sub = ScoreItems(*frozen_, *rep, subset);
+  ASSERT_EQ(sub.size(), subset.size());
+  for (size_t i = 0; i < subset.size(); ++i) {
+    EXPECT_EQ(sub[i], full[static_cast<size_t>(subset[i])]) << "item "
+                                                            << subset[i];
+  }
+}
+
+TEST_F(ServeTest, BatchedSubmitBitIdenticalToSoloTopK) {
+  // Solo reference results, one engine per mode so counters stay clean.
+  ServingEngine solo(frozen_, {.max_batch = 1, .cache_capacity = 0});
+  ThreadPool pool(2);
+  ServingEngine batched(frozen_, {.max_batch = 8,
+                                  .batch_deadline_us = 20000,
+                                  .cache_capacity = 16,
+                                  .pool = &pool});
+
+  const int num_groups = dataset_->groups.num_groups();
+  const size_t requests = std::min<size_t>(8, static_cast<size_t>(num_groups));
+  std::vector<Result<TopKResult>> want;
+  for (size_t i = 0; i < requests; ++i) {
+    want.push_back(solo.TopK(Members(static_cast<GroupId>(i)), 7));
+    ASSERT_TRUE(want.back().ok());
+  }
+
+  // Submit all requests before the deadline expires so they coalesce
+  // into stacked GEMMs; row position within the batch must not change a
+  // single score bit.
+  std::vector<std::future<Result<TopKResult>>> futures;
+  for (size_t i = 0; i < requests; ++i) {
+    futures.push_back(batched.Submit(
+        {.members = Members(static_cast<GroupId>(i)), .k = 7,
+         .exclude_seen = {}}));
+  }
+  for (size_t i = 0; i < requests; ++i) {
+    Result<TopKResult> got = futures[i].get();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got->items.size(), want[i]->items.size());
+    for (size_t r = 0; r < got->items.size(); ++r) {
+      EXPECT_EQ(got->items[r], want[i]->items[r]) << "req " << i;
+      EXPECT_EQ(got->scores[r], want[i]->scores[r]) << "req " << i;
+    }
+  }
+  EXPECT_EQ(batched.requests_served(), requests);
+  // Coalescing must actually have happened (fewer batches than requests).
+  EXPECT_LT(batched.batches_run(), requests);
+}
+
+TEST_F(ServeTest, DuplicateGroupsInOneBatchCoalesceBitIdentically) {
+  ServingEngine solo(frozen_, {.max_batch = 1, .cache_capacity = 0});
+  ServingEngine batched(frozen_, {.max_batch = 8,
+                                  .batch_deadline_us = 20000,
+                                  .cache_capacity = 0});
+
+  // Same canonical group six times — permuted members and differing k /
+  // exclusions must not defeat the dedup or change any score bit.
+  std::vector<UserId> members = Members(1);
+  const Result<TopKResult> want = solo.TopK(members, 6);
+  ASSERT_TRUE(want.ok());
+
+  std::vector<std::future<Result<TopKResult>>> futures;
+  for (int i = 0; i < 6; ++i) {
+    TopKRequest r;
+    r.members = members;
+    if (i % 2 == 1) std::reverse(r.members.begin(), r.members.end());
+    r.k = 6;
+    if (i == 5) r.exclude_seen = {want->items[0]};
+    futures.push_back(batched.Submit(std::move(r)));
+  }
+  for (int i = 0; i < 6; ++i) {
+    Result<TopKResult> got = futures[static_cast<size_t>(i)].get();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    const size_t offset = i == 5 ? 1 : 0;  // excluded the top item
+    ASSERT_GE(want->items.size(), got->items.size());
+    for (size_t r = 0; r + offset < want->items.size(); ++r) {
+      EXPECT_EQ(got->items[r], want->items[r + offset]) << "req " << i;
+      EXPECT_EQ(got->scores[r], want->scores[r + offset]) << "req " << i;
+    }
+  }
+  // All six shared one rep's GEMM rows and reduce.
+  EXPECT_EQ(batched.batches_run(), 1u);
+  EXPECT_EQ(batched.coalesced_requests(), 5u);
+}
+
+// ---------------------------------------------------------------------------
+// Ad-hoc groups and edge cases serving exposes
+
+TEST_F(ServeTest, MemberOrderAndDuplicatesDoNotChangeScores) {
+  ServingEngine engine(frozen_, {.max_batch = 1, .cache_capacity = 0});
+  std::vector<UserId> members = Members(1);
+  Result<TopKResult> canonical = engine.TopK(members, 10);
+  ASSERT_TRUE(canonical.ok());
+
+  // Reversed order.
+  std::vector<UserId> reversed(members.rbegin(), members.rend());
+  Result<TopKResult> from_reversed = engine.TopK(reversed, 10);
+  ASSERT_TRUE(from_reversed.ok());
+  EXPECT_EQ(from_reversed->items, canonical->items);
+  EXPECT_EQ(from_reversed->scores, canonical->scores);
+
+  // Duplicated members.
+  std::vector<UserId> dup = members;
+  dup.insert(dup.end(), members.begin(), members.end());
+  dup.push_back(members.front());
+  Result<TopKResult> from_dup = engine.TopK(dup, 10);
+  ASSERT_TRUE(from_dup.ok());
+  EXPECT_EQ(from_dup->items, canonical->items);
+  EXPECT_EQ(from_dup->scores, canonical->scores);
+}
+
+TEST_F(ServeTest, AdHocGroupsOfUntrainedSizesWork) {
+  ServingEngine engine(frozen_, {.max_batch = 1, .cache_capacity = 4});
+  // A never-seen member combination of a size != the trained group size:
+  // the W2 peer term is dropped, the rest of the attention stays.
+  ASSERT_GE(frozen_->num_users, 3);
+  std::vector<UserId> trio = {0, static_cast<UserId>(frozen_->num_users / 2),
+                              static_cast<UserId>(frozen_->num_users - 1)};
+  ASSERT_NE(static_cast<int>(trio.size()), frozen_->group_size);
+  Result<TopKResult> r = engine.TopK(trio, 5);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->items.size(), 5u);
+}
+
+TEST_F(ServeTest, SingleMemberGroupScoresAreDotProducts) {
+  ServingEngine engine(frozen_, {.max_batch = 1, .cache_capacity = 0});
+  const UserId u = 3;
+  Result<TopKResult> r = engine.TopK(std::vector<UserId>{u}, 4);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->items.size(), 4u);
+  // Softmax over one member is exactly 1, so the score reduces to
+  // <u_rep, v_rep>. The reference dot product goes through the same GEMM
+  // kernel (1x1 call) because the dispatched ISA variant may contract
+  // mul+add into FMA — a plain C++ loop here would differ by an ULP.
+  const size_t d = static_cast<size_t>(frozen_->dim);
+  for (size_t i = 0; i < r->items.size(); ++i) {
+    double dot = 0.0;
+    kernels::Gemm(false, true, 1, 1, d,
+                  frozen_->user_emb.data() + static_cast<size_t>(u) * d, d,
+                  frozen_->item_emb.data() +
+                      static_cast<size_t>(r->items[i]) * d,
+                  d, &dot, 1);
+    EXPECT_EQ(r->scores[i], dot) << "rank " << i;
+  }
+}
+
+TEST_F(ServeTest, KLargerThanCatalogReturnsEverythingRanked) {
+  ServingEngine engine(frozen_, {.max_batch = 1, .cache_capacity = 0});
+  const size_t huge_k = static_cast<size_t>(frozen_->num_items) * 10;
+  Result<TopKResult> r = engine.TopK(Members(0), huge_k);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->items.size(), static_cast<size_t>(frozen_->num_items));
+  for (size_t i = 1; i < r->scores.size(); ++i) {
+    EXPECT_GE(r->scores[i - 1], r->scores[i]) << "not descending at " << i;
+  }
+}
+
+TEST_F(ServeTest, ExclusionFiltersAtRankTimeWithoutChangingScores) {
+  ServingEngine engine(frozen_, {.max_batch = 1, .cache_capacity = 4});
+  const std::vector<UserId> members = Members(2);
+
+  // Empty exclusion list is the baseline (and a valid input).
+  Result<TopKResult> all = engine.TopK(members, 1000, {});
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->items.size(), static_cast<size_t>(frozen_->num_items));
+
+  // Exclude the current top 3: the new ranking must equal the old one
+  // with those items deleted — same scores, same relative order.
+  std::vector<ItemId> exclude(all->items.begin(), all->items.begin() + 3);
+  Result<TopKResult> rest = engine.TopK(members, 1000, exclude);
+  ASSERT_TRUE(rest.ok());
+  ASSERT_EQ(rest->items.size(),
+            static_cast<size_t>(frozen_->num_items) - exclude.size());
+  size_t j = 0;
+  for (size_t i = 0; i < all->items.size(); ++i) {
+    if (i < 3) continue;  // the excluded prefix
+    ASSERT_LT(j, rest->items.size());
+    EXPECT_EQ(rest->items[j], all->items[i]);
+    EXPECT_EQ(rest->scores[j], all->scores[i]);
+    ++j;
+  }
+}
+
+TEST_F(ServeTest, InvalidRequestsFailCleanly) {
+  ServingEngine engine(frozen_, {.max_batch = 1, .cache_capacity = 0});
+  EXPECT_FALSE(engine.TopK({}, 5).ok());
+  EXPECT_FALSE(
+      engine.TopK(std::vector<UserId>{frozen_->num_users}, 5).ok());
+  EXPECT_FALSE(engine.TopK(std::vector<UserId>{-1}, 5).ok());
+
+  // Through the batched path too: the future resolves with the error.
+  Result<TopKResult> via_queue =
+      engine.Submit({.members = {}, .k = 5, .exclude_seen = {}}).get();
+  EXPECT_FALSE(via_queue.ok());
+}
+
+TEST_F(ServeTest, CacheHitsAreReportedAndBitIdentical) {
+  ServingEngine engine(frozen_, {.max_batch = 1, .cache_capacity = 8});
+  const std::vector<UserId> members = Members(3);
+  Result<TopKResult> first = engine.TopK(members, 6);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cache_hit);
+
+  // Same set, different order: must hit (canonical key) and return the
+  // same bits.
+  std::vector<UserId> shuffled(members.rbegin(), members.rend());
+  Result<TopKResult> second = engine.TopK(shuffled, 6);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(second->items, first->items);
+  EXPECT_EQ(second->scores, first->scores);
+  EXPECT_EQ(engine.cache()->hits(), 1u);
+  EXPECT_EQ(engine.cache()->misses(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Freeze determinism
+
+TEST_F(ServeTest, FreezingTwiceIsByteIdentical) {
+  // A fresh model with the same seed/config freezes to the same bytes:
+  // eval trees are seeded per node, so artifact content cannot depend on
+  // scoring history or map iteration order.
+  KgagConfig config;
+  config.propagation.dim = 16;
+  config.propagation.depth = 2;
+  config.propagation.sample_size = 4;
+  config.propagation.final_tanh = false;
+  config.eval_tree_samples = 2;
+  config.seed = 77;
+  auto model = KgagModel::Create(dataset_, config);
+  ASSERT_TRUE(model.ok());
+  Result<FrozenModel> again = FreezeKgagModel(model->get());
+  ASSERT_TRUE(again.ok());
+  std::string bytes_a, bytes_b;
+  ASSERT_TRUE(EncodeFrozenModel(*frozen_, &bytes_a).ok());
+  ASSERT_TRUE(EncodeFrozenModel(*again, &bytes_b).ok());
+  EXPECT_EQ(bytes_a, bytes_b);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace kgag
