@@ -312,5 +312,15 @@ const std::vector<double>& CountBounds() {
   return *bounds;
 }
 
+const std::vector<double>& ServeLatencyBoundsUs() {
+  // 1-1.6-2.5-4-6.3 per decade (~25% steps) across 1us..1s.
+  static const std::vector<double>* bounds = new std::vector<double>{
+      1,    1.6,  2.5,  4,    6.3,  10,   16,   25,   40,   63,
+      100,  160,  250,  400,  630,  1e3,  1.6e3, 2.5e3, 4e3,  6.3e3,
+      1e4,  1.6e4, 2.5e4, 4e4,  6.3e4, 1e5,  1.6e5, 2.5e5, 4e5,  6.3e5,
+      1e6};
+  return *bounds;
+}
+
 }  // namespace obs
 }  // namespace kgag

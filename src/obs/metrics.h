@@ -170,6 +170,13 @@ const std::vector<double>& LatencyBoundsUs();
 /// sizes — anything whose interesting range is a few powers of two.
 const std::vector<double>& CountBounds();
 
+/// Serving-latency bucket bounds in microseconds. Request latencies
+/// cluster in the 10us-10ms band where LatencyBoundsUs has only a bucket
+/// per octave-ish step — too coarse for p50/p99 on a histogram (both
+/// collapse to the same bucket bound). This grid steps ~25% through that
+/// band and still covers 1us-1s for outliers.
+const std::vector<double>& ServeLatencyBoundsUs();
+
 }  // namespace obs
 }  // namespace kgag
 

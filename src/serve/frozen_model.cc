@@ -19,6 +19,9 @@ constexpr uint32_t kTagMeta = ckpt::MakeTag('S', 'M', 'T', 'A');
 constexpr uint32_t kTagUserEmb = ckpt::MakeTag('U', 'E', 'M', 'B');
 constexpr uint32_t kTagItemEmb = ckpt::MakeTag('I', 'E', 'M', 'B');
 constexpr uint32_t kTagAttention = ckpt::MakeTag('A', 'T', 'T', 'N');
+constexpr uint32_t kTagQuantMeta = ckpt::MakeTag('Q', 'N', 'T', 'M');
+constexpr uint32_t kTagQuantUser = ckpt::MakeTag('Q', 'U', 'S', 'R');
+constexpr uint32_t kTagQuantItem = ckpt::MakeTag('Q', 'I', 'T', 'M');
 
 /// Finds a parameter's tensor by name, or an empty tensor when the model
 /// was built without it (ablations create no attention parameters).
@@ -33,6 +36,26 @@ Status ShapeError(const std::string& what) {
   return Status::InvalidArgument("frozen model: " + what);
 }
 
+/// Checks one quantized rep table against the meta chunk: precision tag,
+/// shape, block geometry and code/scale buffer sizes must all agree.
+Status ValidateQuantTable(const QuantizedMatrix& q, const FrozenModel& m,
+                          size_t rows, const char* what) {
+  if (q.type != m.quant) return ShapeError(std::string(what) + " precision tag mismatch");
+  if (q.block != m.quant_block) {
+    return ShapeError(std::string(what) + " scale-block mismatch");
+  }
+  if (q.rows != rows || q.cols != static_cast<size_t>(m.dim)) {
+    return ShapeError(std::string(what) + " shape mismatch");
+  }
+  if (q.data.size() != q.rows * q.RowBytes()) {
+    return ShapeError(std::string(what) + " code buffer size mismatch");
+  }
+  if (q.scales.size() != q.rows * q.ScalesPerRow()) {
+    return ShapeError(std::string(what) + " scale buffer size mismatch");
+  }
+  return Status::OK();
+}
+
 /// Meta-driven shape validation shared by decode (hostile bytes) and
 /// encode (programming errors surface before a broken file is written).
 Status ValidateShapes(const FrozenModel& m) {
@@ -42,13 +65,26 @@ Status ValidateShapes(const FrozenModel& m) {
     return ShapeError("negative entity count");
   }
   const size_t d = static_cast<size_t>(m.dim);
-  if (m.user_emb.rows() != static_cast<size_t>(m.num_users) ||
-      m.user_emb.cols() != d) {
-    return ShapeError("user embedding shape mismatch");
-  }
-  if (m.item_emb.rows() != static_cast<size_t>(m.num_items) ||
-      m.item_emb.cols() != d) {
-    return ShapeError("item embedding shape mismatch");
+  if (m.quant == QuantType::kFp64) {
+    if (!m.q_user.empty() || !m.q_item.empty()) {
+      return ShapeError("fp64 model carries quantized tables");
+    }
+    if (m.user_emb.rows() != static_cast<size_t>(m.num_users) ||
+        m.user_emb.cols() != d) {
+      return ShapeError("user embedding shape mismatch");
+    }
+    if (m.item_emb.rows() != static_cast<size_t>(m.num_items) ||
+        m.item_emb.cols() != d) {
+      return ShapeError("item embedding shape mismatch");
+    }
+  } else {
+    if (m.user_emb.size() != 0 || m.item_emb.size() != 0) {
+      return ShapeError("quantized model carries fp64 tables");
+    }
+    KGAG_RETURN_NOT_OK(ValidateQuantTable(
+        m.q_user, m, static_cast<size_t>(m.num_users), "quantized user table"));
+    KGAG_RETURN_NOT_OK(ValidateQuantTable(
+        m.q_item, m, static_cast<size_t>(m.num_items), "quantized item table"));
   }
   if (m.w1.size() != 0 && (m.w1.rows() != d || m.w1.cols() != d)) {
     return ShapeError("W1 shape mismatch");
@@ -72,6 +108,37 @@ Status ValidateShapes(const FrozenModel& m) {
 }
 
 }  // namespace
+
+size_t RepBytesPerEntity(const FrozenModel& model) {
+  const size_t d = static_cast<size_t>(model.dim);
+  if (model.quant == QuantType::kFp64) return d * sizeof(double);
+  return model.q_user.RowBytes() +
+         model.q_user.ScalesPerRow() * sizeof(float);
+}
+
+Result<FrozenModel> QuantizeFrozenModel(const FrozenModel& model,
+                                        QuantType type, uint32_t block) {
+  KGAG_RETURN_NOT_OK(ValidateShapes(model));
+  if (model.quant != QuantType::kFp64) {
+    return Status::InvalidArgument(
+        "frozen model: can only quantize a full-precision model");
+  }
+  if (type == QuantType::kFp64) return model;
+  if (type != QuantType::kInt8) block = 0;
+  if (block > static_cast<uint32_t>(model.dim)) {
+    return Status::InvalidArgument(
+        "frozen model: quant block exceeds rep dim");
+  }
+  FrozenModel out = model;
+  out.quant = type;
+  out.quant_block = block;
+  out.q_user = QuantizeMatrix(model.user_emb, type, block);
+  out.q_item = QuantizeMatrix(model.item_emb, type, block);
+  out.user_emb = Tensor();
+  out.item_emb = Tensor();
+  KGAG_RETURN_NOT_OK(ValidateShapes(out));
+  return out;
+}
 
 Result<FrozenModel> FreezeKgagModel(KgagModel* model) {
   if (model == nullptr) {
@@ -115,15 +182,26 @@ Status EncodeFrozenModel(const FrozenModel& model, std::string* out) {
     bio::WriteU32(&meta, static_cast<uint32_t>(model.num_items));
     chunks.push_back(ckpt::Chunk{kTagMeta, meta.str()});
   }
-  {
-    std::ostringstream emb(std::ios::binary);
-    KGAG_RETURN_NOT_OK(WriteTensor(&emb, model.user_emb));
-    chunks.push_back(ckpt::Chunk{kTagUserEmb, emb.str()});
-  }
-  {
-    std::ostringstream emb(std::ios::binary);
-    KGAG_RETURN_NOT_OK(WriteTensor(&emb, model.item_emb));
-    chunks.push_back(ckpt::Chunk{kTagItemEmb, emb.str()});
+  if (model.quant == QuantType::kFp64) {
+    // Byte-identical to the pre-quantization format: no QNTM chunk, so
+    // artifacts written before this extension existed re-encode exactly.
+    std::ostringstream uemb(std::ios::binary);
+    KGAG_RETURN_NOT_OK(WriteTensor(&uemb, model.user_emb));
+    chunks.push_back(ckpt::Chunk{kTagUserEmb, uemb.str()});
+    std::ostringstream iemb(std::ios::binary);
+    KGAG_RETURN_NOT_OK(WriteTensor(&iemb, model.item_emb));
+    chunks.push_back(ckpt::Chunk{kTagItemEmb, iemb.str()});
+  } else {
+    std::ostringstream qm(std::ios::binary);
+    bio::WriteU8(&qm, static_cast<uint8_t>(model.quant));
+    bio::WriteU32(&qm, model.quant_block);
+    chunks.push_back(ckpt::Chunk{kTagQuantMeta, qm.str()});
+    std::ostringstream qu(std::ios::binary);
+    KGAG_RETURN_NOT_OK(WriteQuantizedMatrix(&qu, model.q_user));
+    chunks.push_back(ckpt::Chunk{kTagQuantUser, qu.str()});
+    std::ostringstream qi(std::ios::binary);
+    KGAG_RETURN_NOT_OK(WriteQuantizedMatrix(&qi, model.q_item));
+    chunks.push_back(ckpt::Chunk{kTagQuantItem, qi.str()});
   }
   {
     std::ostringstream attn(std::ios::binary);
@@ -142,7 +220,8 @@ Result<FrozenModel> DecodeFrozenModel(std::string_view data) {
 
   FrozenModel out;
   bool have_meta = false, have_users = false, have_items = false,
-       have_attn = false;
+       have_attn = false, have_qmeta = false, have_quser = false,
+       have_qitem = false;
   for (const ckpt::Chunk& c : chunks) {
     std::istringstream in(c.payload, std::ios::binary);
     if (c.tag == kTagMeta) {
@@ -172,11 +251,42 @@ Result<FrozenModel> DecodeFrozenModel(std::string_view data) {
       KGAG_RETURN_NOT_OK(ReadTensor(&in, &out.bias));
       KGAG_RETURN_NOT_OK(ReadTensor(&in, &out.vc));
       have_attn = true;
+    } else if (c.tag == kTagQuantMeta) {
+      uint8_t type = 0;
+      uint32_t block = 0;
+      if (!bio::ReadU8(&in, &type) || !bio::ReadU32(&in, &block)) {
+        return Status::InvalidArgument("frozen model: truncated quant meta");
+      }
+      if (type != static_cast<uint8_t>(QuantType::kFp32) &&
+          type != static_cast<uint8_t>(QuantType::kFp16) &&
+          type != static_cast<uint8_t>(QuantType::kInt8)) {
+        return Status::InvalidArgument(
+            "frozen model: unknown quantization type tag " +
+            std::to_string(static_cast<int>(type)) +
+            " (artifact written by a newer build?)");
+      }
+      out.quant = static_cast<QuantType>(type);
+      out.quant_block = block;
+      have_qmeta = true;
+    } else if (c.tag == kTagQuantUser) {
+      KGAG_RETURN_NOT_OK(ReadQuantizedMatrix(&in, &out.q_user));
+      have_quser = true;
+    } else if (c.tag == kTagQuantItem) {
+      KGAG_RETURN_NOT_OK(ReadQuantizedMatrix(&in, &out.q_item));
+      have_qitem = true;
     }
     // Unknown tags are ignored (CRC-validated forward compatibility,
     // same policy as the checkpoint container).
   }
-  if (!have_meta || !have_users || !have_items || !have_attn) {
+  if (!have_meta || !have_attn) {
+    return Status::InvalidArgument("frozen model: missing required chunk");
+  }
+  if (have_qmeta) {
+    if (!have_quser || !have_qitem) {
+      return Status::InvalidArgument(
+          "frozen model: quantized artifact missing a rep table chunk");
+    }
+  } else if (!have_users || !have_items) {
     return Status::InvalidArgument("frozen model: missing required chunk");
   }
   KGAG_RETURN_NOT_OK(ValidateShapes(out));

@@ -21,6 +21,17 @@
 // where "tensor" is WriteTensor's u64 rows | u64 cols | raw doubles.
 // Encoding is deterministic: freezing the same model state twice yields
 // byte-identical files (eval trees are seeded per node).
+//
+// Quantized artifacts (DESIGN.md §11) extend the container: when the rep
+// tables are stored below full precision the UEMB/IEMB chunks are
+// replaced by
+//   QNTM  u8 quant_type | u32 quant_block
+//   QUSR  quantized matrix (num_users x dim)  — see WriteQuantizedMatrix
+//   QITM  quantized matrix (num_items x dim)
+// Full-precision (fp64) artifacts carry no QNTM chunk and are encoded
+// byte-identically to the pre-quantization format, so old files load
+// unchanged and old readers still read new fp64 files. Unknown or
+// corrupt quant-type tags are rejected with a clear error.
 #ifndef KGAG_SERVE_FROZEN_MODEL_H_
 #define KGAG_SERVE_FROZEN_MODEL_H_
 
@@ -29,6 +40,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "tensor/quant.h"
 #include "tensor/tensor.h"
 
 namespace kgag {
@@ -52,16 +64,40 @@ struct FrozenModel {
   int32_t num_users = 0;
   int32_t num_items = 0;
 
-  Tensor user_emb;  ///< (num_users x dim), row u = user u
-  Tensor item_emb;  ///< (num_items x dim), row v = item v
+  /// Rep-table storage precision. kFp64 (the default and the only value
+  /// legacy artifacts decode to) keeps the tables in user_emb/item_emb;
+  /// any other tier keeps them in q_user/q_item instead and leaves the
+  /// fp64 tensors 0x0.
+  QuantType quant = QuantType::kFp64;
+  /// Columns per int8 scale block (0 = per-row). Meaningless unless
+  /// quant == kInt8.
+  uint32_t quant_block = 0;
+
+  Tensor user_emb;  ///< (num_users x dim), row u = user u (kFp64 only)
+  Tensor item_emb;  ///< (num_items x dim), row v = item v (kFp64 only)
+  QuantizedMatrix q_user;  ///< quantized tiers only
+  QuantizedMatrix q_item;  ///< quantized tiers only
 
   // Attention weights; 0x0 tensors when the model was built without them
-  // (ablations, group_size == 1).
+  // (ablations, group_size == 1). Always fp64: they are O(dim^2), not
+  // O(entities), so quantizing them would save nothing and cost accuracy.
   Tensor w1;    ///< (dim x dim)
   Tensor w2;    ///< (dim*(group_size-1) x dim)
   Tensor bias;  ///< (1 x dim)
   Tensor vc;    ///< (dim x 1)
 };
+
+/// Resident bytes one entity row costs at the model's precision (codes
+/// plus int8 scales; 8*dim for fp64). The number freeze_model prints and
+/// bench_serve reports per precision.
+size_t RepBytesPerEntity(const FrozenModel& model);
+
+/// Returns a copy of `model` with the user/item rep tables quantized to
+/// `type` (block `block` for int8). `model` must be full-precision
+/// (quant == kFp64); asking for kFp64 returns an unchanged copy. The
+/// attention weights pass through untouched.
+Result<FrozenModel> QuantizeFrozenModel(const FrozenModel& model,
+                                        QuantType type, uint32_t block = 0);
 
 /// Runs propagation for every user and item entity and captures the
 /// attention weights. The model must be constructed (trained or with

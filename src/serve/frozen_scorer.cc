@@ -31,9 +31,13 @@ Result<GroupRep> BuildGroupRep(const FrozenModel& model,
   const size_t d = static_cast<size_t>(model.dim);
   rep.member_emb = Tensor(l, d);
   for (size_t i = 0; i < l; ++i) {
-    for (size_t c = 0; c < d; ++c) {
-      rep.member_emb.at(i, c) =
-          model.user_emb.at(static_cast<size_t>(rep.members[i]), c);
+    const size_t u = static_cast<size_t>(rep.members[i]);
+    if (model.quant == QuantType::kFp64) {
+      for (size_t c = 0; c < d; ++c) {
+        rep.member_emb.at(i, c) = model.user_emb.at(u, c);
+      }
+    } else {
+      DequantizeRow(model.q_user, u, &rep.member_emb.at(i, 0));
     }
   }
 
@@ -67,40 +71,130 @@ Result<GroupRep> BuildGroupRep(const FrozenModel& model,
 
 void ReduceScores(const FrozenModel& model, const GroupRep& rep,
                   const double* sp_logits, size_t ld, size_t n, double* out) {
+  kernels::SoftmaxScoreReduce(rep.members.size(), n, model.use_sp, sp_logits,
+                              ld, rep.pi.data(), out);
+}
+
+MemberStack::MemberStack(const FrozenModel& model) : model_(&model) {}
+
+size_t MemberStack::Append(const GroupRep& rep) {
+  const size_t start = rows_;
   const size_t l = rep.members.size();
-  std::vector<double> alpha(l);
-  for (size_t p = 0; p < n; ++p) {
-    // Raw importances, softmax-normalized the way AggregateBatch does it
-    // (member 0 seeds the running max).
+  const size_t d = static_cast<size_t>(model_->dim);
+  if (model_->quant == QuantType::kFp64) {
+    emb_.insert(emb_.end(), rep.member_emb.data(),
+                rep.member_emb.data() + l * d);
+  } else {
+    // Gather the packed code rows (and int8 scales) straight from the
+    // artifact — the kernels consume the stored codes, so batching loses
+    // nothing to a dequantize round trip.
+    const QuantizedMatrix& q = model_->q_user;
+    const size_t rb = q.RowBytes();
+    const size_t spr = q.ScalesPerRow();
     for (size_t i = 0; i < l; ++i) {
-      alpha[i] = (model.use_sp ? sp_logits[i * ld + p] : 0.0) + rep.pi[i];
+      const size_t u = static_cast<size_t>(rep.members[i]);
+      codes_.insert(codes_.end(), q.RowData(u), q.RowData(u) + rb);
+      if (spr != 0) {
+        scales_.insert(scales_.end(), q.RowScales(u), q.RowScales(u) + spr);
+      }
     }
-    double mx = alpha[0];
-    for (size_t i = 1; i < l; ++i) mx = std::max(mx, alpha[i]);
-    double sum = 0.0;
-    for (size_t i = 0; i < l; ++i) {
-      alpha[i] = std::exp(alpha[i] - mx);
-      sum += alpha[i];
-    }
-    // score(v) = <g, v> = Σ_i α̃_i <u_i, v>, and <u_i, v> is sp_logits
-    // whether or not it entered the softmax.
-    double score = 0.0;
-    for (size_t i = 0; i < l; ++i) {
-      score += (alpha[i] / sum) * sp_logits[i * ld + p];
-    }
-    out[p] = score;
   }
+  rows_ += l;
+  return start;
+}
+
+namespace {
+
+/// Routes one S = A · B^T block to the precision's kernel. A is the
+/// stacked member storage, B the (gathered or whole) item table at the
+/// same precision. `c` is m x n row-major, leading dimension n,
+/// overwritten.
+void QuantSpGemm(QuantType type, uint32_t block, size_t m, size_t n,
+                 size_t k, const uint8_t* a_codes, const float* a_scales,
+                 const uint8_t* b_codes, const float* b_scales, double* c) {
+  switch (type) {
+    case QuantType::kInt8:
+      kernels::QGemmInt8(m, n, k, block,
+                         reinterpret_cast<const int8_t*>(a_codes), a_scales,
+                         reinterpret_cast<const int8_t*>(b_codes), b_scales,
+                         c, n);
+      return;
+    case QuantType::kFp16:
+      kernels::QGemmFp16(m, n, k,
+                         reinterpret_cast<const uint16_t*>(a_codes),
+                         reinterpret_cast<const uint16_t*>(b_codes), c, n);
+      return;
+    case QuantType::kFp32:
+      kernels::QGemmFp32(m, n, k, reinterpret_cast<const float*>(a_codes),
+                         reinterpret_cast<const float*>(b_codes), c, n);
+      return;
+    case QuantType::kFp64:
+      break;
+  }
+  KGAG_CHECK(false) << "fp64 model routed to quantized GEMM";
+}
+
+}  // namespace
+
+void MemberStack::SpLogitsAllItems(double* out) const {
+  const size_t d = static_cast<size_t>(model_->dim);
+  const size_t n = static_cast<size_t>(model_->num_items);
+  if (model_->quant == QuantType::kFp64) {
+    std::fill(out, out + rows_ * n, 0.0);  // Gemm accumulates
+    kernels::Gemm(/*trans_a=*/false, /*trans_b=*/true, rows_, n, d,
+                  emb_.data(), d, model_->item_emb.data(), d, out, n);
+    return;
+  }
+  const QuantizedMatrix& qi = model_->q_item;
+  QuantSpGemm(model_->quant, model_->quant_block, rows_, n, d, codes_.data(),
+              scales_.data(), qi.data.data(), qi.scales.data(), out);
+}
+
+void MemberStack::SpLogits(std::span<const ItemId> items, double* out) const {
+  const size_t d = static_cast<size_t>(model_->dim);
+  const size_t p = items.size();
+  if (model_->quant == QuantType::kFp64) {
+    Tensor cand(p, d);
+    for (size_t i = 0; i < p; ++i) {
+      KGAG_CHECK(items[i] >= 0 && items[i] < model_->num_items)
+          << "item id out of range: " << items[i];
+      for (size_t c = 0; c < d; ++c) {
+        cand.at(i, c) = model_->item_emb.at(static_cast<size_t>(items[i]), c);
+      }
+    }
+    std::fill(out, out + rows_ * p, 0.0);
+    kernels::Gemm(/*trans_a=*/false, /*trans_b=*/true, rows_, p, d,
+                  emb_.data(), d, cand.data(), d, out, p);
+    return;
+  }
+  const QuantizedMatrix& qi = model_->q_item;
+  const size_t rb = qi.RowBytes();
+  const size_t spr = qi.ScalesPerRow();
+  std::vector<uint8_t> cand_codes;
+  std::vector<float> cand_scales;
+  cand_codes.reserve(p * rb);
+  cand_scales.reserve(p * spr);
+  for (size_t i = 0; i < p; ++i) {
+    KGAG_CHECK(items[i] >= 0 && items[i] < model_->num_items)
+        << "item id out of range: " << items[i];
+    const size_t v = static_cast<size_t>(items[i]);
+    cand_codes.insert(cand_codes.end(), qi.RowData(v), qi.RowData(v) + rb);
+    if (spr != 0) {
+      cand_scales.insert(cand_scales.end(), qi.RowScales(v),
+                         qi.RowScales(v) + spr);
+    }
+  }
+  QuantSpGemm(model_->quant, model_->quant_block, rows_, p, d, codes_.data(),
+              scales_.data(), cand_codes.data(), cand_scales.data(), out);
 }
 
 std::vector<double> ScoreAllItems(const FrozenModel& model,
                                   const GroupRep& rep) {
-  const size_t l = rep.members.size();
-  const size_t d = static_cast<size_t>(model.dim);
   const size_t n = static_cast<size_t>(model.num_items);
-  Tensor sp(l, n);  // zero-initialized; Gemm accumulates
-  kernels::Gemm(/*trans_a=*/false, /*trans_b=*/true, l, n, d,
-                rep.member_emb.data(), d, model.item_emb.data(), d, sp.data(),
-                n);
+  MemberStack stack(model);
+  stack.Append(rep);
+  std::vector<double> sp(rep.members.size() * n);
+  stack.SpLogitsAllItems(sp.data());
   std::vector<double> scores(n);
   ReduceScores(model, rep, sp.data(), n, n, scores.data());
   return scores;
@@ -108,20 +202,11 @@ std::vector<double> ScoreAllItems(const FrozenModel& model,
 
 std::vector<double> ScoreItems(const FrozenModel& model, const GroupRep& rep,
                                std::span<const ItemId> items) {
-  const size_t l = rep.members.size();
-  const size_t d = static_cast<size_t>(model.dim);
   const size_t p = items.size();
-  Tensor cand(p, d);
-  for (size_t i = 0; i < p; ++i) {
-    KGAG_CHECK(items[i] >= 0 && items[i] < model.num_items)
-        << "item id out of range: " << items[i];
-    for (size_t c = 0; c < d; ++c) {
-      cand.at(i, c) = model.item_emb.at(static_cast<size_t>(items[i]), c);
-    }
-  }
-  Tensor sp(l, p);
-  kernels::Gemm(/*trans_a=*/false, /*trans_b=*/true, l, p, d,
-                rep.member_emb.data(), d, cand.data(), d, sp.data(), p);
+  MemberStack stack(model);
+  stack.Append(rep);
+  std::vector<double> sp(rep.members.size() * p);
+  stack.SpLogits(items, sp.data());
   std::vector<double> scores(p);
   ReduceScores(model, rep, sp.data(), p, p, scores.data());
   return scores;

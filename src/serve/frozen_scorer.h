@@ -41,6 +41,11 @@ namespace serve {
 /// \brief A group's request-time state: canonical members, their frozen
 /// representations and per-member peer-influence logits. Immutable once
 /// built; safe to share across threads (cache entries do).
+///
+/// On a quantized model, member_emb holds the DEQUANTIZED member reps
+/// (the values the quantized kernels reconstruct); the peer-influence
+/// logits are computed from them with the fp64 attention weights, so pi
+/// is deterministic given the artifact regardless of ISA tier.
 struct GroupRep {
   std::vector<UserId> members;  ///< sorted, unique — the cache key
   Tensor member_emb;            ///< (|members| x dim), canonical order
@@ -52,11 +57,57 @@ struct GroupRep {
 Result<GroupRep> BuildGroupRep(const FrozenModel& model,
                                std::span<const UserId> members);
 
+/// \brief Member rows from one or more reps stacked contiguously at the
+/// model's storage precision, so a whole batch of groups shares ONE
+/// sp-logit GEMM against the item table. This is the single kernel entry
+/// point for S = U_members · V^T — ScoreAllItems/ScoreItems (offline
+/// eval) and ServingEngine::ExecuteBatch (online batches) all build one,
+/// which is what keeps the fp64 and quantized paths from drifting apart.
+///
+/// On an fp64 model the rows are the member reps themselves and the GEMM
+/// is kernels::Gemm, bit-identical to scoring each rep alone. On a
+/// quantized model the rows are the packed user codes (+ int8 scales)
+/// gathered straight from the artifact and the GEMM is the matching
+/// kernels::QGemm* kernel — also batch-invariant, since every output
+/// element accumulates its own dot in a fixed k-order.
+class MemberStack {
+ public:
+  /// The model is borrowed and must outlive the stack.
+  explicit MemberStack(const FrozenModel& model);
+
+  /// Appends rep's member rows (canonical order preserved); returns the
+  /// row index the rep's block starts at.
+  size_t Append(const GroupRep& rep);
+
+  size_t rows() const { return rows_; }
+
+  /// S against every item: out = (rows() x num_items), row-major,
+  /// leading dimension num_items, OVERWRITTEN.
+  void SpLogitsAllItems(double* out) const;
+
+  /// S against an explicit candidate list (gathers the candidate rows):
+  /// out = (rows() x items.size()), leading dimension items.size(),
+  /// OVERWRITTEN. Per-item results are bit-identical to SpLogitsAllItems.
+  void SpLogits(std::span<const ItemId> items, double* out) const;
+
+ private:
+  const FrozenModel* model_;
+  size_t rows_ = 0;
+  std::vector<double> emb_;     ///< fp64 models: stacked member reps
+  std::vector<uint8_t> codes_;  ///< quantized models: packed member codes
+  std::vector<float> scales_;   ///< int8 models: per-row/block scales
+};
+
 /// Scores every row of `sp_logits` — the S = U_members · V^T block for
 /// this rep, `n` candidates wide with leading dimension `ld` — into
 /// `out[0..n)`: out[p] = Σ_i softmax_i(sp(:,p)·use_sp + pi) · sp(i,p).
-/// The softmax matches PreferenceAggregator::AggregateBatch (max-subtract
-/// over members, member 0 seeding the max).
+/// The softmax follows PreferenceAggregator::AggregateBatch's scheme
+/// (max-subtract over members, member 0 seeding the max) but runs on
+/// kernels::SoftmaxScoreReduce — FastExp, one division per candidate,
+/// SIMD across candidates under the same bit-identity-across-tiers
+/// contract as the QGemm kernels. Every frozen-path consumer (offline
+/// FrozenGroupScorer and online ServingEngine) shares this exact code,
+/// so eval/serve bit parity is unaffected.
 void ReduceScores(const FrozenModel& model, const GroupRep& rep,
                   const double* sp_logits, size_t ld, size_t n, double* out);
 

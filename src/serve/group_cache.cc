@@ -29,6 +29,14 @@ std::shared_ptr<const GroupRep> GroupRepCache::Get(
   return it->second->second;
 }
 
+void GroupRepCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
 void GroupRepCache::Put(const std::vector<UserId>& key,
                         std::shared_ptr<const GroupRep> rep) {
   if (capacity_ == 0) return;

@@ -36,6 +36,10 @@ class GroupRepCache {
   void Put(const std::vector<UserId>& key,
            std::shared_ptr<const GroupRep> rep);
 
+  /// Drops every entry and zeroes the hit/miss counters (benchmarks call
+  /// this between warmup and the timed window).
+  void Clear();
+
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   /// hits / (hits + misses); 0 before any lookup.

@@ -6,7 +6,6 @@
 #include "eval/metrics.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
-#include "tensor/kernels.h"
 
 namespace kgag {
 namespace serve {
@@ -40,6 +39,13 @@ ServingEngine::~ServingEngine() {
   }
   cv_.notify_all();
   dispatcher_.join();
+}
+
+std::vector<double> ServingEngine::TakeLatencySamples() {
+  std::lock_guard<std::mutex> lock(samples_mu_);
+  std::vector<double> out;
+  out.swap(latency_samples_);
+  return out;
 }
 
 Result<std::shared_ptr<const GroupRep>> ServingEngine::GetRep(
@@ -88,8 +94,13 @@ TopKResult ServingEngine::Rank(const std::vector<double>& scores, size_t k,
 void ServingEngine::FinishRequest(Clock::time_point start) {
   served_.fetch_add(1, std::memory_order_relaxed);
   KGAG_COUNTER_ADD("serve.requests", 1);
-  KGAG_HISTOGRAM_OBSERVE("serve.request_latency_us", MicrosSince(start),
-                         ::kgag::obs::LatencyBoundsUs());
+  const double micros = MicrosSince(start);
+  KGAG_HISTOGRAM_OBSERVE("serve.request_latency_us", micros,
+                         ::kgag::obs::ServeLatencyBoundsUs());
+  if (options_.record_latency) {
+    std::lock_guard<std::mutex> lock(samples_mu_);
+    latency_samples_.push_back(micros);
+  }
   const double elapsed_s = MicrosSince(start_time_) * 1e-6;
   if (elapsed_s > 0) {
     KGAG_GAUGE_SET("serve.qps",
@@ -185,7 +196,6 @@ void ServingEngine::DispatcherLoop() {
 
 void ServingEngine::ExecuteBatch(std::vector<Pending> batch) {
   KGAG_TRACE_SPAN("serve.batch");
-  const size_t d = static_cast<size_t>(model_->dim);
   const size_t n = static_cast<size_t>(model_->num_items);
 
   // Resolve each request's rep (errors resolve their promises now and
@@ -240,28 +250,17 @@ void ServingEngine::ExecuteBatch(std::vector<Pending> batch) {
   KGAG_COUNTER_ADD("serve.coalesced_requests", coalesced);
 
   // One stacked GEMM for the whole batch: the distinct groups' member
-  // matrices concatenated row-wise, scored against the full item matrix
-  // in a single pass. Each output row's k-accumulation order is
-  // position-independent, so every request's logits match what a solo
-  // GEMM would produce.
-  size_t total_rows = 0;
+  // rows concatenated at the model's precision (MemberStack), scored
+  // against the full item table in a single pass — kernels::Gemm for
+  // fp64 models, the matching QGemm* kernel for quantized ones. Each
+  // output row's k-accumulation order is position-independent, so every
+  // request's logits match what a solo GEMM would produce.
+  MemberStack stack(*model_);
   for (size_t di : distinct) {
-    live[di].row_offset = total_rows;
-    total_rows += live[di].rep->members.size();
+    live[di].row_offset = stack.Append(*live[di].rep);
   }
-  Tensor stacked(total_rows, d);
-  for (size_t di : distinct) {
-    const Live& l = live[di];
-    const Tensor& emb = l.rep->member_emb;
-    for (size_t r = 0; r < emb.rows(); ++r) {
-      for (size_t c = 0; c < d; ++c) {
-        stacked.at(l.row_offset + r, c) = emb.at(r, c);
-      }
-    }
-  }
-  Tensor sp(total_rows, n);  // zero-initialized; Gemm accumulates
-  kernels::Gemm(/*trans_a=*/false, /*trans_b=*/true, total_rows, n, d,
-                stacked.data(), d, model_->item_emb.data(), d, sp.data(), n);
+  std::vector<double> sp(stack.rows() * n);
+  stack.SpLogitsAllItems(sp.data());
 
   // Count the batch before fulfilling any promise: a caller that has
   // collected every future must never read a stale batches_run().

@@ -84,6 +84,11 @@ class ServingEngine {
     /// Borrowed pool the batch bodies run on; nullptr = dispatcher
     /// thread runs them inline. Must outlive the engine.
     ThreadPool* pool = nullptr;
+    /// Record every request's latency in micros for exact percentiles
+    /// (TakeLatencySamples). Benchmarks turn this on — histogram-derived
+    /// percentiles quantize to bucket bounds; raw samples don't. Off by
+    /// default: one double per request, unbounded until taken.
+    bool record_latency = false;
   };
 
   /// `model` is borrowed and must outlive the engine.
@@ -115,6 +120,9 @@ class ServingEngine {
   uint64_t coalesced_requests() const {
     return coalesced_.load(std::memory_order_relaxed);
   }
+  /// Drains the per-request latency samples recorded so far (micros, in
+  /// completion order). Empty unless Options::record_latency.
+  std::vector<double> TakeLatencySamples();
 
  private:
   struct Pending {
@@ -147,6 +155,9 @@ class ServingEngine {
   std::deque<Pending> queue_;
   bool stop_ = false;
   std::thread dispatcher_;
+
+  std::mutex samples_mu_;
+  std::vector<double> latency_samples_;
 
   std::atomic<uint64_t> served_{0};
   std::atomic<uint64_t> batches_{0};

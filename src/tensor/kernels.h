@@ -3,10 +3,21 @@
 // combinations, with an optional ThreadPool-parallel row partition for
 // large shapes. `GemmNaive` preserves the original triple-loop kernel as
 // the reference baseline for benches and cross-checking tests.
+//
+// The QGemm* family scores quantized rep tables (DESIGN.md §11): int8
+// codes with int32 accumulation, and fp16/fp32 convert-on-load paths.
+// Like Gemm they dispatch to ISA-specific variants at runtime, but with a
+// stronger contract: every tier produces BIT-IDENTICAL output (int8 sums
+// are exact integers; the float paths fix an 8-lane FMA accumulation
+// discipline that scalar and SIMD code replicate exactly), so serving
+// scores never depend on the machine the server runs on.
 #ifndef KGAG_TENSOR_KERNELS_H_
 #define KGAG_TENSOR_KERNELS_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <cstdint>
+#include <cstring>
 
 namespace kgag {
 
@@ -39,6 +50,107 @@ void GemmNaive(bool trans_a, bool trans_b, size_t m, size_t n, size_t k,
 /// serially (no nested fan-out, no deadlock).
 void SetComputeThreadPool(ThreadPool* pool);
 ThreadPool* GetComputeThreadPool();
+
+// ---------------------------------------------------------------------------
+// Quantized scoring kernels. All compute C(m×n) = A(m×k) · B(n×k)ᵀ with
+// A and B row-major code matrices and C a double matrix (OVERWRITTEN, not
+// accumulated; `ldc` is C's row stride). The loop streams B once with A
+// held hot, the serving-shaped access pattern (few member rows against a
+// large item table).
+
+/// int8 codes with per-row (block == 0) or per-`block`-columns scales:
+/// every scale group accumulates an exact int32 dot, then
+///   C(i,j) = Σ_blocks double(acc_b) · (double(a_scale_b) · double(b_scale_b))
+/// summed in block order. a_scales/b_scales hold ceil(k/block) floats per
+/// row (1 when block == 0).
+void QGemmInt8(size_t m, size_t n, size_t k, uint32_t block, const int8_t* a,
+               const float* a_scales, const int8_t* b, const float* b_scales,
+               double* c, size_t ldc);
+
+/// IEEE half codes, converted to double on load (exact widening) and
+/// reduced with the fixed 8-lane FMA discipline.
+void QGemmFp16(size_t m, size_t n, size_t k, const uint16_t* a,
+               const uint16_t* b, double* c, size_t ldc);
+
+/// IEEE float codes, converted to double on load (exact widening).
+void QGemmFp32(size_t m, size_t n, size_t k, const float* a, const float* b,
+               double* c, size_t ldc);
+
+/// Scalar reference implementations: the dispatch-independent oracle the
+/// property tests compare every ISA tier against (exact equality).
+void QGemmInt8Ref(size_t m, size_t n, size_t k, uint32_t block,
+                  const int8_t* a, const float* a_scales, const int8_t* b,
+                  const float* b_scales, double* c, size_t ldc);
+void QGemmFp16Ref(size_t m, size_t n, size_t k, const uint16_t* a,
+                  const uint16_t* b, double* c, size_t ldc);
+void QGemmFp32Ref(size_t m, size_t n, size_t k, const float* a,
+                  const float* b, double* c, size_t ldc);
+
+/// The frozen-path softmax score reduce (DESIGN.md §10): given the
+/// sp-logit block S (l members × n candidates, row-major, leading
+/// dimension `ld`) and per-member peer-influence logits pi[0..l), emits
+///   out[p] = Σ_i softmax_i((use_sp ? S(i,p) : 0) + pi[i]) · S(i,p)
+/// for every candidate p. The softmax follows PreferenceAggregator's
+/// max-subtract scheme (member 0 seeds the max) on FastExp, with one
+/// division per candidate. Same bit-identity contract as QGemm*: the
+/// SIMD tiers vectorize ACROSS candidates, so every lane runs the
+/// scalar reference's exact per-item operation DAG and all tiers agree
+/// bitwise.
+void SoftmaxScoreReduce(size_t l, size_t n, bool use_sp, const double* sp,
+                        size_t ld, const double* pi, double* out);
+
+/// Scalar reference / dispatch-independent oracle for SoftmaxScoreReduce.
+void SoftmaxScoreReduceRef(size_t l, size_t n, bool use_sp,
+                           const double* sp, size_t ld, const double* pi,
+                           double* out);
+
+/// Dispatch tier the quantized kernels selected at startup:
+/// 0 = portable scalar, 2 = AVX2+FMA+F16C, 3 = AVX-512.
+int QuantIsaLevel();
+
+/// Fast deterministic e^x for the serving softmax reduce, where libm's
+/// exp is the single hottest call (members × items evaluations per
+/// request). Cephes-style range reduction x = n·ln2 + r (|r| ≤ ~0.347,
+/// two-constant subtraction; n rounded by the 1.5·2^52 shifter trick)
+/// plus a degree-11 Horner polynomial and an exponent-bit 2^n scale.
+/// Only IEEE add/mul/sub, min/max and bit ops — no fma, no tables, no
+/// branches, no libm — so it is fast in the portable build, trivially
+/// lane-vectorizable (SoftmaxScoreReduce's SIMD tiers replicate this
+/// exact DAG per lane), and bit-reproducible on any round-to-nearest
+/// platform, with FastExp(0) == 1 exactly. Finite x is clamped to
+/// [-708, 709] (e^x saturates to ~3e-308 / ~8e307 at the rails, both
+/// normal doubles); NaN is outside the contract. Relative error ~1e-14,
+/// orders below the score gaps ranking cares about.
+inline double FastExp(double x) {
+  x = std::min(std::max(x, -708.0), 709.0);
+  constexpr double kLog2e = 1.4426950408889634074;
+  constexpr double kShifter = 6755399441055744.0;  // 1.5 * 2^52
+  constexpr double kLn2Hi = 6.93145751953125e-01;  // 21 bits, n*hi exact
+  constexpr double kLn2Lo = 1.42860682030941723212e-06;
+  const double shifted = x * kLog2e + kShifter;
+  const double n = shifted - kShifter;  // nearest integer to x*log2(e)
+  const double r = (x - n * kLn2Hi) - n * kLn2Lo;
+  double p = 1.0 / 39916800.0;      // 1/11!
+  p = p * r + 1.0 / 3628800.0;      // 1/10!
+  p = p * r + 1.0 / 362880.0;       // 1/9!
+  p = p * r + 1.0 / 40320.0;        // 1/8!
+  p = p * r + 1.0 / 5040.0;         // 1/7!
+  p = p * r + 1.0 / 720.0;          // 1/6!
+  p = p * r + 1.0 / 120.0;          // 1/5!
+  p = p * r + 1.0 / 24.0;           // 1/4!
+  p = p * r + 1.0 / 6.0;            // 1/3!
+  p = p * r + 0.5;
+  p = p * r + 1.0;
+  p = p * r + 1.0;
+  // 2^n through the exponent field: |x| ≤ 709 keeps n + 1023 in the
+  // normal range [1, 2046].
+  const uint64_t bits = static_cast<uint64_t>(
+                            static_cast<int64_t>(n) + 1023)
+                        << 52;
+  double scale;
+  std::memcpy(&scale, &bits, sizeof(scale));
+  return p * scale;
+}
 
 }  // namespace kernels
 }  // namespace kgag

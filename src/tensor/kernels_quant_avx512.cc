@@ -1,0 +1,311 @@
+// AVX-512 tier of the quantized scoring kernels. Compiled with
+// -mavx512f -mavx512bw -mavx512vl -mavx512dq -mfma -mf16c and only called
+// after __builtin_cpu_supports("avx512f") && ("avx512bw") in
+// kernels_quant.cc. Bit-identity with the scalar reference holds by the
+// same argument as the AVX2 tier (see kernels_quant_avx2.cc): exact int32
+// accumulation for int8, and for the convert-on-load paths a single
+// 8-wide fused accumulator whose lanes coincide with the scalar stride-8
+// discipline, reduced through the shared ReduceLanes8 tree.
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/kernels.h"
+#include "tensor/quant.h"
+
+namespace kgag {
+namespace kernels {
+namespace {
+
+#include "tensor/qgemm_lanes.inc"
+
+/// int32 dot, 32 codes per iteration: widen to int16 in a 512-bit lane,
+/// multiply-add pairs into 16 int32 accumulators (exact).
+inline int32_t DotInt8(size_t len, const int8_t* x, const int8_t* y) {
+  __m512i acc = _mm512_setzero_si512();
+  size_t p = 0;
+  for (; p + 32 <= len; p += 32) {
+    const __m512i xv = _mm512_cvtepi8_epi16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(x + p)));
+    const __m512i yv = _mm512_cvtepi8_epi16(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(y + p)));
+    acc = _mm512_add_epi32(acc, _mm512_madd_epi16(xv, yv));
+  }
+  int32_t sum = _mm512_reduce_add_epi32(acc);
+  for (; p < len; ++p) {
+    sum += static_cast<int32_t>(x[p]) * static_cast<int32_t>(y[p]);
+  }
+  return sum;
+}
+
+/// One 8-wide accumulator: lane j holds elements p ≡ j (mod 8), exactly
+/// the scalar discipline. The reduction extracts the 256-bit halves
+/// (lanes 0-3 and 4-7), adds them — the scalar tree's l[j] += l[j+4] —
+/// then finishes through the shared scalar code.
+inline double DotLanes8(size_t k, const double* x, const double* y) {
+  __m512d acc = _mm512_setzero_pd();
+  size_t p = 0;
+  for (; p + 8 <= k; p += 8) {
+    acc = _mm512_fmadd_pd(_mm512_loadu_pd(x + p), _mm512_loadu_pd(y + p),
+                          acc);
+  }
+  alignas(64) double l[8];
+  _mm512_store_pd(l, acc);
+  FmaTail(p, k, x, y, l);
+  return ReduceLanes8(l);
+}
+
+inline void ConvertHalfRow(const uint16_t* in, size_t k, double* out) {
+  size_t p = 0;
+  for (; p + 16 <= k; p += 16) {
+    const __m512 f = _mm512_cvtph_ps(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + p)));
+    _mm512_storeu_pd(out + p, _mm512_cvtps_pd(_mm512_castps512_ps256(f)));
+    _mm512_storeu_pd(out + p + 8,
+                     _mm512_cvtps_pd(_mm512_extractf32x8_ps(f, 1)));
+  }
+  for (; p < k; ++p) out[p] = static_cast<double>(HalfToFloat(in[p]));
+}
+
+inline void ConvertFloatRow(const float* in, size_t k, double* out) {
+  size_t p = 0;
+  for (; p + 8 <= k; p += 8) {
+    _mm512_storeu_pd(out + p, _mm512_cvtps_pd(_mm256_loadu_ps(in + p)));
+  }
+  for (; p < k; ++p) out[p] = static_cast<double>(in[p]);
+}
+
+/// 8-lane FastExp: the scalar DAG from kernels.h replicated per lane
+/// with unfused mul/add (this file is compiled with -ffp-contract=off so
+/// the compiler cannot fuse them behind our back). 2^n comes from
+/// bits(shifted) - bits(kShifter): `shifted` lives in [2^52, 2^53) where
+/// the mantissa field IS the integer n + const, so the int64 difference
+/// equals the scalar static_cast<int64_t>(n) exactly.
+inline __m512d FastExp8(__m512d x) {
+  x = _mm512_max_pd(x, _mm512_set1_pd(-708.0));
+  x = _mm512_min_pd(x, _mm512_set1_pd(709.0));
+  const __m512d shifter = _mm512_set1_pd(6755399441055744.0);  // 1.5*2^52
+  const __m512d shifted = _mm512_add_pd(
+      _mm512_mul_pd(x, _mm512_set1_pd(1.4426950408889634074)), shifter);
+  const __m512d n = _mm512_sub_pd(shifted, shifter);
+  const __m512d r = _mm512_sub_pd(
+      _mm512_sub_pd(x,
+                    _mm512_mul_pd(n, _mm512_set1_pd(6.93145751953125e-01))),
+      _mm512_mul_pd(n, _mm512_set1_pd(1.42860682030941723212e-06)));
+  __m512d p = _mm512_set1_pd(1.0 / 39916800.0);
+  const double kC[] = {1.0 / 3628800.0, 1.0 / 362880.0, 1.0 / 40320.0,
+                       1.0 / 5040.0,    1.0 / 720.0,    1.0 / 120.0,
+                       1.0 / 24.0,      1.0 / 6.0,      0.5,
+                       1.0,             1.0};
+  for (double c : kC) {
+    p = _mm512_add_pd(_mm512_mul_pd(p, r), _mm512_set1_pd(c));
+  }
+  const __m512i nbits = _mm512_sub_epi64(_mm512_castpd_si512(shifted),
+                                         _mm512_castpd_si512(shifter));
+  const __m512i ebits = _mm512_slli_epi64(
+      _mm512_add_epi64(nbits, _mm512_set1_epi64(1023)), 52);
+  return _mm512_mul_pd(p, _mm512_castsi512_pd(ebits));
+}
+
+template <typename T, void (*Convert)(const T*, size_t, double*)>
+void QGemmConvert(size_t m, size_t n, size_t k, const T* a, const T* b,
+                  double* c, size_t ldc) {
+  std::vector<double> abuf(m * k);
+  for (size_t i = 0; i < m; ++i) Convert(a + i * k, k, &abuf[i * k]);
+  std::vector<double> brow(k);
+  for (size_t j = 0; j < n; ++j) {
+    Convert(b + j * k, k, brow.data());
+    for (size_t i = 0; i < m; ++i) {
+      c[i * ldc + j] = DotLanes8(k, &abuf[i * k], brow.data());
+    }
+  }
+}
+
+}  // namespace
+
+/// Per-row-scale (block == 0) fast path: A is widened to int16 once per
+/// 4-row tile, B is widened once per item row and shared by the tile's 4
+/// accumulators, and the 4 horizontal reductions collapse into one
+/// hadd tree. Legal because int8 block sums are exact int32 in any
+/// accumulation order (the bit-identity contract in kernels.h) — the
+/// float tiers cannot reorder like this, which is precisely the int8
+/// tier's structural speed advantage at serving shapes (small k, the
+/// per-dot epilogue otherwise rivals the dot itself).
+void QGemmInt8RowScaleAvx512(size_t m, size_t n, size_t k, const int8_t* a,
+                             const float* a_scales, const int8_t* b,
+                             const float* b_scales, double* c, size_t ldc) {
+  const size_t kv = k & ~size_t{31};  // vectorized prefix, 32 codes/step
+  std::vector<int16_t> a16(4 * kv);
+  for (size_t i0 = 0; i0 < m; i0 += 4) {
+    const size_t it = std::min<size_t>(4, m - i0);
+    for (size_t r = 0; r < it; ++r) {
+      const int8_t* arow = a + (i0 + r) * k;
+      for (size_t p = 0; p < kv; p += 32) {
+        _mm512_storeu_si512(
+            a16.data() + r * kv + p,
+            _mm512_cvtepi8_epi16(_mm256_loadu_si256(
+                reinterpret_cast<const __m256i*>(arow + p))));
+      }
+    }
+    // a_scale[r] preloaded as doubles; lane r of the epilogue computes
+    // double(acc_r) * (double(asc_r) * double(bsc_j)) — the reference's
+    // expression verbatim.
+    alignas(32) double asc4[4] = {0, 0, 0, 0};
+    for (size_t r = 0; r < it; ++r) {
+      asc4[r] = static_cast<double>(a_scales[i0 + r]);
+    }
+    const __m256d ascv = _mm256_load_pd(asc4);
+    for (size_t j = 0; j < n; ++j) {
+      const int8_t* brow = b + j * k;
+      __m512i acc0 = _mm512_setzero_si512();
+      __m512i acc1 = _mm512_setzero_si512();
+      __m512i acc2 = _mm512_setzero_si512();
+      __m512i acc3 = _mm512_setzero_si512();
+      for (size_t p = 0; p < kv; p += 32) {
+        const __m512i bv = _mm512_cvtepi8_epi16(_mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(brow + p)));
+        const int16_t* ap = a16.data() + p;
+        acc0 = _mm512_add_epi32(
+            acc0, _mm512_madd_epi16(_mm512_loadu_si512(ap), bv));
+        acc1 = _mm512_add_epi32(
+            acc1, _mm512_madd_epi16(_mm512_loadu_si512(ap + kv), bv));
+        acc2 = _mm512_add_epi32(
+            acc2, _mm512_madd_epi16(_mm512_loadu_si512(ap + 2 * kv), bv));
+        acc3 = _mm512_add_epi32(
+            acc3, _mm512_madd_epi16(_mm512_loadu_si512(ap + 3 * kv), bv));
+      }
+      // Fold 512 -> 256 per accumulator, then one hadd tree yields the
+      // tile's 4 sums in one xmm: [acc0, acc1, acc2, acc3].
+      const __m256i f0 = _mm256_add_epi32(_mm512_castsi512_si256(acc0),
+                                          _mm512_extracti64x4_epi64(acc0, 1));
+      const __m256i f1 = _mm256_add_epi32(_mm512_castsi512_si256(acc1),
+                                          _mm512_extracti64x4_epi64(acc1, 1));
+      const __m256i f2 = _mm256_add_epi32(_mm512_castsi512_si256(acc2),
+                                          _mm512_extracti64x4_epi64(acc2, 1));
+      const __m256i f3 = _mm256_add_epi32(_mm512_castsi512_si256(acc3),
+                                          _mm512_extracti64x4_epi64(acc3, 1));
+      const __m256i h01 = _mm256_hadd_epi32(f0, f1);
+      const __m256i h23 = _mm256_hadd_epi32(f2, f3);
+      const __m256i h = _mm256_hadd_epi32(h01, h23);
+      __m128i s = _mm_add_epi32(_mm256_castsi256_si128(h),
+                                _mm256_extracti128_si256(h, 1));
+      if (kv < k) {  // ragged k tail, exact int32 adds
+        alignas(16) int32_t st[4];
+        _mm_store_si128(reinterpret_cast<__m128i*>(st), s);
+        for (size_t r = 0; r < it; ++r) {
+          const int8_t* arow = a + (i0 + r) * k;
+          for (size_t p = kv; p < k; ++p) {
+            st[r] += static_cast<int32_t>(arow[p]) *
+                     static_cast<int32_t>(brow[p]);
+          }
+        }
+        s = _mm_load_si128(reinterpret_cast<const __m128i*>(st));
+      }
+      const __m256d scale = _mm256_mul_pd(
+          ascv, _mm256_set1_pd(static_cast<double>(b_scales[j])));
+      alignas(32) double outs[4];
+      _mm256_store_pd(outs, _mm256_mul_pd(_mm256_cvtepi32_pd(s), scale));
+      for (size_t r = 0; r < it; ++r) c[(i0 + r) * ldc + j] = outs[r];
+    }
+  }
+}
+
+void QGemmInt8Avx512(size_t m, size_t n, size_t k, uint32_t block,
+                     const int8_t* a, const float* a_scales, const int8_t* b,
+                     const float* b_scales, double* c, size_t ldc) {
+  if (block == 0) {
+    QGemmInt8RowScaleAvx512(m, n, k, a, a_scales, b, b_scales, c, ldc);
+    return;
+  }
+  const size_t bs = block;
+  const size_t spr = (k + block - 1) / block;
+  for (size_t j = 0; j < n; ++j) {
+    const int8_t* brow = b + j * k;
+    const float* bsc = b_scales + j * spr;
+    for (size_t i = 0; i < m; ++i) {
+      const int8_t* arow = a + i * k;
+      const float* asc = a_scales + i * spr;
+      double sum = 0.0;
+      for (size_t blk = 0, p0 = 0; p0 < k; ++blk, p0 += bs) {
+        const size_t p1 = std::min(k, p0 + bs);
+        const int32_t acc = DotInt8(p1 - p0, arow + p0, brow + p0);
+        sum += static_cast<double>(acc) * (static_cast<double>(asc[blk]) *
+                                           static_cast<double>(bsc[blk]));
+      }
+      c[i * ldc + j] = sum;
+    }
+  }
+}
+
+void QGemmFp16Avx512(size_t m, size_t n, size_t k, const uint16_t* a,
+                     const uint16_t* b, double* c, size_t ldc) {
+  QGemmConvert<uint16_t, &ConvertHalfRow>(m, n, k, a, b, c, ldc);
+}
+
+void QGemmFp32Avx512(size_t m, size_t n, size_t k, const float* a,
+                     const float* b, double* c, size_t ldc) {
+  QGemmConvert<float, &ConvertFloatRow>(m, n, k, a, b, c, ldc);
+}
+
+void SoftmaxScoreReduceAvx512(size_t l, size_t n, bool use_sp,
+                              const double* sp, size_t ld, const double* pi,
+                              double* out) {
+  // Eight candidates per iteration; the member loops run inside, each
+  // lane tracing the scalar reference's per-item DAG (see kernels.h
+  // contract). alpha / exp values for the current 8-candidate block are
+  // staged in a small buffer so each is computed once.
+  std::vector<double> buf(2 * l * 8);
+  double* ab = buf.data();
+  double* eb = buf.data() + l * 8;
+  size_t p = 0;
+  for (; p + 8 <= n; p += 8) {
+    __m512d mx = _mm512_setzero_pd();
+    for (size_t i = 0; i < l; ++i) {
+      const __m512d s =
+          use_sp ? _mm512_loadu_pd(sp + i * ld + p) : _mm512_setzero_pd();
+      const __m512d a = _mm512_add_pd(s, _mm512_set1_pd(pi[i]));
+      _mm512_storeu_pd(ab + i * 8, a);
+      mx = i == 0 ? a : _mm512_max_pd(mx, a);
+    }
+    __m512d sum = _mm512_setzero_pd();
+    for (size_t i = 0; i < l; ++i) {
+      const __m512d e =
+          FastExp8(_mm512_sub_pd(_mm512_loadu_pd(ab + i * 8), mx));
+      _mm512_storeu_pd(eb + i * 8, e);
+      sum = _mm512_add_pd(sum, e);
+    }
+    const __m512d inv = _mm512_div_pd(_mm512_set1_pd(1.0), sum);
+    __m512d score = _mm512_setzero_pd();
+    for (size_t i = 0; i < l; ++i) {
+      const __m512d w = _mm512_mul_pd(_mm512_loadu_pd(eb + i * 8), inv);
+      score = _mm512_add_pd(
+          score, _mm512_mul_pd(w, _mm512_loadu_pd(sp + i * ld + p)));
+    }
+    _mm512_storeu_pd(out + p, score);
+  }
+  // Scalar tail — same DAG, via the shared scalar FastExp.
+  for (; p < n; ++p) {
+    for (size_t i = 0; i < l; ++i) {
+      ab[i] = (use_sp ? sp[i * ld + p] : 0.0) + pi[i];
+    }
+    double mx = ab[0];
+    for (size_t i = 1; i < l; ++i) mx = std::max(mx, ab[i]);
+    double sum = 0.0;
+    for (size_t i = 0; i < l; ++i) {
+      ab[i] = FastExp(ab[i] - mx);
+      sum += ab[i];
+    }
+    const double inv = 1.0 / sum;
+    double score = 0.0;
+    for (size_t i = 0; i < l; ++i) {
+      score += (ab[i] * inv) * sp[i * ld + p];
+    }
+    out[p] = score;
+  }
+}
+
+}  // namespace kernels
+}  // namespace kgag

@@ -1,0 +1,116 @@
+// Quantized matrix storage for the serving path (DESIGN.md §11).
+//
+// At million-entity scale the frozen per-entity rep tables dominate both
+// resident memory and the memory bandwidth that bounds TopK latency, so
+// bytes-per-entity is the scaling lever. A QuantizedMatrix stores a dense
+// row-major matrix at a reduced precision:
+//
+//   kFp32  4 B/elem  values narrowed to IEEE float (convert-on-load)
+//   kFp16  2 B/elem  values narrowed to IEEE half  (convert-on-load)
+//   kInt8  1 B/elem  symmetric scale quantization: per row (or per block
+//                    of `block` columns) q = round(x * 127 / absmax),
+//                    scale = absmax / 127 stored as float; the dequantized
+//                    value is q * scale
+//
+// kFp64 is the identity tier: the library Scalar (double) kept in a plain
+// Tensor, never a QuantizedMatrix. Quantization happens once at freeze
+// time (QuantizeMatrix) with a single scalar implementation, so encoded
+// codes are platform-independent; the scoring kernels that consume a
+// QuantizedMatrix live in tensor/kernels.h and are bit-exact across ISA
+// dispatch tiers (see kernels_quant.cc).
+#ifndef KGAG_TENSOR_QUANT_H_
+#define KGAG_TENSOR_QUANT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace kgag {
+
+/// Storage precision of a rep table. Values are the on-disk tags of the
+/// KGAGSRV1 QNTM chunk — never renumber.
+enum class QuantType : uint8_t {
+  kFp64 = 0,  ///< unquantized library Scalar (legacy artifacts)
+  kFp32 = 1,
+  kFp16 = 2,
+  kInt8 = 3,
+};
+
+/// "fp64" / "fp32" / "fp16" / "int8".
+const char* QuantTypeName(QuantType type);
+
+/// Parses a QuantTypeName spelling. Returns false on anything else.
+bool ParseQuantType(std::string_view name, QuantType* out);
+
+/// Bytes one element occupies at the given precision.
+size_t QuantElemBytes(QuantType type);
+
+/// \brief Dense row-major matrix at reduced precision. `data` holds the
+/// packed codes (floats, halfs or int8s, little-endian); `scales` is only
+/// populated for kInt8.
+struct QuantizedMatrix {
+  QuantType type = QuantType::kFp64;
+  size_t rows = 0;
+  size_t cols = 0;
+  /// Columns sharing one int8 scale; 0 = the whole row. Ignored for
+  /// fp32/fp16 (no scales).
+  uint32_t block = 0;
+
+  std::vector<uint8_t> data;   ///< rows * RowBytes() packed codes
+  std::vector<float> scales;   ///< rows * ScalesPerRow() (kInt8 only)
+
+  bool empty() const { return rows == 0 || cols == 0; }
+  size_t RowBytes() const { return cols * QuantElemBytes(type); }
+  /// Scales per row: ceil(cols/block) for kInt8 (1 when block == 0),
+  /// otherwise 0.
+  size_t ScalesPerRow() const;
+  const uint8_t* RowData(size_t r) const { return data.data() + r * RowBytes(); }
+  const float* RowScales(size_t r) const {
+    return scales.data() + r * ScalesPerRow();
+  }
+  /// Payload bytes held in memory (codes + scales), the bytes-per-entity
+  /// numerator reported by freeze_model and bench_serve.
+  size_t PayloadBytes() const {
+    return data.size() + scales.size() * sizeof(float);
+  }
+
+  bool operator==(const QuantizedMatrix&) const = default;
+};
+
+/// Quantizes a Tensor. `type` must not be kFp64 (a no-op "quantization"
+/// stays a Tensor); `block` only affects kInt8.
+QuantizedMatrix QuantizeMatrix(const Tensor& t, QuantType type,
+                               uint32_t block = 0);
+
+/// Expands back to doubles (the values the scoring kernels see).
+Tensor DequantizeMatrix(const QuantizedMatrix& q);
+
+/// Dequantizes row `r` into out[0..cols).
+void DequantizeRow(const QuantizedMatrix& q, size_t r, double* out);
+
+/// IEEE binary32 -> binary16, round-to-nearest-even (overflow to inf,
+/// NaN payload preserved through the mantissa MSB). Bit-exact with the
+/// hardware F16C conversion the AVX kernels use.
+uint16_t FloatToHalf(float f);
+/// IEEE binary16 -> binary32 (exact widening).
+float HalfToFloat(uint16_t h);
+
+/// Serializes a QuantizedMatrix:
+///   u8 type | u64 rows | u64 cols | u32 block |
+///   u64 nscales | f32 scales[] | u64 nbytes | codes[]
+/// The stream layout is deterministic, so containers embedding it are
+/// byte-stable across encode/decode round trips.
+Status WriteQuantizedMatrix(std::ostream* out, const QuantizedMatrix& q);
+
+/// Reads a WriteQuantizedMatrix record. Rejects unknown type tags,
+/// shape/size inconsistencies and allocations beyond `max_elems`.
+Status ReadQuantizedMatrix(std::istream* in, QuantizedMatrix* q,
+                           uint64_t max_elems = uint64_t{1} << 32);
+
+}  // namespace kgag
+
+#endif  // KGAG_TENSOR_QUANT_H_

@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "common/file_io.h"
 #include "data/synthetic/standard_datasets.h"
 #include "eval/metrics.h"
@@ -424,6 +425,140 @@ TEST_F(ServeTest, FreezingTwiceIsByteIdentical) {
   ASSERT_TRUE(EncodeFrozenModel(*frozen_, &bytes_a).ok());
   ASSERT_TRUE(EncodeFrozenModel(*again, &bytes_b).ok());
   EXPECT_EQ(bytes_a, bytes_b);
+}
+
+// ---------------------------------------------------------------------------
+// Quantized artifacts (DESIGN.md §11)
+
+TEST_F(ServeTest, Fp64ArtifactCarriesNoQuantChunk) {
+  // Backward compatibility both ways: full-precision artifacts encode
+  // byte-identically to the pre-quantization format (no QNTM chunk), so
+  // old readers keep working and fp32-era golden files keep matching.
+  std::string bytes;
+  ASSERT_TRUE(EncodeFrozenModel(*frozen_, &bytes).ok());
+  EXPECT_EQ(bytes.find("QNTM"), std::string::npos);
+  EXPECT_EQ(bytes.find("QUSR"), std::string::npos);
+  EXPECT_NE(bytes.find("UEMB"), std::string::npos);
+}
+
+TEST_F(ServeTest, QuantizedArtifactsRoundTripByteStably) {
+  for (QuantType type :
+       {QuantType::kFp32, QuantType::kFp16, QuantType::kInt8}) {
+    Result<FrozenModel> q = QuantizeFrozenModel(
+        *frozen_, type, type == QuantType::kInt8 ? 8 : 0);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    std::string bytes;
+    ASSERT_TRUE(EncodeFrozenModel(*q, &bytes).ok());
+    EXPECT_NE(bytes.find("QNTM"), std::string::npos);
+    Result<FrozenModel> decoded = DecodeFrozenModel(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->quant, type);
+    EXPECT_EQ(decoded->q_user, q->q_user);
+    EXPECT_EQ(decoded->q_item, q->q_item);
+    std::string re_encoded;
+    ASSERT_TRUE(EncodeFrozenModel(*decoded, &re_encoded).ok());
+    EXPECT_EQ(bytes, re_encoded) << QuantTypeName(type);
+  }
+}
+
+TEST_F(ServeTest, UnknownQuantTypeTagIsRejectedWithClearError) {
+  Result<FrozenModel> q =
+      QuantizeFrozenModel(*frozen_, QuantType::kInt8, 0);
+  ASSERT_TRUE(q.ok());
+  std::string bytes;
+  ASSERT_TRUE(EncodeFrozenModel(*q, &bytes).ok());
+  // Patch the QNTM payload's type byte through the chunk layer so the
+  // CRCs stay valid — simulating an artifact written by a newer build
+  // with a quant tier this reader does not know.
+  std::vector<ckpt::Chunk> chunks;
+  ASSERT_TRUE(ckpt::DecodeContainer("KGAGSRV1", bytes, &chunks).ok());
+  bool patched = false;
+  for (ckpt::Chunk& c : chunks) {
+    if (c.tag == ckpt::MakeTag('Q', 'N', 'T', 'M')) {
+      c.payload[0] = 42;
+      patched = true;
+    }
+  }
+  ASSERT_TRUE(patched);
+  std::string evil;
+  ASSERT_TRUE(ckpt::EncodeContainer("KGAGSRV1", chunks, &evil).ok());
+  Result<FrozenModel> decoded = DecodeFrozenModel(evil);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().ToString().find("unknown quantization type"),
+            std::string::npos)
+      << decoded.status().ToString();
+}
+
+TEST_F(ServeTest, QuantizedArtifactCorruptionIsRejected) {
+  Result<FrozenModel> q =
+      QuantizeFrozenModel(*frozen_, QuantType::kInt8, 0);
+  ASSERT_TRUE(q.ok());
+  std::string bytes;
+  ASSERT_TRUE(EncodeFrozenModel(*q, &bytes).ok());
+  for (size_t pos = 0; pos < bytes.size(); pos += 97) {
+    std::string corrupt = bytes;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x20);
+    EXPECT_FALSE(DecodeFrozenModel(corrupt).ok())
+        << "bit flip at byte " << pos << " was not detected";
+  }
+}
+
+TEST_F(ServeTest, QuantizeFrozenModelValidatesInput) {
+  // Only fp64 models quantize; re-quantizing and absurd blocks fail.
+  Result<FrozenModel> q =
+      QuantizeFrozenModel(*frozen_, QuantType::kInt8, 0);
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(QuantizeFrozenModel(*q, QuantType::kFp16, 0).ok());
+  EXPECT_FALSE(
+      QuantizeFrozenModel(*frozen_,
+                          QuantType::kInt8,
+                          static_cast<uint32_t>(frozen_->dim) + 1)
+          .ok());
+  // kFp64 is the identity: same bytes out.
+  Result<FrozenModel> same =
+      QuantizeFrozenModel(*frozen_, QuantType::kFp64, 0);
+  ASSERT_TRUE(same.ok());
+  std::string a, b;
+  ASSERT_TRUE(EncodeFrozenModel(*frozen_, &a).ok());
+  ASSERT_TRUE(EncodeFrozenModel(*same, &b).ok());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ServeTest, QuantizedServingMatchesQuantizedEvalBitwise) {
+  // The eval/serve shared-path contract holds per precision tier: the
+  // ServingEngine and FrozenGroupScorer see identical scores on the SAME
+  // quantized artifact (across-tier differences are expected and gated
+  // by tools/quant_report instead).
+  for (QuantType type :
+       {QuantType::kFp32, QuantType::kFp16, QuantType::kInt8}) {
+    Result<FrozenModel> q = QuantizeFrozenModel(*frozen_, type, 0);
+    ASSERT_TRUE(q.ok());
+    ServingEngine::Options opts;
+    opts.max_batch = 4;
+    ServingEngine engine(&*q, opts);
+    const GroupId g = 1;
+    Result<GroupRep> rep = BuildGroupRep(*q, Members(g));
+    ASSERT_TRUE(rep.ok());
+    const std::vector<double> all = ScoreAllItems(*q, *rep);
+    // Subset scoring agrees with full-catalog scoring bit-for-bit.
+    std::vector<ItemId> subset = {0, 3, 7, 11};
+    const std::vector<double> sub = ScoreItems(*q, *rep, subset);
+    for (size_t i = 0; i < subset.size(); ++i) {
+      ASSERT_EQ(sub[i], all[static_cast<size_t>(subset[i])])
+          << QuantTypeName(type);
+    }
+    // Engine TopK returns the catalog argmaxes of the same score vector.
+    Result<TopKResult> resp = engine.TopK(Members(g), 5);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    const std::vector<size_t> want =
+        TopKIndices(std::span<const double>(all), 5);
+    ASSERT_EQ(resp->items.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(resp->items[i], static_cast<ItemId>(want[i]))
+          << QuantTypeName(type);
+      EXPECT_EQ(resp->scores[i], all[want[i]]) << QuantTypeName(type);
+    }
+  }
 }
 
 }  // namespace

@@ -10,7 +10,13 @@
 // KGAGSRV1 artifact to --out (atomic write). The artifact is read back
 // and re-encoded afterwards to prove the round trip is byte-stable.
 //
+// --precision={fp64,fp32,fp16,int8} quantizes the frozen rep tables at
+// freeze time (DESIGN.md §11); --quant-block=B uses per-block int8
+// scales (0 = per-row). The round-trip proof prints bytes-per-entity so
+// the storage win is visible in the log.
+//
 //   ./build/tools/freeze_model --out model.srv
+//   ./build/tools/freeze_model --out model.srv --precision=int8
 //   ./build/tools/freeze_model --out model.srv --checkpoint_dir runs/ckpt
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +27,7 @@
 #include "data/synthetic/standard_datasets.h"
 #include "models/kgag_model.h"
 #include "serve/frozen_model.h"
+#include "tensor/quant.h"
 #include "tensor/serialization.h"
 
 namespace {
@@ -32,6 +39,8 @@ struct Flags {
   double scale = 0.25;
   int seed = 7;
   int epochs = 4;
+  kgag::QuantType precision = kgag::QuantType::kFp64;
+  uint32_t quant_block = 0;
 };
 
 Flags Parse(int argc, char** argv) {
@@ -49,7 +58,17 @@ Flags Parse(int argc, char** argv) {
     else if (const char* vs = val("--scale")) f.scale = std::atof(vs);
     else if (const char* vn = val("--seed")) f.seed = std::atoi(vn);
     else if (const char* ve = val("--epochs")) f.epochs = std::atoi(ve);
-    else {
+    else if (const char* vq = val("--precision")) {
+      if (!kgag::ParseQuantType(vq, &f.precision)) {
+        std::fprintf(stderr,
+                     "bad --precision (want fp64|fp32|fp16|int8): %s\n", vq);
+        std::exit(2);
+      }
+    } else if (const char* vb = val("--quant-block")) {
+      f.quant_block = static_cast<uint32_t>(std::atoi(vb));
+    } else if (const char* vb2 = val("--quant_block")) {
+      f.quant_block = static_cast<uint32_t>(std::atoi(vb2));
+    } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       std::exit(2);
     }
@@ -117,6 +136,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "freeze: %s\n", frozen.status().ToString().c_str());
     return 1;
   }
+  if (flags.precision != QuantType::kFp64) {
+    frozen = serve::QuantizeFrozenModel(*frozen, flags.precision,
+                                        flags.quant_block);
+    if (!frozen.ok()) {
+      std::fprintf(stderr, "quantize: %s\n",
+                   frozen.status().ToString().c_str());
+      return 1;
+    }
+  }
   Status s = serve::SaveFrozenModel(*frozen, flags.out);
   if (!s.ok()) {
     std::fprintf(stderr, "save: %s\n", s.ToString().c_str());
@@ -139,9 +167,11 @@ int main(int argc, char** argv) {
 
   std::printf(
       "wrote %s: %zu bytes, %d users x %d items, dim %d, group size %d "
-      "(sp=%d pi=%d); round-trip byte-stable\n",
+      "(sp=%d pi=%d), precision %s (%zu rep bytes/entity); "
+      "round-trip byte-stable\n",
       flags.out.c_str(), on_disk.size(), frozen->num_users,
       frozen->num_items, frozen->dim, frozen->group_size,
-      frozen->use_sp ? 1 : 0, frozen->use_pi ? 1 : 0);
+      frozen->use_sp ? 1 : 0, frozen->use_pi ? 1 : 0,
+      QuantTypeName(frozen->quant), serve::RepBytesPerEntity(*frozen));
   return 0;
 }

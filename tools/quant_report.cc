@@ -1,0 +1,248 @@
+// quant_report: the quantization accuracy gate (DESIGN.md §11).
+//
+// Trains a small KGAG model on the synthetic corpus (same recipe as
+// freeze_model), freezes it at full precision, quantizes the frozen reps
+// to fp32 / fp16 / int8, and measures what quantization does to the
+// model's RANKINGS — the only thing serving exposes:
+//
+//   exact-overlap@K  mean |top-K(fp64) ∩ top-K(tier)| / K over every
+//                    group, scoring the full catalog (order-insensitive)
+//   hit@K / ndcg@K   paper eval protocol (RankingEvaluator on the test
+//                    split) per tier, reported as deltas vs fp64
+//
+// Gates (exit 1 on violation, for CI):
+//   int8        overlap >= 0.95,  |Δhit@K| <= 0.005
+//   fp16, fp32  overlap >= 0.99,  |Δhit@K| <= 0.001
+//
+// The tolerances encode the design claim that convert-on-load float
+// tiers are ranking-neutral for all practical purposes while int8 may
+// flip a few near-ties, never enough to move the paper metrics.
+//
+//   ./build/tools/quant_report --out report.json
+//   ./build/tools/quant_report --scale 0.4 --k 10 --quant-block 8
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/file_io.h"
+#include "data/synthetic/standard_datasets.h"
+#include "eval/metrics.h"
+#include "eval/ranking_evaluator.h"
+#include "models/kgag_model.h"
+#include "serve/frozen_model.h"
+#include "serve/frozen_scorer.h"
+#include "tensor/quant.h"
+
+namespace {
+
+struct Flags {
+  std::string out;
+  double scale = 0.25;
+  int seed = 7;
+  int epochs = 4;
+  size_t k = 10;
+  uint32_t quant_block = 0;
+};
+
+Flags Parse(int argc, char** argv) {
+  Flags f;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto val = [&](const char* name) -> const char* {
+      const std::string prefix = std::string(name) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.c_str() + prefix.size();
+      return nullptr;
+    };
+    auto next = [&](const char* name) -> const char* {
+      return arg == name && i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (const char* v = val("--out")) f.out = v;
+    else if (const char* v2 = next("--out")) f.out = v2;
+    else if (const char* vs = val("--scale")) f.scale = std::atof(vs);
+    else if (const char* vs2 = next("--scale")) f.scale = std::atof(vs2);
+    else if (const char* vn = val("--seed")) f.seed = std::atoi(vn);
+    else if (const char* ve = val("--epochs")) f.epochs = std::atoi(ve);
+    else if (const char* vk = val("--k")) {
+      f.k = static_cast<size_t>(std::atoi(vk));
+    } else if (const char* vb = val("--quant-block")) {
+      f.quant_block = static_cast<uint32_t>(std::atoi(vb));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return f;
+}
+
+struct TierReport {
+  const char* name = "";
+  size_t rep_bytes = 0;
+  double overlap = 0.0;
+  double hit = 0.0;
+  double ndcg = 0.0;
+  double d_hit = 0.0;
+  double d_ndcg = 0.0;
+  double overlap_min = 0.0;  // gate
+  double d_hit_max = 0.0;    // gate
+  bool pass = true;
+};
+
+/// Mean top-K overlap with the fp64 catalog ranking across all groups.
+double ExactOverlap(const kgag::serve::FrozenModel& base,
+                    const kgag::serve::FrozenModel& quant,
+                    const kgag::GroupTable& groups, size_t k) {
+  using namespace kgag;
+  double total = 0.0;
+  size_t counted = 0;
+  for (GroupId g = 0; g < groups.num_groups(); ++g) {
+    auto members = groups.MembersOf(g);
+    if (members.empty()) continue;
+    Result<serve::GroupRep> rb = serve::BuildGroupRep(base, members);
+    Result<serve::GroupRep> rq = serve::BuildGroupRep(quant, members);
+    KGAG_CHECK(rb.ok() && rq.ok());
+    const std::vector<double> sb = serve::ScoreAllItems(base, *rb);
+    const std::vector<double> sq = serve::ScoreAllItems(quant, *rq);
+    std::vector<size_t> tb = TopKIndices(std::span<const double>(sb), k);
+    std::vector<size_t> tq = TopKIndices(std::span<const double>(sq), k);
+    std::sort(tb.begin(), tb.end());
+    std::sort(tq.begin(), tq.end());
+    std::vector<size_t> common;
+    std::set_intersection(tb.begin(), tb.end(), tq.begin(), tq.end(),
+                          std::back_inserter(common));
+    total += static_cast<double>(common.size()) /
+             static_cast<double>(std::min(k, sb.size()));
+    ++counted;
+  }
+  return counted == 0 ? 1.0 : total / static_cast<double>(counted);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace kgag;
+  const Flags flags = Parse(argc, argv);
+
+  GroupRecDataset dataset = MakeMovieLensRandDataset(
+      static_cast<uint64_t>(flags.seed), flags.scale);
+  KgagConfig config;
+  config.propagation.dim = 16;
+  config.propagation.depth = 2;
+  config.propagation.sample_size = 6;
+  config.propagation.final_tanh = false;
+  config.epochs = flags.epochs;
+  auto model = KgagModel::Create(&dataset, config);
+  if (!model.ok()) {
+    std::fprintf(stderr, "model: %s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("training %d epochs on %d groups / %d items...\n",
+              flags.epochs, dataset.groups.num_groups(), dataset.num_items);
+  (*model)->Fit();
+
+  Result<serve::FrozenModel> frozen = serve::FreezeKgagModel(model->get());
+  if (!frozen.ok()) {
+    std::fprintf(stderr, "freeze: %s\n",
+                 frozen.status().ToString().c_str());
+    return 1;
+  }
+
+  RankingEvaluator evaluator(&dataset, flags.k);
+  serve::FrozenGroupScorer base_scorer(&*frozen, &dataset.groups);
+  const EvalResult base_eval = evaluator.EvaluateTest(&base_scorer);
+  std::printf("fp64 baseline: %s\n", base_eval.ToString().c_str());
+
+  const struct {
+    QuantType type;
+    double overlap_min;
+    double d_hit_max;
+  } kTiers[] = {
+      {QuantType::kFp32, 0.99, 0.001},
+      {QuantType::kFp16, 0.99, 0.001},
+      {QuantType::kInt8, 0.95, 0.005},
+  };
+
+  std::vector<TierReport> reports;
+  bool all_pass = true;
+  for (const auto& tier : kTiers) {
+    Result<serve::FrozenModel> q = serve::QuantizeFrozenModel(
+        *frozen, tier.type,
+        tier.type == QuantType::kInt8 ? flags.quant_block : 0);
+    if (!q.ok()) {
+      std::fprintf(stderr, "quantize %s: %s\n", QuantTypeName(tier.type),
+                   q.status().ToString().c_str());
+      return 1;
+    }
+    TierReport r;
+    r.name = QuantTypeName(tier.type);
+    r.rep_bytes = serve::RepBytesPerEntity(*q);
+    r.overlap = ExactOverlap(*frozen, *q, dataset.groups, flags.k);
+    serve::FrozenGroupScorer scorer(&*q, &dataset.groups);
+    const EvalResult ev = evaluator.EvaluateTest(&scorer);
+    r.hit = ev.hit_at_k;
+    r.ndcg = ev.ndcg_at_k;
+    r.d_hit = ev.hit_at_k - base_eval.hit_at_k;
+    r.d_ndcg = ev.ndcg_at_k - base_eval.ndcg_at_k;
+    r.overlap_min = tier.overlap_min;
+    r.d_hit_max = tier.d_hit_max;
+    r.pass = r.overlap >= tier.overlap_min &&
+             std::abs(r.d_hit) <= tier.d_hit_max;
+    all_pass = all_pass && r.pass;
+    std::printf(
+        "%s: overlap@%zu %.4f (>= %.2f), hit@%zu %.4f (Δ %+.4f, |Δ| <= "
+        "%.3f), ndcg@%zu %.4f (Δ %+.4f), %zu rep bytes/entity -> %s\n",
+        r.name, flags.k, r.overlap, r.overlap_min, flags.k, r.hit, r.d_hit,
+        r.d_hit_max, flags.k, r.ndcg, r.d_ndcg, r.rep_bytes,
+        r.pass ? "PASS" : "FAIL");
+    reports.push_back(r);
+  }
+
+  if (!flags.out.empty()) {
+    std::string json = "{\n";
+    json += "  \"k\": " + std::to_string(flags.k) + ",\n";
+    json += "  \"seed\": " + std::to_string(flags.seed) + ",\n";
+    json += "  \"scale\": " + std::to_string(flags.scale) + ",\n";
+    json += "  \"num_groups\": " +
+            std::to_string(dataset.groups.num_groups()) + ",\n";
+    json += "  \"eval_groups\": " +
+            std::to_string(base_eval.num_groups) + ",\n";
+    json += "  \"fp64\": {\"hit\": " + std::to_string(base_eval.hit_at_k) +
+            ", \"ndcg\": " + std::to_string(base_eval.ndcg_at_k) + "},\n";
+    json += "  \"tiers\": [\n";
+    for (size_t i = 0; i < reports.size(); ++i) {
+      const TierReport& r = reports[i];
+      json += std::string("    {\"precision\": \"") + r.name + "\"," +
+              " \"rep_bytes_per_entity\": " + std::to_string(r.rep_bytes) +
+              ", \"exact_overlap\": " + std::to_string(r.overlap) +
+              ", \"hit\": " + std::to_string(r.hit) +
+              ", \"ndcg\": " + std::to_string(r.ndcg) +
+              ", \"delta_hit\": " + std::to_string(r.d_hit) +
+              ", \"delta_ndcg\": " + std::to_string(r.d_ndcg) +
+              ", \"gate_overlap_min\": " + std::to_string(r.overlap_min) +
+              ", \"gate_abs_delta_hit_max\": " +
+              std::to_string(r.d_hit_max) +
+              ", \"pass\": " + (r.pass ? "true" : "false") + "}" +
+              (i + 1 < reports.size() ? "," : "") + "\n";
+    }
+    json += "  ],\n";
+    json += std::string("  \"all_pass\": ") + (all_pass ? "true" : "false") +
+            "\n}\n";
+    Status s = AtomicWriteFile(flags.out, json);
+    if (!s.ok()) {
+      std::fprintf(stderr, "write %s: %s\n", flags.out.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", flags.out.c_str());
+  }
+
+  if (!all_pass) {
+    std::fprintf(stderr, "quantization accuracy gate FAILED\n");
+    return 1;
+  }
+  std::printf("quantization accuracy gate passed\n");
+  return 0;
+}
