@@ -302,11 +302,16 @@ int RunAcceptance(const Options& opt) {
     std::cerr << "cannot write " << opt.out << "\n";
     return 1;
   }
+  // min_secs/reps describe the measurement floor so downstream overhead
+  // checks (tools/check_obs_overhead.py) can reject runs too short to
+  // trust.
   out << "{\n  \"bench\": \"bench_kernels_acceptance\",\n"
       << "  \"obs_enabled\": " << (KGAG_OBS_ACTIVE ? "true" : "false")
       << ",\n  \"smoke\": " << (opt.smoke ? "true" : "false")
       << ",\n  \"op\": \"" << c.op << "\",\n  \"m\": " << c.m
       << ", \"k\": " << c.k << ", \"n\": " << c.n
+      << ",\n  \"min_secs\": " << (opt.smoke ? 0.0 : 0.4)
+      << ", \"reps\": " << (opt.smoke ? 1 : 7)
       << ",\n  \"blocked_ns\": " << ns << ",\n  \"gflops\": " << gflops
       << "\n}\n";
   std::cout << "wrote " << opt.out << "\n";

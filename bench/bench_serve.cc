@@ -20,12 +20,26 @@
 // --smoke keeps the old toy shape: a real model frozen from the tiny
 // synthetic corpus, requests drawn from its trained groups.
 //
-// Usage: bench_serve [--smoke] [--acceptance] [--requests N] [--out PATH]
+// Each phase also cross-checks the serving path's HDR latency histogram
+// (obs/hdr_histogram.h) against the raw samples: the snapshot delta over
+// the timed window must contain exactly the phase's requests, and its
+// p50/p99 must agree with the raw-sample nearest-rank percentiles within
+// one HDR bucket width. That agreement is part of --acceptance in
+// obs-enabled builds.
+//
+// Usage: bench_serve [--smoke] [--acceptance] [--overhead] [--requests N]
+//                    [--out PATH]
 //   --smoke       tiny dataset + short request stream (CI wiring check)
 //   --acceptance  gate only: every precision's round trip byte-stable,
-//                 fp64 batched >= naive, and (scaled runs) int8 batched
-//                 throughput >= 1.5x fp32 batched; no JSON artifact
-//                 unless --out is given
+//                 fp64 batched >= naive, (scaled runs) int8 batched
+//                 throughput >= 1.5x fp32 batched, and HDR percentiles
+//                 within one bucket of raw; no JSON artifact unless
+//                 --out is given
+//   --overhead    A/B probe for tools/check_obs_overhead.py: drive the
+//                 batched engine over a reduced artifact for >= 0.3s of
+//                 wall time and emit {"bench":"bench_serve_overhead",
+//                 "obs_enabled", "request_ns", ...}; run once obs-ON and
+//                 once obs-OFF
 //   --requests    requests per phase (default 384, smoke 96)
 //   --out         output path (default ./BENCH_serve.json)
 #include <algorithm>
@@ -44,6 +58,9 @@
 #include "common/stopwatch.h"
 #include "data/synthetic/standard_datasets.h"
 #include "models/kgag_model.h"
+#include "obs/hdr_histogram.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "serve/frozen_model.h"
 #include "serve/serving_engine.h"
 #include "tensor/kernels.h"
@@ -55,6 +72,7 @@ namespace {
 struct Options {
   bool smoke = false;
   bool acceptance = false;
+  bool overhead = false;
   size_t requests = 0;  // 0 = pick by mode
   std::string out = "BENCH_serve.json";
 };
@@ -70,23 +88,24 @@ constexpr int kScaledGroupSize = 4;
 /// Synthesizes a frozen artifact directly — no training, no propagation.
 /// Serving throughput depends only on shapes, so random reps measure the
 /// same thing a real freeze would, minutes faster.
-serve::FrozenModel MakeScaledModel() {
+serve::FrozenModel MakeScaledModel(int num_users = kScaledUsers,
+                                   int num_items = kScaledItems) {
   Rng rng(bench::WorldSeed() * 2654435761u + 17);
   serve::FrozenModel m;
   m.dim = kScaledDim;
   m.group_size = kScaledGroupSize;
   m.use_sp = true;
   m.use_pi = true;
-  m.num_users = kScaledUsers;
-  m.num_items = kScaledItems;
+  m.num_users = num_users;
+  m.num_items = num_items;
   const size_t d = kScaledDim;
   auto fill = [&rng](Tensor* t, double lo, double hi) {
     for (size_t i = 0; i < t->size(); ++i) {
       t->data()[i] = rng.Uniform(lo, hi);
     }
   };
-  m.user_emb = Tensor(kScaledUsers, d);
-  m.item_emb = Tensor(kScaledItems, d);
+  m.user_emb = Tensor(num_users, d);
+  m.item_emb = Tensor(num_items, d);
   // Rep magnitudes in the range trained models land in, so sp logits and
   // softmax temperatures are realistic rather than saturated.
   fill(&m.user_emb, -0.35, 0.35);
@@ -199,7 +218,24 @@ struct PhaseResult {
   uint64_t cache_misses = 0;
   double cache_hit_rate = 0.0;
   uint64_t coalesced = 0;
+  // HDR cross-check: the serve.request_latency_us snapshot delta over
+  // the timed window, against the raw samples above. hdr_agrees stays
+  // true in obs-disabled builds (nothing recorded, nothing to check).
+  uint64_t hdr_count = 0;
+  double hdr_p50_us = 0.0;
+  double hdr_p99_us = 0.0;
+  bool hdr_agrees = true;
 };
+
+/// One-bucket-width agreement between an HDR quantile and the raw-sample
+/// quantile it mirrors. The +1 covers the integer floor of the unit
+/// buckets below 32 (a raw 31.7us sample lands in bucket [31, 31]).
+bool HdrWithinOneBucket(double hdr_q, double raw_q) {
+  const size_t b = obs::HdrHistogram::BucketFor(raw_q);
+  const double width = obs::HdrHistogram::BucketUpperEdge(b) -
+                       obs::HdrHistogram::BucketLowerEdge(b) + 1.0;
+  return std::abs(hdr_q - raw_q) <= width;
+}
 
 /// Submits the whole stream as one burst and waits for every future —
 /// the queue depth is what lets the batched dispatcher coalesce.
@@ -215,6 +251,14 @@ PhaseResult RunPhase(const std::string& mode, const serve::FrozenModel* model,
   }
   engine.cache()->Clear();
   (void)engine.TakeLatencySamples();
+  // Window the shared HDR series to exactly this phase's requests: the
+  // registry is process-global, so the delta between two snapshots is
+  // what this run contributed.
+  const obs::HdrHistogram* hdr =
+      obs::MetricsRegistry::Global().FindHdrHistogram(
+          "serve.request_latency_us");
+  obs::HdrSnapshot hdr_before;
+  if (hdr != nullptr) hdr_before = hdr->Snapshot();
 
   std::vector<std::future<Result<serve::TopKResult>>> futures;
   futures.reserve(reqs.size());
@@ -240,6 +284,16 @@ PhaseResult RunPhase(const std::string& mode, const serve::FrozenModel* model,
   const std::vector<double> samples = engine.TakeLatencySamples();
   out.p50_us = Percentile(samples, 0.50);
   out.p99_us = Percentile(samples, 0.99);
+  if (hdr != nullptr) {
+    obs::HdrSnapshot delta = hdr->Snapshot();
+    delta.Subtract(hdr_before);
+    out.hdr_count = delta.total;
+    out.hdr_p50_us = delta.Quantile(0.50);
+    out.hdr_p99_us = delta.Quantile(0.99);
+    out.hdr_agrees = delta.total == samples.size() &&
+                     HdrWithinOneBucket(out.hdr_p50_us, out.p50_us) &&
+                     HdrWithinOneBucket(out.hdr_p99_us, out.p99_us);
+  }
   out.cache_hits = engine.cache()->hits();
   out.cache_misses = engine.cache()->misses();
   out.cache_hit_rate = engine.cache()->HitRate();
@@ -256,23 +310,93 @@ struct TierResult {
   PhaseResult batched;
 };
 
+/// The A/B obs-overhead probe: the batched engine over a reduced
+/// artifact (small enough that instrumentation cost is a visible
+/// fraction, big enough that the GEMM still dominates scheduling), the
+/// request stream replayed until at least `min_wall_s` of wall time so
+/// per-run scheduler noise amortizes. Emits one JSON the overhead
+/// checker can median across repeats.
+int RunOverhead(const Options& opt) {
+  constexpr int kUsers = 4096;
+  constexpr int kItems = 4096;
+  const double min_wall_s = opt.smoke ? 0.05 : 0.3;
+  const serve::FrozenModel model = MakeScaledModel(kUsers, kItems);
+  const std::vector<serve::TopKRequest> reqs =
+      MakeScaledRequests(kUsers, kItems, opt.requests > 0 ? opt.requests : 256);
+
+  serve::ServingEngine engine(&model, {.max_batch = 16,
+                                       .batch_deadline_us = 200,
+                                       .cache_capacity = 256,
+                                       .pool = nullptr});
+  for (size_t i = 0; i < std::min<size_t>(reqs.size(), 8); ++i) {
+    KGAG_CHECK(engine.Submit(reqs[i]).get().ok());
+  }
+  engine.cache()->Clear();
+
+  size_t total = 0;
+  Stopwatch sw;
+  double secs = 0.0;
+  while (secs < min_wall_s) {
+    std::vector<std::future<Result<serve::TopKResult>>> futures;
+    futures.reserve(reqs.size());
+    for (const serve::TopKRequest& r : reqs) {
+      futures.push_back(engine.Submit(r));
+    }
+    for (auto& f : futures) {
+      Result<serve::TopKResult> r = f.get();
+      KGAG_CHECK(r.ok()) << r.status().ToString();
+    }
+    total += reqs.size();
+    secs = sw.ElapsedSeconds();
+  }
+  const double request_ns = secs * 1e9 / static_cast<double>(total);
+  std::cout << "overhead probe: " << total << " requests in " << secs * 1e3
+            << " ms (" << request_ns << " ns/request), obs_enabled="
+            << (KGAG_OBS_ACTIVE ? "true" : "false") << "\n";
+
+  std::ofstream out(opt.out);
+  if (!out) {
+    std::cerr << "cannot write " << opt.out << "\n";
+    return 1;
+  }
+  out << "{\n  \"bench\": \"bench_serve_overhead\",\n"
+      << "  \"obs_enabled\": " << (KGAG_OBS_ACTIVE ? "true" : "false")
+      << ",\n  \"smoke\": " << (opt.smoke ? "true" : "false")
+      << ",\n  \"num_users\": " << kUsers << ", \"num_items\": " << kItems
+      << ", \"dim\": " << kScaledDim
+      << ",\n  \"requests\": " << total
+      << ",\n  \"min_wall_s\": " << min_wall_s
+      << ",\n  \"wall_ms\": " << secs * 1e3
+      << ",\n  \"request_ns\": " << request_ns << "\n}\n";
+  std::cout << "wrote " << opt.out << "\n";
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   Options opt;
+  bool out_set = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       opt.smoke = true;
     } else if (arg == "--acceptance") {
       opt.acceptance = true;
+    } else if (arg == "--overhead") {
+      opt.overhead = true;
     } else if (arg == "--requests" && i + 1 < argc) {
       opt.requests = static_cast<size_t>(std::atoi(argv[++i]));
     } else if (arg == "--out" && i + 1 < argc) {
       opt.out = argv[++i];
+      out_set = true;
     } else {
       std::cerr << "usage: bench_serve [--smoke] [--acceptance]"
-                << " [--requests N] [--out PATH]\n";
+                << " [--overhead] [--requests N] [--out PATH]\n";
       return 2;
     }
+  }
+  if (opt.overhead) {
+    if (!out_set) opt.out = "BENCH_serve_overhead.json";
+    return RunOverhead(opt);
   }
   const size_t n_requests =
       opt.requests > 0 ? opt.requests : (opt.smoke ? 96 : 384);
@@ -344,8 +468,10 @@ int Main(int argc, char** argv) {
       std::cout << "  " << r.mode << ": " << r.qps << " qps (" << r.wall_ms
                 << " ms), " << r.batches << " batches (mean " << r.mean_batch
                 << "), " << r.coalesced << " coalesced, p50 " << r.p50_us
-                << " us, p99 " << r.p99_us << " us, cache hit-rate "
-                << r.cache_hit_rate << "\n";
+                << " us, p99 " << r.p99_us << " us (hdr p50 " << r.hdr_p50_us
+                << " / p99 " << r.hdr_p99_us << ", "
+                << (r.hdr_agrees ? "agrees" : "DISAGREES")
+                << "), cache hit-rate " << r.cache_hit_rate << "\n";
     }
     results.push_back(std::move(tr));
   }
@@ -355,6 +481,10 @@ int Main(int argc, char** argv) {
   const TierResult& int8 = results[3];
   bool round_trips_ok = true;
   for (const TierResult& tr : results) round_trips_ok &= tr.round_trip;
+  bool hdr_ok = true;
+  for (const TierResult& tr : results) {
+    hdr_ok &= tr.naive.hdr_agrees && tr.batched.hdr_agrees;
+  }
   const bool batched_wins = fp64.batched.qps >= fp64.naive.qps;
   const double int8_speedup =
       fp32.batched.qps == 0.0 ? 0.0 : int8.batched.qps / fp32.batched.qps;
@@ -367,7 +497,7 @@ int Main(int argc, char** argv) {
             << "x\nint8/fp32 batched: " << int8_speedup << "x\n";
 
   if (opt.acceptance) {
-    const bool ok = round_trips_ok && batched_wins && int8_wins;
+    const bool ok = round_trips_ok && batched_wins && int8_wins && hdr_ok;
     std::cout << (ok ? "acceptance OK\n" : "acceptance FAILED\n");
     if (!round_trips_ok) std::cerr << "FAIL: artifact round trip diverged\n";
     if (!batched_wins) {
@@ -377,6 +507,10 @@ int Main(int argc, char** argv) {
     if (!int8_wins) {
       std::cerr << "FAIL: int8 batched throughput below 1.5x fp32 ("
                 << int8_speedup << "x)\n";
+    }
+    if (!hdr_ok) {
+      std::cerr << "FAIL: HDR latency percentiles diverged from raw "
+                << "samples by more than one bucket width\n";
     }
     if (opt.out == "BENCH_serve.json") return ok ? 0 : 1;
   }
@@ -424,6 +558,10 @@ int Main(int argc, char** argv) {
       w.Field("qps", r.qps);
       w.Field("p50_us", r.p50_us);
       w.Field("p99_us", r.p99_us);
+      w.Field("hdr_count", r.hdr_count);
+      w.Field("hdr_p50_us", r.hdr_p50_us);
+      w.Field("hdr_p99_us", r.hdr_p99_us);
+      w.Field("hdr_agrees", r.hdr_agrees);
       w.BeginObject("cache");
       w.Field("hits", r.cache_hits);
       w.Field("misses", r.cache_misses);
@@ -443,10 +581,12 @@ int Main(int argc, char** argv) {
   w.Newline();
   w.Field("int8_ge_1_5x_fp32", int8_speedup >= 1.5);
   w.Newline();
+  w.Field("hdr_percentiles_agree", hdr_ok);
+  w.Newline();
   w.EndObject();
   w.Newline();
   std::cout << "wrote " << opt.out << "\n";
-  return (round_trips_ok && batched_wins && int8_wins) ? 0 : 1;
+  return (round_trips_ok && batched_wins && int8_wins && hdr_ok) ? 0 : 1;
 }
 
 }  // namespace

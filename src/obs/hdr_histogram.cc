@@ -1,0 +1,138 @@
+#include "obs/hdr_histogram.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace kgag {
+namespace obs {
+
+namespace {
+
+constexpr uint64_t kMaxValue =
+    (uint64_t{1} << HdrHistogram::kMaxExponent) - 1;
+
+/// Integer magnitude the bucket grid is defined over: floor of the value,
+/// clamped to the representable range.
+uint64_t ClampToGrid(double v) {
+  if (!(v > 0.0)) return 0;  // negatives and NaN land in bucket 0
+  if (v >= static_cast<double>(kMaxValue)) return kMaxValue;
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+size_t HdrHistogram::BucketFor(double v) {
+  const uint64_t n = ClampToGrid(v);
+  if (n < kSubCount) return static_cast<size_t>(n);  // exact unit buckets
+  const int msb = 63 - std::countl_zero(n);
+  const int shift = msb - kSubBits;
+  const size_t base = static_cast<size_t>(msb - kSubBits + 1) * kSubCount;
+  return base + static_cast<size_t>((n >> shift) - kSubCount);
+}
+
+double HdrHistogram::BucketLowerEdge(size_t idx) {
+  KGAG_CHECK(idx < kNumBuckets);
+  const size_t octave = idx >> kSubBits;
+  if (octave == 0) return static_cast<double>(idx);
+  const int shift = static_cast<int>(octave) - 1;
+  const uint64_t mantissa = (idx & (kSubCount - 1)) + kSubCount;
+  return static_cast<double>(mantissa << shift);
+}
+
+double HdrHistogram::BucketUpperEdge(size_t idx) {
+  KGAG_CHECK(idx < kNumBuckets);
+  const size_t octave = idx >> kSubBits;
+  if (octave == 0) return static_cast<double>(idx);
+  const int shift = static_cast<int>(octave) - 1;
+  const uint64_t mantissa = (idx & (kSubCount - 1)) + kSubCount;
+  return static_cast<double>((mantissa << shift) + ((uint64_t{1} << shift) - 1));
+}
+
+HdrHistogram::HdrHistogram(std::string name) : name_(std::move(name)) {
+  const size_t cells = kNumBuckets + 2;  // buckets + sum bits + count
+  stride_ = (cells + 7) / 8 * 8;
+  cells_.reset(new std::atomic<uint64_t>[kStripes * stride_]);
+  for (size_t i = 0; i < kStripes * stride_; ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void HdrHistogram::Observe(double v) {
+  std::atomic<uint64_t>* row =
+      cells_.get() + (ThreadStripe() % kStripes) * stride_;
+  row[BucketFor(v)].fetch_add(1, std::memory_order_relaxed);
+  row[kNumBuckets + 1].fetch_add(1, std::memory_order_relaxed);
+  // Sum-of-values: CAS on the double bits; stripes are effectively
+  // single-writer so the loop almost never retries.
+  std::atomic<uint64_t>& sum = row[kNumBuckets];
+  uint64_t old = sum.load(std::memory_order_relaxed);
+  const double add = std::isfinite(v) && v > 0.0 ? v : 0.0;
+  while (!sum.compare_exchange_weak(
+      old, std::bit_cast<uint64_t>(std::bit_cast<double>(old) + add),
+      std::memory_order_relaxed)) {
+  }
+}
+
+HdrSnapshot HdrHistogram::Snapshot() const {
+  HdrSnapshot snap;
+  snap.counts.assign(kNumBuckets, 0);
+  for (size_t s = 0; s < kStripes; ++s) {
+    const std::atomic<uint64_t>* row = cells_.get() + s * stride_;
+    for (size_t b = 0; b < kNumBuckets; ++b) {
+      snap.counts[b] += row[b].load(std::memory_order_relaxed);
+    }
+    snap.sum +=
+        std::bit_cast<double>(row[kNumBuckets].load(std::memory_order_relaxed));
+    snap.total += row[kNumBuckets + 1].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+double HdrSnapshot::Quantile(double p) const {
+  if (total == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Zero-based nearest rank, matching Percentile() over sorted raw
+  // samples: the round(p * (n-1))-th smallest observation.
+  const uint64_t rank = static_cast<uint64_t>(
+      std::llround(p * static_cast<double>(total - 1)));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    seen += counts[b];
+    if (seen > rank) return HdrHistogram::BucketUpperEdge(b);
+  }
+  // Unreachable when counts are consistent with total; be safe anyway.
+  return HdrHistogram::BucketUpperEdge(counts.size() - 1);
+}
+
+HdrSnapshot& HdrSnapshot::Merge(const HdrSnapshot& other) {
+  if (counts.empty()) counts.assign(HdrHistogram::kNumBuckets, 0);
+  KGAG_CHECK(counts.size() == other.counts.size() || other.counts.empty());
+  for (size_t b = 0; b < other.counts.size(); ++b) {
+    counts[b] += other.counts[b];
+  }
+  sum += other.sum;
+  total += other.total;
+  return *this;
+}
+
+HdrSnapshot& HdrSnapshot::Subtract(const HdrSnapshot& earlier) {
+  if (counts.empty()) counts.assign(HdrHistogram::kNumBuckets, 0);
+  KGAG_CHECK(counts.size() == earlier.counts.size() ||
+             earlier.counts.empty());
+  for (size_t b = 0; b < earlier.counts.size(); ++b) {
+    KGAG_CHECK(counts[b] >= earlier.counts[b])
+        << "HdrSnapshot::Subtract would underflow bucket " << b;
+    counts[b] -= earlier.counts[b];
+  }
+  sum -= earlier.sum;
+  KGAG_CHECK(total >= earlier.total);
+  total -= earlier.total;
+  return *this;
+}
+
+}  // namespace obs
+}  // namespace kgag

@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "common/check.h"
 
@@ -200,6 +201,18 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
   return it->second.get();
 }
 
+HdrHistogram* MetricsRegistry::GetHdrHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = hdr_histograms_.find(name);
+  if (it == hdr_histograms_.end()) {
+    it = hdr_histograms_
+             .emplace(std::string(name), std::unique_ptr<HdrHistogram>(
+                                             new HdrHistogram(std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
 const Counter* MetricsRegistry::FindCounter(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
@@ -218,9 +231,17 @@ const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
+const HdrHistogram* MetricsRegistry::FindHdrHistogram(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = hdr_histograms_.find(name);
+  return it == hdr_histograms_.end() ? nullptr : it->second.get();
+}
+
 size_t MetricsRegistry::NumMetrics() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return counters_.size() + gauges_.size() + histograms_.size();
+  return counters_.size() + gauges_.size() + histograms_.size() +
+         hdr_histograms_.size();
 }
 
 std::string MetricsRegistry::JsonSnapshot(std::string_view label) const {
@@ -263,6 +284,26 @@ std::string MetricsRegistry::JsonSnapshot(std::string_view label) const {
     os << "]}";
     first = false;
   }
+  // HDR series: quantiles, not raw buckets — ~1.2K cells per series would
+  // swamp the line; the quantiles are exact-count (one bucket width).
+  os << "},\"hdr_histograms\":{";
+  first = true;
+  for (const auto& [name, h] : hdr_histograms_) {
+    const HdrSnapshot snap = h->Snapshot();
+    os << (first ? "" : ",") << "\"" << name << "\":{\"count\":" << snap.total
+       << ",\"sum\":";
+    AppendDouble(&os, snap.sum);
+    for (const auto& [qkey, p] :
+         {std::pair<const char*, double>{"p50", 0.50},
+          {"p90", 0.90},
+          {"p99", 0.99},
+          {"p999", 0.999}}) {
+      os << ",\"" << qkey << "\":";
+      AppendDouble(&os, snap.Quantile(p));
+    }
+    os << "}";
+    first = false;
+  }
   os << "}}";
   return os.str();
 }
@@ -295,6 +336,24 @@ std::string MetricsRegistry::PrometheusText() const {
     os << pn << "_sum " << h->Sum() << "\n";
     os << pn << "_count " << cumulative << "\n";
   }
+  // HDR histograms export as summaries: precomputed quantile samples are
+  // what dashboards want, and the dense log grid would be an unreadable
+  // wall of _bucket lines.
+  for (const auto& [name, h] : hdr_histograms_) {
+    const std::string pn = PrometheusName(name);
+    const HdrSnapshot snap = h->Snapshot();
+    os << "# TYPE " << pn << " summary\n";
+    for (const auto& [label, p] :
+         {std::pair<const char*, double>{"0.5", 0.50},
+          {"0.9", 0.90},
+          {"0.99", 0.99},
+          {"0.999", 0.999}}) {
+      os << pn << "{quantile=\"" << label << "\"} " << snap.Quantile(p)
+         << "\n";
+    }
+    os << pn << "_sum " << snap.sum << "\n";
+    os << pn << "_count " << snap.total << "\n";
+  }
   return os.str();
 }
 
@@ -309,16 +368,6 @@ const std::vector<double>& LatencyBoundsUs() {
 const std::vector<double>& CountBounds() {
   static const std::vector<double>* bounds = new std::vector<double>{
       1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
-  return *bounds;
-}
-
-const std::vector<double>& ServeLatencyBoundsUs() {
-  // 1-1.6-2.5-4-6.3 per decade (~25% steps) across 1us..1s.
-  static const std::vector<double>* bounds = new std::vector<double>{
-      1,    1.6,  2.5,  4,    6.3,  10,   16,   25,   40,   63,
-      100,  160,  250,  400,  630,  1e3,  1.6e3, 2.5e3, 4e3,  6.3e3,
-      1e4,  1.6e4, 2.5e4, 4e4,  6.3e4, 1e5,  1.6e5, 2.5e5, 4e5,  6.3e5,
-      1e6};
   return *bounds;
 }
 

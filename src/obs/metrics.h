@@ -22,6 +22,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/hdr_histogram.h"
+
 namespace kgag {
 namespace obs {
 
@@ -136,11 +138,15 @@ class MetricsRegistry {
   /// `bounds` must be ascending; they are consumed on first registration
   /// and must match on later calls (checked).
   Histogram* GetHistogram(std::string_view name, std::vector<double> bounds);
+  /// Log-bucketed histogram with exact-count quantiles (hdr_histogram.h);
+  /// needs no bounds — every series shares the same ~3% grid.
+  HdrHistogram* GetHdrHistogram(std::string_view name);
 
   /// nullptr when the metric was never registered.
   const Counter* FindCounter(std::string_view name) const;
   const Gauge* FindGauge(std::string_view name) const;
   const Histogram* FindHistogram(std::string_view name) const;
+  const HdrHistogram* FindHdrHistogram(std::string_view name) const;
 
   size_t NumMetrics() const;
 
@@ -158,6 +164,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<HdrHistogram>, std::less<>>
+      hdr_histograms_;
   mutable std::atomic<uint64_t> snapshot_seq_{0};
 };
 
@@ -169,13 +177,6 @@ const std::vector<double>& LatencyBoundsUs();
 /// Small-count bucket bounds (1, 2, 4, ... 1024): batch sizes, group
 /// sizes — anything whose interesting range is a few powers of two.
 const std::vector<double>& CountBounds();
-
-/// Serving-latency bucket bounds in microseconds. Request latencies
-/// cluster in the 10us-10ms band where LatencyBoundsUs has only a bucket
-/// per octave-ish step — too coarse for p50/p99 on a histogram (both
-/// collapse to the same bucket bound). This grid steps ~25% through that
-/// band and still covers 1us-1s for outliers.
-const std::vector<double>& ServeLatencyBoundsUs();
 
 }  // namespace obs
 }  // namespace kgag

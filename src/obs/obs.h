@@ -72,6 +72,13 @@ void InstallDefaultInstrumentation();
   ::kgag::obs::TraceSpan KGAG_OBS_CONCAT(kgag_obs_span_,      \
                                          __LINE__)(name)
 
+/// Traces the enclosing scope as one request-linked span: `req` (a
+/// uint64 request id) is recorded on the event and exported as a
+/// chrome://tracing args annotation, linking spans across threads.
+#define KGAG_TRACE_SPAN_REQ(name, req)                        \
+  ::kgag::obs::TraceSpan KGAG_OBS_CONCAT(kgag_obs_span_,      \
+                                         __LINE__)(name, (req))
+
 /// Adds `n` to the named process-wide counter. The registry lookup runs
 /// once per call site (function-local static), the increment is a relaxed
 /// atomic on a per-thread shard.
@@ -100,6 +107,16 @@ void InstallDefaultInstrumentation();
     kgag_obs_hist->Observe(static_cast<double>(v));                   \
   } while (0)
 
+/// Observes `v` into the named HDR log-bucketed histogram (no bounds:
+/// the ~3%-wide base-2 grid covers the full range). Latency series that
+/// feed quantile gates use this, not KGAG_HISTOGRAM_OBSERVE.
+#define KGAG_HDR_OBSERVE(name, v)                                     \
+  do {                                                                \
+    static ::kgag::obs::HdrHistogram* kgag_obs_hdr =                  \
+        ::kgag::obs::MetricsRegistry::Global().GetHdrHistogram(name); \
+    kgag_obs_hdr->Observe(static_cast<double>(v));                    \
+  } while (0)
+
 /// Appends one labelled snapshot line to the JSONL sink (if one is open).
 #define KGAG_OBS_SNAPSHOT(label) ::kgag::obs::SnapshotMetrics(label)
 
@@ -111,6 +128,9 @@ void InstallDefaultInstrumentation();
 #define KGAG_TRACE_SPAN(name) \
   do {                        \
   } while (0)
+#define KGAG_TRACE_SPAN_REQ(name, req) \
+  do {                                 \
+  } while (0)
 #define KGAG_COUNTER_ADD(name, n) \
   do {                            \
   } while (0)
@@ -119,6 +139,9 @@ void InstallDefaultInstrumentation();
   } while (0)
 #define KGAG_HISTOGRAM_OBSERVE(name, v, bounds) \
   do {                                          \
+  } while (0)
+#define KGAG_HDR_OBSERVE(name, v) \
+  do {                            \
   } while (0)
 #define KGAG_OBS_SNAPSHOT(label) \
   do {                           \

@@ -1,0 +1,175 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
+namespace kgag {
+namespace obs {
+
+namespace {
+
+/// Monotonic seconds shared by every tracker's default-clock path.
+double NowSeconds() {
+  static const Stopwatch* epoch = new Stopwatch;
+  return epoch->ElapsedMicros() * 1e-6;
+}
+
+}  // namespace
+
+std::vector<SloObjective> DefaultServingObjectives() {
+  return {
+      {.name = "latency_p99",
+       .target = 0.99,
+       .latency_threshold_us = 50e3,
+       .count_errors = true},
+      {.name = "availability",
+       .target = 0.999,
+       .latency_threshold_us = 0,
+       .count_errors = true},
+  };
+}
+
+SloTracker::SloTracker(std::vector<SloObjective> objectives)
+    : SloTracker(std::move(objectives), Options()) {}
+
+SloTracker::SloTracker(std::vector<SloObjective> objectives, Options options)
+    : objectives_(std::move(objectives)), options_(options) {
+  KGAG_CHECK(!objectives_.empty()) << "SloTracker needs >= 1 objective";
+  KGAG_CHECK(options_.bucket_seconds > 0);
+  KGAG_CHECK(options_.short_window_seconds >= options_.bucket_seconds);
+  KGAG_CHECK(options_.long_window_seconds >= options_.short_window_seconds);
+  for (const SloObjective& o : objectives_) {
+    KGAG_CHECK(o.target > 0.0 && o.target < 1.0)
+        << "objective target must be in (0,1): " << o.name;
+  }
+  const size_t buckets = static_cast<size_t>(
+      std::ceil(options_.long_window_seconds / options_.bucket_seconds));
+  ring_.resize(buckets);
+  for (Bucket& b : ring_) b.bad.assign(objectives_.size(), 0);
+}
+
+void SloTracker::RecordRequest(double latency_us, bool error) {
+  RecordRequestAtTime(latency_us, error, NowSeconds());
+}
+
+void SloTracker::RecordRequestAtTime(double latency_us, bool error,
+                                     double now_s) {
+  const int64_t idx =
+      static_cast<int64_t>(std::floor(now_s / options_.bucket_seconds));
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& b = ring_[static_cast<size_t>(idx) % ring_.size()];
+  if (b.epoch != idx) {
+    // The ring wrapped past this slot's previous window: recycle it.
+    b.epoch = idx;
+    b.total = 0;
+    std::fill(b.bad.begin(), b.bad.end(), 0);
+  }
+  b.total += 1;
+  for (size_t i = 0; i < objectives_.size(); ++i) {
+    const SloObjective& o = objectives_[i];
+    const bool bad = (o.count_errors && error) ||
+                     (o.latency_threshold_us > 0 &&
+                      latency_us > o.latency_threshold_us);
+    if (bad) b.bad[i] += 1;
+  }
+}
+
+SloTracker::WindowState SloTracker::WindowSum(int64_t now_idx,
+                                              int64_t window_buckets,
+                                              size_t objective,
+                                              double budget) const {
+  WindowState w;
+  for (const Bucket& b : ring_) {
+    if (b.epoch < 0) continue;
+    if (b.epoch > now_idx || b.epoch <= now_idx - window_buckets) continue;
+    w.total += b.total;
+    w.bad += b.bad[objective];
+  }
+  if (w.total > 0) {
+    w.bad_rate = static_cast<double>(w.bad) / static_cast<double>(w.total);
+    w.burn_rate = budget > 0 ? w.bad_rate / budget
+                             : (w.bad > 0 ? 1e9 : 0.0);
+  }
+  return w;
+}
+
+std::vector<SloTracker::ObjectiveState> SloTracker::Evaluate() const {
+  return EvaluateAtTime(NowSeconds());
+}
+
+std::vector<SloTracker::ObjectiveState> SloTracker::EvaluateAtTime(
+    double now_s) const {
+  const int64_t now_idx =
+      static_cast<int64_t>(std::floor(now_s / options_.bucket_seconds));
+  const int64_t short_buckets = static_cast<int64_t>(
+      std::ceil(options_.short_window_seconds / options_.bucket_seconds));
+  const int64_t long_buckets = static_cast<int64_t>(
+      std::ceil(options_.long_window_seconds / options_.bucket_seconds));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ObjectiveState> out;
+  out.reserve(objectives_.size());
+  for (size_t i = 0; i < objectives_.size(); ++i) {
+    const SloObjective& o = objectives_[i];
+    ObjectiveState state;
+    state.name = o.name;
+    state.target = o.target;
+    const double budget = 1.0 - o.target;
+    state.short_window = WindowSum(now_idx, short_buckets, i, budget);
+    state.long_window = WindowSum(now_idx, long_buckets, i, budget);
+    state.burning =
+        state.short_window.burn_rate >= options_.alert_burn_rate &&
+        state.long_window.burn_rate >= options_.alert_burn_rate;
+    out.push_back(std::move(state));
+  }
+  return out;
+}
+
+void SloTracker::ExportGauges() const {
+  for (const ObjectiveState& s : Evaluate()) {
+    const std::string prefix = "slo." + s.name;
+    MetricsRegistry::Global()
+        .GetGauge(prefix + ".bad_rate")
+        ->Set(s.long_window.bad_rate);
+    MetricsRegistry::Global()
+        .GetGauge(prefix + ".burn_rate_short")
+        ->Set(s.short_window.burn_rate);
+    MetricsRegistry::Global()
+        .GetGauge(prefix + ".burn_rate_long")
+        ->Set(s.long_window.burn_rate);
+    MetricsRegistry::Global()
+        .GetGauge(prefix + ".burning")
+        ->Set(s.burning ? 1.0 : 0.0);
+  }
+}
+
+std::string SloTracker::StateJson() const {
+  std::ostringstream os;
+  os.precision(12);
+  os << "[";
+  bool first = true;
+  for (const ObjectiveState& s : Evaluate()) {
+    os << (first ? "" : ",") << "{\"name\":\"" << s.name
+       << "\",\"target\":" << s.target << ",\"burning\":"
+       << (s.burning ? "true" : "false");
+    const auto window = [&os](const char* key, const WindowState& w) {
+      os << ",\"" << key << "\":{\"total\":" << w.total << ",\"bad\":"
+         << w.bad << ",\"bad_rate\":" << w.bad_rate
+         << ",\"burn_rate\":" << w.burn_rate << "}";
+    };
+    window("short_window", s.short_window);
+    window("long_window", s.long_window);
+    os << "}";
+    first = false;
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace kgag

@@ -1,0 +1,116 @@
+// SLO burn-rate tracking (DESIGN.md §12).
+//
+// Objectives are declarative good/bad classifications of requests — "p99
+// latency <= T" becomes "at least 99% of requests finish within T", and
+// "error rate <= eps" becomes "at least 1-eps of requests succeed". Each
+// request is classified once against every objective and counted into a
+// ring of one-second time buckets; sliding-window evaluation then gives,
+// per objective and per window,
+//   bad_rate  = bad / total              (the measured SLI complement)
+//   burn_rate = bad_rate / error_budget  (error_budget = 1 - target)
+// A burn rate of 1.0 means the error budget is being consumed exactly as
+// fast as the objective allows; the standard multi-window alert fires
+// when BOTH the short and the long window burn faster than the alert
+// threshold (the short window confirms the problem is current, the long
+// window that it is material). Results export as slo.* gauges for
+// /metrics and as JSON for /statusz.
+//
+// Time is injectable (the *AtTime variants) so window arithmetic is unit
+// testable without sleeping; production callers use the steady-clock
+// default.
+#ifndef KGAG_OBS_SLO_H_
+#define KGAG_OBS_SLO_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace kgag {
+namespace obs {
+
+/// \brief One objective: a request is BAD when it errors (and
+/// count_errors is set) or exceeds the latency threshold (when one is
+/// set); the objective holds while good/total >= target.
+struct SloObjective {
+  std::string name;                  ///< gauge suffix, e.g. "latency_p99"
+  double target = 0.99;              ///< required good fraction, in (0, 1)
+  double latency_threshold_us = 0;   ///< 0 = latency never makes a request bad
+  bool count_errors = true;          ///< errored requests are bad
+};
+
+/// Default serving objectives: 99% of requests under 50ms, 99.9% of
+/// requests succeed.
+std::vector<SloObjective> DefaultServingObjectives();
+
+/// \brief Sliding-window burn-rate evaluation over a bucketed ring.
+class SloTracker {
+ public:
+  struct Options {
+    double bucket_seconds = 1.0;        ///< ring granularity
+    double short_window_seconds = 60;   ///< fast-burn confirmation window
+    double long_window_seconds = 600;   ///< budget-materiality window
+    /// Multi-window alert threshold: burning when BOTH windows exceed it.
+    double alert_burn_rate = 2.0;
+  };
+
+  struct WindowState {
+    uint64_t total = 0;
+    uint64_t bad = 0;
+    double bad_rate = 0.0;
+    double burn_rate = 0.0;
+  };
+
+  struct ObjectiveState {
+    std::string name;
+    double target = 0.0;
+    WindowState short_window;
+    WindowState long_window;
+    bool burning = false;  ///< both windows over alert_burn_rate
+  };
+
+  /// Default Options (1s buckets, 60s/600s windows, alert at 2x burn).
+  explicit SloTracker(std::vector<SloObjective> objectives);
+  SloTracker(std::vector<SloObjective> objectives, Options options);
+
+  /// Classifies and counts one finished request (now = steady clock).
+  void RecordRequest(double latency_us, bool error);
+  /// Test seam: explicit time in seconds (monotonic, same epoch per
+  /// tracker instance).
+  void RecordRequestAtTime(double latency_us, bool error, double now_s);
+
+  /// Evaluates every objective over both windows ending now.
+  std::vector<ObjectiveState> Evaluate() const;
+  std::vector<ObjectiveState> EvaluateAtTime(double now_s) const;
+
+  /// Publishes slo.<name>.{bad_rate,burn_rate_short,burn_rate_long,
+  /// burning} gauges to MetricsRegistry::Global(). Call before scraping.
+  void ExportGauges() const;
+
+  /// JSON array of per-objective state, for /statusz.
+  std::string StateJson() const;
+
+  const std::vector<SloObjective>& objectives() const { return objectives_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Bucket {
+    int64_t epoch = -1;  ///< bucket index since tracker epoch; -1 = empty
+    uint64_t total = 0;
+    std::vector<uint64_t> bad;  ///< one cell per objective
+  };
+
+  WindowState WindowSum(int64_t now_idx, int64_t window_buckets,
+                        size_t objective, double budget) const;
+
+  const std::vector<SloObjective> objectives_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::vector<Bucket> ring_;
+};
+
+}  // namespace obs
+}  // namespace kgag
+
+#endif  // KGAG_OBS_SLO_H_

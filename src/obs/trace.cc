@@ -52,11 +52,21 @@ TraceRecorder::Ring* TraceRecorder::RingForThisThread() {
   return static_cast<Ring*>(t_ring);
 }
 
-void TraceRecorder::Record(const char* name, double ts_us, double dur_us) {
+void TraceRecorder::Record(const char* name, double ts_us, double dur_us,
+                           uint64_t req) {
   Ring* ring = RingForThisThread();
   const uint64_t idx = ring->count.load(std::memory_order_relaxed);
+  if (idx >= kRingCapacity) {
+    // The slot we are about to write holds a surviving span: the wrap is
+    // a silent data loss unless counted. dropped() derives the same total
+    // from ring counts; this counter surfaces it on /metrics alongside
+    // every other series.
+    static Counter* dropped_spans =
+        MetricsRegistry::Global().GetCounter("obs.trace.dropped_spans");
+    dropped_spans->Increment();
+  }
   ring->events[idx % kRingCapacity] = TraceEvent{name, ts_us, dur_us,
-                                                 ring->tid};
+                                                 ring->tid, req};
   // Publish after the event body so Collect() never reads a half-written
   // slot below the published count.
   ring->count.store(idx + 1, std::memory_order_release);
@@ -114,13 +124,18 @@ std::string TraceRecorder::ChromeTracingJson() const {
   const std::vector<TraceEvent> events = Collect();
   std::ostringstream os;
   os.precision(12);
-  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  // otherData surfaces ring wrap-around in the trace viewer's metadata
+  // panel: a trace with dropped spans is a partial trace and must say so.
+  os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_spans\":\""
+     << dropped() << "\"},\"traceEvents\":[";
   for (size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
     if (i > 0) os << ",";
     os << "\n{\"name\":\"" << e.name
        << "\",\"cat\":\"kgag\",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.tid
-       << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us << "}";
+       << ",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us;
+    if (e.req != 0) os << ",\"args\":{\"req\":" << e.req << "}";
+    os << "}";
   }
   os << "\n]}\n";
   return os.str();

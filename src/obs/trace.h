@@ -32,6 +32,7 @@ struct TraceEvent {
   double ts_us = 0.0;   ///< start, microseconds since process trace epoch
   double dur_us = 0.0;  ///< duration in microseconds
   uint32_t tid = 0;     ///< ObsThreadId() of the recording thread
+  uint64_t req = 0;     ///< request id linking spans across threads; 0 = none
 };
 
 /// \brief Collects spans from all threads into per-thread ring buffers.
@@ -52,14 +53,19 @@ class TraceRecorder {
     return enabled_.load(std::memory_order_relaxed);
   }
 
-  /// Appends one completed span to the calling thread's ring.
-  void Record(const char* name, double ts_us, double dur_us);
+  /// Appends one completed span to the calling thread's ring. `req` links
+  /// the span to a request id (0 = not request-scoped); linked spans from
+  /// any thread carry the same id, which the chrome://tracing export
+  /// emits as an args annotation and /tracez emits per span.
+  void Record(const char* name, double ts_us, double dur_us,
+              uint64_t req = 0);
 
   /// Merged copy of every ring's surviving events, sorted by start time.
   std::vector<TraceEvent> Collect() const;
 
   /// Events recorded but overwritten by ring wrap-around, summed over all
-  /// threads.
+  /// threads. Also published as the `obs.trace.dropped_spans` counter so
+  /// silent wrap is visible on /metrics and /tracez.
   uint64_t dropped() const;
 
   /// Total surviving events across all rings.
@@ -95,18 +101,20 @@ class TraceRecorder {
 
 /// \brief RAII span: records [construction, destruction) when tracing is
 /// enabled at construction time. `name` must be a string literal (stored
-/// by pointer).
+/// by pointer). Pass a request id to link the span to a request across
+/// threads (KGAG_TRACE_SPAN_REQ does).
 class TraceSpan {
  public:
-  explicit TraceSpan(const char* name)
+  explicit TraceSpan(const char* name, uint64_t req = 0)
       : name_(name),
+        req_(req),
         start_us_(TraceRecorder::Global().enabled() ? TraceRecorder::NowUs()
                                                     : -1.0) {}
 
   ~TraceSpan() {
     if (start_us_ >= 0.0) {
-      TraceRecorder::Global().Record(name_, start_us_,
-                                     TraceRecorder::NowUs() - start_us_);
+      TraceRecorder::Global().Record(
+          name_, start_us_, TraceRecorder::NowUs() - start_us_, req_);
     }
   }
 
@@ -115,6 +123,7 @@ class TraceSpan {
 
  private:
   const char* name_;
+  uint64_t req_;
   double start_us_;
 };
 

@@ -116,6 +116,22 @@ size_t RepBytesPerEntity(const FrozenModel& model) {
          model.q_user.ScalesPerRow() * sizeof(float);
 }
 
+std::string ArtifactStatusJson(const FrozenModel& model) {
+  std::ostringstream os;
+  os << "{\"precision\":\"" << QuantTypeName(model.quant) << "\""
+     << ",\"dim\":" << model.dim << ",\"group_size\":" << model.group_size
+     << ",\"num_users\":" << model.num_users
+     << ",\"num_items\":" << model.num_items
+     << ",\"use_sp\":" << (model.use_sp ? "true" : "false")
+     << ",\"use_pi\":" << (model.use_pi ? "true" : "false")
+     << ",\"rep_bytes_per_entity\":" << RepBytesPerEntity(model);
+  if (model.quant == QuantType::kInt8) {
+    os << ",\"quant_block\":" << model.quant_block;
+  }
+  os << "}";
+  return os.str();
+}
+
 Result<FrozenModel> QuantizeFrozenModel(const FrozenModel& model,
                                         QuantType type, uint32_t block) {
   KGAG_RETURN_NOT_OK(ValidateShapes(model));

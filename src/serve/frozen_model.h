@@ -92,6 +92,10 @@ struct FrozenModel {
 /// bench_serve reports per precision.
 size_t RepBytesPerEntity(const FrozenModel& model);
 
+/// JSON description of a loaded artifact (precision, shapes, bytes per
+/// entity) for /statusz.
+std::string ArtifactStatusJson(const FrozenModel& model);
+
 /// Returns a copy of `model` with the user/item rep tables quantized to
 /// `type` (block `block` for int8). `model` must be full-precision
 /// (quant == kFp64); asking for kFp64 returns an unchanged copy. The

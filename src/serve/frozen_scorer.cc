@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/obs.h"
 #include "tensor/kernels.h"
 
 namespace kgag {
@@ -11,6 +12,7 @@ namespace serve {
 
 Result<GroupRep> BuildGroupRep(const FrozenModel& model,
                                std::span<const UserId> members) {
+  KGAG_TRACE_SPAN("serve.rep_build.aggregate");
   if (members.empty()) {
     return Status::InvalidArgument("group has no members");
   }
@@ -137,6 +139,7 @@ void QuantSpGemm(QuantType type, uint32_t block, size_t m, size_t n,
 }  // namespace
 
 void MemberStack::SpLogitsAllItems(double* out) const {
+  KGAG_TRACE_SPAN("serve.score_kernel.gemm");
   const size_t d = static_cast<size_t>(model_->dim);
   const size_t n = static_cast<size_t>(model_->num_items);
   if (model_->quant == QuantType::kFp64) {

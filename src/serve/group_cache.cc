@@ -35,6 +35,7 @@ void GroupRepCache::Clear() {
   index_.clear();
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
+  KGAG_GAUGE_SET("serve.cache.size", 0);
 }
 
 void GroupRepCache::Put(const std::vector<UserId>& key,
@@ -54,6 +55,7 @@ void GroupRepCache::Put(const std::vector<UserId>& key,
     lru_.pop_back();
     KGAG_COUNTER_ADD("serve.cache.evictions", 1);
   }
+  KGAG_GAUGE_SET("serve.cache.size", lru_.size());
 }
 
 double GroupRepCache::HitRate() const {

@@ -1,11 +1,13 @@
 #include "serve/serving_engine.h"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
 #include "eval/metrics.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 
 namespace kgag {
 namespace serve {
@@ -24,17 +26,23 @@ double MicrosSince(Clock::time_point start) {
 
 ServingEngine::ServingEngine(const FrozenModel* model, Options options)
     : model_(model),
-      options_(options),
-      cache_(options.cache_capacity),
+      options_(std::move(options)),
+      cache_(options_.cache_capacity),
       start_time_(Clock::now()) {
   KGAG_CHECK(model != nullptr);
   options_.max_batch = std::max<size_t>(1, options_.max_batch);
+  if (!options_.slo_objectives.empty()) {
+    slo_ = std::make_unique<obs::SloTracker>(options_.slo_objectives);
+  }
   dispatcher_ = std::thread(&ServingEngine::DispatcherLoop, this);
 }
 
-ServingEngine::~ServingEngine() {
+ServingEngine::~ServingEngine() { Shutdown(); }
+
+void ServingEngine::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;  // already shut down (or shutting down elsewhere)
     stop_ = true;
   }
   cv_.notify_all();
@@ -49,7 +57,8 @@ std::vector<double> ServingEngine::TakeLatencySamples() {
 }
 
 Result<std::shared_ptr<const GroupRep>> ServingEngine::GetRep(
-    std::span<const UserId> members, bool* cache_hit) {
+    std::span<const UserId> members, bool* cache_hit, uint64_t req_id) {
+  KGAG_TRACE_SPAN_REQ("serve.rep_build", req_id);
   *cache_hit = false;
   if (members.empty()) {
     return Status::InvalidArgument("group has no members");
@@ -95,8 +104,8 @@ void ServingEngine::FinishRequest(Clock::time_point start) {
   served_.fetch_add(1, std::memory_order_relaxed);
   KGAG_COUNTER_ADD("serve.requests", 1);
   const double micros = MicrosSince(start);
-  KGAG_HISTOGRAM_OBSERVE("serve.request_latency_us", micros,
-                         ::kgag::obs::ServeLatencyBoundsUs());
+  KGAG_HDR_OBSERVE("serve.request_latency_us", micros);
+  if (slo_) slo_->RecordRequest(micros, /*error=*/false);
   if (options_.record_latency) {
     std::lock_guard<std::mutex> lock(samples_mu_);
     latency_samples_.push_back(micros);
@@ -111,16 +120,38 @@ void ServingEngine::FinishRequest(Clock::time_point start) {
   KGAG_GAUGE_SET("serve.cache.hit_rate", cache_.HitRate());
 }
 
+void ServingEngine::FailRequest(Clock::time_point start) {
+  // Failed requests keep their own counter and are NOT counted into
+  // served_ or the latency histogram — an invalid-argument rejection
+  // finishing in 2us must not drag p50 down — but they do burn SLO
+  // error budget.
+  KGAG_COUNTER_ADD("serve.requests.failed", 1);
+  if (slo_) slo_->RecordRequest(MicrosSince(start), /*error=*/true);
+}
+
 Result<TopKResult> ServingEngine::TopK(std::span<const UserId> members,
                                        size_t k,
                                        std::span<const ItemId> exclude_seen) {
-  KGAG_TRACE_SPAN("serve.topk");
+  const uint64_t req_id = next_req_.fetch_add(1, std::memory_order_relaxed);
+  KGAG_TRACE_SPAN_REQ("serve.request", req_id);
   const Clock::time_point start = Clock::now();
   bool cache_hit = false;
-  KGAG_ASSIGN_OR_RETURN(std::shared_ptr<const GroupRep> rep,
-                        GetRep(members, &cache_hit));
-  const std::vector<double> scores = ScoreAllItems(*model_, *rep);
-  TopKResult result = Rank(scores, k, exclude_seen);
+  Result<std::shared_ptr<const GroupRep>> rep =
+      GetRep(members, &cache_hit, req_id);
+  if (!rep.ok()) {
+    FailRequest(start);
+    return rep.status();
+  }
+  std::vector<double> scores;
+  {
+    KGAG_TRACE_SPAN_REQ("serve.score_kernel", req_id);
+    scores = ScoreAllItems(*model_, **rep);
+  }
+  TopKResult result;
+  {
+    KGAG_TRACE_SPAN_REQ("serve.topk", req_id);
+    result = Rank(scores, k, exclude_seen);
+  }
   result.cache_hit = cache_hit;
   batches_.fetch_add(1, std::memory_order_relaxed);
   KGAG_COUNTER_ADD("serve.batches", 1);
@@ -134,11 +165,19 @@ std::future<Result<TopKResult>> ServingEngine::Submit(TopKRequest request) {
   Pending pending;
   pending.request = std::move(request);
   pending.enqueued = Clock::now();
+  pending.req_id = next_req_.fetch_add(1, std::memory_order_relaxed);
+  KGAG_TRACE_SPAN_REQ("serve.submit", pending.req_id);
+  if (obs::TraceRecorder::Global().enabled()) {
+    // Trace-epoch timestamp so the dispatcher can emit this request's
+    // queue-wait span on the same clock as the submit span.
+    pending.submit_ts_us = obs::TraceRecorder::NowUs();
+  }
   std::future<Result<TopKResult>> future = pending.promise.get_future();
   bool notify;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) {
+      KGAG_COUNTER_ADD("serve.requests.rejected", 1);
       pending.promise.set_value(
           Status::Internal("serving engine is shut down"));
       return future;
@@ -198,6 +237,18 @@ void ServingEngine::ExecuteBatch(std::vector<Pending> batch) {
   KGAG_TRACE_SPAN("serve.batch");
   const size_t n = static_cast<size_t>(model_->num_items);
 
+  // Close out every request's queue-wait: the span runs on the
+  // submitter's trace clock from Submit() to here, and the HDR series
+  // feeds the same wall interval into /metrics.
+  for (const Pending& p : batch) {
+    KGAG_HDR_OBSERVE("serve.queue_wait_us", MicrosSince(p.enqueued));
+    if (p.submit_ts_us > 0.0) {
+      obs::TraceRecorder::Global().Record(
+          "serve.queue_wait", p.submit_ts_us,
+          obs::TraceRecorder::NowUs() - p.submit_ts_us, p.req_id);
+    }
+  }
+
   // Resolve each request's rep (errors resolve their promises now and
   // drop out of the GEMM).
   struct Live {
@@ -211,8 +262,9 @@ void ServingEngine::ExecuteBatch(std::vector<Pending> batch) {
   for (Pending& p : batch) {
     bool hit = false;
     Result<std::shared_ptr<const GroupRep>> rep =
-        GetRep(p.request.members, &hit);
+        GetRep(p.request.members, &hit, p.req_id);
     if (!rep.ok()) {
+      FailRequest(p.enqueued);
       p.promise.set_value(rep.status());
       continue;
     }
@@ -230,18 +282,21 @@ void ServingEngine::ExecuteBatch(std::vector<Pending> batch) {
   // max_batch <= a few dozen.
   std::vector<size_t> owner(live.size());
   std::vector<size_t> distinct;
-  for (size_t i = 0; i < live.size(); ++i) {
-    owner[i] = live.size();
-    for (size_t di : distinct) {
-      if (live[i].rep == live[di].rep ||
-          live[i].rep->members == live[di].rep->members) {
-        owner[i] = di;
-        break;
+  {
+    KGAG_TRACE_SPAN("serve.coalesce");
+    for (size_t i = 0; i < live.size(); ++i) {
+      owner[i] = live.size();
+      for (size_t di : distinct) {
+        if (live[i].rep == live[di].rep ||
+            live[i].rep->members == live[di].rep->members) {
+          owner[i] = di;
+          break;
+        }
       }
-    }
-    if (owner[i] == live.size()) {
-      owner[i] = i;
-      distinct.push_back(i);
+      if (owner[i] == live.size()) {
+        owner[i] = i;
+        distinct.push_back(i);
+      }
     }
   }
   const uint64_t coalesced =
@@ -260,7 +315,10 @@ void ServingEngine::ExecuteBatch(std::vector<Pending> batch) {
     live[di].row_offset = stack.Append(*live[di].rep);
   }
   std::vector<double> sp(stack.rows() * n);
-  stack.SpLogitsAllItems(sp.data());
+  {
+    KGAG_TRACE_SPAN("serve.score_kernel");
+    stack.SpLogitsAllItems(sp.data());
+  }
 
   // Count the batch before fulfilling any promise: a caller that has
   // collected every future must never read a stale batches_run().
@@ -276,15 +334,39 @@ void ServingEngine::ExecuteBatch(std::vector<Pending> batch) {
     for (size_t i = 0; i < live.size(); ++i) {
       if (owner[i] != di) continue;
       const Live& l = live[i];
-      TopKResult result =
-          Rank(scores, l.pending->request.k, l.pending->request.exclude_seen);
+      TopKResult result;
+      {
+        KGAG_TRACE_SPAN_REQ("serve.topk", l.pending->req_id);
+        result = Rank(scores, l.pending->request.k,
+                      l.pending->request.exclude_seen);
+      }
       result.cache_hit = l.cache_hit;
+      KGAG_TRACE_SPAN_REQ("serve.reply", l.pending->req_id);
       // Bookkeeping first: once the promise is fulfilled the submitter
       // may read requests_served() and must not see a stale count.
       FinishRequest(l.pending->enqueued);
       l.pending->promise.set_value(std::move(result));
     }
   }
+}
+
+std::string ServingEngine::StatusJson() const {
+  std::ostringstream os;
+  os.precision(12);
+  os << "{\"requests_served\":" << served_.load(std::memory_order_relaxed)
+     << ",\"batches_run\":" << batches_.load(std::memory_order_relaxed)
+     << ",\"coalesced_requests\":"
+     << coalesced_.load(std::memory_order_relaxed)
+     << ",\"options\":{\"max_batch\":" << options_.max_batch
+     << ",\"batch_deadline_us\":" << options_.batch_deadline_us
+     << ",\"cache_capacity\":" << options_.cache_capacity << "}"
+     << ",\"cache\":{\"size\":" << cache_.size()
+     << ",\"capacity\":" << cache_.capacity()
+     << ",\"hits\":" << cache_.hits() << ",\"misses\":" << cache_.misses()
+     << ",\"hit_rate\":" << cache_.HitRate() << "}";
+  if (slo_) os << ",\"slo\":" << slo_->StateJson();
+  os << "}";
+  return os.str();
 }
 
 }  // namespace serve

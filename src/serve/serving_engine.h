@@ -27,9 +27,24 @@
 // TopK() is the synchronous path: same scoring code, no queue — batches
 // of one, for callers that need plain request/response.
 //
-// serve.* metrics: requests, batches, batch_size histogram, request
-// latency histogram (submit -> completion), qps gauge, cache hit/miss
-// counters (from GroupRepCache) and hit-rate gauge.
+// serve.* metrics: requests (plus .failed / .rejected), batches,
+// batch_size histogram, HDR request-latency and queue-wait histograms
+// (submit -> completion, exact-count quantiles), qps gauge, cache
+// hit/miss counters and hit-rate/size gauges (from GroupRepCache).
+//
+// Request-scoped tracing: every request gets a monotonic id at
+// Submit()/TopK() time; the spans it touches on any thread
+// (serve.submit -> serve.queue_wait -> serve.rep_build ->
+// serve.score_kernel -> serve.topk -> serve.reply, under the
+// batch-level serve.batch/serve.coalesce envelopes) carry that id, so
+// one request's life is reconstructable from /tracez or the
+// chrome://tracing export even though it crosses the dispatcher thread
+// boundary.
+//
+// SLO tracking: when Options::slo_objectives is non-empty the engine
+// owns an obs::SloTracker and classifies every finished request
+// (latency, error) against each objective; slo() exposes it for gauge
+// export and /statusz.
 #ifndef KGAG_SERVE_SERVING_ENGINE_H_
 #define KGAG_SERVE_SERVING_ENGINE_H_
 
@@ -42,12 +57,14 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "data/interactions.h"
+#include "obs/slo.h"
 #include "serve/frozen_model.h"
 #include "serve/frozen_scorer.h"
 #include "serve/group_cache.h"
@@ -89,12 +106,22 @@ class ServingEngine {
     /// percentiles quantize to bucket bounds; raw samples don't. Off by
     /// default: one double per request, unbounded until taken.
     bool record_latency = false;
+    /// SLO objectives every finished request is classified against
+    /// (obs::DefaultServingObjectives() for the standard serving pair).
+    /// Empty = no tracker; slo() returns nullptr.
+    std::vector<obs::SloObjective> slo_objectives = {};
   };
 
   /// `model` is borrowed and must outlive the engine.
   ServingEngine(const FrozenModel* model, Options options);
   /// Drains already-queued requests, then stops the dispatcher.
   ~ServingEngine();
+
+  /// Drains already-queued requests and stops the dispatcher; later
+  /// Submit()s fail fast (counted as serve.requests.rejected). The
+  /// synchronous TopK() path keeps working. Idempotent; the destructor
+  /// calls it. Not safe to race with itself from multiple threads.
+  void Shutdown();
 
   ServingEngine(const ServingEngine&) = delete;
   ServingEngine& operator=(const ServingEngine&) = delete;
@@ -124,16 +151,31 @@ class ServingEngine {
   /// completion order). Empty unless Options::record_latency.
   std::vector<double> TakeLatencySamples();
 
+  /// The engine's SLO tracker, or nullptr when Options::slo_objectives
+  /// was empty. Borrowed; valid for the engine's lifetime.
+  obs::SloTracker* slo() { return slo_.get(); }
+  const obs::SloTracker* slo() const { return slo_.get(); }
+
+  /// Engine state as JSON for /statusz: request/batch/coalesce counts,
+  /// cache occupancy and hit rate, batching options, SLO state.
+  std::string StatusJson() const;
+
  private:
   struct Pending {
     TopKRequest request;
     std::promise<Result<TopKResult>> promise;
     std::chrono::steady_clock::time_point enqueued;
+    uint64_t req_id = 0;
+    /// Trace-epoch submit timestamp, recorded only while tracing is
+    /// enabled (0 otherwise); lets the dispatcher emit the queue-wait
+    /// span against the submitter's clock.
+    double submit_ts_us = 0.0;
   };
 
-  /// Cache-through rep lookup. `members` may be in any order.
+  /// Cache-through rep lookup. `members` may be in any order. `req_id`
+  /// only labels the trace span.
   Result<std::shared_ptr<const GroupRep>> GetRep(
-      std::span<const UserId> members, bool* cache_hit);
+      std::span<const UserId> members, bool* cache_hit, uint64_t req_id);
 
   /// Rank-time filtering + bounded-heap selection over full-catalog
   /// scores (index == item id).
@@ -143,12 +185,16 @@ class ServingEngine {
   void DispatcherLoop();
   /// Scores a batch with one stacked GEMM and fulfills every promise.
   void ExecuteBatch(std::vector<Pending> batch);
-  /// Bookkeeping common to both paths, called once per finished request.
+  /// Bookkeeping common to both paths, called once per successfully
+  /// finished request.
   void FinishRequest(std::chrono::steady_clock::time_point start);
+  /// Bookkeeping for a request that resolved with an error.
+  void FailRequest(std::chrono::steady_clock::time_point start);
 
   const FrozenModel* model_;
   Options options_;
   GroupRepCache cache_;
+  std::unique_ptr<obs::SloTracker> slo_;
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -162,6 +208,7 @@ class ServingEngine {
   std::atomic<uint64_t> served_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> next_req_{1};  ///< request-id allocator (0 = none)
   const std::chrono::steady_clock::time_point start_time_;
 };
 

@@ -9,6 +9,7 @@
 #include <memory>
 #include <numeric>
 #include <string>
+#include <string_view>
 #include <unordered_set>
 #include <vector>
 
@@ -19,6 +20,10 @@
 #include "eval/ranking_evaluator.h"
 #include "gtest/gtest.h"
 #include "models/kgag_model.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/slo.h"
+#include "obs/trace.h"
 #include "serve/frozen_model.h"
 #include "serve/frozen_scorer.h"
 #include "serve/serving_engine.h"
@@ -559,6 +564,168 @@ TEST_F(ServeTest, QuantizedServingMatchesQuantizedEvalBitwise) {
       EXPECT_EQ(resp->scores[i], all[want[i]]) << QuantTypeName(type);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Serving observability: failure counters, cache gauge, request-scoped
+// spans, SLO wiring and the /statusz JSON (DESIGN.md §12).
+
+uint64_t CounterValue(const char* name) {
+  const obs::Counter* c = obs::MetricsRegistry::Global().FindCounter(name);
+  return c != nullptr ? c->Value() : 0;
+}
+
+TEST_F(ServeTest, FailedRequestsCountButStayOutOfLatencyStats) {
+  const uint64_t failed_before = CounterValue("serve.requests.failed");
+  ServingEngine::Options opts;
+  opts.max_batch = 4;
+  opts.batch_deadline_us = 0;
+  opts.cache_capacity = 0;
+  opts.record_latency = true;
+  opts.slo_objectives = {{"avail", /*target=*/0.5,
+                          /*latency_threshold_us=*/0.0,
+                          /*count_errors=*/true}};
+  ServingEngine engine(frozen_, opts);
+  ASSERT_NE(engine.slo(), nullptr);
+
+  EXPECT_FALSE(engine.TopK({}, 5).ok());
+  Result<TopKResult> via_queue =
+      engine.Submit({.members = {}, .k = 5, .exclude_seen = {}}).get();
+  EXPECT_FALSE(via_queue.ok());
+
+  // Failed requests never count as served and never enter the latency
+  // samples — a 2us rejection must not drag p50 down.
+  EXPECT_EQ(engine.requests_served(), 0u);
+  EXPECT_TRUE(engine.TakeLatencySamples().empty());
+#if KGAG_OBS_ACTIVE
+  EXPECT_EQ(CounterValue("serve.requests.failed") - failed_before, 2u);
+#else
+  (void)failed_before;
+#endif
+  // ...but they DO burn SLO error budget.
+  const auto states = engine.slo()->Evaluate();
+  ASSERT_EQ(states.size(), 1u);
+  EXPECT_EQ(states[0].short_window.bad, 2u);
+  EXPECT_EQ(states[0].short_window.total, 2u);
+}
+
+TEST_F(ServeTest, ShutdownRejectsNewSubmissions) {
+  ServingEngine engine(frozen_, {.max_batch = 4, .batch_deadline_us = 0,
+                                 .cache_capacity = 4});
+  Result<TopKResult> before_stop =
+      engine.Submit({.members = Members(0), .k = 3, .exclude_seen = {}})
+          .get();
+  ASSERT_TRUE(before_stop.ok()) << before_stop.status().ToString();
+
+  const uint64_t rejected_before = CounterValue("serve.requests.rejected");
+  engine.Shutdown();
+  engine.Shutdown();  // idempotent
+  Result<TopKResult> after_stop =
+      engine.Submit({.members = Members(0), .k = 3, .exclude_seen = {}})
+          .get();
+  EXPECT_FALSE(after_stop.ok());
+#if KGAG_OBS_ACTIVE
+  EXPECT_EQ(CounterValue("serve.requests.rejected") - rejected_before, 1u);
+#else
+  (void)rejected_before;
+#endif
+  // The synchronous path needs no dispatcher and keeps answering.
+  EXPECT_TRUE(engine.TopK(Members(0), 3).ok());
+  EXPECT_EQ(engine.requests_served(), 2u);
+}
+
+#if KGAG_OBS_ACTIVE
+
+TEST_F(ServeTest, CacheSizeGaugeTracksOccupancy) {
+  ServingEngine engine(frozen_, {.max_batch = 1, .cache_capacity = 4});
+  // Three distinct single-member groups: three cache entries.
+  for (UserId u : {UserId{0}, UserId{1}, UserId{2}}) {
+    ASSERT_TRUE(engine.TopK(std::vector<UserId>{u}, 3).ok());
+  }
+  const obs::Gauge* size_gauge =
+      obs::MetricsRegistry::Global().FindGauge("serve.cache.size");
+  ASSERT_NE(size_gauge, nullptr);
+  EXPECT_DOUBLE_EQ(size_gauge->Value(), 3.0);
+  engine.cache()->Clear();
+  EXPECT_DOUBLE_EQ(size_gauge->Value(), 0.0);
+}
+
+TEST_F(ServeTest, RequestScopedSpansShareOneIdAcrossThreads) {
+  obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+  rec.Clear();
+  rec.SetEnabled(true);
+  ServingEngine engine(frozen_, {.max_batch = 4, .batch_deadline_us = 1000,
+                                 .cache_capacity = 4});
+  Result<TopKResult> r =
+      engine.Submit({.members = Members(0), .k = 3, .exclude_seen = {}})
+          .get();
+  // .get() returns at set_value, but the dispatcher's serve.reply span
+  // records at scope exit just after — join the dispatcher so every
+  // span is flushed before collecting.
+  engine.Shutdown();
+  rec.SetEnabled(false);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  const std::vector<obs::TraceEvent> events = rec.Collect();
+  // The submit span carries the request's id; every other span of that
+  // request — including those recorded on the dispatcher thread — must
+  // carry the same one.
+  uint64_t req = 0;
+  uint32_t submit_tid = 0;
+  for (const obs::TraceEvent& e : events) {
+    if (std::string_view(e.name) == "serve.submit") {
+      req = e.req;
+      submit_tid = e.tid;
+    }
+  }
+  ASSERT_NE(req, 0u) << "serve.submit span missing or unlinked";
+
+  std::unordered_set<std::string_view> linked_names;
+  bool crossed_thread = false;
+  for (const obs::TraceEvent& e : events) {
+    if (e.req == req) {
+      linked_names.insert(e.name);
+      crossed_thread = crossed_thread || e.tid != submit_tid;
+    }
+  }
+  for (const char* name : {"serve.submit", "serve.queue_wait",
+                           "serve.rep_build", "serve.topk", "serve.reply"}) {
+    EXPECT_TRUE(linked_names.count(name) > 0) << "missing span: " << name;
+  }
+  EXPECT_TRUE(crossed_thread)
+      << "linked spans must span the submitter/dispatcher thread boundary";
+  // The batch envelope is batch-scoped, not request-scoped.
+  for (const obs::TraceEvent& e : events) {
+    if (std::string_view(e.name) == "serve.batch") {
+      EXPECT_EQ(e.req, 0u);
+    }
+  }
+  rec.Clear();
+}
+
+#endif  // KGAG_OBS_ACTIVE
+
+TEST_F(ServeTest, StatusJsonReportsEngineAndSloState) {
+  ServingEngine::Options opts;
+  opts.max_batch = 2;
+  opts.cache_capacity = 8;
+  opts.slo_objectives = obs::DefaultServingObjectives();
+  ServingEngine engine(frozen_, opts);
+  ASSERT_TRUE(engine.TopK(Members(0), 3).ok());
+
+  const std::string json = engine.StatusJson();
+  EXPECT_NE(json.find("\"requests_served\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"max_batch\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"cache\""), std::string::npos);
+  EXPECT_NE(json.find("\"hit_rate\""), std::string::npos);
+  EXPECT_NE(json.find("\"slo\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency_p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"availability\""), std::string::npos);
+
+  // Without objectives there is no tracker and no slo section.
+  ServingEngine plain(frozen_, {.max_batch = 1, .cache_capacity = 0});
+  EXPECT_EQ(plain.slo(), nullptr);
+  EXPECT_EQ(plain.StatusJson().find("\"slo\""), std::string::npos);
 }
 
 }  // namespace

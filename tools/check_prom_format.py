@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition format (version 0.0.4).
+
+Reads an exposition payload (a file argument or stdin — e.g. piped from
+`curl -s host:port/metrics`) and checks the grammar a scraper relies on:
+
+  * every non-comment line is `name{labels} value [timestamp]` with a
+    legal metric name, legal label names, quoted+escaped label values
+    and a parseable float value;
+  * `# TYPE` lines name a valid type and precede their metric's samples;
+  * at most one TYPE declaration per metric family;
+  * histogram families have cumulative, non-decreasing `_bucket` counts
+    per label set and end in an `le="+Inf"` bucket matching `_count`;
+  * summary quantile labels are floats in [0, 1].
+
+Exit 0 when the payload parses clean; exit 1 with one line per problem
+otherwise. Used by CI's introspection smoke job against a live
+/metrics endpoint.
+
+Usage: check_prom_format.py [metrics.txt]
+"""
+
+import math
+import re
+import sys
+
+METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+LABEL_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+# Label values are double-quoted with \\, \" and \n escapes.
+LABEL_VALUE = r'"(?:[^"\\\n]|\\[\\"n])*"'
+LABEL_PAIR = rf"{LABEL_NAME}={LABEL_VALUE}"
+LABELS = rf"\{{(?:{LABEL_PAIR}(?:,{LABEL_PAIR})*)?,?\}}"
+# value and optional timestamp; value may be NaN/+Inf/-Inf.
+VALUE = r"(?:[+-]?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|Inf|inf)|NaN|nan)"
+SAMPLE_RE = re.compile(
+    rf"^(?P<name>{METRIC_NAME})(?P<labels>{LABELS})?"
+    rf"\s+(?P<value>{VALUE})(?:\s+(?P<ts>-?\d+))?$"
+)
+TYPE_RE = re.compile(
+    rf"^# TYPE (?P<name>{METRIC_NAME}) "
+    r"(?P<type>counter|gauge|histogram|summary|untyped)$"
+)
+HELP_RE = re.compile(rf"^# HELP (?P<name>{METRIC_NAME}) .*$")
+LABEL_SPLIT_RE = re.compile(rf"({LABEL_NAME})=({LABEL_VALUE})")
+
+
+def family_of(name, declared_types):
+    """Maps a sample name to its TYPE family, folding histogram/summary
+    series suffixes (_bucket/_sum/_count) onto the declared family."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if base in declared_types:
+                return base
+    return name
+
+
+def parse_labels(text):
+    if not text:
+        return {}
+    return {m.group(1): m.group(2)[1:-1]
+            for m in LABEL_SPLIT_RE.finditer(text)}
+
+
+def main():
+    if len(sys.argv) > 2:
+        sys.exit(__doc__)
+    if len(sys.argv) == 2:
+        with open(sys.argv[1]) as f:
+            payload = f.read()
+    else:
+        payload = sys.stdin.read()
+
+    errors = []
+    declared_types = {}
+    samples_seen = set()
+    # histogram family -> label-set key -> [(le, count)]
+    buckets = {}
+    hist_counts = {}
+
+    for lineno, line in enumerate(payload.split("\n"), start=1):
+        if line == "":
+            continue
+        if line.startswith("#"):
+            if line.startswith("# TYPE "):
+                m = TYPE_RE.match(line)
+                if not m:
+                    errors.append(f"line {lineno}: malformed TYPE: {line!r}")
+                    continue
+                name = m.group("name")
+                if name in declared_types:
+                    errors.append(
+                        f"line {lineno}: duplicate TYPE for {name}")
+                if name in samples_seen:
+                    errors.append(
+                        f"line {lineno}: TYPE for {name} after its samples")
+                declared_types[name] = m.group("type")
+            elif line.startswith("# HELP "):
+                if not HELP_RE.match(line):
+                    errors.append(f"line {lineno}: malformed HELP: {line!r}")
+            # other comments are legal and ignored
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: malformed sample: {line!r}")
+            continue
+        name = m.group("name")
+        labels = parse_labels(m.group("labels"))
+        family = family_of(name, declared_types)
+        samples_seen.add(family)
+        ftype = declared_types.get(family)
+
+        if ftype == "summary" and "quantile" in labels:
+            try:
+                q = float(labels["quantile"])
+                if not (0.0 <= q <= 1.0):
+                    raise ValueError
+            except ValueError:
+                errors.append(
+                    f"line {lineno}: summary quantile "
+                    f"{labels['quantile']!r} not in [0, 1]")
+        if ftype == "histogram":
+            key = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"))
+            if name.endswith("_bucket"):
+                le = labels.get("le")
+                if le is None:
+                    errors.append(
+                        f"line {lineno}: histogram bucket without le label")
+                    continue
+                le_val = math.inf if le == "+Inf" else float(le)
+                buckets.setdefault(family, {}).setdefault(key, []).append(
+                    (lineno, le_val, float(m.group("value"))))
+            elif name.endswith("_count"):
+                hist_counts.setdefault(family, {})[key] = float(
+                    m.group("value"))
+
+    for family, by_key in buckets.items():
+        for key, rows in by_key.items():
+            prev = -1.0
+            for lineno, _, count in rows:  # exposition order is le-order
+                if count < prev:
+                    errors.append(
+                        f"line {lineno}: {family} buckets not cumulative")
+                prev = count
+            if not math.isinf(rows[-1][1]):
+                errors.append(
+                    f"{family}{dict(key) or ''}: no le=\"+Inf\" bucket")
+            elif family in hist_counts and key in hist_counts[family] and \
+                    rows[-1][2] != hist_counts[family][key]:
+                errors.append(
+                    f"{family}{dict(key) or ''}: +Inf bucket "
+                    f"{rows[-1][2]} != _count {hist_counts[family][key]}")
+
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        print(f"FAIL: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    n_samples = len(payload.strip().split('\n'))
+    print(f"OK: {len(declared_types)} metric families parse clean "
+          f"({n_samples} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
