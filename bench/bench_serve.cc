@@ -40,8 +40,23 @@
 //                 wall time and emit {"bench":"bench_serve_overhead",
 //                 "obs_enabled", "request_ns", ...}; run once obs-ON and
 //                 once obs-OFF
-//   --requests    requests per phase (default 384, smoke 96)
+//   --net         open-loop network bench only: spin up an in-process
+//                 NetServer (or target --connect) and sweep offered QPS
+//                 levels with Poisson arrivals, reporting p50/p99/p999
+//                 vs offered rate and the saturation/shed point
+//   --connect     HOST:PORT of an external serve_model data plane to
+//                 drive instead of the in-process server (--net only)
+//   --net_users   member-id bound for --connect request generation
+//                 (default 32; ignored in-process where the model's own
+//                 user count is used)
+//   --requests    requests per phase (default 384, smoke 96; in --net
+//                 mode requests per offered-QPS level, default 256,
+//                 smoke 48)
 //   --out         output path (default ./BENCH_serve.json)
+//
+// The default (non-smoke, non-acceptance) run also appends a
+// "net_open_loop" section to BENCH_serve.json: the same open-loop sweep
+// over a real loopback socket against the in-process data plane.
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
@@ -54,6 +69,7 @@
 
 #include "bench_util.h"
 #include "common/check.h"
+#include "net_client.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "data/synthetic/standard_datasets.h"
@@ -62,6 +78,7 @@
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "serve/frozen_model.h"
+#include "serve/net_server.h"
 #include "serve/serving_engine.h"
 #include "tensor/kernels.h"
 #include "tensor/quant.h"
@@ -73,7 +90,11 @@ struct Options {
   bool smoke = false;
   bool acceptance = false;
   bool overhead = false;
+  bool net = false;  // open-loop network bench only
   size_t requests = 0;  // 0 = pick by mode
+  std::string connect_host;  // --connect HOST:PORT (net mode)
+  int connect_port = 0;
+  int net_users = 32;  // member-id bound for --connect traffic
   std::string out = "BENCH_serve.json";
 };
 
@@ -301,6 +322,176 @@ PhaseResult RunPhase(const std::string& mode, const serve::FrozenModel* model,
   return out;
 }
 
+// --- Open-loop network bench (DESIGN.md §13) -----------------------------
+
+/// Offered-load multipliers swept against the calibrated peak rate: three
+/// sub-saturation points for the flat part of the latency curve, two
+/// overload points where shedding must kick in.
+constexpr double kNetLoadLevels[] = {0.3, 0.6, 0.9, 1.2, 1.5};
+
+struct NetReport {
+  std::string target;      ///< "in-process" or HOST:PORT
+  size_t connections = 0;
+  size_t requests_per_level = 0;
+  double calibration_qps = 0.0;  ///< burst throughput = capacity estimate
+  int64_t deadline_us = 0;       ///< per-request deadline during the sweep
+  std::vector<bench::OpenLoopResult> levels;
+  bool saturated = false;
+  double saturation_offered_qps = 0.0;  ///< first saturated level's rate
+};
+
+/// Sweeps offered-QPS levels against a live data plane. Calibration
+/// first: the whole burst scheduled at once (offered rate effectively
+/// infinite) with no deadline measures peak sustainable throughput.
+/// The sweep then stamps every request with a deadline of 20 mean
+/// service times — generous at any stable load, but crossed within a
+/// couple hundred requests once the offered rate exceeds capacity, so
+/// overload shows up as shedding rather than an unbounded queue.
+NetReport RunNetSweep(const std::string& host, int port, int32_t pool_users,
+                      size_t per_level, bool smoke) {
+  NetReport rep;
+  rep.connections = 8;
+  rep.requests_per_level = per_level;
+  const std::vector<serve::TopKRequest> pool =
+      bench::MakeNetRequestPool(pool_users, 64, /*seed=*/42);
+
+  bench::OpenLoopOptions level;
+  level.host = host;
+  level.port = port;
+  level.connections = rep.connections;
+  level.requests = smoke ? 64 : 128;
+  level.offered_qps = 1e9;  // the whole burst due at t=0
+  level.deadline_us = 0;
+  level.seed = 1;
+  const bench::OpenLoopResult calib = bench::RunOpenLoopLevel(level, pool);
+  if (calib.ok == 0) {
+    std::cerr << "net calibration failed: " << calib.errors
+              << " errors, server unreachable?\n";
+    return rep;
+  }
+  rep.calibration_qps = calib.achieved_qps;
+  rep.deadline_us = std::max<int64_t>(
+      5000, static_cast<int64_t>(20.0 * 1e6 / rep.calibration_qps));
+  std::cout << "net calibration: " << rep.calibration_qps
+            << " qps peak, sweep deadline " << rep.deadline_us << " us\n";
+
+  level.requests = per_level;
+  level.deadline_us = rep.deadline_us;
+  for (double mult : kNetLoadLevels) {
+    level.offered_qps = mult * rep.calibration_qps;
+    level.seed = static_cast<uint64_t>(mult * 1000);
+    const bench::OpenLoopResult r = bench::RunOpenLoopLevel(level, pool);
+    const bool level_saturated =
+        r.achieved_qps < 0.9 * r.empirical_offered_qps ||
+        static_cast<double>(r.shed) > 0.005 * static_cast<double>(r.sent);
+    if (level_saturated && !rep.saturated) {
+      rep.saturated = true;
+      rep.saturation_offered_qps = r.offered_qps;
+    }
+    std::cout << "net " << mult << "x: offered " << r.offered_qps
+              << " qps, achieved " << r.achieved_qps << ", ok " << r.ok
+              << " shed " << r.shed << " err " << r.errors << ", p50 "
+              << r.p50_us << " us p99 " << r.p99_us << " us p999 "
+              << r.p999_us << " us" << (level_saturated ? "  [saturated]" : "")
+              << "\n";
+    rep.levels.push_back(r);
+  }
+  return rep;
+}
+
+/// The in-process variant: a reduced scaled model behind a real
+/// NetServer on an ephemeral loopback port, bounded admission queue so
+/// overload sheds instead of queueing without limit.
+NetReport RunInProcessNetSweep(size_t per_level, bool smoke) {
+  constexpr int kUsers = 4096;
+  constexpr int kItems = 4096;
+  const serve::FrozenModel model = MakeScaledModel(kUsers, kItems);
+  serve::ServingEngine::Options eo;
+  eo.max_batch = 16;
+  eo.batch_deadline_us = 200;
+  eo.cache_capacity = 256;
+  eo.max_queue = 1024;
+  serve::ServingEngine engine(&model, eo);
+  serve::NetServer server(&engine, {});
+  KGAG_CHECK(server.Start().ok());
+  NetReport rep = RunNetSweep("127.0.0.1", server.port(), kUsers, per_level,
+                              smoke);
+  rep.target = "in-process";
+  server.Stop();
+  engine.Shutdown();
+  return rep;
+}
+
+void WriteNetReport(bench::JsonWriter* w, const NetReport& rep) {
+  w->BeginObject("net_open_loop");
+  w->Field("transport", "tcp-binary-pipelined");
+  w->Field("target", rep.target);
+  w->Field("connections", rep.connections);
+  w->Field("requests_per_level", rep.requests_per_level);
+  w->Field("calibration_qps", rep.calibration_qps);
+  w->Field("deadline_us", rep.deadline_us);
+  w->BeginArray("levels");
+  for (const bench::OpenLoopResult& r : rep.levels) {
+    w->BeginObject();
+    w->Field("offered_qps", r.offered_qps);
+    w->Field("empirical_offered_qps", r.empirical_offered_qps);
+    w->Field("achieved_qps", r.achieved_qps);
+    w->Field("sent", r.sent);
+    w->Field("ok", r.ok);
+    w->Field("shed", r.shed);
+    w->Field("errors", r.errors);
+    w->Field("wall_s", r.wall_s);
+    w->Field("p50_us", r.p50_us);
+    w->Field("p99_us", r.p99_us);
+    w->Field("p999_us", r.p999_us);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Field("saturation_observed", rep.saturated);
+  w->Field("saturation_offered_qps", rep.saturation_offered_qps);
+  w->EndObject();
+}
+
+/// --net entry point: sweep only, against --connect or an in-process
+/// server, standalone JSON artifact.
+int RunNet(const Options& opt) {
+  const size_t per_level =
+      opt.requests > 0 ? opt.requests : (opt.smoke ? 48 : 256);
+  NetReport rep;
+  if (!opt.connect_host.empty()) {
+    rep = RunNetSweep(opt.connect_host, opt.connect_port,
+                      static_cast<int32_t>(opt.net_users), per_level,
+                      opt.smoke);
+    rep.target = opt.connect_host + ":" + std::to_string(opt.connect_port);
+  } else {
+    rep = RunInProcessNetSweep(per_level, opt.smoke);
+  }
+  if (rep.levels.empty()) return 1;
+  size_t total_err = 0;
+  for (const bench::OpenLoopResult& r : rep.levels) total_err += r.errors;
+
+  std::ofstream out(opt.out);
+  if (!out) {
+    std::cerr << "cannot write " << opt.out << "\n";
+    return 1;
+  }
+  bench::JsonWriter w(&out);
+  w.BeginObject();
+  w.Newline();
+  w.Field("bench", "bench_serve_net");
+  w.Newline();
+  w.Field("smoke", opt.smoke);
+  w.Newline();
+  WriteNetReport(&w, rep);
+  w.Newline();
+  w.EndObject();
+  w.Newline();
+  std::cout << "wrote " << opt.out << "\n";
+  // Transport errors mean the harness itself misbehaved; shedding under
+  // overload is the expected signal, not a failure.
+  return total_err == 0 ? 0 : 1;
+}
+
 struct TierResult {
   QuantType precision = QuantType::kFp64;
   size_t artifact_bytes = 0;
@@ -383,6 +574,23 @@ int Main(int argc, char** argv) {
       opt.acceptance = true;
     } else if (arg == "--overhead") {
       opt.overhead = true;
+    } else if (arg == "--net") {
+      opt.net = true;
+    } else if (arg == "--connect" || arg.rfind("--connect=", 0) == 0) {
+      std::string target;
+      if (arg == "--connect" && i + 1 < argc) target = argv[++i];
+      else if (arg != "--connect") target = arg.substr(sizeof("--connect=") - 1);
+      const size_t colon = target.rfind(':');
+      if (colon == std::string::npos) {
+        std::cerr << "--connect expects HOST:PORT\n";
+        return 2;
+      }
+      opt.connect_host = target.substr(0, colon);
+      opt.connect_port = std::atoi(target.c_str() + colon + 1);
+    } else if (arg == "--net_users" && i + 1 < argc) {
+      opt.net_users = std::atoi(argv[++i]);
+    } else if (arg.rfind("--net_users=", 0) == 0) {
+      opt.net_users = std::atoi(arg.c_str() + sizeof("--net_users=") - 1);
     } else if (arg == "--requests" && i + 1 < argc) {
       opt.requests = static_cast<size_t>(std::atoi(argv[++i]));
     } else if (arg == "--out" && i + 1 < argc) {
@@ -390,9 +598,14 @@ int Main(int argc, char** argv) {
       out_set = true;
     } else {
       std::cerr << "usage: bench_serve [--smoke] [--acceptance]"
-                << " [--overhead] [--requests N] [--out PATH]\n";
+                << " [--overhead] [--net] [--connect HOST:PORT]"
+                << " [--net_users N] [--requests N] [--out PATH]\n";
       return 2;
     }
+  }
+  if (opt.net) {
+    if (!out_set) opt.out = "BENCH_serve_net.json";
+    return RunNet(opt);
   }
   if (opt.overhead) {
     if (!out_set) opt.out = "BENCH_serve_overhead.json";
@@ -515,6 +728,12 @@ int Main(int argc, char** argv) {
     if (opt.out == "BENCH_serve.json") return ok ? 0 : 1;
   }
 
+  // --- Open-loop sweep over a real loopback socket (DESIGN.md §13). ------
+  const NetReport net_report =
+      RunInProcessNetSweep(opt.requests > 0 ? opt.requests
+                                            : (opt.smoke ? 48 : 256),
+                           opt.smoke);
+
   std::ofstream out(opt.out);
   if (!out) {
     std::cerr << "cannot write " << opt.out << "\n";
@@ -574,6 +793,8 @@ int Main(int argc, char** argv) {
     w.Newline();
   }
   w.EndArray();
+  w.Newline();
+  WriteNetReport(&w, net_report);
   w.Newline();
   w.Field("int8_over_fp32_batched_speedup", int8_speedup);
   w.Newline();

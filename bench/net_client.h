@@ -1,0 +1,228 @@
+// Open-loop Poisson-arrival load client for the serving data plane
+// (DESIGN.md §13). Drives a NetServer over real sockets at a FIXED
+// offered rate — arrivals are scheduled from an exponential
+// inter-arrival process up front and fired on schedule regardless of
+// how fast responses come back (requests pipeline on each connection).
+// Latency is measured from the SCHEDULED arrival time, not the send
+// time, so queueing a client falls into under overload is charged to
+// the server (wrk2-style coordinated-omission correction).
+//
+// Header-only; used by bench_serve --net and the CI network smoke.
+#ifndef KGAG_BENCH_NET_CLIENT_H_
+#define KGAG_BENCH_NET_CLIENT_H_
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/net_protocol.h"
+#include "serve/serving_engine.h"
+
+namespace kgag {
+namespace bench {
+
+struct OpenLoopOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Parallel connections; requests round-robin across them and
+  /// pipeline within each, so offered load is not capped by latency.
+  size_t connections = 8;
+  /// Requests fired at this level.
+  size_t requests = 256;
+  /// Target arrival rate. The schedule is Poisson: exponential
+  /// inter-arrival gaps with mean 1/offered_qps.
+  double offered_qps = 100.0;
+  /// Relative deadline stamped on every request (0 = none): the knob
+  /// that turns sustained overload into visible shedding instead of an
+  /// unbounded queue.
+  int64_t deadline_us = 0;
+  uint64_t seed = 1;
+};
+
+struct OpenLoopResult {
+  double offered_qps = 0.0;  ///< nominal (requested) rate
+  /// sent / actual schedule span. A sampled Poisson schedule's span
+  /// deviates from nominal by ~1/sqrt(n); saturation checks should
+  /// compare achieved against THIS rate, not the nominal one.
+  double empirical_offered_qps = 0.0;
+  size_t sent = 0;
+  size_t ok = 0;
+  size_t shed = 0;    ///< DeadlineExceeded + Overloaded wire statuses
+  size_t errors = 0;  ///< transport failures + unexpected wire statuses
+  double wall_s = 0.0;
+  double achieved_qps = 0.0;  ///< completed-OK rate over the wall window
+  double p50_us = 0.0;        ///< latency from scheduled arrival, OK only
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+};
+
+namespace netclient_internal {
+
+inline double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace netclient_internal
+
+/// Deterministic request pool for load generation: member sets of 2-4
+/// users below `num_users`, k=10. Small enough to cycle, varied enough
+/// to defeat trivial full-batch coalescing.
+inline std::vector<serve::TopKRequest> MakeNetRequestPool(int32_t num_users,
+                                                          size_t n,
+                                                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<serve::TopKRequest> pool;
+  pool.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    serve::TopKRequest r;
+    const int size = static_cast<int>(rng.UniformInt(2, 4));
+    for (int m = 0; m < size; ++m) {
+      r.members.push_back(
+          static_cast<UserId>(rng.UniformInt(0, num_users - 1)));
+    }
+    r.k = 10;
+    pool.push_back(std::move(r));
+  }
+  return pool;
+}
+
+/// Runs one offered-QPS level against a live server. Returns the level
+/// result; `ok==0 && errors==sent` usually means the server is gone.
+inline OpenLoopResult RunOpenLoopLevel(
+    const OpenLoopOptions& options,
+    const std::vector<serve::TopKRequest>& pool) {
+  using Clock = std::chrono::steady_clock;
+  OpenLoopResult result;
+  result.offered_qps = options.offered_qps;
+  result.sent = options.requests;
+  if (pool.empty() || options.requests == 0 || options.offered_qps <= 0.0) {
+    return result;
+  }
+
+  // The full Poisson arrival schedule, fixed before any traffic flows:
+  // an open-loop client never lets server backpressure reshape the
+  // offered process.
+  Rng rng(options.seed * 2654435761u + 7);
+  std::vector<double> arrival_s(options.requests);
+  double t = 0.0;
+  for (size_t i = 0; i < options.requests; ++i) {
+    const double u = rng.Uniform(1e-12, 1.0);
+    t += -std::log(u) / options.offered_qps;
+    arrival_s[i] = t;
+  }
+  result.empirical_offered_qps =
+      arrival_s.back() == 0.0
+          ? 0.0
+          : static_cast<double>(options.requests) / arrival_s.back();
+
+  const size_t conns = std::max<size_t>(1, options.connections);
+  struct ConnStats {
+    std::vector<double> latencies_us;
+    size_t ok = 0, shed = 0, errors = 0;
+    Clock::time_point last_done;
+  };
+  std::vector<ConnStats> stats(conns);
+
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(2 * conns);
+  for (size_t c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      ConnStats& st = stats[c];
+      st.last_done = start;
+      Result<int> fd = serve::ConnectTcp(options.host, options.port);
+      if (!fd.ok()) {
+        for (size_t i = c; i < options.requests; i += conns) ++st.errors;
+        return;
+      }
+      // Writer fires this connection's share of the schedule on time;
+      // the reader half (below, same thread pattern as the server's
+      // ordered writer) runs concurrently so a slow response never
+      // delays the next send.
+      std::thread writer([&] {
+        for (size_t i = c; i < options.requests; i += conns) {
+          const Clock::time_point due =
+              start + std::chrono::duration_cast<Clock::duration>(
+                          std::chrono::duration<double>(arrival_s[i]));
+          std::this_thread::sleep_until(due);
+          serve::TopKRequest request = pool[i % pool.size()];
+          request.deadline_us = options.deadline_us;
+          if (!serve::WriteFrame(*fd, serve::EncodeTopKRequest(request))) {
+            return;  // reader will see the failure too
+          }
+        }
+        // Half-close: tells the server this connection is done sending
+        // while responses continue to flow back.
+        ::shutdown(*fd, SHUT_WR);
+      });
+      for (size_t i = c; i < options.requests; i += conns) {
+        std::vector<uint8_t> payload;
+        if (!serve::ReadFrame(*fd, &payload)) {
+          ++st.errors;
+          continue;  // count every unanswered request as an error
+        }
+        const Clock::time_point done = Clock::now();
+        st.last_done = done;
+        Result<serve::WireResponse> resp =
+            serve::DecodeTopKResponse(payload.data(), payload.size());
+        if (!resp.ok()) {
+          ++st.errors;
+          continue;
+        }
+        if (resp->status == serve::WireStatus::kOk) {
+          ++st.ok;
+          const double scheduled_us = arrival_s[i] * 1e6;
+          const double done_us =
+              std::chrono::duration_cast<
+                  std::chrono::duration<double, std::micro>>(done - start)
+                  .count();
+          st.latencies_us.push_back(done_us - scheduled_us);
+        } else if (resp->status == serve::WireStatus::kDeadlineExceeded ||
+                   resp->status == serve::WireStatus::kOverloaded) {
+          ++st.shed;
+        } else {
+          ++st.errors;
+        }
+      }
+      writer.join();
+      ::close(*fd);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  std::vector<double> latencies;
+  Clock::time_point last_done = start;
+  for (ConnStats& st : stats) {
+    result.ok += st.ok;
+    result.shed += st.shed;
+    result.errors += st.errors;
+    latencies.insert(latencies.end(), st.latencies_us.begin(),
+                     st.latencies_us.end());
+    last_done = std::max(last_done, st.last_done);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  result.p50_us = netclient_internal::PercentileSorted(latencies, 0.50);
+  result.p99_us = netclient_internal::PercentileSorted(latencies, 0.99);
+  result.p999_us = netclient_internal::PercentileSorted(latencies, 0.999);
+  result.wall_s =
+      std::chrono::duration<double>(last_done - start).count();
+  result.achieved_qps =
+      result.wall_s == 0.0 ? 0.0
+                           : static_cast<double>(result.ok) / result.wall_s;
+  return result;
+}
+
+}  // namespace bench
+}  // namespace kgag
+
+#endif  // KGAG_BENCH_NET_CLIENT_H_

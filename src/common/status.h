@@ -22,6 +22,8 @@ enum class StatusCode : int {
   kUnimplemented = 5,
   kInternal = 6,
   kIoError = 7,
+  kDeadlineExceeded = 8,
+  kResourceExhausted = 9,
 };
 
 /// \brief Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -64,6 +66,12 @@ class Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -78,6 +86,12 @@ class Status {
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const {

@@ -1,0 +1,341 @@
+#include "serve/net_protocol.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace kgag {
+namespace serve {
+
+namespace {
+
+// Little-endian append/read helpers. Byte-by-byte so the wire layout is
+// the same regardless of host endianness or alignment rules.
+
+void PutU8(std::vector<uint8_t>* out, uint8_t v) { out->push_back(v); }
+
+void PutU16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutI32(std::vector<uint8_t>* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutF64(std::vector<uint8_t>* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+/// Bounds-checked sequential reader over a frame payload.
+class Cursor {
+ public:
+  Cursor(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool ReadU8(uint8_t* v) {
+    if (pos_ + 1 > size_) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+  bool ReadU16(uint16_t* v) {
+    if (pos_ + 2 > size_) return false;
+    *v = static_cast<uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+    pos_ += 2;
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (pos_ + 4 > size_) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (pos_ + 8 > size_) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return true;
+  }
+  bool ReadI32(int32_t* v) {
+    uint32_t u;
+    if (!ReadU32(&u)) return false;
+    *v = static_cast<int32_t>(u);
+    return true;
+  }
+  bool ReadF64(double* v) {
+    uint64_t bits;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool ReadBytes(std::string* out, size_t n) {
+    if (pos_ + n > size_) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk: return "Ok";
+    case WireStatus::kInvalidArgument: return "InvalidArgument";
+    case WireStatus::kDeadlineExceeded: return "DeadlineExceeded";
+    case WireStatus::kOverloaded: return "Overloaded";
+    case WireStatus::kShuttingDown: return "ShuttingDown";
+    case WireStatus::kMalformed: return "Malformed";
+    case WireStatus::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+WireStatus WireStatusFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return WireStatus::kOk;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kOutOfRange:
+      return WireStatus::kInvalidArgument;
+    case StatusCode::kDeadlineExceeded:
+      return WireStatus::kDeadlineExceeded;
+    case StatusCode::kResourceExhausted:
+      return WireStatus::kOverloaded;
+    default:
+      // Submit-after-Shutdown surfaces as Internal with a recognizable
+      // message; everything else genuinely is internal.
+      return status.message().find("shut down") != std::string::npos
+                 ? WireStatus::kShuttingDown
+                 : WireStatus::kInternal;
+  }
+}
+
+std::vector<uint8_t> EncodeTopKRequest(const TopKRequest& request) {
+  std::vector<uint8_t> out;
+  out.reserve(20 + 4 * (request.members.size() + request.exclude_seen.size()));
+  PutU8(&out, kWireVersion);
+  PutU8(&out, static_cast<uint8_t>(request.priority));
+  PutU16(&out, 0);  // flags
+  PutU32(&out, request.deadline_us > 0
+                   ? static_cast<uint32_t>(request.deadline_us)
+                   : 0u);
+  PutU32(&out, static_cast<uint32_t>(request.k));
+  PutU32(&out, static_cast<uint32_t>(request.members.size()));
+  PutU32(&out, static_cast<uint32_t>(request.exclude_seen.size()));
+  for (UserId id : request.members) PutI32(&out, id);
+  for (ItemId id : request.exclude_seen) PutI32(&out, id);
+  return out;
+}
+
+Result<TopKRequest> DecodeTopKRequest(const uint8_t* data, size_t size) {
+  Cursor cur(data, size);
+  uint8_t version = 0, priority = 0;
+  uint16_t flags = 0;
+  uint32_t deadline_us = 0, k = 0, num_members = 0, num_exclude = 0;
+  if (!cur.ReadU8(&version) || !cur.ReadU8(&priority) ||
+      !cur.ReadU16(&flags) || !cur.ReadU32(&deadline_us) ||
+      !cur.ReadU32(&k) || !cur.ReadU32(&num_members) ||
+      !cur.ReadU32(&num_exclude)) {
+    return Status::InvalidArgument("request frame truncated in header");
+  }
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("unsupported wire version " +
+                                   std::to_string(version));
+  }
+  if (flags != 0) {
+    return Status::InvalidArgument("reserved flags must be zero");
+  }
+  if (priority > static_cast<uint8_t>(RequestClass::kBatch)) {
+    return Status::InvalidArgument("unknown priority class " +
+                                   std::to_string(priority));
+  }
+  // Array counts are re-validated against the actual payload size, so a
+  // lying header can't drive a large allocation.
+  const size_t need = 4 * (static_cast<size_t>(num_members) + num_exclude);
+  if (size < 20 || size - 20 != need) {
+    return Status::InvalidArgument("request frame size mismatch");
+  }
+  TopKRequest request;
+  request.k = k;
+  request.priority = static_cast<RequestClass>(priority);
+  request.deadline_us = deadline_us;
+  request.members.resize(num_members);
+  for (uint32_t i = 0; i < num_members; ++i) {
+    if (!cur.ReadI32(&request.members[i])) {
+      return Status::InvalidArgument("request frame truncated in members");
+    }
+  }
+  request.exclude_seen.resize(num_exclude);
+  for (uint32_t i = 0; i < num_exclude; ++i) {
+    if (!cur.ReadI32(&request.exclude_seen[i])) {
+      return Status::InvalidArgument("request frame truncated in exclusions");
+    }
+  }
+  if (!cur.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after request frame");
+  }
+  return request;
+}
+
+std::vector<uint8_t> EncodeTopKResponse(const TopKResult& result) {
+  std::vector<uint8_t> out;
+  out.reserve(8 + 12 * result.items.size());
+  PutU8(&out, kWireVersion);
+  PutU8(&out, static_cast<uint8_t>(WireStatus::kOk));
+  PutU16(&out, 0);
+  PutU32(&out, static_cast<uint32_t>(result.items.size()));
+  for (size_t i = 0; i < result.items.size(); ++i) {
+    PutI32(&out, result.items[i]);
+    PutF64(&out, result.scores[i]);
+  }
+  return out;
+}
+
+std::vector<uint8_t> EncodeErrorResponse(WireStatus status,
+                                         const std::string& message) {
+  std::vector<uint8_t> out;
+  out.reserve(8 + message.size());
+  PutU8(&out, kWireVersion);
+  PutU8(&out, static_cast<uint8_t>(status));
+  PutU16(&out, 0);
+  PutU32(&out, static_cast<uint32_t>(message.size()));
+  out.insert(out.end(), message.begin(), message.end());
+  return out;
+}
+
+Result<WireResponse> DecodeTopKResponse(const uint8_t* data, size_t size) {
+  Cursor cur(data, size);
+  uint8_t version = 0, status = 0;
+  uint16_t reserved = 0;
+  uint32_t count = 0;
+  if (!cur.ReadU8(&version) || !cur.ReadU8(&status) ||
+      !cur.ReadU16(&reserved) || !cur.ReadU32(&count)) {
+    return Status::InvalidArgument("response frame truncated in header");
+  }
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("unsupported wire version " +
+                                   std::to_string(version));
+  }
+  if (status > static_cast<uint8_t>(WireStatus::kInternal)) {
+    return Status::InvalidArgument("unknown wire status " +
+                                   std::to_string(status));
+  }
+  WireResponse resp;
+  resp.status = static_cast<WireStatus>(status);
+  if (resp.status == WireStatus::kOk) {
+    if (size - 8 != static_cast<size_t>(count) * 12) {
+      return Status::InvalidArgument("response frame size mismatch");
+    }
+    resp.items.resize(count);
+    resp.scores.resize(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      if (!cur.ReadI32(&resp.items[i]) || !cur.ReadF64(&resp.scores[i])) {
+        return Status::InvalidArgument("response frame truncated in items");
+      }
+    }
+  } else {
+    if (!cur.ReadBytes(&resp.message, count)) {
+      return Status::InvalidArgument("response frame truncated in message");
+    }
+  }
+  if (!cur.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after response frame");
+  }
+  return resp;
+}
+
+bool ReadExact(int fd, void* buf, size_t size) {
+  uint8_t* out = static_cast<uint8_t*>(buf);
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::recv(fd, out + off, size - off, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteAll(int fd, const void* data, size_t size) {
+  const uint8_t* in = static_cast<const uint8_t*>(data);
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd, in + off, size - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ReadFrame(int fd, std::vector<uint8_t>* payload) {
+  uint8_t len_bytes[4];
+  if (!ReadExact(fd, len_bytes, sizeof(len_bytes))) return false;
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) len |= static_cast<uint32_t>(len_bytes[i]) << (8 * i);
+  if (len > kMaxFrameBytes) return false;
+  payload->resize(len);
+  return len == 0 || ReadExact(fd, payload->data(), len);
+}
+
+bool WriteFrame(int fd, const std::vector<uint8_t>& payload) {
+  uint8_t len_bytes[4];
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) len_bytes[i] = static_cast<uint8_t>(len >> (8 * i));
+  return WriteAll(fd, len_bytes, sizeof(len_bytes)) &&
+         (payload.empty() || WriteAll(fd, payload.data(), payload.size()));
+}
+
+Result<int> ConnectTcp(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("connect " + host + ":" + std::to_string(port) +
+                           ": " + err);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace serve
+}  // namespace kgag

@@ -1,0 +1,113 @@
+// Data-plane wire protocol (DESIGN.md §13): length-prefixed binary
+// frames over TCP, little-endian throughout, no dependencies beyond the
+// socket API.
+//
+// Every frame is `u32 payload_length` followed by the payload; frames
+// above kMaxFrameBytes are rejected before allocation. The first four
+// bytes of a connection double as protocol detection: ASCII "POST" /
+// "GET " decode to lengths far above the cap, so an HTTP client on the
+// data port is recognized unambiguously and handed to the HTTP
+// fallback (net_server.cc).
+//
+// Request payload:
+//   u8  version        (kWireVersion)
+//   u8  priority       (RequestClass)
+//   u16 flags          (reserved, must be 0)
+//   u32 deadline_us    (relative; 0 = none)
+//   u32 k
+//   u32 num_members
+//   u32 num_exclude
+//   i32 member_ids[num_members]
+//   i32 exclude_ids[num_exclude]
+//
+// Response payload:
+//   u8  version
+//   u8  status         (WireStatus)
+//   u16 reserved
+//   status == kOk:   u32 count, then count x { i32 item, f64 score }
+//   status != kOk:   u32 msg_len, then msg_len message bytes
+//
+// Scores travel as raw IEEE-754 bit patterns, so a client can verify
+// the serving bit-identity contract end to end over the wire.
+#ifndef KGAG_SERVE_NET_PROTOCOL_H_
+#define KGAG_SERVE_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/serving_engine.h"
+
+namespace kgag {
+namespace serve {
+
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Hard bound on a single frame's payload. A ~64k-member request is
+/// ~256 KiB; 1 MiB leaves headroom while keeping a hostile length
+/// prefix from driving a giant allocation.
+inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
+
+/// \brief Response status on the wire. A compressed view of StatusCode:
+/// the codes a data-plane client can act on, nothing more.
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kDeadlineExceeded = 2,   ///< shed: deadline passed in queue
+  kOverloaded = 3,         ///< shed: queue full (ResourceExhausted)
+  kShuttingDown = 4,       ///< engine stopped accepting work
+  kMalformed = 5,          ///< frame failed to decode
+  kInternal = 6,
+};
+
+/// \brief Human-readable name of a WireStatus (e.g. "Overloaded").
+const char* WireStatusName(WireStatus status);
+
+/// \brief Maps an engine Status onto the wire vocabulary.
+WireStatus WireStatusFromStatus(const Status& status);
+
+/// \brief Decoded form of a response frame.
+struct WireResponse {
+  WireStatus status = WireStatus::kOk;
+  std::vector<ItemId> items;    ///< valid when status == kOk
+  std::vector<double> scores;   ///< parallel to items, exact bits
+  std::string message;          ///< valid when status != kOk
+};
+
+/// Serializes a request into a frame payload (no length prefix).
+std::vector<uint8_t> EncodeTopKRequest(const TopKRequest& request);
+
+/// Parses a frame payload into a request. Rejects unknown versions,
+/// non-zero flags, truncated arrays, and trailing bytes.
+Result<TopKRequest> DecodeTopKRequest(const uint8_t* data, size_t size);
+
+/// Serializes a success / error response into a frame payload.
+std::vector<uint8_t> EncodeTopKResponse(const TopKResult& result);
+std::vector<uint8_t> EncodeErrorResponse(WireStatus status,
+                                         const std::string& message);
+
+/// Parses a frame payload into a response.
+Result<WireResponse> DecodeTopKResponse(const uint8_t* data, size_t size);
+
+// -- Blocking socket helpers shared by server, client and tests. -----
+
+/// Reads exactly `size` bytes; false on EOF/error/timeout.
+bool ReadExact(int fd, void* buf, size_t size);
+/// Writes all of `data`; false on error. Uses MSG_NOSIGNAL.
+bool WriteAll(int fd, const void* data, size_t size);
+
+/// Reads one length-prefixed frame into `payload`. Returns false on
+/// clean EOF before any byte, error, or a length above kMaxFrameBytes.
+bool ReadFrame(int fd, std::vector<uint8_t>* payload);
+/// Writes `payload` as one length-prefixed frame.
+bool WriteFrame(int fd, const std::vector<uint8_t>& payload);
+
+/// Connects to host:port (numeric IPv4 host). Returns the fd, or a
+/// Status on failure.
+Result<int> ConnectTcp(const std::string& host, int port);
+
+}  // namespace serve
+}  // namespace kgag
+
+#endif  // KGAG_SERVE_NET_PROTOCOL_H_

@@ -31,6 +31,8 @@ ServingEngine::ServingEngine(const FrozenModel* model, Options options)
       start_time_(Clock::now()) {
   KGAG_CHECK(model != nullptr);
   options_.max_batch = std::max<size_t>(1, options_.max_batch);
+  options_.latency_sample_capacity =
+      std::max<size_t>(1, options_.latency_sample_capacity);
   if (!options_.slo_objectives.empty()) {
     slo_ = std::make_unique<obs::SloTracker>(options_.slo_objectives);
   }
@@ -40,13 +42,38 @@ ServingEngine::ServingEngine(const FrozenModel* model, Options options)
 ServingEngine::~ServingEngine() { Shutdown(); }
 
 void ServingEngine::Shutdown() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stop_) return;  // already shut down (or shutting down elsewhere)
-    stop_ = true;
-  }
-  cv_.notify_all();
-  dispatcher_.join();
+  // call_once makes concurrent Shutdown() (destructor vs. a signal
+  // handler thread) safe: one caller tears down, the others block here
+  // until it finishes; later calls are no-ops.
+  std::call_once(shutdown_once_, [&] {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    dispatcher_.join();
+    // The dispatcher drains the queue before exiting, so nothing should
+    // remain — but if a queued request somehow survived, reject it
+    // rather than destroying an unfulfilled promise (which would raise
+    // std::future_error{broken_promise} in the waiter).
+    std::deque<Pending> leftovers[2];
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      leftovers[0].swap(queues_[0]);
+      leftovers[1].swap(queues_[1]);
+    }
+    for (std::deque<Pending>& q : leftovers) {
+      for (Pending& p : q) {
+        ShedRequest(std::move(p),
+                    Status::Internal("serving engine is shut down"));
+      }
+    }
+  });
+}
+
+void ServingEngine::SetBatchHookForTest(BatchHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  batch_hook_ = std::move(hook);
 }
 
 std::vector<double> ServingEngine::TakeLatencySamples() {
@@ -100,15 +127,22 @@ TopKResult ServingEngine::Rank(const std::vector<double>& scores, size_t k,
   return result;
 }
 
-void ServingEngine::FinishRequest(Clock::time_point start) {
-  served_.fetch_add(1, std::memory_order_relaxed);
+uint64_t ServingEngine::FinishRequest(Clock::time_point start) {
+  const uint64_t seq = served_.fetch_add(1, std::memory_order_relaxed) + 1;
   KGAG_COUNTER_ADD("serve.requests", 1);
   const double micros = MicrosSince(start);
   KGAG_HDR_OBSERVE("serve.request_latency_us", micros);
   if (slo_) slo_->RecordRequest(micros, /*error=*/false);
   if (options_.record_latency) {
     std::lock_guard<std::mutex> lock(samples_mu_);
-    latency_samples_.push_back(micros);
+    if (latency_samples_.size() < options_.latency_sample_capacity) {
+      latency_samples_.push_back(micros);
+    } else {
+      // A forgotten TakeLatencySamples() must not grow memory without
+      // bound under sustained traffic; drop and count instead.
+      latency_dropped_.fetch_add(1, std::memory_order_relaxed);
+      KGAG_COUNTER_ADD("serve.latency_samples.dropped", 1);
+    }
   }
   const double elapsed_s = MicrosSince(start_time_) * 1e-6;
   if (elapsed_s > 0) {
@@ -118,6 +152,7 @@ void ServingEngine::FinishRequest(Clock::time_point start) {
                        elapsed_s);
   }
   KGAG_GAUGE_SET("serve.cache.hit_rate", cache_.HitRate());
+  return seq;
 }
 
 void ServingEngine::FailRequest(Clock::time_point start) {
@@ -127,6 +162,19 @@ void ServingEngine::FailRequest(Clock::time_point start) {
   // error budget.
   KGAG_COUNTER_ADD("serve.requests.failed", 1);
   if (slo_) slo_->RecordRequest(MicrosSince(start), /*error=*/true);
+}
+
+void ServingEngine::ShedRequest(Pending pending, Status status) {
+  KGAG_COUNTER_ADD("serve.requests.rejected", 1);
+  if (status.IsDeadlineExceeded()) {
+    shed_deadline_.fetch_add(1, std::memory_order_relaxed);
+    KGAG_COUNTER_ADD("serve.requests.shed.deadline", 1);
+  } else if (status.IsResourceExhausted()) {
+    shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+    KGAG_COUNTER_ADD("serve.requests.shed.queue_full", 1);
+  }
+  if (slo_) slo_->RecordRequest(MicrosSince(pending.enqueued), /*error=*/true);
+  pending.promise.set_value(std::move(status));
 }
 
 Result<TopKResult> ServingEngine::TopK(std::span<const UserId> members,
@@ -157,7 +205,7 @@ Result<TopKResult> ServingEngine::TopK(std::span<const UserId> members,
   KGAG_COUNTER_ADD("serve.batches", 1);
   KGAG_HISTOGRAM_OBSERVE("serve.batch_size", 1.0,
                          ::kgag::obs::CountBounds());
-  FinishRequest(start);
+  result.sequence = FinishRequest(start);
   return result;
 }
 
@@ -165,6 +213,11 @@ std::future<Result<TopKResult>> ServingEngine::Submit(TopKRequest request) {
   Pending pending;
   pending.request = std::move(request);
   pending.enqueued = Clock::now();
+  pending.deadline =
+      pending.request.deadline_us > 0
+          ? pending.enqueued +
+                std::chrono::microseconds(pending.request.deadline_us)
+          : Clock::time_point::max();
   pending.req_id = next_req_.fetch_add(1, std::memory_order_relaxed);
   KGAG_TRACE_SPAN_REQ("serve.submit", pending.req_id);
   if (obs::TraceRecorder::Global().enabled()) {
@@ -173,7 +226,11 @@ std::future<Result<TopKResult>> ServingEngine::Submit(TopKRequest request) {
     pending.submit_ts_us = obs::TraceRecorder::NowUs();
   }
   std::future<Result<TopKResult>> future = pending.promise.get_future();
-  bool notify;
+  const size_t cls = static_cast<size_t>(pending.request.priority) & 1;
+  bool notify = false;
+  Pending displaced;
+  bool have_displaced = false;
+  bool shed_arrival = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) {
@@ -182,49 +239,118 @@ std::future<Result<TopKResult>> ServingEngine::Submit(TopKRequest request) {
           Status::Internal("serving engine is shut down"));
       return future;
     }
-    queue_.push_back(std::move(pending));
-    // Wake the dispatcher only on the transitions it can act on: queue
-    // went non-empty (it may be idle) or just filled a whole batch (it
-    // may be holding one open under the deadline). Intermediate sizes
-    // would only make wait_until re-check its predicate and sleep again.
-    notify = queue_.size() == 1 || queue_.size() == options_.max_batch;
+    if (options_.max_queue > 0 &&
+        QueueDepthLocked() >= options_.max_queue) {
+      // Admission-time load shedding. An interactive arrival displaces
+      // the newest queued batch-class request (shed it instead); a
+      // batch-class arrival — or an interactive one with no batch-class
+      // victim — is shed outright.
+      if (pending.request.priority == RequestClass::kInteractive &&
+          !queues_[1].empty()) {
+        displaced = std::move(queues_[1].back());
+        queues_[1].pop_back();
+        have_displaced = true;
+      } else {
+        shed_arrival = true;
+      }
+    }
+    if (!shed_arrival) {
+      queues_[cls].push_back(std::move(pending));
+      // Wake the dispatcher only on the transitions it can act on: queue
+      // went non-empty (it may be idle) or just filled a whole batch (it
+      // may be holding one open under the deadline). Intermediate sizes
+      // would only make wait_until re-check its predicate and sleep
+      // again.
+      const size_t depth = QueueDepthLocked();
+      notify = depth == 1 || depth == options_.max_batch;
+    }
+  }
+  if (shed_arrival) {
+    ShedRequest(std::move(pending),
+                Status::ResourceExhausted("serving queue is full"));
+    return future;
+  }
+  if (have_displaced) {
+    ShedRequest(std::move(displaced),
+                Status::ResourceExhausted(
+                    "displaced by an interactive request"));
   }
   if (notify) cv_.notify_all();
   return future;
 }
 
-void ServingEngine::DispatcherLoop() {
-  for (;;) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
-    // Drain queued work even when stopping; exit only once idle.
-    if (queue_.empty()) {
-      if (stop_) return;
+size_t ServingEngine::QueueDepthLocked() const {
+  return queues_[0].size() + queues_[1].size();
+}
+
+Clock::time_point ServingEngine::OldestEnqueuedLocked() const {
+  Clock::time_point oldest = Clock::time_point::max();
+  for (const std::deque<Pending>& q : queues_) {
+    if (!q.empty()) oldest = std::min(oldest, q.front().enqueued);
+  }
+  return oldest;
+}
+
+void ServingEngine::TakeBatchLocked(size_t max_take,
+                                    std::vector<Pending>* taken,
+                                    std::vector<Pending>* shed) {
+  const Clock::time_point now = Clock::now();
+  while (taken->size() < max_take) {
+    // Interactive first, always — priority inversion under saturation
+    // is exactly what the two classes exist to prevent.
+    std::deque<Pending>* q = !queues_[0].empty()   ? &queues_[0]
+                             : !queues_[1].empty() ? &queues_[1]
+                                                   : nullptr;
+    if (q == nullptr) break;
+    Pending p = std::move(q->front());
+    q->pop_front();
+    if (p.deadline < now) {
+      // Expired before we could execute it: shed, don't burn a slot.
+      shed->push_back(std::move(p));
       continue;
     }
-    if (options_.max_batch > 1 && options_.batch_deadline_us > 0 &&
-        queue_.size() < options_.max_batch) {
-      // Hold the batch open briefly so concurrent submitters coalesce;
-      // stop_ also wakes us so shutdown never waits the full deadline.
-      const Clock::time_point deadline =
-          Clock::now() + std::chrono::microseconds(options_.batch_deadline_us);
-      cv_.wait_until(lock, deadline, [&] {
-        return stop_ || queue_.size() >= options_.max_batch;
-      });
-    }
-    const size_t take = std::min(queue_.size(), options_.max_batch);
+    taken->push_back(std::move(p));
+  }
+}
+
+void ServingEngine::DispatcherLoop() {
+  for (;;) {
     std::vector<Pending> batch;
-    batch.reserve(take);
-    for (size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
+    std::vector<Pending> shed;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || QueueDepthLocked() > 0; });
+      // Drain queued work even when stopping; exit only once idle.
+      if (QueueDepthLocked() == 0) {
+        if (stop_) return;
+        continue;
+      }
+      if (options_.max_batch > 1 && options_.batch_deadline_us > 0 &&
+          QueueDepthLocked() < options_.max_batch && !stop_) {
+        // Hold the batch open so concurrent submitters coalesce — but
+        // anchor the deadline to the OLDEST pending request's enqueue
+        // time, not to this wake-up: under a slow wake the head must
+        // not wait ~2x batch_deadline_us. stop_ also wakes us so
+        // shutdown never waits the full deadline.
+        const Clock::time_point deadline =
+            OldestEnqueuedLocked() +
+            std::chrono::microseconds(options_.batch_deadline_us);
+        cv_.wait_until(lock, deadline, [&] {
+          return stop_ || QueueDepthLocked() >= options_.max_batch;
+        });
+      }
+      TakeBatchLocked(options_.max_batch, &batch, &shed);
     }
-    lock.unlock();
+    for (Pending& p : shed) {
+      ShedRequest(std::move(p),
+                  Status::DeadlineExceeded("deadline passed in queue"));
+    }
+    if (batch.empty()) continue;  // everything expired in the queue
 
     if (options_.pool != nullptr) {
-      // The batch body (rep building, the stacked GEMM, reduce + rank)
-      // runs on the shared compute pool; `batch` outlives the task since
-      // we block on its future.
+      // The batch body (rep building, in-flight admission, the stacked
+      // GEMM, reduce + rank) runs on the shared compute pool; `batch`
+      // outlives the task since we block on its future.
       options_.pool->Submit([this, &batch] { ExecuteBatch(std::move(batch)); })
           .get();
     } else {
@@ -237,20 +363,29 @@ void ServingEngine::ExecuteBatch(std::vector<Pending> batch) {
   KGAG_TRACE_SPAN("serve.batch");
   const size_t n = static_cast<size_t>(model_->num_items);
 
-  // Close out every request's queue-wait: the span runs on the
-  // submitter's trace clock from Submit() to here, and the HDR series
-  // feeds the same wall interval into /metrics.
-  for (const Pending& p : batch) {
-    KGAG_HDR_OBSERVE("serve.queue_wait_us", MicrosSince(p.enqueued));
-    if (p.submit_ts_us > 0.0) {
-      obs::TraceRecorder::Global().Record(
-          "serve.queue_wait", p.submit_ts_us,
-          obs::TraceRecorder::NowUs() - p.submit_ts_us, p.req_id);
-    }
+  // Stable storage for the whole batch, late admits included: Live
+  // holds Pending pointers, so the vector must never reallocate.
+  std::vector<Pending> pendings;
+  pendings.reserve(options_.max_batch);
+  for (Pending& p : batch) pendings.push_back(std::move(p));
+  batch.clear();
+
+  BatchHook hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hook = batch_hook_;
   }
+  auto call_hook = [&](const char* phase) {
+    if (!hook) return;
+    std::vector<uint64_t> ids;
+    ids.reserve(pendings.size());
+    for (const Pending& p : pendings) ids.push_back(p.req_id);
+    hook(phase, ids);
+  };
+  call_hook("start");
 
   // Resolve each request's rep (errors resolve their promises now and
-  // drop out of the GEMM).
+  // drop out of the GEMM). Runs once per admission wave.
   struct Live {
     Pending* pending;
     std::shared_ptr<const GroupRep> rep;
@@ -258,17 +393,58 @@ void ServingEngine::ExecuteBatch(std::vector<Pending> batch) {
     size_t row_offset;
   };
   std::vector<Live> live;
-  live.reserve(batch.size());
-  for (Pending& p : batch) {
-    bool hit = false;
-    Result<std::shared_ptr<const GroupRep>> rep =
-        GetRep(p.request.members, &hit, p.req_id);
-    if (!rep.ok()) {
-      FailRequest(p.enqueued);
-      p.promise.set_value(rep.status());
-      continue;
+  live.reserve(options_.max_batch);
+  auto admit = [&](size_t first) {
+    for (size_t idx = first; idx < pendings.size(); ++idx) {
+      Pending& p = pendings[idx];
+      // Close out the request's queue-wait: the span runs on the
+      // submitter's trace clock from Submit() to here, and the HDR
+      // series feeds the same wall interval into /metrics.
+      KGAG_HDR_OBSERVE("serve.queue_wait_us", MicrosSince(p.enqueued));
+      if (p.submit_ts_us > 0.0) {
+        obs::TraceRecorder::Global().Record(
+            "serve.queue_wait", p.submit_ts_us,
+            obs::TraceRecorder::NowUs() - p.submit_ts_us, p.req_id);
+      }
+      bool hit = false;
+      Result<std::shared_ptr<const GroupRep>> rep =
+          GetRep(p.request.members, &hit, p.req_id);
+      if (!rep.ok()) {
+        FailRequest(p.enqueued);
+        p.promise.set_value(rep.status());
+        continue;
+      }
+      live.push_back(Live{&p, rep.MoveValueUnsafe(), hit, 0});
     }
-    live.push_back(Live{&p, rep.MoveValueUnsafe(), hit, 0});
+  };
+  admit(0);
+
+  // Continuous admission (the slot model): requests that arrived while
+  // the reps above were being built join this in-flight batch until its
+  // slots fill. Each wave admits at least one request, so the loop is
+  // bounded by max_batch.
+  while (options_.continuous_admission &&
+         pendings.size() < options_.max_batch) {
+    call_hook("late_admit_check");
+    const size_t before = pendings.size();
+    std::vector<Pending> newcomers;
+    std::vector<Pending> shed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      TakeBatchLocked(options_.max_batch - pendings.size(), &newcomers,
+                      &shed);
+    }
+    for (Pending& p : shed) {
+      ShedRequest(std::move(p),
+                  Status::DeadlineExceeded("deadline passed in queue"));
+    }
+    if (newcomers.empty()) break;
+    for (Pending& p : newcomers) pendings.push_back(std::move(p));
+    late_admitted_.fetch_add(pendings.size() - before,
+                             std::memory_order_relaxed);
+    KGAG_COUNTER_ADD("serve.batch.late_admitted",
+                     static_cast<uint64_t>(pendings.size() - before));
+    admit(before);
   }
   if (live.empty()) return;
 
@@ -309,7 +485,8 @@ void ServingEngine::ExecuteBatch(std::vector<Pending> batch) {
   // against the full item table in a single pass — kernels::Gemm for
   // fp64 models, the matching QGemm* kernel for quantized ones. Each
   // output row's k-accumulation order is position-independent, so every
-  // request's logits match what a solo GEMM would produce.
+  // request's logits match what a solo GEMM would produce — late admits
+  // included.
   MemberStack stack(*model_);
   for (size_t di : distinct) {
     live[di].row_offset = stack.Append(*live[di].rep);
@@ -344,21 +521,38 @@ void ServingEngine::ExecuteBatch(std::vector<Pending> batch) {
       KGAG_TRACE_SPAN_REQ("serve.reply", l.pending->req_id);
       // Bookkeeping first: once the promise is fulfilled the submitter
       // may read requests_served() and must not see a stale count.
-      FinishRequest(l.pending->enqueued);
+      result.sequence = FinishRequest(l.pending->enqueued);
       l.pending->promise.set_value(std::move(result));
     }
   }
 }
 
 std::string ServingEngine::StatusJson() const {
+  size_t queue_depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_depth = QueueDepthLocked();
+  }
   std::ostringstream os;
   os.precision(12);
   os << "{\"requests_served\":" << served_.load(std::memory_order_relaxed)
      << ",\"batches_run\":" << batches_.load(std::memory_order_relaxed)
      << ",\"coalesced_requests\":"
      << coalesced_.load(std::memory_order_relaxed)
+     << ",\"scheduler\":{\"queue_depth\":" << queue_depth
+     << ",\"late_admitted\":"
+     << late_admitted_.load(std::memory_order_relaxed)
+     << ",\"shed_deadline\":"
+     << shed_deadline_.load(std::memory_order_relaxed)
+     << ",\"shed_queue_full\":"
+     << shed_queue_full_.load(std::memory_order_relaxed)
+     << ",\"latency_samples_dropped\":"
+     << latency_dropped_.load(std::memory_order_relaxed) << "}"
      << ",\"options\":{\"max_batch\":" << options_.max_batch
      << ",\"batch_deadline_us\":" << options_.batch_deadline_us
+     << ",\"max_queue\":" << options_.max_queue
+     << ",\"continuous_admission\":"
+     << (options_.continuous_admission ? "true" : "false")
      << ",\"cache_capacity\":" << options_.cache_capacity << "}"
      << ",\"cache\":{\"size\":" << cache_.size()
      << ",\"capacity\":" << cache_.capacity()

@@ -1,5 +1,5 @@
-// Online serving engine (DESIGN.md §10): answers TopK(group_members, k,
-// exclude_seen) against a FrozenModel.
+// Online serving engine (DESIGN.md §10, §13): answers TopK(group_members,
+// k, exclude_seen) against a FrozenModel.
 //
 // Request path:
 //   canonicalize members -> GroupRepCache lookup -> (miss: BuildGroupRep,
@@ -8,29 +8,41 @@
 //   exclusion set filtered at rank time (TopKIndicesWhere), so exclusions
 //   never change the GEMM shape or any surviving item's score bits.
 //
-// Micro-batching: Submit() enqueues the request and returns a future. A
-// dispatcher thread coalesces up to max_batch requests — waiting at most
-// batch_deadline_us after the first — stacks their member matrices and
-// runs ONE blocked GEMM (Σ|members| x dim)·(dim x num_items) for the
-// whole batch, then reduces and ranks each request from its row block.
-// Requests for the same canonical group are coalesced first: duplicates
-// share both the GEMM rows and the per-item softmax reduce, and only the
-// final rank (k, exclusions) runs per request. That sharing is the
-// structural win of batching — the per-request path pays the full reduce
-// every time even with a warm rep cache, because scores never outlive a
-// batch. The stacked GEMM also streams the item matrix once per batch
-// instead of once per request. Each output row's accumulation order is
-// independent of the other rows in the call, so batched scores are
-// bit-identical to solo scores (pinned by tests/test_serve.cc). The
-// batch body runs on the borrowed ThreadPool when one is configured.
+// Continuous batching: Submit() enqueues the request and returns a
+// future. A dispatcher thread coalesces up to max_batch requests —
+// holding the batch open at most batch_deadline_us past the OLDEST
+// pending request's enqueue time — then executes them slot-style: while
+// member reps are being resolved, newly arrived requests are admitted
+// into the still-forming in-flight batch until every slot is taken
+// (llama.cpp server slot model; Options::continuous_admission). Only
+// then does ONE blocked GEMM (Σ|members| x dim)·(dim x num_items) run
+// for the whole batch, each request reduced and ranked from its row
+// block. Requests for the same canonical group are coalesced first:
+// duplicates share both the GEMM rows and the per-item softmax reduce,
+// and only the final rank (k, exclusions) runs per request. Each output
+// row's accumulation order is independent of the other rows in the
+// call, so batched scores are bit-identical to solo scores — late
+// admits included (pinned by tests/test_scheduler.cc).
+//
+// Admission control: every request carries a priority class
+// (interactive before batch at every pickup) and an optional relative
+// deadline. A request whose deadline has already passed when the
+// scheduler reaches it is shed — its future resolves with
+// DeadlineExceeded, it never consumes GEMM slots. When
+// Options::max_queue is set, arrivals beyond the bound are shed at
+// admission with ResourceExhausted; an interactive arrival displaces
+// the newest queued batch-class request instead of being dropped.
 //
 // TopK() is the synchronous path: same scoring code, no queue — batches
 // of one, for callers that need plain request/response.
 //
-// serve.* metrics: requests (plus .failed / .rejected), batches,
-// batch_size histogram, HDR request-latency and queue-wait histograms
-// (submit -> completion, exact-count quantiles), qps gauge, cache
-// hit/miss counters and hit-rate/size gauges (from GroupRepCache).
+// serve.* metrics: requests (plus .failed / .rejected and the shed
+// split serve.requests.shed.{deadline,queue_full}), batches,
+// batch_size histogram, serve.batch.late_admitted, HDR request-latency
+// and queue-wait histograms (submit -> completion, exact-count
+// quantiles), qps gauge, cache hit/miss counters and hit-rate/size
+// gauges (from GroupRepCache), serve.latency_samples.dropped when the
+// raw-sample buffer hits its bound.
 //
 // Request-scoped tracing: every request gets a monotonic id at
 // Submit()/TopK() time; the spans it touches on any thread
@@ -43,8 +55,8 @@
 //
 // SLO tracking: when Options::slo_objectives is non-empty the engine
 // owns an obs::SloTracker and classifies every finished request
-// (latency, error) against each objective; slo() exposes it for gauge
-// export and /statusz.
+// (latency, error) against each objective; shed and failed requests
+// burn error budget. slo() exposes it for gauge export and /statusz.
 #ifndef KGAG_SERVE_SERVING_ENGINE_H_
 #define KGAG_SERVE_SERVING_ENGINE_H_
 
@@ -53,6 +65,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -72,12 +85,26 @@
 namespace kgag {
 namespace serve {
 
+/// \brief Scheduling class of a request. Interactive requests are picked
+/// before batch-class ones at every admission point, and under queue
+/// pressure batch-class requests are shed first.
+enum class RequestClass : uint8_t {
+  kInteractive = 0,
+  kBatch = 1,
+};
+
 /// \brief One scoring request. Member order and duplicates don't matter
 /// (canonicalized); `exclude_seen` items are dropped from the ranking.
 struct TopKRequest {
   std::vector<UserId> members;
   size_t k = 10;
   std::vector<ItemId> exclude_seen;
+  /// Scheduling class (see RequestClass).
+  RequestClass priority = RequestClass::kInteractive;
+  /// Relative deadline in micros from Submit(); 0 = none. A request the
+  /// scheduler reaches after its deadline is shed (DeadlineExceeded)
+  /// without consuming a GEMM slot.
+  int64_t deadline_us = 0;
 };
 
 /// \brief Ranked recommendation: items[0] is the best candidate.
@@ -85,6 +112,10 @@ struct TopKResult {
   std::vector<ItemId> items;    ///< descending score, ties to smaller id
   std::vector<double> scores;   ///< parallel to items
   bool cache_hit = false;       ///< group rep came from the cache
+  /// 1-based completion index across the engine (the value of
+  /// requests_served() the moment this request finished) — lets tests
+  /// and clients observe scheduling order.
+  uint64_t sequence = 0;
 };
 
 /// \brief Thread-safe serving front-end over a FrozenModel.
@@ -94,7 +125,8 @@ class ServingEngine {
     /// Most requests one dispatcher batch coalesces (1 = per-request).
     size_t max_batch = 16;
     /// How long the dispatcher holds an open batch waiting for more
-    /// requests after the first arrives. 0 = dispatch immediately.
+    /// requests after the OLDEST pending one arrived. 0 = dispatch
+    /// immediately.
     int64_t batch_deadline_us = 200;
     /// Group-representation LRU entries (0 disables the cache).
     size_t cache_capacity = 1024;
@@ -104,8 +136,22 @@ class ServingEngine {
     /// Record every request's latency in micros for exact percentiles
     /// (TakeLatencySamples). Benchmarks turn this on — histogram-derived
     /// percentiles quantize to bucket bounds; raw samples don't. Off by
-    /// default: one double per request, unbounded until taken.
+    /// default.
     bool record_latency = false;
+    /// Bound on the raw latency-sample buffer: once
+    /// latency_sample_capacity samples are pending, further ones are
+    /// dropped (serve.latency_samples.dropped) until TakeLatencySamples
+    /// drains — a forgotten drain can't grow memory without bound.
+    size_t latency_sample_capacity = 1 << 18;
+    /// Queued-request bound across both priority classes (0 =
+    /// unbounded). Arrivals beyond it are shed at admission with
+    /// ResourceExhausted; interactive arrivals displace the newest
+    /// queued batch-class request instead.
+    size_t max_queue = 0;
+    /// Admit requests that arrive while a batch is resolving member
+    /// reps into that in-flight batch (until its slots fill). On by
+    /// default; off restores strict take-then-execute batches.
+    bool continuous_admission = true;
     /// SLO objectives every finished request is classified against
     /// (obs::DefaultServingObjectives() for the standard serving pair).
     /// Empty = no tracker; slo() returns nullptr.
@@ -119,8 +165,11 @@ class ServingEngine {
 
   /// Drains already-queued requests and stops the dispatcher; later
   /// Submit()s fail fast (counted as serve.requests.rejected). The
-  /// synchronous TopK() path keeps working. Idempotent; the destructor
-  /// calls it. Not safe to race with itself from multiple threads.
+  /// synchronous TopK() path keeps working. Idempotent AND safe to race
+  /// with itself from multiple threads (destructor vs. signal handler):
+  /// exactly one caller runs the teardown, the rest block until it is
+  /// done. Every queued request's promise is fulfilled — with its
+  /// result or a rejection, never abandoned as a broken promise.
   void Shutdown();
 
   ServingEngine(const ServingEngine&) = delete;
@@ -131,7 +180,8 @@ class ServingEngine {
   Result<TopKResult> TopK(std::span<const UserId> members, size_t k,
                           std::span<const ItemId> exclude_seen = {});
 
-  /// Queues a request for micro-batched execution.
+  /// Queues a request for continuous-batched execution. The request's
+  /// priority/deadline_us fields drive admission (see RequestClass).
   std::future<Result<TopKResult>> Submit(TopKRequest request);
 
   GroupRepCache* cache() { return &cache_; }
@@ -147,6 +197,23 @@ class ServingEngine {
   uint64_t coalesced_requests() const {
     return coalesced_.load(std::memory_order_relaxed);
   }
+  /// Requests admitted into a batch that was already resolving reps
+  /// when they arrived (the continuous-batching win).
+  uint64_t late_admitted() const {
+    return late_admitted_.load(std::memory_order_relaxed);
+  }
+  /// Requests shed because their deadline passed before execution.
+  uint64_t shed_deadline() const {
+    return shed_deadline_.load(std::memory_order_relaxed);
+  }
+  /// Requests shed at admission because the queue was full.
+  uint64_t shed_queue_full() const {
+    return shed_queue_full_.load(std::memory_order_relaxed);
+  }
+  /// Raw latency samples dropped at the capacity bound.
+  uint64_t latency_samples_dropped() const {
+    return latency_dropped_.load(std::memory_order_relaxed);
+  }
   /// Drains the per-request latency samples recorded so far (micros, in
   /// completion order). Empty unless Options::record_latency.
   std::vector<double> TakeLatencySamples();
@@ -157,14 +224,30 @@ class ServingEngine {
   const obs::SloTracker* slo() const { return slo_.get(); }
 
   /// Engine state as JSON for /statusz: request/batch/coalesce counts,
-  /// cache occupancy and hit rate, batching options, SLO state.
+  /// shed/late-admission counters, queue depth, cache occupancy and hit
+  /// rate, batching options, SLO state.
   std::string StatusJson() const;
+
+  /// Test seam: `hook(phase, req_ids)` is invoked on the batch-executing
+  /// thread at named points of a batch's life ("start" after the batch
+  /// is taken from the queue, "late_admit_check" before each in-flight
+  /// admission poll) with the request ids currently in the batch. Lets
+  /// tests pause a batch deterministically (e.g. to land a late arrival
+  /// or pile up a backlog). Set before the first Submit; never set in
+  /// production.
+  using BatchHook =
+      std::function<void(const char* phase,
+                         const std::vector<uint64_t>& req_ids)>;
+  void SetBatchHookForTest(BatchHook hook);
 
  private:
   struct Pending {
     TopKRequest request;
     std::promise<Result<TopKResult>> promise;
     std::chrono::steady_clock::time_point enqueued;
+    /// Absolute shed deadline (enqueued + request.deadline_us);
+    /// time_point::max() when the request carries none.
+    std::chrono::steady_clock::time_point deadline;
     uint64_t req_id = 0;
     /// Trace-epoch submit timestamp, recorded only while tracing is
     /// enabled (0 otherwise); lets the dispatcher emit the queue-wait
@@ -184,10 +267,24 @@ class ServingEngine {
 
   void DispatcherLoop();
   /// Scores a batch with one stacked GEMM and fulfills every promise.
+  /// Pulls late arrivals into the batch while reps resolve.
   void ExecuteBatch(std::vector<Pending> batch);
+
+  size_t QueueDepthLocked() const;
+  /// Oldest enqueue time across both priority queues; call with a
+  /// non-empty queue only.
+  std::chrono::steady_clock::time_point OldestEnqueuedLocked() const;
+  /// Pops up to `max_take` requests in priority order into `taken`,
+  /// moving deadline-expired ones into `shed` instead (they don't count
+  /// against max_take). Caller resolves `shed` outside the lock.
+  void TakeBatchLocked(size_t max_take, std::vector<Pending>* taken,
+                       std::vector<Pending>* shed);
+  /// Resolves one shed request: promise, counters, SLO error budget.
+  void ShedRequest(Pending pending, Status status);
+
   /// Bookkeeping common to both paths, called once per successfully
-  /// finished request.
-  void FinishRequest(std::chrono::steady_clock::time_point start);
+  /// finished request. Returns the request's 1-based completion index.
+  uint64_t FinishRequest(std::chrono::steady_clock::time_point start);
   /// Bookkeeping for a request that resolved with an error.
   void FailRequest(std::chrono::steady_clock::time_point start);
 
@@ -196,11 +293,14 @@ class ServingEngine {
   GroupRepCache cache_;
   std::unique_ptr<obs::SloTracker> slo_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Pending> queue_;
+  /// One FIFO per RequestClass; index = static_cast<size_t>(class).
+  std::deque<Pending> queues_[2];
   bool stop_ = false;
   std::thread dispatcher_;
+  std::once_flag shutdown_once_;
+  BatchHook batch_hook_;  ///< guarded by mu_; copied at batch start
 
   std::mutex samples_mu_;
   std::vector<double> latency_samples_;
@@ -208,6 +308,10 @@ class ServingEngine {
   std::atomic<uint64_t> served_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> coalesced_{0};
+  std::atomic<uint64_t> late_admitted_{0};
+  std::atomic<uint64_t> shed_deadline_{0};
+  std::atomic<uint64_t> shed_queue_full_{0};
+  std::atomic<uint64_t> latency_dropped_{0};
   std::atomic<uint64_t> next_req_{1};  ///< request-id allocator (0 = none)
   const std::chrono::steady_clock::time_point start_time_;
 };

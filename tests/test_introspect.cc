@@ -6,11 +6,14 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "obs/introspect.h"
 #include "obs/metrics.h"
@@ -122,6 +125,41 @@ TEST(IntrospectTest, DefaultEndpointsServeTheirContracts) {
 
   server.Stop();
   rec.Clear();
+}
+
+TEST(IntrospectTest, FragmentedRequestLineStillParses) {
+  // A slow client dribbling the request one byte per segment must parse
+  // exactly like a single-recv request: the server loops until the
+  // header terminator instead of assuming one recv == one request.
+  IntrospectionServer server({});
+  obs::RegisterDefaultIntrospection(&server);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(server.port()));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const std::string request = "GET /healthz HTTP/1.0\r\n\r\n";
+  for (char c : request) {
+    ASSERT_EQ(::send(fd, &c, 1, MSG_NOSIGNAL), 1);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  std::string response;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("HTTP/1.0 200"), std::string::npos) << response;
+  EXPECT_EQ(BodyOf(response), "ok\n");
+  server.Stop();
 }
 
 TEST(IntrospectTest, RefreshRunsBeforeEveryHandler) {

@@ -1,19 +1,25 @@
-// serve_model: run a ServingEngine over a frozen artifact with the live
-// introspection endpoint attached (DESIGN.md §12).
+// serve_model: run a ServingEngine over a frozen artifact with the
+// data-plane front-end (DESIGN.md §13) and the live introspection
+// endpoint (DESIGN.md §12) attached.
 //
-// Loads the KGAGSRV1 artifact from --artifact, builds a micro-batching
-// ServingEngine with the default serving SLOs, enables request tracing,
-// and serves /metrics, /healthz, /statusz and /tracez on --port
-// (default 0 = ephemeral; the bound port is printed either way, so
-// scripts can scrape it). --selftraffic=N submits N synthetic requests
-// at startup — random groups against the artifact's own entity space —
-// so every endpoint has real data to show without an external load
-// generator. --duration_s=S exits after S seconds; 0 serves until
-// SIGINT/SIGTERM.
+// Loads the KGAGSRV1 artifact from --artifact, builds a
+// continuous-batching ServingEngine with the default serving SLOs,
+// enables request tracing, and serves /metrics, /healthz, /statusz and
+// /tracez on --port plus the binary/HTTP data plane (net_server.h) on
+// --data_port (both default 0 = ephemeral; the bound ports are printed
+// either way, so scripts can scrape them). --max_queue bounds the
+// scheduler's admission queue (0 = unbounded). --selftraffic=N submits
+// N synthetic requests at startup — random groups against the
+// artifact's own entity space — so every endpoint has real data to
+// show without an external load generator. --duration_s=S exits after
+// S seconds; 0 serves until SIGINT/SIGTERM.
 //
 //   ./build/tools/freeze_model --out model.srv
-//   ./build/tools/serve_model --artifact=model.srv --port=8080 --selftraffic=64
+//   ./build/tools/serve_model --artifact=model.srv --port=8080 \
+//       --data_port=8081 --selftraffic=64
 //   curl -s localhost:8080/statusz | python3 -m json.tool
+//   curl -s -d 'members=1,2,3&k=10' localhost:8081/topk
+//   ./build/bench/bench_serve --net --connect=127.0.0.1:8081
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +35,7 @@
 #include "obs/slo.h"
 #include "obs/trace.h"
 #include "serve/frozen_model.h"
+#include "serve/net_server.h"
 #include "serve/serving_engine.h"
 
 namespace {
@@ -36,9 +43,11 @@ namespace {
 struct Flags {
   std::string artifact;
   int port = 0;
+  int data_port = 0;
   int selftraffic = 0;
   double duration_s = 0.0;
   size_t max_batch = 16;
+  size_t max_queue = 0;
 };
 
 Flags Parse(int argc, char** argv) {
@@ -52,12 +61,16 @@ Flags Parse(int argc, char** argv) {
     };
     if (const char* v = val("--artifact")) f.artifact = v;
     else if (const char* vp = val("--port")) f.port = std::atoi(vp);
+    else if (const char* vn = val("--data_port"))
+      f.data_port = std::atoi(vn);
     else if (const char* vt = val("--selftraffic"))
       f.selftraffic = std::atoi(vt);
     else if (const char* vd = val("--duration_s"))
       f.duration_s = std::atof(vd);
     else if (const char* vb = val("--max_batch"))
       f.max_batch = static_cast<size_t>(std::atoi(vb));
+    else if (const char* vq = val("--max_queue"))
+      f.max_queue = static_cast<size_t>(std::atoi(vq));
     else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       std::exit(2);
@@ -104,7 +117,8 @@ int main(int argc, char** argv) {
   if (flags.artifact.empty()) {
     std::fprintf(stderr,
                  "usage: serve_model --artifact=FILE [--port=N] "
-                 "[--selftraffic=N] [--duration_s=S] [--max_batch=N]\n");
+                 "[--data_port=N] [--selftraffic=N] [--duration_s=S] "
+                 "[--max_batch=N] [--max_queue=N]\n");
     return 2;
   }
 
@@ -121,8 +135,10 @@ int main(int argc, char** argv) {
 
   serve::ServingEngine::Options engine_options;
   engine_options.max_batch = flags.max_batch;
+  engine_options.max_queue = flags.max_queue;
   engine_options.slo_objectives = obs::DefaultServingObjectives();
   serve::ServingEngine engine(&*model, engine_options);
+  serve::NetServer data_plane(&engine, {.port = flags.data_port});
 
   obs::IntrospectionServer server({.port = flags.port});
   obs::RegisterDefaultIntrospection(&server);
@@ -130,6 +146,7 @@ int main(int argc, char** argv) {
     return serve::ArtifactStatusJson(*model);
   });
   server.AddStatusSource("engine", [&] { return engine.StatusJson(); });
+  server.AddStatusSource("net", [&] { return data_plane.StatusJson(); });
   // Refresh derived gauges on every scrape so /metrics never shows a
   // stale burn rate.
   server.SetRefresh([&] {
@@ -141,8 +158,14 @@ int main(int argc, char** argv) {
                  started.ToString().c_str());
     return 1;
   }
-  // Scripts parse this line for the bound (possibly ephemeral) port.
+  Status net_started = data_plane.Start();
+  if (!net_started.ok()) {
+    std::fprintf(stderr, "data plane: %s\n", net_started.ToString().c_str());
+    return 1;
+  }
+  // Scripts parse these lines for the bound (possibly ephemeral) ports.
   std::printf("listening on 127.0.0.1:%d\n", server.port());
+  std::printf("data plane on 127.0.0.1:%d\n", data_plane.port());
   std::fflush(stdout);
 
   if (flags.selftraffic > 0) RunSelfTraffic(&engine, flags.selftraffic);
@@ -161,6 +184,7 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
+  data_plane.Stop();
   server.Stop();
   std::printf("served %llu requests; bye\n",
               static_cast<unsigned long long>(engine.requests_served()));
