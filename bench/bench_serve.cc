@@ -57,9 +57,21 @@
 // The default (non-smoke, non-acceptance) run also appends a
 // "net_open_loop" section to BENCH_serve.json: the same open-loop sweep
 // over a real loopback socket against the in-process data plane.
+//
+// The headline sections are "big_world" and "startup" (DESIGN.md §14):
+// a million-entity synthetic world is streamed into BOTH artifact
+// layouts (KGAGSRV2 mmap and legacy KGAGSRV1), startup cost — artifact
+// load, time-to-first-query, RSS growth, mapping residency — is measured
+// in forked single-shot child processes (including a second process
+// mapping the same v2 artifact, which rides the page cache), mmap and
+// heap TopK scores are checked bit-identical, and both models serve the
+// same batched request stream. Gates: score bit-identity always; v2
+// TTFQ >= 10x faster than v1 at full scale (--smoke runs a reduced
+// world where decode cost is too small for the ratio to bind).
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <future>
 #include <iostream>
@@ -67,17 +79,28 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#define KGAG_BENCH_HAS_FORK 1
+#else
+#define KGAG_BENCH_HAS_FORK 0
+#endif
+
 #include "bench_util.h"
 #include "common/check.h"
 #include "net_client.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
+#include "data/synthetic/bigworld.h"
 #include "data/synthetic/standard_datasets.h"
 #include "models/kgag_model.h"
 #include "obs/hdr_histogram.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "serve/bigworld_freeze.h"
 #include "serve/frozen_model.h"
+#include "serve/frozen_scorer.h"
 #include "serve/net_server.h"
 #include "serve/serving_engine.h"
 #include "tensor/kernels.h"
@@ -563,6 +586,304 @@ int RunOverhead(const Options& opt) {
   return 0;
 }
 
+// --- Big-world mmap-vs-heap benchmark (DESIGN.md §14) --------------------
+
+/// One child process's startup measurement. Plain-old-data so it can be
+/// shipped over a pipe from a forked child.
+struct StartupProbe {
+  int32_t ok = 0;
+  double load_ms = 0.0;   ///< artifact open/decode alone
+  double ttfq_ms = 0.0;   ///< load + engine build + first TopK answered
+  double rss_delta_kb = 0.0;  ///< VmRSS growth across the whole probe
+  double mapped_mb = 0.0;     ///< v2 only: mapping size
+  double resident_mb = 0.0;   ///< v2 only: pages faulted in by the query
+};
+
+/// VmRSS in KB from /proc/self/status (0 where there is no procfs).
+uint64_t ReadVmRssKb() {
+  std::ifstream f("/proc/self/status");
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return std::strtoull(line.c_str() + 6, nullptr, 10);
+    }
+  }
+  return 0;
+}
+
+uint64_t FileBytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  return f ? static_cast<uint64_t>(f.tellg()) : 0;
+}
+
+/// Cold-start measurement: load the artifact (auto layout), build an
+/// engine, answer one query. Run inside a fresh process so heap decode
+/// cost, RSS growth and page-fault residency are attributable to THIS
+/// artifact rather than whatever the bench did before.
+StartupProbe MeasureStartup(const std::string& path) {
+  StartupProbe p;
+  const uint64_t rss0 = ReadVmRssKb();
+  Stopwatch sw;
+  Result<serve::FrozenModel> model = serve::LoadFrozenModelAuto(path);
+  if (!model.ok()) return p;
+  p.load_ms = static_cast<double>(sw.ElapsedMicros()) / 1000.0;
+  serve::ServingEngine engine(&*model, {.max_batch = 1,
+                                        .batch_deadline_us = 0,
+                                        .cache_capacity = 16,
+                                        .pool = nullptr});
+  serve::TopKRequest req;
+  req.members = {0, 1, 2};
+  req.k = 10;
+  Result<serve::TopKResult> r = engine.Submit(std::move(req)).get();
+  if (!r.ok()) return p;
+  p.ttfq_ms = static_cast<double>(sw.ElapsedMicros()) / 1000.0;
+  p.rss_delta_kb = static_cast<double>(ReadVmRssKb() - rss0);
+  if (model->is_mapped()) {
+    p.mapped_mb = static_cast<double>(model->mapping->mapped_bytes()) / 1048576.0;
+    p.resident_mb =
+        static_cast<double>(model->mapping->ResidentBytes()) / 1048576.0;
+  }
+  p.ok = 1;
+  return p;
+}
+
+/// Forks, measures in the child, ships the probe back over a pipe. The
+/// caller must not have spawned any threads yet (fork + engine threads
+/// don't mix); Main runs the big-world section first for exactly this
+/// reason. Falls back to in-process measurement where fork is missing.
+StartupProbe MeasureStartupInChild(const std::string& path) {
+#if KGAG_BENCH_HAS_FORK
+  int fds[2];
+  if (pipe(fds) != 0) return MeasureStartup(path);
+  std::cout.flush();
+  std::cerr.flush();
+  const pid_t pid = fork();
+  if (pid == 0) {
+    close(fds[0]);
+    StartupProbe p = MeasureStartup(path);
+    const ssize_t written = write(fds[1], &p, sizeof(p));
+    _exit(written == static_cast<ssize_t>(sizeof(p)) ? 0 : 1);
+  }
+  close(fds[1]);
+  StartupProbe p;
+  const ssize_t n = read(fds[0], &p, sizeof(p));
+  close(fds[0]);
+  int status = 0;
+  if (pid > 0) waitpid(pid, &status, 0);
+  if (pid < 0 || n != static_cast<ssize_t>(sizeof(p))) p = StartupProbe{};
+  return p;
+#else
+  return MeasureStartup(path);
+#endif
+}
+
+/// Group-shaped big-world traffic: 60% of requests hit a 16-group hot
+/// set, the rest draw fresh groups from the world's deterministic
+/// membership; a sprinkle carry exclusion lists (same skew profile as
+/// MakeScaledRequests, but the member sets are real world groups).
+std::vector<serve::TopKRequest> MakeBigWorldRequests(
+    const synthetic::BigWorldGen& gen, size_t n) {
+  Rng rng(913);
+  const auto num_groups = static_cast<int>(gen.spec().num_groups);
+  const auto num_items = static_cast<int>(gen.spec().num_items);
+  constexpr int kHotGroups = 16;
+  std::vector<serve::TopKRequest> reqs;
+  reqs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    serve::TopKRequest r;
+    const uint64_t g = rng.UniformInt(0, 9) < 6
+                           ? static_cast<uint64_t>(
+                                 rng.UniformInt(0, kHotGroups - 1))
+                           : static_cast<uint64_t>(
+                                 rng.UniformInt(0, num_groups - 1));
+    r.members = gen.GroupMembers(g);
+    if (rng.UniformInt(0, 9) < 2) {
+      for (int e = 0; e < 4; ++e) {
+        r.exclude_seen.push_back(
+            static_cast<ItemId>(rng.UniformInt(0, num_items - 1)));
+      }
+    }
+    r.k = 10;
+    reqs.push_back(std::move(r));
+  }
+  return reqs;
+}
+
+struct BigWorldReport {
+  synthetic::BigWorldSpec spec;
+  double freeze_v2_ms = 0.0;
+  double freeze_v1_ms = 0.0;
+  uint64_t v2_bytes = 0;
+  uint64_t v1_bytes = 0;
+  StartupProbe v1_heap;          ///< v1 artifact, decode-to-heap load
+  StartupProbe v2_mmap;          ///< v2 artifact, first process to map it
+  StartupProbe v2_second;        ///< v2 again — page cache already warm
+  double ttfq_speedup = 0.0;     ///< v1 TTFQ / v2 TTFQ
+  bool ttfq_gate = false;        ///< >= 10x, full scale only
+  bool score_bit_identical = false;
+  PhaseResult mmap_batched;
+  PhaseResult heap_batched;
+  bool ok = false;
+};
+
+/// Freezes the big world in both layouts, probes startup in forked
+/// children, proves mmap/heap score bit-identity, then serves the same
+/// stream from both models. MUST run before any engine exists in this
+/// process (see MeasureStartupInChild).
+BigWorldReport RunBigWorld(const Options& opt) {
+  BigWorldReport rep;
+  synthetic::BigWorldSpec spec;
+  if (opt.smoke) {
+    spec.num_users = 20'000;
+    spec.num_items = 4'000;
+    spec.num_groups = 2'000;
+    spec.dim = 32;
+  }
+  rep.spec = spec;
+  const synthetic::BigWorldGen gen(spec);
+  const serve::BigWorldFreezeOptions freeze_opts;  // fp16, the big default
+  const std::string v2_path = "bigworld_bench.srv2";
+  const std::string v1_path = "bigworld_bench.srv1";
+
+  Stopwatch sw;
+  const Status s2 = serve::FreezeBigWorldV2(gen, freeze_opts, v2_path);
+  rep.freeze_v2_ms = static_cast<double>(sw.ElapsedMicros()) / 1000.0;
+  sw.Restart();
+  const Status s1 = serve::FreezeBigWorldV1(gen, freeze_opts, v1_path);
+  rep.freeze_v1_ms = static_cast<double>(sw.ElapsedMicros()) / 1000.0;
+  if (!s1.ok() || !s2.ok()) {
+    std::cerr << "big-world freeze failed: "
+              << (s2.ok() ? s1 : s2).ToString() << "\n";
+    return rep;
+  }
+  rep.v2_bytes = FileBytes(v2_path);
+  rep.v1_bytes = FileBytes(v1_path);
+  std::cout << "big world: " << spec.num_users << " users x "
+            << spec.num_items << " items x " << spec.num_groups
+            << " groups, dim " << spec.dim << "; froze v2 "
+            << rep.v2_bytes << " B in " << rep.freeze_v2_ms << " ms, v1 "
+            << rep.v1_bytes << " B in " << rep.freeze_v1_ms << " ms\n";
+
+  // Startup probes, one fresh process each. The second v2 mapping is the
+  // page-cache-sharing claim: its pages are already resident system-wide.
+  rep.v1_heap = MeasureStartupInChild(v1_path);
+  rep.v2_mmap = MeasureStartupInChild(v2_path);
+  rep.v2_second = MeasureStartupInChild(v2_path);
+  rep.ttfq_speedup = rep.v2_mmap.ttfq_ms > 0.0
+                         ? rep.v1_heap.ttfq_ms / rep.v2_mmap.ttfq_ms
+                         : 0.0;
+  rep.ttfq_gate = opt.smoke || rep.ttfq_speedup >= 10.0;
+  auto print_probe = [](const char* name, const StartupProbe& p) {
+    std::cout << "  startup " << name << ": load " << p.load_ms
+              << " ms, ttfq " << p.ttfq_ms << " ms, rss +"
+              << p.rss_delta_kb / 1024.0 << " MB";
+    if (p.mapped_mb > 0.0) {
+      std::cout << ", mapped " << p.mapped_mb << " MB (resident "
+                << p.resident_mb << " MB)";
+    }
+    std::cout << (p.ok ? "" : "  [FAILED]") << "\n";
+  };
+  print_probe("v1-heap", rep.v1_heap);
+  print_probe("v2-mmap", rep.v2_mmap);
+  print_probe("v2-mmap-2nd-proc", rep.v2_second);
+  std::cout << "  ttfq speedup v2/v1: " << rep.ttfq_speedup << "x\n";
+
+  // Score bit-identity: the same world's groups scored through the heap
+  // decode of v1 and the zero-copy mapping of v2 must agree to the bit
+  // (the blobs hold the same bytes and RepView funnels both through one
+  // kernel path — this check keeps that structural claim honest).
+  Result<serve::FrozenModel> heap = serve::LoadFrozenModelAuto(v1_path);
+  Result<serve::FrozenModel> mapped = serve::LoadFrozenModelMmap(v2_path);
+  KGAG_CHECK(heap.ok()) << heap.status().ToString();
+  KGAG_CHECK(mapped.ok()) << mapped.status().ToString();
+  rep.score_bit_identical = true;
+  for (uint64_t g = 0; g < 8; ++g) {
+    const std::vector<UserId> members = gen.GroupMembers(g);
+    Result<serve::GroupRep> rh = serve::BuildGroupRep(*heap, members);
+    Result<serve::GroupRep> rm = serve::BuildGroupRep(*mapped, members);
+    KGAG_CHECK(rh.ok() && rm.ok());
+    const std::vector<double> sh = serve::ScoreAllItems(*heap, *rh);
+    const std::vector<double> sm = serve::ScoreAllItems(*mapped, *rm);
+    rep.score_bit_identical &=
+        sh.size() == sm.size() &&
+        std::memcmp(sh.data(), sm.data(), sh.size() * sizeof(double)) == 0;
+  }
+  std::cout << "  mmap vs heap scores: "
+            << (rep.score_bit_identical ? "bit-identical" : "DIVERGED")
+            << "\n";
+
+  // The headline serving phase: same stream, both load paths.
+  const size_t n = opt.requests > 0 ? opt.requests : (opt.smoke ? 32 : 96);
+  const std::vector<serve::TopKRequest> reqs = MakeBigWorldRequests(gen, n);
+  const serve::ServingEngine::Options engine_opts = {.max_batch = 16,
+                                                     .batch_deadline_us = 200,
+                                                     .cache_capacity = 256,
+                                                     .pool = nullptr};
+  rep.mmap_batched = RunPhase("mmap_batched", &*mapped, engine_opts, reqs);
+  rep.heap_batched = RunPhase("heap_batched", &*heap, engine_opts, reqs);
+  for (const PhaseResult& r : {rep.mmap_batched, rep.heap_batched}) {
+    std::cout << "  " << r.mode << ": " << r.qps << " qps (" << r.wall_ms
+              << " ms), p50 " << r.p50_us << " us, p99 " << r.p99_us
+              << " us, cache hit-rate " << r.cache_hit_rate << "\n";
+  }
+
+  rep.ok = rep.v1_heap.ok != 0 && rep.v2_mmap.ok != 0 &&
+           rep.v2_second.ok != 0 && rep.score_bit_identical && rep.ttfq_gate;
+  return rep;
+}
+
+void WriteStartupProbe(bench::JsonWriter* w, const char* key,
+                       const StartupProbe& p) {
+  w->BeginObject(key);
+  w->Field("ok", p.ok != 0);
+  w->Field("load_ms", p.load_ms);
+  w->Field("ttfq_ms", p.ttfq_ms);
+  w->Field("rss_delta_kb", p.rss_delta_kb);
+  w->Field("mapped_mb", p.mapped_mb);
+  w->Field("resident_mb", p.resident_mb);
+  w->EndObject();
+}
+
+void WriteBigWorldReport(bench::JsonWriter* w, const BigWorldReport& rep) {
+  w->BeginObject("big_world");
+  w->BeginObject("spec");
+  w->Field("num_users", rep.spec.num_users);
+  w->Field("num_items", rep.spec.num_items);
+  w->Field("num_groups", rep.spec.num_groups);
+  w->Field("dim", rep.spec.dim);
+  w->Field("group_size", rep.spec.group_size);
+  w->Field("precision", "fp16");
+  w->Field("seed", rep.spec.seed);
+  w->EndObject();
+  w->Field("freeze_v2_ms", rep.freeze_v2_ms);
+  w->Field("freeze_v1_ms", rep.freeze_v1_ms);
+  w->Field("v2_artifact_bytes", rep.v2_bytes);
+  w->Field("v1_artifact_bytes", rep.v1_bytes);
+  w->Field("score_bit_identical", rep.score_bit_identical);
+  w->BeginArray("phases");
+  for (const PhaseResult& r : {rep.mmap_batched, rep.heap_batched}) {
+    w->BeginObject();
+    w->Field("mode", r.mode);
+    w->Field("requests", r.requests);
+    w->Field("batches", r.batches);
+    w->Field("wall_ms", r.wall_ms);
+    w->Field("qps", r.qps);
+    w->Field("p50_us", r.p50_us);
+    w->Field("p99_us", r.p99_us);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+  w->Newline();
+  w->BeginObject("startup");
+  WriteStartupProbe(w, "v1_heap", rep.v1_heap);
+  WriteStartupProbe(w, "v2_mmap", rep.v2_mmap);
+  WriteStartupProbe(w, "v2_mmap_second_process", rep.v2_second);
+  w->Field("ttfq_speedup_v2_over_v1", rep.ttfq_speedup);
+  w->Field("ttfq_ge_10x", rep.ttfq_speedup >= 10.0);
+  w->EndObject();
+}
+
 int Main(int argc, char** argv) {
   Options opt;
   bool out_set = false;
@@ -613,6 +934,10 @@ int Main(int argc, char** argv) {
   }
   const size_t n_requests =
       opt.requests > 0 ? opt.requests : (opt.smoke ? 96 : 384);
+
+  // --- Big world first: its startup probes fork, so they must run while
+  //     this process is still single-threaded (no engines yet). ----------
+  const BigWorldReport big = RunBigWorld(opt);
 
   // --- The full-precision base model + request stream. -------------------
   serve::FrozenModel base;
@@ -710,7 +1035,8 @@ int Main(int argc, char** argv) {
             << "x\nint8/fp32 batched: " << int8_speedup << "x\n";
 
   if (opt.acceptance) {
-    const bool ok = round_trips_ok && batched_wins && int8_wins && hdr_ok;
+    const bool ok =
+        round_trips_ok && batched_wins && int8_wins && hdr_ok && big.ok;
     std::cout << (ok ? "acceptance OK\n" : "acceptance FAILED\n");
     if (!round_trips_ok) std::cerr << "FAIL: artifact round trip diverged\n";
     if (!batched_wins) {
@@ -724,6 +1050,17 @@ int Main(int argc, char** argv) {
     if (!hdr_ok) {
       std::cerr << "FAIL: HDR latency percentiles diverged from raw "
                 << "samples by more than one bucket width\n";
+    }
+    if (!big.score_bit_identical) {
+      std::cerr << "FAIL: mmap and heap scores diverged on the big world\n";
+    }
+    if (!big.ttfq_gate) {
+      std::cerr << "FAIL: v2 mmap TTFQ below 10x v1 heap decode ("
+                << big.ttfq_speedup << "x)\n";
+    }
+    if (!(big.v1_heap.ok != 0 && big.v2_mmap.ok != 0 &&
+          big.v2_second.ok != 0)) {
+      std::cerr << "FAIL: a big-world startup probe did not complete\n";
     }
     if (opt.out == "BENCH_serve.json") return ok ? 0 : 1;
   }
@@ -756,6 +1093,8 @@ int Main(int argc, char** argv) {
   w.Field("k", 10);
   w.Field("quant_isa_level", kernels::QuantIsaLevel());
   w.EndObject();
+  w.Newline();
+  WriteBigWorldReport(&w, big);
   w.Newline();
   w.BeginArray("precisions");
   w.Newline();
@@ -804,10 +1143,14 @@ int Main(int argc, char** argv) {
   w.Newline();
   w.Field("hdr_percentiles_agree", hdr_ok);
   w.Newline();
+  w.Field("big_world_ok", big.ok);
+  w.Newline();
   w.EndObject();
   w.Newline();
   std::cout << "wrote " << opt.out << "\n";
-  return (round_trips_ok && batched_wins && int8_wins && hdr_ok) ? 0 : 1;
+  return (round_trips_ok && batched_wins && int8_wins && hdr_ok && big.ok)
+             ? 0
+             : 1;
 }
 
 }  // namespace

@@ -123,6 +123,109 @@ Status AtomicWriteFile(const std::string& path, std::string_view data,
   return last;
 }
 
+AtomicFileWriter::~AtomicFileWriter() { Abandon(); }
+
+Status AtomicFileWriter::Open(const std::string& path,
+                              const AtomicWriteOptions& options) {
+  if (path.empty()) return Status::InvalidArgument("empty path");
+  if (file_ != nullptr) return Status::InvalidArgument("writer already open");
+  path_ = path;
+  fsync_data_ = options.fsync_data;
+  // Same naming scheme as AtomicWriteFile: same directory (so the rename
+  // cannot cross filesystems), pid-tagged against concurrent writers.
+#if KGAG_HAVE_POSIX_IO
+  tmp_ = path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+#else
+  tmp_ = path + ".tmp";
+#endif
+  file_ = std::fopen(tmp_.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IoError("open " + tmp_ + ": " + std::strerror(errno));
+  }
+  position_ = 0;
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Append(const void* data, size_t len) {
+  if (file_ == nullptr) return Status::InvalidArgument("writer not open");
+  if (len == 0) return Status::OK();
+  if (std::fwrite(data, 1, len, file_) != len) {
+    const std::string msg = std::strerror(errno);
+    Abandon();
+    return Status::IoError("write " + tmp_ + ": " + msg);
+  }
+  position_ += len;
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Seek(uint64_t offset) {
+  if (file_ == nullptr) return Status::InvalidArgument("writer not open");
+#if KGAG_HAVE_POSIX_IO
+  const int rc = ::fseeko(file_, static_cast<off_t>(offset), SEEK_SET);
+#else
+  const int rc = std::fseek(file_, static_cast<long>(offset), SEEK_SET);
+#endif
+  if (rc != 0) {
+    const std::string msg = std::strerror(errno);
+    Abandon();
+    return Status::IoError("seek " + tmp_ + ": " + msg);
+  }
+  position_ = offset;
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Finish() {
+  if (file_ == nullptr) return Status::InvalidArgument("writer not open");
+  if (std::fflush(file_) != 0) {
+    const std::string msg = std::strerror(errno);
+    Abandon();
+    return Status::IoError("flush " + tmp_ + ": " + msg);
+  }
+#if KGAG_HAVE_POSIX_IO
+  if (fsync_data_ && ::fsync(::fileno(file_)) != 0) {
+    const std::string msg = std::strerror(errno);
+    Abandon();
+    return Status::IoError("fsync " + tmp_ + ": " + msg);
+  }
+#endif
+  if (std::fclose(file_) != 0) {
+    const std::string msg = std::strerror(errno);
+    file_ = nullptr;
+    std::remove(tmp_.c_str());
+    return Status::IoError("close " + tmp_ + ": " + msg);
+  }
+  file_ = nullptr;
+#if KGAG_HAVE_POSIX_IO
+  if (::rename(tmp_.c_str(), path_.c_str()) != 0) {
+    const std::string msg = std::strerror(errno);
+    ::unlink(tmp_.c_str());
+    return Status::IoError("rename " + tmp_ + " -> " + path_ + ": " + msg);
+  }
+  if (fsync_data_) {
+    const int dfd = ::open(ParentDir(path_).c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+      (void)::fsync(dfd);  // best effort; data is already safe in the file
+      ::close(dfd);
+    }
+  }
+#else
+  std::remove(path_.c_str());  // std::rename may not replace on all platforms
+  if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_.c_str());
+    return Status::IoError("rename failed: " + tmp_ + " -> " + path_);
+  }
+#endif
+  return Status::OK();
+}
+
+void AtomicFileWriter::Abandon() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+    std::remove(tmp_.c_str());
+  }
+}
+
 Status ReadFileToString(const std::string& path, std::string* out) {
   if (out == nullptr) return Status::InvalidArgument("null output");
   std::ifstream in(path, std::ios::binary | std::ios::ate);

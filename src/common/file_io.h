@@ -10,6 +10,8 @@
 #ifndef KGAG_COMMON_FILE_IO_H_
 #define KGAG_COMMON_FILE_IO_H_
 
+#include <cstdint>
+#include <cstdio>
 #include <string>
 #include <string_view>
 
@@ -30,6 +32,55 @@ Status AtomicWriteFile(const std::string& path, std::string_view data,
 
 /// Reads the whole file into `out` (replacing its contents).
 Status ReadFileToString(const std::string& path, std::string* out);
+
+/// \brief Streaming counterpart of AtomicWriteFile: bytes are appended to
+/// a same-directory temp file chunk by chunk and the destination only
+/// appears — via fsync + rename — when Finish() succeeds. This is how
+/// large artifacts (checkpoint containers, serving artifacts) are written
+/// without ever materializing the encoded file in memory; callers that
+/// need to back-patch a header they reserved up front use Seek().
+///
+/// Usage: Open -> Append* (and optionally Seek) -> Finish. Any error (or
+/// destruction before Finish) abandons the temp file and leaves the
+/// previous destination untouched.
+class AtomicFileWriter {
+ public:
+  AtomicFileWriter() = default;
+  ~AtomicFileWriter();
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Creates/truncates the temp file next to `path`.
+  Status Open(const std::string& path, const AtomicWriteOptions& options = {});
+
+  /// Appends `len` bytes at the current position.
+  Status Append(const void* data, size_t len);
+  Status Append(std::string_view data) {
+    return Append(data.data(), data.size());
+  }
+
+  /// Moves the write position (absolute, from the file start) — for
+  /// back-patching a reserved header after streaming the payload.
+  Status Seek(uint64_t offset);
+
+  /// Current write position from the file start.
+  uint64_t position() const { return position_; }
+
+  /// Flushes, fsyncs, and renames the temp file over the destination
+  /// (plus a parent-directory fsync). The writer is closed afterwards.
+  Status Finish();
+
+  /// Closes and unlinks the temp file without touching the destination.
+  /// Safe to call at any point; no-op once finished/abandoned.
+  void Abandon();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::string tmp_;
+  uint64_t position_ = 0;
+  bool fsync_data_ = true;
+};
 
 }  // namespace kgag
 

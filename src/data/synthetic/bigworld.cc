@@ -1,0 +1,114 @@
+#include "data/synthetic/bigworld.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace kgag {
+namespace synthetic {
+
+namespace {
+
+// Stream ids namespacing the world's consumers (arbitrary distinct
+// constants; changing one changes the world, so they are frozen).
+constexpr uint64_t kStreamUserRep = 0x42577275ULL;   // 'BWru'
+constexpr uint64_t kStreamItemRep = 0x42577269ULL;   // 'BWri'
+constexpr uint64_t kStreamAttnW1 = 0x42576131ULL;    // 'BWa1'
+constexpr uint64_t kStreamAttnW2 = 0x42576132ULL;    // 'BWa2'
+constexpr uint64_t kStreamAttnBias = 0x42576162ULL;  // 'BWab'
+constexpr uint64_t kStreamAttnVc = 0x42576176ULL;    // 'BWav'
+constexpr uint64_t kStreamGroups = 0x42576772ULL;    // 'BWgr'
+constexpr uint64_t kStreamKg = 0x42576b67ULL;        // 'BWkg'
+
+/// Column-addressable uniform in [-scale, scale): value (r, c) of a
+/// stream depends only on the row's derived seed and the column index,
+/// so any chunking of rows — and even per-column access — agrees.
+inline double ValueAt(uint64_t row_seed, uint64_t c, double scale) {
+  const uint64_t x = SplitMix64(row_seed ^ (c * 0x9e3779b97f4a7c15ULL));
+  const double u = static_cast<double>(x >> 11) * 0x1.0p-53;  // [0, 1)
+  return (2.0 * u - 1.0) * scale;
+}
+
+}  // namespace
+
+BigWorldGen::BigWorldGen(const BigWorldSpec& spec) : spec_(spec) {
+  KGAG_CHECK(spec_.dim > 0) << "big world needs a positive dim";
+  KGAG_CHECK(spec_.group_size > 0) << "big world needs a positive group size";
+  KGAG_CHECK(spec_.group_size <= spec_.num_users)
+      << "group size exceeds user count";
+  rep_scale_ = 1.0 / std::sqrt(static_cast<double>(spec_.dim));
+}
+
+void BigWorldGen::FillRows(uint64_t stream, uint64_t start, uint64_t count,
+                           uint64_t cols, double scale, double* out) const {
+  for (uint64_t r = 0; r < count; ++r) {
+    const uint64_t row_seed =
+        DeriveStreamSeed(spec_.seed, /*epoch=*/0, stream, start + r);
+    double* row = out + r * cols;
+    for (uint64_t c = 0; c < cols; ++c) row[c] = ValueAt(row_seed, c, scale);
+  }
+}
+
+void BigWorldGen::UserRows(uint64_t start, uint64_t count, double* out) const {
+  KGAG_CHECK(start + count <= spec_.num_users);
+  FillRows(kStreamUserRep, start, count, spec_.dim, rep_scale_, out);
+}
+
+void BigWorldGen::ItemRows(uint64_t start, uint64_t count, double* out) const {
+  KGAG_CHECK(start + count <= spec_.num_items);
+  FillRows(kStreamItemRep, start, count, spec_.dim, rep_scale_, out);
+}
+
+void BigWorldGen::Attention(double* w1, double* w2, double* bias,
+                            double* vc) const {
+  const uint64_t d = spec_.dim;
+  // Xavier-ish range for the dim x dim map keeps the pre-activation in a
+  // plausible band so ReLU neither saturates to all-zero nor explodes.
+  const double attn_scale = 1.0 / static_cast<double>(d);
+  if (w1 != nullptr) FillRows(kStreamAttnW1, 0, d, d, attn_scale, w1);
+  if (w2 != nullptr) {
+    FillRows(kStreamAttnW2, 0, d * (spec_.group_size - 1), d, attn_scale, w2);
+  }
+  if (bias != nullptr) FillRows(kStreamAttnBias, 0, 1, d, attn_scale, bias);
+  if (vc != nullptr) FillRows(kStreamAttnVc, 0, d, 1, attn_scale, vc);
+}
+
+std::vector<UserId> BigWorldGen::GroupMembers(uint64_t g) const {
+  Rng rng(DeriveStreamSeed(spec_.seed, /*epoch=*/0, kStreamGroups, g));
+  std::vector<UserId> members;
+  members.reserve(spec_.group_size);
+  // Rejection sampling: group_size is tiny relative to num_users, so
+  // collisions are rare and the loop terminates fast.
+  while (members.size() < spec_.group_size) {
+    const UserId u = static_cast<UserId>(
+        rng.UniformInt(0, static_cast<int64_t>(spec_.num_users) - 1));
+    if (std::find(members.begin(), members.end(), u) == members.end()) {
+      members.push_back(u);
+    }
+  }
+  std::sort(members.begin(), members.end());
+  return members;
+}
+
+void BigWorldGen::KgTriples(uint64_t start, uint64_t count,
+                            Triple* out) const {
+  KGAG_CHECK(start + count <= spec_.NumKgTriples());
+  const uint64_t per_item = spec_.kg_triples_per_item;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t t = start + i;
+    Rng rng(DeriveStreamSeed(spec_.seed, /*epoch=*/0, kStreamKg, t));
+    Triple& triple = out[i];
+    triple.head = static_cast<EntityId>(t / per_item);
+    triple.relation = static_cast<RelationId>(
+        rng.UniformInt(0, static_cast<int64_t>(spec_.num_kg_relations) - 1));
+    triple.tail = static_cast<EntityId>(
+        spec_.num_items +
+        static_cast<uint64_t>(
+            rng.UniformInt(0, static_cast<int64_t>(spec_.num_kg_attrs) - 1)));
+  }
+}
+
+}  // namespace synthetic
+}  // namespace kgag

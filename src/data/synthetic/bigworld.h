@@ -1,0 +1,91 @@
+// Million-entity synthetic world for serving-scale benchmarks (DESIGN.md
+// §14). The trained-model tiers (MovieLens/Yelp-shaped generators) top
+// out at thousands of entities because training at full fidelity bounds
+// them; serving benchmarks need the opposite trade — rep tables and a KG
+// at production scale (1M+ users, 100K+ items/groups) with no training
+// loop at all.
+//
+// BigWorldGen is therefore COUNTER-BASED: every value it can produce —
+// user/item rep rows, attention weights, group memberships, KG triples —
+// is a pure function of (seed, stream, index, column) via
+// DeriveStreamSeed/SplitMix64. Nothing is materialized: callers ask for
+// any row range in any chunk granularity and always get the same bytes,
+// which is what lets freeze_model stream a 1M-user artifact through a
+// fixed-size buffer, lets two processes agree on the world without
+// sharing memory, and makes every big-world benchmark reproducible from
+// the spec alone.
+#ifndef KGAG_DATA_SYNTHETIC_BIGWORLD_H_
+#define KGAG_DATA_SYNTHETIC_BIGWORLD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/interactions.h"
+#include "kg/triple.h"
+
+namespace kgag {
+namespace synthetic {
+
+/// \brief Scale + seed of a synthetic serving world. Everything else
+/// derives deterministically.
+struct BigWorldSpec {
+  uint64_t num_users = 1'000'000;
+  uint64_t num_items = 100'000;
+  uint64_t num_groups = 100'000;
+  uint32_t dim = 64;
+  uint32_t group_size = 5;
+
+  // KG shape: each item links to attribute entities (genre/tag-like
+  // nodes) through a small relation vocabulary, mirroring the CKG the
+  // paper builds from item metadata.
+  uint64_t num_kg_attrs = 50'000;
+  uint32_t num_kg_relations = 12;
+  uint32_t kg_triples_per_item = 8;
+
+  uint64_t seed = 20210415;  ///< world identity; same spec = same world
+
+  uint64_t NumKgTriples() const { return num_items * kg_triples_per_item; }
+  uint64_t NumKgEntities() const { return num_items + num_kg_attrs; }
+};
+
+/// \brief Stateless generator over a BigWorldSpec (cheap to copy; safe to
+/// use from any number of threads/processes concurrently).
+class BigWorldGen {
+ public:
+  explicit BigWorldGen(const BigWorldSpec& spec);
+
+  const BigWorldSpec& spec() const { return spec_; }
+
+  /// Rows [start, start+count) of the user rep table into out[0 ..
+  /// count*dim). Chunk-invariant: any split over `start` yields identical
+  /// bytes.
+  void UserRows(uint64_t start, uint64_t count, double* out) const;
+  /// Item-table counterpart.
+  void ItemRows(uint64_t start, uint64_t count, double* out) const;
+
+  /// Attention weights at the spec's dim/group_size, row-major into
+  /// caller buffers: w1 (dim x dim), w2 (dim*(group_size-1) x dim),
+  /// bias (1 x dim), vc (dim x 1). Any pointer may be null to skip.
+  void Attention(double* w1, double* w2, double* bias, double* vc) const;
+
+  /// Group g's members: group_size distinct user ids, sorted (the
+  /// canonical form BuildGroupRep produces). Deterministic per (spec, g).
+  std::vector<UserId> GroupMembers(uint64_t g) const;
+
+  /// Triples [start, start+count) of the KG into out. Each item emits
+  /// kg_triples_per_item facts (head = item entity, tail = attribute
+  /// entity at id >= num_items). Chunk-invariant like the row API.
+  void KgTriples(uint64_t start, uint64_t count, Triple* out) const;
+
+ private:
+  void FillRows(uint64_t stream, uint64_t start, uint64_t count,
+                uint64_t cols, double scale, double* out) const;
+
+  BigWorldSpec spec_;
+  double rep_scale_ = 0;  ///< 1/sqrt(dim), the rep value range
+};
+
+}  // namespace synthetic
+}  // namespace kgag
+
+#endif  // KGAG_DATA_SYNTHETIC_BIGWORLD_H_

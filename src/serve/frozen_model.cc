@@ -1,5 +1,7 @@
 #include "serve/frozen_model.h"
 
+#include <cstring>
+#include <fstream>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -56,6 +58,27 @@ Status ValidateQuantTable(const QuantizedMatrix& q, const FrozenModel& m,
   return Status::OK();
 }
 
+/// Checks a mapped rep-table view against the meta fields.
+Status ValidateMappedView(const RepView& v, const FrozenModel& m, size_t rows,
+                          const char* what) {
+  if (v.codes == nullptr && rows * static_cast<size_t>(m.dim) != 0) {
+    return ShapeError(std::string(what) + " view has no data");
+  }
+  if (v.type != m.quant) {
+    return ShapeError(std::string(what) + " precision tag mismatch");
+  }
+  if (v.block != m.quant_block) {
+    return ShapeError(std::string(what) + " scale-block mismatch");
+  }
+  if (v.rows != rows || v.cols != static_cast<size_t>(m.dim)) {
+    return ShapeError(std::string(what) + " shape mismatch");
+  }
+  if (v.ScalesPerRow() != 0 && v.scales == nullptr) {
+    return ShapeError(std::string(what) + " missing int8 scales");
+  }
+  return Status::OK();
+}
+
 /// Meta-driven shape validation shared by decode (hostile bytes) and
 /// encode (programming errors surface before a broken file is written).
 Status ValidateShapes(const FrozenModel& m) {
@@ -65,7 +88,16 @@ Status ValidateShapes(const FrozenModel& m) {
     return ShapeError("negative entity count");
   }
   const size_t d = static_cast<size_t>(m.dim);
-  if (m.quant == QuantType::kFp64) {
+  if (m.is_mapped()) {
+    if (m.user_emb.size() != 0 || m.item_emb.size() != 0 ||
+        !m.q_user.empty() || !m.q_item.empty()) {
+      return ShapeError("mapped model carries owned rep tables");
+    }
+    KGAG_RETURN_NOT_OK(ValidateMappedView(
+        m.mapped_user, m, static_cast<size_t>(m.num_users), "mapped user table"));
+    KGAG_RETURN_NOT_OK(ValidateMappedView(
+        m.mapped_item, m, static_cast<size_t>(m.num_items), "mapped item table"));
+  } else if (m.quant == QuantType::kFp64) {
     if (!m.q_user.empty() || !m.q_item.empty()) {
       return ShapeError("fp64 model carries quantized tables");
     }
@@ -109,11 +141,22 @@ Status ValidateShapes(const FrozenModel& m) {
 
 }  // namespace
 
+RepView FrozenModel::UserView() const {
+  if (is_mapped()) return mapped_user;
+  if (quant == QuantType::kFp64) return MakeRepView(user_emb);
+  return MakeRepView(q_user);
+}
+
+RepView FrozenModel::ItemView() const {
+  if (is_mapped()) return mapped_item;
+  if (quant == QuantType::kFp64) return MakeRepView(item_emb);
+  return MakeRepView(q_item);
+}
+
 size_t RepBytesPerEntity(const FrozenModel& model) {
   const size_t d = static_cast<size_t>(model.dim);
-  if (model.quant == QuantType::kFp64) return d * sizeof(double);
-  return model.q_user.RowBytes() +
-         model.q_user.ScalesPerRow() * sizeof(float);
+  return d * QuantElemBytes(model.quant) +
+         QuantScalesPerRow(model.quant, d, model.quant_block) * sizeof(float);
 }
 
 std::string ArtifactStatusJson(const FrozenModel& model) {
@@ -128,6 +171,12 @@ std::string ArtifactStatusJson(const FrozenModel& model) {
   if (model.quant == QuantType::kInt8) {
     os << ",\"quant_block\":" << model.quant_block;
   }
+  os << ",\"layout\":\"" << (model.is_mapped() ? "mmap" : "heap") << "\""
+     << ",\"layout_version\":" << (model.is_mapped() ? 2 : 1);
+  if (model.is_mapped()) {
+    os << ",\"mapped_bytes\":" << model.mapping->mapped_bytes()
+       << ",\"resident_bytes\":" << model.mapping->ResidentBytes();
+  }
   os << "}";
   return os.str();
 }
@@ -135,6 +184,11 @@ std::string ArtifactStatusJson(const FrozenModel& model) {
 Result<FrozenModel> QuantizeFrozenModel(const FrozenModel& model,
                                         QuantType type, uint32_t block) {
   KGAG_RETURN_NOT_OK(ValidateShapes(model));
+  if (model.is_mapped()) {
+    return Status::InvalidArgument(
+        "frozen model: cannot quantize an mmap-backed model; re-freeze or "
+        "convert via the heap loader first");
+  }
   if (model.quant != QuantType::kFp64) {
     return Status::InvalidArgument(
         "frozen model: can only quantize a full-precision model");
@@ -185,6 +239,11 @@ Result<FrozenModel> FreezeKgagModel(KgagModel* model) {
 
 Status EncodeFrozenModel(const FrozenModel& model, std::string* out) {
   if (out == nullptr) return Status::InvalidArgument("null output");
+  if (model.is_mapped()) {
+    return Status::InvalidArgument(
+        "frozen model: mmap-backed models re-save as KGAGSRV2 "
+        "(SaveFrozenModelV2), not as a v1 container");
+  }
   KGAG_RETURN_NOT_OK(ValidateShapes(model));
 
   std::vector<ckpt::Chunk> chunks;
@@ -309,16 +368,261 @@ Result<FrozenModel> DecodeFrozenModel(std::string_view data) {
   return out;
 }
 
+namespace {
+
+/// WriteTensor record size: u64 rows | u64 cols | raw doubles.
+uint64_t TensorRecordBytes(const Tensor& t) {
+  return 2 * sizeof(uint64_t) + t.size() * sizeof(double);
+}
+
+/// Appends the WriteTensor byte layout into the open chunk directly from
+/// the tensor's storage (doubles are stored little-endian in memory on
+/// every platform this builds for, which is also what WriteTensor and the
+/// raw v2 blobs assume).
+Status AppendTensorRecord(ckpt::ContainerFileWriter* w, const Tensor& t) {
+  const uint64_t rows = t.rows(), cols = t.cols();
+  KGAG_RETURN_NOT_OK(w->Append(&rows, sizeof(rows)));
+  KGAG_RETURN_NOT_OK(w->Append(&cols, sizeof(cols)));
+  return w->Append(t.data(), t.size() * sizeof(double));
+}
+
+/// WriteQuantizedMatrix record size: u8 type | u64 rows | u64 cols |
+/// u32 block | u64 nscales + scales | u64 nbytes + codes.
+uint64_t QuantRecordBytes(const QuantizedMatrix& q) {
+  return 1 + 2 * sizeof(uint64_t) + sizeof(uint32_t) + sizeof(uint64_t) +
+         q.scales.size() * sizeof(float) + sizeof(uint64_t) + q.data.size();
+}
+
+Status AppendQuantRecord(ckpt::ContainerFileWriter* w,
+                         const QuantizedMatrix& q) {
+  const uint8_t type = static_cast<uint8_t>(q.type);
+  const uint64_t rows = q.rows, cols = q.cols;
+  KGAG_RETURN_NOT_OK(w->Append(&type, sizeof(type)));
+  KGAG_RETURN_NOT_OK(w->Append(&rows, sizeof(rows)));
+  KGAG_RETURN_NOT_OK(w->Append(&cols, sizeof(cols)));
+  KGAG_RETURN_NOT_OK(w->Append(&q.block, sizeof(q.block)));
+  const uint64_t nscales = q.scales.size();
+  KGAG_RETURN_NOT_OK(w->Append(&nscales, sizeof(nscales)));
+  KGAG_RETURN_NOT_OK(
+      w->Append(q.scales.data(), q.scales.size() * sizeof(float)));
+  const uint64_t nbytes = q.data.size();
+  KGAG_RETURN_NOT_OK(w->Append(&nbytes, sizeof(nbytes)));
+  return w->Append(q.data.data(), q.data.size());
+}
+
+}  // namespace
+
 Status SaveFrozenModel(const FrozenModel& model, const std::string& path) {
-  std::string bytes;
-  KGAG_RETURN_NOT_OK(EncodeFrozenModel(model, &bytes));
-  return AtomicWriteFile(path, bytes);
+  if (model.is_mapped()) {
+    return Status::InvalidArgument(
+        "frozen model: mmap-backed models re-save as KGAGSRV2 "
+        "(SaveFrozenModelV2), not as a v1 container");
+  }
+  KGAG_RETURN_NOT_OK(ValidateShapes(model));
+
+  // Streamed chunk by chunk: the rep tables go from their in-memory
+  // buffers straight into the temp file under ContainerFileWriter's
+  // rolling CRC, byte-identical to EncodeFrozenModel + AtomicWriteFile
+  // (tests/test_artifact_v2.cc pins the equality) without ever holding
+  // the encoded artifact in memory.
+  const bool fp64 = model.quant == QuantType::kFp64;
+  ckpt::ContainerFileWriter w;
+  KGAG_RETURN_NOT_OK(
+      w.Open(path, kArtifactMagic, /*chunk_count=*/fp64 ? 4 : 5));
+  {
+    std::ostringstream meta(std::ios::binary);
+    bio::WriteU32(&meta, static_cast<uint32_t>(model.dim));
+    bio::WriteU32(&meta, static_cast<uint32_t>(model.group_size));
+    bio::WriteU8(&meta, model.use_sp ? 1 : 0);
+    bio::WriteU8(&meta, model.use_pi ? 1 : 0);
+    bio::WriteU32(&meta, static_cast<uint32_t>(model.num_users));
+    bio::WriteU32(&meta, static_cast<uint32_t>(model.num_items));
+    KGAG_RETURN_NOT_OK(w.AddChunk(kTagMeta, meta.str()));
+  }
+  if (fp64) {
+    KGAG_RETURN_NOT_OK(
+        w.BeginChunk(kTagUserEmb, TensorRecordBytes(model.user_emb)));
+    KGAG_RETURN_NOT_OK(AppendTensorRecord(&w, model.user_emb));
+    KGAG_RETURN_NOT_OK(w.EndChunk());
+    KGAG_RETURN_NOT_OK(
+        w.BeginChunk(kTagItemEmb, TensorRecordBytes(model.item_emb)));
+    KGAG_RETURN_NOT_OK(AppendTensorRecord(&w, model.item_emb));
+    KGAG_RETURN_NOT_OK(w.EndChunk());
+  } else {
+    std::ostringstream qm(std::ios::binary);
+    bio::WriteU8(&qm, static_cast<uint8_t>(model.quant));
+    bio::WriteU32(&qm, model.quant_block);
+    KGAG_RETURN_NOT_OK(w.AddChunk(kTagQuantMeta, qm.str()));
+    KGAG_RETURN_NOT_OK(
+        w.BeginChunk(kTagQuantUser, QuantRecordBytes(model.q_user)));
+    KGAG_RETURN_NOT_OK(AppendQuantRecord(&w, model.q_user));
+    KGAG_RETURN_NOT_OK(w.EndChunk());
+    KGAG_RETURN_NOT_OK(
+        w.BeginChunk(kTagQuantItem, QuantRecordBytes(model.q_item)));
+    KGAG_RETURN_NOT_OK(AppendQuantRecord(&w, model.q_item));
+    KGAG_RETURN_NOT_OK(w.EndChunk());
+  }
+  {
+    const uint64_t attn_len =
+        TensorRecordBytes(model.w1) + TensorRecordBytes(model.w2) +
+        TensorRecordBytes(model.bias) + TensorRecordBytes(model.vc);
+    KGAG_RETURN_NOT_OK(w.BeginChunk(kTagAttention, attn_len));
+    KGAG_RETURN_NOT_OK(AppendTensorRecord(&w, model.w1));
+    KGAG_RETURN_NOT_OK(AppendTensorRecord(&w, model.w2));
+    KGAG_RETURN_NOT_OK(AppendTensorRecord(&w, model.bias));
+    KGAG_RETURN_NOT_OK(AppendTensorRecord(&w, model.vc));
+    KGAG_RETURN_NOT_OK(w.EndChunk());
+  }
+  return w.Finish();
 }
 
 Result<FrozenModel> LoadFrozenModel(const std::string& path) {
   std::string bytes;
   KGAG_RETURN_NOT_OK(ReadFileToString(path, &bytes));
   return DecodeFrozenModel(bytes);
+}
+
+namespace {
+
+/// Blob declarations + payload streaming for SaveFrozenModelV2 — reads
+/// through views so owned and mapped models encode identically.
+struct V2Tables {
+  RepView user;
+  RepView item;
+};
+
+Status AppendAttnBlob(ArtifactV2Writer* w, uint32_t tag, const Tensor& t) {
+  return w->AddBlob(tag, t.data(), t.size() * sizeof(double));
+}
+
+}  // namespace
+
+Status SaveFrozenModelV2(const FrozenModel& model, const std::string& path) {
+  KGAG_RETURN_NOT_OK(ValidateShapes(model));
+  const V2Tables tables{model.UserView(), model.ItemView()};
+
+  ArtifactV2Meta meta;
+  meta.dim = static_cast<uint32_t>(model.dim);
+  meta.group_size = static_cast<uint32_t>(model.group_size);
+  meta.use_sp = model.use_sp;
+  meta.use_pi = model.use_pi;
+  meta.num_users = static_cast<uint32_t>(model.num_users);
+  meta.num_items = static_cast<uint32_t>(model.num_items);
+  meta.quant_type = static_cast<uint8_t>(model.quant);
+  meta.quant_block = model.quant_block;
+
+  const uint8_t rep_dtype = static_cast<uint8_t>(model.quant);
+  const uint8_t f32 = static_cast<uint8_t>(QuantType::kFp32);
+  const uint8_t f64 = static_cast<uint8_t>(QuantType::kFp64);
+  std::vector<BlobSpec> specs;
+  specs.push_back({kBlobUserRep, rep_dtype, tables.user.rows, tables.user.cols});
+  specs.push_back({kBlobUserScales, f32, tables.user.rows,
+                   tables.user.ScalesPerRow()});
+  specs.push_back({kBlobItemRep, rep_dtype, tables.item.rows, tables.item.cols});
+  specs.push_back({kBlobItemScales, f32, tables.item.rows,
+                   tables.item.ScalesPerRow()});
+  specs.push_back({kBlobAttnW1, f64, model.w1.rows(), model.w1.cols()});
+  specs.push_back({kBlobAttnW2, f64, model.w2.rows(), model.w2.cols()});
+  specs.push_back({kBlobAttnBias, f64, model.bias.rows(), model.bias.cols()});
+  specs.push_back({kBlobAttnVc, f64, model.vc.rows(), model.vc.cols()});
+
+  ArtifactV2Writer w;
+  KGAG_RETURN_NOT_OK(w.Open(path, meta, specs));
+  KGAG_RETURN_NOT_OK(w.AddBlob(kBlobUserRep, tables.user.codes,
+                               tables.user.rows * tables.user.RowBytes()));
+  KGAG_RETURN_NOT_OK(w.AddBlob(
+      kBlobUserScales, tables.user.scales,
+      tables.user.rows * tables.user.ScalesPerRow() * sizeof(float)));
+  KGAG_RETURN_NOT_OK(w.AddBlob(kBlobItemRep, tables.item.codes,
+                               tables.item.rows * tables.item.RowBytes()));
+  KGAG_RETURN_NOT_OK(w.AddBlob(
+      kBlobItemScales, tables.item.scales,
+      tables.item.rows * tables.item.ScalesPerRow() * sizeof(float)));
+  KGAG_RETURN_NOT_OK(AppendAttnBlob(&w, kBlobAttnW1, model.w1));
+  KGAG_RETURN_NOT_OK(AppendAttnBlob(&w, kBlobAttnW2, model.w2));
+  KGAG_RETURN_NOT_OK(AppendAttnBlob(&w, kBlobAttnBias, model.bias));
+  KGAG_RETURN_NOT_OK(AppendAttnBlob(&w, kBlobAttnVc, model.vc));
+  return w.Finish();
+}
+
+namespace {
+
+/// Copies an attention blob into an owned Tensor (raw doubles, so the
+/// values are bit-identical to what the v1 decoder produces).
+Status CopyAttnTensor(const MappedArtifact& m, uint32_t tag, Tensor* out) {
+  const BlobEntry* e = m.Find(tag);
+  if (e == nullptr) return ShapeError("missing attention blob");
+  if (e->dtype != static_cast<uint8_t>(QuantType::kFp64)) {
+    return ShapeError("attention blob is not fp64");
+  }
+  if (e->rows == 0 || e->cols == 0) {
+    *out = Tensor();
+    return Status::OK();
+  }
+  *out = Tensor(e->rows, e->cols);
+  std::memcpy(out->data(), m.BlobData(*e), e->nbytes);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FrozenModel> LoadFrozenModelMmap(const std::string& path,
+                                        const MappedArtifact::Options& options) {
+  Result<std::shared_ptr<MappedArtifact>> mapped =
+      MappedArtifact::Map(path, options);
+  KGAG_RETURN_NOT_OK(mapped.status());
+  const std::shared_ptr<MappedArtifact>& m = *mapped;
+  const ArtifactV2Meta& meta = m->meta();
+  if (meta.quant_type > static_cast<uint8_t>(QuantType::kInt8)) {
+    return ShapeError("unknown quantization type tag " +
+                      std::to_string(static_cast<int>(meta.quant_type)) +
+                      " (artifact written by a newer build?)");
+  }
+
+  FrozenModel out;
+  out.dim = static_cast<int>(meta.dim);
+  out.group_size = static_cast<int>(meta.group_size);
+  out.use_sp = meta.use_sp;
+  out.use_pi = meta.use_pi;
+  out.num_users = static_cast<int32_t>(meta.num_users);
+  out.num_items = static_cast<int32_t>(meta.num_items);
+  out.quant = static_cast<QuantType>(meta.quant_type);
+  out.quant_block = meta.quant_block;
+
+  const BlobEntry* urep = m->Find(kBlobUserRep);
+  const BlobEntry* irep = m->Find(kBlobItemRep);
+  if (urep == nullptr || irep == nullptr) {
+    return ShapeError("missing rep table blob");
+  }
+  const BlobEntry* uscl = m->Find(kBlobUserScales);
+  const BlobEntry* iscl = m->Find(kBlobItemScales);
+  out.mapped_user = MakeRepView(*m, *urep, uscl);
+  out.mapped_item = MakeRepView(*m, *irep, iscl);
+
+  KGAG_RETURN_NOT_OK(CopyAttnTensor(*m, kBlobAttnW1, &out.w1));
+  KGAG_RETURN_NOT_OK(CopyAttnTensor(*m, kBlobAttnW2, &out.w2));
+  KGAG_RETURN_NOT_OK(CopyAttnTensor(*m, kBlobAttnBias, &out.bias));
+  KGAG_RETURN_NOT_OK(CopyAttnTensor(*m, kBlobAttnVc, &out.vc));
+
+  out.mapping = m;
+  KGAG_RETURN_NOT_OK(ValidateShapes(out));
+  return out;
+}
+
+Result<FrozenModel> LoadFrozenModelAuto(const std::string& path,
+                                        const MappedArtifact::Options& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  if (!in.good()) {
+    return Status::IoError("cannot read artifact magic from " + path);
+  }
+  in.close();
+  if (std::memcmp(magic, kArtifactV2Magic.data(), 8) == 0) {
+    return LoadFrozenModelMmap(path, options);
+  }
+  return LoadFrozenModel(path);
 }
 
 }  // namespace serve

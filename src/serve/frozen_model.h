@@ -35,11 +35,13 @@
 #ifndef KGAG_SERVE_FROZEN_MODEL_H_
 #define KGAG_SERVE_FROZEN_MODEL_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "serve/artifact_mmap.h"
 #include "tensor/quant.h"
 #include "tensor/tensor.h"
 
@@ -73,7 +75,7 @@ struct FrozenModel {
   /// quant == kInt8.
   uint32_t quant_block = 0;
 
-  Tensor user_emb;  ///< (num_users x dim), row u = user u (kFp64 only)
+  Tensor user_emb;  ///< (num_users x dim), row u = user v (kFp64 only)
   Tensor item_emb;  ///< (num_items x dim), row v = item v (kFp64 only)
   QuantizedMatrix q_user;  ///< quantized tiers only
   QuantizedMatrix q_item;  ///< quantized tiers only
@@ -81,10 +83,31 @@ struct FrozenModel {
   // Attention weights; 0x0 tensors when the model was built without them
   // (ablations, group_size == 1). Always fp64: they are O(dim^2), not
   // O(entities), so quantizing them would save nothing and cost accuracy.
+  // On an mmap-backed model these are COPIED out of the mapping at load
+  // (O(dim^2) bytes — negligible), so the scorer's MatMul path is
+  // identical either way.
   Tensor w1;    ///< (dim x dim)
   Tensor w2;    ///< (dim*(group_size-1) x dim)
   Tensor bias;  ///< (1 x dim)
   Tensor vc;    ///< (dim x 1)
+
+  /// Non-null when the rep tables live inside an mmap'd KGAGSRV2
+  /// artifact (LoadFrozenModelMmap). The mapping owns the bytes behind
+  /// mapped_user/mapped_item; the owned tables above are then all empty.
+  std::shared_ptr<MappedArtifact> mapping;
+  RepView mapped_user;  ///< valid iff mapping != nullptr
+  RepView mapped_item;  ///< valid iff mapping != nullptr
+
+  bool is_mapped() const { return mapping != nullptr; }
+
+  /// View of the user rep table wherever it lives — owned fp64 tensor,
+  /// owned quantized matrix, or the mapping. THE way the scoring path
+  /// reads rep rows: because heap- and mmap-backed models expose the same
+  /// bytes through the same view, the two paths are bit-identical by
+  /// construction.
+  RepView UserView() const;
+  /// Item-table counterpart of UserView().
+  RepView ItemView() const;
 };
 
 /// Resident bytes one entity row costs at the model's precision (codes
@@ -115,11 +138,32 @@ Status EncodeFrozenModel(const FrozenModel& model, std::string* out);
 /// shape consistency (embedding/attention dims against the meta chunk).
 Result<FrozenModel> DecodeFrozenModel(std::string_view data);
 
-/// Encode + atomic write (temp + fsync + rename).
+/// Encode + atomic write (temp + fsync + rename). Streams chunk by chunk
+/// through ckpt::ContainerFileWriter — the encoded artifact never exists
+/// in memory — producing bytes identical to EncodeFrozenModel.
 Status SaveFrozenModel(const FrozenModel& model, const std::string& path);
 
 /// Read + decode.
 Result<FrozenModel> LoadFrozenModel(const std::string& path);
+
+/// Writes the model as a KGAGSRV2 mmap-layout artifact (atomic, like
+/// SaveFrozenModel). Reads the tables through views, so it works from an
+/// owned OR an mmap-backed model (which is how freeze_model converts
+/// between layouts).
+Status SaveFrozenModelV2(const FrozenModel& model, const std::string& path);
+
+/// Maps a KGAGSRV2 artifact: header/index validated (and blob CRCs too
+/// when options.verify_crc), rep tables exposed as views into the
+/// mapping, attention weights copied into owned tensors. O(header) work —
+/// no rep bytes are read until queries touch them.
+Result<FrozenModel> LoadFrozenModelMmap(
+    const std::string& path, const MappedArtifact::Options& options = {});
+
+/// Sniffs the 8-byte magic and dispatches: KGAGSRV2 -> LoadFrozenModelMmap,
+/// KGAGSRV1 -> LoadFrozenModel (heap decode). The one entry point tools
+/// use so v1 artifacts keep loading unchanged.
+Result<FrozenModel> LoadFrozenModelAuto(
+    const std::string& path, const MappedArtifact::Options& options = {});
 
 }  // namespace serve
 }  // namespace kgag

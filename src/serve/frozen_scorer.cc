@@ -31,16 +31,13 @@ Result<GroupRep> BuildGroupRep(const FrozenModel& model,
 
   const size_t l = rep.members.size();
   const size_t d = static_cast<size_t>(model.dim);
+  const RepView users = model.UserView();
   rep.member_emb = Tensor(l, d);
   for (size_t i = 0; i < l; ++i) {
-    const size_t u = static_cast<size_t>(rep.members[i]);
-    if (model.quant == QuantType::kFp64) {
-      for (size_t c = 0; c < d; ++c) {
-        rep.member_emb.at(i, c) = model.user_emb.at(u, c);
-      }
-    } else {
-      DequantizeRow(model.q_user, u, &rep.member_emb.at(i, 0));
-    }
+    // DequantizeRow on a view handles every tier including fp64 (straight
+    // copy) and reads owned and mmap'd storage identically.
+    DequantizeRow(users, static_cast<size_t>(rep.members[i]),
+                  &rep.member_emb.at(i, 0));
   }
 
   rep.pi.assign(l, 0.0);
@@ -89,8 +86,9 @@ size_t MemberStack::Append(const GroupRep& rep) {
   } else {
     // Gather the packed code rows (and int8 scales) straight from the
     // artifact — the kernels consume the stored codes, so batching loses
-    // nothing to a dequantize round trip.
-    const QuantizedMatrix& q = model_->q_user;
+    // nothing to a dequantize round trip. The view reads owned and
+    // mmap'd artifacts through the same pointers.
+    const RepView q = model_->UserView();
     const size_t rb = q.RowBytes();
     const size_t spr = q.ScalesPerRow();
     for (size_t i = 0; i < l; ++i) {
@@ -142,35 +140,35 @@ void MemberStack::SpLogitsAllItems(double* out) const {
   KGAG_TRACE_SPAN("serve.score_kernel.gemm");
   const size_t d = static_cast<size_t>(model_->dim);
   const size_t n = static_cast<size_t>(model_->num_items);
+  const RepView qi = model_->ItemView();
   if (model_->quant == QuantType::kFp64) {
     std::fill(out, out + rows_ * n, 0.0);  // Gemm accumulates
     kernels::Gemm(/*trans_a=*/false, /*trans_b=*/true, rows_, n, d,
-                  emb_.data(), d, model_->item_emb.data(), d, out, n);
+                  emb_.data(), d, qi.F64Data(), d, out, n);
     return;
   }
-  const QuantizedMatrix& qi = model_->q_item;
   QuantSpGemm(model_->quant, model_->quant_block, rows_, n, d, codes_.data(),
-              scales_.data(), qi.data.data(), qi.scales.data(), out);
+              scales_.data(), qi.codes, qi.scales, out);
 }
 
 void MemberStack::SpLogits(std::span<const ItemId> items, double* out) const {
   const size_t d = static_cast<size_t>(model_->dim);
   const size_t p = items.size();
+  const RepView qi = model_->ItemView();
   if (model_->quant == QuantType::kFp64) {
     Tensor cand(p, d);
+    const double* item_rows = qi.F64Data();
     for (size_t i = 0; i < p; ++i) {
       KGAG_CHECK(items[i] >= 0 && items[i] < model_->num_items)
           << "item id out of range: " << items[i];
-      for (size_t c = 0; c < d; ++c) {
-        cand.at(i, c) = model_->item_emb.at(static_cast<size_t>(items[i]), c);
-      }
+      const double* row = item_rows + static_cast<size_t>(items[i]) * d;
+      for (size_t c = 0; c < d; ++c) cand.at(i, c) = row[c];
     }
     std::fill(out, out + rows_ * p, 0.0);
     kernels::Gemm(/*trans_a=*/false, /*trans_b=*/true, rows_, p, d,
                   emb_.data(), d, cand.data(), d, out, p);
     return;
   }
-  const QuantizedMatrix& qi = model_->q_item;
   const size_t rb = qi.RowBytes();
   const size_t spr = qi.ScalesPerRow();
   std::vector<uint8_t> cand_codes;

@@ -67,8 +67,32 @@ size_t QuantElemBytes(QuantType type) {
   return 0;
 }
 
+size_t QuantScalesPerRow(QuantType type, size_t cols, uint32_t block) {
+  return ScalesPerRowFor(type, cols, block);
+}
+
 size_t QuantizedMatrix::ScalesPerRow() const {
   return ScalesPerRowFor(type, cols, block);
+}
+
+RepView MakeRepView(const Tensor& t) {
+  RepView v;
+  v.type = QuantType::kFp64;
+  v.rows = t.rows();
+  v.cols = t.cols();
+  v.codes = reinterpret_cast<const uint8_t*>(t.data());
+  return v;
+}
+
+RepView MakeRepView(const QuantizedMatrix& q) {
+  RepView v;
+  v.type = q.type;
+  v.rows = q.rows;
+  v.cols = q.cols;
+  v.block = q.block;
+  v.codes = q.data.data();
+  v.scales = q.scales.data();
+  return v;
 }
 
 uint16_t FloatToHalf(float f) {
@@ -136,22 +160,15 @@ float HalfToFloat(uint16_t h) {
   return f;
 }
 
-QuantizedMatrix QuantizeMatrix(const Tensor& t, QuantType type,
-                               uint32_t block) {
+void QuantizeRows(QuantType type, uint32_t block, size_t rows, size_t cols,
+                  const double* src_rows, uint8_t* codes, float* scales) {
   KGAG_CHECK(type != QuantType::kFp64)
       << "kFp64 is the identity tier; keep the Tensor";
-  QuantizedMatrix q;
-  q.type = type;
-  q.rows = t.rows();
-  q.cols = t.cols();
-  q.block = type == QuantType::kInt8 ? block : 0;
-  q.data.resize(q.rows * q.RowBytes());
-  q.scales.resize(q.rows * q.ScalesPerRow());
-
-  const size_t cols = q.cols;
-  for (size_t r = 0; r < q.rows; ++r) {
-    const double* src = t.data() + r * cols;
-    uint8_t* dst = q.data.data() + r * q.RowBytes();
+  const size_t row_bytes = cols * QuantElemBytes(type);
+  const size_t spr = ScalesPerRowFor(type, cols, block);
+  for (size_t r = 0; r < rows; ++r) {
+    const double* src = src_rows + r * cols;
+    uint8_t* dst = codes + r * row_bytes;
     if (type == QuantType::kFp32) {
       float* out = reinterpret_cast<float*>(dst);
       for (size_t c = 0; c < cols; ++c) out[c] = static_cast<float>(src[c]);
@@ -162,8 +179,8 @@ QuantizedMatrix QuantizeMatrix(const Tensor& t, QuantType type,
       }
     } else {  // kInt8
       int8_t* out = reinterpret_cast<int8_t*>(dst);
-      float* row_scales = q.scales.data() + r * q.ScalesPerRow();
-      const size_t bs = q.block == 0 ? cols : q.block;
+      float* row_scales = scales + r * spr;
+      const size_t bs = block == 0 ? cols : block;
       for (size_t b = 0, c0 = 0; c0 < cols; ++b, c0 += bs) {
         const size_t c1 = std::min(cols, c0 + bs);
         double amax = 0.0;
@@ -178,14 +195,27 @@ QuantizedMatrix QuantizeMatrix(const Tensor& t, QuantType type,
       }
     }
   }
+}
+
+QuantizedMatrix QuantizeMatrix(const Tensor& t, QuantType type,
+                               uint32_t block) {
+  QuantizedMatrix q;
+  q.type = type;
+  q.rows = t.rows();
+  q.cols = t.cols();
+  q.block = type == QuantType::kInt8 ? block : 0;
+  q.data.resize(q.rows * q.RowBytes());
+  q.scales.resize(q.rows * q.ScalesPerRow());
+  QuantizeRows(type, q.block, q.rows, q.cols, t.data(), q.data.data(),
+               q.scales.data());
   return q;
 }
 
-void DequantizeRow(const QuantizedMatrix& q, size_t r, double* out) {
-  KGAG_DCHECK(r < q.rows);
-  const size_t cols = q.cols;
-  const uint8_t* src = q.RowData(r);
-  switch (q.type) {
+namespace {
+
+void DequantizeRowImpl(QuantType type, size_t cols, uint32_t block,
+                       const uint8_t* src, const float* scales, double* out) {
+  switch (type) {
     case QuantType::kFp64:
       std::memcpy(out, src, cols * sizeof(double));
       break;
@@ -203,8 +233,7 @@ void DequantizeRow(const QuantizedMatrix& q, size_t r, double* out) {
     }
     case QuantType::kInt8: {
       const int8_t* in = reinterpret_cast<const int8_t*>(src);
-      const float* scales = q.RowScales(r);
-      const size_t bs = q.block == 0 ? cols : q.block;
+      const size_t bs = block == 0 ? cols : block;
       for (size_t b = 0, c0 = 0; c0 < cols; ++b, c0 += bs) {
         const size_t c1 = std::min(cols, c0 + bs);
         const double s = static_cast<double>(scales[b]);
@@ -215,6 +244,22 @@ void DequantizeRow(const QuantizedMatrix& q, size_t r, double* out) {
       break;
     }
   }
+}
+
+}  // namespace
+
+void DequantizeRow(const QuantizedMatrix& q, size_t r, double* out) {
+  KGAG_DCHECK(r < q.rows);
+  DequantizeRowImpl(q.type, q.cols, q.block, q.RowData(r),
+                    q.type == QuantType::kInt8 ? q.RowScales(r) : nullptr,
+                    out);
+}
+
+void DequantizeRow(const RepView& v, size_t r, double* out) {
+  KGAG_DCHECK(r < v.rows);
+  DequantizeRowImpl(v.type, v.cols, v.block, v.RowData(r),
+                    v.type == QuantType::kInt8 ? v.RowScales(r) : nullptr,
+                    out);
 }
 
 Tensor DequantizeMatrix(const QuantizedMatrix& q) {

@@ -81,16 +81,74 @@ struct QuantizedMatrix {
   bool operator==(const QuantizedMatrix&) const = default;
 };
 
+/// Scales one row of `cols` values carries at the given precision and
+/// block geometry: ceil(cols/block) for kInt8 (1 when block == 0), 0 for
+/// every float tier.
+size_t QuantScalesPerRow(QuantType type, size_t cols, uint32_t block);
+
+/// \brief Non-owning view of a dense row-major rep table at any storage
+/// precision, INCLUDING the fp64 identity tier (codes are then the raw
+/// little-endian doubles). This is the one shape the frozen scoring path
+/// consumes, so the same kernels run whether the bytes live in an owned
+/// Tensor/QuantizedMatrix or in an mmap'd KGAGSRV2 artifact — which is
+/// what makes the mmap path bit-identical to the heap path by
+/// construction.
+struct RepView {
+  QuantType type = QuantType::kFp64;
+  size_t rows = 0;
+  size_t cols = 0;
+  uint32_t block = 0;           ///< int8 scale-block columns (0 = per-row)
+  const uint8_t* codes = nullptr;  ///< rows * RowBytes() packed codes
+  const float* scales = nullptr;   ///< rows * ScalesPerRow() (kInt8 only)
+
+  bool empty() const { return rows == 0 || cols == 0 || codes == nullptr; }
+  size_t ElemBytes() const { return QuantElemBytes(type); }
+  size_t RowBytes() const { return cols * ElemBytes(); }
+  size_t ScalesPerRow() const { return QuantScalesPerRow(type, cols, block); }
+  const uint8_t* RowData(size_t r) const { return codes + r * RowBytes(); }
+  const float* RowScales(size_t r) const {
+    return scales + r * ScalesPerRow();
+  }
+  /// Codes + scales bytes the table occupies (resident cost).
+  size_t PayloadBytes() const {
+    return rows * (RowBytes() + ScalesPerRow() * sizeof(float));
+  }
+  /// The raw doubles of an fp64 view. Only valid when type == kFp64.
+  const double* F64Data() const {
+    return reinterpret_cast<const double*>(codes);
+  }
+};
+
+/// fp64 view over a Tensor's storage (borrowed; the tensor must outlive
+/// the view).
+RepView MakeRepView(const Tensor& t);
+
+/// View over a QuantizedMatrix's buffers (borrowed).
+RepView MakeRepView(const QuantizedMatrix& q);
+
 /// Quantizes a Tensor. `type` must not be kFp64 (a no-op "quantization"
 /// stays a Tensor); `block` only affects kInt8.
 QuantizedMatrix QuantizeMatrix(const Tensor& t, QuantType type,
                                uint32_t block = 0);
+
+/// Quantizes `rows` rows of row-major fp64 data (`cols` wide) into
+/// `codes` (rows * cols * QuantElemBytes(type) bytes) and, for kInt8,
+/// `scales` (rows * QuantScalesPerRow(...) floats; may be null
+/// otherwise). This is the exact per-row transform QuantizeMatrix
+/// applies, exposed row-local so streamed/chunked encoders produce
+/// bit-identical codes no matter how the table is split into chunks.
+void QuantizeRows(QuantType type, uint32_t block, size_t rows, size_t cols,
+                  const double* src, uint8_t* codes, float* scales);
 
 /// Expands back to doubles (the values the scoring kernels see).
 Tensor DequantizeMatrix(const QuantizedMatrix& q);
 
 /// Dequantizes row `r` into out[0..cols).
 void DequantizeRow(const QuantizedMatrix& q, size_t r, double* out);
+
+/// Dequantizes row `r` of a view into out[0..cols). Handles every tier
+/// including kFp64 (straight copy), so callers need no precision branch.
+void DequantizeRow(const RepView& v, size_t r, double* out);
 
 /// IEEE binary32 -> binary16, round-to-nearest-even (overflow to inf,
 /// NaN payload preserved through the mantissa MSB). Bit-exact with the

@@ -1,0 +1,333 @@
+// KGAGSRV2 mmap artifact tests (DESIGN.md §14): corruption rejection
+// (truncation, bit flips, misaligned offsets), the mmap-vs-heap score
+// bit-identity contract across every quantization tier, v1 back-compat
+// through the auto loader, and the pin that the streaming v1 writer
+// produces byte-identical output to the in-memory encoder.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "common/file_io.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "serve/artifact_mmap.h"
+#include "serve/frozen_model.h"
+#include "serve/frozen_scorer.h"
+#include "tensor/quant.h"
+
+namespace kgag {
+namespace serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// The fixed header is 39 bytes (magic 8 + version 4 + dim 4 + group_size
+// 4 + use_sp 1 + use_pi 1 + users 4 + items 4 + quant 1 + block 4 +
+// blob_count 4) and each index entry 41 (tag 4 + dtype 1 + rows 8 +
+// cols 8 + offset 8 + nbytes 8 + crc 4). Tests that surgically corrupt
+// specific fields rely on these being pinned — changing them is a format
+// break and must bump kArtifactV2Version.
+constexpr size_t kFixedHeaderBytes = 39;
+constexpr size_t kEntryBytes = 41;
+
+std::string TestTmpDir(const std::string& leaf) {
+  const char* base = std::getenv("TEST_TMPDIR");
+  fs::path dir = (base != nullptr ? fs::path(base)
+                                  : fs::temp_directory_path()) /
+                 leaf;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// A small random frozen model — serving fidelity is about bytes and
+/// shapes, not training.
+FrozenModel MakeModel(int num_users = 61, int num_items = 47, int dim = 16,
+                      int group_size = 4) {
+  Rng rng(321);
+  FrozenModel m;
+  m.dim = dim;
+  m.group_size = group_size;
+  m.use_sp = true;
+  m.use_pi = true;
+  m.num_users = num_users;
+  m.num_items = num_items;
+  auto fill = [&rng](Tensor* t, double lo, double hi) {
+    for (size_t i = 0; i < t->size(); ++i) t->data()[i] = rng.Uniform(lo, hi);
+  };
+  m.user_emb = Tensor(num_users, dim);
+  m.item_emb = Tensor(num_items, dim);
+  fill(&m.user_emb, -0.4, 0.4);
+  fill(&m.item_emb, -0.4, 0.4);
+  m.w1 = Tensor(dim, dim);
+  m.w2 = Tensor(dim * (group_size - 1), dim);
+  m.bias = Tensor(1, dim);
+  m.vc = Tensor(dim, 1);
+  fill(&m.w1, -0.1, 0.1);
+  fill(&m.w2, -0.05, 0.05);
+  fill(&m.bias, -0.1, 0.1);
+  fill(&m.vc, -0.2, 0.2);
+  return m;
+}
+
+std::vector<std::vector<UserId>> SampleGroups(int num_users) {
+  Rng rng(99);
+  std::vector<std::vector<UserId>> groups;
+  for (int g = 0; g < 6; ++g) {
+    std::vector<UserId> members;
+    const int len = 1 + static_cast<int>(rng.UniformInt(0, 4));
+    for (int i = 0; i < len; ++i) {
+      members.push_back(static_cast<UserId>(rng.UniformInt(0, num_users - 1)));
+    }
+    groups.push_back(std::move(members));
+  }
+  return groups;
+}
+
+/// Scores every sample group through both models and demands bitwise
+/// equality.
+void ExpectBitIdenticalScores(const FrozenModel& a, const FrozenModel& b) {
+  for (const std::vector<UserId>& members : SampleGroups(a.num_users)) {
+    Result<GroupRep> ra = BuildGroupRep(a, members);
+    Result<GroupRep> rb = BuildGroupRep(b, members);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    const std::vector<double> sa = ScoreAllItems(a, *ra);
+    const std::vector<double> sb = ScoreAllItems(b, *rb);
+    ASSERT_EQ(sa.size(), sb.size());
+    EXPECT_EQ(
+        std::memcmp(sa.data(), sb.data(), sa.size() * sizeof(double)), 0);
+  }
+}
+
+TEST(ArtifactV2, MmapScoresBitIdenticalToHeapAcrossTiers) {
+  const std::string dir = TestTmpDir("artifact_v2_tiers");
+  const FrozenModel base = MakeModel();
+  struct Tier {
+    QuantType q;
+    uint32_t block;
+  };
+  const Tier tiers[] = {{QuantType::kFp64, 0},
+                        {QuantType::kFp32, 0},
+                        {QuantType::kFp16, 0},
+                        {QuantType::kInt8, 0},
+                        {QuantType::kInt8, 8}};
+  for (const Tier& tier : tiers) {
+    Result<FrozenModel> heap = QuantizeFrozenModel(base, tier.q, tier.block);
+    ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+    const std::string path =
+        dir + "/m" + std::to_string(static_cast<int>(tier.q)) + "_" +
+        std::to_string(tier.block) + ".srv2";
+    ASSERT_TRUE(SaveFrozenModelV2(*heap, path).ok());
+
+    MmapLoadOptions opts;
+    opts.verify_crc = true;  // also exercises the eager CRC path
+    Result<FrozenModel> mapped = LoadFrozenModelMmap(path, opts);
+    ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+    EXPECT_TRUE(mapped->is_mapped());
+    EXPECT_EQ(mapped->quant, tier.q);
+    EXPECT_EQ(mapped->quant_block, tier.block);
+    EXPECT_EQ(mapped->num_users, heap->num_users);
+    EXPECT_EQ(mapped->num_items, heap->num_items);
+    ExpectBitIdenticalScores(*heap, *mapped);
+  }
+}
+
+TEST(ArtifactV2, SaveFromMappedModelIsByteStable) {
+  const std::string dir = TestTmpDir("artifact_v2_restable");
+  const FrozenModel base = MakeModel();
+  Result<FrozenModel> heap =
+      QuantizeFrozenModel(base, QuantType::kInt8, /*block=*/4);
+  ASSERT_TRUE(heap.ok());
+  const std::string path = dir + "/m.srv2";
+  ASSERT_TRUE(SaveFrozenModelV2(*heap, path).ok());
+  Result<FrozenModel> mapped = LoadFrozenModelMmap(path);
+  ASSERT_TRUE(mapped.ok());
+  // Re-encoding straight from the mapping must reproduce the file.
+  const std::string again = dir + "/again.srv2";
+  ASSERT_TRUE(SaveFrozenModelV2(*mapped, again).ok());
+  std::string b1, b2;
+  ASSERT_TRUE(ReadFileToString(path, &b1).ok());
+  ASSERT_TRUE(ReadFileToString(again, &b2).ok());
+  EXPECT_EQ(b1, b2);
+}
+
+TEST(ArtifactV2, AutoLoaderDispatchesOnMagic) {
+  const std::string dir = TestTmpDir("artifact_v2_auto");
+  const FrozenModel base = MakeModel();
+  const std::string v1 = dir + "/m.srv";
+  const std::string v2 = dir + "/m.srv2";
+  ASSERT_TRUE(SaveFrozenModel(base, v1).ok());
+  ASSERT_TRUE(SaveFrozenModelV2(base, v2).ok());
+
+  Result<FrozenModel> heap = LoadFrozenModelAuto(v1);
+  ASSERT_TRUE(heap.ok()) << heap.status().ToString();
+  EXPECT_FALSE(heap->is_mapped());
+  Result<FrozenModel> mapped = LoadFrozenModelAuto(v2);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(mapped->is_mapped());
+  // And the v1 back-compat regression: both loads score identically to
+  // the in-memory source model.
+  ExpectBitIdenticalScores(base, *heap);
+  ExpectBitIdenticalScores(base, *mapped);
+}
+
+TEST(ArtifactV2, TruncatedFilesRejected) {
+  const std::string dir = TestTmpDir("artifact_v2_trunc");
+  const std::string path = dir + "/m.srv2";
+  ASSERT_TRUE(SaveFrozenModelV2(MakeModel(), path).ok());
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(path, &bytes).ok());
+
+  // Cut inside the magic, inside the index, and inside the last blob.
+  for (size_t cut : {size_t{4}, kFixedHeaderBytes + 10, bytes.size() - 3}) {
+    const std::string t = dir + "/t.srv2";
+    ASSERT_TRUE(AtomicWriteFile(t, bytes.substr(0, cut)).ok());
+    Result<std::shared_ptr<MappedArtifact>> m = MappedArtifact::Map(t);
+    EXPECT_FALSE(m.ok()) << "cut at " << cut;
+  }
+  // An empty file is rejected too (not a crash).
+  ASSERT_TRUE(AtomicWriteFile(dir + "/e.srv2", "").ok());
+  EXPECT_FALSE(MappedArtifact::Map(dir + "/e.srv2").ok());
+}
+
+TEST(ArtifactV2, HeaderBitFlipRejected) {
+  const std::string dir = TestTmpDir("artifact_v2_flip_hdr");
+  const std::string path = dir + "/m.srv2";
+  ASSERT_TRUE(SaveFrozenModelV2(MakeModel(), path).ok());
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(path, &bytes).ok());
+  // Flip one bit of the dim field; the header CRC must catch it.
+  bytes[12] ^= 0x01;
+  const std::string t = dir + "/t.srv2";
+  ASSERT_TRUE(AtomicWriteFile(t, bytes).ok());
+  Result<std::shared_ptr<MappedArtifact>> m = MappedArtifact::Map(t);
+  EXPECT_FALSE(m.ok());
+}
+
+TEST(ArtifactV2, BlobBitFlipCaughtByCrc) {
+  const std::string dir = TestTmpDir("artifact_v2_flip_blob");
+  const std::string path = dir + "/m.srv2";
+  ASSERT_TRUE(SaveFrozenModelV2(MakeModel(), path).ok());
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(path, &bytes).ok());
+  // Flip a byte deep in the payload region (past header + index).
+  bytes[bytes.size() - 9] ^= 0x40;
+  const std::string t = dir + "/t.srv2";
+  ASSERT_TRUE(AtomicWriteFile(t, bytes).ok());
+
+  // Lazy map succeeds (the header is intact)…
+  Result<std::shared_ptr<MappedArtifact>> lazy = MappedArtifact::Map(t);
+  ASSERT_TRUE(lazy.ok());
+  // …but both the on-demand check and the eager load reject the payload.
+  EXPECT_FALSE((*lazy)->VerifyBlobs().ok());
+  MmapLoadOptions eager;
+  eager.verify_crc = true;
+  EXPECT_FALSE(MappedArtifact::Map(t, eager).ok());
+  EXPECT_FALSE(LoadFrozenModelMmap(t, eager).ok());
+}
+
+TEST(ArtifactV2, MisalignedBlobOffsetRejected) {
+  const std::string dir = TestTmpDir("artifact_v2_align");
+  const std::string path = dir + "/m.srv2";
+  ASSERT_TRUE(SaveFrozenModelV2(MakeModel(), path).ok());
+  std::string bytes;
+  ASSERT_TRUE(ReadFileToString(path, &bytes).ok());
+
+  // Nudge entry 0's offset field off the 64-byte grid and re-sign the
+  // header so ONLY the alignment check can reject it.
+  const uint32_t blob_count = static_cast<uint32_t>(
+      static_cast<uint8_t>(bytes[kFixedHeaderBytes - 4]) |
+      static_cast<uint8_t>(bytes[kFixedHeaderBytes - 3]) << 8 |
+      static_cast<uint8_t>(bytes[kFixedHeaderBytes - 2]) << 16 |
+      static_cast<uint8_t>(bytes[kFixedHeaderBytes - 1]) << 24);
+  ASSERT_GT(blob_count, 0u);
+  const size_t offset_field = kFixedHeaderBytes + 4 + 1 + 8 + 8;
+  bytes[offset_field] = static_cast<char>(bytes[offset_field] + 1);
+  const size_t crc_pos = kFixedHeaderBytes + blob_count * kEntryBytes;
+  const uint32_t crc = Crc32(bytes.data(), crc_pos);
+  std::memcpy(&bytes[crc_pos], &crc, sizeof(crc));
+
+  const std::string t = dir + "/t.srv2";
+  ASSERT_TRUE(AtomicWriteFile(t, bytes).ok());
+  Result<std::shared_ptr<MappedArtifact>> m = MappedArtifact::Map(t);
+  EXPECT_FALSE(m.ok());
+}
+
+TEST(ArtifactV2, MappedModelsRejectedByV1Encoders) {
+  const std::string dir = TestTmpDir("artifact_v2_reject");
+  const std::string path = dir + "/m.srv2";
+  ASSERT_TRUE(SaveFrozenModelV2(MakeModel(), path).ok());
+  Result<FrozenModel> mapped = LoadFrozenModelMmap(path);
+  ASSERT_TRUE(mapped.ok());
+  std::string encoded;
+  EXPECT_FALSE(EncodeFrozenModel(*mapped, &encoded).ok());
+  EXPECT_FALSE(SaveFrozenModel(*mapped, dir + "/m.srv").ok());
+  EXPECT_FALSE(QuantizeFrozenModel(*mapped, QuantType::kFp16, 0).ok());
+}
+
+TEST(ArtifactV2, WriterEnforcesDeclarationOrderAndSizes) {
+  const std::string dir = TestTmpDir("artifact_v2_writer");
+  ArtifactV2Meta meta;
+  meta.dim = 2;
+  meta.group_size = 2;
+  meta.num_users = 2;
+  meta.num_items = 1;
+  const std::vector<BlobSpec> specs = {
+      {kBlobUserRep, static_cast<uint8_t>(QuantType::kFp64), 2, 2},
+      {kBlobItemRep, static_cast<uint8_t>(QuantType::kFp64), 1, 2},
+  };
+
+  // Out-of-order BeginBlob fails.
+  {
+    ArtifactV2Writer w;
+    ASSERT_TRUE(w.Open(dir + "/a.srv2", meta, specs).ok());
+    EXPECT_FALSE(w.BeginBlob(kBlobItemRep).ok());
+    w.Abandon();
+  }
+  // Finishing with a short payload fails.
+  {
+    ArtifactV2Writer w;
+    ASSERT_TRUE(w.Open(dir + "/b.srv2", meta, specs).ok());
+    ASSERT_TRUE(w.BeginBlob(kBlobUserRep).ok());
+    const double rows[2] = {1.0, 2.0};
+    ASSERT_TRUE(w.Append(rows, sizeof(rows)).ok());
+    EXPECT_FALSE(w.EndBlob().ok());  // declared 4 doubles, wrote 2
+    w.Abandon();
+  }
+  // Finishing before every declared blob is written fails.
+  {
+    ArtifactV2Writer w;
+    ASSERT_TRUE(w.Open(dir + "/c.srv2", meta, specs).ok());
+    const double rows[4] = {1.0, 2.0, 3.0, 4.0};
+    ASSERT_TRUE(w.AddBlob(kBlobUserRep, rows, sizeof(rows)).ok());
+    EXPECT_FALSE(w.Finish().ok());
+    w.Abandon();
+  }
+}
+
+TEST(StreamedSave, MatchesInMemoryEncoderByteForByte) {
+  const std::string dir = TestTmpDir("streamed_save_pin");
+  const FrozenModel base = MakeModel();
+  const QuantType tiers[] = {QuantType::kFp64, QuantType::kFp32,
+                             QuantType::kFp16, QuantType::kInt8};
+  for (QuantType q : tiers) {
+    Result<FrozenModel> m = QuantizeFrozenModel(base, q, /*block=*/0);
+    ASSERT_TRUE(m.ok());
+    std::string encoded;
+    ASSERT_TRUE(EncodeFrozenModel(*m, &encoded).ok());
+    const std::string path =
+        dir + "/m" + std::to_string(static_cast<int>(q)) + ".srv";
+    ASSERT_TRUE(SaveFrozenModel(*m, path).ok());
+    std::string streamed;
+    ASSERT_TRUE(ReadFileToString(path, &streamed).ok());
+    EXPECT_EQ(streamed, encoded) << QuantTypeName(q);
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace kgag

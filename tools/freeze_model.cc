@@ -15,17 +15,32 @@
 // scales (0 = per-row). The round-trip proof prints bytes-per-entity so
 // the storage win is visible in the log.
 //
+// --layout={v1,mmap} picks the artifact format: v1 is the legacy chunked
+// container (decode-to-heap at load), mmap is the KGAGSRV2 zero-copy
+// layout (DESIGN.md §14) the server maps directly.
+//
+// --bigworld switches to the synthetic serving-scale world (no training):
+// rep tables, attention, groups and KG all derive deterministically from
+// --seed at --users/--items/--groups/--dim scale, and the artifact is
+// STREAMED — generation and encode run in --chunk-rows-sized pieces, so
+// a million-user artifact never exists in memory.
+//
 //   ./build/tools/freeze_model --out model.srv
 //   ./build/tools/freeze_model --out model.srv --precision=int8
 //   ./build/tools/freeze_model --out model.srv --checkpoint_dir runs/ckpt
+//   ./build/tools/freeze_model --out world.srv2 --layout=mmap --bigworld
+//       --users=1000000 --items=100000 --precision=fp16
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "ckpt/checkpoint.h"
 #include "common/file_io.h"
+#include "common/stopwatch.h"
+#include "data/synthetic/bigworld.h"
 #include "data/synthetic/standard_datasets.h"
 #include "models/kgag_model.h"
+#include "serve/bigworld_freeze.h"
 #include "serve/frozen_model.h"
 #include "tensor/quant.h"
 #include "tensor/serialization.h"
@@ -41,6 +56,14 @@ struct Flags {
   int epochs = 4;
   kgag::QuantType precision = kgag::QuantType::kFp64;
   uint32_t quant_block = 0;
+  bool mmap_layout = false;  ///< --layout=mmap -> KGAGSRV2
+  bool bigworld = false;
+  uint64_t users = 1'000'000;
+  uint64_t items = 100'000;
+  uint64_t groups = 100'000;
+  uint32_t dim = 64;
+  uint32_t group_size = 5;
+  uint64_t chunk_rows = 8192;
 };
 
 Flags Parse(int argc, char** argv) {
@@ -68,12 +91,97 @@ Flags Parse(int argc, char** argv) {
       f.quant_block = static_cast<uint32_t>(std::atoi(vb));
     } else if (const char* vb2 = val("--quant_block")) {
       f.quant_block = static_cast<uint32_t>(std::atoi(vb2));
+    } else if (const char* vl = val("--layout")) {
+      if (std::string(vl) == "mmap") {
+        f.mmap_layout = true;
+      } else if (std::string(vl) == "v1") {
+        f.mmap_layout = false;
+      } else {
+        std::fprintf(stderr, "bad --layout (want v1|mmap): %s\n", vl);
+        std::exit(2);
+      }
+    } else if (arg == "--bigworld") {
+      f.bigworld = true;
+    } else if (const char* vu = val("--users")) {
+      f.users = std::strtoull(vu, nullptr, 10);
+    } else if (const char* vi = val("--items")) {
+      f.items = std::strtoull(vi, nullptr, 10);
+    } else if (const char* vg = val("--groups")) {
+      f.groups = std::strtoull(vg, nullptr, 10);
+    } else if (const char* vdm = val("--dim")) {
+      f.dim = static_cast<uint32_t>(std::atoi(vdm));
+    } else if (const char* vgs = val("--group-size")) {
+      f.group_size = static_cast<uint32_t>(std::atoi(vgs));
+    } else if (const char* vc = val("--chunk-rows")) {
+      f.chunk_rows = std::strtoull(vc, nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       std::exit(2);
     }
   }
   return f;
+}
+
+/// Streamed big-world freeze: generate + encode chunk by chunk, then
+/// map/load the artifact back with full CRC verification as the
+/// round-trip proof.
+int RunBigWorld(const Flags& flags) {
+  using namespace kgag;
+  synthetic::BigWorldSpec spec;
+  spec.num_users = flags.users;
+  spec.num_items = flags.items;
+  spec.num_groups = flags.groups;
+  spec.dim = flags.dim;
+  spec.group_size = flags.group_size;
+  spec.seed = static_cast<uint64_t>(flags.seed);
+  const synthetic::BigWorldGen gen(spec);
+
+  serve::BigWorldFreezeOptions opt;
+  opt.quant = flags.precision;
+  opt.quant_block = flags.quant_block;
+  opt.chunk_rows = flags.chunk_rows;
+
+  Stopwatch watch;
+  const Status s = flags.mmap_layout
+                       ? serve::FreezeBigWorldV2(gen, opt, flags.out)
+                       : serve::FreezeBigWorldV1(gen, opt, flags.out);
+  if (!s.ok()) {
+    std::fprintf(stderr, "bigworld freeze: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const double freeze_ms = watch.ElapsedMicros() / 1000.0;
+
+  // Round-trip proof: the artifact must load (v2: header + every blob
+  // CRC; v1: full decode) and agree with the spec's shape.
+  watch.Restart();
+  serve::MmapLoadOptions verify;
+  verify.verify_crc = true;
+  Result<serve::FrozenModel> loaded =
+      flags.mmap_layout ? serve::LoadFrozenModelMmap(flags.out, verify)
+                        : serve::LoadFrozenModel(flags.out);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "bigworld verify: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const double verify_ms = watch.ElapsedMicros() / 1000.0;
+  if (static_cast<uint64_t>(loaded->num_users) != spec.num_users ||
+      static_cast<uint64_t>(loaded->num_items) != spec.num_items) {
+    std::fprintf(stderr, "bigworld verify: shape mismatch\n");
+    return 1;
+  }
+
+  std::printf(
+      "wrote %s (%s layout): %llu users x %llu items, dim %u, group size "
+      "%u, precision %s (%zu rep bytes/entity); freeze %.1f ms (streamed, "
+      "chunk %llu rows), verify+CRC %.1f ms\n",
+      flags.out.c_str(), flags.mmap_layout ? "mmap/KGAGSRV2" : "v1/KGAGSRV1",
+      static_cast<unsigned long long>(spec.num_users),
+      static_cast<unsigned long long>(spec.num_items), spec.dim,
+      spec.group_size, QuantTypeName(flags.precision),
+      serve::RepBytesPerEntity(*loaded), freeze_ms,
+      static_cast<unsigned long long>(opt.chunk_rows), verify_ms);
+  return 0;
 }
 
 }  // namespace
@@ -83,10 +191,13 @@ int main(int argc, char** argv) {
   const Flags flags = Parse(argc, argv);
   if (flags.out.empty()) {
     std::fprintf(stderr,
-                 "usage: freeze_model --out=FILE [--params=FILE | "
-                 "--checkpoint_dir=DIR | --epochs=N] [--scale=S] [--seed=N]\n");
+                 "usage: freeze_model --out=FILE [--layout=v1|mmap] "
+                 "[--params=FILE | --checkpoint_dir=DIR | --epochs=N] "
+                 "[--scale=S] [--seed=N] | --bigworld [--users=N --items=N "
+                 "--groups=N --dim=D --group-size=L --chunk-rows=N]\n");
     return 2;
   }
+  if (flags.bigworld) return RunBigWorld(flags);
 
   GroupRecDataset dataset = MakeMovieLensRandDataset(
       static_cast<uint64_t>(flags.seed), flags.scale);
@@ -145,33 +256,50 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  Status s = serve::SaveFrozenModel(*frozen, flags.out);
+  Status s = flags.mmap_layout ? serve::SaveFrozenModelV2(*frozen, flags.out)
+                               : serve::SaveFrozenModel(*frozen, flags.out);
   if (!s.ok()) {
     std::fprintf(stderr, "save: %s\n", s.ToString().c_str());
     return 1;
   }
 
-  // Round-trip check: load the artifact back and re-encode; the bytes
-  // must match what is on disk.
+  // Round-trip check: load the artifact back and re-encode (v1 through
+  // the heap decoder, v2 through the mmap loader with every blob CRC
+  // checked); the bytes must match what is on disk.
   std::string on_disk;
   Status read = ReadFileToString(flags.out, &on_disk);
-  Result<serve::FrozenModel> loaded = serve::LoadFrozenModel(flags.out);
   std::string re_encoded;
-  Status enc = loaded.ok()
-                   ? serve::EncodeFrozenModel(*loaded, &re_encoded)
-                   : loaded.status();
+  Status enc;
+  if (flags.mmap_layout) {
+    serve::MmapLoadOptions verify;
+    verify.verify_crc = true;
+    Result<serve::FrozenModel> loaded =
+        serve::LoadFrozenModelMmap(flags.out, verify);
+    if (loaded.ok()) {
+      const std::string tmp = flags.out + ".rt";
+      enc = serve::SaveFrozenModelV2(*loaded, tmp);
+      if (enc.ok()) enc = ReadFileToString(tmp, &re_encoded);
+      std::remove(tmp.c_str());
+    } else {
+      enc = loaded.status();
+    }
+  } else {
+    Result<serve::FrozenModel> loaded = serve::LoadFrozenModel(flags.out);
+    enc = loaded.ok() ? serve::EncodeFrozenModel(*loaded, &re_encoded)
+                      : loaded.status();
+  }
   if (!read.ok() || !enc.ok() || re_encoded != on_disk) {
     std::fprintf(stderr, "round-trip verification FAILED\n");
     return 1;
   }
 
   std::printf(
-      "wrote %s: %zu bytes, %d users x %d items, dim %d, group size %d "
-      "(sp=%d pi=%d), precision %s (%zu rep bytes/entity); "
+      "wrote %s (%s layout): %zu bytes, %d users x %d items, dim %d, "
+      "group size %d (sp=%d pi=%d), precision %s (%zu rep bytes/entity); "
       "round-trip byte-stable\n",
-      flags.out.c_str(), on_disk.size(), frozen->num_users,
-      frozen->num_items, frozen->dim, frozen->group_size,
-      frozen->use_sp ? 1 : 0, frozen->use_pi ? 1 : 0,
+      flags.out.c_str(), flags.mmap_layout ? "mmap/KGAGSRV2" : "v1/KGAGSRV1",
+      on_disk.size(), frozen->num_users, frozen->num_items, frozen->dim,
+      frozen->group_size, frozen->use_sp ? 1 : 0, frozen->use_pi ? 1 : 0,
       QuantTypeName(frozen->quant), serve::RepBytesPerEntity(*frozen));
   return 0;
 }

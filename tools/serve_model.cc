@@ -15,7 +15,7 @@
 // S seconds; 0 serves until SIGINT/SIGTERM.
 //
 //   ./build/tools/freeze_model --out model.srv
-//   ./build/tools/serve_model --artifact=model.srv --port=8080 \
+//   ./build/tools/serve_model --artifact=model.srv --port=8080
 //       --data_port=8081 --selftraffic=64
 //   curl -s localhost:8080/statusz | python3 -m json.tool
 //   curl -s -d 'members=1,2,3&k=10' localhost:8081/topk
@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/stopwatch.h"
 #include "obs/introspect.h"
 #include "obs/obs.h"
 #include "obs/slo.h"
@@ -122,14 +123,29 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  Result<serve::FrozenModel> model = serve::LoadFrozenModel(flags.artifact);
+  // Auto-detect the artifact layout from its magic: KGAGSRV2 mmaps
+  // zero-copy, KGAGSRV1 decodes to heap (back-compat).
+  Stopwatch load_watch;
+  Result<serve::FrozenModel> model =
+      serve::LoadFrozenModelAuto(flags.artifact);
+  const uint64_t load_micros = load_watch.ElapsedMicros();
   if (!model.ok()) {
     std::fprintf(stderr, "artifact: %s\n", model.status().ToString().c_str());
     return 1;
   }
-  std::printf("loaded %s: %d users x %d items, dim %d, precision %s\n",
-              flags.artifact.c_str(), model->num_users, model->num_items,
-              model->dim, QuantTypeName(model->quant));
+  const uint64_t mapped_bytes =
+      model->is_mapped() ? model->mapping->mapped_bytes() : 0;
+  KGAG_GAUGE_SET("serve.artifact.load_micros", load_micros);
+  KGAG_GAUGE_SET("serve.artifact.layout_version", model->is_mapped() ? 2 : 1);
+  KGAG_GAUGE_SET("serve.artifact.mapped_bytes", mapped_bytes);
+  KGAG_GAUGE_SET("serve.artifact.resident_bytes",
+                 model->is_mapped() ? model->mapping->ResidentBytes() : 0);
+  std::printf(
+      "loaded %s (%s): %d users x %d items, dim %d, precision %s, "
+      "%.1f ms\n",
+      flags.artifact.c_str(), model->is_mapped() ? "mmap" : "heap",
+      model->num_users, model->num_items, model->dim,
+      QuantTypeName(model->quant), load_micros / 1000.0);
 
   obs::TraceRecorder::Global().SetEnabled(true);
 
@@ -148,9 +164,14 @@ int main(int argc, char** argv) {
   server.AddStatusSource("engine", [&] { return engine.StatusJson(); });
   server.AddStatusSource("net", [&] { return data_plane.StatusJson(); });
   // Refresh derived gauges on every scrape so /metrics never shows a
-  // stale burn rate.
+  // stale burn rate (or, for a mapping, stale residency — pages fault in
+  // as queries touch them).
   server.SetRefresh([&] {
     if (engine.slo() != nullptr) engine.slo()->ExportGauges();
+    if (model->is_mapped()) {
+      KGAG_GAUGE_SET("serve.artifact.resident_bytes",
+                     model->mapping->ResidentBytes());
+    }
   });
   Status started = server.Start();
   if (!started.ok()) {
