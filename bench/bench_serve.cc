@@ -69,14 +69,18 @@
 // TTFQ >= 10x faster than v1 at full scale (--smoke runs a reduced
 // world where decode cost is too small for the ratio to bind).
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -95,9 +99,14 @@
 #include "data/synthetic/bigworld.h"
 #include "data/synthetic/standard_datasets.h"
 #include "models/kgag_model.h"
+#include "ckpt/checkpoint.h"
+#include "models/config.h"
 #include "obs/hdr_histogram.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
+#include "online/cold_start.h"
+#include "online/online_trainer.h"
+#include "online/stream.h"
 #include "serve/bigworld_freeze.h"
 #include "serve/frozen_model.h"
 #include "serve/frozen_scorer.h"
@@ -884,6 +893,243 @@ void WriteBigWorldReport(bench::JsonWriter* w, const BigWorldReport& rep) {
   w->EndObject();
 }
 
+// --------------------------------------------------------------------------
+// Online section: the freshness-vs-throughput curve (DESIGN.md §15).
+//
+// One online world, one checkpointed warm model, one deterministic
+// interaction stream — served at three refresh cadences. "frozen" never
+// refreshes (maximum throughput, zero freshness); "slow" and "fast"
+// interleave OnlineTrainer refreshes with the request load, hot-swapping
+// each published artifact into the live engine. Per cadence we record
+// the serving side (qps, p50/p99, swap count, failed MUST be 0 — swaps
+// are zero-downtime) and the freshness side (cold-start hit@k/mean-rank
+// on unseen-member scenarios, before the run vs on the final artifact).
+
+struct OnlineCadence {
+  std::string name;
+  size_t events_per_refresh = 0;  ///< 0 = never refresh
+  uint64_t refreshes = 0;
+  uint64_t swaps = 0;
+  size_t requests = 0;
+  uint64_t failed = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  online::ColdStartReport cold_after;
+};
+
+struct OnlineReport {
+  std::string world;
+  int num_users = 0;
+  int cold_users = 0;
+  size_t cold_cases = 0;
+  online::ColdStartReport cold_before;
+  std::vector<OnlineCadence> cadences;
+  bool zero_failed = true;
+};
+
+OnlineReport RunOnlineSection(bool smoke) {
+  namespace fs = std::filesystem;
+  constexpr uint64_t kSeed = 777;
+  constexpr int kColdUsers = 16;
+  constexpr size_t kColdK = 10;
+  const fs::path dir = fs::temp_directory_path() / "kgag_bench_online";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  OnlineReport report;
+  const GroupRecDataset world =
+      online::MakeOnlineWorld(kSeed, smoke ? 0.12 : 0.25, kColdUsers);
+  report.world = world.name;
+  report.num_users = world.num_users;
+  report.cold_users = kColdUsers;
+
+  KgagConfig cfg;
+  cfg.propagation.dim = 16;
+  cfg.propagation.depth = 1;
+  cfg.propagation.sample_size = 4;
+  cfg.propagation.final_tanh = false;
+  cfg.pairs_per_epoch = smoke ? 32 : 96;
+  cfg.batch_size = 8;
+  cfg.eval_tree_samples = 1;
+  cfg.select_by_validation = false;
+  cfg.seed = 31;
+
+  // Offline phase: warm the model and leave the checkpoint every online
+  // trainer below resumes from.
+  const std::string ckpt_dir = (dir / "ckpt").string();
+  std::shared_ptr<const serve::FrozenModel> initial;
+  {
+    auto model = KgagModel::Create(&world, cfg);
+    KGAG_CHECK(model.ok());
+    (*model)->FineTuneEpoch();
+    (*model)->FineTuneEpoch();
+    ckpt::CheckpointManager mgr({.dir = ckpt_dir});
+    KGAG_CHECK(mgr.Save((*model)->CaptureTrainingState(2, false, 0, 0.0,
+                                                       nullptr))
+                   .ok());
+    Result<serve::FrozenModel> frozen = serve::FreezeKgagModel(model->get());
+    KGAG_CHECK(frozen.ok());
+    initial = std::make_shared<const serve::FrozenModel>(std::move(*frozen));
+  }
+
+  const online::InteractionStream stream(
+      online::StreamForWorld(world, kSeed, kColdUsers));
+  const online::ColdStartScenarios scenarios =
+      online::BuildColdStartScenarios(world, stream, 0, smoke ? 600 : 2000,
+                                      /*max_cases=*/12);
+  report.cold_cases = scenarios.unseen_member.size();
+  report.cold_before =
+      online::EvaluateColdStart(*initial, scenarios.unseen_member, kColdK);
+
+  struct Cadence {
+    const char* name;
+    size_t events;
+  };
+  const Cadence plan[] = {
+      {"frozen", 0},
+      {"slow", smoke ? size_t{96} : size_t{256}},
+      {"fast", smoke ? size_t{32} : size_t{64}},
+  };
+  const size_t total_requests = smoke ? 240 : 960;
+
+  Rng req_rng(4321);
+  for (const Cadence& c : plan) {
+    OnlineCadence row;
+    row.name = c.name;
+    row.events_per_refresh = c.events;
+
+    online::OnlineTrainer::Options topt;
+    topt.config = cfg;
+    topt.checkpoint_dir = ckpt_dir;
+    topt.artifact_path = (dir / (std::string(c.name) + ".srv")).string();
+    topt.micro_epochs = 1;
+    topt.save_checkpoints = false;  // every cadence resumes the SAME state
+    auto trainer = online::OnlineTrainer::Create(
+        online::MakeOnlineWorld(kSeed, smoke ? 0.12 : 0.25, kColdUsers),
+        stream, topt);
+    KGAG_CHECK(trainer.ok());
+
+    serve::ServingEngine::Options eopt;
+    eopt.max_batch = 8;
+    eopt.batch_deadline_us = 50;
+    eopt.cache_capacity = 256;
+    eopt.record_latency = true;
+    serve::ServingEngine engine(initial, eopt);
+
+    // Client side: closed-loop submitters over real groups plus ad-hoc
+    // groups that include a cold member (the requests a refresh helps).
+    std::vector<serve::TopKRequest> reqs;
+    reqs.reserve(total_requests);
+    for (size_t i = 0; i < total_requests; ++i) {
+      serve::TopKRequest r;
+      if (i % 4 == 3 && !scenarios.adhoc_group.empty()) {
+        r.members =
+            scenarios.adhoc_group[i % scenarios.adhoc_group.size()].members;
+      } else {
+        const GroupId g = static_cast<GroupId>(
+            req_rng.UniformInt(0, world.groups.num_groups() - 1));
+        const auto span = world.groups.MembersOf(g);
+        r.members.assign(span.begin(), span.end());
+      }
+      r.k = 10;
+      reqs.push_back(std::move(r));
+    }
+
+    std::atomic<size_t> next{0};
+    std::atomic<uint64_t> failed{0};
+    std::atomic<bool> done{false};
+    Stopwatch wall;
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 2; ++t) {
+      clients.emplace_back([&] {
+        for (;;) {
+          const size_t i = next.fetch_add(1);
+          if (i >= reqs.size()) break;
+          if (!engine.Submit(reqs[i]).get().ok()) ++failed;
+        }
+        done = true;
+      });
+    }
+    // Refresher (the bench thread): stream -> fine-tune -> publish ->
+    // hot-swap, as long as the load is running.
+    while (!done.load()) {
+      if (c.events == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        continue;
+      }
+      (*trainer)->ApplyEvents(c.events);
+      Result<online::RefreshReport> r = (*trainer)->Refresh();
+      KGAG_CHECK(r.ok());
+      ++row.refreshes;
+      Result<serve::FrozenModel> published =
+          serve::LoadFrozenModelAuto(topt.artifact_path);
+      KGAG_CHECK(published.ok());
+      KGAG_CHECK(engine
+                     .SwapModel(std::make_shared<const serve::FrozenModel>(
+                                    std::move(*published)),
+                                "v" + std::to_string(r->version))
+                     .ok());
+    }
+    for (std::thread& t : clients) t.join();
+    row.wall_ms = wall.ElapsedMicros() / 1000.0;
+
+    std::vector<double> samples = engine.TakeLatencySamples();
+    row.requests = reqs.size();
+    row.failed = failed.load();
+    row.swaps = engine.swaps();
+    row.qps = row.wall_ms > 0 ? 1000.0 * reqs.size() / row.wall_ms : 0.0;
+    row.p50_us = Percentile(samples, 0.50);
+    row.p99_us = Percentile(samples, 0.99);
+    row.cold_after = online::EvaluateColdStart(
+        *engine.model_ref(), scenarios.unseen_member, kColdK);
+    report.zero_failed = report.zero_failed && row.failed == 0;
+    report.cadences.push_back(std::move(row));
+  }
+  fs::remove_all(dir);
+  return report;
+}
+
+void WriteOnlineReport(bench::JsonWriter* w, const OnlineReport& rep) {
+  const auto cold = [&](const online::ColdStartReport& r) {
+    w->Field("cases", static_cast<uint64_t>(r.cases));
+    w->Field("hit_at_k", r.hit_at_k);
+    w->Field("ndcg_at_k", r.ndcg_at_k);
+    w->Field("mean_rank", r.mean_rank);
+  };
+  w->BeginObject("online");
+  w->Field("world", rep.world);
+  w->Field("num_users", rep.num_users);
+  w->Field("reserved_cold_users", rep.cold_users);
+  w->Field("zero_failed_requests", rep.zero_failed);
+  w->BeginObject("cold_start_before");
+  cold(rep.cold_before);
+  w->EndObject();
+  w->BeginArray("cadences");
+  w->Newline();
+  for (const OnlineCadence& c : rep.cadences) {
+    w->BeginObject();
+    w->Field("cadence", c.name);
+    w->Field("events_per_refresh", static_cast<uint64_t>(c.events_per_refresh));
+    w->Field("refreshes", c.refreshes);
+    w->Field("swaps", c.swaps);
+    w->Field("requests", static_cast<uint64_t>(c.requests));
+    w->Field("failed", c.failed);
+    w->Field("wall_ms", c.wall_ms);
+    w->Field("qps", c.qps);
+    w->Field("p50_us", c.p50_us);
+    w->Field("p99_us", c.p99_us);
+    w->BeginObject("cold_start_after");
+    cold(c.cold_after);
+    w->EndObject();
+    w->EndObject();
+    w->Newline();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
 int Main(int argc, char** argv) {
   Options opt;
   bool out_set = false;
@@ -1071,6 +1317,9 @@ int Main(int argc, char** argv) {
                                             : (opt.smoke ? 48 : 256),
                            opt.smoke);
 
+  // --- Online world: refresh cadences + hot swaps under load. ------------
+  const OnlineReport online_report = RunOnlineSection(opt.smoke);
+
   std::ofstream out(opt.out);
   if (!out) {
     std::cerr << "cannot write " << opt.out << "\n";
@@ -1135,6 +1384,8 @@ int Main(int argc, char** argv) {
   w.Newline();
   WriteNetReport(&w, net_report);
   w.Newline();
+  WriteOnlineReport(&w, online_report);
+  w.Newline();
   w.Field("int8_over_fp32_batched_speedup", int8_speedup);
   w.Newline();
   w.Field("batched_ge_naive", batched_wins);
@@ -1148,7 +1399,11 @@ int Main(int argc, char** argv) {
   w.EndObject();
   w.Newline();
   std::cout << "wrote " << opt.out << "\n";
-  return (round_trips_ok && batched_wins && int8_wins && hdr_ok && big.ok)
+  if (!online_report.zero_failed) {
+    std::cerr << "FAIL: requests failed during online hot swaps\n";
+  }
+  return (round_trips_ok && batched_wins && int8_wins && hdr_ok && big.ok &&
+          online_report.zero_failed)
              ? 0
              : 1;
 }

@@ -18,6 +18,14 @@ Batcher::Batcher(const GroupRecDataset* dataset, Options options)
   user_order_ = dataset_->user_item.ToPairs();
 }
 
+void Batcher::RefreshFromDataset() {
+  group_order_ = dataset_->split.train;
+  user_order_ = dataset_->user_item.ToPairs();
+  group_cursor_ = 0;
+  user_cursor_ = 0;
+  resume_pending_ = false;
+}
+
 void Batcher::BeginEpoch(Rng* rng) {
   if (resume_pending_) {
     // Restored mid-epoch: the orders and cursors already describe an epoch

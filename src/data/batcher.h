@@ -73,6 +73,13 @@ class Batcher {
   /// Starts a new epoch: reshuffles the training orders.
   void BeginEpoch(Rng* rng);
 
+  /// Re-derives both training orders from the dataset's CURRENT
+  /// interactions and resets the cursors — the online fine-tuning hook
+  /// (DESIGN.md §15): interactions appended to the dataset after
+  /// construction become visible to the next BeginEpoch. Abandons any
+  /// epoch in progress; never call between NextBatch calls of one epoch.
+  void RefreshFromDataset();
+
   /// Fills the next batch; returns false when the epoch is exhausted
   /// (group interactions drive epoch length). Negatives are drawn from
   /// the shared sequential engine; prefer the EpochStreams overload for

@@ -157,6 +157,34 @@ Var KgagModel::ScoreUserItemOnTape(Tape* tape, UserId u, ItemId v, Rng* rng) {
   return tape->DotAll(user_rep, item_rep);
 }
 
+Status KgagModel::RefreshInteractions(
+    const std::vector<std::pair<int32_t, int32_t>>& interactions) {
+  KGAG_ASSIGN_OR_RETURN(
+      CollaborativeKg next,
+      BuildCollaborativeKg(dataset_->kg_triples, dataset_->num_entities,
+                           dataset_->num_relations, dataset_->num_users,
+                           dataset_->item_to_entity, interactions));
+  if (next.graph.num_entities() != ckg_.graph.num_entities()) {
+    return Status::InvalidArgument(
+        "online refresh must keep the node universe fixed: " +
+        std::to_string(ckg_.graph.num_entities()) + " entities before, " +
+        std::to_string(next.graph.num_entities()) + " after");
+  }
+  if (next.graph.relation_vocab_size() != ckg_.graph.relation_vocab_size()) {
+    return Status::InvalidArgument(
+        "online refresh changed the relation vocabulary");
+  }
+  // ckg_ is a member object: move-assignment replaces its contents in
+  // place, so the &ckg_.graph pointer held by the propagation engine and
+  // its sampler stays valid and now sees the refreshed adjacency.
+  ckg_ = std::move(next);
+  // Receptive fields cached for eval/freeze were sampled on the old
+  // adjacency; drop them so the next freeze sees the new edges.
+  eval_trees_.clear();
+  batcher_.RefreshFromDataset();
+  return Status::OK();
+}
+
 double KgagModel::TrainEpoch(Rng* rng) {
   return TrainEpochCheckpointed(rng,
                                 static_cast<int>(epoch_losses_.size()),

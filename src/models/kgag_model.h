@@ -52,6 +52,24 @@ class KgagModel : public TrainableGroupRecommender {
   /// Runs one epoch over the training split; returns the mean batch loss.
   double TrainEpoch(Rng* rng);
 
+  /// One online fine-tuning micro-epoch (DESIGN.md §15): TrainEpoch
+  /// driven by the model's own training RNG — the stream Fit advances
+  /// and checkpoints restore — so a warm-started run continues the
+  /// checkpointed randomness instead of forking a new one.
+  double FineTuneEpoch() { return TrainEpoch(&train_rng_); }
+
+  /// Rebuilds the collaborative KG from `interactions` (the updated
+  /// (user, item) pair list) and re-derives the batcher orders — the
+  /// online-world refresh hook. The node universe must stay fixed: the
+  /// dataset's entity/user/relation counts are reused, so the rebuilt
+  /// graph has the same node ids and relation vocabulary and the entity
+  /// embedding table stays valid row-for-row. New interactions only add
+  /// `Interact` edges. Clears the eval-tree cache (receptive fields
+  /// sampled on the old graph are stale). The caller must have already
+  /// updated the dataset's user_item matrix to match `interactions`.
+  Status RefreshInteractions(
+      const std::vector<std::pair<int32_t, int32_t>>& interactions);
+
   /// Captures the full training state — parameters, optimizer moments,
   /// RNG streams, batcher orders/cursors, validation selection and epoch
   /// bookkeeping — for a checkpoint. `selector` may be null (state saved

@@ -1,0 +1,127 @@
+#include "online/cold_start.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "serve/frozen_scorer.h"
+
+namespace kgag {
+namespace online {
+namespace {
+
+// Stream ids for scenario construction, disjoint from training (0x51/0x52),
+// bigworld (0xB*) and the interaction stream itself (0xE0-0xE2).
+constexpr uint64_t kHostGroupStream = 0xE3;
+constexpr uint64_t kWarmMemberStream = 0xE4;
+
+}  // namespace
+
+ColdStartScenarios BuildColdStartScenarios(const GroupRecDataset& world,
+                                           const InteractionStream& stream,
+                                           uint64_t first_event,
+                                           uint64_t num_events,
+                                           size_t max_cases) {
+  ColdStartScenarios out;
+  const uint64_t seed = stream.spec().seed;
+  const int32_t warm_users = stream.spec().cold_user_begin;
+  std::unordered_set<UserId> seen_cold;
+  for (uint64_t i = first_event; i < first_event + num_events; ++i) {
+    if (out.unseen_member.size() >= max_cases &&
+        out.adhoc_group.size() >= max_cases) {
+      break;
+    }
+    if (!stream.IsColdEvent(i)) continue;
+    const StreamEvent ev = stream.Event(i);
+    // One case per cold user: their FIRST streamed interaction is the
+    // evidence a refresh gets to absorb, and its item is the target.
+    if (!seen_cold.insert(ev.user).second) continue;
+
+    if (out.unseen_member.size() < max_cases && world.groups.num_groups() > 0) {
+      // Unseen-user-in-group: a deterministic existing (warm) group
+      // gains the cold member.
+      const GroupId host = static_cast<GroupId>(
+          DeriveStreamSeed(seed, 0, kHostGroupStream, i) %
+          static_cast<uint64_t>(world.groups.num_groups()));
+      ColdStartCase c;
+      const std::span<const UserId> members = world.groups.MembersOf(host);
+      c.members.assign(members.begin(), members.end());
+      c.members.push_back(ev.user);
+      c.cold_user = ev.user;
+      c.target = ev.item;
+      out.unseen_member.push_back(std::move(c));
+    }
+
+    if (out.adhoc_group.size() < max_cases && warm_users > 0) {
+      // Brand-new ad-hoc group: the cold user plus (group_size - 1)
+      // counter-derived warm companions, a member set no GroupTable row
+      // ever held.
+      ColdStartCase c;
+      c.members.push_back(ev.user);
+      const size_t want =
+          world.group_size > 1 ? static_cast<size_t>(world.group_size) : 2;
+      for (uint64_t j = 0; c.members.size() < want; ++j) {
+        const UserId warm = static_cast<UserId>(
+            DeriveStreamSeed(seed, i, kWarmMemberStream, j) %
+            static_cast<uint64_t>(warm_users));
+        if (std::find(c.members.begin(), c.members.end(), warm) ==
+            c.members.end()) {
+          c.members.push_back(warm);
+        }
+        if (j > 64) break;  // degenerate tiny worlds: accept a short group
+      }
+      c.cold_user = ev.user;
+      c.target = ev.item;
+      out.adhoc_group.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+ColdStartReport EvaluateColdStart(const serve::FrozenModel& model,
+                                  const std::vector<ColdStartCase>& cases,
+                                  size_t k) {
+  ColdStartReport report;
+  for (const ColdStartCase& c : cases) {
+    Result<serve::GroupRep> rep = serve::BuildGroupRep(model, c.members);
+    if (!rep.ok()) continue;  // members outside this artifact's user space
+    const std::vector<double> scores = serve::ScoreAllItems(model, *rep);
+    if (c.target < 0 || c.target >= static_cast<ItemId>(scores.size())) {
+      continue;
+    }
+    // 1-based rank of the target: 1 + |items scoring strictly higher|.
+    // Ties resolve in the target's favor, matching TopK's stable order.
+    const double target_score = scores[c.target];
+    size_t rank = 1;
+    for (size_t v = 0; v < scores.size(); ++v) {
+      if (scores[v] > target_score) ++rank;
+    }
+    ++report.cases;
+    report.mean_rank += static_cast<double>(rank);
+    if (rank <= k) {
+      report.hit_at_k += 1.0;
+      report.ndcg_at_k += 1.0 / std::log2(static_cast<double>(rank) + 1.0);
+    }
+  }
+  if (report.cases > 0) {
+    const double n = static_cast<double>(report.cases);
+    report.hit_at_k /= n;
+    report.ndcg_at_k /= n;
+    report.mean_rank /= n;
+  }
+  return report;
+}
+
+std::string ColdStartReportJson(const ColdStartReport& report, size_t k) {
+  std::ostringstream os;
+  os << "{\"cases\": " << report.cases << ", \"k\": " << k
+     << ", \"hit_at_k\": " << report.hit_at_k
+     << ", \"ndcg_at_k\": " << report.ndcg_at_k
+     << ", \"mean_rank\": " << report.mean_rank << "}";
+  return os.str();
+}
+
+}  // namespace online
+}  // namespace kgag

@@ -1,0 +1,83 @@
+// Cold-start evaluation scenarios (DESIGN.md §15).
+//
+// The online world makes two request shapes first-class that a static
+// train/test split cannot express:
+//
+//   * unseen-user-in-group — an established group gains a member who had
+//     ZERO interactions at training time (a reserved cold-tail user).
+//     The group's rep must absorb an uninformed member gracefully, and
+//     refreshes that propagate the member's first streamed interactions
+//     should recover ranking quality.
+//   * brand-new ad-hoc group — a member set that never existed as a
+//     group: cold users mixed with warm ones, the "occasional group"
+//     regime of the data-sparsity literature (PAPERS.md).
+//
+// Both are materialized deterministically from the interaction stream:
+// a cold event (user u, item v) becomes a case whose TARGET is v — the
+// thing u just told the system it likes — so "after refresh" artifacts
+// have genuinely seen the evidence while "before" artifacts have not.
+// Evaluation ranks the target among all items with the same frozen
+// scoring path serving uses, reporting hit@k / ndcg@k / mean rank.
+#ifndef KGAG_ONLINE_COLD_START_H_
+#define KGAG_ONLINE_COLD_START_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "online/stream.h"
+#include "serve/frozen_model.h"
+
+namespace kgag {
+namespace online {
+
+/// \brief One cold-start request: score `members`, look for `target`.
+struct ColdStartCase {
+  std::vector<UserId> members;  ///< contains >=1 cold-tail user
+  UserId cold_user = -1;        ///< the unseen member
+  ItemId target = -1;           ///< the item their stream event touched
+};
+
+/// \brief The two scenario families, built from one stream window.
+struct ColdStartScenarios {
+  std::vector<ColdStartCase> unseen_member;  ///< existing group + cold user
+  std::vector<ColdStartCase> adhoc_group;    ///< fresh member set
+};
+
+/// \brief Ranking quality of one scenario family on one artifact.
+struct ColdStartReport {
+  size_t cases = 0;
+  double hit_at_k = 0.0;
+  double ndcg_at_k = 0.0;
+  double mean_rank = 0.0;  ///< 1-based rank of the target, averaged
+};
+
+/// Walks stream events [first_event, first_event + num_events) and turns
+/// each distinct cold-tail user's FIRST event into one case per family:
+/// unseen_member appends the cold user to a deterministic existing group
+/// of `world`; adhoc_group pairs the cold user with counter-derived warm
+/// users (group-size members total). At most `max_cases` cases per
+/// family.
+ColdStartScenarios BuildColdStartScenarios(const GroupRecDataset& world,
+                                           const InteractionStream& stream,
+                                           uint64_t first_event,
+                                           uint64_t num_events,
+                                           size_t max_cases);
+
+/// Scores every case against `model` (the frozen serving path:
+/// BuildGroupRep + ScoreAllItems) and ranks the case's target among all
+/// items. Deterministic; safe on any artifact whose user space covers
+/// the members.
+ColdStartReport EvaluateColdStart(const serve::FrozenModel& model,
+                                  const std::vector<ColdStartCase>& cases,
+                                  size_t k);
+
+/// JSON fragment for benches: {"cases":N,"hit_at_k":..,...}.
+std::string ColdStartReportJson(const ColdStartReport& report, size_t k);
+
+}  // namespace online
+}  // namespace kgag
+
+#endif  // KGAG_ONLINE_COLD_START_H_

@@ -1,0 +1,142 @@
+#include "online/delta_kg.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "data/interactions.h"
+#include "obs/obs.h"
+
+namespace kgag {
+namespace online {
+
+DeltaKg::DeltaKg(const CollaborativeKg* base) : base_(base) {
+  KGAG_CHECK(base != nullptr);
+  KGAG_CHECK(base->interact_relation != kInvalidRelation);
+}
+
+bool DeltaKg::AddInteraction(UserId user, ItemId item) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (user < 0 || user >= base_->num_users || item < 0 ||
+      item >= static_cast<ItemId>(base_->item_to_entity.size())) {
+    KGAG_COUNTER_ADD("online.delta.rejected", 1);
+    return false;
+  }
+  const EntityId user_node = base_->UserNode(user);
+  const EntityId item_entity = base_->ItemEntity(item);
+  const RelationId r = base_->interact_relation;
+  // Inverse edges mirror KnowledgeGraph::Build's convention: inverse of
+  // r is r + R' where R' is the graph's forward relation count.
+  const RelationId r_inv = r + base_->graph.num_relations();
+
+  const std::pair<UserId, ItemId> pair{user, item};
+  if (added_set_.count(pair) > 0 ||
+      base_->graph.HasEdge(user_node, r, item_entity)) {
+    KGAG_COUNTER_ADD("online.delta.duplicates", 1);
+    return false;
+  }
+  added_set_.insert(pair);
+  added_.push_back(pair);
+  overlay_[user_node].push_back(Edge{item_entity, r});
+  overlay_[item_entity].push_back(Edge{user_node, r_inv});
+  overlay_edge_count_ += 2;
+  KGAG_COUNTER_ADD("online.delta.edges", 2);
+  KGAG_GAUGE_SET("online.delta.pending_pairs",
+                 static_cast<double>(added_.size()));
+  return true;
+}
+
+std::vector<std::pair<UserId, ItemId>> DeltaKg::added() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return added_;
+}
+
+size_t DeltaKg::overlay_edges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return overlay_edge_count_;
+}
+
+size_t DeltaKg::Degree(EntityId e) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t d = base_->graph.Degree(e);
+  auto it = overlay_.find(e);
+  if (it != overlay_.end()) d += it->second.size();
+  return d;
+}
+
+bool DeltaKg::HasEdge(EntityId e, RelationId r, EntityId t) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (base_->graph.HasEdge(e, r, t)) return true;
+  auto it = overlay_.find(e);
+  if (it == overlay_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), Edge{t, r}) !=
+         it->second.end();
+}
+
+void DeltaKg::ForEachNeighbor(
+    EntityId e, const std::function<void(const Edge&)>& fn) const {
+  // Snapshot both sides under the lock (the base span stays valid — the
+  // CSR is immutable and outlives the overlay), then visit outside it so
+  // `fn` may call back into the overlay: base adjacency first, then
+  // overlay additions in insertion order.
+  std::span<const Edge> base_edges;
+  std::vector<Edge> extra;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    base_edges = base_->graph.Neighbors(e);
+    auto it = overlay_.find(e);
+    if (it != overlay_.end()) extra = it->second;
+  }
+  for (const Edge& edge : base_edges) fn(edge);
+  for (const Edge& edge : extra) fn(edge);
+}
+
+Result<CollaborativeKg> DeltaKg::Compact(
+    const std::vector<Triple>& kg_triples, int32_t num_entities,
+    int32_t num_relations,
+    const std::vector<std::pair<int32_t, int32_t>>& base_interactions)
+    const {
+  // Canonicalize through InteractionMatrix exactly like a cold dataset
+  // rebuild: FromPairs dedups and sorts row-major, ToPairs re-emits that
+  // canonical order, so the compacted CSR is bit-identical to one built
+  // from a dataset that always contained the streamed pairs.
+  std::vector<Interaction> merged;
+  const CollaborativeKg* base = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    base = base_;
+    merged.reserve(base_interactions.size() + added_.size());
+    for (const auto& [u, v] : base_interactions) {
+      merged.push_back(Interaction{u, v});
+    }
+    for (const auto& [u, v] : added_) merged.push_back(Interaction{u, v});
+  }
+  const InteractionMatrix canonical = InteractionMatrix::FromPairs(
+      base->num_users, static_cast<int32_t>(base->item_to_entity.size()),
+      std::move(merged));
+  std::vector<std::pair<int32_t, int32_t>> pairs;
+  pairs.reserve(canonical.num_interactions());
+  for (const Interaction& it : canonical.ToPairs()) {
+    pairs.emplace_back(it.row, it.item);
+  }
+  return BuildCollaborativeKg(kg_triples, num_entities, num_relations,
+                              base->num_users, base->item_to_entity, pairs);
+}
+
+const CollaborativeKg* DeltaKg::base() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_;
+}
+
+void DeltaKg::Rebase(const CollaborativeKg* base) {
+  KGAG_CHECK(base != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  base_ = base;
+  overlay_.clear();
+  added_.clear();
+  added_set_.clear();
+  overlay_edge_count_ = 0;
+  KGAG_GAUGE_SET("online.delta.pending_pairs", 0);
+}
+
+}  // namespace online
+}  // namespace kgag

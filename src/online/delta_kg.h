@@ -1,0 +1,112 @@
+// Append-only Interact-edge overlay on an immutable collaborative KG
+// (DESIGN.md §15).
+//
+// The CSR KnowledgeGraph is the right serving/training structure — dense
+// offsets, cache-friendly adjacency spans — and exactly the wrong
+// structure for per-event mutation: inserting one edge moves every later
+// offset. DeltaKg keeps the base CSR frozen and accumulates new
+// (user, Interact, item-entity) facts in a small hash-map overlay; reads
+// merge base adjacency with overlay edges on the fly, and a periodic
+// deterministic Compact() folds everything into a fresh CSR through the
+// SAME canonicalization a from-scratch dataset rebuild uses, so an
+// incrementally-maintained graph and a cold rebuild are bit-identical
+// (pinned by tests/test_online.cc). No event ever triggers a full
+// rebuild; no reader ever sees a half-inserted edge (the overlay is
+// guarded, and compaction swaps whole graphs).
+//
+// Only the `Interact` relation streams online — the item knowledge graph
+// (genres, attributes) is curated offline and ships with the artifact,
+// which is why the overlay stores (user, item) pairs rather than
+// arbitrary triples. Inverse edges mirror the base graph's convention:
+// each accepted pair contributes user_node -(r_i)-> f(item) AND
+// f(item) -(r_i + R')-> user_node.
+#ifndef KGAG_ONLINE_DELTA_KG_H_
+#define KGAG_ONLINE_DELTA_KG_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "data/interactions.h"
+#include "kg/collaborative_kg.h"
+
+namespace kgag {
+namespace online {
+
+/// \brief Thread-safe Interact-edge overlay over one CollaborativeKg.
+class DeltaKg {
+ public:
+  /// `base` is borrowed and must outlive the overlay (or be replaced via
+  /// Rebase before it dies).
+  explicit DeltaKg(const CollaborativeKg* base);
+
+  /// Appends (user, Interact, f(item)) and its inverse to the overlay.
+  /// Returns true when the edge is new; duplicates of base edges or of
+  /// earlier overlay additions are rejected (false). Out-of-range ids
+  /// are rejected with false as well — a stream must not crash the
+  /// trainer.
+  bool AddInteraction(UserId user, ItemId item);
+
+  /// Accepted (user, item) pairs in insertion order (a copy — safe to
+  /// hold across further AddInteraction calls).
+  std::vector<std::pair<UserId, ItemId>> added() const;
+  /// Directed overlay edges (2x accepted pairs: forward + inverse).
+  size_t overlay_edges() const;
+
+  // ---- Merged reads: base CSR + overlay, no rebuild ----
+
+  /// Base degree plus overlay edges of `e`.
+  size_t Degree(EntityId e) const;
+  /// True if the merged graph holds e -(r)-> t.
+  bool HasEdge(EntityId e, RelationId r, EntityId t) const;
+  /// Visits every merged outgoing edge of `e`: base adjacency first (CSR
+  /// order), then overlay additions in insertion order.
+  void ForEachNeighbor(EntityId e,
+                       const std::function<void(const Edge&)>& fn) const;
+
+  /// Deterministic compaction: the base interactions plus every overlay
+  /// pair, canonicalized through InteractionMatrix::FromPairs exactly as
+  /// a cold dataset rebuild would, then rebuilt into a fresh CSR
+  /// collaborative KG. `base_interactions` are the (user, item) pairs
+  /// the CURRENT base graph was built from; the kg-side inputs are the
+  /// immutable item-KG facts. Does not modify the overlay — call Rebase
+  /// with the new graph once the caller has installed it.
+  Result<CollaborativeKg> Compact(
+      const std::vector<Triple>& kg_triples, int32_t num_entities,
+      int32_t num_relations,
+      const std::vector<std::pair<int32_t, int32_t>>& base_interactions)
+      const;
+
+  /// Points the overlay at a freshly compacted base and clears it.
+  void Rebase(const CollaborativeKg* base);
+
+  const CollaborativeKg* base() const;
+
+ private:
+  struct PairHash {
+    size_t operator()(const std::pair<UserId, ItemId>& p) const {
+      return std::hash<uint64_t>()(
+          (static_cast<uint64_t>(static_cast<uint32_t>(p.first)) << 32) |
+          static_cast<uint32_t>(p.second));
+    }
+  };
+
+  const CollaborativeKg* base_;
+  mutable std::mutex mu_;
+  /// node -> overlay edges in insertion order.
+  std::unordered_map<EntityId, std::vector<Edge>> overlay_;
+  std::vector<std::pair<UserId, ItemId>> added_;
+  std::unordered_set<std::pair<UserId, ItemId>, PairHash> added_set_;
+  size_t overlay_edge_count_ = 0;
+};
+
+}  // namespace online
+}  // namespace kgag
+
+#endif  // KGAG_ONLINE_DELTA_KG_H_

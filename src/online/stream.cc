@@ -1,0 +1,81 @@
+#include "online/stream.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "data/synthetic/standard_datasets.h"
+
+namespace kgag {
+namespace online {
+
+namespace {
+// Stream ids namespacing the per-event draws (one constant per column,
+// the bigworld convention — common/rng.h).
+constexpr uint64_t kColdGateStream = 0xE0;
+constexpr uint64_t kUserStream = 0xE1;
+constexpr uint64_t kItemStream = 0xE2;
+
+// Uniform draw in [0, n) from one derived stream value.
+int32_t DrawMod(uint64_t seed, uint64_t stream, uint64_t index, int32_t n) {
+  KGAG_CHECK_GT(n, 0);
+  return static_cast<int32_t>(DeriveStreamSeed(seed, 0, stream, index) %
+                              static_cast<uint64_t>(n));
+}
+}  // namespace
+
+InteractionStream::InteractionStream(const StreamSpec& spec) : spec_(spec) {
+  KGAG_CHECK_GT(spec_.num_users, 0);
+  KGAG_CHECK_GT(spec_.num_items, 0);
+  KGAG_CHECK(spec_.cold_user_begin >= 0 &&
+             spec_.cold_user_begin <= spec_.num_users);
+}
+
+StreamEvent InteractionStream::Event(uint64_t i) const {
+  StreamEvent ev;
+  ev.index = i;
+  const int32_t cold_span = spec_.num_users - spec_.cold_user_begin;
+  // Cold gate: a per-event uniform in [0,1) against cold_fraction, drawn
+  // from its own stream so toggling the fraction never perturbs which
+  // user/item an event would otherwise pick.
+  const bool cold =
+      cold_span > 0 && spec_.cold_fraction > 0.0 &&
+      (DeriveStreamSeed(spec_.seed, 0, kColdGateStream, i) >> 11) *
+              0x1.0p-53 <
+          spec_.cold_fraction;
+  ev.user = cold ? spec_.cold_user_begin +
+                       DrawMod(spec_.seed, kUserStream, i, cold_span)
+                 : DrawMod(spec_.seed, kUserStream, i,
+                           spec_.cold_user_begin > 0 ? spec_.cold_user_begin
+                                                     : spec_.num_users);
+  ev.item = DrawMod(spec_.seed, kItemStream, i, spec_.num_items);
+  return ev;
+}
+
+GroupRecDataset MakeOnlineWorld(uint64_t seed, double scale,
+                                int32_t reserved_cold_users) {
+  GroupRecDataset world = MakeMovieLensRandDataset(seed, scale);
+  KGAG_CHECK_GE(reserved_cold_users, 0);
+  // Extending num_users only: the reserved users join no group and hold
+  // no interactions, so every matrix keyed by user id stays valid — the
+  // user_item matrix just needs its row space widened.
+  world.user_item = InteractionMatrix::FromPairs(
+      world.num_users + reserved_cold_users, world.num_items,
+      world.user_item.ToPairs());
+  world.num_users += reserved_cold_users;
+  world.name += "+cold" + std::to_string(reserved_cold_users);
+  return world;
+}
+
+StreamSpec StreamForWorld(const GroupRecDataset& world, uint64_t seed,
+                          int32_t reserved_cold_users,
+                          double cold_fraction) {
+  StreamSpec spec;
+  spec.seed = seed;
+  spec.num_users = world.num_users;
+  spec.num_items = world.num_items;
+  spec.cold_user_begin = world.num_users - reserved_cold_users;
+  spec.cold_fraction = cold_fraction;
+  return spec;
+}
+
+}  // namespace online
+}  // namespace kgag

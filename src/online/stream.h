@@ -1,0 +1,91 @@
+// Deterministic interaction stream for the online world (DESIGN.md §15).
+//
+// Production interactions arrive from the outside; reproducing "the
+// outside" in tests and benchmarks needs the same trick the bigworld
+// generator uses (data/synthetic/bigworld.h): make every event a pure
+// function of (seed, index) via counter-based SplitMix64 streams. Event i
+// is the same whether it is read first, last, from another thread or from
+// another process — which is what lets a trainer, a serving process and a
+// test agree on "what happened online" without sharing any state, and
+// lets a warm-start run be replayed bit-identically from (spec, cursor).
+//
+// Cold-start shape: a configurable fraction of events is directed at the
+// COLD TAIL of the user space — ids in [cold_user_begin, num_users) —
+// which MakeOnlineWorld reserves with zero base interactions. Those users
+// exist as isolated nodes in the collaborative KG until stream events
+// attach their first `Interact` edges, exactly the unseen-user regime the
+// cold-start evaluation (cold_start.h) measures.
+#ifndef KGAG_ONLINE_STREAM_H_
+#define KGAG_ONLINE_STREAM_H_
+
+#include <cstdint>
+
+#include "data/dataset.h"
+#include "data/interactions.h"
+
+namespace kgag {
+namespace online {
+
+/// \brief Identity of one deterministic interaction stream. Same spec =
+/// same events, forever.
+struct StreamSpec {
+  uint64_t seed = 20260809;
+  int32_t num_users = 0;  ///< user ids drawn from [0, num_users)
+  int32_t num_items = 0;  ///< item ids drawn from [0, num_items)
+  /// First id of the reserved cold-user tail; events hit it with
+  /// probability cold_fraction. Set to num_users (with cold_fraction 0)
+  /// for a stream with no cold-start component.
+  int32_t cold_user_begin = 0;
+  /// Fraction of events whose user is drawn from the cold tail.
+  double cold_fraction = 0.25;
+};
+
+/// \brief One streamed interaction: at index `index`, `user` engaged with
+/// `item`.
+struct StreamEvent {
+  uint64_t index = 0;
+  UserId user = -1;
+  ItemId item = -1;
+};
+
+/// \brief Stateless counter-based event generator. Cheap to copy; safe to
+/// read from any number of threads concurrently.
+class InteractionStream {
+ public:
+  explicit InteractionStream(const StreamSpec& spec);
+
+  const StreamSpec& spec() const { return spec_; }
+
+  /// Event `i` — pure function of (spec, i); random access and
+  /// sequential reads agree by construction.
+  StreamEvent Event(uint64_t i) const;
+
+  /// True when Event(i) targets a cold-tail user.
+  bool IsColdEvent(uint64_t i) const {
+    return Event(i).user >= spec_.cold_user_begin;
+  }
+
+ private:
+  StreamSpec spec_;
+};
+
+/// Builds the online-world corpus: the MovieLens-shaped synthetic dataset
+/// at `scale`, extended with `reserved_cold_users` additional users that
+/// have NO interactions and belong to NO group. They are real nodes of
+/// the collaborative KG (isolated until the stream reaches them) and real
+/// rows of every frozen rep table, so a serving process can score ad-hoc
+/// groups containing them from day one — with representations that only
+/// become informed once online refreshes propagate their first edges.
+GroupRecDataset MakeOnlineWorld(uint64_t seed, double scale,
+                                int32_t reserved_cold_users);
+
+/// The stream matching MakeOnlineWorld(seed, ...): same seed, ids drawn
+/// from the world's user/item spaces, cold tail = the reserved users.
+StreamSpec StreamForWorld(const GroupRecDataset& world, uint64_t seed,
+                          int32_t reserved_cold_users,
+                          double cold_fraction = 0.25);
+
+}  // namespace online
+}  // namespace kgag
+
+#endif  // KGAG_ONLINE_STREAM_H_

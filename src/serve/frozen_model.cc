@@ -615,6 +615,16 @@ Result<FrozenModel> LoadFrozenModelAuto(const std::string& path,
   if (!in.is_open()) return Status::IoError("cannot open " + path);
   char magic[8] = {};
   in.read(magic, sizeof(magic));
+  if (in.gcount() != static_cast<std::streamsize>(sizeof(magic))) {
+    // Empty or truncated-before-the-magic file: say exactly that (and
+    // which file), instead of surfacing a raw stream-read failure. An
+    // artifact watcher hitting a just-created empty file gets a clear,
+    // retryable diagnosis.
+    return Status::InvalidArgument(
+        "artifact " + path + " is too short to be a KGAGSRV artifact (" +
+        std::to_string(in.gcount()) + " of " +
+        std::to_string(sizeof(magic)) + " magic bytes)");
+  }
   if (!in.good()) {
     return Status::IoError("cannot read artifact magic from " + path);
   }

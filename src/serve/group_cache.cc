@@ -7,10 +7,23 @@
 namespace kgag {
 namespace serve {
 
-GroupRepCache::GroupRepCache(size_t capacity) : capacity_(capacity) {}
+GroupRepCache::GroupRepCache(size_t capacity, size_t max_bytes)
+    : capacity_(capacity), max_bytes_(max_bytes) {}
+
+size_t GroupRepCache::ApproxEntryBytes(const std::vector<UserId>& key,
+                                       const GroupRep& rep) {
+  // Per-entry bookkeeping: list node + index node + two vector headers +
+  // the shared_ptr control block. A round constant keeps the accounting
+  // deterministic across allocators.
+  constexpr size_t kOverhead = 160;
+  return kOverhead + key.size() * sizeof(UserId) +
+         rep.members.size() * sizeof(UserId) +
+         rep.member_emb.size() * sizeof(double) +
+         rep.pi.size() * sizeof(double);
+}
 
 std::shared_ptr<const GroupRep> GroupRepCache::Get(
-    const std::vector<UserId>& key) {
+    const std::vector<UserId>& key, uint64_t epoch) {
   if (capacity_ == 0) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     KGAG_COUNTER_ADD("serve.cache.misses", 1);
@@ -23,39 +36,77 @@ std::shared_ptr<const GroupRep> GroupRepCache::Get(
     KGAG_COUNTER_ADD("serve.cache.misses", 1);
     return nullptr;
   }
+  if (it->second->epoch != epoch) {
+    // Built against a different artifact version: a stale rep must never
+    // cross a swap, so the entry dies here (lazy invalidation — the swap
+    // itself never sweeps the cache).
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+    epoch_evictions_.fetch_add(1, std::memory_order_relaxed);
+    KGAG_COUNTER_ADD("serve.cache.epoch_evictions", 1);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    KGAG_COUNTER_ADD("serve.cache.misses", 1);
+    KGAG_GAUGE_SET("serve.cache.size", lru_.size());
+    KGAG_GAUGE_SET("serve.cache.bytes", bytes_);
+    return nullptr;
+  }
   lru_.splice(lru_.begin(), lru_, it->second);
   hits_.fetch_add(1, std::memory_order_relaxed);
   KGAG_COUNTER_ADD("serve.cache.hits", 1);
-  return it->second->second;
+  return it->second->rep;
 }
 
 void GroupRepCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+  bytes_ = 0;
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   KGAG_GAUGE_SET("serve.cache.size", 0);
+  KGAG_GAUGE_SET("serve.cache.bytes", 0);
+}
+
+void GroupRepCache::EvictLocked() {
+  while (!lru_.empty() &&
+         (lru_.size() > capacity_ ||
+          (max_bytes_ > 0 && bytes_ > max_bytes_ && lru_.size() > 1))) {
+    // The byte bound never evicts the last (just-inserted) entry: one
+    // oversized rep still serves its own request's retries.
+    bytes_ -= lru_.back().bytes;
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    KGAG_COUNTER_ADD("serve.cache.evictions", 1);
+  }
 }
 
 void GroupRepCache::Put(const std::vector<UserId>& key,
-                        std::shared_ptr<const GroupRep> rep) {
-  if (capacity_ == 0) return;
+                        std::shared_ptr<const GroupRep> rep,
+                        uint64_t epoch) {
+  if (capacity_ == 0 || rep == nullptr) return;
+  const size_t entry_bytes = ApproxEntryBytes(key, *rep);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
-    it->second->second = std::move(rep);
+    bytes_ -= it->second->bytes;
+    it->second->rep = std::move(rep);
+    it->second->epoch = epoch;
+    it->second->bytes = entry_bytes;
+    bytes_ += entry_bytes;
     lru_.splice(lru_.begin(), lru_, it->second);
+    EvictLocked();
+    KGAG_GAUGE_SET("serve.cache.size", lru_.size());
+    KGAG_GAUGE_SET("serve.cache.bytes", bytes_);
     return;
   }
-  lru_.emplace_front(key, std::move(rep));
+  lru_.push_front(Entry{key, std::move(rep), epoch, entry_bytes});
   index_.emplace(key, lru_.begin());
-  while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
-    KGAG_COUNTER_ADD("serve.cache.evictions", 1);
-  }
+  bytes_ += entry_bytes;
+  EvictLocked();
   KGAG_GAUGE_SET("serve.cache.size", lru_.size());
+  KGAG_GAUGE_SET("serve.cache.bytes", bytes_);
 }
 
 double GroupRepCache::HitRate() const {
@@ -68,6 +119,11 @@ double GroupRepCache::HitRate() const {
 size_t GroupRepCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return lru_.size();
+}
+
+size_t GroupRepCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
 }
 
 }  // namespace serve

@@ -3,6 +3,20 @@
 // so any member ordering and duplicate ids a client sends hit the same
 // entry. Entries are shared_ptr<const GroupRep>: a hit stays valid for
 // the full request even if the entry is evicted mid-flight.
+//
+// Model-epoch tagging (DESIGN.md §15): every entry carries the artifact
+// epoch it was built against. A Get() whose epoch does not match the
+// entry's is a miss that also erases the entry — after a hot-swap, a rep
+// computed on the old model can never be served against the new one, and
+// the cache invalidates itself lazily without the swap ever taking the
+// cache lock for a full sweep. Single-model callers pass the default
+// epoch 0 everywhere and behave exactly as before.
+//
+// Bounding: entry count (capacity) AND approximate bytes (max_bytes,
+// 0 = unbounded). A group rep's footprint scales with members x dim, so
+// a count bound alone lets a few thousand large-group entries dwarf the
+// rep tables; the byte bound keeps the cache honest regardless of group
+// shape. Evictions from either bound count into serve.cache.evictions.
 #ifndef KGAG_SERVE_GROUP_CACHE_H_
 #define KGAG_SERVE_GROUP_CACHE_H_
 
@@ -24,28 +38,49 @@ namespace serve {
 class GroupRepCache {
  public:
   /// `capacity` 0 disables caching (every Get misses, Put is a no-op).
-  explicit GroupRepCache(size_t capacity);
+  /// `max_bytes` additionally bounds the approximate resident bytes of
+  /// the cached reps (0 = no byte bound).
+  explicit GroupRepCache(size_t capacity, size_t max_bytes = 0);
 
   /// The rep for `key` (which must already be sorted and unique — callers
   /// go through BuildGroupRep's canonicalization), or nullptr on a miss.
-  /// A hit moves the entry to the front of the LRU order.
-  std::shared_ptr<const GroupRep> Get(const std::vector<UserId>& key);
+  /// A hit moves the entry to the front of the LRU order. An entry tagged
+  /// with a different `epoch` is erased and reported as a miss (stale
+  /// cross-swap rep — see the header comment).
+  std::shared_ptr<const GroupRep> Get(const std::vector<UserId>& key,
+                                      uint64_t epoch = 0);
 
-  /// Inserts (or refreshes) an entry, evicting from the LRU tail beyond
-  /// capacity.
+  /// Inserts (or refreshes) an entry tagged with `epoch`, evicting from
+  /// the LRU tail beyond capacity or the byte bound.
   void Put(const std::vector<UserId>& key,
-           std::shared_ptr<const GroupRep> rep);
+           std::shared_ptr<const GroupRep> rep, uint64_t epoch = 0);
 
   /// Drops every entry and zeroes the hit/miss counters (benchmarks call
   /// this between warmup and the timed window).
   void Clear();
 
+  /// Approximate resident bytes of one entry: key + rep members + the
+  /// member-embedding and PI tensors + bookkeeping overhead.
+  static size_t ApproxEntryBytes(const std::vector<UserId>& key,
+                                 const GroupRep& rep);
+
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Entries evicted at the capacity or byte bound (lifetime total).
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Entries erased because a Get saw a different model epoch.
+  uint64_t epoch_evictions() const {
+    return epoch_evictions_.load(std::memory_order_relaxed);
+  }
   /// hits / (hits + misses); 0 before any lookup.
   double HitRate() const;
   size_t size() const;
   size_t capacity() const { return capacity_; }
+  /// Approximate bytes currently cached.
+  size_t bytes() const;
+  size_t max_bytes() const { return max_bytes_; }
 
  private:
   struct KeyHash {
@@ -64,16 +99,28 @@ class GroupRepCache {
     }
   };
 
-  using LruList =
-      std::list<std::pair<std::vector<UserId>,
-                          std::shared_ptr<const GroupRep>>>;
+  struct Entry {
+    std::vector<UserId> key;
+    std::shared_ptr<const GroupRep> rep;
+    uint64_t epoch = 0;
+    size_t bytes = 0;
+  };
+
+  using LruList = std::list<Entry>;
+
+  /// Pops LRU-tail entries until both bounds hold; call with mu_ held.
+  void EvictLocked();
 
   const size_t capacity_;
+  const size_t max_bytes_;
   mutable std::mutex mu_;
   LruList lru_;  ///< front = most recently used
   std::unordered_map<std::vector<UserId>, LruList::iterator, KeyHash> index_;
+  size_t bytes_ = 0;  ///< sum of Entry::bytes; guarded by mu_
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> epoch_evictions_{0};
 };
 
 }  // namespace serve

@@ -25,11 +25,20 @@ double MicrosSince(Clock::time_point start) {
 }  // namespace
 
 ServingEngine::ServingEngine(const FrozenModel* model, Options options)
-    : model_(model),
-      options_(std::move(options)),
-      cache_(options_.cache_capacity),
+    : ServingEngine(
+          // Non-owning handle: the borrowed-pointer contract (model
+          // outlives the engine) carries over from before hot-swap.
+          std::shared_ptr<const FrozenModel>(model,
+                                             [](const FrozenModel*) {}),
+          std::move(options)) {}
+
+ServingEngine::ServingEngine(std::shared_ptr<const FrozenModel> model,
+                             Options options)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity, options_.cache_max_bytes),
       start_time_(Clock::now()) {
   KGAG_CHECK(model != nullptr);
+  slot_.model = std::move(model);
   options_.max_batch = std::max<size_t>(1, options_.max_batch);
   options_.latency_sample_capacity =
       std::max<size_t>(1, options_.latency_sample_capacity);
@@ -40,6 +49,59 @@ ServingEngine::ServingEngine(const FrozenModel* model, Options options)
 }
 
 ServingEngine::~ServingEngine() { Shutdown(); }
+
+ServingEngine::ModelSlot ServingEngine::CurrentSlot() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return slot_;
+}
+
+const FrozenModel* ServingEngine::model() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return slot_.model.get();
+}
+
+std::shared_ptr<const FrozenModel> ServingEngine::model_ref() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return slot_.model;
+}
+
+uint64_t ServingEngine::model_epoch() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return slot_.epoch;
+}
+
+std::string ServingEngine::model_version() const {
+  std::lock_guard<std::mutex> lock(model_mu_);
+  return slot_.version;
+}
+
+Status ServingEngine::SwapModel(std::shared_ptr<const FrozenModel> next,
+                                std::string version) {
+  if (next == nullptr) {
+    return Status::InvalidArgument("SwapModel: null model");
+  }
+  const Clock::time_point start = Clock::now();
+  uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(model_mu_);
+    slot_.model = std::move(next);
+    epoch = ++slot_.epoch;
+    if (version.empty()) {
+      slot_.version = "v";
+      slot_.version += std::to_string(slot_.epoch);
+    } else {
+      slot_.version = std::move(version);
+    }
+  }
+  // No queue lock, no cache sweep: admissions already past their slot
+  // capture drain on the old model; the epoch tag retires their cache
+  // entries lazily (group_cache.h).
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  KGAG_COUNTER_ADD("serve.swap.count", 1);
+  KGAG_GAUGE_SET("serve.swap.epoch", static_cast<double>(epoch));
+  KGAG_GAUGE_SET("serve.swap.last_duration_us", MicrosSince(start));
+  return Status::OK();
+}
 
 void ServingEngine::Shutdown() {
   // call_once makes concurrent Shutdown() (destructor vs. a signal
@@ -84,7 +146,8 @@ std::vector<double> ServingEngine::TakeLatencySamples() {
 }
 
 Result<std::shared_ptr<const GroupRep>> ServingEngine::GetRep(
-    std::span<const UserId> members, bool* cache_hit, uint64_t req_id) {
+    const ModelSlot& slot, std::span<const UserId> members, bool* cache_hit,
+    uint64_t req_id) {
   KGAG_TRACE_SPAN_REQ("serve.rep_build", req_id);
   *cache_hit = false;
   if (members.empty()) {
@@ -96,13 +159,15 @@ Result<std::shared_ptr<const GroupRep>> ServingEngine::GetRep(
   std::sort(key.begin(), key.end());
   key.erase(std::unique(key.begin(), key.end()), key.end());
 
-  if (std::shared_ptr<const GroupRep> rep = cache_.Get(key)) {
+  // Lookup and insert both carry the slot's epoch: a rep built on another
+  // model version is a miss (and is erased), never a hit.
+  if (std::shared_ptr<const GroupRep> rep = cache_.Get(key, slot.epoch)) {
     *cache_hit = true;
     return rep;
   }
-  KGAG_ASSIGN_OR_RETURN(GroupRep built, BuildGroupRep(*model_, key));
+  KGAG_ASSIGN_OR_RETURN(GroupRep built, BuildGroupRep(*slot.model, key));
   auto rep = std::make_shared<const GroupRep>(std::move(built));
-  cache_.Put(key, rep);
+  cache_.Put(key, rep, slot.epoch);
   return std::shared_ptr<const GroupRep>(rep);
 }
 
@@ -183,9 +248,12 @@ Result<TopKResult> ServingEngine::TopK(std::span<const UserId> members,
   const uint64_t req_id = next_req_.fetch_add(1, std::memory_order_relaxed);
   KGAG_TRACE_SPAN_REQ("serve.request", req_id);
   const Clock::time_point start = Clock::now();
+  // One slot snapshot for the whole request: rep build, scoring and the
+  // cache epoch all agree even if a swap lands mid-request.
+  const ModelSlot slot = CurrentSlot();
   bool cache_hit = false;
   Result<std::shared_ptr<const GroupRep>> rep =
-      GetRep(members, &cache_hit, req_id);
+      GetRep(slot, members, &cache_hit, req_id);
   if (!rep.ok()) {
     FailRequest(start);
     return rep.status();
@@ -193,7 +261,7 @@ Result<TopKResult> ServingEngine::TopK(std::span<const UserId> members,
   std::vector<double> scores;
   {
     KGAG_TRACE_SPAN_REQ("serve.score_kernel", req_id);
-    scores = ScoreAllItems(*model_, **rep);
+    scores = ScoreAllItems(*slot.model, **rep);
   }
   TopKResult result;
   {
@@ -361,7 +429,13 @@ void ServingEngine::DispatcherLoop() {
 
 void ServingEngine::ExecuteBatch(std::vector<Pending> batch) {
   KGAG_TRACE_SPAN("serve.batch");
-  const size_t n = static_cast<size_t>(model_->num_items);
+  // The batch binds to ONE model slot for its whole life — late admits
+  // included. A SwapModel() racing this batch changes only what the NEXT
+  // batch captures; everything below (rep epochs, GEMM, reduce) is
+  // computed against this snapshot, so no response can mix versions.
+  const ModelSlot slot = CurrentSlot();
+  const FrozenModel& model = *slot.model;
+  const size_t n = static_cast<size_t>(model.num_items);
 
   // Stable storage for the whole batch, late admits included: Live
   // holds Pending pointers, so the vector must never reallocate.
@@ -408,7 +482,7 @@ void ServingEngine::ExecuteBatch(std::vector<Pending> batch) {
       }
       bool hit = false;
       Result<std::shared_ptr<const GroupRep>> rep =
-          GetRep(p.request.members, &hit, p.req_id);
+          GetRep(slot, p.request.members, &hit, p.req_id);
       if (!rep.ok()) {
         FailRequest(p.enqueued);
         p.promise.set_value(rep.status());
@@ -487,7 +561,7 @@ void ServingEngine::ExecuteBatch(std::vector<Pending> batch) {
   // output row's k-accumulation order is position-independent, so every
   // request's logits match what a solo GEMM would produce — late admits
   // included.
-  MemberStack stack(*model_);
+  MemberStack stack(model);
   for (size_t di : distinct) {
     live[di].row_offset = stack.Append(*live[di].rep);
   }
@@ -506,7 +580,7 @@ void ServingEngine::ExecuteBatch(std::vector<Pending> batch) {
 
   std::vector<double> scores(n);
   for (size_t di : distinct) {
-    ReduceScores(*model_, *live[di].rep, sp.data() + live[di].row_offset * n,
+    ReduceScores(model, *live[di].rep, sp.data() + live[di].row_offset * n,
                  n, n, scores.data());
     for (size_t i = 0; i < live.size(); ++i) {
       if (owner[i] != di) continue;
@@ -533,6 +607,7 @@ std::string ServingEngine::StatusJson() const {
     std::lock_guard<std::mutex> lock(mu_);
     queue_depth = QueueDepthLocked();
   }
+  const ModelSlot slot = CurrentSlot();
   std::ostringstream os;
   os.precision(12);
   os << "{\"requests_served\":" << served_.load(std::memory_order_relaxed)
@@ -553,10 +628,21 @@ std::string ServingEngine::StatusJson() const {
      << ",\"max_queue\":" << options_.max_queue
      << ",\"continuous_admission\":"
      << (options_.continuous_admission ? "true" : "false")
-     << ",\"cache_capacity\":" << options_.cache_capacity << "}"
+     << ",\"cache_capacity\":" << options_.cache_capacity
+     << ",\"cache_max_bytes\":" << options_.cache_max_bytes << "}"
+     << ",\"model\":{\"version\":\"" << slot.version
+     << "\",\"epoch\":" << slot.epoch
+     << ",\"swaps\":" << swaps_.load(std::memory_order_relaxed)
+     << ",\"num_users\":" << slot.model->num_users
+     << ",\"num_items\":" << slot.model->num_items
+     << ",\"dim\":" << slot.model->dim << "}"
      << ",\"cache\":{\"size\":" << cache_.size()
      << ",\"capacity\":" << cache_.capacity()
+     << ",\"bytes\":" << cache_.bytes()
+     << ",\"max_bytes\":" << cache_.max_bytes()
      << ",\"hits\":" << cache_.hits() << ",\"misses\":" << cache_.misses()
+     << ",\"evictions\":" << cache_.evictions()
+     << ",\"epoch_evictions\":" << cache_.epoch_evictions()
      << ",\"hit_rate\":" << cache_.HitRate() << "}";
   if (slo_) os << ",\"slo\":" << slo_->StateJson();
   os << "}";

@@ -57,6 +57,18 @@
 // owns an obs::SloTracker and classifies every finished request
 // (latency, error) against each objective; shed and failed requests
 // burn error budget. slo() exposes it for gauge export and /statusz.
+//
+// Hot-swap (DESIGN.md §15): the engine holds the FrozenModel as a
+// versioned shared_ptr slot. SwapModel() publishes a new model + epoch
+// atomically; every batch (and every synchronous TopK) captures ONE slot
+// snapshot at its start and computes entirely against it, so in-flight
+// batches drain on the old version while the next admission binds the
+// new one — a swap never fails, sheds or delays a request. Group-rep
+// cache entries are tagged with the slot epoch; a rep built on epoch N
+// can never be served by a batch bound to epoch M != N (group_cache.h),
+// which is what makes the swap coherent, not just lock-free. The old
+// model's shared_ptr dies when the last draining batch drops it.
+// serve.swap.* metrics: count, epoch gauge, last swap duration.
 #ifndef KGAG_SERVE_SERVING_ENGINE_H_
 #define KGAG_SERVE_SERVING_ENGINE_H_
 
@@ -130,6 +142,10 @@ class ServingEngine {
     int64_t batch_deadline_us = 200;
     /// Group-representation LRU entries (0 disables the cache).
     size_t cache_capacity = 1024;
+    /// Approximate byte bound on the cached group reps (0 = entries
+    /// only). Large groups make entry count a poor memory proxy; see
+    /// GroupRepCache.
+    size_t cache_max_bytes = 0;
     /// Borrowed pool the batch bodies run on; nullptr = dispatcher
     /// thread runs them inline. Must outlive the engine.
     ThreadPool* pool = nullptr;
@@ -158,8 +174,14 @@ class ServingEngine {
     std::vector<obs::SloObjective> slo_objectives = {};
   };
 
-  /// `model` is borrowed and must outlive the engine.
+  /// `model` is borrowed and must outlive the engine (the pre-hot-swap
+  /// contract, kept for single-artifact callers; wraps the pointer in a
+  /// non-owning shared_ptr internally). An engine built this way can
+  /// still SwapModel() to an owned model later.
   ServingEngine(const FrozenModel* model, Options options);
+  /// Shared-ownership constructor: the engine (and any batch still
+  /// draining after a swap) keeps the model alive.
+  ServingEngine(std::shared_ptr<const FrozenModel> model, Options options);
   /// Drains already-queued requests, then stops the dispatcher.
   ~ServingEngine();
 
@@ -184,8 +206,27 @@ class ServingEngine {
   /// priority/deadline_us fields drive admission (see RequestClass).
   std::future<Result<TopKResult>> Submit(TopKRequest request);
 
+  /// Publishes `next` as the serving model under a new epoch and version
+  /// label. Zero-downtime: callers keep submitting throughout; batches
+  /// already executing finish on the model they captured. Fails only on
+  /// a null model. Thread-safe against Submit/TopK and itself.
+  Status SwapModel(std::shared_ptr<const FrozenModel> next,
+                   std::string version = "");
+
   GroupRepCache* cache() { return &cache_; }
-  const FrozenModel* model() const { return model_; }
+  /// The CURRENT model (a snapshot — may be superseded by a concurrent
+  /// SwapModel; prefer model_ref() when the caller needs it to stay
+  /// alive).
+  const FrozenModel* model() const;
+  /// Shared handle on the current model.
+  std::shared_ptr<const FrozenModel> model_ref() const;
+  /// Monotonic model epoch: 0 for the constructor model, +1 per swap.
+  uint64_t model_epoch() const;
+  /// Version label of the current model ("v0" for the constructor model
+  /// unless SwapModel relabels it).
+  std::string model_version() const;
+  /// Completed SwapModel calls.
+  uint64_t swaps() const { return swaps_.load(std::memory_order_relaxed); }
   uint64_t requests_served() const {
     return served_.load(std::memory_order_relaxed);
   }
@@ -255,10 +296,22 @@ class ServingEngine {
     double submit_ts_us = 0.0;
   };
 
-  /// Cache-through rep lookup. `members` may be in any order. `req_id`
-  /// only labels the trace span.
+  /// One published model version. Batches capture a whole slot so the
+  /// model pointer and the cache epoch can never disagree.
+  struct ModelSlot {
+    std::shared_ptr<const FrozenModel> model;
+    uint64_t epoch = 0;
+    std::string version = "v0";
+  };
+
+  /// Copy of the current slot (the capture point of every batch).
+  ModelSlot CurrentSlot() const;
+
+  /// Cache-through rep lookup against one captured slot. `members` may
+  /// be in any order. `req_id` only labels the trace span.
   Result<std::shared_ptr<const GroupRep>> GetRep(
-      std::span<const UserId> members, bool* cache_hit, uint64_t req_id);
+      const ModelSlot& slot, std::span<const UserId> members,
+      bool* cache_hit, uint64_t req_id);
 
   /// Rank-time filtering + bounded-heap selection over full-catalog
   /// scores (index == item id).
@@ -288,7 +341,12 @@ class ServingEngine {
   /// Bookkeeping for a request that resolved with an error.
   void FailRequest(std::chrono::steady_clock::time_point start);
 
-  const FrozenModel* model_;
+  /// Current model slot; guarded by model_mu_ (a copy is cheap — one
+  /// shared_ptr bump — and taken once per batch, not per request).
+  mutable std::mutex model_mu_;
+  ModelSlot slot_;
+  std::atomic<uint64_t> swaps_{0};
+
   Options options_;
   GroupRepCache cache_;
   std::unique_ptr<obs::SloTracker> slo_;

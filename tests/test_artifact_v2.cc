@@ -3,6 +3,11 @@
 // bit-identity contract across every quantization tier, v1 back-compat
 // through the auto loader, and the pin that the streaming v1 writer
 // produces byte-identical output to the in-memory encoder.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -325,6 +330,84 @@ TEST(StreamedSave, MatchesInMemoryEncoderByteForByte) {
     std::string streamed;
     ASSERT_TRUE(ReadFileToString(path, &streamed).ok());
     EXPECT_EQ(streamed, encoded) << QuantTypeName(q);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate files and crash injection
+
+TEST(AutoLoader, EmptyAndShortFilesGetClearInvalidArgument) {
+  const std::string dir = TestTmpDir("short_artifacts");
+  const struct {
+    const char* leaf;
+    const char* bytes;
+  } cases[] = {
+      {"empty.srv", ""},
+      {"three.srv", "KGA"},
+  };
+  for (const auto& c : cases) {
+    const std::string path = dir + "/" + c.leaf;
+    ASSERT_TRUE(AtomicWriteFile(path, c.bytes).ok());
+    Result<FrozenModel> loaded = LoadFrozenModelAuto(path);
+    ASSERT_FALSE(loaded.ok()) << c.leaf;
+    const std::string msg = loaded.status().ToString();
+    EXPECT_TRUE(loaded.status().IsInvalidArgument()) << msg;
+    // The message must name the offending path — "truncated read" alone
+    // is useless when a watcher reloads dozens of artifacts.
+    EXPECT_NE(msg.find(path), std::string::npos) << msg;
+    EXPECT_NE(msg.find("too short"), std::string::npos) << msg;
+  }
+}
+
+// Crash injection around the atomic publish contract: a writer killed at
+// ANY instant must never leave a partial artifact at the target path —
+// the path either doesn't exist, or holds a complete, loadable artifact
+// (temp + fsync + rename). This is the invariant the serve_model --watch
+// reloader and the OnlineTrainer publisher both lean on.
+TEST(CrashInjection, KilledWriterNeverExposesPartialArtifact) {
+  const std::string dir = TestTmpDir("crash_publish");
+  const std::string target = dir + "/live.srv2";
+  // Big enough that a write is interruptible mid-stream.
+  const FrozenModel model =
+      MakeModel(/*num_users=*/512, /*num_items=*/512, /*dim=*/64);
+
+  for (int round = 0; round < 4; ++round) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0) << "fork failed";
+    if (pid == 0) {
+      // Child: republish in a tight loop until killed. _exit on any
+      // error so a failure can't masquerade as a successful run.
+      for (;;) {
+        if (!SaveFrozenModelV2(model, target).ok()) _exit(7);
+      }
+    }
+    // Parent: play the watcher for a bit, then SIGKILL mid-write.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(60);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (fs::exists(target)) {
+        Result<FrozenModel> seen = LoadFrozenModelAuto(target);
+        EXPECT_TRUE(seen.ok())
+            << "watcher observed a partial artifact: "
+            << seen.status().ToString();
+      }
+    }
+    ASSERT_EQ(kill(pid, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+        << "writer exited on its own (status " << status
+        << ") — the kill never landed mid-write";
+
+    // Post-mortem: whatever the path holds now must be complete.
+    if (fs::exists(target)) {
+      Result<FrozenModel> survivor = LoadFrozenModelAuto(target);
+      EXPECT_TRUE(survivor.ok()) << survivor.status().ToString();
+      if (survivor.ok()) {
+        EXPECT_EQ(survivor->num_users, model.num_users);
+        EXPECT_EQ(survivor->num_items, model.num_items);
+      }
+    }
   }
 }
 

@@ -116,6 +116,96 @@ TEST(GroupRepCacheTest, ConcurrentGetsAndPutsAreSafe) {
   EXPECT_LE(cache.size(), 16u);
 }
 
+// ---------------------------------------------------------------------------
+// Byte bound
+
+std::shared_ptr<const GroupRep> MakeSizedRep(std::vector<UserId> members,
+                                             int dim) {
+  GroupRep rep;
+  rep.member_emb = Tensor(static_cast<int>(members.size()), dim);
+  rep.pi.assign(members.size(), 0.0);
+  rep.members = std::move(members);
+  return std::make_shared<const GroupRep>(std::move(rep));
+}
+
+TEST(GroupRepCacheTest, ByteBoundEvictsBeforeCapacityDoes) {
+  // Each 4-member dim-64 rep is ~2.3 KB; a 6 KB bound holds two of them
+  // even though the entry capacity (64) never binds.
+  const size_t entry = GroupRepCache::ApproxEntryBytes(
+      {1, 2, 3, 4}, *MakeSizedRep({1, 2, 3, 4}, 64));
+  GroupRepCache cache(64, /*max_bytes=*/2 * entry + entry / 2);
+  for (UserId base = 0; base < 40; base += 4) {
+    const std::vector<UserId> key = {base, base + 1, base + 2, base + 3};
+    cache.Put(key, MakeSizedRep(key, 64));
+    EXPECT_LE(cache.bytes(), cache.max_bytes());
+  }
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 8u);
+  // Newest entries survive, LRU order within the byte budget.
+  EXPECT_NE(cache.Get({36, 37, 38, 39}), nullptr);
+  EXPECT_NE(cache.Get({32, 33, 34, 35}), nullptr);
+  EXPECT_EQ(cache.Get({0, 1, 2, 3}), nullptr);
+}
+
+TEST(GroupRepCacheTest, ByteBoundNeverEvictsTheOnlyEntry) {
+  // One oversized rep exceeds the bound by itself; the cache keeps it
+  // (an always-empty cache helps nobody) instead of thrash-evicting.
+  GroupRepCache cache(8, /*max_bytes=*/64);
+  const std::vector<UserId> key = {1, 2, 3, 4};
+  cache.Put(key, MakeSizedRep(key, 64));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_GT(cache.bytes(), cache.max_bytes());
+  EXPECT_NE(cache.Get(key), nullptr);
+  // A second entry still triggers eviction back down to one.
+  const std::vector<UserId> other = {5, 6, 7, 8};
+  cache.Put(other, MakeSizedRep(other, 64));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.Get(other), nullptr);
+}
+
+TEST(GroupRepCacheTest, RefreshingAKeyAdjustsBytesNotSize) {
+  GroupRepCache cache(4, /*max_bytes=*/1 << 20);
+  const std::vector<UserId> key = {1, 2};
+  cache.Put(key, MakeSizedRep(key, 16));
+  const size_t small = cache.bytes();
+  cache.Put(key, MakeSizedRep(key, 128));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_GT(cache.bytes(), small);
+  cache.Put(key, MakeSizedRep(key, 16));
+  EXPECT_EQ(cache.bytes(), small);
+}
+
+// ---------------------------------------------------------------------------
+// Epoch tags (hot-swap coherence)
+
+TEST(GroupRepCacheTest, EpochMismatchIsAMissAndEvictsTheStaleEntry) {
+  GroupRepCache cache(4);
+  const std::vector<UserId> key = {1, 2, 3};
+  cache.Put(key, MakeRep(key), /*epoch=*/0);
+  ASSERT_NE(cache.Get(key, 0), nullptr);
+
+  // The same key read under the next model epoch must NOT return the
+  // epoch-0 rep — that would mix model versions inside one response.
+  EXPECT_EQ(cache.Get(key, 1), nullptr);
+  EXPECT_EQ(cache.epoch_evictions(), 1u);
+  EXPECT_EQ(cache.size(), 0u) << "stale entry lingered after the miss";
+
+  // Re-populated under epoch 1, it hits for epoch-1 readers only.
+  cache.Put(key, MakeRep(key), 1);
+  EXPECT_NE(cache.Get(key, 1), nullptr);
+  EXPECT_EQ(cache.Get(key, 2), nullptr);
+}
+
+TEST(GroupRepCacheTest, DrainingOldEpochReaderCannotResurrectStaleRep) {
+  GroupRepCache cache(4);
+  const std::vector<UserId> key = {7};
+  cache.Put(key, MakeRep(key), /*epoch=*/1);
+  // A batch still draining on epoch 0 asks for the key: the epoch-1
+  // entry is not valid for it either — epochs must match exactly.
+  EXPECT_EQ(cache.Get(key, 0), nullptr);
+  EXPECT_EQ(cache.epoch_evictions(), 1u);
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace kgag

@@ -1,0 +1,263 @@
+// Hot-swap tests (DESIGN.md §15): post-swap responses bit-identical to a
+// cold load of the new artifact, the cache-epoch coherence invariant (no
+// response ever mixes group reps from two model versions), in-flight
+// batches draining on the version they captured, zero downtime under
+// concurrent load with swaps, and the serve.swap.* surface.
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic/standard_datasets.h"
+#include "gtest/gtest.h"
+#include "models/kgag_model.h"
+#include "serve/frozen_model.h"
+#include "serve/frozen_scorer.h"
+#include "serve/serving_engine.h"
+
+namespace kgag {
+namespace serve {
+namespace {
+
+/// Two artifacts over the SAME corpus with different parameter draws —
+/// the refresh shape: identical id spaces, different scores.
+class HotSwapTest : public ::testing::Test {
+ public:
+  static void SetUpTestSuite() {
+    dataset_ = new GroupRecDataset(
+        MakeMovieLensRandDataset(/*seed=*/13, /*scale=*/0.12));
+    model_a_ = Freeze(/*param_seed=*/101);
+    model_b_ = Freeze(/*param_seed=*/202);
+  }
+
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+    model_a_.reset();
+    model_b_.reset();
+  }
+
+  static std::shared_ptr<const FrozenModel> Freeze(uint64_t param_seed) {
+    KgagConfig config;
+    config.propagation.dim = 8;
+    config.propagation.depth = 1;
+    config.propagation.sample_size = 3;
+    config.propagation.final_tanh = false;
+    config.eval_tree_samples = 1;
+    config.seed = param_seed;
+    auto model = KgagModel::Create(dataset_, config);
+    EXPECT_TRUE(model.ok()) << model.status().ToString();
+    Result<FrozenModel> frozen = FreezeKgagModel(model->get());
+    EXPECT_TRUE(frozen.ok()) << frozen.status().ToString();
+    return std::make_shared<const FrozenModel>(std::move(*frozen));
+  }
+
+  static std::vector<UserId> Members(GroupId g) {
+    auto span = dataset_->groups.MembersOf(g);
+    return {span.begin(), span.end()};
+  }
+
+  /// Ground truth for one group on one artifact through the synchronous
+  /// path of a fresh single-model engine (no cache interference).
+  static TopKResult Expected(const std::shared_ptr<const FrozenModel>& m,
+                             const std::vector<UserId>& members, size_t k) {
+    ServingEngine::Options options;
+    options.cache_capacity = 0;
+    ServingEngine engine(m, options);
+    Result<TopKResult> r = engine.TopK(members, k);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return *r;
+  }
+
+  static const GroupRecDataset* dataset_;
+  static std::shared_ptr<const FrozenModel> model_a_;
+  static std::shared_ptr<const FrozenModel> model_b_;
+};
+
+const GroupRecDataset* HotSwapTest::dataset_ = nullptr;
+std::shared_ptr<const FrozenModel> HotSwapTest::model_a_;
+std::shared_ptr<const FrozenModel> HotSwapTest::model_b_;
+
+TEST_F(HotSwapTest, SwapIsBitIdenticalToColdLoadOfNewArtifact) {
+  ServingEngine engine(model_a_, {});
+  EXPECT_EQ(engine.model_epoch(), 0u);
+  EXPECT_EQ(engine.model_version(), "v0");
+  const std::vector<UserId> members = Members(0);
+  const size_t k = 12;
+
+  const TopKResult before = *engine.TopK(members, k);
+  const TopKResult want_a = Expected(model_a_, members, k);
+  ASSERT_EQ(before.items, want_a.items);
+  ASSERT_EQ(before.scores, want_a.scores);
+
+  ASSERT_TRUE(engine.SwapModel(model_b_, "release-2").ok());
+  EXPECT_EQ(engine.model_epoch(), 1u);
+  EXPECT_EQ(engine.model_version(), "release-2");
+  EXPECT_EQ(engine.swaps(), 1u);
+  EXPECT_EQ(engine.model(), model_b_.get());
+
+  const TopKResult after = *engine.TopK(members, k);
+  const TopKResult want_b = Expected(model_b_, members, k);
+  EXPECT_EQ(after.items, want_b.items);
+  EXPECT_EQ(after.scores, want_b.scores)
+      << "post-swap response differs from a cold load of the new artifact";
+  // The artifacts genuinely disagree, so the comparison above is load-
+  // bearing.
+  EXPECT_NE(want_a.scores, want_b.scores);
+
+  EXPECT_FALSE(engine.SwapModel(nullptr).ok());
+  EXPECT_EQ(engine.swaps(), 1u);
+}
+
+TEST_F(HotSwapTest, CacheEntriesFromOldEpochAreNeverServed) {
+  ServingEngine::Options options;
+  options.cache_capacity = 64;
+  ServingEngine engine(model_a_, options);
+  const std::vector<UserId> members = Members(1);
+  const size_t k = 8;
+
+  // Populate the epoch-0 cache entry, then prove it hits.
+  (void)*engine.TopK(members, k);
+  const TopKResult hit = *engine.TopK(members, k);
+  EXPECT_TRUE(hit.cache_hit);
+
+  ASSERT_TRUE(engine.SwapModel(model_b_).ok());
+  const uint64_t stale_before = engine.cache()->epoch_evictions();
+  const TopKResult after = *engine.TopK(members, k);
+  EXPECT_FALSE(after.cache_hit)
+      << "epoch-0 rep served on the epoch-1 model";
+  EXPECT_EQ(engine.cache()->epoch_evictions(), stale_before + 1);
+  const TopKResult want_b = Expected(model_b_, members, k);
+  EXPECT_EQ(after.items, want_b.items);
+  EXPECT_EQ(after.scores, want_b.scores);
+
+  // The rebuilt rep is cached under the new epoch and hits again.
+  const TopKResult rehit = *engine.TopK(members, k);
+  EXPECT_TRUE(rehit.cache_hit);
+  EXPECT_EQ(rehit.scores, want_b.scores);
+}
+
+TEST_F(HotSwapTest, InFlightBatchDrainsOnItsCapturedVersion) {
+  ServingEngine::Options options;
+  options.batch_deadline_us = 0;
+  options.cache_capacity = 0;
+  ServingEngine engine(model_a_, options);
+  const std::vector<UserId> members = Members(2);
+  const size_t k = 8;
+
+  std::promise<void> batch_started;
+  std::promise<void> resume;
+  std::shared_future<void> resume_f = resume.get_future().share();
+  std::atomic<bool> first{true};
+  engine.SetBatchHookForTest(
+      [&](const char* phase, const std::vector<uint64_t>&) {
+        if (std::string_view(phase) != "start") return;
+        if (!first.exchange(false)) return;
+        batch_started.set_value();
+        resume_f.wait();  // the batch holds its captured slot here
+      });
+
+  TopKRequest req;
+  req.members = members;
+  req.k = k;
+  std::future<Result<TopKResult>> inflight = engine.Submit(req);
+  batch_started.get_future().wait();
+  // The batch captured epoch 0 and is paused mid-execution; publish the
+  // new model NOW.
+  ASSERT_TRUE(engine.SwapModel(model_b_).ok());
+  resume.set_value();
+
+  Result<TopKResult> drained = inflight.get();
+  ASSERT_TRUE(drained.ok()) << drained.status().ToString();
+  const TopKResult want_a = Expected(model_a_, members, k);
+  EXPECT_EQ(drained->items, want_a.items);
+  EXPECT_EQ(drained->scores, want_a.scores)
+      << "in-flight batch re-bound to the new model mid-execution";
+
+  // The next admission binds the new version.
+  std::future<Result<TopKResult>> next = engine.Submit(std::move(req));
+  Result<TopKResult> fresh = next.get();
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  const TopKResult want_b = Expected(model_b_, members, k);
+  EXPECT_EQ(fresh->scores, want_b.scores);
+}
+
+TEST_F(HotSwapTest, ZeroDowntimeAndNoVersionMixingUnderConcurrentLoad) {
+  ServingEngine::Options options;
+  options.max_batch = 4;
+  options.batch_deadline_us = 50;
+  options.cache_capacity = 32;
+  ServingEngine engine(model_a_, options);
+
+  const size_t k = 10;
+  const int kGroups = 4;
+  std::vector<std::vector<UserId>> groups;
+  std::vector<TopKResult> want_a, want_b;
+  for (GroupId g = 0; g < kGroups; ++g) {
+    groups.push_back(Members(g));
+    want_a.push_back(Expected(model_a_, groups.back(), k));
+    want_b.push_back(Expected(model_b_, groups.back(), k));
+    ASSERT_NE(want_a.back().scores, want_b.back().scores)
+        << "group " << g << " can't distinguish the versions";
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> failed{0};
+  std::atomic<uint64_t> mixed{0};
+  std::atomic<uint64_t> completed{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&, t] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t g = (t + i++) % groups.size();
+        TopKRequest req;
+        req.members = groups[g];
+        req.k = k;
+        Result<TopKResult> r = engine.Submit(std::move(req)).get();
+        if (!r.ok()) {
+          ++failed;
+          continue;
+        }
+        // Every response must be EXACTLY version A or version B — any
+        // other byte pattern means reps and scores mixed versions.
+        if (r->scores != want_a[g].scores &&
+            r->scores != want_b[g].scores) {
+          ++mixed;
+        }
+        ++completed;
+      }
+    });
+  }
+
+  // Swap back and forth under load.
+  const int kSwaps = 20;
+  for (int s = 0; s < kSwaps; ++s) {
+    ASSERT_TRUE(engine.SwapModel(s % 2 == 0 ? model_b_ : model_a_).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop = true;
+  for (std::thread& th : clients) th.join();
+
+  EXPECT_EQ(failed.load(), 0u) << "a swap failed or shed a request";
+  EXPECT_EQ(mixed.load(), 0u) << "a response mixed model versions";
+  EXPECT_GT(completed.load(), 0u);
+  EXPECT_EQ(engine.swaps(), static_cast<uint64_t>(kSwaps));
+  EXPECT_EQ(engine.model_epoch(), static_cast<uint64_t>(kSwaps));
+}
+
+TEST_F(HotSwapTest, StatusJsonExposesModelVersionAndSwaps) {
+  ServingEngine engine(model_a_, {});
+  ASSERT_TRUE(engine.SwapModel(model_b_, "canary").ok());
+  const std::string json = engine.StatusJson();
+  EXPECT_NE(json.find("\"version\":\"canary\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"swaps\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"epoch\":1"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace kgag
